@@ -1,0 +1,84 @@
+// Extension bench: the bandwidth multiplier effect (§4.2).
+//
+// Sweeps a cloud seeding budget across the highly popular swarms of a
+// generated catalog and reports the aggregate distribution bandwidth the
+// P2P exchange attains — the mechanism that lets ODR's Bottleneck-2 remedy
+// (send hot files to their swarms) hold up: a unit of seed bandwidth
+// delivers several units of user goodput.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cloud/seeder.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "workload/catalog.h"
+
+int main(int argc, char** argv) {
+  using namespace odr;
+  ArgParser args("Bandwidth-multiplier sweep (cloud seeding of hot swarms).");
+  args.flag("seed", "20151028", "random seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed")));
+  workload::CatalogParams cp;
+  cp.num_files = 5000;
+  cp.total_weekly_requests = 36250;
+  const workload::Catalog catalog(cp, rng);
+
+  // Live swarms for every highly popular P2P file.
+  proto::SwarmParams swarm_params;
+  std::vector<cloud::SeedCandidate> candidates;
+  std::vector<std::unique_ptr<proto::Swarm>> swarms;
+  for (const auto& f : catalog.files()) {
+    if (!proto::is_p2p(f.protocol)) continue;
+    if (workload::classify_popularity(f.expected_weekly_requests) !=
+        workload::PopularityClass::kHighlyPopular) {
+      continue;
+    }
+    swarms.push_back(std::make_unique<proto::Swarm>(
+        f.protocol, f.expected_weekly_requests, swarm_params, rng));
+    candidates.push_back(
+        cloud::make_candidate(f.index, *swarms.back(), kbps_to_rate(125.0)));
+  }
+  std::printf("highly popular P2P swarms: %zu\n", candidates.size());
+
+  TextTable table({"seed budget (Mbps)", "delivered (Mbps)",
+                   "aggregate multiplier", "swarms seeded"});
+  for (double budget_mbps : {10.0, 50.0, 100.0, 300.0, 1000.0, 3000.0}) {
+    const auto plan =
+        cloud::plan_seeding(candidates, mbps_to_rate(budget_mbps));
+    table.add_row({TextTable::num(budget_mbps, 0),
+                   TextTable::num(rate_to_mbps(plan.total_delivered), 0),
+                   TextTable::num(plan.aggregate_multiplier(), 2),
+                   std::to_string(plan.allocations.size())});
+  }
+  std::fputs(banner("Seeding budget vs delivered bandwidth (multiplier "
+                    "diminishes as colder swarms are drawn in)")
+                 .c_str(),
+             stdout);
+  std::fputs(table.render().c_str(), stdout);
+
+  // Direct-upload comparison: the cloud spent ~40% of 30 Gbps on highly
+  // popular files (Fig 11); the same delivery via seeding needs a fraction.
+  // At this catalog scale the swarms can only absorb so much, so the
+  // target is capped by what they can deliver.
+  const auto max_plan =
+      cloud::plan_seeding(candidates, gbps_to_rate(1000.0));
+  const Rate hot_burden =
+      std::min(gbps_to_rate(30.0) * 0.40, max_plan.total_delivered * 0.95);
+  double lo = 0.0, hi = rate_to_mbps(max_plan.total_seeded);
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const auto plan = cloud::plan_seeding(candidates, mbps_to_rate(mid));
+    (plan.total_delivered < hot_burden ? lo : hi) = mid;
+  }
+  std::printf(
+      "\nDelivering %.1f Gbps of hot-file goodput via seeding needs only "
+      "%.2f Gbps of cloud uplink (%.0f%% saving on that traffic class; the "
+      "paper's ODR saves ~35%% of the TOTAL burden by the coarser remedy of "
+      "redirecting users to the swarms).\n",
+      rate_to_gbps(hot_burden), 0.5 * (lo + hi) / 1000.0,
+      100.0 * (1.0 - mbps_to_rate(0.5 * (lo + hi)) / hot_burden));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks of the core substrates (google-benchmark).
+//
+// These measure the building blocks whose throughput bounds experiment
+// wall-time: the event queue, the max-min fair solver, MD5 hashing, the
+// popularity samplers and the LRU cache.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/lru_cache.h"
+#include "util/md5.h"
+#include "proto/swarm.h"
+#include "util/rng.h"
+#include "workload/popularity.h"
+
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    odr::sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at((i * 7919) % 100000, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MaxMinFairReallocation(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    odr::sim::Simulator sim;
+    odr::net::Network net(sim);
+    const odr::net::LinkId link = net.add_link("l", 1e9);
+    for (int i = 0; i < flows; ++i) {
+      net.start_flow({{link}, 1ull << 32, 1e5 + i * 997.0, nullptr});
+    }
+    state.ResumeTiming();
+    // One more flow triggers a full component reallocation.
+    net.start_flow({{link}, 1ull << 32, 5e5, nullptr});
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+// The 1024-flow case has O(n^2) untimed setup per iteration (starting the
+// flows is itself n reallocations); cap the iteration count so the
+// benchmark's wall time stays dominated by the measured work.
+BENCHMARK(BM_MaxMinFairReallocation)->Arg(16)->Arg(128);
+BENCHMARK(BM_MaxMinFairReallocation)->Arg(1024)->Iterations(5);
+
+void BM_Md5Throughput(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(odr::Md5::of(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_PopularityProfileSample(benchmark::State& state) {
+  odr::workload::PopularityProfile profile(
+      static_cast<std::size_t>(state.range(0)),
+      7.25 * static_cast<double>(state.range(0)));
+  odr::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PopularityProfileSample)->Arg(10000)->Arg(563517);
+
+void BM_LruCachePutGet(benchmark::State& state) {
+  odr::LruCache<std::uint64_t, int> cache(1 << 20);
+  odr::Rng rng(2);
+  for (auto _ : state) {
+    const std::uint64_t key = rng.uniform_index(1 << 16);
+    cache.put(key, 1, 64);
+    benchmark::DoNotOptimize(cache.get(key ^ 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCachePutGet);
+
+void BM_SwarmTick(benchmark::State& state) {
+  odr::Rng rng(3);
+  odr::proto::SwarmParams params;
+  odr::proto::Swarm swarm(odr::proto::Protocol::kBitTorrent, 100.0, params,
+                          rng);
+  for (auto _ : state) {
+    swarm.tick(5 * odr::kMinute, rng);
+    benchmark::DoNotOptimize(swarm.downloader_rate());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwarmTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

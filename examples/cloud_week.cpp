@@ -1,0 +1,109 @@
+// Example: replay a scaled Xuanfeng week and print §4-style statistics.
+//
+// Usage: cloud_week [--divisor 100] [--seed 20151028]
+//
+// `--divisor N` runs a 1/N-scale instance of the measured system (both
+// workload and cloud capacity scale, preserving every ratio).
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "analysis/replay.h"
+#include "analysis/report.h"
+#include "util/args.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  odr::ArgParser args(
+      "Replay one week of offline-downloading workload through the "
+      "simulated Xuanfeng cloud.");
+  args.flag("divisor", "100", "scale divisor vs the measured system");
+  args.flag("seed", "20151028", "random seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  const auto config = odr::analysis::make_scaled_config(
+      args.get_double("divisor"), static_cast<std::uint64_t>(args.get_int("seed")));
+
+  std::printf("Replaying %zu requests over %zu files by %zu users...\n",
+              config.requests.num_requests, config.catalog.num_files,
+              config.users.num_users);
+  const auto result = odr::analysis::run_cloud_replay(config);
+
+  const auto cdfs = odr::analysis::collect_speed_delay(result.outcomes);
+  const auto pre_speed = cdfs.predownload_speed_kbps.summary();
+  const auto fetch_speed = cdfs.fetch_speed_kbps.summary();
+  const auto e2e_speed = cdfs.e2e_speed_kbps.summary();
+  const auto pre_delay = cdfs.predownload_delay_min.summary();
+  const auto fetch_delay = cdfs.fetch_delay_min.summary();
+  const auto e2e_delay = cdfs.e2e_delay_min.summary();
+
+  std::size_t pre_failures = 0;
+  for (const auto& o : result.outcomes) {
+    if (!o.pre.success) ++pre_failures;
+  }
+  const auto by_class = odr::analysis::failure_by_class(result.outcomes);
+  const auto impeded = odr::analysis::impeded_breakdown(
+      result.outcomes, *result.users, result.requests,
+      odr::kbps_to_rate(125.0));
+
+  using odr::analysis::ComparisonRow;
+  std::fputs(
+      odr::analysis::comparison_table(
+          "Cloud week replay vs paper (§4)",
+          {
+              {"cache hit ratio", "89%",
+               odr::analysis::fmt_pct(result.cache_hit_ratio)},
+              {"pre-download failure (overall)", "8.7%",
+               odr::analysis::fmt_pct(static_cast<double>(pre_failures) /
+                                      result.outcomes.size())},
+              {"unpopular-file failure", "13%",
+               odr::analysis::fmt_pct(by_class.ratio(
+                   odr::workload::PopularityClass::kUnpopular))},
+              {"pre-download speed med/avg", "25 / 69 KBps",
+               odr::analysis::fmt_kbps(pre_speed.median) + " / " +
+                   odr::analysis::fmt_kbps(pre_speed.mean)},
+              {"fetch speed med/avg", "287 / 504 KBps",
+               odr::analysis::fmt_kbps(fetch_speed.median) + " / " +
+                   odr::analysis::fmt_kbps(fetch_speed.mean)},
+              {"e2e speed med/avg", "233 / 380 KBps",
+               odr::analysis::fmt_kbps(e2e_speed.median) + " / " +
+                   odr::analysis::fmt_kbps(e2e_speed.mean)},
+              {"pre-download delay med/avg", "82 / 370 min",
+               odr::analysis::fmt_minutes(pre_delay.median) + " / " +
+                   odr::analysis::fmt_minutes(pre_delay.mean)},
+              {"fetch delay med/avg", "7 / 27 min",
+               odr::analysis::fmt_minutes(fetch_delay.median) + " / " +
+                   odr::analysis::fmt_minutes(fetch_delay.mean)},
+              {"e2e delay med/avg", "10 / 68 min",
+               odr::analysis::fmt_minutes(e2e_delay.median) + " / " +
+                   odr::analysis::fmt_minutes(e2e_delay.mean)},
+              {"impeded fetches (<125 KBps)", "28%",
+               odr::analysis::fmt_pct(impeded.impeded_fraction())},
+              {"  - ISP barrier", "9.6%",
+               odr::analysis::fmt_pct(static_cast<double>(impeded.by_isp_barrier) /
+                                      impeded.fetch_attempts)},
+              {"  - low user bandwidth", "10.8%",
+               odr::analysis::fmt_pct(
+                   static_cast<double>(impeded.by_low_bandwidth) /
+                   impeded.fetch_attempts)},
+              {"  - rejected by cloud", "1.5%",
+               odr::analysis::fmt_pct(static_cast<double>(impeded.by_rejection) /
+                                      impeded.fetch_attempts)},
+              {"  - unknown/dynamics", "6.1%",
+               odr::analysis::fmt_pct(static_cast<double>(impeded.by_unknown) /
+                                      impeded.fetch_attempts)},
+          })
+          .c_str(),
+      stdout);
+
+  const auto traffic =
+      odr::analysis::traffic_cost(result.outcomes, result.requests);
+  std::printf("\nP2P pre-download traffic: %.0f%% of file size (paper: 196%%)\n",
+              traffic.p2p_overhead() * 100.0);
+  std::printf("HTTP/FTP pre-download traffic: %.0f%% (paper: 107-110%%)\n",
+              traffic.http_overhead() * 100.0);
+  std::printf("Rejected fetches: %llu of %llu admissions+rejections\n",
+              static_cast<unsigned long long>(result.fetch_rejections),
+              static_cast<unsigned long long>(result.fetch_admissions +
+                                              result.fetch_rejections));
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Metric collectors shared by benches and examples.
+//
+// Each collector consumes trace records / outcomes and produces exactly
+// the series a figure or table of the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/xuanfeng.h"
+#include "core/executor.h"
+#include "util/histogram.h"
+#include "util/stats.h"
+#include "util/units.h"
+#include "workload/trace.h"
+
+namespace odr::analysis {
+
+// --- Fig 8 / Fig 9: speed and delay CDFs -----------------------------------
+
+struct SpeedDelayCdfs {
+  EmpiricalCdf predownload_speed_kbps;  // cache hits excluded (as in Fig 8)
+  EmpiricalCdf fetch_speed_kbps;
+  EmpiricalCdf e2e_speed_kbps;
+  EmpiricalCdf predownload_delay_min;   // cache hits excluded (as in Fig 9)
+  EmpiricalCdf fetch_delay_min;
+  EmpiricalCdf e2e_delay_min;
+};
+
+SpeedDelayCdfs collect_speed_delay(const std::vector<cloud::TaskOutcome>& outcomes);
+
+// --- Fig 10: popularity vs pre-download failure ratio -----------------------
+
+struct FailureBucket {
+  double popularity_lo = 0.0;
+  double popularity_hi = 0.0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  double failure_ratio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(failures) /
+                               static_cast<double>(requests);
+  }
+};
+
+// Buckets pre-download failure by measured weekly popularity.
+std::vector<FailureBucket> failure_by_popularity(
+    const std::vector<cloud::TaskOutcome>& outcomes,
+    const std::vector<double>& bucket_bounds);
+
+// Failure ratio per popularity class {unpopular, popular, highly popular}.
+struct ClassFailure {
+  std::size_t requests[3] = {0, 0, 0};
+  std::size_t failures[3] = {0, 0, 0};
+  double ratio(workload::PopularityClass c) const;
+  double share_of_requests(workload::PopularityClass c) const;
+};
+ClassFailure failure_by_class(const std::vector<cloud::TaskOutcome>& outcomes);
+
+// --- Fig 11: cloud upload bandwidth burden ----------------------------------
+
+struct BurdenSeries {
+  TimeSeries all;             // every fetch (rejected ones estimated)
+  TimeSeries highly_popular;  // fetches of highly popular files
+  Rate purchased_capacity = 0.0;
+};
+
+BurdenSeries burden_series(const std::vector<cloud::TaskOutcome>& outcomes,
+                           SimTime duration, SimTime bin, Rate capacity,
+                           Rate rejected_estimate_rate);
+
+// --- §4.2 impeded-fetch decomposition ---------------------------------------
+
+struct ImpededBreakdown {
+  std::size_t fetch_attempts = 0;  // pre-download succeeded
+  std::size_t impeded = 0;         // below 125 KBps (or rejected)
+  std::size_t by_isp_barrier = 0;
+  std::size_t by_low_bandwidth = 0;
+  std::size_t by_rejection = 0;
+  std::size_t by_unknown = 0;
+  double impeded_fraction() const {
+    return fetch_attempts == 0 ? 0.0
+                               : static_cast<double>(impeded) /
+                                     static_cast<double>(fetch_attempts);
+  }
+};
+
+ImpededBreakdown impeded_breakdown(
+    const std::vector<cloud::TaskOutcome>& outcomes,
+    const workload::UserPopulation& users,
+    const std::vector<workload::WorkloadRecord>& requests,
+    Rate playback_rate);
+
+// --- traffic cost (§4.1/§4.2) ------------------------------------------------
+
+struct TrafficCost {
+  Bytes p2p_file_bytes = 0;
+  Bytes p2p_traffic_bytes = 0;
+  Bytes http_file_bytes = 0;
+  Bytes http_traffic_bytes = 0;
+  Bytes user_fetch_file_bytes = 0;
+  Bytes user_fetch_traffic_bytes = 0;
+  double p2p_overhead() const;   // traffic / file size (expect ~1.96)
+  double http_overhead() const;  // expect ~1.07-1.10
+  double user_overhead() const;
+};
+
+TrafficCost traffic_cost(const std::vector<cloud::TaskOutcome>& outcomes,
+                         const std::vector<workload::WorkloadRecord>& requests);
+
+// --- §6.2 / Fig 16: strategy-level bottleneck metrics ------------------------
+
+struct StrategyMetrics {
+  std::string name;
+  std::size_t tasks = 0;
+  std::size_t successes = 0;
+  // Bottleneck 1: fraction of successful real-time fetches that are impeded.
+  double impeded_fraction = 0.0;
+  // Bottleneck 2: peak cloud burden / purchased capacity, plus totals.
+  Rate peak_cloud_burden = 0.0;
+  Bytes total_cloud_upload = 0;
+  double rejected_fraction = 0.0;
+  // Bottleneck 3: pre-download failure ratio on unpopular files.
+  double unpopular_failure = 0.0;
+  double overall_failure = 0.0;
+  // Bottleneck 4: fraction of tasks throttled by AP storage (fetch-path
+  // write ceiling below both the line rate and the source rate).
+  double storage_throttled = 0.0;
+  // Fig 17 inputs.
+  EmpiricalCdf fetch_speed_kbps;
+  Summary e2e_delay_min;
+};
+
+StrategyMetrics strategy_metrics(const std::string& name,
+                                 const std::vector<core::ExecOutcome>& outcomes,
+                                 SimTime duration, Rate cloud_capacity,
+                                 double storage_throttled_fraction);
+
+}  // namespace odr::analysis

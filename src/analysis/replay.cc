@@ -1,0 +1,429 @@
+#include "analysis/replay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "ap/ap_models.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/md5.h"
+
+namespace odr::analysis {
+namespace {
+
+// Rough per-attempt pre-download success probability by popularity, used
+// only to warm the storage pool (the measurement week itself uses the real
+// source models). Shape: unpopular files often failed in past weeks too.
+double warm_success_probability(double weekly_popularity) {
+  const double fail = 0.90 * std::exp(-weekly_popularity / 1.6) + 0.02;
+  return 1.0 - std::min(0.95, fail);
+}
+
+// Warms the storage pool AND the content database with the request history
+// preceding the measurement week. The last warm week's requests are
+// recorded with (ascending) timestamps in [-week, 0), so popularity
+// queries at the start of the trace already see steady-state statistics —
+// just like the years-old production database ODR queries (§6.1).
+void warm_cloud(cloud::XuanfengCloud& cloud, const workload::Catalog& catalog,
+                std::size_t weekly_requests, int weeks, Rng& warm_rng) {
+  for (int week = 0; week < weeks; ++week) {
+    const bool last_week = week == weeks - 1;
+    for (std::size_t i = 0; i < weekly_requests; ++i) {
+      const workload::FileIndex idx = catalog.sample_request(warm_rng);
+      const workload::FileInfo& file = catalog.file(idx);
+      if (last_week) {
+        const SimTime t =
+            -kWeek + static_cast<SimTime>((static_cast<double>(i) + 0.5) *
+                                          static_cast<double>(kWeek) /
+                                          static_cast<double>(weekly_requests));
+        cloud.content_db().record_request(idx, t);
+      }
+      if (!file.born_before_trace) continue;  // did not exist yet
+      if (cloud.storage().contains(file.content_id)) continue;
+      if (warm_rng.bernoulli(
+              warm_success_probability(file.expected_weekly_requests))) {
+        cloud.warm_cache(file);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentConfig make_scaled_config(double divisor, std::uint64_t seed) {
+  assert(divisor >= 1.0);
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.catalog.num_files = static_cast<std::size_t>(563517 / divisor);
+  cfg.catalog.total_weekly_requests = 4084417 / divisor;
+  cfg.requests.num_requests = static_cast<std::size_t>(4084417 / divisor);
+  cfg.users.num_users = static_cast<std::size_t>(783944 / divisor);
+  cfg.cloud.total_upload_capacity = gbps_to_rate(30.0 / divisor);
+  cfg.cloud.storage_capacity = static_cast<Bytes>(2.0 * kPB / divisor);
+  cfg.cloud.predownloader_count =
+      static_cast<std::size_t>(std::max(50.0, 30000 / divisor));
+  return cfg;
+}
+
+CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  Rng rng(config.seed);
+
+  auto catalog = std::make_shared<workload::Catalog>(config.catalog, rng);
+  auto users = std::make_shared<workload::UserPopulation>(config.users, rng);
+  workload::RequestGenerator generator(config.requests);
+
+  cloud::XuanfengCloud cloud(sim, net, *catalog, config.sources, config.cloud,
+                             rng);
+
+  // Warm the pool and content DB with the preceding weeks' history.
+  Rng warm_rng = rng.fork();
+  warm_cloud(cloud, *catalog, config.requests.num_requests,
+             config.warmup_weeks, warm_rng);
+
+  CloudReplayResult result;
+  result.requests = generator.generate(*catalog, *users, rng);
+  result.outcomes.reserve(result.requests.size());
+  result.users = users;
+  result.catalog = catalog;
+
+  for (const auto& request : result.requests) {
+    sim.schedule_at(request.request_time, [&, request] {
+      cloud.submit(request, users->user(request.user_id),
+                   [&result](const cloud::TaskOutcome& outcome) {
+                     result.outcomes.push_back(outcome);
+                   });
+    });
+  }
+
+  sim.run();
+
+  // Reporting uses the paper's popularity definition — the file's request
+  // count over the measurement week — rather than the trailing count the
+  // content DB saw at decision time (which under-counts early requests).
+  {
+    std::unordered_map<workload::FileIndex, double> week_counts;
+    for (const auto& r : result.requests) week_counts[r.file] += 1.0;
+    for (auto& o : result.outcomes) {
+      if (o.task_id < 1 || o.task_id > result.requests.size()) continue;
+      o.weekly_popularity =
+          week_counts[result.requests[o.task_id - 1].file];
+      o.popularity = workload::classify_popularity(o.weekly_popularity);
+    }
+  }
+
+  result.cache_hit_ratio = cloud.storage().hit_ratio();
+  result.fetch_rejections = cloud.uploads().rejected_count();
+  result.fetch_admissions = cloud.uploads().admitted_count();
+  result.privileged_paths = cloud.uploads().privileged_count();
+  result.duration = config.requests.duration;
+  result.cloud_capacity = config.cloud.total_upload_capacity;
+  return result;
+}
+
+CloudReplayResult run_cloud_replay_from_trace(
+    std::vector<workload::WorkloadRecord> requests,
+    const ExperimentConfig& config) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  Rng rng(config.seed);
+
+  // --- Reconstruct the file catalog from the trace. -------------------------
+  workload::FileIndex max_file = 0;
+  workload::UserId max_user = 0;
+  for (const auto& r : requests) {
+    max_file = std::max(max_file, r.file);
+    max_user = std::max(max_user, r.user_id);
+  }
+  std::vector<workload::FileInfo> files(max_file + 1);
+  std::vector<double> counts(max_file + 1, 0.0);
+  for (const auto& r : requests) {
+    counts[r.file] += 1.0;
+    workload::FileInfo& f = files[r.file];
+    if (f.index == workload::kInvalidFile) {
+      f.index = r.file;
+      f.rank = r.file + 1;
+      f.type = r.file_type;
+      f.size = std::max<Bytes>(1, r.file_size);
+      f.protocol = r.protocol;
+      f.source_link = r.source_link;
+      f.content_id = Md5::of(r.source_link);
+      // A trace carries no pre-trace history; treat every file as new so
+      // warming (below) relies on the measured counts only.
+      f.born_before_trace = rng.bernoulli(1.0 - 0.55);
+    }
+  }
+  for (workload::FileIndex i = 0; i <= max_file; ++i) {
+    if (files[i].index == workload::kInvalidFile) {
+      // Unreferenced index: fill a placeholder so indices stay dense.
+      files[i].index = i;
+      files[i].rank = i + 1;
+      files[i].size = 1;
+    }
+    files[i].expected_weekly_requests = counts[i];
+  }
+  auto catalog = std::make_shared<workload::Catalog>(std::move(files));
+
+  // --- Reconstruct the user population. -------------------------------------
+  workload::UserModelParams user_params = config.users;
+  user_params.num_users = static_cast<std::size_t>(max_user) + 1;
+  auto users = std::make_shared<workload::UserPopulation>(user_params, rng);
+  // Overlay recorded attributes on the sampled defaults.
+  for (const auto& r : requests) {
+    workload::User& u = users->mutable_user(r.user_id);
+    u.isp = r.isp;
+    u.ip = r.ip;
+    if (r.access_bandwidth > 0.0) {
+      u.access_bandwidth = r.access_bandwidth;
+      u.reports_bandwidth = true;
+    }
+  }
+
+  cloud::XuanfengCloud cloud(sim, net, *catalog, config.sources, config.cloud,
+                             rng);
+  Rng warm_rng = rng.fork();
+  warm_cloud(cloud, *catalog, requests.size(), config.warmup_weeks, warm_rng);
+
+  CloudReplayResult result;
+  result.requests = std::move(requests);
+  result.outcomes.reserve(result.requests.size());
+  result.users = users;
+  result.catalog = catalog;
+
+  SimTime horizon = 0;
+  for (const auto& request : result.requests) {
+    horizon = std::max(horizon, request.request_time);
+    sim.schedule_at(request.request_time, [&, request] {
+      cloud.submit(request, users->user(request.user_id),
+                   [&result](const cloud::TaskOutcome& outcome) {
+                     result.outcomes.push_back(outcome);
+                   });
+    });
+  }
+  sim.run();
+
+  {
+    std::unordered_map<workload::FileIndex, double> week_counts;
+    for (const auto& r : result.requests) week_counts[r.file] += 1.0;
+    for (auto& o : result.outcomes) {
+      if (o.task_id < 1 || o.task_id > result.requests.size()) continue;
+      o.weekly_popularity =
+          week_counts[result.requests[o.task_id - 1].file];
+      o.popularity = workload::classify_popularity(o.weekly_popularity);
+    }
+  }
+
+  result.cache_hit_ratio = cloud.storage().hit_ratio();
+  result.fetch_rejections = cloud.uploads().rejected_count();
+  result.fetch_admissions = cloud.uploads().admitted_count();
+  result.privileged_paths = cloud.uploads().privileged_count();
+  result.duration = horizon + kDay;
+  result.cloud_capacity = config.cloud.total_upload_capacity;
+  return result;
+}
+
+ApReplayResult run_ap_replay(const ApReplayConfig& config) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  Rng rng(config.experiment.seed);
+
+  workload::Catalog catalog(config.experiment.catalog, rng);
+  workload::UserPopulation users(config.experiment.users, rng);
+  workload::RequestGenerator generator(config.experiment.requests);
+  std::vector<workload::WorkloadRecord> all = generator.generate(catalog, users, rng);
+
+  // §5.1 sampling: Unicom users with recorded access bandwidth, so the
+  // replay can throttle to the user's real network conditions.
+  std::vector<workload::WorkloadRecord> sampled;
+  for (const auto& r : all) {
+    if (r.isp == net::Isp::kUnicom && r.access_bandwidth > 0.0) {
+      sampled.push_back(r);
+    }
+  }
+  rng.shuffle(sampled);
+  if (sampled.size() > config.sample_size) sampled.resize(config.sample_size);
+
+  // The three testbed APs, each on its own 20 Mbps Unicom ADSL link, in
+  // their shipping storage configuration (§5.1).
+  struct TestbedAp {
+    std::unique_ptr<odr::ap::SmartAp> ap;
+    std::string name;
+  };
+  std::vector<TestbedAp> aps;
+  auto add_ap = [&](const odr::ap::ApHardware& hw) {
+    odr::ap::SmartApConfig c;
+    c.hardware = hw;
+    c.device = hw.default_device;
+    c.filesystem = hw.default_filesystem;
+    aps.push_back(TestbedAp{
+        std::make_unique<odr::ap::SmartAp>(sim, net, c,
+                                           config.experiment.sources, rng),
+        std::string(hw.name)});
+  };
+  add_ap(odr::ap::kHiWiFi);
+  add_ap(odr::ap::kMiWiFi);
+  add_ap(odr::ap::kNewifi);
+
+  ApReplayResult result;
+  result.tasks.reserve(sampled.size());
+
+  // Sequential replay per AP: request i+1 starts when request i completes
+  // or fails (§5.1). The sample is split across the three APs.
+  struct Runner {
+    std::vector<workload::WorkloadRecord> queue;
+    std::size_t next = 0;
+  };
+  std::vector<Runner> runners(aps.size());
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    runners[i % aps.size()].queue.push_back(sampled[i]);
+  }
+
+  // Self-referential chaining: each completion schedules the next request.
+  std::function<void(std::size_t)> start_next = [&](std::size_t ap_idx) {
+    Runner& runner = runners[ap_idx];
+    if (runner.next >= runner.queue.size()) return;
+    const workload::WorkloadRecord request = runner.queue[runner.next++];
+    const workload::FileInfo& file = catalog.file(request.file);
+    const Rate restriction = config.unrestricted_rate
+                                 ? net::kUnlimitedRate
+                                 : request.access_bandwidth;
+    aps[ap_idx].ap->predownload(
+        file, restriction,
+        [&, ap_idx, request, file](const proto::DownloadResult& r) {
+          ApTaskResult task;
+          task.request = request;
+          task.result = r;
+          task.ap_name = aps[ap_idx].name;
+          task.weekly_popularity = file.expected_weekly_requests;
+          result.tasks.push_back(std::move(task));
+          if (!r.success) {
+            ++result.failures;
+            switch (r.cause) {
+              case proto::FailureCause::kInsufficientSeeds:
+                ++result.insufficient_seed_failures;
+                break;
+              case proto::FailureCause::kPoorHttpConnection:
+                ++result.http_failures;
+                break;
+              case proto::FailureCause::kSystemBug:
+                ++result.bug_failures;
+                break;
+              default:
+                break;
+            }
+          }
+          start_next(ap_idx);
+        });
+  };
+  for (std::size_t i = 0; i < aps.size(); ++i) start_next(i);
+
+  sim.run();
+  return result;
+}
+
+StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  Rng rng(config.experiment.seed);
+
+  workload::Catalog catalog(config.experiment.catalog, rng);
+
+  // §6.2 testbed: clamp every user line to the 20 Mbps ADSL of the
+  // benchmark environment.
+  workload::UserModelParams user_params = config.experiment.users;
+  user_params.bandwidth_max = std::min(
+      user_params.bandwidth_max,
+      config.premises_line_rate * kTransportEfficiency);
+  workload::UserPopulation users(user_params, rng);
+
+  workload::RequestGenerator generator(config.experiment.requests);
+  std::vector<workload::WorkloadRecord> requests =
+      generator.generate(catalog, users, rng);
+
+  cloud::XuanfengCloud cloud(sim, net, catalog, config.experiment.sources,
+                             config.experiment.cloud, rng);
+
+  Rng warm_rng = rng.fork();
+  warm_cloud(cloud, catalog, config.experiment.requests.num_requests,
+             config.experiment.warmup_weeks, warm_rng);
+
+  // Per-household smart APs would be one object per user; the testbed uses
+  // the three models round-robin, which preserves the hardware mix.
+  std::vector<std::unique_ptr<odr::ap::SmartAp>> aps;
+  if (config.users_have_ap) {
+    for (const auto& hw :
+         {odr::ap::kHiWiFi, odr::ap::kMiWiFi, odr::ap::kNewifi}) {
+      odr::ap::SmartApConfig c;
+      c.hardware = hw;
+      c.device = hw.default_device;
+      c.filesystem = hw.default_filesystem;
+      c.line_rate = config.premises_line_rate;
+      aps.push_back(std::make_unique<odr::ap::SmartAp>(
+          sim, net, c, config.experiment.sources, rng));
+    }
+  }
+
+  core::Executor::Config exec_cfg;
+  exec_cfg.premises_line_rate = config.premises_line_rate;
+  exec_cfg.redirector = config.redirector;
+  core::Executor executor(sim, net, catalog, cloud,
+                          config.experiment.sources, exec_cfg, rng);
+  core::Redirector redirector(config.redirector);
+
+  StrategyReplayResult result;
+  result.outcomes.reserve(requests.size());
+
+  std::size_t ap_writes = 0, ap_throttled = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const workload::WorkloadRecord& request = requests[i];
+    odr::ap::SmartAp* ap =
+        aps.empty() ? nullptr : aps[i % aps.size()].get();
+    sim.schedule_at(request.request_time, [&, request, ap] {
+      const workload::User& user = users.user(request.user_id);
+      const core::DecisionInput input = executor.make_input(request, user, ap);
+      const core::Decision decision =
+          core::decide_with(config.strategy, redirector, input);
+      // Bottleneck-4 accounting: the AP's storage throttles whenever the
+      // route writes through it faster than its ceiling.
+      if (ap != nullptr && (decision.route == core::Route::kSmartAp ||
+                            decision.route == core::Route::kCloudThenSmartAp)) {
+        ++ap_writes;
+        const Rate inbound = std::min(user.access_bandwidth,
+                                      config.premises_line_rate);
+        if (ap->storage_write_ceiling() < inbound) ++ap_throttled;
+      }
+      executor.execute(decision, request, user, ap,
+                       [&result](const core::ExecOutcome& outcome) {
+                         result.outcomes.push_back(outcome);
+                       });
+    });
+  }
+
+  sim.run();
+
+  // Same reporting convention as run_cloud_replay: classify by the file's
+  // full-week request count.
+  {
+    std::unordered_map<workload::FileIndex, double> week_counts;
+    for (const auto& r : requests) week_counts[r.file] += 1.0;
+    for (auto& o : result.outcomes) {
+      if (o.task_id < 1 || o.task_id > requests.size()) continue;
+      o.popularity = workload::classify_popularity(
+          week_counts[requests[o.task_id - 1].file]);
+    }
+  }
+
+  result.duration = config.experiment.requests.duration;
+  result.cloud_capacity = config.experiment.cloud.total_upload_capacity;
+  result.storage_throttled_fraction =
+      requests.empty() ? 0.0
+                       : static_cast<double>(ap_throttled) /
+                             static_cast<double>(requests.size());
+  result.cache_hit_ratio = cloud.storage().hit_ratio();
+  return result;
+}
+
+}  // namespace odr::analysis

@@ -1,0 +1,121 @@
+// Replay drivers: complete experiment environments in one call.
+//
+// Three drivers cover the paper's three experimental setups:
+//   - run_cloud_replay     — §4: the full week through the Xuanfeng cloud;
+//   - run_ap_replay        — §5: a sampled Unicom workload replayed
+//                            sequentially on the three smart APs;
+//   - run_strategy_replay  — §6: a workload routed by ODR or a baseline
+//                            strategy through all systems.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ap/smart_ap.h"
+#include "cloud/xuanfeng.h"
+#include "core/executor.h"
+#include "core/strategy.h"
+#include "proto/download.h"
+#include "workload/catalog.h"
+#include "workload/request_gen.h"
+#include "workload/user_model.h"
+
+namespace odr::analysis {
+
+// Shared experiment scaling: all defaults model a 1/20-scale Xuanfeng week.
+struct ExperimentConfig {
+  std::uint64_t seed = 20151028;  // IMC'15 opened Oct 28, 2015
+  workload::CatalogParams catalog;
+  workload::UserModelParams users;
+  workload::RequestGenParams requests;
+  cloud::CloudConfig cloud;
+  proto::SourceParams sources;
+  // Weeks of request history used to warm the storage pool before the
+  // measurement week. The real pool predates the trace by years; without
+  // warming, every first request of the week would miss.
+  int warmup_weeks = 4;
+};
+
+// Scales workload size and cloud capacity together by 1/divisor relative
+// to the measured system (4.08M tasks, 563k files, 784k users, 30 Gbps).
+ExperimentConfig make_scaled_config(double divisor, std::uint64_t seed);
+
+struct CloudReplayResult {
+  std::vector<workload::WorkloadRecord> requests;
+  std::vector<cloud::TaskOutcome> outcomes;
+  double cache_hit_ratio = 0.0;
+  std::uint64_t fetch_rejections = 0;
+  std::uint64_t fetch_admissions = 0;
+  std::uint64_t privileged_paths = 0;
+  SimTime duration = 0;
+  Rate cloud_capacity = 0.0;
+  // The user population (for impeded-fetch attribution).
+  std::shared_ptr<workload::UserPopulation> users;
+  std::shared_ptr<workload::Catalog> catalog;
+};
+
+CloudReplayResult run_cloud_replay(const ExperimentConfig& config);
+
+// Replays an externally supplied workload trace (e.g. loaded from the CSVs
+// `generate_traces` writes) through a fresh cloud. The catalog and user
+// population are reconstructed from the records themselves: file metadata
+// from the first record per file (popularity = measured weekly count),
+// users from their recorded ISP/bandwidth (unreported bandwidths are drawn
+// from the configured distribution). Cloud/source parameters come from
+// `config`; its workload-generation fields are ignored.
+CloudReplayResult run_cloud_replay_from_trace(
+    std::vector<workload::WorkloadRecord> requests,
+    const ExperimentConfig& config);
+
+// --- §5 smart-AP replay ------------------------------------------------------
+
+struct ApReplayConfig {
+  ExperimentConfig experiment;
+  std::size_t sample_size = 999;  // split across the three APs
+  // Replay restriction: only Unicom users that reported bandwidth (§5.1).
+  bool unrestricted_rate = false;  // true for the Table 2 max-speed runs
+};
+
+struct ApTaskResult {
+  workload::WorkloadRecord request;
+  proto::DownloadResult result;
+  std::string ap_name;
+  double weekly_popularity = 0.0;  // generator ground truth
+};
+
+struct ApReplayResult {
+  std::vector<ApTaskResult> tasks;
+  std::size_t failures = 0;
+  std::size_t insufficient_seed_failures = 0;
+  std::size_t http_failures = 0;
+  std::size_t bug_failures = 0;
+};
+
+ApReplayResult run_ap_replay(const ApReplayConfig& config);
+
+// --- §6 strategy replay ------------------------------------------------------
+
+struct StrategyReplayConfig {
+  ExperimentConfig experiment;
+  core::Strategy strategy = core::Strategy::kOdr;
+  // Redirector thresholds; ablation benches knock individual checks out
+  // (e.g. playback_rate = 0 disables the Bottleneck-1 staging branch).
+  core::RedirectorParams redirector;
+  // §6.2 testbed: user lines clamped to 20 Mbps ADSL.
+  Rate premises_line_rate = mbps_to_rate(20.0);
+  // Every user owns a smart AP in the evaluation testbed; the three
+  // hardware models are assigned round-robin.
+  bool users_have_ap = true;
+};
+
+struct StrategyReplayResult {
+  std::vector<core::ExecOutcome> outcomes;
+  SimTime duration = 0;
+  Rate cloud_capacity = 0.0;
+  double storage_throttled_fraction = 0.0;
+  double cache_hit_ratio = 0.0;
+};
+
+StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config);
+
+}  // namespace odr::analysis

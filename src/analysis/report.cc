@@ -1,0 +1,41 @@
+#include "analysis/report.h"
+
+#include <cstdio>
+
+namespace odr::analysis {
+
+std::string comparison_table(const std::string& title,
+                             const std::vector<ComparisonRow>& rows) {
+  TextTable table({"metric", "paper", "this reproduction"});
+  for (const auto& r : rows) table.add_row({r.metric, r.paper, r.measured});
+  return banner(title) + table.render();
+}
+
+std::string cdf_table(const std::string& title, const std::string& x_label,
+                      const EmpiricalCdf& cdf, std::size_t points) {
+  TextTable table({x_label, "CDF"});
+  for (const auto& p : cdf.curve(points)) {
+    table.add_row({TextTable::num(p.x, 1), TextTable::num(p.cdf, 3)});
+  }
+  return banner(title) + table.render();
+}
+
+std::string fmt_kbps(double kbps) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.0f KBps", kbps);
+  return buf;
+}
+
+std::string fmt_minutes(double minutes) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.0f min", minutes);
+  return buf;
+}
+
+std::string fmt_pct(double fraction) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace odr::analysis

@@ -1,0 +1,31 @@
+// Paper-vs-measured reporting helpers for the bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace odr::analysis {
+
+struct ComparisonRow {
+  std::string metric;
+  std::string paper;     // the value the paper reports
+  std::string measured;  // what this reproduction measured
+};
+
+// Renders a "metric | paper | measured" table with a banner title.
+std::string comparison_table(const std::string& title,
+                             const std::vector<ComparisonRow>& rows);
+
+// Renders a CDF as a fixed set of (x, P(X<=x)) rows for plotting.
+std::string cdf_table(const std::string& title, const std::string& x_label,
+                      const EmpiricalCdf& cdf, std::size_t points = 20);
+
+// Formats helpers.
+std::string fmt_kbps(double kbps);
+std::string fmt_minutes(double minutes);
+std::string fmt_pct(double fraction);
+
+}  // namespace odr::analysis

@@ -1,0 +1,80 @@
+// The three commercial smart APs studied in the paper (Table 1).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ap/storage_device.h"
+#include "util/units.h"
+
+namespace odr::ap {
+
+struct ApHardware {
+  std::string_view name;
+  std::string_view cpu;
+  int cpu_mhz = 0;
+  int ram_mb = 0;
+  std::string_view storage_interfaces;
+  std::string_view wifi;
+  double price_usd = 0.0;
+  // Shipping storage configuration used in the §5 benchmarks.
+  DeviceType default_device = DeviceType::kUsbFlash;
+  Filesystem default_filesystem = Filesystem::kFat;
+  // WiFi LAN fetch throughput range (§5.2: the lowest WiFi fetch speed is
+  // 8-12 MBps, above the cloud's 6.1 MBps maximum, so fetching from an AP
+  // is "seldom an issue").
+  Rate lan_fetch_min = 8e6;
+  Rate lan_fetch_max = 12e6;
+};
+
+// Table 1 rows.
+inline constexpr ApHardware kHiWiFi{
+    .name = "HiWiFi (1S)",
+    .cpu = "MT7620A",
+    .cpu_mhz = 580,
+    .ram_mb = 128,
+    .storage_interfaces = "SD card interface",
+    .wifi = "IEEE 802.11 b/g/n @2.4 GHz",
+    .price_usd = 20.0,
+    .default_device = DeviceType::kSdCard,
+    .default_filesystem = Filesystem::kFat,
+    .lan_fetch_min = 8e6,
+    .lan_fetch_max = 10e6,
+};
+
+inline constexpr ApHardware kMiWiFi{
+    .name = "MiWiFi",
+    .cpu = "Broadcom4709",
+    .cpu_mhz = 1000,
+    .ram_mb = 256,
+    .storage_interfaces = "USB 2.0 + internal 1-TB SATA HDD",
+    .wifi = "IEEE 802.11 b/g/n/ac @2.4/5.0 GHz",
+    .price_usd = 100.0,
+    .default_device = DeviceType::kSataHdd,
+    .default_filesystem = Filesystem::kExt4,
+    .lan_fetch_min = 9e6,
+    .lan_fetch_max = 12e6,
+};
+
+inline constexpr ApHardware kNewifi{
+    .name = "Newifi",
+    .cpu = "MT7620A",
+    .cpu_mhz = 580,
+    .ram_mb = 128,
+    .storage_interfaces = "USB 2.0 interface",
+    .wifi = "IEEE 802.11 b/g/n/ac @2.4/5.0 GHz",
+    .price_usd = 20.0,
+    .default_device = DeviceType::kUsbFlash,
+    .default_filesystem = Filesystem::kNtfs,
+    .lan_fetch_min = 8e6,
+    .lan_fetch_max = 12e6,
+};
+
+inline const std::vector<ApHardware>& all_ap_models();
+
+inline const std::vector<ApHardware>& all_ap_models() {
+  static const std::vector<ApHardware> models = {kHiWiFi, kMiWiFi, kNewifi};
+  return models;
+}
+
+}  // namespace odr::ap

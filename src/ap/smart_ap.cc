@@ -1,0 +1,80 @@
+#include "ap/smart_ap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odr::ap {
+
+SmartAp::SmartAp(sim::Simulator& sim, net::Network& net, SmartApConfig config,
+                 const proto::SourceParams& sources, Rng& rng)
+    : sim_(sim),
+      net_(net),
+      config_(std::move(config)),
+      sources_(sources),
+      rng_(rng.fork()),
+      io_(io_profile(config_.device, config_.filesystem)) {
+  assert(combination_supported(config_.device, config_.filesystem));
+}
+
+Rate SmartAp::storage_write_ceiling() const { return io_.max_write_rate; }
+
+double SmartAp::iowait_at(Rate rate) const { return io_.iowait_at(rate); }
+
+SimTime SmartAp::lan_fetch_duration(Bytes bytes, Rng& rng) const {
+  const Rate lan = rng.uniform(config_.hardware.lan_fetch_min,
+                               config_.hardware.lan_fetch_max);
+  return from_seconds(static_cast<double>(bytes) / lan);
+}
+
+void SmartAp::predownload(const workload::FileInfo& file,
+                          Rate rate_restriction, DoneFn done) {
+  const std::uint64_t id = next_id_++;
+
+  auto source = proto::make_source(file.protocol,
+                                   file.expected_weekly_requests, sources_,
+                                   rng_);
+  proto::DownloadTask::Config cfg;
+  cfg.line_rate =
+      std::min(config_.line_rate * kTransportEfficiency, rate_restriction);
+  cfg.sink_rate = io_.max_write_rate;  // Bottleneck 4: the storage ceiling
+  cfg.stagnation_timeout = config_.stagnation_timeout;
+  cfg.hard_timeout = config_.hard_timeout;
+
+  Running r;
+  r.done = std::move(done);
+  r.task = std::make_unique<proto::DownloadTask>(
+      sim_, net_, std::move(source), file.size, cfg,
+      [this, id](const proto::DownloadResult& result) { on_done(id, result); });
+
+  // Firmware-bug injection: a small fraction of attempts die for reasons
+  // unrelated to the source (§5.2 attributes 4% of failures to bugs in
+  // HiWiFi/MiWiFi/Newifi).
+  if (rng_.bernoulli(config_.bug_failure_prob)) {
+    const SimTime crash_after = from_minutes(rng_.uniform(1.0, 90.0));
+    proto::DownloadTask* task_ptr = r.task.get();
+    r.bug_event = sim_.schedule_after(crash_after, [task_ptr] {
+      task_ptr->fail(proto::FailureCause::kSystemBug);
+    });
+  }
+
+  proto::DownloadTask* task_ptr = r.task.get();
+  tasks_.emplace(id, std::move(r));
+  task_ptr->start(rng_);
+}
+
+void SmartAp::on_done(std::uint64_t id, const proto::DownloadResult& result) {
+  auto it = tasks_.find(id);
+  assert(it != tasks_.end());
+  DoneFn done = std::move(it->second.done);
+  if (it->second.bug_event != sim::kInvalidEvent) {
+    sim_.cancel(it->second.bug_event);
+  }
+  // We are inside the task's own callback; defer its destruction.
+  proto::DownloadTask* raw = it->second.task.release();
+  tasks_.erase(it);
+  sim_.schedule_after(0, [raw] { delete raw; });
+
+  if (done) done(result);
+}
+
+}  // namespace odr::ap

@@ -1,0 +1,86 @@
+// SmartAp: an OpenWrt home router that pre-downloads on request.
+//
+// A smart AP runs the same DownloadTask engine as a cloud pre-downloader
+// (both use wget/aria2-class clients, §2.2), but differs in what throttles
+// it:
+//   - line rate: the household's access bandwidth, not a datacenter link
+//     (in the §5.1 replays, further restricted to the sampled user's
+//     recorded bandwidth);
+//   - sink rate: the storage device + filesystem write ceiling of Table 2
+//     (Bottleneck 4);
+//   - reliability: the paper attributes ~4% of AP failures to firmware
+//     bugs; injected here with a small per-task probability.
+//
+// Fetching from an AP happens over the LAN at 8-12 MBps, which never
+// bottlenecks (§5.2), so fetch is modeled as a closed-form delay.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "ap/ap_models.h"
+#include "ap/storage_device.h"
+#include "net/network.h"
+#include "proto/download.h"
+#include "proto/source.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/file.h"
+
+namespace odr::ap {
+
+struct SmartApConfig {
+  ApHardware hardware = kNewifi;
+  DeviceType device = DeviceType::kUsbFlash;
+  Filesystem filesystem = Filesystem::kNtfs;
+  Rate line_rate = mbps_to_rate(20.0);  // the §5.1 ADSL uplink
+  SimTime stagnation_timeout = kHour;   // same give-up rule as the cloud
+  SimTime hard_timeout = kWeek;
+  double bug_failure_prob = 0.012;      // ~4% of the 16.8% failures (§5.2)
+};
+
+class SmartAp {
+ public:
+  using DoneFn = std::function<void(const proto::DownloadResult&)>;
+
+  SmartAp(sim::Simulator& sim, net::Network& net, SmartApConfig config,
+          const proto::SourceParams& sources, Rng& rng);
+
+  // Starts a pre-download of `file`, additionally throttled to
+  // `rate_restriction` (the replayed user's recorded access bandwidth;
+  // pass net::kUnlimitedRate for an unrestricted run as in Table 2).
+  void predownload(const workload::FileInfo& file, Rate rate_restriction,
+                   DoneFn done);
+
+  // Effective write ceiling of the configured storage (Bottleneck 4).
+  Rate storage_write_ceiling() const;
+  // iowait ratio while writing at `rate`.
+  double iowait_at(Rate rate) const;
+
+  // LAN fetch duration for `bytes` (uniform 8-12 MBps WiFi).
+  SimTime lan_fetch_duration(Bytes bytes, Rng& rng) const;
+
+  std::size_t active() const { return tasks_.size(); }
+  const SmartApConfig& config() const { return config_; }
+
+ private:
+  void on_done(std::uint64_t id, const proto::DownloadResult& result);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  SmartApConfig config_;
+  proto::SourceParams sources_;
+  Rng rng_;
+  IoProfile io_;
+
+  struct Running {
+    std::unique_ptr<proto::DownloadTask> task;
+    DoneFn done;
+    sim::EventId bug_event = sim::kInvalidEvent;
+  };
+  std::unordered_map<std::uint64_t, Running> tasks_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace odr::ap

@@ -1,0 +1,98 @@
+#include "ap/storage_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odr::ap {
+namespace {
+
+// Busy-time per MBps of pre-download writes and throughput ceiling per
+// (device, filesystem). Anchored on Table 2: where the paper measured a
+// line-rate-limited 2.37 MBps, the ceiling is back-computed from the
+// iowait ratio assuming busy time linear in write rate (iowait -> 100%
+// at the ceiling); where the paper measured the ceiling itself (USB flash,
+// every NTFS case), the ceiling is the measured value.
+struct Anchor {
+  double ceiling_mbps;    // max pre-download throughput, MB/s
+  double busy_per_mbps;   // iowait fraction per MB/s of achieved rate
+};
+
+Anchor anchor(DeviceType device, Filesystem fs) {
+  switch (device) {
+    case DeviceType::kSdCard:
+      switch (fs) {
+        case Filesystem::kFat: return {5.6, 0.178};   // 42.1% @ 2.37
+        case Filesystem::kNtfs: return {1.0, 0.120};  // extrapolated
+        case Filesystem::kExt4: return {6.5, 0.075};  // extrapolated
+      }
+      break;
+    case DeviceType::kUsbFlash:
+      switch (fs) {
+        case Filesystem::kFat: return {2.12, 0.313};   // 66.3% @ 2.12
+        case Filesystem::kNtfs: return {0.93, 0.162};  // 15.1% @ 0.93
+        case Filesystem::kExt4: return {2.13, 0.258};  // 55% @ 2.13
+      }
+      break;
+    case DeviceType::kSataHdd:
+      switch (fs) {
+        case Filesystem::kFat: return {4.7, 0.255};    // extrapolated
+        case Filesystem::kNtfs: return {1.35, 0.110};  // extrapolated
+        case Filesystem::kExt4: return {7.9, 0.125};   // 29.7% @ 2.37
+      }
+      break;
+    case DeviceType::kUsbHdd:
+      switch (fs) {
+        case Filesystem::kFat: return {5.6, 0.177};    // 42% @ 2.37
+        case Filesystem::kNtfs: return {1.13, 0.087};  // 9.8% @ 1.13
+        case Filesystem::kExt4: return {8.0, 0.073};   // 17.4% @ 2.37
+      }
+      break;
+  }
+  return {1.0, 0.5};
+}
+
+constexpr double kMBps = 1e6;  // bytes/sec per MB/s (decimal, as the paper)
+
+}  // namespace
+
+DeviceSpec device_spec(DeviceType d) {
+  switch (d) {
+    case DeviceType::kSdCard:
+      // §5.1: 8-GB SD card, max write/read 15/30 MBps.
+      return {15 * kMBps, 30 * kMBps, 5.6 * kMBps, 0.178};
+    case DeviceType::kUsbFlash:
+      // §5.1: 8-GB USB flash drive, max write/read 10/20 MBps.
+      return {10 * kMBps, 20 * kMBps, 2.13 * kMBps, 0.313};
+    case DeviceType::kSataHdd:
+      // §5.1: 1-TB 5400-RPM SATA disk, max write/read 30/70 MBps.
+      return {30 * kMBps, 70 * kMBps, 7.9 * kMBps, 0.125};
+    case DeviceType::kUsbHdd:
+      // §5.2: 5400-RPM USB disk, max write/read 10/25 MBps.
+      return {10 * kMBps, 25 * kMBps, 8.0 * kMBps, 0.073};
+  }
+  return {};
+}
+
+double IoProfile::iowait_at(Rate achieved) const {
+  if (max_write_rate <= 0.0) return 0.0;
+  const double fraction = std::clamp(achieved / max_write_rate, 0.0, 1.0);
+  return fraction * iowait_coefficient;
+}
+
+IoProfile io_profile(DeviceType device, Filesystem fs) {
+  const Anchor a = anchor(device, fs);
+  IoProfile p;
+  p.max_write_rate = a.ceiling_mbps * kMBps;
+  p.iowait_coefficient = a.busy_per_mbps * a.ceiling_mbps;
+  return p;
+}
+
+bool combination_supported(DeviceType device, Filesystem fs) {
+  // HiWiFi's SD slot only works when the card is FAT-formatted (§5.1).
+  if (device == DeviceType::kSdCard) return fs == Filesystem::kFat;
+  // MiWiFi's internal SATA disk ships EXT4 and cannot be reformatted.
+  if (device == DeviceType::kSataHdd) return fs == Filesystem::kExt4;
+  return true;
+}
+
+}  // namespace odr::ap

@@ -1,0 +1,86 @@
+// Storage devices, filesystems, and the small-write I/O model (Table 2).
+//
+// §5.2 / Table 2: a smart AP's pre-downloading speed can be restricted by
+// its storage device and filesystem, because BitTorrent-style transfers
+// issue frequent, small writes. Two mechanisms are modeled:
+//   - the device's sustainable small-write throughput (USB flash drives
+//     handle scattered small writes poorly; disks and SD cards better);
+//   - the filesystem's write amplification and, for NTFS on OpenWrt
+//     (a FUSE driver, incompatible with the EXT4-native OS), a CPU-bound
+//     throughput ceiling that dominates everything else.
+//
+// The published Table 2 measurements are the calibration targets; the
+// profile() function reproduces that matrix and generalizes to
+// combinations the paper did not measure.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace odr::ap {
+
+enum class DeviceType : std::uint8_t {
+  kSdCard = 0,
+  kUsbFlash = 1,
+  kSataHdd = 2,
+  kUsbHdd = 3,
+};
+
+enum class Filesystem : std::uint8_t {
+  kFat = 0,
+  kNtfs = 1,
+  kExt4 = 2,
+};
+
+constexpr std::string_view device_name(DeviceType d) {
+  switch (d) {
+    case DeviceType::kSdCard: return "SD card";
+    case DeviceType::kUsbFlash: return "USB flash drive";
+    case DeviceType::kSataHdd: return "SATA hard disk drive";
+    case DeviceType::kUsbHdd: return "USB hard disk drive";
+  }
+  return "?";
+}
+
+constexpr std::string_view filesystem_name(Filesystem f) {
+  switch (f) {
+    case Filesystem::kFat: return "FAT";
+    case Filesystem::kNtfs: return "NTFS";
+    case Filesystem::kExt4: return "EXT4";
+  }
+  return "?";
+}
+
+// Sequential spec-sheet rates (§5.1 lists them per device).
+struct DeviceSpec {
+  Rate max_sequential_write;
+  Rate max_sequential_read;
+  // Sustainable throughput under the torrent small-write pattern, before
+  // filesystem effects. USB flash erase-block behaviour makes this far
+  // lower than the sequential figure.
+  Rate small_write_ceiling;
+  // CPU time the device's I/O path consumes per byte, driving iowait.
+  double io_cost_factor;
+};
+
+DeviceSpec device_spec(DeviceType d);
+
+// Combined device+filesystem behaviour under pre-downloading writes.
+struct IoProfile {
+  // Ceiling on pre-download throughput imposed by the I/O path.
+  Rate max_write_rate;
+  // iowait ratio observed when pre-downloading at `achieved` rate.
+  double iowait_at(Rate achieved) const;
+  double iowait_coefficient;  // iowait at max_write_rate
+};
+
+IoProfile io_profile(DeviceType device, Filesystem fs);
+
+// Whether the AP's OS/firmware supports the combination at all: HiWiFi's
+// SD slot only works FAT-formatted, MiWiFi's internal disk ships EXT4 and
+// cannot be reformatted (§5.1).
+bool combination_supported(DeviceType device, Filesystem fs);
+
+}  // namespace odr::ap

@@ -1,0 +1,33 @@
+#include "cloud/content_db.h"
+
+#include <algorithm>
+
+namespace odr::cloud {
+
+void ContentDb::record_request(workload::FileIndex file, SimTime now) {
+  requests_[file].push_back(now);
+  ++total_requests_;
+}
+
+double ContentDb::weekly_popularity(workload::FileIndex file,
+                                    SimTime now) const {
+  auto it = requests_.find(file);
+  if (it == requests_.end()) return 0.0;
+  auto& times = it->second;
+  const SimTime cutoff = now - kWeek;
+  while (!times.empty() && times.front() < cutoff) times.pop_front();
+  return static_cast<double>(times.size());
+}
+
+std::vector<double> ContentDb::popularity_series(SimTime now) const {
+  std::vector<double> out;
+  out.reserve(requests_.size());
+  for (const auto& [file, times] : requests_) {
+    const double p = weekly_popularity(file, now);
+    if (p > 0.0) out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+}  // namespace odr::cloud

@@ -1,0 +1,46 @@
+// Content database: per-file request statistics.
+//
+// Xuanfeng "actively maintains a content database where every file is
+// associated with a unique identifier (the MD5 of the content)" (§3). ODR
+// queries this database for the latest popularity of a requested file
+// (§6.1), so the statistics here are what the redirector's decisions see:
+// measured trailing-week request counts, not the generator's ground truth.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+#include "workload/file.h"
+
+namespace odr::cloud {
+
+class ContentDb {
+ public:
+  // Records one request for `file` at time `now`.
+  void record_request(workload::FileIndex file, SimTime now);
+
+  // Requests for `file` in the trailing week ending at `now`.
+  double weekly_popularity(workload::FileIndex file, SimTime now) const;
+
+  workload::PopularityClass classify(workload::FileIndex file,
+                                     SimTime now) const {
+    return workload::classify_popularity(weekly_popularity(file, now));
+  }
+
+  std::uint64_t total_requests() const { return total_requests_; }
+  std::size_t tracked_files() const { return requests_.size(); }
+
+  // Popularity (trailing week at `now`) of every tracked file, descending;
+  // the series behind the Fig 6/7 rank-popularity fits.
+  std::vector<double> popularity_series(SimTime now) const;
+
+ private:
+  // Timestamps are pruned lazily on query; mutable for const access paths.
+  mutable std::unordered_map<workload::FileIndex, std::deque<SimTime>> requests_;
+  std::uint64_t total_requests_ = 0;
+};
+
+}  // namespace odr::cloud

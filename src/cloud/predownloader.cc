@@ -1,0 +1,72 @@
+#include "cloud/predownloader.h"
+
+#include <cassert>
+#include <utility>
+
+namespace odr::cloud {
+
+PreDownloaderPool::PreDownloaderPool(sim::Simulator& sim, net::Network& net,
+                                     const CloudConfig& config,
+                                     const proto::SourceParams& sources,
+                                     Rng& rng)
+    : sim_(sim),
+      net_(net),
+      config_(config),
+      sources_(sources),
+      rng_(rng.fork()) {}
+
+void PreDownloaderPool::submit(const workload::FileInfo& file, DoneFn done) {
+  if (active_.size() >= config_.predownloader_count) {
+    queue_.push_back(Pending{file, std::move(done)});
+    return;
+  }
+  start_task(file, std::move(done));
+}
+
+void PreDownloaderPool::start_task(const workload::FileInfo& file,
+                                   DoneFn done) {
+  const std::uint64_t slot = next_slot_++;
+  ++started_;
+  done_callbacks_[slot] = std::move(done);
+
+  auto source = proto::make_source(file.protocol,
+                                   file.expected_weekly_requests, sources_,
+                                   rng_);
+  proto::DownloadTask::Config cfg;
+  cfg.line_rate = config_.predownloader_rate * kTransportEfficiency;
+  cfg.stagnation_timeout = config_.stagnation_timeout;
+  cfg.hard_timeout = config_.predownload_hard_timeout;
+  auto task = std::make_unique<proto::DownloadTask>(
+      sim_, net_, std::move(source), file.size, cfg,
+      [this, slot](const proto::DownloadResult& result) {
+        on_task_done(slot, result);
+      });
+  task->start(rng_);
+  active_.emplace(slot, std::move(task));
+}
+
+void PreDownloaderPool::on_task_done(std::uint64_t slot,
+                                     const proto::DownloadResult& result) {
+  auto cb_it = done_callbacks_.find(slot);
+  assert(cb_it != done_callbacks_.end());
+  DoneFn done = std::move(cb_it->second);
+  done_callbacks_.erase(cb_it);
+
+  // Defer the erase of the task object: we are inside its own callback.
+  auto task_it = active_.find(slot);
+  assert(task_it != active_.end());
+  auto task = std::move(task_it->second);
+  active_.erase(task_it);
+  proto::DownloadTask* raw = task.release();
+  sim_.schedule_after(0, [raw] { delete raw; });
+
+  if (!queue_.empty() && active_.size() < config_.predownloader_count) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    start_task(next.file, std::move(next.done));
+  }
+
+  if (done) done(result);
+}
+
+}  // namespace odr::cloud

@@ -1,0 +1,63 @@
+// Pre-downloader VM pool.
+//
+// §2.1: when a requested file is not cached, Xuanfeng assigns a virtual
+// machine (a "pre-downloader") with ~20 Mbps of Internet access to fetch
+// it from the original source. The pool bounds concurrency; excess
+// requests queue FIFO. Each VM runs the shared DownloadTask engine with
+// the cloud's stagnation-timeout failure rule.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "cloud/config.h"
+#include "net/network.h"
+#include "proto/download.h"
+#include "proto/source.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/file.h"
+
+namespace odr::cloud {
+
+class PreDownloaderPool {
+ public:
+  using DoneFn = std::function<void(const proto::DownloadResult&)>;
+
+  PreDownloaderPool(sim::Simulator& sim, net::Network& net,
+                    const CloudConfig& config,
+                    const proto::SourceParams& sources, Rng& rng);
+
+  // Starts (or queues) a pre-download of `file`; `done` fires exactly once.
+  void submit(const workload::FileInfo& file, DoneFn done);
+
+  std::size_t active() const { return active_.size(); }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t started_count() const { return started_; }
+
+ private:
+  struct Pending {
+    workload::FileInfo file;
+    DoneFn done;
+  };
+
+  void start_task(const workload::FileInfo& file, DoneFn done);
+  void on_task_done(std::uint64_t slot, const proto::DownloadResult& result);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  CloudConfig config_;
+  proto::SourceParams sources_;
+  Rng rng_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<proto::DownloadTask>> active_;
+  std::unordered_map<std::uint64_t, DoneFn> done_callbacks_;
+  std::deque<Pending> queue_;
+  std::uint64_t next_slot_ = 1;
+  std::uint64_t started_ = 0;
+};
+
+}  // namespace odr::cloud

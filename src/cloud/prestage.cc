@@ -1,0 +1,106 @@
+#include "cloud/prestage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace odr::cloud {
+namespace {
+
+// Load profile over fixed bins, supporting add/remove of constant-rate
+// intervals and cheap peak queries over an interval's bins.
+class LoadProfile {
+ public:
+  LoadProfile(SimTime horizon, SimTime bin)
+      : bin_(bin), load_((horizon + bin - 1) / bin, 0.0) {}
+
+  void add(SimTime start, SimTime duration, double rate) {
+    for_bins(start, duration, [&](std::size_t b, double frac) {
+      load_[b] += rate * frac;
+    });
+  }
+  void remove(SimTime start, SimTime duration, double rate) {
+    for_bins(start, duration, [&](std::size_t b, double frac) {
+      load_[b] -= rate * frac;
+    });
+  }
+
+  // The peak the profile would have if (start, duration, rate) were added.
+  double peak_if_added(SimTime start, SimTime duration, double rate) const {
+    double peak = 0.0;
+    for_bins(start, duration, [&](std::size_t b, double frac) {
+      peak = std::max(peak, load_[b] + rate * frac);
+    });
+    return peak;
+  }
+
+  double global_peak() const {
+    return load_.empty() ? 0.0
+                         : *std::max_element(load_.begin(), load_.end());
+  }
+
+ private:
+  template <typename Fn>
+  void for_bins(SimTime start, SimTime duration, Fn&& fn) const {
+    if (duration <= 0) return;
+    SimTime t = std::max<SimTime>(0, start);
+    const SimTime end = start + duration;
+    while (t < end) {
+      const auto b = static_cast<std::size_t>(t / bin_);
+      if (b >= load_.size()) break;
+      const SimTime bin_end = static_cast<SimTime>(b + 1) * bin_;
+      const SimTime seg = std::min(end, bin_end) - t;
+      fn(b, static_cast<double>(seg) / static_cast<double>(bin_));
+      t = std::min(end, bin_end);
+    }
+  }
+
+  SimTime bin_;
+  mutable std::vector<double> load_;
+};
+
+}  // namespace
+
+PrestagePlan plan_prestaging(const std::vector<PrestageJob>& jobs,
+                             SimTime horizon, SimTime bin,
+                             SimTime candidate_step) {
+  assert(bin > 0 && candidate_step > 0);
+  PrestagePlan plan;
+  plan.delay.assign(jobs.size(), 0);
+
+  LoadProfile profile(horizon, bin);
+  for (const auto& j : jobs) profile.add(j.start, j.duration, j.rate);
+  plan.peak_before = profile.global_peak();
+
+  // Heaviest jobs first: they move the peak the most.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double wa = jobs[a].rate * static_cast<double>(jobs[a].duration);
+    const double wb = jobs[b].rate * static_cast<double>(jobs[b].duration);
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+
+  for (std::size_t idx : order) {
+    const PrestageJob& j = jobs[idx];
+    if (j.max_delay <= 0 || j.rate <= 0.0 || j.duration <= 0) continue;
+    profile.remove(j.start, j.duration, j.rate);
+    SimTime best_delay = 0;
+    double best_peak = profile.peak_if_added(j.start, j.duration, j.rate);
+    for (SimTime d = candidate_step; d <= j.max_delay; d += candidate_step) {
+      const double peak = profile.peak_if_added(j.start + d, j.duration, j.rate);
+      if (peak < best_peak - 1e-9) {
+        best_peak = peak;
+        best_delay = d;
+      }
+    }
+    plan.delay[idx] = best_delay;
+    profile.add(j.start + best_delay, j.duration, j.rate);
+  }
+
+  plan.peak_after = profile.global_peak();
+  return plan;
+}
+
+}  // namespace odr::cloud

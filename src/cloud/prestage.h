@@ -1,0 +1,48 @@
+// Deferred pre-staging: peak-shaving the cloud uplink (§6.1).
+//
+// The paper points at "mobile phone content pre-staging" (Finamore et al.,
+// CoNEXT'13): if users are not time-sensitive, simply defer downloads to
+// times when bandwidth is better. On the cloud side the same idea levels
+// the Fig-11 burden curve: offline-downloading fetches are, by
+// definition, latency-tolerant up to the user's patience, so fetches that
+// would land on the evening peak can be shifted into the nightly trough.
+//
+// The planner is a greedy peak-leveller: jobs (start, duration, rate,
+// max_delay) are considered in descending rate order; each is placed at
+// the delay within [0, max_delay] that minimizes the resulting global
+// peak (ties -> earliest). Greedy is not optimal for this NP-hard
+// problem, but it captures the achievable shaving and is what a
+// production scheduler would actually run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.h"
+#include "util/units.h"
+
+namespace odr::cloud {
+
+struct PrestageJob {
+  SimTime start = 0;       // when the fetch would naturally begin
+  SimTime duration = 0;    // transfer time at its allocated rate
+  Rate rate = 0.0;         // uplink bandwidth it occupies
+  SimTime max_delay = 0;   // user's patience (0 = not deferrable)
+};
+
+struct PrestagePlan {
+  std::vector<SimTime> delay;  // chosen delay per job (same order as input)
+  Rate peak_before = 0.0;
+  Rate peak_after = 0.0;
+  double peak_reduction() const {
+    return peak_before <= 0.0 ? 0.0 : 1.0 - peak_after / peak_before;
+  }
+};
+
+// Levels the aggregate load of `jobs` over [0, horizon) using `bin` wide
+// slots. `candidate_step` is the granularity of delays tried per job.
+PrestagePlan plan_prestaging(const std::vector<PrestageJob>& jobs,
+                             SimTime horizon, SimTime bin = 5 * kMinute,
+                             SimTime candidate_step = 30 * kMinute);
+
+}  // namespace odr::cloud

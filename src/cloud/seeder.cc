@@ -1,0 +1,45 @@
+#include "cloud/seeder.h"
+
+#include <algorithm>
+
+namespace odr::cloud {
+
+SeedCandidate make_candidate(workload::FileIndex file,
+                             const proto::Swarm& swarm,
+                             Rate per_leecher_demand) {
+  SeedCandidate c;
+  c.file = file;
+  c.bandwidth_multiplier = swarm.bandwidth_multiplier();
+  c.absorption_cap =
+      static_cast<double>(swarm.leechers()) * per_leecher_demand;
+  return c;
+}
+
+SeedingPlan plan_seeding(std::vector<SeedCandidate> candidates, Rate budget) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SeedCandidate& a, const SeedCandidate& b) {
+              if (a.bandwidth_multiplier != b.bandwidth_multiplier) {
+                return a.bandwidth_multiplier > b.bandwidth_multiplier;
+              }
+              return a.file < b.file;  // deterministic tie-break
+            });
+
+  SeedingPlan plan;
+  Rate remaining = std::max(0.0, budget);
+  for (const SeedCandidate& c : candidates) {
+    if (remaining <= 0.0) break;
+    if (c.absorption_cap <= 0.0 || c.bandwidth_multiplier <= 0.0) continue;
+    const Rate give = std::min(remaining, c.absorption_cap);
+    SeedAllocation a;
+    a.file = c.file;
+    a.seed_rate = give;
+    a.delivered_rate = give * c.bandwidth_multiplier;
+    plan.allocations.push_back(a);
+    plan.total_seeded += give;
+    plan.total_delivered += a.delivered_rate;
+    remaining -= give;
+  }
+  return plan;
+}
+
+}  // namespace odr::cloud

@@ -1,0 +1,59 @@
+// Cloud seeding planner: the "bandwidth multiplier effect" of §4.2.
+//
+// Instead of uploading a highly popular file to every requester, the cloud
+// can allocate a slice S_i of its upload bandwidth to SEED the file's P2P
+// swarm; leechers then exchange pieces among themselves and the attained
+// aggregate distribution bandwidth D_i exceeds S_i. The ratio D_i/S_i is
+// the bandwidth multiplier [66]. ODR's Bottleneck-2 remedy (send users of
+// highly popular P2P files to the swarm) implicitly relies on healthy
+// swarms; this planner is the complementary cloud-side knob: given a
+// seeding budget, spread it over candidate swarms to maximize total
+// delivered bandwidth.
+//
+// The allocation problem is a classic fractional knapsack: each swarm
+// delivers `multiplier * S_i` up to an absorption cap (a swarm cannot
+// usefully absorb more seed bandwidth than its leechers demand), so the
+// greedy highest-multiplier-first allocation is optimal.
+#pragma once
+
+#include <vector>
+
+#include "proto/swarm.h"
+#include "util/units.h"
+#include "workload/file.h"
+
+namespace odr::cloud {
+
+struct SeedCandidate {
+  workload::FileIndex file = workload::kInvalidFile;
+  double bandwidth_multiplier = 1.0;
+  // Max seed bandwidth the swarm can absorb usefully.
+  Rate absorption_cap = 0.0;
+};
+
+struct SeedAllocation {
+  workload::FileIndex file = workload::kInvalidFile;
+  Rate seed_rate = 0.0;       // S_i
+  Rate delivered_rate = 0.0;  // D_i = multiplier * S_i
+};
+
+struct SeedingPlan {
+  std::vector<SeedAllocation> allocations;
+  Rate total_seeded = 0.0;
+  Rate total_delivered = 0.0;
+  // Aggregate multiplier: delivered / seeded (>= 1 when anything seeded).
+  double aggregate_multiplier() const {
+    return total_seeded <= 0.0 ? 0.0 : total_delivered / total_seeded;
+  }
+};
+
+// Builds a candidate from a live swarm: the multiplier comes from its
+// leecher population, the absorption cap from leecher demand.
+SeedCandidate make_candidate(workload::FileIndex file,
+                             const proto::Swarm& swarm,
+                             Rate per_leecher_demand);
+
+// Greedy optimal allocation of `budget` across `candidates`.
+SeedingPlan plan_seeding(std::vector<SeedCandidate> candidates, Rate budget);
+
+}  // namespace odr::cloud

@@ -1,0 +1,24 @@
+#include "cloud/storage_pool.h"
+
+namespace odr::cloud {
+
+bool StoragePool::lookup(const Md5Digest& id) {
+  if (cache_.get(id) != nullptr) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void StoragePool::insert(const Md5Digest& id, workload::FileIndex file,
+                         Bytes size) {
+  cache_.put(id, CachedFile{file, size}, size);
+}
+
+double StoragePool::hit_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+}  // namespace odr::cloud

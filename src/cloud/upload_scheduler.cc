@@ -1,0 +1,113 @@
+#include "cloud/upload_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace odr::cloud {
+
+UploadScheduler::UploadScheduler(net::Network& net, const CloudConfig& config,
+                                 Rng& rng)
+    : net_(net), config_(config), rng_(rng.fork()) {
+  for (std::size_t i = 0; i < net::kMajorIsps.size(); ++i) {
+    const net::Isp isp = net::kMajorIsps[i];
+    Cluster& c = clusters_[i];
+    c.capacity = config_.total_upload_capacity * config_.isp_upload_share[i];
+    c.link = net_.add_link(
+        "upload-cluster-" + std::string(net::isp_name(isp)), c.capacity);
+  }
+}
+
+UploadScheduler::Cluster& UploadScheduler::cluster_for(net::Isp isp) {
+  const auto idx = static_cast<std::size_t>(isp);
+  assert(idx < clusters_.size());
+  return clusters_[idx];
+}
+
+const UploadScheduler::Cluster& UploadScheduler::cluster_for(
+    net::Isp isp) const {
+  const auto idx = static_cast<std::size_t>(isp);
+  assert(idx < clusters_.size());
+  return clusters_[idx];
+}
+
+Rate UploadScheduler::cluster_capacity(net::Isp isp) const {
+  return cluster_for(isp).capacity;
+}
+
+Rate UploadScheduler::cluster_reserved(net::Isp isp) const {
+  return cluster_for(isp).reserved;
+}
+
+net::LinkId UploadScheduler::cluster_link(net::Isp isp) const {
+  return cluster_for(isp).link;
+}
+
+Rate UploadScheduler::sample_barrier_rate() {
+  return config_.barrier_median *
+         std::exp(rng_.normal(0.0, config_.barrier_sigma));
+}
+
+Rate UploadScheduler::sample_spillover_rate() {
+  return config_.spillover_median *
+         std::exp(rng_.normal(0.0, config_.spillover_sigma));
+}
+
+FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate) {
+  desired_rate = std::min(desired_rate, config_.max_fetch_rate);
+  const Rate floor = std::min(config_.admission_floor, desired_rate);
+
+  // 1. Privileged path: a server inside the user's own ISP. The fetch is
+  //    served at whatever headroom remains (never squeezing active
+  //    transfers), as long as that clears the admission floor.
+  if (net::is_major_isp(user_isp)) {
+    Cluster& home = cluster_for(user_isp);
+    const Rate headroom = home.capacity - home.reserved;
+    if (headroom >= floor) {
+      const Rate rate = std::min(desired_rate, headroom);
+      home.reserved += rate;
+      ++admitted_;
+      ++privileged_;
+      return FetchPlan{true, user_isp, true, rate, home.link};
+    }
+  }
+
+  // 2. Cross-ISP path: out-of-ISP users hit the barrier proper; major-ISP
+  //    users spilled at peak reach the lowest-latency alternative cluster.
+  const Rate cross_cap = net::is_major_isp(user_isp)
+                             ? sample_spillover_rate()
+                             : sample_barrier_rate();
+  const Rate degraded = std::min(desired_rate, cross_cap);
+  net::Isp best = net::Isp::kOther;
+  Rate best_headroom = 0.0;
+  for (net::Isp isp : net::kMajorIsps) {
+    if (isp == user_isp) continue;  // home cluster already found full
+    const Cluster& c = cluster_for(isp);
+    const Rate headroom = c.capacity - c.reserved;
+    if (headroom > best_headroom) {
+      best_headroom = headroom;
+      best = isp;
+    }
+  }
+  if (best != net::Isp::kOther &&
+      best_headroom >= std::min(floor, degraded)) {
+    const Rate rate = std::min(degraded, best_headroom);
+    Cluster& c = cluster_for(best);
+    c.reserved += rate;
+    ++admitted_;
+    return FetchPlan{true, best, false, rate, c.link};
+  }
+
+  // 3. Peak-hour exhaustion: reject rather than degrade active fetches.
+  ++rejected_;
+  return FetchPlan{};
+}
+
+void UploadScheduler::release(const FetchPlan& plan) {
+  if (!plan.admitted) return;
+  Cluster& c = cluster_for(plan.cluster);
+  c.reserved = std::max(0.0, c.reserved - plan.rate);
+}
+
+}  // namespace odr::cloud

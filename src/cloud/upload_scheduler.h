@@ -1,0 +1,78 @@
+// Upload clusters, privileged-path construction, and admission control.
+//
+// §2.1: Xuanfeng deploys uploading servers inside the four major ISPs and
+// always tries to serve a fetch from a server in the user's own ISP (the
+// privileged path, immune to the ISP barrier). Fallbacks:
+//   - user outside the four ISPs            -> cross-ISP path (degraded);
+//   - home cluster out of upload bandwidth  -> alternative cluster,
+//                                              cross-ISP path (degraded);
+//   - every cluster exhausted               -> the request is REJECTED
+//     rather than degrading active downloads (the 1.5% of §4.2).
+//
+// Admission is reservation-based: an admitted fetch reserves its expected
+// rate on the serving cluster's uplink for its duration, so active
+// transfers never slow down when new ones arrive — exactly the
+// no-degradation policy the paper describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cloud/config.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace odr::cloud {
+
+struct FetchPlan {
+  bool admitted = false;
+  net::Isp cluster = net::Isp::kOther;  // serving cluster (if admitted)
+  bool privileged = false;              // same-ISP path, no barrier
+  Rate rate = 0.0;                      // reserved rate == flow cap
+  net::LinkId cluster_link = 0;
+};
+
+class UploadScheduler {
+ public:
+  UploadScheduler(net::Network& net, const CloudConfig& config, Rng& rng);
+
+  // Plans a fetch for a user in `user_isp` wanting `desired_rate`.
+  // Reserves bandwidth on the chosen cluster when admitted.
+  FetchPlan plan_fetch(net::Isp user_isp, Rate desired_rate);
+
+  // Releases an admitted plan's reservation (call exactly once).
+  void release(const FetchPlan& plan);
+
+  Rate cluster_capacity(net::Isp isp) const;
+  Rate cluster_reserved(net::Isp isp) const;
+  net::LinkId cluster_link(net::Isp isp) const;
+
+  std::uint64_t admitted_count() const { return admitted_; }
+  std::uint64_t rejected_count() const { return rejected_; }
+  std::uint64_t privileged_count() const { return privileged_; }
+
+  // Samples a degraded cross-ISP path cap (exposed for tests): the barrier
+  // proper (out-of-ISP users) and the milder alternative-cluster spillover.
+  Rate sample_barrier_rate();
+  Rate sample_spillover_rate();
+
+ private:
+  struct Cluster {
+    net::LinkId link = 0;
+    Rate capacity = 0.0;
+    Rate reserved = 0.0;
+  };
+
+  Cluster& cluster_for(net::Isp isp);
+  const Cluster& cluster_for(net::Isp isp) const;
+
+  net::Network& net_;
+  CloudConfig config_;
+  Rng rng_;
+  std::array<Cluster, 4> clusters_;  // indexed by major ISP enum value
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t privileged_ = 0;
+};
+
+}  // namespace odr::cloud

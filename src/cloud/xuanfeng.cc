@@ -1,0 +1,210 @@
+#include "cloud/xuanfeng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odr::cloud {
+
+XuanfengCloud::XuanfengCloud(sim::Simulator& sim, net::Network& net,
+                             const workload::Catalog& catalog,
+                             const proto::SourceParams& sources,
+                             const CloudConfig& config, Rng& rng)
+    : sim_(sim),
+      net_(net),
+      catalog_(catalog),
+      config_(config),
+      rng_(rng.fork()),
+      storage_(config.storage_capacity),
+      uploads_(net, config, rng_),
+      predownloaders_(sim, net, config, sources, rng_) {}
+
+void XuanfengCloud::warm_cache(const workload::FileInfo& file) {
+  storage_.insert(file.content_id, file.index, file.size);
+}
+
+workload::PreDownloadRecord XuanfengCloud::make_cache_hit_record(
+    const workload::WorkloadRecord& request) const {
+  workload::PreDownloadRecord pre;
+  pre.task_id = request.task_id;
+  pre.start_time = sim_.now();
+  pre.finish_time = sim_.now();
+  pre.acquired_bytes = request.file_size;
+  pre.traffic_bytes = 0;  // dedup: no pre-download traffic on a hit
+  pre.cache_hit = true;
+  pre.success = true;
+  return pre;
+}
+
+void XuanfengCloud::submit(const workload::WorkloadRecord& request,
+                           const workload::User& user, OutcomeFn on_done) {
+  content_db_.record_request(request.file, sim_.now());
+  const workload::FileInfo& file = catalog_.file(request.file);
+
+  if (storage_.lookup(file.content_id)) {
+    begin_fetch(request, user, make_cache_hit_record(request),
+                std::move(on_done));
+    return;
+  }
+
+  Waiter w;
+  w.request = request;
+  w.user = user;
+  w.on_done = std::move(on_done);
+  w.enqueued_at = sim_.now();
+
+  auto [it, first] = inflight_.try_emplace(request.file);
+  it->second.push_back(std::move(w));
+  if (!first) return;  // an identical file is already being pre-downloaded
+
+  predownloaders_.submit(file,
+                         [this, index = request.file](
+                             const proto::DownloadResult& result) {
+                           on_predownload_done(index, result);
+                         });
+}
+
+void XuanfengCloud::predownload_only(const workload::WorkloadRecord& request,
+                                     PreDownloadFn on_done) {
+  content_db_.record_request(request.file, sim_.now());
+  const workload::FileInfo& file = catalog_.file(request.file);
+
+  if (storage_.lookup(file.content_id)) {
+    if (on_done) on_done(make_cache_hit_record(request));
+    return;
+  }
+
+  Waiter w;
+  w.request = request;
+  w.pre_only = std::move(on_done);
+  w.enqueued_at = sim_.now();
+
+  auto [it, first] = inflight_.try_emplace(request.file);
+  it->second.push_back(std::move(w));
+  if (!first) return;
+
+  predownloaders_.submit(file,
+                         [this, index = request.file](
+                             const proto::DownloadResult& result) {
+                           on_predownload_done(index, result);
+                         });
+}
+
+void XuanfengCloud::fetch_only(const workload::WorkloadRecord& request,
+                               const workload::User& user,
+                               workload::PreDownloadRecord pre,
+                               OutcomeFn on_done) {
+  begin_fetch(request, user, std::move(pre), std::move(on_done));
+}
+
+void XuanfengCloud::on_predownload_done(workload::FileIndex file,
+                                        const proto::DownloadResult& result) {
+  auto it = inflight_.find(file);
+  assert(it != inflight_.end());
+  std::vector<Waiter> waiters = std::move(it->second);
+  inflight_.erase(it);
+
+  const workload::FileInfo& info = catalog_.file(file);
+  if (result.success) {
+    storage_.insert(info.content_id, file, info.size);
+  }
+
+  bool first = true;
+  for (Waiter& w : waiters) {
+    workload::PreDownloadRecord pre;
+    pre.task_id = w.request.task_id;
+    pre.start_time = result.started_at;
+    pre.finish_time = result.finished_at;
+    pre.acquired_bytes = result.bytes_downloaded;
+    // Only the first attached request pays the pre-download traffic; the
+    // rest share the single transfer (file-level dedup in flight).
+    pre.traffic_bytes = first ? result.traffic_bytes : 0;
+    first = false;
+    pre.cache_hit = false;
+    pre.average_rate = result.average_rate;
+    pre.peak_rate = result.peak_rate;
+    pre.success = result.success;
+    pre.failure_cause = result.cause;
+
+    if (w.pre_only) {
+      w.pre_only(pre);
+      continue;
+    }
+    if (!result.success) {
+      TaskOutcome outcome;
+      outcome.task_id = w.request.task_id;
+      outcome.pre = pre;
+      outcome.fetched = false;
+      outcome.weekly_popularity =
+          content_db_.weekly_popularity(w.request.file, sim_.now());
+      outcome.popularity =
+          workload::classify_popularity(outcome.weekly_popularity);
+      if (w.on_done) w.on_done(outcome);
+      continue;
+    }
+    begin_fetch(w.request, w.user, pre, std::move(w.on_done));
+  }
+}
+
+void XuanfengCloud::begin_fetch(const workload::WorkloadRecord& request,
+                                const workload::User& user,
+                                workload::PreDownloadRecord pre,
+                                OutcomeFn on_done) {
+  // Desired rate: the user's true access bandwidth, occasionally degraded
+  // by residual network dynamics (the §4.2 "unknown" bucket).
+  Rate desired = std::min(user.access_bandwidth, config_.max_fetch_rate);
+  if (rng_.bernoulli(config_.dynamics_prob)) {
+    desired *= rng_.uniform(config_.dynamics_slowdown_lo,
+                            config_.dynamics_slowdown_hi);
+  }
+
+  const FetchPlan plan = uploads_.plan_fetch(user.isp, desired);
+
+  TaskOutcome outcome;
+  outcome.task_id = request.task_id;
+  outcome.pre = pre;
+  outcome.weekly_popularity =
+      content_db_.weekly_popularity(request.file, sim_.now());
+  outcome.popularity =
+      workload::classify_popularity(outcome.weekly_popularity);
+  outcome.fetch.task_id = request.task_id;
+  outcome.fetch.user_id = request.user_id;
+  outcome.fetch.ip = request.ip;
+  outcome.fetch.access_bandwidth = request.access_bandwidth;
+  outcome.fetch.start_time = sim_.now();
+
+  if (!plan.admitted) {
+    // Rejected: the fetch never starts (observed speed 0, §4.2).
+    outcome.fetch.finish_time = sim_.now();
+    outcome.fetch.rejected = true;
+    outcome.fetched = false;
+    if (on_done) on_done(outcome);
+    return;
+  }
+  outcome.privileged_path = plan.privileged;
+
+  const Bytes size = request.file_size;
+  const double overhead = rng_.uniform(1.07, 1.10);  // §4.2 user-side cost
+
+  net::Network::FlowSpec spec;
+  spec.path = {plan.cluster_link};
+  spec.bytes = size;
+  spec.rate_cap = plan.rate;
+  // The callback owns everything needed to finalize the record.
+  spec.on_complete = [this, outcome, plan, size, overhead,
+                      on_done = std::move(on_done)](net::FlowId) mutable {
+    uploads_.release(plan);
+    outcome.fetch.finish_time = sim_.now();
+    outcome.fetch.acquired_bytes = size;
+    outcome.fetch.traffic_bytes = static_cast<Bytes>(
+        std::llround(static_cast<double>(size) * overhead));
+    outcome.fetch.average_rate = average_rate(
+        size, outcome.fetch.finish_time - outcome.fetch.start_time);
+    outcome.fetch.peak_rate = plan.rate;
+    outcome.fetched = true;
+    if (on_done) on_done(outcome);
+  };
+  net_.start_flow(std::move(spec));
+}
+
+}  // namespace odr::cloud

@@ -1,0 +1,124 @@
+// XuanfengCloud: end-to-end orchestration of a cloud offline-download task.
+//
+// Lifecycle of a submitted request (Figure 1 + §2.1):
+//   1. record the request in the content database;
+//   2. cache lookup by MD5 content id — a hit is an instantly-successful
+//      pre-download (zero delay, zero pre-download traffic);
+//   3. on a miss, pre-download via the VM pool (attaching to an already
+//      in-flight pre-download of the same file if one exists: file-level
+//      dedup applies to concurrent requests too);
+//   4. on pre-download success (or a cache hit), construct the fetch path:
+//      privileged same-ISP upload server when possible, degraded cross-ISP
+//      path otherwise, or rejection when every cluster is exhausted;
+//   5. report a TaskOutcome with the pre-download and fetch trace records.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/config.h"
+#include "cloud/content_db.h"
+#include "cloud/predownloader.h"
+#include "cloud/storage_pool.h"
+#include "cloud/upload_scheduler.h"
+#include "net/network.h"
+#include "proto/source.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/trace.h"
+#include "workload/user_model.h"
+
+namespace odr::cloud {
+
+struct TaskOutcome {
+  workload::TaskId task_id = 0;
+  workload::PreDownloadRecord pre;
+  workload::FetchRecord fetch;
+  bool fetched = false;  // a fetch completed (not rejected / not pre-failed)
+  // Measured popularity at completion time (what ODR would have seen).
+  double weekly_popularity = 0.0;
+  workload::PopularityClass popularity = workload::PopularityClass::kUnpopular;
+  // True when the fetch ran on a privileged (same-ISP) path.
+  bool privileged_path = false;
+};
+
+class XuanfengCloud {
+ public:
+  using OutcomeFn = std::function<void(const TaskOutcome&)>;
+
+  XuanfengCloud(sim::Simulator& sim, net::Network& net,
+                const workload::Catalog& catalog,
+                const proto::SourceParams& sources, const CloudConfig& config,
+                Rng& rng);
+
+  XuanfengCloud(const XuanfengCloud&) = delete;
+  XuanfengCloud& operator=(const XuanfengCloud&) = delete;
+
+  // Submits an offline-downloading task. `user` provides ground-truth
+  // access bandwidth and ISP; `on_done` fires once, when the task reaches
+  // a terminal state (fetched, rejected, or pre-download failed).
+  void submit(const workload::WorkloadRecord& request,
+              const workload::User& user, OutcomeFn on_done);
+
+  // Pre-download only (used by ODR's "Cloud pre-download, then decide"
+  // branch): stops after stage 3, reporting the pre-download record.
+  using PreDownloadFn = std::function<void(const workload::PreDownloadRecord&)>;
+  void predownload_only(const workload::WorkloadRecord& request,
+                        PreDownloadFn on_done);
+
+  // Fetch-only entry point (used by ODR after a predownload_only phase):
+  // runs stage 4 for a file assumed present in the cloud, attaching the
+  // caller-supplied pre-download record to the outcome.
+  void fetch_only(const workload::WorkloadRecord& request,
+                  const workload::User& user, workload::PreDownloadRecord pre,
+                  OutcomeFn on_done);
+
+  // Warms the cache as if `file` had been downloaded earlier (used to
+  // model the multi-year-old storage pool before the measurement week).
+  void warm_cache(const workload::FileInfo& file);
+
+  ContentDb& content_db() { return content_db_; }
+  const ContentDb& content_db() const { return content_db_; }
+  StoragePool& storage() { return storage_; }
+  const StoragePool& storage() const { return storage_; }
+  UploadScheduler& uploads() { return uploads_; }
+  const UploadScheduler& uploads() const { return uploads_; }
+  PreDownloaderPool& predownloaders() { return predownloaders_; }
+
+  const CloudConfig& config() const { return config_; }
+
+ private:
+  struct Waiter {
+    workload::WorkloadRecord request;
+    workload::User user;
+    OutcomeFn on_done;
+    PreDownloadFn pre_only;  // set for predownload_only waiters
+    SimTime enqueued_at = 0;
+  };
+
+  void on_predownload_done(workload::FileIndex file,
+                           const proto::DownloadResult& result);
+  void begin_fetch(const workload::WorkloadRecord& request,
+                   const workload::User& user,
+                   workload::PreDownloadRecord pre, OutcomeFn on_done);
+  workload::PreDownloadRecord make_cache_hit_record(
+      const workload::WorkloadRecord& request) const;
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const workload::Catalog& catalog_;
+  CloudConfig config_;
+  Rng rng_;
+
+  ContentDb content_db_;
+  StoragePool storage_;
+  UploadScheduler uploads_;
+  PreDownloaderPool predownloaders_;
+
+  // In-flight pre-downloads by file: all waiters share one download.
+  std::unordered_map<workload::FileIndex, std::vector<Waiter>> inflight_;
+};
+
+}  // namespace odr::cloud

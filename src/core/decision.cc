@@ -1,0 +1,86 @@
+#include "core/decision.h"
+
+namespace odr::core {
+
+bool Redirector::ap_storage_bottleneck(const DecisionInput& input) const {
+  if (!input.has_smart_ap) return false;
+  if (input.user_access_bandwidth <= params_.ap_storage_floor) {
+    // The line is slower than even the worst storage path; storage can
+    // never be the bottleneck (§6.1: below 0.93 MBps, use the AP).
+    return false;
+  }
+  const bool flash = input.ap_device.has_value() &&
+                     *input.ap_device == odr::ap::DeviceType::kUsbFlash;
+  const bool ntfs = input.ap_filesystem.has_value() &&
+                    *input.ap_filesystem == odr::ap::Filesystem::kNtfs;
+  return flash || ntfs;
+}
+
+bool Redirector::cloud_path_bottleneck(const DecisionInput& input) const {
+  if (input.user_access_bandwidth < params_.playback_rate) return true;
+  if (params_.consider_isp_barrier && !net::is_major_isp(input.user_isp)) {
+    return true;  // ISP barrier
+  }
+  return false;
+}
+
+Decision Redirector::decide(const DecisionInput& input) const {
+  Decision d;
+
+  // ---- Highly popular files: success is near-certain anywhere, so spend
+  // the decision on relieving the cloud's upload burden (Bottleneck 2).
+  if (workload::classify_popularity(input.weekly_popularity) ==
+      workload::PopularityClass::kHighlyPopular) {
+    if (proto::is_p2p(input.protocol)) {
+      // Abundant peers: download from the original swarm, not the cloud.
+      if (input.has_smart_ap && !ap_storage_bottleneck(input)) {
+        d.route = Route::kSmartAp;
+        d.addressed_bottleneck = 2;
+        d.rationale =
+            "highly popular P2P file; swarm is fast, spare the cloud; AP "
+            "storage is adequate";
+      } else {
+        d.route = Route::kUserDevice;
+        d.addressed_bottleneck = input.has_smart_ap ? 4 : 2;
+        d.rationale =
+            input.has_smart_ap
+                ? "highly popular P2P file; AP storage (USB flash/NTFS) "
+                  "would throttle a fast line - use the local device"
+                : "highly popular P2P file and no smart AP - download "
+                  "directly from the swarm";
+      }
+      return d;
+    }
+    // Highly popular HTTP/FTP: hammering the origin would make IT the
+    // bottleneck; the cloud (which has the file cached) serves instead.
+    d.route = Route::kCloud;
+    d.addressed_bottleneck = 2;
+    d.rationale = "highly popular HTTP/FTP file; avoid overloading the "
+                  "origin server, fetch from the cloud";
+    return d;
+  }
+
+  // ---- Less popular files: downloading success is the primary concern
+  // (Bottleneck 3), so lean on the cloud storage pool.
+  if (input.cached_in_cloud) {
+    if (cloud_path_bottleneck(input) && input.has_smart_ap) {
+      d.route = Route::kCloudThenSmartAp;
+      d.addressed_bottleneck = 1;
+      d.rationale = "cached in cloud but the cloud-user path is "
+                    "bottlenecked; stage via the smart AP";
+    } else {
+      d.route = Route::kCloud;
+      d.addressed_bottleneck = 3;
+      d.rationale = "cached in cloud; fetch directly";
+    }
+    return d;
+  }
+
+  d.route = Route::kCloudPreDownloadFirst;
+  d.addressed_bottleneck = 3;
+  d.rationale = "not cached and not highly popular; the cloud's pool "
+                "minimizes failure - pre-download there first";
+  return d;
+}
+
+}  // namespace odr::core

@@ -1,0 +1,122 @@
+// Executor: carries a routing Decision out against the simulated systems.
+//
+// The executor is the glue between the decision layer (Redirector /
+// baselines) and the substrates (XuanfengCloud, SmartAp, direct
+// DownloadTasks), producing one ExecOutcome per task with everything the
+// §6.2 evaluation measures: end-to-end delay, user-perceived fetch rate,
+// impeded/rejected flags, and the cloud-uplink bytes the task cost.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ap/smart_ap.h"
+#include "cloud/xuanfeng.h"
+#include "core/decision.h"
+#include "core/strategy.h"
+#include "net/network.h"
+#include "proto/download.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/trace.h"
+#include "workload/user_model.h"
+
+namespace odr::core {
+
+struct ExecOutcome {
+  workload::TaskId task_id = 0;
+  Route route = Route::kCloud;
+  bool success = false;
+  proto::FailureCause cause = proto::FailureCause::kNone;
+  bool rejected = false;
+
+  SimTime request_time = 0;
+  SimTime ready_time = 0;      // when the user has the file locally
+  SimTime pre_delay = 0;       // proxy-side pre-download time
+  SimTime fetch_delay = 0;     // user-facing fetch time
+
+  Bytes file_size = 0;
+  Rate fetch_rate = 0.0;       // rate into the user premises (Fig 17)
+  Rate e2e_rate = 0.0;         // size / (ready - request)
+  bool impeded = false;        // real-time fetch below the 125 KBps line
+
+  Bytes cloud_upload_bytes = 0;  // burden this task placed on the cloud
+  SimTime cloud_upload_start = 0, cloud_upload_finish = 0;
+
+  workload::PopularityClass popularity =
+      workload::PopularityClass::kUnpopular;
+};
+
+class Executor {
+ public:
+  struct Config {
+    // The §6.2 testbed line: fetch rates are observed behind a 20 Mbps
+    // ADSL line, which caps every recorded rate at ~2.37-2.5 MBps.
+    Rate premises_line_rate = mbps_to_rate(20.0);
+    Rate playback_rate = kbps_to_rate(125.0);
+    SimTime direct_stagnation_timeout = kHour;
+    SimTime direct_hard_timeout = kWeek;
+    // Thresholds used when the kCloudPreDownloadFirst branch re-decides
+    // after the file lands in the cache (must match the caller's
+    // Redirector for consistent behaviour).
+    RedirectorParams redirector;
+  };
+
+  using DoneFn = std::function<void(const ExecOutcome&)>;
+
+  Executor(sim::Simulator& sim, net::Network& net,
+           const workload::Catalog& catalog, cloud::XuanfengCloud& cloud,
+           const proto::SourceParams& sources, Config config, Rng& rng);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Builds the DecisionInput ODR would see for this request (content-DB
+  // popularity, cache state, user auxiliaries, the given AP's storage).
+  DecisionInput make_input(const workload::WorkloadRecord& request,
+                           const workload::User& user,
+                           const odr::ap::SmartAp* ap) const;
+
+  // Executes `decision`; `ap` may be null unless the route needs one.
+  void execute(const Decision& decision,
+               const workload::WorkloadRecord& request,
+               const workload::User& user, odr::ap::SmartAp* ap, DoneFn done);
+
+ private:
+  void run_cloud(const workload::WorkloadRecord& request,
+                 const workload::User& user, DoneFn done);
+  void run_user_device(const workload::WorkloadRecord& request,
+                       const workload::User& user, DoneFn done);
+  void run_smart_ap(const workload::WorkloadRecord& request,
+                    const workload::User& user, odr::ap::SmartAp* ap,
+                    DoneFn done);
+  void run_cloud_then_ap(const workload::WorkloadRecord& request,
+                         const workload::User& user, odr::ap::SmartAp* ap,
+                         DoneFn done);
+  void run_predownload_first(const workload::WorkloadRecord& request,
+                             const workload::User& user, odr::ap::SmartAp* ap,
+                             DoneFn done);
+
+  ExecOutcome from_cloud_outcome(const cloud::TaskOutcome& outcome,
+                                 const workload::WorkloadRecord& request) const;
+  void finalize_lan_stage(ExecOutcome outcome, odr::ap::SmartAp* ap,
+                          DoneFn done);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const workload::Catalog& catalog_;
+  cloud::XuanfengCloud& cloud_;
+  proto::SourceParams sources_;
+  Config config_;
+  Rng rng_;
+
+  // Direct user-device downloads owned here until completion.
+  std::unordered_map<std::uint64_t,
+                     std::unique_ptr<proto::DownloadTask>> direct_tasks_;
+  std::uint64_t next_direct_ = 1;
+};
+
+}  // namespace odr::core

@@ -1,0 +1,96 @@
+// OdrService: the public face of ODR (§6.1).
+//
+// The deployed ODR is a web service: the user opens the front page, pastes
+// the HTTP/FTP/P2P link of the file she wants, and supplies auxiliary
+// information (IP address, access bandwidth, smart-AP type, storage device
+// and filesystem). ODR keeps a cookie so she does not have to re-enter the
+// auxiliary data every time, resolves her ISP from her IP via the
+// APNIC-style database, queries the content database for the file's latest
+// popularity, and returns a redirection decision. ODR never carries file
+// bytes itself, so the whole service runs on a $20/month VM.
+//
+// This class is that pipeline minus the HTTP socket: request in,
+// JSON-style response out. It is what the quickstart and the examples use
+// to talk to ODR the way a browser would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ap/storage_device.h"
+#include "cloud/xuanfeng.h"
+#include "core/decision.h"
+#include "net/ip_resolver.h"
+#include "util/uri.h"
+#include "workload/catalog.h"
+
+namespace odr::core {
+
+// What the front page collects from the user.
+struct ServiceRequest {
+  std::string link;       // HTTP/FTP/magnet/ed2k link to the data source
+  std::string client_ip;  // for ISP resolution
+  // Auxiliary info; optional when a session cookie carries stored values.
+  std::optional<Rate> access_bandwidth;
+  std::optional<std::string> ap_model;  // "", "HiWiFi", "MiWiFi", "Newifi"
+  std::optional<odr::ap::DeviceType> ap_device;
+  std::optional<odr::ap::Filesystem> ap_filesystem;
+  // Session cookie from a previous response (may be empty).
+  std::string cookie;
+};
+
+struct ServiceResponse {
+  bool ok = false;
+  std::string error;          // set when !ok
+  Decision decision;          // the redirection (when ok)
+  DecisionInput input;        // what ODR saw (popularity, cache, ISP, ...)
+  std::string cookie;         // session cookie to present next time
+  bool known_file = false;    // the content DB recognized the link
+  // Compact JSON rendering of this response (what the web page receives).
+  std::string to_json() const;
+};
+
+class OdrService {
+ public:
+  // The service holds references to the systems it queries; all must
+  // outlive it. `now_fn` supplies the query timestamp (simulation time).
+  OdrService(const Redirector& redirector, const cloud::XuanfengCloud& cloud,
+             const workload::Catalog& catalog, net::IpResolver resolver);
+
+  // Handles one front-page submission.
+  ServiceResponse handle(const ServiceRequest& request, SimTime now);
+
+  // Looks up a catalog file by a parsed link (content hash for P2P links,
+  // host+path MD5 for HTTP/FTP). Exposed for tests.
+  std::optional<workload::FileIndex> resolve_file(
+      const DownloadLink& link) const;
+
+  std::size_t active_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    Rate access_bandwidth = 0.0;
+    bool has_ap = false;
+    std::optional<odr::ap::DeviceType> ap_device;
+    std::optional<odr::ap::Filesystem> ap_filesystem;
+  };
+
+  std::string new_cookie();
+
+  const Redirector& redirector_;
+  const cloud::XuanfengCloud& cloud_;
+  const workload::Catalog& catalog_;
+  net::IpResolver resolver_;
+
+  // Link resolution index: content-hash hex (P2P) or source-link MD5
+  // (HTTP/FTP) -> file index.
+  std::unordered_map<std::string, workload::FileIndex> by_hash_;
+  std::unordered_map<std::string, workload::FileIndex> by_url_;
+
+  std::unordered_map<std::string, Session> sessions_;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace odr::core

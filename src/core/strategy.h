@@ -1,0 +1,41 @@
+// Routing strategies: ODR plus the baselines it is compared against.
+//
+//   kCloudOnly     — the pure cloud-based approach (Xuanfeng as-is, §4);
+//   kApOnly        — the pure smart-AP approach (§5);
+//   kAlwaysHybrid  — the vendors' hybrid (§7): every file goes Internet ->
+//                    cloud -> smart AP -> user, the longest possible flow;
+//   kAms           — Zhou et al.'s Automatic Mode Selection: peer-assisted
+//                    for popular files, cloud for the rest (no user-side
+//                    bottleneck awareness);
+//   kOdr           — the full Fig-15 decision tree.
+#pragma once
+
+#include "core/decision.h"
+
+namespace odr::core {
+
+enum class Strategy : std::uint8_t {
+  kOdr = 0,
+  kCloudOnly = 1,
+  kApOnly = 2,
+  kAlwaysHybrid = 3,
+  kAms = 4,
+};
+
+constexpr std::string_view strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kOdr: return "ODR";
+    case Strategy::kCloudOnly: return "Cloud-only";
+    case Strategy::kApOnly: return "SmartAP-only";
+    case Strategy::kAlwaysHybrid: return "Always-hybrid";
+    case Strategy::kAms: return "AMS";
+  }
+  return "?";
+}
+
+// Routes a request under `strategy`. For kOdr this defers to the
+// Redirector; baselines ignore most of the input by design.
+Decision decide_with(Strategy strategy, const Redirector& redirector,
+                     const DecisionInput& input);
+
+}  // namespace odr::core

@@ -1,0 +1,94 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odr::core {
+
+BbaController::BbaController(BbaParams params) : params_(std::move(params)) {
+  assert(!params_.ladder.empty());
+  assert(std::is_sorted(params_.ladder.begin(), params_.ladder.end()));
+  assert(params_.cushion_sec > 0.0);
+}
+
+Rate BbaController::select(double buffer_sec) const {
+  const auto& ladder = params_.ladder;
+  if (buffer_sec <= params_.reservoir_sec) return ladder.front();
+  const double upper = params_.reservoir_sec + params_.cushion_sec;
+  if (buffer_sec >= upper) return ladder.back();
+  // Linear map of the cushion onto the ladder indices (BBA-0).
+  const double f = (buffer_sec - params_.reservoir_sec) / params_.cushion_sec;
+  const auto idx = static_cast<std::size_t>(
+      f * static_cast<double>(ladder.size() - 1) + 0.5);
+  return ladder[std::min(idx, ladder.size() - 1)];
+}
+
+StreamingResult simulate_streaming(
+    const BbaController& controller, double duration_sec,
+    const std::function<Rate(double)>& download_rate, double segment_sec) {
+  assert(segment_sec > 0.0);
+  StreamingResult result;
+  if (duration_sec <= 0.0) return result;
+
+  double wall = 0.0;           // wall-clock seconds since start
+  double buffer = 0.0;         // buffered content, seconds
+  double played = 0.0;         // content played, seconds
+  double downloaded = 0.0;     // content downloaded, seconds
+  double weighted_bitrate = 0.0;
+  bool started = false;
+  Rate last_bitrate = 0.0;
+  const double kMaxWall = 1e7;  // guard against zero-rate livelock
+
+  while (played < duration_sec && wall < kMaxWall) {
+    if (downloaded < duration_sec) {
+      // Download the next segment at the buffer-selected bitrate.
+      const Rate bitrate = controller.select(buffer);
+      if (started && last_bitrate > 0.0 && bitrate != last_bitrate) {
+        ++result.bitrate_switches;
+      }
+      last_bitrate = bitrate;
+
+      const double seg = std::min(segment_sec, duration_sec - downloaded);
+      const double seg_bytes = bitrate * seg;
+      const Rate net = std::max(1.0, download_rate(wall));
+      const double fetch_time = seg_bytes / net;
+
+      // While the segment downloads, playback (if started) drains buffer.
+      double drain = started ? std::min(buffer, fetch_time) : 0.0;
+      played += drain;
+      buffer -= drain;
+      if (started && fetch_time > drain) {
+        result.rebuffer_sec += fetch_time - drain;  // stall mid-download
+      }
+      wall += fetch_time;
+      buffer += seg;
+      downloaded += seg;
+      weighted_bitrate += bitrate * seg;
+
+      if (!started && (buffer >= controller.params().startup_buffer_sec ||
+                       downloaded >= duration_sec)) {
+        started = true;
+        result.startup_delay_sec = wall;
+      }
+    } else {
+      // Everything downloaded: drain the buffer to the end.
+      played += buffer;
+      buffer = 0.0;
+      break;
+    }
+  }
+  result.playback_sec = std::min(played + buffer, duration_sec);
+  result.average_bitrate =
+      downloaded > 0.0 ? weighted_bitrate / downloaded : 0.0;
+  return result;
+}
+
+StreamingResult simulate_streaming(const BbaController& controller,
+                                   double duration_sec, Rate download_rate) {
+  return simulate_streaming(
+      controller, duration_sec,
+      [download_rate](double) { return download_rate; });
+}
+
+}  // namespace odr::core

@@ -1,0 +1,102 @@
+#include "net/ip_resolver.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace odr::net {
+
+std::optional<std::uint32_t> parse_ipv4(std::string_view ip) {
+  std::uint32_t addr = 0;
+  int octets = 0;
+  const char* p = ip.data();
+  const char* end = ip.data() + ip.size();
+  while (p < end && octets < 4) {
+    std::uint32_t value = 0;
+    const auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc() || next == p || value > 255) return std::nullopt;
+    addr = (addr << 8) | value;
+    ++octets;
+    p = next;
+    if (octets < 4) {
+      if (p >= end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (octets != 4 || p != end) return std::nullopt;
+  return addr;
+}
+
+std::string format_ipv4(std::uint32_t addr) {
+  return std::to_string((addr >> 24) & 0xff) + "." +
+         std::to_string((addr >> 16) & 0xff) + "." +
+         std::to_string((addr >> 8) & 0xff) + "." +
+         std::to_string(addr & 0xff);
+}
+
+bool IpResolver::add_prefix(std::string_view cidr_base, int prefix_len,
+                            Isp isp) {
+  if (prefix_len < 0 || prefix_len > 32) return false;
+  const auto base = parse_ipv4(cidr_base);
+  if (!base) return false;
+  Entry e;
+  e.len = prefix_len;
+  e.mask = prefix_len == 0 ? 0u : ~0u << (32 - prefix_len);
+  e.base = *base & e.mask;
+  e.isp = isp;
+  entries_.push_back(e);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.len > b.len; });
+  return true;
+}
+
+bool IpResolver::add_prefix(std::string_view cidr, Isp isp) {
+  const std::size_t slash = cidr.find('/');
+  if (slash == std::string_view::npos) return false;
+  int len = 0;
+  const std::string_view len_str = cidr.substr(slash + 1);
+  const auto [ptr, ec] =
+      std::from_chars(len_str.data(), len_str.data() + len_str.size(), len);
+  if (ec != std::errc() || ptr != len_str.data() + len_str.size()) {
+    return false;
+  }
+  return add_prefix(cidr.substr(0, slash), len, isp);
+}
+
+Isp IpResolver::resolve(std::uint32_t addr) const {
+  for (const Entry& e : entries_) {
+    if ((addr & e.mask) == e.base) return e.isp;
+  }
+  return Isp::kOther;
+}
+
+Isp IpResolver::resolve(std::string_view ip) const {
+  const auto addr = parse_ipv4(ip);
+  return addr ? resolve(*addr) : Isp::kOther;
+}
+
+IpResolver IpResolver::china_2015() {
+  IpResolver r;
+  // Synthetic ranges emitted by workload::UserPopulation (first octet
+  // encodes the ISP: 36 Unicom, 56 Telecom, 76 Mobile, 96 CERNET; 116
+  // deliberately unlisted -> Other).
+  r.add_prefix("36.0.0.0/8", Isp::kUnicom);
+  r.add_prefix("56.0.0.0/8", Isp::kTelecom);
+  r.add_prefix("76.0.0.0/8", Isp::kMobile);
+  r.add_prefix("96.0.0.0/8", Isp::kCernet);
+  // Representative real allocations (APNIC delegations, 2015 era).
+  r.add_prefix("219.128.0.0/11", Isp::kTelecom);
+  r.add_prefix("220.160.0.0/11", Isp::kTelecom);
+  r.add_prefix("58.32.0.0/11", Isp::kTelecom);
+  r.add_prefix("123.112.0.0/12", Isp::kUnicom);
+  r.add_prefix("221.192.0.0/13", Isp::kUnicom);
+  r.add_prefix("125.32.0.0/13", Isp::kUnicom);
+  r.add_prefix("111.0.0.0/10", Isp::kMobile);
+  r.add_prefix("183.192.0.0/10", Isp::kMobile);
+  r.add_prefix("120.192.0.0/10", Isp::kMobile);
+  r.add_prefix("166.111.0.0/16", Isp::kCernet);
+  r.add_prefix("59.64.0.0/11", Isp::kCernet);
+  r.add_prefix("202.112.0.0/13", Isp::kCernet);
+  return r;
+}
+
+}  // namespace odr::net

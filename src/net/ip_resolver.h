@@ -1,0 +1,58 @@
+// IPv4 -> ISP resolution (the APNIC lookup of §6.1).
+//
+// ODR learns the user's ISP from her IP address "with the help of the
+// APNIC service, a major service provider for IP address
+// collecting/resolving in Asia Pacific". This module is that database:
+// a longest-prefix-match table over CIDR allocations. A built-in table
+// models the China-2015 allocation landscape (and covers the synthetic
+// addresses the user model generates); production users would load real
+// APNIC delegation data with add_prefix().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/isp.h"
+
+namespace odr::net {
+
+// Parses dotted-quad IPv4; nullopt on malformed input.
+std::optional<std::uint32_t> parse_ipv4(std::string_view ip);
+std::string format_ipv4(std::uint32_t addr);
+
+class IpResolver {
+ public:
+  // Empty resolver: everything resolves to Isp::kOther.
+  IpResolver() = default;
+
+  // Adds a CIDR allocation, e.g. ("219.128.0.0", 11, Isp::kTelecom).
+  // Returns false on malformed prefix or length > 32.
+  bool add_prefix(std::string_view cidr_base, int prefix_len, Isp isp);
+  // Convenience: "219.128.0.0/11".
+  bool add_prefix(std::string_view cidr, Isp isp);
+
+  // Longest-prefix match; kOther when nothing matches.
+  Isp resolve(std::uint32_t addr) const;
+  Isp resolve(std::string_view ip) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  // A resolver pre-loaded with a China-2015-flavoured allocation table
+  // (including the synthetic ranges used by workload::UserPopulation).
+  static IpResolver china_2015();
+
+ private:
+  struct Entry {
+    std::uint32_t base = 0;
+    std::uint32_t mask = 0;
+    int len = 0;
+    Isp isp = Isp::kOther;
+  };
+  // Kept sorted by descending prefix length so the first match wins.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace odr::net

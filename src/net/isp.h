@@ -1,0 +1,46 @@
+// ISP identities and the China access-network mix.
+//
+// China's AS topology is a small number of giant ISPs with poor
+// inter-connectivity (the "ISP barrier", §2.1). Xuanfeng deploys upload
+// servers inside the four major ISPs; users outside all four can never get
+// a privileged (intra-ISP) path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace odr::net {
+
+enum class Isp : std::uint8_t {
+  kUnicom = 0,
+  kTelecom = 1,
+  kMobile = 2,
+  kCernet = 3,
+  kOther = 4,  // smaller ISPs not covered by the cloud's upload clusters
+};
+
+inline constexpr std::size_t kIspCount = 5;
+inline constexpr std::array<Isp, kIspCount> kAllIsps = {
+    Isp::kUnicom, Isp::kTelecom, Isp::kMobile, Isp::kCernet, Isp::kOther};
+
+// The four ISPs the cloud deploys upload servers in (§2.1).
+inline constexpr std::array<Isp, 4> kMajorIsps = {
+    Isp::kUnicom, Isp::kTelecom, Isp::kMobile, Isp::kCernet};
+
+constexpr std::string_view isp_name(Isp isp) {
+  switch (isp) {
+    case Isp::kUnicom: return "Unicom";
+    case Isp::kTelecom: return "Telecom";
+    case Isp::kMobile: return "Mobile";
+    case Isp::kCernet: return "CERNET";
+    case Isp::kOther: return "Other";
+  }
+  return "?";
+}
+
+constexpr bool is_major_isp(Isp isp) { return isp != Isp::kOther; }
+
+constexpr bool crosses_isp(Isp a, Isp b) { return a != b; }
+
+}  // namespace odr::net

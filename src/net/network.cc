@@ -1,0 +1,328 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace odr::net {
+
+namespace {
+// Rates below this (bytes/sec) are treated as zero: the flow is stalled and
+// no completion event is scheduled for it.
+constexpr Rate kMinRate = 1e-6;
+}  // namespace
+
+NodeId Network::add_node(std::string name, Isp isp) {
+  nodes_.push_back(NodeState{std::move(name), isp});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+LinkId Network::add_link(std::string name, Rate capacity) {
+  assert(capacity >= 0.0);
+  links_.push_back(LinkState{std::move(name), capacity, {}});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+void Network::set_link_capacity(LinkId link, Rate capacity) {
+  assert(link < links_.size());
+  assert(capacity >= 0.0);
+  links_[link].capacity = capacity;
+  reallocate_component({link});
+}
+
+Rate Network::link_capacity(LinkId link) const {
+  assert(link < links_.size());
+  return links_[link].capacity;
+}
+
+Rate Network::link_utilization(LinkId link) const {
+  assert(link < links_.size());
+  Rate total = 0.0;
+  for (FlowId id : links_[link].flows) {
+    auto it = flows_.find(id);
+    if (it != flows_.end()) total += it->second.rate;
+  }
+  return total;
+}
+
+std::size_t Network::link_flow_count(LinkId link) const {
+  assert(link < links_.size());
+  return links_[link].flows.size();
+}
+
+Isp Network::node_isp(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].isp;
+}
+
+const std::string& Network::node_name(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].name;
+}
+
+const std::string& Network::link_name(LinkId link) const {
+  assert(link < links_.size());
+  return links_[link].name;
+}
+
+FlowId Network::start_flow(FlowSpec spec) {
+  assert(spec.bytes > 0);
+  const FlowId id = next_flow_id_++;
+  FlowState f;
+  f.path = std::move(spec.path);
+  f.bytes_total = spec.bytes;
+  f.rate_cap = spec.rate_cap;
+  f.started_at = sim_.now();
+  f.last_settled = sim_.now();
+  f.on_complete = std::move(spec.on_complete);
+  for (LinkId l : f.path) {
+    assert(l < links_.size());
+    links_[l].flows.push_back(id);
+  }
+  const std::vector<LinkId> seed = f.path;
+  flows_.emplace(id, std::move(f));
+  if (seed.empty()) {
+    reallocate_flows({id});
+  } else {
+    reallocate_component(seed);
+  }
+  return id;
+}
+
+bool Network::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  if (it->second.completion_event != sim::kInvalidEvent) {
+    sim_.cancel(it->second.completion_event);
+  }
+  const std::vector<LinkId> seed = it->second.path;
+  detach_from_links(id, it->second);
+  flows_.erase(it);
+  reallocate_component(seed);
+  return true;
+}
+
+bool Network::set_flow_cap(FlowId id, Rate cap) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return false;
+  it->second.rate_cap = cap;
+  if (it->second.path.empty()) {
+    reallocate_flows({id});
+  } else {
+    reallocate_component(it->second.path);
+  }
+  return true;
+}
+
+FlowStats Network::flow_stats(FlowId id) {
+  FlowStats s;
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return s;
+  settle(it->second);
+  const FlowState& f = it->second;
+  s.bytes_total = f.bytes_total;
+  s.bytes_done = static_cast<Bytes>(std::min<double>(
+      f.bytes_done, static_cast<double>(f.bytes_total)));
+  s.current_rate = f.rate;
+  s.started_at = f.started_at;
+  s.peak_rate = f.peak_rate;
+  return s;
+}
+
+void Network::settle(FlowState& f) {
+  const SimTime now = sim_.now();
+  if (now > f.last_settled) {
+    f.bytes_done += f.rate * to_seconds(now - f.last_settled);
+    f.last_settled = now;
+  }
+}
+
+void Network::reallocate() {
+  std::vector<FlowId> all;
+  all.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) all.push_back(id);
+  reallocate_flows(std::move(all));
+}
+
+void Network::reallocate_component(const std::vector<LinkId>& seed_links) {
+  // Breadth-first expansion over the "shares a link" relation: only flows in
+  // the affected component can change rate, so only they are re-solved.
+  std::vector<char> link_seen(links_.size(), 0);
+  std::deque<LinkId> frontier;
+  for (LinkId l : seed_links) {
+    if (l < links_.size() && !link_seen[l]) {
+      link_seen[l] = 1;
+      frontier.push_back(l);
+    }
+  }
+  std::vector<FlowId> component;
+  std::unordered_map<FlowId, bool> flow_seen;
+  while (!frontier.empty()) {
+    const LinkId l = frontier.front();
+    frontier.pop_front();
+    for (FlowId id : links_[l].flows) {
+      if (flow_seen.emplace(id, true).second) {
+        component.push_back(id);
+        for (LinkId l2 : flows_.at(id).path) {
+          if (!link_seen[l2]) {
+            link_seen[l2] = 1;
+            frontier.push_back(l2);
+          }
+        }
+      }
+    }
+  }
+  reallocate_flows(std::move(component));
+}
+
+void Network::reallocate_flows(std::vector<FlowId> component) {
+  if (component.empty()) return;
+  std::sort(component.begin(), component.end());
+
+  // Links touched by the component, with capacity *minus* rates of flows
+  // outside the component (those keep their current rates).
+  std::unordered_map<LinkId, double> remaining;
+  std::unordered_map<LinkId, std::size_t> unfrozen_on_link;
+  std::unordered_map<FlowId, char> in_component;
+  for (FlowId id : component) in_component[id] = 1;
+  for (FlowId id : component) {
+    for (LinkId l : flows_.at(id).path) {
+      if (remaining.count(l)) continue;
+      double cap = links_[l].capacity;
+      for (FlowId other : links_[l].flows) {
+        if (!in_component.count(other)) cap -= flows_.at(other).rate;
+      }
+      remaining[l] = std::max(0.0, cap);
+      unfrozen_on_link[l] = 0;
+    }
+  }
+
+  // Settle progress at the old rates before assigning new ones.
+  for (FlowId id : component) settle(flows_.at(id));
+
+  if (model_ == AllocationModel::kEqualSplit) {
+    // Naive split: each flow gets min over its links of capacity/n, then
+    // its cap. No redistribution of unclaimed share (the ablation point).
+    for (FlowId id : component) {
+      FlowState& f = flows_.at(id);
+      double r = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
+      for (LinkId l : f.path) {
+        const double n = static_cast<double>(links_[l].flows.size());
+        r = std::min(r, links_[l].capacity / std::max(1.0, n));
+      }
+      f.rate = std::max(0.0, r);
+      f.peak_rate = std::max(f.peak_rate, f.rate);
+      schedule_completion(id, f);
+    }
+    return;
+  }
+
+  std::unordered_map<FlowId, double> rate;
+  std::vector<FlowId> unfrozen;
+  for (FlowId id : component) {
+    rate[id] = 0.0;
+    FlowState& f = flows_.at(id);
+    if (f.rate_cap <= kMinRate) continue;  // fully throttled
+    if (f.path.empty()) {
+      // No shared constraint: the cap alone determines the rate.
+      rate[id] = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
+      continue;
+    }
+    unfrozen.push_back(id);
+    for (LinkId l : f.path) ++unfrozen_on_link[l];
+  }
+
+  std::unordered_map<FlowId, char> frozen;
+  std::size_t active = unfrozen.size();
+  std::size_t guard = 2 * (unfrozen.size() + remaining.size()) + 8;
+  while (active > 0 && guard-- > 0) {
+    double inc = std::numeric_limits<double>::infinity();
+    for (const auto& [l, rem] : remaining) {
+      const std::size_t n = unfrozen_on_link.at(l);
+      if (n == 0) continue;
+      inc = std::min(inc, rem / static_cast<double>(n));
+    }
+    for (FlowId id : unfrozen) {
+      if (frozen.count(id)) continue;
+      const FlowState& f = flows_.at(id);
+      if (std::isfinite(f.rate_cap)) inc = std::min(inc, f.rate_cap - rate[id]);
+    }
+    if (!std::isfinite(inc)) inc = 1e15;  // unconstrained flows: clamp
+    inc = std::max(inc, 0.0);
+
+    for (FlowId id : unfrozen) {
+      if (frozen.count(id)) continue;
+      rate[id] += inc;
+      for (LinkId l : flows_.at(id).path) remaining[l] -= inc;
+    }
+
+    std::size_t newly_frozen = 0;
+    for (FlowId id : unfrozen) {
+      if (frozen.count(id)) continue;
+      const FlowState& f = flows_.at(id);
+      bool freeze = std::isfinite(f.rate_cap) && rate[id] >= f.rate_cap - kMinRate;
+      if (!freeze) {
+        for (LinkId l : f.path) {
+          if (remaining[l] <= kMinRate) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[id] = 1;
+        ++newly_frozen;
+        for (LinkId l : f.path) --unfrozen_on_link[l];
+      }
+    }
+    active -= newly_frozen;
+    if (newly_frozen == 0) break;  // numerical guard; allocation converged
+  }
+
+  for (FlowId id : component) {
+    FlowState& f = flows_.at(id);
+    f.rate = rate[id];
+    f.peak_rate = std::max(f.peak_rate, f.rate);
+    schedule_completion(id, f);
+  }
+}
+
+void Network::schedule_completion(FlowId id, FlowState& f) {
+  if (f.completion_event != sim::kInvalidEvent) {
+    sim_.cancel(f.completion_event);
+    f.completion_event = sim::kInvalidEvent;
+  }
+  const double remaining = static_cast<double>(f.bytes_total) - f.bytes_done;
+  if (remaining <= 0.0) {
+    f.completion_event = sim_.schedule_after(0, [this, id] { complete_flow(id); });
+    return;
+  }
+  if (f.rate <= kMinRate) return;  // stalled: completion waits for rate change
+  const double secs = remaining / f.rate;
+  const SimTime delay = std::max<SimTime>(0, from_seconds(secs));
+  f.completion_event = sim_.schedule_after(delay, [this, id] { complete_flow(id); });
+}
+
+void Network::complete_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  settle(it->second);
+  it->second.completion_event = sim::kInvalidEvent;
+  it->second.bytes_done = static_cast<double>(it->second.bytes_total);
+  FlowCallback cb = std::move(it->second.on_complete);
+  const std::vector<LinkId> seed = it->second.path;
+  detach_from_links(id, it->second);
+  flows_.erase(it);
+  reallocate_component(seed);
+  if (cb) cb(id);
+}
+
+void Network::detach_from_links(FlowId id, const FlowState& f) {
+  for (LinkId l : f.path) {
+    auto& v = links_[l].flows;
+    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+  }
+}
+
+}  // namespace odr::net

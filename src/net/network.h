@@ -1,0 +1,154 @@
+// Flow-level network simulator with max-min fair bandwidth sharing.
+//
+// The model: a set of directed links, each with a capacity in bytes/sec,
+// and a set of flows, each following a path (a list of links) and carrying
+// a known number of bytes, optionally with a per-flow rate cap (e.g. an
+// application throttle or a degraded cross-ISP path). Whenever the flow
+// set or any capacity changes, rates are recomputed with the classic
+// progressive-filling algorithm, which yields the max-min fair allocation.
+// Flow completions are scheduled on the odr::sim::Simulator from the
+// allocated rates and rescheduled on every reallocation.
+//
+// This level of abstraction — rates, not packets — reproduces every
+// bandwidth phenomenon the paper analyses (who is bottlenecked where, link
+// saturation, admission pressure) at a cost that lets us replay
+// hundreds of thousands of tasks per second of wall time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/isp.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace odr::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+using FlowId = std::uint64_t;
+inline constexpr FlowId kInvalidFlow = 0;
+inline constexpr Rate kUnlimitedRate = std::numeric_limits<double>::infinity();
+
+struct FlowStats {
+  Bytes bytes_total = 0;
+  Bytes bytes_done = 0;
+  Rate current_rate = 0.0;
+  SimTime started_at = 0;
+  Rate peak_rate = 0.0;
+};
+
+// Completion callback: invoked once when the flow's last byte is delivered.
+using FlowCallback = std::function<void(FlowId)>;
+
+// Bandwidth allocation model (ablation knob; see DESIGN.md §5.1).
+//   kMaxMinFair  — progressive filling: unused share from capped flows is
+//                  redistributed to unconstrained ones (TCP-like).
+//   kEqualSplit  — naive: every flow on a link gets capacity/n, then its
+//                  own cap; share unclaimed by capped flows is WASTED.
+enum class AllocationModel : std::uint8_t {
+  kMaxMinFair = 0,
+  kEqualSplit = 1,
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim, AllocationModel model =
+                                            AllocationModel::kMaxMinFair)
+      : sim_(sim), model_(model) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology -----------------------------------------------------------
+
+  NodeId add_node(std::string name, Isp isp = Isp::kOther);
+  LinkId add_link(std::string name, Rate capacity);
+
+  void set_link_capacity(LinkId link, Rate capacity);
+  Rate link_capacity(LinkId link) const;
+  // Sum of current flow rates over the link.
+  Rate link_utilization(LinkId link) const;
+  std::size_t link_flow_count(LinkId link) const;
+
+  Isp node_isp(NodeId node) const;
+  const std::string& node_name(NodeId node) const;
+  const std::string& link_name(LinkId link) const;
+
+  // --- flows --------------------------------------------------------------
+
+  struct FlowSpec {
+    std::vector<LinkId> path;   // may be empty (rate then = cap)
+    Bytes bytes = 0;            // must be > 0
+    Rate rate_cap = kUnlimitedRate;
+    FlowCallback on_complete;   // optional
+  };
+
+  FlowId start_flow(FlowSpec spec);
+
+  // Stops a flow before completion; its callback is not invoked.
+  // Returns false if the flow already finished or never existed.
+  bool cancel_flow(FlowId id);
+
+  // Changes a flow's cap mid-transfer (e.g. swarm capacity drift).
+  bool set_flow_cap(FlowId id, Rate cap);
+
+  bool flow_active(FlowId id) const { return flows_.count(id) > 0; }
+  // Stats are settled to `now` before being returned.
+  FlowStats flow_stats(FlowId id);
+
+  std::size_t active_flow_count() const { return flows_.size(); }
+
+  // Recomputes the max-min fair allocation immediately. Normally invoked
+  // internally; exposed for tests.
+  void reallocate();
+
+  // Re-solves only the flows transitively sharing links with `seed_links`
+  // (all other rates are provably unchanged).
+  void reallocate_component(const std::vector<LinkId>& seed_links);
+
+ private:
+  struct LinkState {
+    std::string name;
+    Rate capacity;
+    std::vector<FlowId> flows;  // active flows traversing this link
+  };
+
+  struct NodeState {
+    std::string name;
+    Isp isp;
+  };
+
+  struct FlowState {
+    std::vector<LinkId> path;
+    Bytes bytes_total = 0;
+    double bytes_done = 0.0;  // double: avoids rounding drift on resettles
+    Rate rate = 0.0;
+    Rate rate_cap = kUnlimitedRate;
+    Rate peak_rate = 0.0;
+    SimTime started_at = 0;
+    SimTime last_settled = 0;
+    FlowCallback on_complete;
+    sim::EventId completion_event = sim::kInvalidEvent;
+  };
+
+  void settle(FlowState& f);
+  // Progressive filling restricted to `component`; reschedules completions.
+  void reallocate_flows(std::vector<FlowId> component);
+  void schedule_completion(FlowId id, FlowState& f);
+  void complete_flow(FlowId id);
+  void detach_from_links(FlowId id, const FlowState& f);
+
+  sim::Simulator& sim_;
+  std::vector<NodeState> nodes_;
+  std::vector<LinkState> links_;
+  std::unordered_map<FlowId, FlowState> flows_;
+  FlowId next_flow_id_ = 1;
+  AllocationModel model_ = AllocationModel::kMaxMinFair;
+};
+
+}  // namespace odr::net

@@ -1,0 +1,158 @@
+#include "proto/download.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odr::proto {
+
+DownloadTask::DownloadTask(sim::Simulator& sim, net::Network& net,
+                           std::unique_ptr<Source> source, Bytes file_size,
+                           Config config, DoneFn on_done)
+    : sim_(sim),
+      net_(net),
+      source_(std::move(source)),
+      file_size_(file_size),
+      config_(std::move(config)),
+      on_done_(std::move(on_done)) {
+  assert(source_ != nullptr);
+  assert(file_size_ > 0);
+}
+
+DownloadTask::~DownloadTask() {
+  // Destroying a running task tears it down silently: the owner is going
+  // away, so the completion callback must not fire.
+  if (running_) {
+    on_done_ = nullptr;
+    abort();
+  }
+}
+
+Rate DownloadTask::effective_cap() const {
+  return std::min({source_->current_rate(), config_.line_rate,
+                   config_.sink_rate});
+}
+
+void DownloadTask::start(Rng& rng) {
+  assert(!running_ && !done_);
+  rng_ = &rng;
+  running_ = true;
+  started_at_ = sim_.now();
+  last_tick_ = sim_.now();
+  last_progress_at_ = sim_.now();
+  last_progress_bytes_ = 0.0;
+
+  net::Network::FlowSpec spec;
+  spec.path = config_.shared_links;
+  spec.bytes = file_size_;
+  spec.rate_cap = effective_cap();
+  spec.on_complete = [this](net::FlowId) {
+    flow_ = net::kInvalidFlow;
+    finish(true, FailureCause::kNone);
+  };
+  flow_ = net_.start_flow(std::move(spec));
+  peak_rate_ = net_.flow_stats(flow_).current_rate;
+  tick_event_ = sim_.schedule_after(config_.tick_period, [this] { on_tick(); });
+}
+
+Bytes DownloadTask::bytes_done() {
+  if (flow_ == net::kInvalidFlow) return done_ ? file_size_ : 0;
+  return net_.flow_stats(flow_).bytes_done;
+}
+
+void DownloadTask::on_tick() {
+  tick_event_ = sim::kInvalidEvent;
+  if (!running_) return;
+
+  const SimTime now = sim_.now();
+  source_->tick(now - last_tick_, *rng_);
+  last_tick_ = now;
+
+  if (source_->fatal()) {
+    finish(false, source_->fatal_cause());
+    return;
+  }
+
+  const net::FlowStats stats = net_.flow_stats(flow_);
+  peak_rate_ = std::max(peak_rate_, stats.peak_rate);
+
+  // Stagnation rule: if no forward progress for `stagnation_timeout`, the
+  // attempt is declared failed (§4.1). "Progress" is any byte movement
+  // since the last observation.
+  const double progressed =
+      static_cast<double>(stats.bytes_done) - last_progress_bytes_;
+  if (progressed > 0.5) {
+    last_progress_bytes_ = static_cast<double>(stats.bytes_done);
+    last_progress_at_ = now;
+  } else if (now - last_progress_at_ >= config_.stagnation_timeout) {
+    const FailureCause cause = is_p2p(source_->protocol())
+                                   ? FailureCause::kInsufficientSeeds
+                                   : FailureCause::kPoorHttpConnection;
+    finish(false, cause);
+    return;
+  }
+
+  if (config_.hard_timeout != kTimeNever &&
+      now - started_at_ >= config_.hard_timeout) {
+    const FailureCause cause = is_p2p(source_->protocol())
+                                   ? FailureCause::kInsufficientSeeds
+                                   : FailureCause::kPoorHttpConnection;
+    finish(false, cause);
+    return;
+  }
+
+  net_.set_flow_cap(flow_, effective_cap());
+  tick_event_ = sim_.schedule_after(config_.tick_period, [this] { on_tick(); });
+}
+
+void DownloadTask::abort() {
+  if (!running_) return;
+  finish(false, FailureCause::kAborted);
+}
+
+void DownloadTask::fail(FailureCause cause) {
+  if (!running_) return;
+  finish(false, cause);
+}
+
+void DownloadTask::finish(bool success, FailureCause cause) {
+  assert(running_);
+  running_ = false;
+  done_ = true;
+
+  DownloadResult result;
+  result.success = success;
+  result.cause = cause;
+  result.started_at = started_at_;
+  result.finished_at = sim_.now();
+  result.file_size = file_size_;
+
+  if (flow_ != net::kInvalidFlow) {
+    const net::FlowStats stats = net_.flow_stats(flow_);
+    result.bytes_downloaded = stats.bytes_done;
+    peak_rate_ = std::max(peak_rate_, stats.peak_rate);
+    net_.cancel_flow(flow_);
+    flow_ = net::kInvalidFlow;
+  } else {
+    result.bytes_downloaded = file_size_;
+  }
+  if (success) result.bytes_downloaded = file_size_;
+
+  if (tick_event_ != sim::kInvalidEvent) {
+    sim_.cancel(tick_event_);
+    tick_event_ = sim::kInvalidEvent;
+  }
+
+  result.traffic_bytes = static_cast<Bytes>(
+      std::llround(static_cast<double>(result.bytes_downloaded) *
+                   source_->traffic_factor()));
+  result.peak_rate = peak_rate_;
+  const SimTime elapsed = result.duration();
+  result.average_rate =
+      success ? average_rate(result.file_size, elapsed)
+              : average_rate(result.bytes_downloaded, elapsed);
+
+  if (on_done_) on_done_(result);
+}
+
+}  // namespace odr::proto

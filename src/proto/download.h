@@ -1,0 +1,101 @@
+// DownloadTask: one (pre-)download attempt driven to completion or failure.
+//
+// This is the shared engine under both proxies: a cloud pre-downloader VM
+// and a smart AP run exactly this loop, differing only in configuration
+// (line rate, storage write ceiling, shared links). The task:
+//   - opens a network flow capped at min(source rate, line rate, sink rate);
+//   - ticks the source model periodically and re-caps the flow;
+//   - fails the attempt if progress stagnates for the configured timeout —
+//     Xuanfeng's rule (§4.1): a transfer that stalls for an hour will
+//     almost never finish, so give up and notify the user;
+//   - fails immediately on a fatal source error (non-resumable HTTP drop);
+//   - reports a DownloadResult either way.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "proto/source.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace odr::proto {
+
+struct DownloadResult {
+  bool success = false;
+  FailureCause cause = FailureCause::kNone;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  Bytes file_size = 0;
+  Bytes bytes_downloaded = 0;
+  // Total network traffic including protocol/tit-for-tat overhead.
+  Bytes traffic_bytes = 0;
+  Rate average_rate = 0.0;  // file bytes over wall time (0 for failures at 0%)
+  Rate peak_rate = 0.0;
+
+  SimTime duration() const { return finished_at - started_at; }
+};
+
+class DownloadTask {
+ public:
+  struct Config {
+    Rate line_rate = net::kUnlimitedRate;  // downloader's access bandwidth
+    Rate sink_rate = net::kUnlimitedRate;  // storage-device effective write rate
+    std::vector<net::LinkId> shared_links;  // e.g. a pooled uplink
+    SimTime stagnation_timeout = kHour;     // Xuanfeng's failure rule
+    SimTime tick_period = 5 * kMinute;      // source model update cadence
+    SimTime hard_timeout = kTimeNever;      // absolute give-up time, if any
+  };
+
+  using DoneFn = std::function<void(const DownloadResult&)>;
+
+  DownloadTask(sim::Simulator& sim, net::Network& net,
+               std::unique_ptr<Source> source, Bytes file_size, Config config,
+               DoneFn on_done);
+  ~DownloadTask();
+
+  DownloadTask(const DownloadTask&) = delete;
+  DownloadTask& operator=(const DownloadTask&) = delete;
+
+  // Begins the transfer; `rng` must outlive the task.
+  void start(Rng& rng);
+
+  // Cancels a running task; reports FailureCause::kAborted.
+  void abort();
+
+  // Fails a running task with an externally determined cause (e.g. a
+  // downloader-side crash injected by the smart-AP bug model).
+  void fail(proto::FailureCause cause);
+
+  bool running() const { return running_; }
+  Bytes bytes_done();
+  const Source& source() const { return *source_; }
+
+ private:
+  void on_tick();
+  void finish(bool success, FailureCause cause);
+  Rate effective_cap() const;
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  std::unique_ptr<Source> source_;
+  Bytes file_size_;
+  Config config_;
+  DoneFn on_done_;
+  Rng* rng_ = nullptr;
+
+  net::FlowId flow_ = net::kInvalidFlow;
+  sim::EventId tick_event_ = sim::kInvalidEvent;
+  SimTime started_at_ = 0;
+  SimTime last_tick_ = 0;
+  double last_progress_bytes_ = -1.0;
+  SimTime last_progress_at_ = 0;
+  Rate peak_rate_ = 0.0;
+  bool running_ = false;
+  bool done_ = false;
+};
+
+}  // namespace odr::proto

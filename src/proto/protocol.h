@@ -1,0 +1,58 @@
+// File-transfer protocols appearing in the workload.
+//
+// The Xuanfeng workload mix (§3): BitTorrent 68%, eMule 19%, HTTP/FTP 13%
+// of requested files. P2P dominance is why offline downloading exists at
+// all — swarm availability is unpredictable, so users outsource the wait.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace odr::proto {
+
+enum class Protocol : std::uint8_t {
+  kBitTorrent = 0,
+  kEmule = 1,
+  kHttp = 2,
+  kFtp = 3,
+};
+
+constexpr std::string_view protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kBitTorrent: return "BitTorrent";
+    case Protocol::kEmule: return "eMule";
+    case Protocol::kHttp: return "HTTP";
+    case Protocol::kFtp: return "FTP";
+  }
+  return "?";
+}
+
+constexpr bool is_p2p(Protocol p) {
+  return p == Protocol::kBitTorrent || p == Protocol::kEmule;
+}
+
+// Why a (pre-)download attempt failed. The taxonomy follows §5.2: of the
+// 168 smart-AP failures, 86% were insufficient seeds, 10% poor HTTP/FTP
+// connections, 4% system bugs.
+enum class FailureCause : std::uint8_t {
+  kNone = 0,
+  kInsufficientSeeds,   // P2P swarm starved; progress stagnated
+  kPoorHttpConnection,  // origin server dropped a non-resumable transfer
+  kSystemBug,           // downloader-side defect (injected, AP models)
+  kRejected,            // cloud admission control refused the fetch
+  kAborted,             // cancelled by the caller
+};
+
+constexpr std::string_view failure_cause_name(FailureCause c) {
+  switch (c) {
+    case FailureCause::kNone: return "none";
+    case FailureCause::kInsufficientSeeds: return "insufficient-seeds";
+    case FailureCause::kPoorHttpConnection: return "poor-http-connection";
+    case FailureCause::kSystemBug: return "system-bug";
+    case FailureCause::kRejected: return "rejected";
+    case FailureCause::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace odr::proto

@@ -1,0 +1,52 @@
+#include "proto/source.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace odr::proto {
+
+ServerSource::ServerSource(Protocol protocol, const ServerParams& params,
+                           Rng& rng)
+    : protocol_(protocol) {
+  assert(!is_p2p(protocol));
+  rate_ = params.rate_median * std::exp(rng.normal(0.0, params.rate_sigma));
+  overhead_ = rng.uniform(params.overhead_lo, params.overhead_hi);
+  will_break_ = rng.bernoulli(params.connection_break_prob);
+  break_is_fatal_ = rng.bernoulli(params.non_resumable_prob);
+  break_after_ = will_break_
+                     ? from_seconds(rng.exponential(
+                           to_seconds(params.break_after_mean)))
+                     : kTimeNever;
+}
+
+void ServerSource::tick(SimTime dt, Rng& rng) {
+  if (broken_ || !will_break_) return;
+  elapsed_ += dt;
+  if (elapsed_ >= break_after_) {
+    if (break_is_fatal_) {
+      // The server cannot resume partial transfers: the attempt is dead.
+      broken_ = true;
+      fatal_ = true;
+    } else {
+      // Resumable: brief outage, then the transfer continues. Model the
+      // outage as a rate dip for one tick and re-arm a possible later break.
+      elapsed_ = 0;
+      break_after_ = from_seconds(rng.exponential(to_seconds(2 * kHour)));
+    }
+  }
+}
+
+SwarmSource::SwarmSource(Protocol protocol, double weekly_popularity,
+                         const SwarmParams& params, Rng& rng)
+    : protocol_(protocol), swarm_(protocol, weekly_popularity, params, rng) {}
+
+std::unique_ptr<Source> make_source(Protocol protocol, double weekly_popularity,
+                                    const SourceParams& params, Rng& rng) {
+  if (is_p2p(protocol)) {
+    return std::make_unique<SwarmSource>(protocol, weekly_popularity,
+                                         params.swarm, rng);
+  }
+  return std::make_unique<ServerSource>(protocol, params.server, rng);
+}
+
+}  // namespace odr::proto

@@ -1,0 +1,100 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace odr::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  queue_.push(Scheduled{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  return id;
+}
+
+EventId Simulator::schedule_after(SimTime delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  // The queue entry stays as a tombstone and is skipped when popped.
+  return true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Scheduled top = queue_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    assert(top.time >= now_);
+    queue_.pop();
+    now_ = top.time;
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    const Scheduled& top = queue_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+std::uint64_t Simulator::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime period,
+                           Simulator::Callback fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  assert(period_ > 0);
+}
+
+void PeriodicTask::start() {
+  stop_requested_ = false;
+  if (running()) return;
+  event_ = sim_.schedule_after(period_, [this] { tick(); });
+}
+
+void PeriodicTask::stop() {
+  stop_requested_ = true;
+  if (event_ != kInvalidEvent) {
+    sim_.cancel(event_);
+    event_ = kInvalidEvent;
+  }
+}
+
+void PeriodicTask::tick() {
+  event_ = kInvalidEvent;
+  fn_();
+  // fn_ may have called stop(); in that case do not reschedule.
+  if (!stop_requested_) {
+    event_ = sim_.schedule_after(period_, [this] { tick(); });
+  }
+}
+
+}  // namespace odr::sim

@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// The engine is a single-threaded event queue over integer-microsecond
+// simulated time. Events are callbacks scheduled at absolute times; they
+// may schedule or cancel further events. Ties break in scheduling order,
+// which (with the deterministic Rng) makes whole experiments bit-for-bit
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace odr::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute simulated time `t` (>= now). Returns an id
+  // usable with cancel().
+  EventId schedule_at(SimTime t, Callback fn);
+
+  // Schedules `fn` `delay` after now. Negative delays clamp to now.
+  EventId schedule_after(SimTime delay, Callback fn);
+
+  // Cancels a pending event. Returns false if it already ran, was already
+  // cancelled, or never existed.
+  bool cancel(EventId id);
+
+  bool has_pending() const { return live_events_ > 0; }
+  std::size_t pending_count() const { return live_events_; }
+
+  // Runs exactly one event; false if none pending.
+  bool step();
+
+  // Runs events with time <= t, then advances the clock to exactly t.
+  void run_until(SimTime t);
+
+  // Runs until the queue drains (or `max_events` is hit, a guard against
+  // runaway self-rescheduling models). Returns events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Scheduled {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    bool operator>(const Scheduled& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+// Repeats a callback at a fixed period until stopped; used for watchdogs
+// (stagnation timeouts) and periodic model updates (swarm population churn).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, SimTime period, Simulator::Callback fn);
+  ~PeriodicTask() { stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return event_ != kInvalidEvent; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  SimTime period_;
+  Simulator::Callback fn_;
+  EventId event_ = kInvalidEvent;
+  bool stop_requested_ = false;
+};
+
+}  // namespace odr::sim

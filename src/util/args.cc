@@ -1,0 +1,90 @@
+#include "util/args.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace odr {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+ArgParser& ArgParser::flag(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  flags_[name] = Flag{default_value, help, std::nullopt};
+  return *this;
+}
+
+bool ArgParser::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (!has_value) {
+      // --name value, unless the next token is another flag (boolean form).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    std::fprintf(stderr, "internal error: undeclared flag --%s\n", name.c_str());
+    std::abort();
+  }
+  return it->second.value.value_or(it->second.default_value);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name << " (default: " << f.default_value << ")\n      "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace odr

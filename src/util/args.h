@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for examples and bench binaries.
+//
+// Supports --name=value and --name value forms plus boolean --flag.
+// Unknown flags are an error so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace odr {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program_description);
+
+  // Declares a flag with a default; returns *this for chaining.
+  ArgParser& flag(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  // Parses argv. Returns false (and prints usage) on error or --help.
+  bool parse(int argc, char** argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace odr

@@ -1,0 +1,83 @@
+#include "util/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace odr {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  int c;
+  while ((c = in_.get()) != EOF) {
+    saw_any = true;
+    const char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in_.peek() == '"') {
+          in_.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(ch);
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\r') {
+      // swallow; handled with the following '\n' (or alone as a row end)
+      if (in_.peek() == '\n') in_.get();
+      fields.push_back(std::move(field));
+      return true;
+    } else if (ch == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else {
+      field.push_back(ch);
+    }
+  }
+  if (!saw_any) return false;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  CsvReader reader(in);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  while (reader.read_row(row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace odr

@@ -1,0 +1,43 @@
+// Minimal CSV reading/writing for trace files.
+//
+// The workload module serializes its three trace types (workload record,
+// pre-download record, fetch record) to CSV so experiments can be replayed
+// from disk, mirroring how the paper replays the sampled Xuanfeng workload.
+// Fields containing commas, quotes, or newlines are quoted per RFC 4180.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace odr {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream& out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  // Reads the next row; false at EOF. Handles quoted fields with embedded
+  // commas/quotes/newlines.
+  bool read_row(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
+
+// Parses a full CSV document from a string (convenience for tests).
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+}  // namespace odr

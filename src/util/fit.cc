@@ -1,0 +1,95 @@
+#include "util/fit.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace odr {
+
+LinearFit linear_least_squares(const std::vector<double>& xs,
+                               const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+double ZipfFit::predict(double rank) const {
+  return std::pow(10.0, -a * std::log10(rank) + b);
+}
+
+double SeFit::predict(double rank) const {
+  const double yc = -a * std::log10(rank) + b;
+  if (yc <= 0.0) return 0.0;
+  return std::pow(yc, 1.0 / c);
+}
+
+ZipfFit fit_zipf(const std::vector<double>& popularity) {
+  std::vector<double> xs, ys;
+  xs.reserve(popularity.size());
+  ys.reserve(popularity.size());
+  for (std::size_t i = 0; i < popularity.size(); ++i) {
+    if (popularity[i] <= 0.0) continue;
+    xs.push_back(std::log10(static_cast<double>(i + 1)));
+    ys.push_back(std::log10(popularity[i]));
+  }
+  ZipfFit fit;
+  if (xs.size() < 2) return fit;
+  const LinearFit lin = linear_least_squares(xs, ys);
+  fit.a = -lin.slope;
+  fit.b = lin.intercept;
+  std::vector<double> model(popularity.size());
+  for (std::size_t i = 0; i < popularity.size(); ++i) {
+    model[i] = fit.predict(static_cast<double>(i + 1));
+  }
+  fit.mean_relative_error = mean_relative_error(popularity, model);
+  return fit;
+}
+
+SeFit fit_stretched_exponential(const std::vector<double>& popularity, double c) {
+  std::vector<double> xs, ys;
+  xs.reserve(popularity.size());
+  ys.reserve(popularity.size());
+  for (std::size_t i = 0; i < popularity.size(); ++i) {
+    if (popularity[i] <= 0.0) continue;
+    xs.push_back(std::log10(static_cast<double>(i + 1)));
+    ys.push_back(std::pow(popularity[i], c));
+  }
+  SeFit fit;
+  fit.c = c;
+  if (xs.size() < 2) return fit;
+  const LinearFit lin = linear_least_squares(xs, ys);
+  fit.a = -lin.slope;
+  fit.b = lin.intercept;
+  std::vector<double> model(popularity.size());
+  for (std::size_t i = 0; i < popularity.size(); ++i) {
+    model[i] = fit.predict(static_cast<double>(i + 1));
+  }
+  fit.mean_relative_error = mean_relative_error(popularity, model);
+  return fit;
+}
+
+}  // namespace odr

@@ -1,0 +1,101 @@
+// Byte-capacity LRU cache.
+//
+// The Xuanfeng storage pool caches ~5M files in ~2 PB and replaces them in
+// LRU order (§2.1). Entries are keyed (MD5 digest in the cloud) and carry a
+// byte size; insertion evicts least-recently-used entries until the new
+// entry fits. Items larger than the capacity are rejected.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+namespace odr {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Inserts or refreshes. Returns false iff the item alone exceeds capacity
+  // (in which case nothing is cached).
+  bool put(const Key& key, Value value, std::uint64_t size_bytes) {
+    if (size_bytes > capacity_bytes_) return false;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      used_bytes_ -= it->second->size_bytes;
+      entries_.erase(it->second);
+      index_.erase(it);
+    }
+    while (used_bytes_ + size_bytes > capacity_bytes_ && !entries_.empty()) {
+      evict_lru();
+    }
+    entries_.push_front(Entry{key, std::move(value), size_bytes});
+    index_[key] = entries_.begin();
+    used_bytes_ += size_bytes;
+    return true;
+  }
+
+  // Looks up and marks as most recently used.
+  Value* get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    it->second = entries_.begin();
+    return &entries_.front().value;
+  }
+
+  // Lookup without touching recency (for popularity probes).
+  const Value* peek(const Key& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->value;
+  }
+
+  bool contains(const Key& key) const { return index_.count(key) > 0; }
+
+  bool erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    used_bytes_ -= it->second->size_bytes;
+    entries_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t used_bytes() const { return used_bytes_; }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t eviction_count() const { return evictions_; }
+
+  // Key of the least-recently-used entry, if any.
+  std::optional<Key> lru_key() const {
+    if (entries_.empty()) return std::nullopt;
+    return entries_.back().key;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    std::uint64_t size_bytes;
+  };
+
+  void evict_lru() {
+    assert(!entries_.empty());
+    used_bytes_ -= entries_.back().size_bytes;
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++evictions_;
+  }
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t used_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> entries_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+};
+
+}  // namespace odr

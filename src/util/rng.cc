@@ -1,0 +1,164 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odr {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return 0;
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= std::max(0.0, weights[i]);
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = uniform();
+  std::uint64_t k = 0;
+  while (prod > limit) {
+    prod *= uniform();
+    ++k;
+  }
+  return k;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  assert(n > 0);
+  cumulative_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    acc += std::pow(static_cast<double>(r), -s);
+    cumulative_[r - 1] = acc;
+  }
+  for (auto& c : cumulative_) c /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin()) + 1;
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank == 0 || rank > cumulative_.size()) return 0.0;
+  const double lo = rank == 1 ? 0.0 : cumulative_[rank - 2];
+  return cumulative_[rank - 1] - lo;
+}
+
+StretchedExponentialSampler::StretchedExponentialSampler(std::size_t n, double a,
+                                                         double b, double c)
+    : a_(a), b_(b), c_(c) {
+  assert(n > 0);
+  cumulative_.resize(n);
+  double acc = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    acc += weight(r);
+    cumulative_[r - 1] = acc;
+  }
+  for (auto& v : cumulative_) v /= acc;
+}
+
+double StretchedExponentialSampler::weight(std::size_t rank) const {
+  const double yc = b_ - a_ * std::log10(static_cast<double>(rank));
+  if (yc <= 0.0) return 0.0;
+  return std::pow(yc, 1.0 / c_);
+}
+
+std::size_t StretchedExponentialSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin()) + 1;
+}
+
+}  // namespace odr

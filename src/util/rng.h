@@ -1,0 +1,107 @@
+// Deterministic random number generation for simulations.
+//
+// All stochastic model components draw from an odr::Rng seeded explicitly,
+// so every experiment is reproducible from its seed. The generator is
+// xoshiro256** (public domain, Blackman & Vigna), which is fast and has
+// no observable bias for the distribution shapes used here.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace odr {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  // Re-initializes the state from a 64-bit seed via SplitMix64, the
+  // recommended seeding procedure for xoshiro.
+  void reseed(std::uint64_t seed);
+
+  // Derives an independent child stream; used to give each model component
+  // its own stream so adding draws in one component does not perturb others.
+  Rng fork();
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Standard normal via Box-Muller (no cached spare: determinism over speed).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  double exponential(double mean);
+
+  // Pareto with scale xm > 0 and shape alpha > 0 (heavy upper tail).
+  double pareto(double xm, double alpha);
+
+  // Index drawn proportionally to non-negative weights. Empty or all-zero
+  // weights return 0.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  // Poisson via inversion for small means, normal approximation above 64.
+  std::uint64_t poisson(double mean);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Samples ranks from a Zipf distribution over {1..n} with exponent s,
+// using precomputed cumulative weights (O(log n) per draw).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  // Returns a rank in [1, n].
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cumulative_.size(); }
+  // Probability mass of rank r (1-based).
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cumulative_;  // normalized cumulative weights
+  double s_;
+};
+
+// Samples ranks whose popularity follows a stretched-exponential (SE) law
+// y^c = -a*log10(x) + b, i.e. y = (b - a*log10(x))^(1/c); ranks are drawn
+// proportionally to y(rank). This is the paper's better-fitting model for
+// fetch-at-most-once P2P video workloads (Fig 7).
+class StretchedExponentialSampler {
+ public:
+  StretchedExponentialSampler(std::size_t n, double a, double b, double c);
+
+  std::size_t sample(Rng& rng) const;
+  double weight(std::size_t rank) const;  // unnormalized popularity of rank
+  std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+  double a_, b_, c_;
+};
+
+}  // namespace odr

@@ -1,0 +1,32 @@
+// ASCII table rendering for bench/report output.
+//
+// Every bench binary prints its figure/table as aligned text (the "same
+// rows/series the paper reports"); this is the shared formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace odr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  // Numeric convenience: formats with `precision` decimal places.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  // 0.28 -> "28.0%"
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by bench binaries: "== Figure 8: ... ==".
+std::string banner(const std::string& title);
+
+}  // namespace odr

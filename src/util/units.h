@@ -1,0 +1,68 @@
+// Strong unit types shared across the library.
+//
+// Conventions (used consistently everywhere):
+//   - sizes/traffic are bytes, stored as uint64_t (Bytes);
+//   - rates are bytes per second, stored as double (Rate);
+//   - simulated time is microseconds since simulation start, stored as
+//     int64_t (SimTime).
+//
+// The paper reports speeds in KBps and link capacities in Mbps; helpers
+// convert in both directions so call sites read like the paper text.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace odr {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKB = 1000ull;           // decimal KB, as in the paper
+inline constexpr Bytes kMB = 1000ull * kKB;
+inline constexpr Bytes kGB = 1000ull * kMB;
+inline constexpr Bytes kTB = 1000ull * kGB;
+inline constexpr Bytes kPB = 1000ull * kTB;
+
+// Bandwidth / throughput in bytes per second.
+using Rate = double;
+
+constexpr Rate kbps_to_rate(double kbytes_per_sec) { return kbytes_per_sec * 1000.0; }
+constexpr Rate mbps_to_rate(double megabits_per_sec) { return megabits_per_sec * 1e6 / 8.0; }
+constexpr Rate gbps_to_rate(double gigabits_per_sec) { return gigabits_per_sec * 1e9 / 8.0; }
+
+constexpr double rate_to_kbps(Rate r) { return r / 1000.0; }     // KBps (kilobytes)
+constexpr double rate_to_mbps(Rate r) { return r * 8.0 / 1e6; }  // Mbps (megabits)
+constexpr double rate_to_gbps(Rate r) { return r * 8.0 / 1e9; }  // Gbps
+
+// Simulated time in integer microseconds. Integer ticks keep the event
+// queue deterministic across platforms.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kUsec = 1;
+inline constexpr SimTime kMsec = 1000 * kUsec;
+inline constexpr SimTime kSec = 1000 * kMsec;
+inline constexpr SimTime kMinute = 60 * kSec;
+inline constexpr SimTime kHour = 60 * kMinute;
+inline constexpr SimTime kDay = 24 * kHour;
+inline constexpr SimTime kWeek = 7 * kDay;
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / kSec; }
+constexpr double to_minutes(SimTime t) { return static_cast<double>(t) / kMinute; }
+constexpr double to_hours(SimTime t) { return static_cast<double>(t) / kHour; }
+constexpr SimTime from_seconds(double s) { return static_cast<SimTime>(s * kSec); }
+constexpr SimTime from_minutes(double m) { return static_cast<SimTime>(m * kMinute); }
+
+// Goodput fraction of a nominal access-line rate after ATM/PPPoE/TCP/IP
+// framing: a "20 Mbps" ADSL line delivers ~2.37 MBps of payload, which is
+// exactly the maximum the paper observes on both the cloud's
+// pre-downloaders and the smart APs.
+inline constexpr double kTransportEfficiency = 0.948;
+
+// Average transfer rate of `size` bytes over `elapsed` simulated time.
+constexpr Rate average_rate(Bytes size, SimTime elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(size) / to_seconds(elapsed);
+}
+
+}  // namespace odr

@@ -1,0 +1,191 @@
+#include "util/uri.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace odr {
+namespace {
+
+bool iequals_prefix(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) != prefix[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_hex(std::string_view s) {
+  return !s.empty() &&
+         std::all_of(s.begin(), s.end(), [](unsigned char c) {
+           return std::isxdigit(c) != 0;
+         });
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::optional<DownloadLink> parse_server_link(std::string_view link,
+                                              proto::Protocol protocol,
+                                              std::size_t scheme_len) {
+  DownloadLink out;
+  out.protocol = protocol;
+  std::string_view rest = link.substr(scheme_len);
+  if (rest.empty()) return std::nullopt;
+  const std::size_t slash = rest.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  out.path = slash == std::string_view::npos
+                 ? "/"
+                 : std::string(rest.substr(slash));
+  // Strip userinfo if present (rare but legal).
+  if (const std::size_t at = authority.rfind('@');
+      at != std::string_view::npos) {
+    authority = authority.substr(at + 1);
+  }
+  if (const std::size_t colon = authority.rfind(':');
+      colon != std::string_view::npos) {
+    const auto port = parse_u64(authority.substr(colon + 1));
+    if (!port || *port == 0 || *port > 65535) return std::nullopt;
+    out.port = static_cast<std::uint16_t>(*port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  out.host = to_lower(authority);
+  return out;
+}
+
+std::optional<DownloadLink> parse_magnet(std::string_view link) {
+  DownloadLink out;
+  out.protocol = proto::Protocol::kBitTorrent;
+  const std::size_t q = link.find('?');
+  if (q == std::string_view::npos) return std::nullopt;
+  std::string_view query = link.substr(q + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (key == "xt") {
+      constexpr std::string_view kBtih = "urn:btih:";
+      if (!iequals_prefix(value, kBtih)) return std::nullopt;
+      std::string_view hash = value.substr(kBtih.size());
+      // 40-char hex (or 32-char base32, accepted verbatim).
+      if (hash.size() == 40 && is_hex(hash)) {
+        out.content_hash = to_lower(hash);
+      } else if (hash.size() == 32) {
+        out.content_hash = to_lower(hash);
+      } else {
+        return std::nullopt;
+      }
+    } else if (key == "dn") {
+      out.display_name = percent_decode(value);
+    } else if (key == "xl") {
+      out.size_bytes = parse_u64(value);
+    }
+  }
+  if (out.content_hash.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<DownloadLink> parse_ed2k(std::string_view link) {
+  // ed2k://|file|<name>|<size>|<md4>|/
+  DownloadLink out;
+  out.protocol = proto::Protocol::kEmule;
+  std::string_view rest = link.substr(std::string_view("ed2k://").size());
+  if (rest.empty() || rest.front() != '|') return std::nullopt;
+  rest.remove_prefix(1);
+
+  std::vector<std::string_view> fields;
+  while (!rest.empty()) {
+    const std::size_t bar = rest.find('|');
+    if (bar == std::string_view::npos) {
+      fields.push_back(rest);
+      break;
+    }
+    fields.push_back(rest.substr(0, bar));
+    rest = rest.substr(bar + 1);
+  }
+  if (fields.size() < 4 || fields[0] != "file") return std::nullopt;
+  out.display_name = percent_decode(fields[1]);
+  const auto size = parse_u64(fields[2]);
+  if (!size) return std::nullopt;
+  out.size_bytes = size;
+  if (fields[3].size() != 32 || !is_hex(fields[3])) return std::nullopt;
+  out.content_hash = to_lower(fields[3]);
+  return out;
+}
+
+}  // namespace
+
+std::uint16_t DownloadLink::effective_port() const {
+  if (port != 0) return port;
+  switch (protocol) {
+    case proto::Protocol::kHttp: return 80;
+    case proto::Protocol::kFtp: return 21;
+    default: return 0;
+  }
+}
+
+std::string percent_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out.push_back(' ');
+    } else if (in[i] == '%' && i + 2 < in.size() &&
+               std::isxdigit(static_cast<unsigned char>(in[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(in[i + 2]))) {
+      auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        return std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+      };
+      out.push_back(static_cast<char>(nibble(in[i + 1]) * 16 +
+                                      nibble(in[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+std::optional<DownloadLink> parse_download_link(std::string_view link) {
+  if (iequals_prefix(link, "http://")) {
+    return parse_server_link(link, proto::Protocol::kHttp, 7);
+  }
+  if (iequals_prefix(link, "ftp://")) {
+    return parse_server_link(link, proto::Protocol::kFtp, 6);
+  }
+  if (iequals_prefix(link, "magnet:")) {
+    return parse_magnet(link);
+  }
+  if (iequals_prefix(link, "ed2k://")) {
+    return parse_ed2k(link);
+  }
+  return std::nullopt;
+}
+
+}  // namespace odr

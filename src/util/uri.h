@@ -1,0 +1,44 @@
+// Download-link parsing.
+//
+// ODR's front end takes "the HTTP/FTP/P2P link to the original data
+// source" (§6.1). Four link families cover the workload:
+//   http://host[:port]/path       ftp://host[:port]/path
+//   magnet:?xt=urn:btih:<hash>&dn=<name>&xl=<size>      (BitTorrent)
+//   ed2k://|file|<name>|<size>|<md4-hash>|/             (eMule)
+// The parser is strict about the parts ODR needs (scheme, host/hash,
+// size when present) and tolerant about the rest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "proto/protocol.h"
+
+namespace odr {
+
+struct DownloadLink {
+  proto::Protocol protocol = proto::Protocol::kHttp;
+  // http/ftp
+  std::string host;
+  std::uint16_t port = 0;  // 0 = scheme default
+  std::string path;
+  // magnet (btih, lowercase hex) / ed2k (md4, lowercase hex)
+  std::string content_hash;
+  std::string display_name;
+  // Size if the link declares one (magnet xl=, ed2k size field).
+  std::optional<std::uint64_t> size_bytes;
+
+  // The default port implied by the scheme (80/21; 0 for P2P links).
+  std::uint16_t effective_port() const;
+};
+
+// Parses a download link; std::nullopt if the link is not one of the four
+// supported families or is structurally invalid.
+std::optional<DownloadLink> parse_download_link(std::string_view link);
+
+// Percent-decodes a URI component ("%20" -> ' ', '+' -> ' ').
+std::string percent_decode(std::string_view in);
+
+}  // namespace odr

@@ -1,0 +1,79 @@
+// File catalog entry: everything the workload trace records about a file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "proto/protocol.h"
+#include "util/md5.h"
+#include "util/units.h"
+
+namespace odr::workload {
+
+// §3: 75% of requests target videos, 15% software, the rest a mix of
+// pictures/documents/etc.
+enum class FileType : std::uint8_t {
+  kVideo = 0,
+  kSoftware = 1,
+  kOther = 2,
+};
+
+constexpr std::string_view file_type_name(FileType t) {
+  switch (t) {
+    case FileType::kVideo: return "video";
+    case FileType::kSoftware: return "software";
+    case FileType::kOther: return "other";
+  }
+  return "?";
+}
+
+using FileIndex = std::uint32_t;
+inline constexpr FileIndex kInvalidFile = UINT32_MAX;
+
+struct FileInfo {
+  FileIndex index = kInvalidFile;
+  Md5Digest content_id;  // MD5 of content; the cloud's dedup key (§2.1)
+  FileType type = FileType::kVideo;
+  Bytes size = 0;
+  proto::Protocol protocol = proto::Protocol::kBitTorrent;
+  // Popularity rank in the catalog (1 = most popular) and the expected
+  // weekly request count at that rank (the generator's ground truth; the
+  // measured popularity in a generated trace fluctuates around it).
+  std::uint32_t rank = 0;
+  double expected_weekly_requests = 0.0;
+  // Whether the file already existed before the measurement week. Freshly
+  // released files cannot have been cached by the cloud in earlier weeks,
+  // so their first request always misses; this content churn is what keeps
+  // the measured cache hit ratio below 100% (89% in Xuanfeng).
+  bool born_before_trace = true;
+  // Link to the original data source, as logged by Xuanfeng.
+  std::string source_link;
+};
+
+// Popularity classes exactly as defined in §4.1: requests per week in
+// [0,7) -> unpopular, [7,84] -> popular, (84, inf) -> highly popular.
+enum class PopularityClass : std::uint8_t {
+  kUnpopular = 0,
+  kPopular = 1,
+  kHighlyPopular = 2,
+};
+
+constexpr double kUnpopularMax = 7.0;      // exclusive upper bound
+constexpr double kPopularMax = 84.0;       // inclusive upper bound
+
+constexpr PopularityClass classify_popularity(double weekly_requests) {
+  if (weekly_requests < kUnpopularMax) return PopularityClass::kUnpopular;
+  if (weekly_requests <= kPopularMax) return PopularityClass::kPopular;
+  return PopularityClass::kHighlyPopular;
+}
+
+constexpr std::string_view popularity_class_name(PopularityClass c) {
+  switch (c) {
+    case PopularityClass::kUnpopular: return "unpopular";
+    case PopularityClass::kPopular: return "popular";
+    case PopularityClass::kHighlyPopular: return "highly-popular";
+  }
+  return "?";
+}
+
+}  // namespace odr::workload

@@ -1,0 +1,131 @@
+#include "workload/popularity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace odr::workload {
+namespace {
+
+// Fills counts_[r0-1 .. r1-1] with a log-log interpolation from c0 (at
+// rank r0) to c1 (at rank r1), with curvature gamma applied to the
+// normalized log-rank coordinate (gamma = 1 -> pure power law).
+void fill_segment(std::vector<double>& counts, std::size_t r0, std::size_t r1,
+                  double c0, double c1, double gamma) {
+  assert(r1 >= r0 && r0 >= 1);
+  const double span = std::log(static_cast<double>(r1) / static_cast<double>(r0));
+  for (std::size_t r = r0; r <= r1; ++r) {
+    double x = span <= 0.0
+                   ? 0.0
+                   : std::log(static_cast<double>(r) / static_cast<double>(r0)) /
+                         span;
+    x = std::pow(std::clamp(x, 0.0, 1.0), gamma);
+    counts[r - 1] = c0 * std::pow(c1 / c0, x);
+  }
+}
+
+double segment_mass(const std::vector<double>& counts, std::size_t r0,
+                    std::size_t r1) {
+  double m = 0.0;
+  for (std::size_t r = r0; r <= r1; ++r) m += counts[r - 1];
+  return m;
+}
+
+}  // namespace
+
+PopularityProfile::PopularityProfile(std::size_t num_files,
+                                     double total_requests,
+                                     const PopularityProfileParams& params) {
+  assert(num_files > 0);
+  counts_.assign(num_files, 0.0);
+
+  const auto r_head = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             params.head_file_share * static_cast<double>(num_files))));
+  const auto r_mid = std::min(
+      num_files,
+      std::max<std::size_t>(
+          r_head + 1,
+          static_cast<std::size_t>(std::llround(
+              (params.head_file_share + params.mid_file_share) *
+              static_cast<double>(num_files)))));
+
+  // Head segment: solve the top count so the head carries its mass; if the
+  // required top count would exceed the per-file share cap, pin it there
+  // and put the remaining mass into curvature instead.
+  {
+    const double target = params.head_request_share * total_requests;
+    // Feasibility floor: at very small scales the head's mass target needs
+    // an average of target/r_head per file, so the cap cannot sit below
+    // that (1.6x leaves room for a decaying shape).
+    const double top_cap =
+        std::max({params.head_boundary_count * 1.05,
+                  params.max_top_share * total_requests,
+                  1.6 * target / static_cast<double>(r_head)});
+    double lo = params.head_boundary_count, hi = 1e9;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = std::sqrt(lo * hi);  // geometric: counts span decades
+      fill_segment(counts_, 1, r_head, mid, params.head_boundary_count, 1.0);
+      (segment_mass(counts_, 1, r_head) < target ? lo : hi) = mid;
+    }
+    const double c_max = std::sqrt(lo * hi);
+    if (c_max <= top_cap) {
+      fill_segment(counts_, 1, r_head, c_max, params.head_boundary_count, 1.0);
+    } else {
+      double glo = 0.1, ghi = 10.0;  // mass increases with gamma
+      for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (glo + ghi);
+        fill_segment(counts_, 1, r_head, top_cap, params.head_boundary_count,
+                     mid);
+        (segment_mass(counts_, 1, r_head) < target ? glo : ghi) = mid;
+      }
+      fill_segment(counts_, 1, r_head, top_cap, params.head_boundary_count,
+                   0.5 * (glo + ghi));
+    }
+  }
+
+  // Middle segment: boundaries pinned at 84 and 7; curvature carries mass.
+  if (r_mid > r_head) {
+    const double target = params.mid_request_share * total_requests;
+    double lo = 0.15, hi = 8.0;  // gamma; mass increases with gamma
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      fill_segment(counts_, r_head + 1, r_mid, params.head_boundary_count,
+                   params.mid_boundary_count, mid);
+      (segment_mass(counts_, r_head + 1, r_mid) < target ? lo : hi) = mid;
+    }
+    fill_segment(counts_, r_head + 1, r_mid, params.head_boundary_count,
+                 params.mid_boundary_count, 0.5 * (lo + hi));
+  }
+
+  // Tail segment: solve the minimum count so the tail carries its mass.
+  if (num_files > r_mid) {
+    const double target =
+        (1.0 - params.head_request_share - params.mid_request_share) *
+        total_requests;
+    double lo = 1e-4, hi = params.mid_boundary_count;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = std::sqrt(lo * hi);
+      fill_segment(counts_, r_mid + 1, num_files, params.mid_boundary_count,
+                   mid, 1.0);
+      (segment_mass(counts_, r_mid + 1, num_files) < target ? lo : hi) = mid;
+    }
+    fill_segment(counts_, r_mid + 1, num_files, params.mid_boundary_count,
+                 std::sqrt(lo * hi), 1.0);
+  }
+
+  cumulative_.resize(num_files);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < num_files; ++i) {
+    acc += counts_[i];
+    cumulative_[i] = acc;
+  }
+}
+
+std::size_t PopularityProfile::sample(Rng& rng) const {
+  const double target = rng.uniform() * cumulative_.back();
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+  return static_cast<std::size_t>(it - cumulative_.begin()) + 1;
+}
+
+}  // namespace odr::workload

@@ -1,0 +1,87 @@
+#include "workload/request_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace odr::workload {
+
+double RequestGenerator::relative_intensity(SimTime t) const {
+  const double hours = to_hours(t);
+  const double day = std::floor(hours / 24.0);
+  const double hour_of_day = hours - day * 24.0;
+  const double phase =
+      2.0 * M_PI * (hour_of_day - params_.peak_hour) / 24.0;
+  const double diurnal = 1.0 + params_.diurnal_amplitude * std::cos(phase);
+  const double growth = 1.0 + params_.daily_growth * day;
+  const double num_days = to_hours(params_.duration) / 24.0;
+  const double max_value = (1.0 + params_.diurnal_amplitude) *
+                           (1.0 + params_.daily_growth * std::max(0.0, num_days - 1.0));
+  return diurnal * growth / max_value;
+}
+
+std::vector<WorkloadRecord> RequestGenerator::generate(
+    const Catalog& catalog, const UserPopulation& users, Rng& rng) const {
+  std::vector<WorkloadRecord> out;
+  out.reserve(params_.num_requests);
+
+  // Fetch-at-most-once: a user requests a given P2P video at most once.
+  // (64-bit key: user id << 32 | file index.)
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(params_.num_requests * 2);
+
+  for (std::size_t i = 0; i < params_.num_requests; ++i) {
+    // Arrival time by rejection sampling against the diurnal intensity.
+    SimTime t = 0;
+    for (;;) {
+      t = static_cast<SimTime>(rng.uniform() *
+                               static_cast<double>(params_.duration));
+      if (rng.uniform() <= relative_intensity(t)) break;
+    }
+
+    // (user, file) with per-user dedup; a handful of retries suffices
+    // because collisions are rare outside the very head of the catalog.
+    UserId user = 0;
+    FileIndex file = kInvalidFile;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      user = users.sample(rng);
+      file = catalog.sample_request(rng);
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(user) << 32) | file;
+      if (seen.insert(key).second) break;
+      file = kInvalidFile;
+    }
+    if (file == kInvalidFile) continue;  // pathological collision streak
+
+    const User& u = users.user(user);
+    const FileInfo& f = catalog.file(file);
+    WorkloadRecord r;
+    r.task_id = static_cast<TaskId>(out.size() + 1);
+    r.user_id = user;
+    r.ip = u.ip;
+    r.isp = u.isp;
+    r.access_bandwidth = u.reports_bandwidth ? u.access_bandwidth : 0.0;
+    r.request_time = t;
+    r.file = file;
+    r.file_type = f.type;
+    r.file_size = f.size;
+    r.source_link = f.source_link;
+    r.protocol = f.protocol;
+    out.push_back(std::move(r));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const WorkloadRecord& a, const WorkloadRecord& b) {
+              if (a.request_time != b.request_time) {
+                return a.request_time < b.request_time;
+              }
+              return a.task_id < b.task_id;
+            });
+  // Reassign task ids in time order so ids are chronological.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].task_id = static_cast<TaskId>(i + 1);
+  }
+  return out;
+}
+
+}  // namespace odr::workload

@@ -1,0 +1,51 @@
+// Request-trace generation: who asks for what, when.
+//
+// Arrival times follow a diurnal intensity (evening peak) with a mild
+// day-over-day growth factor so that load peaks on the 7th day — the day
+// Xuanfeng's purchased upload bandwidth was exceeded (Fig 11). File choice
+// follows the catalog's SE popularity law with a fetch-at-most-once
+// constraint per user (§3's explanation for why SE beats Zipf); user
+// choice follows the heavy-tailed activity weights of the population.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/trace.h"
+#include "workload/user_model.h"
+
+namespace odr::workload {
+
+struct RequestGenParams {
+  std::size_t num_requests = 204000;
+  SimTime duration = kWeek;
+  // Diurnal shape: intensity(t) = 1 + amplitude * sin(...), peaking at
+  // `peak_hour` local time.
+  double diurnal_amplitude = 0.50;
+  double peak_hour = 21.0;
+  // Relative load growth per day (day 7 carries the weekly peak).
+  double daily_growth = 0.05;
+};
+
+class RequestGenerator {
+ public:
+  explicit RequestGenerator(const RequestGenParams& params = {})
+      : params_(params) {}
+
+  // Generates the workload trace, sorted by request time.
+  std::vector<WorkloadRecord> generate(const Catalog& catalog,
+                                       const UserPopulation& users,
+                                       Rng& rng) const;
+
+  // Relative arrival intensity at time t (max value <= 1; used for
+  // rejection sampling and exposed for tests).
+  double relative_intensity(SimTime t) const;
+
+  const RequestGenParams& params() const { return params_; }
+
+ private:
+  RequestGenParams params_;
+};
+
+}  // namespace odr::workload

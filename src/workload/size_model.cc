@@ -1,0 +1,32 @@
+#include "workload/size_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace odr::workload {
+
+Bytes SizeModel::sample(FileType type, Rng& rng) const {
+  const bool small = rng.bernoulli(params_.small_fraction);
+  if (small) {
+    const double v =
+        std::exp(rng.normal(params_.small_log_median, params_.small_log_sigma));
+    const double clamped =
+        std::clamp(v, static_cast<double>(params_.small_min),
+                   static_cast<double>(params_.small_max));
+    return static_cast<Bytes>(clamped);
+  }
+  double scale = 1.0;
+  switch (type) {
+    case FileType::kVideo: scale = params_.video_scale; break;
+    case FileType::kSoftware: scale = params_.software_scale; break;
+    case FileType::kOther: scale = params_.other_scale; break;
+  }
+  const double mu = params_.large_log_median + std::log(scale);
+  const double v = std::exp(rng.normal(mu, params_.large_log_sigma));
+  const double clamped =
+      std::clamp(v, static_cast<double>(params_.small_max),
+                 static_cast<double>(params_.large_max));
+  return static_cast<Bytes>(clamped);
+}
+
+}  // namespace odr::workload

@@ -1,0 +1,47 @@
+// File-size model calibrated to Fig 5.
+//
+// Targets: min 4 B, ~25% of files below 8 MB, median 115 MB, average
+// 390 MB, max 4 GB. The model is a two-component mixture:
+//   - small files (demo videos, pictures, documents, small software):
+//     lognormal clamped to [4 B, 8 MB];
+//   - large files (movies, big software): lognormal clamped to
+//     [8 MB, 4 GB], parameters chosen so the overall median/mean land on
+//     the paper's values.
+#pragma once
+
+#include "util/rng.h"
+#include "util/units.h"
+#include "workload/file.h"
+
+namespace odr::workload {
+
+struct SizeModelParams {
+  double small_fraction = 0.25;      // Fig 5: 25% below 8 MB
+  Bytes small_min = 4;               // Fig 5: min 4 B
+  Bytes small_max = 8 * kMB;
+  double small_log_median = 13.1;    // ln bytes: ~0.5 MB
+  double small_log_sigma = 3.0;      // wide: spans 4 B documents to 8 MB
+  Bytes large_max = 4 * kGB;         // Fig 5: max 4 GB
+  double large_log_median = 19.16;   // ln bytes: ~210 MB
+  double large_log_sigma = 1.35;
+
+  // Per-type medians differ (videos are the largest); multiplier applied
+  // to the large-component median in log space.
+  double video_scale = 1.25;
+  double software_scale = 0.55;
+  double other_scale = 0.30;
+};
+
+class SizeModel {
+ public:
+  explicit SizeModel(const SizeModelParams& params = {}) : params_(params) {}
+
+  Bytes sample(FileType type, Rng& rng) const;
+
+  const SizeModelParams& params() const { return params_; }
+
+ private:
+  SizeModelParams params_;
+};
+
+}  // namespace odr::workload

@@ -1,0 +1,193 @@
+// Tests for the cloud's building blocks: content DB, storage pool, and
+// the upload scheduler with admission control.
+#include <gtest/gtest.h>
+
+#include "cloud/content_db.h"
+#include "cloud/storage_pool.h"
+#include "cloud/upload_scheduler.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace odr::cloud {
+namespace {
+
+TEST(ContentDbTest, CountsTrailingWeekOnly) {
+  ContentDb db;
+  db.record_request(1, 0);
+  db.record_request(1, kDay);
+  db.record_request(1, 6 * kDay);
+  EXPECT_DOUBLE_EQ(db.weekly_popularity(1, 6 * kDay), 3.0);
+  // Past the trailing-week window, only the day-6 request remains.
+  EXPECT_DOUBLE_EQ(db.weekly_popularity(1, 8 * kDay + kMinute), 1.0);
+  EXPECT_DOUBLE_EQ(db.weekly_popularity(2, kDay), 0.0);
+}
+
+TEST(ContentDbTest, ClassifyUsesPaperThresholds) {
+  ContentDb db;
+  for (int i = 0; i < 6; ++i) db.record_request(1, i * kHour);
+  EXPECT_EQ(db.classify(1, kDay), workload::PopularityClass::kUnpopular);
+  db.record_request(1, 7 * kHour);
+  EXPECT_EQ(db.classify(1, kDay), workload::PopularityClass::kPopular);
+  for (int i = 0; i < 78; ++i) db.record_request(2, i * kMinute);
+  EXPECT_EQ(db.classify(2, kDay), workload::PopularityClass::kPopular);
+  for (int i = 0; i < 10; ++i) db.record_request(2, kDay + i);
+  EXPECT_EQ(db.classify(2, kDay + kHour),
+            workload::PopularityClass::kHighlyPopular);
+}
+
+TEST(ContentDbTest, PopularitySeriesSortedDescending) {
+  ContentDb db;
+  for (int f = 0; f < 5; ++f) {
+    for (int i = 0; i <= f; ++i) db.record_request(f, i);
+  }
+  const auto series = db.popularity_series(kHour);
+  ASSERT_EQ(series.size(), 5u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i - 1], series[i]);
+  }
+  EXPECT_DOUBLE_EQ(series[0], 5.0);
+  EXPECT_EQ(db.total_requests(), 15u);
+}
+
+TEST(StoragePoolTest, HitRatioAccounting) {
+  StoragePool pool(kGB);
+  const Md5Digest id = Md5::of("file");
+  EXPECT_FALSE(pool.lookup(id));
+  pool.insert(id, 1, 100 * kMB);
+  EXPECT_TRUE(pool.lookup(id));
+  EXPECT_TRUE(pool.lookup(id));
+  EXPECT_DOUBLE_EQ(pool.hit_ratio(), 2.0 / 3.0);
+  EXPECT_EQ(pool.file_count(), 1u);
+}
+
+TEST(StoragePoolTest, DedupByContentId) {
+  StoragePool pool(kGB);
+  // Two users requesting identical content share one cached copy (§2.1).
+  pool.insert(Md5::of("content"), 1, 100 * kMB);
+  pool.insert(Md5::of("content"), 1, 100 * kMB);
+  EXPECT_EQ(pool.file_count(), 1u);
+  EXPECT_EQ(pool.used_bytes(), 100 * kMB);
+}
+
+TEST(StoragePoolTest, LruEvictionUnderPressure) {
+  StoragePool pool(250 * kMB);
+  pool.insert(Md5::of("a"), 1, 100 * kMB);
+  pool.insert(Md5::of("b"), 2, 100 * kMB);
+  EXPECT_TRUE(pool.lookup(Md5::of("a")));  // refresh a; b becomes LRU
+  pool.insert(Md5::of("c"), 3, 100 * kMB);
+  EXPECT_TRUE(pool.contains(Md5::of("a")));
+  EXPECT_FALSE(pool.contains(Md5::of("b")));
+  EXPECT_GE(pool.evictions(), 1u);
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : net(sim), rng(3) {
+    config.total_upload_capacity = kbps_to_rate(1000.0);
+    config.isp_upload_share = {0.25, 0.25, 0.25, 0.25};
+    scheduler = std::make_unique<UploadScheduler>(net, config, rng);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  Rng rng;
+  CloudConfig config;
+  std::unique_ptr<UploadScheduler> scheduler;
+};
+
+TEST_F(SchedulerTest, PrivilegedPathForMajorIspWithHeadroom) {
+  const FetchPlan plan =
+      scheduler->plan_fetch(net::Isp::kUnicom, kbps_to_rate(200.0));
+  ASSERT_TRUE(plan.admitted);
+  EXPECT_TRUE(plan.privileged);
+  EXPECT_EQ(plan.cluster, net::Isp::kUnicom);
+  EXPECT_DOUBLE_EQ(plan.rate, kbps_to_rate(200.0));
+  EXPECT_DOUBLE_EQ(scheduler->cluster_reserved(net::Isp::kUnicom),
+                   kbps_to_rate(200.0));
+}
+
+TEST_F(SchedulerTest, ServesAtHeadroomWhenNearlyFull) {
+  // Fill Unicom to 150 KBps of headroom (above the admission floor); the
+  // next fetch is served at the headroom, not rejected (the
+  // no-degradation policy only guards active transfers).
+  scheduler->plan_fetch(net::Isp::kUnicom, kbps_to_rate(100.0));
+  const FetchPlan plan =
+      scheduler->plan_fetch(net::Isp::kUnicom, kbps_to_rate(10000.0));
+  ASSERT_TRUE(plan.admitted);
+  EXPECT_TRUE(plan.privileged);
+  EXPECT_NEAR(plan.rate, kbps_to_rate(150.0), 1.0);
+}
+
+TEST_F(SchedulerTest, OutOfIspUsersCrossTheBarrier) {
+  const FetchPlan plan =
+      scheduler->plan_fetch(net::Isp::kOther, kbps_to_rate(5000.0));
+  ASSERT_TRUE(plan.admitted);
+  EXPECT_FALSE(plan.privileged);
+  // Barrier-capped: far below the requested rate with high probability.
+  EXPECT_LT(plan.rate, kbps_to_rate(1500.0));
+}
+
+TEST_F(SchedulerTest, SpilloverToAlternativeClusterAtPeak) {
+  // Exhaust the home cluster below the admission floor.
+  scheduler->plan_fetch(net::Isp::kCernet, kbps_to_rate(240.0));
+  const FetchPlan plan =
+      scheduler->plan_fetch(net::Isp::kCernet, kbps_to_rate(200.0));
+  ASSERT_TRUE(plan.admitted);
+  EXPECT_FALSE(plan.privileged);
+  EXPECT_NE(plan.cluster, net::Isp::kCernet);
+}
+
+TEST_F(SchedulerTest, RejectsWhenAllClustersExhausted) {
+  // Drain every cluster under the floor.
+  for (net::Isp isp : net::kMajorIsps) {
+    while (scheduler->cluster_capacity(isp) -
+               scheduler->cluster_reserved(isp) >=
+           kbps_to_rate(125.0)) {
+      const FetchPlan p = scheduler->plan_fetch(isp, kbps_to_rate(10000.0));
+      if (!p.admitted) break;
+    }
+  }
+  const FetchPlan plan =
+      scheduler->plan_fetch(net::Isp::kUnicom, kbps_to_rate(500.0));
+  EXPECT_FALSE(plan.admitted);
+  EXPECT_GE(scheduler->rejected_count(), 1u);
+}
+
+TEST_F(SchedulerTest, ReleaseReturnsReservation) {
+  const FetchPlan plan =
+      scheduler->plan_fetch(net::Isp::kMobile, kbps_to_rate(100.0));
+  ASSERT_TRUE(plan.admitted);
+  scheduler->release(plan);
+  EXPECT_DOUBLE_EQ(scheduler->cluster_reserved(net::Isp::kMobile), 0.0);
+  // Releasing a rejected plan is a no-op.
+  scheduler->release(FetchPlan{});
+}
+
+TEST_F(SchedulerTest, SmallRequestsAdmittedBelowFloor) {
+  // A user wanting less than the floor (slow line) is still admitted.
+  const FetchPlan plan =
+      scheduler->plan_fetch(net::Isp::kTelecom, kbps_to_rate(50.0));
+  ASSERT_TRUE(plan.admitted);
+  EXPECT_DOUBLE_EQ(plan.rate, kbps_to_rate(50.0));
+}
+
+TEST_F(SchedulerTest, BarrierRatesMostlyBelowPlayback) {
+  int below = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (scheduler->sample_barrier_rate() < kbps_to_rate(125.0)) ++below;
+  }
+  // §4.2 attributes essentially all out-of-ISP fetches to the impeded
+  // bucket; the barrier cap distribution sits mostly under 125 KBps.
+  EXPECT_GT(below / static_cast<double>(n), 0.8);
+  // Spillover paths are clearly better than the raw barrier.
+  double barrier_sum = 0, spill_sum = 0;
+  for (int i = 0; i < n; ++i) {
+    barrier_sum += scheduler->sample_barrier_rate();
+    spill_sum += scheduler->sample_spillover_rate();
+  }
+  EXPECT_GT(spill_sum, 2.0 * barrier_sum);
+}
+
+}  // namespace
+}  // namespace odr::cloud

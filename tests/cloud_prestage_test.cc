@@ -1,0 +1,78 @@
+#include "cloud/prestage.h"
+
+#include <gtest/gtest.h>
+
+namespace odr::cloud {
+namespace {
+
+TEST(PrestageTest, EmptyAndUndeferredJobsAreNoOps) {
+  const auto empty = plan_prestaging({}, kDay);
+  EXPECT_DOUBLE_EQ(empty.peak_before, 0.0);
+  EXPECT_DOUBLE_EQ(empty.peak_reduction(), 0.0);
+
+  // Two overlapping rigid jobs: nothing can move.
+  std::vector<PrestageJob> jobs = {
+      {0, kHour, 100.0, 0},
+      {0, kHour, 100.0, 0},
+  };
+  const auto plan = plan_prestaging(jobs, kDay);
+  EXPECT_DOUBLE_EQ(plan.peak_before, 200.0);
+  EXPECT_DOUBLE_EQ(plan.peak_after, 200.0);
+  EXPECT_EQ(plan.delay[0], 0);
+  EXPECT_EQ(plan.delay[1], 0);
+}
+
+TEST(PrestageTest, DeferrableOverlapMovesApart) {
+  // Two equal jobs colliding; one may move by up to 2 h.
+  std::vector<PrestageJob> jobs = {
+      {0, kHour, 100.0, 0},
+      {0, kHour, 100.0, 2 * kHour},
+  };
+  const auto plan = plan_prestaging(jobs, kDay, 5 * kMinute, 30 * kMinute);
+  EXPECT_DOUBLE_EQ(plan.peak_before, 200.0);
+  EXPECT_DOUBLE_EQ(plan.peak_after, 100.0);
+  EXPECT_GE(plan.delay[1], kHour);  // moved clear of the rigid job
+  EXPECT_NEAR(plan.peak_reduction(), 0.5, 1e-9);
+}
+
+TEST(PrestageTest, DelayNeverExceedsPatience) {
+  std::vector<PrestageJob> jobs;
+  for (int i = 0; i < 20; ++i) {
+    jobs.push_back({0, kHour, 50.0, 3 * kHour});
+  }
+  const auto plan = plan_prestaging(jobs, kDay);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_GE(plan.delay[i], 0);
+    EXPECT_LE(plan.delay[i], jobs[i].max_delay);
+  }
+  EXPECT_LT(plan.peak_after, plan.peak_before);
+}
+
+TEST(PrestageTest, PeakNeverIncreases) {
+  // Random-ish workload: the greedy move must never make the peak worse.
+  std::vector<PrestageJob> jobs;
+  for (int i = 0; i < 60; ++i) {
+    jobs.push_back({(i % 7) * kHour, kHour + (i % 3) * kHour,
+                    20.0 + (i % 5) * 30.0,
+                    (i % 2) ? 6 * kHour : SimTime{0}});
+  }
+  const auto plan = plan_prestaging(jobs, 2 * kDay);
+  EXPECT_LE(plan.peak_after, plan.peak_before + 1e-9);
+}
+
+TEST(PrestageTest, DiurnalPeakShiftsIntoTrough) {
+  // 10 rigid evening jobs + 10 deferrable evening jobs; the trough is
+  // empty, so a patient scheduler halves the peak.
+  std::vector<PrestageJob> jobs;
+  const SimTime evening = 20 * kHour;
+  for (int i = 0; i < 10; ++i) jobs.push_back({evening, kHour, 10.0, 0});
+  for (int i = 0; i < 10; ++i) {
+    jobs.push_back({evening, kHour, 10.0, 10 * kHour});
+  }
+  const auto plan = plan_prestaging(jobs, 2 * kDay);
+  EXPECT_DOUBLE_EQ(plan.peak_before, 200.0);
+  EXPECT_LE(plan.peak_after, 110.0);
+}
+
+}  // namespace
+}  // namespace odr::cloud

@@ -1,0 +1,223 @@
+// Integration tests of the XuanfengCloud orchestrator.
+#include "cloud/xuanfeng.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace odr::cloud {
+namespace {
+
+class XuanfengTest : public ::testing::Test {
+ protected:
+  XuanfengTest() : net(sim), rng(7) {
+    workload::CatalogParams cp;
+    cp.num_files = 200;
+    cp.total_weekly_requests = 1450;
+    catalog = std::make_unique<workload::Catalog>(cp, rng);
+
+    config.total_upload_capacity = mbps_to_rate(100.0);
+    config.dynamics_prob = 0.0;  // deterministic fetch rates in tests
+    cloud = std::make_unique<XuanfengCloud>(sim, net, *catalog, sources,
+                                            config, rng);
+  }
+
+  workload::WorkloadRecord request_for(workload::FileIndex file,
+                                       const workload::User& user,
+                                       workload::TaskId id = 1) {
+    workload::WorkloadRecord r;
+    r.task_id = id;
+    r.user_id = user.id;
+    r.ip = user.ip;
+    r.isp = user.isp;
+    r.access_bandwidth = user.access_bandwidth;
+    r.request_time = sim.now();
+    r.file = file;
+    const auto& f = catalog->file(file);
+    r.file_type = f.type;
+    r.file_size = f.size;
+    r.protocol = f.protocol;
+    return r;
+  }
+
+  workload::User make_user(net::Isp isp, Rate bw) {
+    workload::User u;
+    u.id = 1;
+    u.isp = isp;
+    u.access_bandwidth = bw;
+    u.ip = "10.0.0.1";
+    return u;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  Rng rng;
+  proto::SourceParams sources;
+  CloudConfig config;
+  std::unique_ptr<workload::Catalog> catalog;
+  std::unique_ptr<XuanfengCloud> cloud;
+};
+
+TEST_F(XuanfengTest, CacheHitFetchesImmediately) {
+  const auto& file = catalog->file(0);
+  cloud->warm_cache(file);
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(500));
+
+  std::optional<TaskOutcome> outcome;
+  cloud->submit(request_for(0, user), user,
+                [&](const TaskOutcome& o) { outcome = o; });
+  sim.run();
+
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->pre.cache_hit);
+  EXPECT_TRUE(outcome->pre.success);
+  EXPECT_EQ(outcome->pre.traffic_bytes, 0u);
+  EXPECT_EQ(outcome->pre.finish_time, outcome->pre.start_time);
+  ASSERT_TRUE(outcome->fetched);
+  EXPECT_TRUE(outcome->privileged_path);
+  // Fetch at the user's line rate: duration = size / bw.
+  const SimTime expected =
+      from_seconds(static_cast<double>(file.size) / kbps_to_rate(500));
+  EXPECT_NEAR(static_cast<double>(outcome->fetch.finish_time -
+                                  outcome->fetch.start_time),
+              static_cast<double>(expected), static_cast<double>(kSec));
+}
+
+TEST_F(XuanfengTest, MissPreDownloadsThenFetches) {
+  // Rank-0 file: hot swarm, pre-download will succeed.
+  const workload::User user = make_user(net::Isp::kTelecom, kbps_to_rate(400));
+  std::optional<TaskOutcome> outcome;
+  cloud->submit(request_for(0, user), user,
+                [&](const TaskOutcome& o) { outcome = o; });
+  sim.run();
+
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->pre.cache_hit);
+  ASSERT_TRUE(outcome->pre.success);
+  EXPECT_GT(outcome->pre.finish_time, outcome->pre.start_time);
+  EXPECT_GT(outcome->pre.traffic_bytes, 0u);
+  EXPECT_TRUE(outcome->fetched);
+  // The file is now cached: a second user hits.
+  const workload::User user2 = make_user(net::Isp::kMobile, kbps_to_rate(300));
+  std::optional<TaskOutcome> second;
+  cloud->submit(request_for(0, user2, 2), user2,
+                [&](const TaskOutcome& o) { second = o; });
+  sim.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->pre.cache_hit);
+}
+
+TEST_F(XuanfengTest, ConcurrentRequestsShareOnePreDownload) {
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(400));
+  std::vector<TaskOutcome> outcomes;
+  cloud->submit(request_for(0, user, 1), user,
+                [&](const TaskOutcome& o) { outcomes.push_back(o); });
+  cloud->submit(request_for(0, user, 2), user,
+                [&](const TaskOutcome& o) { outcomes.push_back(o); });
+  sim.run();
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(cloud->predownloaders().started_count(), 1u);
+  // In-flight dedup: exactly one of the two records carries the traffic.
+  const Bytes t0 = outcomes[0].pre.traffic_bytes;
+  const Bytes t1 = outcomes[1].pre.traffic_bytes;
+  EXPECT_TRUE((t0 == 0) != (t1 == 0));
+  EXPECT_FALSE(outcomes[0].pre.cache_hit);
+  EXPECT_FALSE(outcomes[1].pre.cache_hit);
+}
+
+TEST_F(XuanfengTest, StarvedSwarmFailsAndReportsCause) {
+  // The tail-most file has expected popularity ~1/week: force a seedless
+  // swarm by zeroing the seed parameters.
+  proto::SourceParams starved = sources;
+  starved.swarm.base_seed_mean = 0.0;
+  starved.swarm.seeds_per_popularity = 0.0;
+  cloud = std::make_unique<XuanfengCloud>(sim, net, *catalog, starved, config,
+                                          rng);
+  // Pick the least popular P2P file (HTTP tail files would not starve).
+  workload::FileIndex tail = 0;
+  for (std::size_t i = catalog->size(); i > 0; --i) {
+    if (proto::is_p2p(catalog->file(i - 1).protocol)) {
+      tail = static_cast<workload::FileIndex>(i - 1);
+      break;
+    }
+  }
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(400));
+  std::optional<TaskOutcome> outcome;
+  cloud->submit(request_for(tail, user), user,
+                [&](const TaskOutcome& o) { outcome = o; });
+  sim.run();
+
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->pre.success);
+  EXPECT_EQ(outcome->pre.failure_cause,
+            proto::FailureCause::kInsufficientSeeds);
+  EXPECT_FALSE(outcome->fetched);
+  // Failed in about the stagnation timeout.
+  EXPECT_GE(outcome->pre.finish_time - outcome->pre.start_time, kHour);
+  EXPECT_LE(outcome->pre.finish_time - outcome->pre.start_time,
+            kHour + 3 * 5 * kMinute);
+}
+
+TEST_F(XuanfengTest, RejectsWhenCloudHasNoUploadBandwidth) {
+  config.total_upload_capacity = kbps_to_rate(40.0);  // 10 KBps per cluster
+  config.admission_floor = kbps_to_rate(125.0);
+  cloud = std::make_unique<XuanfengCloud>(sim, net, *catalog, sources, config,
+                                          rng);
+  cloud->warm_cache(catalog->file(0));
+  // First fetch consumes the tiny cluster; use four to drain all clusters.
+  const workload::User user = make_user(net::Isp::kUnicom, mbps_to_rate(10));
+  int rejected = 0, fetched = 0;
+  for (int i = 0; i < 6; ++i) {
+    cloud->submit(request_for(0, user, i + 1), user, [&](const TaskOutcome& o) {
+      if (o.fetch.rejected) ++rejected;
+      if (o.fetched) ++fetched;
+    });
+  }
+  sim.run_until(kMinute);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST_F(XuanfengTest, PreDownloadOnlyStopsBeforeFetch) {
+  std::optional<workload::PreDownloadRecord> pre;
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(400));
+  cloud->predownload_only(request_for(0, user),
+                          [&](const workload::PreDownloadRecord& r) { pre = r; });
+  sim.run();
+  ASSERT_TRUE(pre.has_value());
+  EXPECT_TRUE(pre->success);
+  // No fetch happened: no upload bandwidth was reserved or spent.
+  EXPECT_EQ(cloud->uploads().admitted_count(), 0u);
+  // And the file is cached for later fetch_only.
+  EXPECT_TRUE(cloud->storage().contains(catalog->file(0).content_id));
+}
+
+TEST_F(XuanfengTest, FetchOnlyUsesSuppliedPreRecord) {
+  cloud->warm_cache(catalog->file(0));
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(500));
+  workload::PreDownloadRecord pre;
+  pre.task_id = 9;
+  pre.success = true;
+  pre.cache_hit = true;
+  std::optional<TaskOutcome> outcome;
+  cloud->fetch_only(request_for(0, user, 9), user, pre,
+                    [&](const TaskOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->fetched);
+  EXPECT_EQ(outcome->pre.task_id, 9u);
+}
+
+TEST_F(XuanfengTest, ContentDbSeesEverySubmission) {
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(400));
+  cloud->warm_cache(catalog->file(3));
+  cloud->submit(request_for(3, user, 1), user, nullptr);
+  cloud->submit(request_for(3, user, 2), user, nullptr);
+  EXPECT_DOUBLE_EQ(cloud->content_db().weekly_popularity(3, sim.now()), 2.0);
+}
+
+}  // namespace
+}  // namespace odr::cloud

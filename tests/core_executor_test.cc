@@ -1,0 +1,225 @@
+// Executor integration tests: each route against the real substrates.
+#include "core/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace odr::core {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : net(sim), rng(31) {
+    workload::CatalogParams cp;
+    cp.num_files = 300;
+    cp.total_weekly_requests = 2175;
+    catalog = std::make_unique<workload::Catalog>(cp, rng);
+
+    cloud_config.total_upload_capacity = mbps_to_rate(100.0);
+    cloud_config.dynamics_prob = 0.0;
+    cloud = std::make_unique<cloud::XuanfengCloud>(sim, net, *catalog, sources,
+                                                   cloud_config, rng);
+
+    odr::ap::SmartApConfig ap_config;
+    ap_config.hardware = odr::ap::kMiWiFi;
+    ap_config.device = odr::ap::DeviceType::kSataHdd;
+    ap_config.filesystem = odr::ap::Filesystem::kExt4;
+    ap_config.bug_failure_prob = 0.0;
+    ap = std::make_unique<odr::ap::SmartAp>(sim, net, ap_config, sources, rng);
+
+    executor = std::make_unique<Executor>(sim, net, *catalog, *cloud, sources,
+                                          Executor::Config{}, rng);
+  }
+
+  workload::WorkloadRecord request_for(workload::FileIndex file,
+                                       const workload::User& user) {
+    workload::WorkloadRecord r;
+    r.task_id = ++next_task_;
+    r.user_id = user.id;
+    r.ip = user.ip;
+    r.isp = user.isp;
+    r.access_bandwidth = user.access_bandwidth;
+    r.request_time = sim.now();
+    r.file = file;
+    const auto& f = catalog->file(file);
+    r.file_type = f.type;
+    r.file_size = f.size;
+    r.protocol = f.protocol;
+    return r;
+  }
+
+  workload::User make_user(net::Isp isp, Rate bw) {
+    workload::User u;
+    u.id = 1;
+    u.isp = isp;
+    u.access_bandwidth = bw;
+    u.ip = "10.1.1.1";
+    return u;
+  }
+
+  Decision route(Route r) {
+    Decision d;
+    d.route = r;
+    return d;
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  Rng rng;
+  proto::SourceParams sources;
+  cloud::CloudConfig cloud_config;
+  std::unique_ptr<workload::Catalog> catalog;
+  std::unique_ptr<cloud::XuanfengCloud> cloud;
+  std::unique_ptr<odr::ap::SmartAp> ap;
+  std::unique_ptr<Executor> executor;
+  workload::TaskId next_task_ = 0;
+};
+
+TEST_F(ExecutorTest, CloudRouteProducesFullOutcome) {
+  cloud->warm_cache(catalog->file(0));
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(500));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kCloud), request_for(0, user), user, nullptr,
+                    [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_EQ(outcome->route, Route::kCloud);
+  EXPECT_NEAR(outcome->fetch_rate, kbps_to_rate(500), 1.0);
+  EXPECT_FALSE(outcome->impeded);
+  EXPECT_EQ(outcome->cloud_upload_bytes, catalog->file(0).size);
+  EXPECT_GT(outcome->ready_time, outcome->request_time);
+}
+
+TEST_F(ExecutorTest, CloudRouteSlowUserIsImpeded) {
+  cloud->warm_cache(catalog->file(1));
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(60));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kCloud), request_for(1, user), user, nullptr,
+                    [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_TRUE(outcome->impeded);  // below the 125 KBps playback line
+}
+
+TEST_F(ExecutorTest, UserDeviceRouteDownloadsDirectly) {
+  const workload::User user = make_user(net::Isp::kTelecom, kbps_to_rate(800));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kUserDevice), request_for(0, user), user,
+                    nullptr, [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->route, Route::kUserDevice);
+  EXPECT_TRUE(outcome->success);  // rank-0 file: hot swarm
+  EXPECT_EQ(outcome->cloud_upload_bytes, 0u);  // the cloud was not involved
+  EXPECT_EQ(outcome->pre_delay, 0);
+  EXPECT_GT(outcome->fetch_delay, 0);
+}
+
+TEST_F(ExecutorTest, SmartApRouteEndsWithLanFetch) {
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(600));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kSmartAp), request_for(0, user), user,
+                    ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_FALSE(outcome->impeded);  // LAN streaming is never impeded
+  EXPECT_EQ(outcome->cloud_upload_bytes, 0u);
+  EXPECT_GT(outcome->pre_delay, 0);
+}
+
+TEST_F(ExecutorTest, CloudThenApShieldsSlowUserFromImpediment) {
+  cloud->warm_cache(catalog->file(2));
+  const workload::User user = make_user(net::Isp::kOther, kbps_to_rate(400));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kCloudThenSmartAp), request_for(2, user),
+                    user, ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  // The cloud->AP hop crossed the ISP barrier (slow), but the user is
+  // shielded: not impeded, though the cloud still carried the bytes.
+  EXPECT_FALSE(outcome->impeded);
+  EXPECT_EQ(outcome->cloud_upload_bytes, catalog->file(2).size);
+}
+
+TEST_F(ExecutorTest, PreDownloadFirstReDecidesAfterCaching) {
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(500));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kCloudPreDownloadFirst), request_for(0, user),
+                    user, ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  // Healthy path: after pre-download it re-decides to a plain cloud fetch.
+  EXPECT_EQ(outcome->route, Route::kCloud);
+  EXPECT_GT(outcome->pre_delay, 0);
+  EXPECT_GT(outcome->cloud_upload_bytes, 0u);
+}
+
+TEST_F(ExecutorTest, PreDownloadFirstWithSlowUserStagesViaAp) {
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(60));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kCloudPreDownloadFirst), request_for(0, user),
+                    user, ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_EQ(outcome->route, Route::kCloudThenSmartAp);
+  EXPECT_FALSE(outcome->impeded);
+}
+
+TEST_F(ExecutorTest, PreDownloadFailurePropagates) {
+  proto::SourceParams starved = sources;
+  starved.swarm.base_seed_mean = 0.0;
+  starved.swarm.seeds_per_popularity = 0.0;
+  cloud = std::make_unique<cloud::XuanfengCloud>(sim, net, *catalog, starved,
+                                                 cloud_config, rng);
+  executor = std::make_unique<Executor>(sim, net, *catalog, *cloud, starved,
+                                        Executor::Config{}, rng);
+  workload::FileIndex p2p_file = 0;
+  for (std::size_t i = 0; i < catalog->size(); ++i) {
+    if (proto::is_p2p(catalog->file(i).protocol)) {
+      p2p_file = static_cast<workload::FileIndex>(i);
+      break;
+    }
+  }
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(500));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(route(Route::kCloudPreDownloadFirst),
+                    request_for(p2p_file, user), user, ap.get(),
+                    [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->success);
+  EXPECT_EQ(outcome->cause, proto::FailureCause::kInsufficientSeeds);
+}
+
+TEST_F(ExecutorTest, MakeInputReflectsWorldState) {
+  cloud->warm_cache(catalog->file(5));
+  cloud->content_db().record_request(5, sim.now());
+  cloud->content_db().record_request(5, sim.now());
+  const workload::User user = make_user(net::Isp::kCernet, kbps_to_rate(300));
+  const DecisionInput in =
+      executor->make_input(request_for(5, user), user, ap.get());
+  EXPECT_TRUE(in.cached_in_cloud);
+  EXPECT_DOUBLE_EQ(in.weekly_popularity, 2.0);
+  EXPECT_EQ(in.user_isp, net::Isp::kCernet);
+  EXPECT_TRUE(in.has_smart_ap);
+  EXPECT_EQ(*in.ap_device, odr::ap::DeviceType::kSataHdd);
+}
+
+TEST_F(ExecutorTest, MakeInputFallsBackToTrueBandwidthWhenUnreported) {
+  workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(333));
+  workload::WorkloadRecord r = request_for(0, user);
+  r.access_bandwidth = 0.0;  // user did not report (§4.2 footnote)
+  const DecisionInput in = executor->make_input(r, user, nullptr);
+  EXPECT_DOUBLE_EQ(in.user_access_bandwidth, kbps_to_rate(333));
+  EXPECT_FALSE(in.has_smart_ap);
+}
+
+}  // namespace
+}  // namespace odr::core

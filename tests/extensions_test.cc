@@ -1,0 +1,156 @@
+// Tests for the extension modules: cloud seeding (bandwidth multiplier)
+// and buffer-based streaming.
+#include <gtest/gtest.h>
+
+#include "cloud/seeder.h"
+#include "core/streaming.h"
+
+namespace odr {
+namespace {
+
+using cloud::SeedCandidate;
+using cloud::plan_seeding;
+
+TEST(SeederTest, GreedyPrefersHighMultiplier) {
+  std::vector<SeedCandidate> candidates = {
+      {0, 2.0, kbps_to_rate(100)},
+      {1, 5.0, kbps_to_rate(100)},
+      {2, 3.0, kbps_to_rate(100)},
+  };
+  const auto plan = plan_seeding(candidates, kbps_to_rate(150));
+  ASSERT_EQ(plan.allocations.size(), 2u);
+  EXPECT_EQ(plan.allocations[0].file, 1u);   // multiplier 5 first
+  EXPECT_DOUBLE_EQ(plan.allocations[0].seed_rate, kbps_to_rate(100));
+  EXPECT_EQ(plan.allocations[1].file, 2u);   // then multiplier 3
+  EXPECT_DOUBLE_EQ(plan.allocations[1].seed_rate, kbps_to_rate(50));
+  EXPECT_DOUBLE_EQ(plan.total_seeded, kbps_to_rate(150));
+  // Delivered = 100*5 + 50*3 = 650 KBps.
+  EXPECT_DOUBLE_EQ(plan.total_delivered, kbps_to_rate(650));
+  EXPECT_NEAR(plan.aggregate_multiplier(), 650.0 / 150.0, 1e-9);
+}
+
+TEST(SeederTest, BudgetSmallerThanAnyCap) {
+  std::vector<SeedCandidate> candidates = {{0, 4.0, kbps_to_rate(1000)}};
+  const auto plan = plan_seeding(candidates, kbps_to_rate(10));
+  ASSERT_EQ(plan.allocations.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.allocations[0].seed_rate, kbps_to_rate(10));
+}
+
+TEST(SeederTest, DegenerateInputs) {
+  EXPECT_TRUE(plan_seeding({}, kbps_to_rate(100)).allocations.empty());
+  EXPECT_TRUE(plan_seeding({{0, 2.0, kbps_to_rate(10)}}, 0.0)
+                  .allocations.empty());
+  // Zero-cap and zero-multiplier candidates are skipped.
+  const auto plan = plan_seeding(
+      {{0, 2.0, 0.0}, {1, 0.0, kbps_to_rate(10)}}, kbps_to_rate(100));
+  EXPECT_TRUE(plan.allocations.empty());
+  EXPECT_DOUBLE_EQ(plan.aggregate_multiplier(), 0.0);
+}
+
+TEST(SeederTest, CandidateFromLiveSwarm) {
+  Rng rng(3);
+  proto::SwarmParams params;
+  proto::Swarm hot(proto::Protocol::kBitTorrent, 1000.0, params, rng);
+  const SeedCandidate c =
+      cloud::make_candidate(7, hot, kbps_to_rate(125.0));
+  EXPECT_EQ(c.file, 7u);
+  EXPECT_GT(c.bandwidth_multiplier, 1.0);
+  EXPECT_NEAR(c.absorption_cap,
+              static_cast<double>(hot.leechers()) * kbps_to_rate(125.0),
+              1e-6);
+}
+
+TEST(SeederTest, SeedingBeatsDirectUploadForHotSwarms) {
+  // The §4.2 argument: one unit of seed bandwidth in a leecher-rich swarm
+  // delivers more than one unit of direct cloud upload.
+  Rng rng(9);
+  proto::SwarmParams params;
+  std::vector<SeedCandidate> candidates;
+  for (int i = 0; i < 10; ++i) {
+    proto::Swarm swarm(proto::Protocol::kBitTorrent, 500.0 + 100.0 * i,
+                       params, rng);
+    candidates.push_back(cloud::make_candidate(
+        static_cast<workload::FileIndex>(i), swarm, kbps_to_rate(125.0)));
+  }
+  const Rate budget = mbps_to_rate(10.0);
+  const auto plan = plan_seeding(candidates, budget);
+  EXPECT_GT(plan.total_delivered, budget);  // multiplier > 1
+  EXPECT_GT(plan.aggregate_multiplier(), 1.5);
+}
+
+// --- streaming ---------------------------------------------------------------
+
+core::BbaParams default_bba() { return core::BbaParams{}; }
+
+TEST(BbaControllerTest, MapsBufferToLadder) {
+  const core::BbaController bba(default_bba());
+  const auto& ladder = default_bba().ladder;
+  EXPECT_DOUBLE_EQ(bba.select(0.0), ladder.front());
+  EXPECT_DOUBLE_EQ(bba.select(9.9), ladder.front());   // inside reservoir
+  EXPECT_DOUBLE_EQ(bba.select(100.0), ladder.back());  // beyond cushion
+  // Mid-cushion picks a middle rung, monotonically.
+  Rate prev = 0.0;
+  for (double b = 10.0; b <= 60.0; b += 5.0) {
+    const Rate r = bba.select(b);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(StreamingTest, FastNetworkPlaysWithoutRebuffering) {
+  const core::BbaController bba(default_bba());
+  // 600 s of content over a 500 KBps pipe: far above the top rung.
+  const auto result =
+      core::simulate_streaming(bba, 600.0, kbps_to_rate(500.0));
+  EXPECT_NEAR(result.playback_sec, 600.0, 1.0);
+  EXPECT_DOUBLE_EQ(result.rebuffer_sec, 0.0);
+  EXPECT_LT(result.startup_delay_sec, 5.0);
+  // Converges to the top bitrate.
+  EXPECT_GT(result.average_bitrate, kbps_to_rate(125.0));
+}
+
+TEST(StreamingTest, ImpededRateRebuffersBadly) {
+  const core::BbaController bba(default_bba());
+  // 60 KBps — below even the paper's playback line; the bottom rung is
+  // 31.25 KBps so playback continues but any higher rung stalls.
+  const auto result = core::simulate_streaming(bba, 600.0, kbps_to_rate(20.0));
+  // 20 KBps < lowest rung: heavy rebuffering.
+  EXPECT_GT(result.rebuffer_ratio(), 0.2);
+}
+
+TEST(StreamingTest, The125KBpsLineSupportsTheHdRung) {
+  // The paper's threshold: 125 KBps sustains 1 Mbps (HD) playback. With
+  // BBA the player should settle at the 125 KBps rung without stalling.
+  const core::BbaController bba(default_bba());
+  const auto result =
+      core::simulate_streaming(bba, 1200.0, kbps_to_rate(130.0));
+  EXPECT_LT(result.rebuffer_ratio(), 0.02);
+  EXPECT_GE(result.average_bitrate, kbps_to_rate(62.0));
+}
+
+TEST(StreamingTest, VariableRateAdaptsDownInsteadOfStalling) {
+  const core::BbaController bba(default_bba());
+  // Rate collapses mid-stream: 400 KBps for 300 s, then 40 KBps.
+  const auto variable = [](double t) {
+    return t < 300.0 ? kbps_to_rate(400.0) : kbps_to_rate(40.0);
+  };
+  const auto adaptive = core::simulate_streaming(bba, 900.0, variable, 4.0);
+
+  // A fixed-top-rate player (ladder with one rung) stalls far more.
+  core::BbaParams fixed;
+  fixed.ladder = {kbps_to_rate(250.0)};
+  const auto rigid = core::simulate_streaming(core::BbaController(fixed),
+                                              900.0, variable, 4.0);
+  EXPECT_LT(adaptive.rebuffer_sec, rigid.rebuffer_sec * 0.8);
+  EXPECT_GT(adaptive.bitrate_switches, 0);
+}
+
+TEST(StreamingTest, ZeroDurationIsSafe) {
+  const core::BbaController bba(default_bba());
+  const auto result = core::simulate_streaming(bba, 0.0, kbps_to_rate(100.0));
+  EXPECT_DOUBLE_EQ(result.playback_sec, 0.0);
+  EXPECT_DOUBLE_EQ(result.rebuffer_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace odr

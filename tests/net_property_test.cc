@@ -1,0 +1,138 @@
+// Property/fuzz tests of the flow-level network: under long random
+// sequences of operations, the max-min invariants and byte accounting
+// must hold exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace odr::net {
+namespace {
+
+class NetworkFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkFuzzTest, InvariantsUnderRandomOperations) {
+  sim::Simulator sim;
+  Network net(sim);
+  Rng rng(GetParam());
+
+  // A small topology with shared and private links.
+  std::vector<LinkId> links;
+  for (int i = 0; i < 6; ++i) {
+    links.push_back(net.add_link("l" + std::to_string(i),
+                                 rng.uniform(100.0, 2000.0)));
+  }
+
+  struct Tracked {
+    FlowId id;
+    Bytes size;
+    bool completed = false;
+  };
+  std::map<FlowId, Tracked> live;
+  std::vector<Tracked> finished;
+  Bytes total_requested = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.45 || live.empty()) {
+      // Start a flow over 1-3 random links with a random cap.
+      std::vector<LinkId> path;
+      const int hops = 1 + static_cast<int>(rng.uniform_index(3));
+      for (int h = 0; h < hops; ++h) {
+        path.push_back(links[rng.uniform_index(links.size())]);
+      }
+      const Bytes size = 100 + rng.uniform_index(100000);
+      const Rate cap =
+          rng.bernoulli(0.3) ? kUnlimitedRate : rng.uniform(10.0, 3000.0);
+      total_requested += size;
+      Tracked t;
+      t.size = size;
+      auto* live_ptr = &live;
+      auto* finished_ptr = &finished;
+      const FlowId id = net.start_flow(
+          {path, size, cap, [live_ptr, finished_ptr](FlowId fid) {
+             auto it = live_ptr->find(fid);
+             ASSERT_NE(it, live_ptr->end());
+             it->second.completed = true;
+             finished_ptr->push_back(it->second);
+             live_ptr->erase(it);
+           }});
+      t.id = id;
+      live.emplace(id, t);
+    } else if (action < 0.6) {
+      // Cancel a random live flow.
+      auto it = live.begin();
+      std::advance(it, rng.uniform_index(live.size()));
+      const FlowId id = it->first;
+      live.erase(it);
+      EXPECT_TRUE(net.cancel_flow(id));
+    } else if (action < 0.75) {
+      // Re-cap a random live flow.
+      auto it = live.begin();
+      std::advance(it, rng.uniform_index(live.size()));
+      net.set_flow_cap(it->first, rng.uniform(0.0, 2500.0));
+    } else if (action < 0.85) {
+      // Resize a random link.
+      net.set_link_capacity(links[rng.uniform_index(links.size())],
+                            rng.uniform(50.0, 2500.0));
+    } else {
+      // Advance time.
+      sim.run_until(sim.now() + from_seconds(rng.uniform(0.1, 20.0)));
+    }
+
+    // Invariant 1: no link is oversubscribed.
+    for (LinkId l : links) {
+      EXPECT_LE(net.link_utilization(l), net.link_capacity(l) + 1e-3);
+    }
+    // Invariant 2: every live flow's progress is within bounds.
+    for (auto& [id, t] : live) {
+      const FlowStats s = net.flow_stats(id);
+      EXPECT_LE(s.bytes_done, t.size);
+      EXPECT_GE(s.current_rate, 0.0);
+      EXPECT_GE(s.peak_rate, s.current_rate - 1e-9);
+    }
+  }
+
+  // Drain: raise all caps so stalled flows can finish, then run out.
+  std::vector<FlowId> ids;
+  for (auto& [id, t] : live) ids.push_back(id);
+  for (FlowId id : ids) net.set_flow_cap(id, kUnlimitedRate);
+  sim.run();
+
+  // Invariant 3: everything either finished or was cancelled; finished
+  // flows delivered exactly their sizes.
+  EXPECT_TRUE(live.empty());
+  EXPECT_EQ(net.active_flow_count(), 0u);
+  for (const auto& t : finished) {
+    EXPECT_TRUE(t.completed);
+  }
+  for (LinkId l : links) {
+    EXPECT_EQ(net.link_flow_count(l), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(NetworkAccountingTest, BytesDeliveredMatchElapsedRates) {
+  // A flow re-capped several times must deliver exactly its size, with
+  // the completion time equal to the piecewise integral of its rate.
+  sim::Simulator sim;
+  Network net(sim);
+  const LinkId link = net.add_link("l", 1e6);
+  SimTime done_at = 0;
+  const FlowId f = net.start_flow(
+      {{link}, 10000, 100.0, [&](FlowId) { done_at = sim.now(); }});
+  sim.run_until(from_seconds(20.0));   // 2000 bytes at 100 B/s
+  net.set_flow_cap(f, 400.0);
+  sim.run_until(from_seconds(30.0));   // + 4000 bytes at 400 B/s
+  net.set_flow_cap(f, 50.0);
+  sim.run();                           // remaining 4000 at 50 B/s -> 80 s
+  EXPECT_EQ(done_at, from_seconds(110.0));
+}
+
+}  // namespace
+}  // namespace odr::net

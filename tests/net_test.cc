@@ -1,0 +1,259 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace odr::net {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  Network net{sim};
+};
+
+TEST_F(NetworkTest, SingleFlowLimitedByLink) {
+  const LinkId link = net.add_link("l", 100.0);  // 100 B/s
+  bool done = false;
+  net.start_flow({{link}, 1000, kUnlimitedRate,
+                  [&](FlowId) { done = true; }});
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 10 * kSec);
+}
+
+TEST_F(NetworkTest, SingleFlowLimitedByCap) {
+  const LinkId link = net.add_link("l", 1000.0);
+  net.start_flow({{link}, 1000, 100.0, nullptr});
+  const FlowId f = 1;
+  EXPECT_NEAR(net.flow_stats(f).current_rate, 100.0, 1e-6);
+}
+
+TEST_F(NetworkTest, PathlessFlowUsesCapOnly) {
+  bool done = false;
+  net.start_flow({{}, 500, 50.0, [&](FlowId) { done = true; }});
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 10 * kSec);
+}
+
+TEST_F(NetworkTest, TwoFlowsShareLinkEqually) {
+  const LinkId link = net.add_link("l", 100.0);
+  const FlowId a = net.start_flow({{link}, 10000, kUnlimitedRate, nullptr});
+  const FlowId b = net.start_flow({{link}, 10000, kUnlimitedRate, nullptr});
+  EXPECT_NEAR(net.flow_stats(a).current_rate, 50.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 50.0, 1e-6);
+  EXPECT_NEAR(net.link_utilization(link), 100.0, 1e-6);
+}
+
+TEST_F(NetworkTest, MaxMinRespectsPerFlowCaps) {
+  // Classic waterfilling: caps 10 and 1000 on a 100-capacity link ->
+  // rates 10 and 90.
+  const LinkId link = net.add_link("l", 100.0);
+  const FlowId small = net.start_flow({{link}, 100000, 10.0, nullptr});
+  const FlowId big = net.start_flow({{link}, 100000, 1000.0, nullptr});
+  EXPECT_NEAR(net.flow_stats(small).current_rate, 10.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(big).current_rate, 90.0, 1e-6);
+}
+
+TEST_F(NetworkTest, ThreeFlowsWaterfilling) {
+  // Caps 20, 50, inf on capacity 120: allocation 20, 50, 50.
+  const LinkId link = net.add_link("l", 120.0);
+  const FlowId a = net.start_flow({{link}, 1 << 20, 20.0, nullptr});
+  const FlowId b = net.start_flow({{link}, 1 << 20, 50.0, nullptr});
+  const FlowId c = net.start_flow({{link}, 1 << 20, kUnlimitedRate, nullptr});
+  EXPECT_NEAR(net.flow_stats(a).current_rate, 20.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 50.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(c).current_rate, 50.0, 1e-6);
+}
+
+TEST_F(NetworkTest, MultiLinkPathTakesBottleneck) {
+  const LinkId wide = net.add_link("wide", 1000.0);
+  const LinkId narrow = net.add_link("narrow", 40.0);
+  const FlowId f = net.start_flow({{wide, narrow}, 1 << 20,
+                                   kUnlimitedRate, nullptr});
+  EXPECT_NEAR(net.flow_stats(f).current_rate, 40.0, 1e-6);
+}
+
+TEST_F(NetworkTest, CompletionFreesBandwidthForOthers) {
+  const LinkId link = net.add_link("l", 100.0);
+  net.start_flow({{link}, 500, kUnlimitedRate, nullptr});  // done at 10s
+  const FlowId b = net.start_flow({{link}, 5000, kUnlimitedRate, nullptr});
+  sim.run_until(11 * kSec);
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 100.0, 1e-6);
+  // First flow got 50 B/s for 10 s = 500 bytes; second then speeds up.
+  sim.run();
+  // b: 10s at 50 B/s = 500, then 4500 at 100 B/s = 45 s. Total 55 s.
+  EXPECT_EQ(sim.now(), 55 * kSec);
+}
+
+TEST_F(NetworkTest, CancelFlowReleasesShare) {
+  const LinkId link = net.add_link("l", 100.0);
+  const FlowId a = net.start_flow({{link}, 1 << 20, kUnlimitedRate, nullptr});
+  const FlowId b = net.start_flow({{link}, 1 << 20, kUnlimitedRate, nullptr});
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 50.0, 1e-6);
+  EXPECT_TRUE(net.cancel_flow(a));
+  EXPECT_FALSE(net.cancel_flow(a));
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 100.0, 1e-6);
+}
+
+TEST_F(NetworkTest, CancelledFlowCallbackNotInvoked) {
+  const LinkId link = net.add_link("l", 100.0);
+  bool fired = false;
+  const FlowId f =
+      net.start_flow({{link}, 1000, kUnlimitedRate, [&](FlowId) { fired = true; }});
+  net.cancel_flow(f);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(NetworkTest, SetFlowCapReschedulesCompletion) {
+  const LinkId link = net.add_link("l", 1000.0);
+  bool done = false;
+  const FlowId f =
+      net.start_flow({{link}, 1000, 100.0, [&](FlowId) { done = true; }});
+  sim.run_until(5 * kSec);  // 500 bytes done
+  net.set_flow_cap(f, 50.0);
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 15 * kSec);  // 5 + 500/50
+}
+
+TEST_F(NetworkTest, ZeroCapStallsFlowUntilRaised) {
+  bool done = false;
+  const FlowId f = net.start_flow({{}, 1000, 0.0, [&](FlowId) { done = true; }});
+  sim.run();
+  EXPECT_FALSE(done);  // no events: flow is stalled, not completed
+  net.set_flow_cap(f, 100.0);
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(NetworkTest, LinkCapacityChangePropagates) {
+  const LinkId link = net.add_link("l", 100.0);
+  const FlowId f = net.start_flow({{link}, 1 << 20, kUnlimitedRate, nullptr});
+  net.set_link_capacity(link, 30.0);
+  EXPECT_NEAR(net.flow_stats(f).current_rate, 30.0, 1e-6);
+}
+
+TEST_F(NetworkTest, DisjointComponentsDoNotInteract) {
+  const LinkId l1 = net.add_link("l1", 100.0);
+  const LinkId l2 = net.add_link("l2", 200.0);
+  const FlowId a = net.start_flow({{l1}, 1 << 20, kUnlimitedRate, nullptr});
+  const FlowId b = net.start_flow({{l2}, 1 << 20, kUnlimitedRate, nullptr});
+  EXPECT_NEAR(net.flow_stats(a).current_rate, 100.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 200.0, 1e-6);
+  // Adding load on l1 must not change the l2 flow's rate.
+  net.start_flow({{l1}, 1 << 20, kUnlimitedRate, nullptr});
+  EXPECT_NEAR(net.flow_stats(a).current_rate, 50.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 200.0, 1e-6);
+}
+
+TEST_F(NetworkTest, SharedLinkCouplesComponents) {
+  // a on {l1}, b on {l1,l2}, c on {l2}: one component through b.
+  const LinkId l1 = net.add_link("l1", 100.0);
+  const LinkId l2 = net.add_link("l2", 60.0);
+  const FlowId a = net.start_flow({{l1}, 1 << 20, kUnlimitedRate, nullptr});
+  const FlowId b = net.start_flow({{l1, l2}, 1 << 20, kUnlimitedRate, nullptr});
+  const FlowId c = net.start_flow({{l2}, 1 << 20, kUnlimitedRate, nullptr});
+  // Max-min: l2 gives b and c 30 each; then a takes the rest of l1 (70).
+  EXPECT_NEAR(net.flow_stats(b).current_rate, 30.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(c).current_rate, 30.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(a).current_rate, 70.0, 1e-6);
+}
+
+TEST_F(NetworkTest, FlowStatsTrackProgressAndPeak) {
+  const LinkId link = net.add_link("l", 100.0);
+  const FlowId f = net.start_flow({{link}, 1000, kUnlimitedRate, nullptr});
+  sim.run_until(4 * kSec);
+  const FlowStats stats = net.flow_stats(f);
+  EXPECT_EQ(stats.bytes_total, 1000u);
+  EXPECT_NEAR(static_cast<double>(stats.bytes_done), 400.0, 1.0);
+  EXPECT_NEAR(stats.peak_rate, 100.0, 1e-6);
+  EXPECT_EQ(stats.started_at, 0);
+}
+
+TEST_F(NetworkTest, ManyFlowsFairShareScales) {
+  const LinkId link = net.add_link("l", 1000.0);
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 100; ++i) {
+    flows.push_back(net.start_flow({{link}, 1 << 24, kUnlimitedRate, nullptr}));
+  }
+  for (FlowId f : flows) {
+    EXPECT_NEAR(net.flow_stats(f).current_rate, 10.0, 1e-6);
+  }
+}
+
+TEST(AllocationModelTest, EqualSplitWastesUnclaimedShare) {
+  sim::Simulator sim;
+  Network net(sim, AllocationModel::kEqualSplit);
+  const LinkId link = net.add_link("l", 100.0);
+  const FlowId small = net.start_flow({{link}, 1 << 20, 10.0, nullptr});
+  const FlowId big = net.start_flow({{link}, 1 << 20, 1000.0, nullptr});
+  // Equal split: each flow gets 50; the capped one uses 10 and the spare
+  // 40 is NOT redistributed (contrast MaxMinRespectsPerFlowCaps).
+  EXPECT_NEAR(net.flow_stats(small).current_rate, 10.0, 1e-6);
+  EXPECT_NEAR(net.flow_stats(big).current_rate, 50.0, 1e-6);
+  EXPECT_NEAR(net.link_utilization(link), 60.0, 1e-6);
+}
+
+TEST(AllocationModelTest, EqualSplitStillCompletesFlows) {
+  sim::Simulator sim;
+  Network net(sim, AllocationModel::kEqualSplit);
+  const LinkId link = net.add_link("l", 100.0);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    net.start_flow({{link}, 1000, kUnlimitedRate, [&](FlowId) { ++done; }});
+  }
+  sim.run();
+  EXPECT_EQ(done, 4);
+}
+
+// Property sweep: with N capped flows on one link, the allocation is
+// max-min fair: every flow gets min(cap, fair share at its level) and the
+// link is either saturated or every flow is at its cap.
+class FairnessPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairnessPropertyTest, MaxMinInvariant) {
+  sim::Simulator sim;
+  Network net(sim);
+  const double capacity = 1000.0;
+  const LinkId link = net.add_link("l", capacity);
+  const int n = GetParam();
+  std::vector<FlowId> flows;
+  std::vector<double> caps;
+  for (int i = 0; i < n; ++i) {
+    const double cap = 10.0 + 37.0 * ((i * 13) % n);
+    caps.push_back(cap);
+    flows.push_back(net.start_flow({{link}, 1 << 24, cap, nullptr}));
+  }
+  double total = 0.0;
+  double min_uncapped = 1e18;
+  for (int i = 0; i < n; ++i) {
+    const double rate = net.flow_stats(flows[i]).current_rate;
+    EXPECT_LE(rate, caps[i] + 1e-6);
+    total += rate;
+    if (rate < caps[i] - 1e-6) min_uncapped = std::min(min_uncapped, rate);
+  }
+  EXPECT_LE(total, capacity + 1e-4);
+  // Either all flows are capped, or the link is (nearly) saturated.
+  if (min_uncapped < 1e18) {
+    EXPECT_NEAR(total, capacity, 1e-4);
+    // No capped flow may exceed the lowest bottlenecked flow's rate
+    // (max-min: you can only be above the fair level by being capped below).
+    for (int i = 0; i < n; ++i) {
+      const double rate = net.flow_stats(flows[i]).current_rate;
+      if (rate > min_uncapped + 1e-6) {
+        EXPECT_LE(rate, caps[i] + 1e-6);
+        EXPECT_NEAR(rate, caps[i], 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, FairnessPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 20, 64));
+
+}  // namespace
+}  // namespace odr::net

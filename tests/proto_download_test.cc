@@ -1,0 +1,229 @@
+#include "proto/download.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace odr::proto {
+namespace {
+
+// A deterministic scriptable source for driving DownloadTask directly.
+class FakeSource final : public Source {
+ public:
+  explicit FakeSource(Rate rate, double traffic = 1.0)
+      : rate_(rate), traffic_(traffic) {}
+
+  Rate current_rate() const override { return rate_; }
+  void tick(SimTime dt, Rng&) override { elapsed_ += dt; if (elapsed_ >= fatal_after_) fatal_ = fatal_armed_; }
+  bool fatal() const override { return fatal_; }
+  FailureCause fatal_cause() const override {
+    return fatal_ ? FailureCause::kPoorHttpConnection : FailureCause::kNone;
+  }
+  double traffic_factor() const override { return traffic_; }
+  Protocol protocol() const override { return protocol_; }
+
+  void set_rate(Rate r) { rate_ = r; }
+  void arm_fatal_after(SimTime t) {
+    fatal_armed_ = true;
+    fatal_after_ = t;
+  }
+  void set_protocol(Protocol p) { protocol_ = p; }
+
+ private:
+  Rate rate_;
+  double traffic_;
+  Protocol protocol_ = Protocol::kHttp;
+  bool fatal_armed_ = false;
+  bool fatal_ = false;
+  SimTime fatal_after_ = kTimeNever;
+  SimTime elapsed_ = 0;
+};
+
+class DownloadTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  net::Network net{sim};
+  Rng rng{17};
+  std::optional<DownloadResult> result;
+
+  DownloadTask::DoneFn capture() {
+    return [this](const DownloadResult& r) { result = r; };
+  }
+};
+
+TEST_F(DownloadTest, CompletesAtSourceRate) {
+  auto source = std::make_unique<FakeSource>(1000.0);
+  DownloadTask task(sim, net, std::move(source), 60000, {}, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->success);
+  EXPECT_EQ(result->bytes_downloaded, 60000u);
+  EXPECT_EQ(sim.now(), 60 * kSec);
+  EXPECT_NEAR(result->average_rate, 1000.0, 1e-6);
+}
+
+TEST_F(DownloadTest, LineRateCapsTransfer) {
+  auto source = std::make_unique<FakeSource>(10000.0);
+  DownloadTask::Config cfg;
+  cfg.line_rate = 1000.0;
+  DownloadTask task(sim, net, std::move(source), 60000, cfg, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(sim.now(), 60 * kSec);  // limited by the line, not the source
+}
+
+TEST_F(DownloadTest, SinkRateCapsTransfer) {
+  // Bottleneck 4: the storage write ceiling throttles a fast source+line.
+  auto source = std::make_unique<FakeSource>(10000.0);
+  DownloadTask::Config cfg;
+  cfg.line_rate = 8000.0;
+  cfg.sink_rate = 500.0;
+  DownloadTask task(sim, net, std::move(source), 30000, cfg, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(sim.now(), 60 * kSec);
+  EXPECT_NEAR(result->peak_rate, 500.0, 1e-6);
+}
+
+TEST_F(DownloadTest, StagnationTimesOut) {
+  auto source = std::make_unique<FakeSource>(0.0);  // starved swarm
+  auto* raw = source.get();
+  raw->set_protocol(Protocol::kBitTorrent);
+  DownloadTask::Config cfg;
+  cfg.stagnation_timeout = kHour;
+  DownloadTask task(sim, net, std::move(source), 1 << 20, cfg, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+  EXPECT_EQ(result->cause, FailureCause::kInsufficientSeeds);
+  // Fails at the first tick after one stagnant hour.
+  EXPECT_GE(sim.now(), kHour);
+  EXPECT_LE(sim.now(), kHour + 2 * cfg.tick_period);
+}
+
+TEST_F(DownloadTest, StagnationCauseIsHttpForServerSources) {
+  auto source = std::make_unique<FakeSource>(0.0);
+  source->set_protocol(Protocol::kFtp);
+  DownloadTask task(sim, net, std::move(source), 1 << 20, {}, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->cause, FailureCause::kPoorHttpConnection);
+}
+
+TEST_F(DownloadTest, ProgressResetsStagnationClock) {
+  // Source alternates between stalled and alive every 30 min; since each
+  // stall is shorter than the 1 h timeout, the download must finish.
+  auto source = std::make_unique<FakeSource>(1000.0);
+  auto* raw = source.get();
+  DownloadTask::Config cfg;
+  cfg.tick_period = 5 * kMinute;
+  DownloadTask task(sim, net, std::move(source), 900 * 1000, cfg, capture());
+  task.start(rng);
+  bool on = true;
+  for (int i = 0; i < 100; ++i) {
+    sim.run_until((i + 1) * 30 * kMinute);
+    if (result.has_value()) break;
+    on = !on;
+    raw->set_rate(on ? 1000.0 : 0.0);
+  }
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->success);
+}
+
+TEST_F(DownloadTest, FatalSourceFailsImmediately) {
+  auto source = std::make_unique<FakeSource>(1000.0);
+  source->arm_fatal_after(10 * kMinute);
+  DownloadTask task(sim, net, std::move(source), 1 << 30, {}, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+  EXPECT_EQ(result->cause, FailureCause::kPoorHttpConnection);
+  EXPECT_LE(sim.now(), 20 * kMinute);
+  EXPECT_GT(result->bytes_downloaded, 0u);
+}
+
+TEST_F(DownloadTest, HardTimeoutBoundsAttempt) {
+  auto source = std::make_unique<FakeSource>(1.0);  // will crawl forever
+  DownloadTask::Config cfg;
+  cfg.hard_timeout = kDay;
+  DownloadTask task(sim, net, std::move(source), 1 << 30, cfg, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+  EXPECT_LE(sim.now(), kDay + kHour);
+}
+
+TEST_F(DownloadTest, AbortReportsAborted) {
+  auto source = std::make_unique<FakeSource>(100.0);
+  DownloadTask task(sim, net, std::move(source), 1 << 20, {}, capture());
+  task.start(rng);
+  sim.run_until(kMinute);
+  task.abort();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+  EXPECT_EQ(result->cause, FailureCause::kAborted);
+  EXPECT_FALSE(task.running());
+}
+
+TEST_F(DownloadTest, InjectedFailureCause) {
+  auto source = std::make_unique<FakeSource>(100.0);
+  DownloadTask task(sim, net, std::move(source), 1 << 20, {}, capture());
+  task.start(rng);
+  sim.run_until(kMinute);
+  task.fail(FailureCause::kSystemBug);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->cause, FailureCause::kSystemBug);
+}
+
+TEST_F(DownloadTest, TrafficBytesIncludeOverhead) {
+  auto source = std::make_unique<FakeSource>(1000.0, 1.96);
+  DownloadTask task(sim, net, std::move(source), 100000, {}, capture());
+  task.start(rng);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->traffic_bytes, 196000u);
+}
+
+TEST_F(DownloadTest, DestructionWithoutCallbackIsSilent) {
+  bool fired = false;
+  {
+    auto source = std::make_unique<FakeSource>(100.0);
+    DownloadTask task(sim, net, std::move(source), 1 << 20, {},
+                      [&](const DownloadResult&) { fired = true; });
+    task.start(rng);
+    sim.run_until(kMinute);
+  }
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flow_count(), 0u);
+}
+
+TEST_F(DownloadTest, SourceRateChangesArePickedUpOnTick) {
+  auto source = std::make_unique<FakeSource>(1000.0);
+  auto* raw = source.get();
+  DownloadTask::Config cfg;
+  cfg.tick_period = kMinute;
+  DownloadTask task(sim, net, std::move(source), 300000, cfg, capture());
+  task.start(rng);
+  sim.run_until(2 * kMinute);  // 120k done
+  raw->set_rate(500.0);
+  sim.run();
+  ASSERT_TRUE(result.has_value());
+  // Remaining ~180k at 500 B/s after the next tick; completion well past
+  // the 5-minute mark it would have hit at 1000 B/s.
+  EXPECT_GT(sim.now(), 5 * kMinute);
+}
+
+}  // namespace
+}  // namespace odr::proto

@@ -1,0 +1,166 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace odr::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3 * kSec, [&] { order.push_back(3); });
+  sim.schedule_at(1 * kSec, [&] { order.push_back(1); });
+  sim.schedule_at(2 * kSec, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3 * kSec);
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(kSec, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(5 * kSec, [&] {
+    sim.schedule_after(2 * kSec, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 7 * kSec);
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim;
+  sim.schedule_at(10 * kSec, [] {});
+  sim.run();
+  SimTime fired_at = -1;
+  sim.schedule_at(1 * kSec, [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(fired_at, 10 * kSec);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(kSec, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // double-cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed_count(), 0u);
+}
+
+TEST(SimulatorTest, CancelFromWithinEarlierEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(2 * kSec, [&] { ran = true; });
+  sim.schedule_at(1 * kSec, [&] { sim.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockExactly) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1 * kSec, [&] { ++count; });
+  sim.schedule_at(5 * kSec, [&] { ++count; });
+  sim.run_until(3 * kSec);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), 3 * kSec);
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(3 * kSec, [&] { ran = true; });
+  sim.run_until(3 * kSec);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, MaxEventsGuard) {
+  Simulator sim;
+  std::function<void()> self_reschedule = [&] {
+    sim.schedule_after(kSec, self_reschedule);
+  };
+  sim.schedule_after(kSec, self_reschedule);
+  const std::uint64_t executed = sim.run(100);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_TRUE(sim.has_pending());
+}
+
+TEST(SimulatorTest, PendingCountTracksLiveEvents) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(kSec, [] {});
+  sim.schedule_at(2 * kSec, [] {});
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, kMinute, [&] { fires.push_back(sim.now()); });
+  task.start();
+  sim.run_until(5 * kMinute + kSec);
+  ASSERT_EQ(fires.size(), 5u);
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    EXPECT_EQ(fires[i], static_cast<SimTime>(i + 1) * kMinute);
+  }
+  task.stop();
+  sim.run();
+  EXPECT_EQ(fires.size(), 5u);
+}
+
+TEST(PeriodicTaskTest, StopFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, kSec, [&] {
+    if (++count == 3) task.stop();
+  });
+  task.start();
+  sim.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTaskTest, DestructorCancels) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, kSec, [&] { ++count; });
+    task.start();
+    sim.run_until(2 * kSec);
+  }
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTaskTest, RestartAfterStop) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, kSec, [&] { ++count; });
+  task.start();
+  sim.run_until(2 * kSec);
+  task.stop();
+  sim.run_until(5 * kSec);
+  EXPECT_EQ(count, 2);
+  task.start();
+  sim.run_until(7 * kSec);
+  EXPECT_EQ(count, 4);
+}
+
+}  // namespace
+}  // namespace odr::sim

@@ -1,0 +1,125 @@
+#include "util/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace odr {
+namespace {
+
+TEST(LruCacheTest, PutGetBasic) {
+  LruCache<int, std::string> cache(100);
+  EXPECT_TRUE(cache.put(1, "one", 10));
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), "one");
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_EQ(cache.used_bytes(), 10u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(30);
+  cache.put(1, 1, 10);
+  cache.put(2, 2, 10);
+  cache.put(3, 3, 10);
+  cache.put(4, 4, 10);  // evicts 1
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
+  EXPECT_EQ(cache.eviction_count(), 1u);
+}
+
+TEST(LruCacheTest, GetRefreshesRecency) {
+  LruCache<int, int> cache(30);
+  cache.put(1, 1, 10);
+  cache.put(2, 2, 10);
+  cache.put(3, 3, 10);
+  ASSERT_NE(cache.get(1), nullptr);  // 1 becomes MRU; 2 is now LRU
+  cache.put(4, 4, 10);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+}
+
+TEST(LruCacheTest, PeekDoesNotRefreshRecency) {
+  LruCache<int, int> cache(20);
+  cache.put(1, 1, 10);
+  cache.put(2, 2, 10);
+  EXPECT_NE(cache.peek(1), nullptr);  // does NOT move 1 to front
+  cache.put(3, 3, 10);                // evicts 1 (still LRU)
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
+}
+
+TEST(LruCacheTest, OversizedItemRejected) {
+  LruCache<int, int> cache(10);
+  EXPECT_FALSE(cache.put(1, 1, 11));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, ItemExactlyAtCapacityAccepted) {
+  LruCache<int, int> cache(10);
+  EXPECT_TRUE(cache.put(1, 1, 10));
+  EXPECT_EQ(cache.used_bytes(), 10u);
+}
+
+TEST(LruCacheTest, ReplacingKeyUpdatesSize) {
+  LruCache<int, std::string> cache(100);
+  cache.put(1, "small", 10);
+  cache.put(1, "large", 60);
+  EXPECT_EQ(cache.used_bytes(), 60u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(1), "large");
+}
+
+TEST(LruCacheTest, EvictsMultipleToFit) {
+  LruCache<int, int> cache(30);
+  cache.put(1, 1, 10);
+  cache.put(2, 2, 10);
+  cache.put(3, 3, 10);
+  cache.put(4, 4, 25);  // 25 fits only alone: evicts 1, 2 AND 3
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_EQ(cache.get(3), nullptr);
+  EXPECT_NE(cache.get(4), nullptr);
+  EXPECT_LE(cache.used_bytes(), 30u);
+}
+
+TEST(LruCacheTest, EraseFreesSpace) {
+  LruCache<int, int> cache(20);
+  cache.put(1, 1, 10);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(LruCacheTest, LruKeyReflectsOrder) {
+  LruCache<int, int> cache(100);
+  EXPECT_FALSE(cache.lru_key().has_value());
+  cache.put(1, 1, 10);
+  cache.put(2, 2, 10);
+  EXPECT_EQ(cache.lru_key().value(), 1);
+  cache.get(1);
+  EXPECT_EQ(cache.lru_key().value(), 2);
+}
+
+// Property-style sweep: under any insertion pattern, used_bytes never
+// exceeds capacity and the map stays consistent.
+class LruCapacityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LruCapacityTest, NeverExceedsCapacity) {
+  const std::uint64_t capacity = GetParam();
+  LruCache<int, int> cache(capacity);
+  std::uint64_t accepted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t size = (i * 7919) % 97 + 1;
+    if (cache.put(i, i, size)) ++accepted;
+    ASSERT_LE(cache.used_bytes(), capacity);
+  }
+  EXPECT_GT(accepted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruCapacityTest,
+                         ::testing::Values(1, 50, 97, 1000, 100000));
+
+}  // namespace
+}  // namespace odr

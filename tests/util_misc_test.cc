@@ -1,0 +1,171 @@
+// Tests for units, CSV, histogram/time series, tables, and arg parsing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/histogram.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace odr {
+namespace {
+
+TEST(UnitsTest, RateConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(rate_to_kbps(kbps_to_rate(125.0)), 125.0);
+  EXPECT_DOUBLE_EQ(rate_to_mbps(mbps_to_rate(20.0)), 20.0);
+  EXPECT_DOUBLE_EQ(rate_to_gbps(gbps_to_rate(30.0)), 30.0);
+  // 1 Mbps = 125 KBps: the paper's playback threshold identity.
+  EXPECT_DOUBLE_EQ(rate_to_kbps(mbps_to_rate(1.0)), 125.0);
+  // 20 Mbps = 2.5 MBps: a pre-downloader's line rate.
+  EXPECT_DOUBLE_EQ(mbps_to_rate(20.0), 2.5e6);
+}
+
+TEST(UnitsTest, TimeConversions) {
+  EXPECT_DOUBLE_EQ(to_minutes(kHour), 60.0);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(12.5)), 12.5);
+  EXPECT_EQ(kWeek, 7 * kDay);
+  EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+}
+
+TEST(UnitsTest, AverageRate) {
+  EXPECT_DOUBLE_EQ(average_rate(1000, kSec), 1000.0);
+  EXPECT_DOUBLE_EQ(average_rate(1000, 0), 0.0);
+  EXPECT_DOUBLE_EQ(average_rate(115 * kMB, 82 * kMinute),
+                   115e6 / (82 * 60.0));
+}
+
+TEST(CsvTest, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, RoundTripQuotedFields) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "with,comma", "with \"quote\"", "multi\nline"});
+  writer.write_row({"1", "2", "3", "4"});
+
+  std::istringstream in(out.str());
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"a", "with,comma", "with \"quote\"",
+                                           "multi\nline"}));
+  ASSERT_TRUE(reader.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2", "3", "4"}));
+  EXPECT_FALSE(reader.read_row(row));
+}
+
+TEST(CsvTest, ParseCsvHandlesCrLf) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, LastLineWithoutNewline) {
+  const auto rows = parse_csv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(HistogramTest, BinAssignmentAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-5.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, WeightedMean) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(1.0, 4.0);
+  h.add(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(h.bin_total(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_mean(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_mean(1), 0.0);
+}
+
+TEST(TimeSeriesTest, TransferSpreadsAcrossBins) {
+  TimeSeries ts(0, 10 * kSec, kSec);
+  // 1000 bytes uniformly over [0.5s, 2.5s): 250 in bin 0, 500 bin 1, 250 bin 2.
+  ts.add_transfer(kSec / 2, 2 * kSec + kSec / 2, 1000);
+  EXPECT_NEAR(ts.bin_total(0), 250.0, 1e-6);
+  EXPECT_NEAR(ts.bin_total(1), 500.0, 1e-6);
+  EXPECT_NEAR(ts.bin_total(2), 250.0, 1e-6);
+  EXPECT_NEAR(ts.sum(), 1000.0, 1e-6);
+}
+
+TEST(TimeSeriesTest, RatesAndPeak) {
+  TimeSeries ts(0, 4 * kSec, kSec);
+  ts.add_transfer(0, kSec, 500);
+  ts.add_transfer(kSec, 2 * kSec, 1500);
+  EXPECT_DOUBLE_EQ(ts.bin_rate(0), 500.0);
+  EXPECT_DOUBLE_EQ(ts.bin_rate(1), 1500.0);
+  EXPECT_DOUBLE_EQ(ts.peak_rate(), 1500.0);
+}
+
+TEST(TimeSeriesTest, TransferOutsideWindowClipped) {
+  TimeSeries ts(10 * kSec, 20 * kSec, kSec);
+  ts.add_transfer(0, 30 * kSec, 3000);  // only 1/3 falls inside
+  EXPECT_NEAR(ts.sum(), 1000.0, 1.0);
+}
+
+TEST(TimeSeriesTest, InstantaneousSamples) {
+  TimeSeries ts(0, 10 * kSec, kSec);
+  ts.add_at(5 * kSec + 1, 7.0);
+  ts.add_at(100 * kSec, 9.0);  // outside: dropped
+  EXPECT_DOUBLE_EQ(ts.bin_total(5), 7.0);
+  EXPECT_DOUBLE_EQ(ts.sum(), 7.0);
+}
+
+TEST(TextTableTest, RendersAlignedTable) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.287, 1), "28.7%");
+}
+
+TEST(ArgParserTest, DefaultsAndOverrides) {
+  ArgParser args("test");
+  args.flag("divisor", "100", "scale");
+  args.flag("verbose", "false", "noise");
+  const char* argv[] = {"prog", "--divisor=25", "--verbose"};
+  ASSERT_TRUE(args.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(args.get_int("divisor"), 25);
+  EXPECT_TRUE(args.get_bool("verbose"));
+}
+
+TEST(ArgParserTest, SpaceSeparatedValue) {
+  ArgParser args("test");
+  args.flag("seed", "1", "seed");
+  const char* argv[] = {"prog", "--seed", "42"};
+  ASSERT_TRUE(args.parse(3, const_cast<char**>(argv)));
+  EXPECT_EQ(args.get_int("seed"), 42);
+}
+
+TEST(ArgParserTest, UnknownFlagRejected) {
+  ArgParser args("test");
+  args.flag("known", "1", "known");
+  const char* argv[] = {"prog", "--unknown=5"};
+  EXPECT_FALSE(args.parse(2, const_cast<char**>(argv)));
+}
+
+}  // namespace
+}  // namespace odr

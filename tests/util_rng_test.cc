@@ -1,0 +1,191 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace odr {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // Advancing the child must not perturb the parent's future stream.
+  Rng parent_copy(7);
+  (void)parent_copy.fork();
+  for (int i = 0; i < 20; ++i) (void)child.next_u64();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(parent.next_u64(), parent_copy.next_u64());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 9.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 9.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRangeUnbiased) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, 5 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ParetoBoundsAndHeavyTail) {
+  Rng rng(23);
+  const int n = 100000;
+  int above10 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(1.0, 1.5);
+    EXPECT_GE(x, 1.0);
+    if (x > 10.0) ++above10;
+  }
+  // P(X > 10) = 10^-1.5 ~= 3.16%.
+  EXPECT_NEAR(above10 / static_cast<double>(n), 0.0316, 0.005);
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(29);
+  for (double mean : {0.3, 2.0, 10.0, 100.0}) {
+    const int n = 50000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.03)) << "mean " << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(RngTest, WeightedIndexProportional) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, WeightedIndexDegenerateCases) {
+  Rng rng(41);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(zeros), 0u);
+  const std::vector<double> single = {5.0};
+  EXPECT_EQ(rng.weighted_index(single), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOneAndDecreases) {
+  ZipfSampler zipf(1000, 1.0);
+  double total = 0.0;
+  double prev = 1.0;
+  for (std::size_t r = 1; r <= 1000; ++r) {
+    const double p = zipf.pmf(r);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, SampleMatchesPmf) {
+  Rng rng(47);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(101, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), zipf.pmf(1), 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), zipf.pmf(2), 0.01);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(StretchedExponentialSamplerTest, HeadHeavierThanTail) {
+  Rng rng(53);
+  StretchedExponentialSampler se(1000, 0.010, 1.134, 0.01);
+  EXPECT_GT(se.weight(1), se.weight(1000));
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (se.sample(rng) <= 10) ++head;
+  }
+  // Top 1% of ranks must receive far more than 1% of draws.
+  EXPECT_GT(head / static_cast<double>(n), 0.05);
+}
+
+}  // namespace
+}  // namespace odr

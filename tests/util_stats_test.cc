@@ -1,0 +1,146 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/fit.h"
+#include "util/rng.h"
+
+namespace odr {
+namespace {
+
+TEST(SummaryTest, BasicStatistics) {
+  const Summary s = summarize({4.0, 1.0, 3.0, 2.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(SummaryTest, OddCountMedianAndEmpty) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+  const Summary empty = summarize({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(SummaryTest, StddevOfKnownSample) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);  // sample stddev
+}
+
+TEST(EmpiricalCdfTest, FractionBelow) {
+  EmpiricalCdf cdf;
+  cdf.add_all({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, QuantilesAreOrderStatistics) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 50.0);
+}
+
+TEST(EmpiricalCdfTest, InterleavedAddAndQuery) {
+  EmpiricalCdf cdf;
+  cdf.add(10.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 10.0);
+  cdf.add(20.0);
+  cdf.add(0.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 20.0);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotonic) {
+  EmpiricalCdf cdf;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.lognormal(0, 1));
+  const auto curve = cdf.curve(40);
+  ASSERT_EQ(curve.size(), 40u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].cdf, curve[i - 1].cdf);
+    EXPECT_GT(curve[i].x, curve[i - 1].x);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().cdf, 1.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyCdfIsSafe) {
+  EmpiricalCdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(1.0), 0.0);
+  EXPECT_TRUE(cdf.curve().empty());
+}
+
+TEST(MeanRelativeErrorTest, ZeroForPerfectModel) {
+  EXPECT_DOUBLE_EQ(mean_relative_error({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(MeanRelativeErrorTest, KnownError) {
+  // |1.1-1|/1 = 0.1 and |1.8-2|/2 = 0.1 -> mean 0.1.
+  EXPECT_NEAR(mean_relative_error({1.0, 2.0}, {1.1, 1.8}), 0.1, 1e-12);
+}
+
+TEST(MeanRelativeErrorTest, SkipsZeroMeasurements) {
+  EXPECT_NEAR(mean_relative_error({0.0, 2.0}, {5.0, 2.2}), 0.1, 1e-12);
+}
+
+TEST(LinearFitTest, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = linear_least_squares(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(ZipfFitTest, RecoversSyntheticZipf) {
+  // y = 10^(b - a*log10 x) with a=1.034, b=6 (the paper's exponent).
+  std::vector<double> pop;
+  for (int r = 1; r <= 2000; ++r) {
+    pop.push_back(std::pow(10.0, 6.0 - 1.034 * std::log10(r)));
+  }
+  const ZipfFit fit = fit_zipf(pop);
+  EXPECT_NEAR(fit.a, 1.034, 1e-6);
+  EXPECT_NEAR(fit.b, 6.0, 1e-6);
+  EXPECT_LT(fit.mean_relative_error, 1e-6);
+}
+
+TEST(SeFitTest, RecoversSyntheticSe) {
+  // y^c = b - a*log10 x with the paper's parameters.
+  std::vector<double> pop;
+  for (int r = 1; r <= 2000; ++r) {
+    pop.push_back(std::pow(1.134 - 0.010 * std::log10(r), 1.0 / 0.01));
+  }
+  const SeFit fit = fit_stretched_exponential(pop, 0.01);
+  EXPECT_NEAR(fit.a, 0.010, 1e-6);
+  EXPECT_NEAR(fit.b, 1.134, 1e-6);
+  EXPECT_LT(fit.mean_relative_error, 1e-6);
+}
+
+TEST(FitComparisonTest, SeBeatsZipfOnFetchAtMostOnceShapedData) {
+  // A flattened-head profile (fetch-at-most-once) is what SE fits better
+  // than Zipf in the paper (§3).
+  std::vector<double> pop;
+  for (int r = 1; r <= 5000; ++r) {
+    const double zipf = std::pow(10.0, 5.0 - 1.0 * std::log10(r));
+    pop.push_back(r <= 30 ? std::pow(10.0, 5.0 - 1.0 * std::log10(30.0)) *
+                                (1.0 + 0.02 * (30 - r))
+                          : zipf);
+  }
+  const ZipfFit zipf = fit_zipf(pop);
+  const SeFit se = fit_stretched_exponential(pop, 0.01);
+  EXPECT_LT(se.mean_relative_error, zipf.mean_relative_error);
+}
+
+}  // namespace
+}  // namespace odr

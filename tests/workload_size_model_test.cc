@@ -1,0 +1,90 @@
+// Direct tests of the file-size mixture model and small enum helpers.
+#include <gtest/gtest.h>
+
+#include "net/isp.h"
+#include "proto/protocol.h"
+#include "util/stats.h"
+#include "workload/size_model.h"
+
+namespace odr::workload {
+namespace {
+
+TEST(SizeModelTest, SamplesRespectGlobalBounds) {
+  Rng rng(3);
+  const SizeModel model;
+  for (int i = 0; i < 20000; ++i) {
+    const Bytes s = model.sample(FileType::kVideo, rng);
+    EXPECT_GE(s, model.params().small_min);
+    EXPECT_LE(s, model.params().large_max);
+  }
+}
+
+TEST(SizeModelTest, SmallFractionMatchesConfiguration) {
+  Rng rng(5);
+  const SizeModel model;
+  int below_8mb = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(FileType::kVideo, rng) <= 8 * kMB) ++below_8mb;
+  }
+  // Fig 5: 25% of files below 8 MB (the small mixture component).
+  EXPECT_NEAR(below_8mb / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(SizeModelTest, VideosAreLargestSoftwareSmaller) {
+  Rng rng(7);
+  const SizeModel model;
+  double video = 0, software = 0, other = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    video += static_cast<double>(model.sample(FileType::kVideo, rng));
+    software += static_cast<double>(model.sample(FileType::kSoftware, rng));
+    other += static_cast<double>(model.sample(FileType::kOther, rng));
+  }
+  EXPECT_GT(video, software);
+  EXPECT_GT(software, other);
+}
+
+TEST(SizeModelTest, CustomParamsAreHonored) {
+  Rng rng(9);
+  SizeModelParams params;
+  params.small_fraction = 1.0;  // everything from the small component
+  params.small_max = 1 * kMB;
+  const SizeModel model(params);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(model.sample(FileType::kVideo, rng), 1 * kMB);
+  }
+}
+
+TEST(PopularityClassTest, PaperThresholds) {
+  EXPECT_EQ(classify_popularity(0.0), PopularityClass::kUnpopular);
+  EXPECT_EQ(classify_popularity(6.999), PopularityClass::kUnpopular);
+  EXPECT_EQ(classify_popularity(7.0), PopularityClass::kPopular);
+  EXPECT_EQ(classify_popularity(84.0), PopularityClass::kPopular);
+  EXPECT_EQ(classify_popularity(84.001), PopularityClass::kHighlyPopular);
+  EXPECT_EQ(popularity_class_name(PopularityClass::kHighlyPopular),
+            "highly-popular");
+  EXPECT_EQ(file_type_name(FileType::kSoftware), "software");
+}
+
+TEST(IspHelpersTest, NamesAndMajority) {
+  EXPECT_EQ(net::isp_name(net::Isp::kCernet), "CERNET");
+  EXPECT_TRUE(net::is_major_isp(net::Isp::kUnicom));
+  EXPECT_FALSE(net::is_major_isp(net::Isp::kOther));
+  EXPECT_TRUE(net::crosses_isp(net::Isp::kUnicom, net::Isp::kTelecom));
+  EXPECT_FALSE(net::crosses_isp(net::Isp::kMobile, net::Isp::kMobile));
+  EXPECT_EQ(net::kMajorIsps.size(), 4u);
+}
+
+TEST(ProtocolHelpersTest, NamesAndP2pness) {
+  EXPECT_TRUE(proto::is_p2p(proto::Protocol::kBitTorrent));
+  EXPECT_TRUE(proto::is_p2p(proto::Protocol::kEmule));
+  EXPECT_FALSE(proto::is_p2p(proto::Protocol::kHttp));
+  EXPECT_FALSE(proto::is_p2p(proto::Protocol::kFtp));
+  EXPECT_EQ(proto::protocol_name(proto::Protocol::kEmule), "eMule");
+  EXPECT_EQ(proto::failure_cause_name(proto::FailureCause::kInsufficientSeeds),
+            "insufficient-seeds");
+}
+
+}  // namespace
+}  // namespace odr::workload

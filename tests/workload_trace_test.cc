@@ -1,0 +1,139 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace odr::workload {
+namespace {
+
+WorkloadRecord sample_workload_record() {
+  WorkloadRecord r;
+  r.task_id = 42;
+  r.user_id = 7;
+  r.ip = "116.12.34.56";
+  r.isp = net::Isp::kCernet;
+  r.access_bandwidth = 512000.0;
+  r.request_time = 3 * kDay + 14 * kMinute;
+  r.file = 99;
+  r.file_type = FileType::kSoftware;
+  r.file_size = 390 * kMB;
+  r.source_link = "BitTorrent://source.example/abc,with,commas";
+  r.protocol = proto::Protocol::kBitTorrent;
+  return r;
+}
+
+TEST(TraceTest, WorkloadRoundTrip) {
+  std::vector<WorkloadRecord> records = {sample_workload_record()};
+  records.push_back(sample_workload_record());
+  records[1].task_id = 43;
+  records[1].isp = net::Isp::kOther;
+  records[1].access_bandwidth = 0.0;
+
+  std::ostringstream out;
+  write_workload_csv(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = read_workload_csv(in);
+
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].task_id, 42u);
+  EXPECT_EQ(parsed[0].ip, "116.12.34.56");
+  EXPECT_EQ(parsed[0].isp, net::Isp::kCernet);
+  EXPECT_DOUBLE_EQ(parsed[0].access_bandwidth, 512000.0);
+  EXPECT_EQ(parsed[0].request_time, 3 * kDay + 14 * kMinute);
+  EXPECT_EQ(parsed[0].file, 99u);
+  EXPECT_EQ(parsed[0].file_type, FileType::kSoftware);
+  EXPECT_EQ(parsed[0].file_size, 390 * kMB);
+  EXPECT_EQ(parsed[0].source_link, records[0].source_link);
+  EXPECT_EQ(parsed[0].protocol, proto::Protocol::kBitTorrent);
+  EXPECT_EQ(parsed[1].isp, net::Isp::kOther);
+}
+
+TEST(TraceTest, PreDownloadRoundTrip) {
+  PreDownloadRecord r;
+  r.task_id = 1;
+  r.start_time = kMinute;
+  r.finish_time = 83 * kMinute;
+  r.acquired_bytes = 115 * kMB;
+  r.traffic_bytes = 225 * kMB;
+  r.cache_hit = false;
+  r.average_rate = 23400.0;
+  r.peak_rate = 99000.0;
+  r.success = true;
+  r.failure_cause = proto::FailureCause::kNone;
+
+  PreDownloadRecord failed;
+  failed.task_id = 2;
+  failed.success = false;
+  failed.failure_cause = proto::FailureCause::kInsufficientSeeds;
+
+  std::ostringstream out;
+  write_predownload_csv(out, {r, failed});
+  std::istringstream in(out.str());
+  const auto parsed = read_predownload_csv(in);
+
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].finish_time, 83 * kMinute);
+  EXPECT_EQ(parsed[0].acquired_bytes, 115 * kMB);
+  EXPECT_FALSE(parsed[0].cache_hit);
+  EXPECT_TRUE(parsed[0].success);
+  EXPECT_DOUBLE_EQ(parsed[0].average_rate, 23400.0);
+  EXPECT_FALSE(parsed[1].success);
+  EXPECT_EQ(parsed[1].failure_cause, proto::FailureCause::kInsufficientSeeds);
+}
+
+TEST(TraceTest, FetchRoundTrip) {
+  FetchRecord r;
+  r.task_id = 5;
+  r.user_id = 3;
+  r.ip = "59.1.2.3";
+  r.access_bandwidth = 287000.0;
+  r.start_time = 10 * kMinute;
+  r.finish_time = 17 * kMinute;
+  r.acquired_bytes = 115 * kMB;
+  r.traffic_bytes = 124 * kMB;
+  r.average_rate = 287000.0;
+  r.peak_rate = 300000.0;
+  r.rejected = false;
+
+  FetchRecord rejected;
+  rejected.task_id = 6;
+  rejected.rejected = true;
+
+  std::ostringstream out;
+  write_fetch_csv(out, {r, rejected});
+  std::istringstream in(out.str());
+  const auto parsed = read_fetch_csv(in);
+
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].user_id, 3u);
+  EXPECT_EQ(parsed[0].finish_time, 17 * kMinute);
+  EXPECT_FALSE(parsed[0].rejected);
+  EXPECT_TRUE(parsed[1].rejected);
+}
+
+TEST(TraceTest, EmptyTraceRoundTrips) {
+  std::ostringstream out;
+  write_fetch_csv(out, {});
+  std::istringstream in(out.str());
+  EXPECT_TRUE(read_fetch_csv(in).empty());
+}
+
+TEST(TraceTest, WrongHeaderThrows) {
+  std::istringstream in("not,a,valid,header\n1,2,3,4\n");
+  EXPECT_THROW(read_workload_csv(in), std::runtime_error);
+  std::istringstream in2("");
+  EXPECT_THROW(read_predownload_csv(in2), std::runtime_error);
+}
+
+TEST(TraceTest, BadFieldCountThrows) {
+  // Valid header, truncated row.
+  std::ostringstream out;
+  write_fetch_csv(out, {});
+  std::string text = out.str() + "1,2,3\n";
+  std::istringstream in(text);
+  EXPECT_THROW(read_fetch_csv(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace odr::workload

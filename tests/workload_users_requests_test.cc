@@ -1,0 +1,166 @@
+// User population and request generator tests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <array>
+
+#include "util/stats.h"
+#include <unordered_set>
+
+#include "workload/catalog.h"
+#include "workload/request_gen.h"
+#include "workload/user_model.h"
+
+namespace odr::workload {
+namespace {
+
+UserModelParams user_params() {
+  UserModelParams p;
+  p.num_users = 20000;
+  return p;
+}
+
+class UserPopulationTest : public ::testing::Test {
+ protected:
+  Rng rng{11};
+  UserPopulation users{user_params(), rng};
+};
+
+TEST_F(UserPopulationTest, IspSharesMatchConfiguration) {
+  std::array<int, net::kIspCount> counts{};
+  for (const auto& u : users.users()) ++counts[static_cast<int>(u.isp)];
+  const double n = static_cast<double>(users.size());
+  EXPECT_NEAR(counts[static_cast<int>(net::Isp::kTelecom)] / n, 0.44, 0.02);
+  EXPECT_NEAR(counts[static_cast<int>(net::Isp::kUnicom)] / n, 0.26, 0.02);
+  // ~9.6% outside the four major ISPs: the ISP-barrier population (§4.2).
+  EXPECT_NEAR(counts[static_cast<int>(net::Isp::kOther)] / n, 0.096, 0.015);
+}
+
+TEST_F(UserPopulationTest, BandwidthDistributionAnchors) {
+  EmpiricalCdf bw;
+  for (const auto& u : users.users()) {
+    EXPECT_GE(u.access_bandwidth, user_params().bandwidth_min);
+    EXPECT_LE(u.access_bandwidth, user_params().bandwidth_max);
+    bw.add(u.access_bandwidth);
+  }
+  // ~10.8% of users below the 125 KBps playback line (§4.2).
+  EXPECT_NEAR(bw.fraction_below(kbps_to_rate(125.0)), 0.108, 0.03);
+  EXPECT_NEAR(bw.median(), kbps_to_rate(380.0), kbps_to_rate(40.0));
+}
+
+TEST_F(UserPopulationTest, SomeUsersDoNotReportBandwidth) {
+  std::size_t reporting = 0;
+  for (const auto& u : users.users()) reporting += u.reports_bandwidth ? 1 : 0;
+  EXPECT_NEAR(reporting / static_cast<double>(users.size()), 0.8, 0.02);
+}
+
+TEST_F(UserPopulationTest, ActivitySamplingIsSkewed) {
+  Rng sample_rng(3);
+  std::unordered_map<UserId, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[users.sample(sample_rng)];
+  int max_count = 0;
+  for (const auto& [id, c] : counts) max_count = std::max(max_count, c);
+  // Heavy-tailed activity: the most active user gets far more than the
+  // uniform share (n / num_users = 5).
+  EXPECT_GT(max_count, 50);
+}
+
+TEST_F(UserPopulationTest, IpsAreStablePerUser) {
+  const User& u = users.user(42);
+  EXPECT_FALSE(u.ip.empty());
+  EXPECT_EQ(u.ip, users.user(42).ip);
+  // Dotted quad shape.
+  EXPECT_EQ(std::count(u.ip.begin(), u.ip.end(), '.'), 3);
+}
+
+class RequestGeneratorTest : public ::testing::Test {
+ protected:
+  static CatalogParams catalog_params() {
+    CatalogParams p;
+    p.num_files = 2000;
+    p.total_weekly_requests = 14500;
+    return p;
+  }
+  static RequestGenParams gen_params() {
+    RequestGenParams p;
+    p.num_requests = 14500;
+    return p;
+  }
+
+  Rng rng{23};
+  Catalog catalog{catalog_params(), rng};
+  UserPopulation users{user_params(), rng};
+  RequestGenerator generator{gen_params()};
+};
+
+TEST_F(RequestGeneratorTest, GeneratesSortedChronologicalIds) {
+  const auto trace = generator.generate(catalog, users, rng);
+  ASSERT_GT(trace.size(), gen_params().num_requests * 95 / 100);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].request_time, trace[i].request_time);
+    EXPECT_EQ(trace[i].task_id, trace[i - 1].task_id + 1);
+  }
+  EXPECT_EQ(trace.front().task_id, 1u);
+}
+
+TEST_F(RequestGeneratorTest, TimesWithinDuration) {
+  const auto trace = generator.generate(catalog, users, rng);
+  for (const auto& r : trace) {
+    EXPECT_GE(r.request_time, 0);
+    EXPECT_LT(r.request_time, gen_params().duration);
+  }
+}
+
+TEST_F(RequestGeneratorTest, FetchAtMostOncePerUserAndFile) {
+  const auto trace = generator.generate(catalog, users, rng);
+  std::set<std::pair<UserId, FileIndex>> seen;
+  for (const auto& r : trace) {
+    EXPECT_TRUE(seen.insert({r.user_id, r.file}).second)
+        << "duplicate (user,file) pair";
+  }
+}
+
+TEST_F(RequestGeneratorTest, RecordsCarryConsistentFileMetadata) {
+  const auto trace = generator.generate(catalog, users, rng);
+  for (const auto& r : trace) {
+    const FileInfo& f = catalog.file(r.file);
+    EXPECT_EQ(r.file_size, f.size);
+    EXPECT_EQ(r.file_type, f.type);
+    EXPECT_EQ(r.protocol, f.protocol);
+    EXPECT_EQ(r.source_link, f.source_link);
+    const User& u = users.user(r.user_id);
+    EXPECT_EQ(r.isp, u.isp);
+    if (u.reports_bandwidth) {
+      EXPECT_DOUBLE_EQ(r.access_bandwidth, u.access_bandwidth);
+    } else {
+      EXPECT_DOUBLE_EQ(r.access_bandwidth, 0.0);
+    }
+  }
+}
+
+TEST_F(RequestGeneratorTest, DiurnalIntensityPeaksInTheEvening) {
+  // Intensity at the configured peak hour must exceed the off-peak floor.
+  const SimTime peak = from_seconds(21.0 * 3600);          // 21:00 day 0
+  const SimTime trough = from_seconds(9.0 * 3600);         // 09:00 day 0
+  EXPECT_GT(generator.relative_intensity(peak),
+            generator.relative_intensity(trough));
+  for (SimTime t = 0; t < kWeek; t += kHour) {
+    const double v = generator.relative_intensity(t);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(RequestGeneratorTest, LoadGrowsTowardDaySeven) {
+  const auto trace = generator.generate(catalog, users, rng);
+  std::array<int, 7> per_day{};
+  for (const auto& r : trace) {
+    ++per_day[std::min<int>(6, static_cast<int>(r.request_time / kDay))];
+  }
+  // Day 7 carries the weekly peak (Fig 11's capacity excess).
+  EXPECT_GT(per_day[6], per_day[0]);
+}
+
+}  // namespace
+}  // namespace odr::workload
