@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cache_policy"
+  "../bench/ablation_cache_policy.pdb"
+  "CMakeFiles/ablation_cache_policy.dir/ablation_cache_policy.cpp.o"
+  "CMakeFiles/ablation_cache_policy.dir/ablation_cache_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

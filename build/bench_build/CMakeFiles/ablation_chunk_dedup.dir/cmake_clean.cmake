@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chunk_dedup"
+  "../bench/ablation_chunk_dedup.pdb"
+  "CMakeFiles/ablation_chunk_dedup.dir/ablation_chunk_dedup.cpp.o"
+  "CMakeFiles/ablation_chunk_dedup.dir/ablation_chunk_dedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunk_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fairness"
+  "../bench/ablation_fairness.pdb"
+  "CMakeFiles/ablation_fairness.dir/ablation_fairness.cpp.o"
+  "CMakeFiles/ablation_fairness.dir/ablation_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_odr"
+  "../bench/ablation_odr.pdb"
+  "CMakeFiles/ablation_odr.dir/ablation_odr.cpp.o"
+  "CMakeFiles/ablation_odr.dir/ablation_odr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_odr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/calibrate_sources"
+  "../bench/calibrate_sources.pdb"
+  "CMakeFiles/calibrate_sources.dir/calibrate_sources.cpp.o"
+  "CMakeFiles/calibrate_sources.dir/calibrate_sources.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cloud_seeding"
+  "../bench/ext_cloud_seeding.pdb"
+  "CMakeFiles/ext_cloud_seeding.dir/ext_cloud_seeding.cpp.o"
+  "CMakeFiles/ext_cloud_seeding.dir/ext_cloud_seeding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cloud_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_cloud_seeding.
+# This may be replaced when dependencies are built.

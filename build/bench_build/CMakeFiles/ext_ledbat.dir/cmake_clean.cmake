@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ledbat"
+  "../bench/ext_ledbat.pdb"
+  "CMakeFiles/ext_ledbat.dir/ext_ledbat.cpp.o"
+  "CMakeFiles/ext_ledbat.dir/ext_ledbat.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ledbat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

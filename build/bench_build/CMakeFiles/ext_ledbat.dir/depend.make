@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_ledbat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multi_cloud"
+  "../bench/ext_multi_cloud.pdb"
+  "CMakeFiles/ext_multi_cloud.dir/ext_multi_cloud.cpp.o"
+  "CMakeFiles/ext_multi_cloud.dir/ext_multi_cloud.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_prestaging"
+  "../bench/ext_prestaging.pdb"
+  "CMakeFiles/ext_prestaging.dir/ext_prestaging.cpp.o"
+  "CMakeFiles/ext_prestaging.dir/ext_prestaging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_prestaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

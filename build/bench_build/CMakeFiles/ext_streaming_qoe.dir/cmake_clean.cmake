@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_streaming_qoe"
+  "../bench/ext_streaming_qoe.pdb"
+  "CMakeFiles/ext_streaming_qoe.dir/ext_streaming_qoe.cpp.o"
+  "CMakeFiles/ext_streaming_qoe.dir/ext_streaming_qoe.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_streaming_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_file_size"
+  "../bench/fig05_file_size.pdb"
+  "CMakeFiles/fig05_file_size.dir/fig05_file_size.cpp.o"
+  "CMakeFiles/fig05_file_size.dir/fig05_file_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_file_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

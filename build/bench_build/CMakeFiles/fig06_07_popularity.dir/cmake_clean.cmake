@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_07_popularity"
+  "../bench/fig06_07_popularity.pdb"
+  "CMakeFiles/fig06_07_popularity.dir/fig06_07_popularity.cpp.o"
+  "CMakeFiles/fig06_07_popularity.dir/fig06_07_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_09_cloud_speed_delay"
+  "../bench/fig08_09_cloud_speed_delay.pdb"
+  "CMakeFiles/fig08_09_cloud_speed_delay.dir/fig08_09_cloud_speed_delay.cpp.o"
+  "CMakeFiles/fig08_09_cloud_speed_delay.dir/fig08_09_cloud_speed_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_09_cloud_speed_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_failure_popularity"
+  "../bench/fig10_failure_popularity.pdb"
+  "CMakeFiles/fig10_failure_popularity.dir/fig10_failure_popularity.cpp.o"
+  "CMakeFiles/fig10_failure_popularity.dir/fig10_failure_popularity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_failure_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_bandwidth_burden"
+  "../bench/fig11_bandwidth_burden.pdb"
+  "CMakeFiles/fig11_bandwidth_burden.dir/fig11_bandwidth_burden.cpp.o"
+  "CMakeFiles/fig11_bandwidth_burden.dir/fig11_bandwidth_burden.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bandwidth_burden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

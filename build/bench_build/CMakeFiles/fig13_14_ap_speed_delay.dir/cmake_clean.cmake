@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_14_ap_speed_delay"
+  "../bench/fig13_14_ap_speed_delay.pdb"
+  "CMakeFiles/fig13_14_ap_speed_delay.dir/fig13_14_ap_speed_delay.cpp.o"
+  "CMakeFiles/fig13_14_ap_speed_delay.dir/fig13_14_ap_speed_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_14_ap_speed_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

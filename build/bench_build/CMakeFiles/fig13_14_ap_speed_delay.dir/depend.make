@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_14_ap_speed_delay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_odr_bottlenecks"
+  "../bench/fig16_odr_bottlenecks.pdb"
+  "CMakeFiles/fig16_odr_bottlenecks.dir/fig16_odr_bottlenecks.cpp.o"
+  "CMakeFiles/fig16_odr_bottlenecks.dir/fig16_odr_bottlenecks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_odr_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_odr_fetch"
+  "../bench/fig17_odr_fetch.pdb"
+  "CMakeFiles/fig17_odr_fetch.dir/fig17_odr_fetch.cpp.o"
+  "CMakeFiles/fig17_odr_fetch.dir/fig17_odr_fetch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_odr_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_traffic_cost"
+  "../bench/tab_traffic_cost.pdb"
+  "CMakeFiles/tab_traffic_cost.dir/tab_traffic_cost.cpp.o"
+  "CMakeFiles/tab_traffic_cost.dir/tab_traffic_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_traffic_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_ap_hardware"
+  "../bench/table1_ap_hardware.pdb"
+  "CMakeFiles/table1_ap_hardware.dir/table1_ap_hardware.cpp.o"
+  "CMakeFiles/table1_ap_hardware.dir/table1_ap_hardware.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ap_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_storage_fs"
+  "../bench/table2_storage_fs.pdb"
+  "CMakeFiles/table2_storage_fs.dir/table2_storage_fs.cpp.o"
+  "CMakeFiles/table2_storage_fs.dir/table2_storage_fs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_storage_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

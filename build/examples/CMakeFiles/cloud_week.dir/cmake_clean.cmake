@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_week.dir/cloud_week.cpp.o"
+  "CMakeFiles/cloud_week.dir/cloud_week.cpp.o.d"
+  "cloud_week"
+  "cloud_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

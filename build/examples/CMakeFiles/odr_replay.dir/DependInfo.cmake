@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/odr_replay.cpp" "examples/CMakeFiles/odr_replay.dir/odr_replay.cpp.o" "gcc" "examples/CMakeFiles/odr_replay.dir/odr_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/odr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/odr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/odr_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/odr_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/odr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/odr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/odr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_replay.dir/odr_replay.cpp.o"
+  "CMakeFiles/odr_replay.dir/odr_replay.cpp.o.d"
+  "odr_replay"
+  "odr_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_service_demo.dir/odr_service_demo.cpp.o"
+  "CMakeFiles/odr_service_demo.dir/odr_service_demo.cpp.o.d"
+  "odr_service_demo"
+  "odr_service_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_service_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

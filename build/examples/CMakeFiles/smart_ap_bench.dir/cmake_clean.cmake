@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_ap_bench.dir/smart_ap_bench.cpp.o"
+  "CMakeFiles/smart_ap_bench.dir/smart_ap_bench.cpp.o.d"
+  "smart_ap_bench"
+  "smart_ap_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_ap_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_analysis.dir/metrics.cc.o"
+  "CMakeFiles/odr_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/odr_analysis.dir/replay.cc.o"
+  "CMakeFiles/odr_analysis.dir/replay.cc.o.d"
+  "CMakeFiles/odr_analysis.dir/report.cc.o"
+  "CMakeFiles/odr_analysis.dir/report.cc.o.d"
+  "libodr_analysis.a"
+  "libodr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

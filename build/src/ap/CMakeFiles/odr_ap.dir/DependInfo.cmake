@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ap/smart_ap.cc" "src/ap/CMakeFiles/odr_ap.dir/smart_ap.cc.o" "gcc" "src/ap/CMakeFiles/odr_ap.dir/smart_ap.cc.o.d"
+  "/root/repo/src/ap/storage_device.cc" "src/ap/CMakeFiles/odr_ap.dir/storage_device.cc.o" "gcc" "src/ap/CMakeFiles/odr_ap.dir/storage_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/odr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/odr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/odr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_ap.dir/smart_ap.cc.o"
+  "CMakeFiles/odr_ap.dir/smart_ap.cc.o.d"
+  "CMakeFiles/odr_ap.dir/storage_device.cc.o"
+  "CMakeFiles/odr_ap.dir/storage_device.cc.o.d"
+  "libodr_ap.a"
+  "libodr_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodr_ap.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cache_policy.cc" "src/cloud/CMakeFiles/odr_cloud.dir/cache_policy.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/cache_policy.cc.o.d"
+  "/root/repo/src/cloud/chunk_dedup.cc" "src/cloud/CMakeFiles/odr_cloud.dir/chunk_dedup.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/chunk_dedup.cc.o.d"
+  "/root/repo/src/cloud/content_db.cc" "src/cloud/CMakeFiles/odr_cloud.dir/content_db.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/content_db.cc.o.d"
+  "/root/repo/src/cloud/predownloader.cc" "src/cloud/CMakeFiles/odr_cloud.dir/predownloader.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/predownloader.cc.o.d"
+  "/root/repo/src/cloud/prestage.cc" "src/cloud/CMakeFiles/odr_cloud.dir/prestage.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/prestage.cc.o.d"
+  "/root/repo/src/cloud/seeder.cc" "src/cloud/CMakeFiles/odr_cloud.dir/seeder.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/seeder.cc.o.d"
+  "/root/repo/src/cloud/storage_pool.cc" "src/cloud/CMakeFiles/odr_cloud.dir/storage_pool.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/storage_pool.cc.o.d"
+  "/root/repo/src/cloud/upload_scheduler.cc" "src/cloud/CMakeFiles/odr_cloud.dir/upload_scheduler.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/upload_scheduler.cc.o.d"
+  "/root/repo/src/cloud/xuanfeng.cc" "src/cloud/CMakeFiles/odr_cloud.dir/xuanfeng.cc.o" "gcc" "src/cloud/CMakeFiles/odr_cloud.dir/xuanfeng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/odr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/odr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/odr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

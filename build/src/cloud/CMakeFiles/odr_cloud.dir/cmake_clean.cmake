@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_cloud.dir/cache_policy.cc.o"
+  "CMakeFiles/odr_cloud.dir/cache_policy.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/chunk_dedup.cc.o"
+  "CMakeFiles/odr_cloud.dir/chunk_dedup.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/content_db.cc.o"
+  "CMakeFiles/odr_cloud.dir/content_db.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/predownloader.cc.o"
+  "CMakeFiles/odr_cloud.dir/predownloader.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/prestage.cc.o"
+  "CMakeFiles/odr_cloud.dir/prestage.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/seeder.cc.o"
+  "CMakeFiles/odr_cloud.dir/seeder.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/storage_pool.cc.o"
+  "CMakeFiles/odr_cloud.dir/storage_pool.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/upload_scheduler.cc.o"
+  "CMakeFiles/odr_cloud.dir/upload_scheduler.cc.o.d"
+  "CMakeFiles/odr_cloud.dir/xuanfeng.cc.o"
+  "CMakeFiles/odr_cloud.dir/xuanfeng.cc.o.d"
+  "libodr_cloud.a"
+  "libodr_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_core.dir/decision.cc.o"
+  "CMakeFiles/odr_core.dir/decision.cc.o.d"
+  "CMakeFiles/odr_core.dir/executor.cc.o"
+  "CMakeFiles/odr_core.dir/executor.cc.o.d"
+  "CMakeFiles/odr_core.dir/multi_cloud.cc.o"
+  "CMakeFiles/odr_core.dir/multi_cloud.cc.o.d"
+  "CMakeFiles/odr_core.dir/service.cc.o"
+  "CMakeFiles/odr_core.dir/service.cc.o.d"
+  "CMakeFiles/odr_core.dir/strategy.cc.o"
+  "CMakeFiles/odr_core.dir/strategy.cc.o.d"
+  "CMakeFiles/odr_core.dir/streaming.cc.o"
+  "CMakeFiles/odr_core.dir/streaming.cc.o.d"
+  "libodr_core.a"
+  "libodr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_net.dir/ip_resolver.cc.o"
+  "CMakeFiles/odr_net.dir/ip_resolver.cc.o.d"
+  "CMakeFiles/odr_net.dir/network.cc.o"
+  "CMakeFiles/odr_net.dir/network.cc.o.d"
+  "libodr_net.a"
+  "libodr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/download.cc" "src/proto/CMakeFiles/odr_proto.dir/download.cc.o" "gcc" "src/proto/CMakeFiles/odr_proto.dir/download.cc.o.d"
+  "/root/repo/src/proto/ledbat.cc" "src/proto/CMakeFiles/odr_proto.dir/ledbat.cc.o" "gcc" "src/proto/CMakeFiles/odr_proto.dir/ledbat.cc.o.d"
+  "/root/repo/src/proto/source.cc" "src/proto/CMakeFiles/odr_proto.dir/source.cc.o" "gcc" "src/proto/CMakeFiles/odr_proto.dir/source.cc.o.d"
+  "/root/repo/src/proto/swarm.cc" "src/proto/CMakeFiles/odr_proto.dir/swarm.cc.o" "gcc" "src/proto/CMakeFiles/odr_proto.dir/swarm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/odr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_proto.dir/download.cc.o"
+  "CMakeFiles/odr_proto.dir/download.cc.o.d"
+  "CMakeFiles/odr_proto.dir/ledbat.cc.o"
+  "CMakeFiles/odr_proto.dir/ledbat.cc.o.d"
+  "CMakeFiles/odr_proto.dir/source.cc.o"
+  "CMakeFiles/odr_proto.dir/source.cc.o.d"
+  "CMakeFiles/odr_proto.dir/swarm.cc.o"
+  "CMakeFiles/odr_proto.dir/swarm.cc.o.d"
+  "libodr_proto.a"
+  "libodr_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

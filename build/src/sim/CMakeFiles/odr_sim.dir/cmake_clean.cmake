@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_sim.dir/simulator.cc.o"
+  "CMakeFiles/odr_sim.dir/simulator.cc.o.d"
+  "libodr_sim.a"
+  "libodr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/args.cc" "src/util/CMakeFiles/odr_util.dir/args.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/args.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/util/CMakeFiles/odr_util.dir/csv.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/csv.cc.o.d"
+  "/root/repo/src/util/fit.cc" "src/util/CMakeFiles/odr_util.dir/fit.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/fit.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/util/CMakeFiles/odr_util.dir/histogram.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/histogram.cc.o.d"
+  "/root/repo/src/util/md5.cc" "src/util/CMakeFiles/odr_util.dir/md5.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/md5.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/util/CMakeFiles/odr_util.dir/rng.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/rng.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/odr_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/odr_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/table.cc.o.d"
+  "/root/repo/src/util/uri.cc" "src/util/CMakeFiles/odr_util.dir/uri.cc.o" "gcc" "src/util/CMakeFiles/odr_util.dir/uri.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_util.dir/args.cc.o"
+  "CMakeFiles/odr_util.dir/args.cc.o.d"
+  "CMakeFiles/odr_util.dir/csv.cc.o"
+  "CMakeFiles/odr_util.dir/csv.cc.o.d"
+  "CMakeFiles/odr_util.dir/fit.cc.o"
+  "CMakeFiles/odr_util.dir/fit.cc.o.d"
+  "CMakeFiles/odr_util.dir/histogram.cc.o"
+  "CMakeFiles/odr_util.dir/histogram.cc.o.d"
+  "CMakeFiles/odr_util.dir/md5.cc.o"
+  "CMakeFiles/odr_util.dir/md5.cc.o.d"
+  "CMakeFiles/odr_util.dir/rng.cc.o"
+  "CMakeFiles/odr_util.dir/rng.cc.o.d"
+  "CMakeFiles/odr_util.dir/stats.cc.o"
+  "CMakeFiles/odr_util.dir/stats.cc.o.d"
+  "CMakeFiles/odr_util.dir/table.cc.o"
+  "CMakeFiles/odr_util.dir/table.cc.o.d"
+  "CMakeFiles/odr_util.dir/uri.cc.o"
+  "CMakeFiles/odr_util.dir/uri.cc.o.d"
+  "libodr_util.a"
+  "libodr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/odr_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/odr_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/popularity.cc" "src/workload/CMakeFiles/odr_workload.dir/popularity.cc.o" "gcc" "src/workload/CMakeFiles/odr_workload.dir/popularity.cc.o.d"
+  "/root/repo/src/workload/request_gen.cc" "src/workload/CMakeFiles/odr_workload.dir/request_gen.cc.o" "gcc" "src/workload/CMakeFiles/odr_workload.dir/request_gen.cc.o.d"
+  "/root/repo/src/workload/size_model.cc" "src/workload/CMakeFiles/odr_workload.dir/size_model.cc.o" "gcc" "src/workload/CMakeFiles/odr_workload.dir/size_model.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/odr_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/odr_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/user_model.cc" "src/workload/CMakeFiles/odr_workload.dir/user_model.cc.o" "gcc" "src/workload/CMakeFiles/odr_workload.dir/user_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/odr_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/odr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/odr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/odr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

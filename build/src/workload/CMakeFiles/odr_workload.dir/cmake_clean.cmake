@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odr_workload.dir/catalog.cc.o"
+  "CMakeFiles/odr_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/odr_workload.dir/popularity.cc.o"
+  "CMakeFiles/odr_workload.dir/popularity.cc.o.d"
+  "CMakeFiles/odr_workload.dir/request_gen.cc.o"
+  "CMakeFiles/odr_workload.dir/request_gen.cc.o.d"
+  "CMakeFiles/odr_workload.dir/size_model.cc.o"
+  "CMakeFiles/odr_workload.dir/size_model.cc.o.d"
+  "CMakeFiles/odr_workload.dir/trace.cc.o"
+  "CMakeFiles/odr_workload.dir/trace.cc.o.d"
+  "CMakeFiles/odr_workload.dir/user_model.cc.o"
+  "CMakeFiles/odr_workload.dir/user_model.cc.o.d"
+  "libodr_workload.a"
+  "libodr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodr_workload.a"
+)

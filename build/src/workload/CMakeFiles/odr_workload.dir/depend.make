@@ -1,0 +1,2 @@
+# Empty dependencies file for odr_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_test.dir/ap_test.cc.o"
+  "CMakeFiles/ap_test.dir/ap_test.cc.o.d"
+  "ap_test"
+  "ap_test.pdb"
+  "ap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_ablation_modules_test.dir/cloud_ablation_modules_test.cc.o"
+  "CMakeFiles/cloud_ablation_modules_test.dir/cloud_ablation_modules_test.cc.o.d"
+  "cloud_ablation_modules_test"
+  "cloud_ablation_modules_test.pdb"
+  "cloud_ablation_modules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_ablation_modules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

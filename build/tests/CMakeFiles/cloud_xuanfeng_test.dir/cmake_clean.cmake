@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_xuanfeng_test.dir/cloud_xuanfeng_test.cc.o"
+  "CMakeFiles/cloud_xuanfeng_test.dir/cloud_xuanfeng_test.cc.o.d"
+  "cloud_xuanfeng_test"
+  "cloud_xuanfeng_test.pdb"
+  "cloud_xuanfeng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_xuanfeng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

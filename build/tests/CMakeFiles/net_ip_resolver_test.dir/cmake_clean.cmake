@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_ip_resolver_test.dir/net_ip_resolver_test.cc.o"
+  "CMakeFiles/net_ip_resolver_test.dir/net_ip_resolver_test.cc.o.d"
+  "net_ip_resolver_test"
+  "net_ip_resolver_test.pdb"
+  "net_ip_resolver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_ip_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

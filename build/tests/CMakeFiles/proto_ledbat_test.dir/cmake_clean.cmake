@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_ledbat_test.dir/proto_ledbat_test.cc.o"
+  "CMakeFiles/proto_ledbat_test.dir/proto_ledbat_test.cc.o.d"
+  "proto_ledbat_test"
+  "proto_ledbat_test.pdb"
+  "proto_ledbat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_ledbat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_swarm_test.dir/proto_swarm_test.cc.o"
+  "CMakeFiles/proto_swarm_test.dir/proto_swarm_test.cc.o.d"
+  "proto_swarm_test"
+  "proto_swarm_test.pdb"
+  "proto_swarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_swarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

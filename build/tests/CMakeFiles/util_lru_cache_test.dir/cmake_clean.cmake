@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_lru_cache_test.dir/util_lru_cache_test.cc.o"
+  "CMakeFiles/util_lru_cache_test.dir/util_lru_cache_test.cc.o.d"
+  "util_lru_cache_test"
+  "util_lru_cache_test.pdb"
+  "util_lru_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_lru_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_md5_test.dir/util_md5_test.cc.o"
+  "CMakeFiles/util_md5_test.dir/util_md5_test.cc.o.d"
+  "util_md5_test"
+  "util_md5_test.pdb"
+  "util_md5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_md5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

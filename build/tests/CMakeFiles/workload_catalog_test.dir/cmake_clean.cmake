@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_catalog_test.dir/workload_catalog_test.cc.o"
+  "CMakeFiles/workload_catalog_test.dir/workload_catalog_test.cc.o.d"
+  "workload_catalog_test"
+  "workload_catalog_test.pdb"
+  "workload_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

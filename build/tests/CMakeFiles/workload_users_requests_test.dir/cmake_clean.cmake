@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_users_requests_test.dir/workload_users_requests_test.cc.o"
+  "CMakeFiles/workload_users_requests_test.dir/workload_users_requests_test.cc.o.d"
+  "workload_users_requests_test"
+  "workload_users_requests_test.pdb"
+  "workload_users_requests_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_users_requests_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
