@@ -1,0 +1,150 @@
+// Chaos harness: the calibrated cloud week under escalating fault plans.
+//
+// Replays the same one-week workload (same seed, byte-identical request
+// stream) under the canonical chaos plans of fault::make_chaos_plan and
+// reports how far each headline metric drifts from the fault-free
+// baseline. The severe plan (level 3) is the acceptance scenario: 10%/h
+// pre-downloader VM crashes all week plus a 6-hour outage of the Telecom
+// upload cluster. With retry/backoff, failover and degraded-mode
+// admission in place, the week must degrade gracefully:
+//   - end-to-end failure ratio stays within 2x the fault-free baseline;
+//   - zero highly-popular fetches are rejected;
+//   - the run is deterministic (two executions are byte-identical).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "analysis/replay.h"
+#include "fault/fault_plan.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace odr;
+
+struct RunMetrics {
+  std::string label;
+  double cache_hit = 0.0;
+  double pre_failure = 0.0;   // pre-download stage failures
+  double e2e_failure = 0.0;   // task did not end with a completed fetch
+  double fetch_median_kbps = 0.0;
+  std::uint64_t rejections = 0;
+  std::uint64_t highly_popular_rejections = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t oversubscribed = 0;
+  std::uint64_t vm_crashes = 0;
+  std::uint64_t vm_retries = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t fingerprint = 0;  // order-sensitive hash of every outcome
+};
+
+// FNV-1a over the fields that matter; byte-identical runs hash equal.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+RunMetrics run_once(double divisor, std::uint64_t seed,
+                    const fault::FaultPlan& plan, const std::string& label) {
+  analysis::ExperimentConfig config = analysis::make_scaled_config(divisor, seed);
+  // The chaos harness always runs with the degradation policy on (it is a
+  // no-op while every cluster is healthy and admission has headroom).
+  config.cloud.degraded_admission = true;
+  config.fault_plan = plan;
+
+  const analysis::CloudReplayResult result = analysis::run_cloud_replay(config);
+  const analysis::SpeedDelayCdfs cdfs =
+      analysis::collect_speed_delay(result.outcomes);
+
+  RunMetrics m;
+  m.label = label;
+  m.cache_hit = result.cache_hit_ratio;
+  std::size_t pre_failures = 0, e2e_failures = 0;
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& o : result.outcomes) {
+    if (!o.pre.success) ++pre_failures;
+    if (!o.fetched) ++e2e_failures;
+    mix(h, o.task_id);
+    mix(h, static_cast<std::uint64_t>(o.pre.success));
+    mix(h, static_cast<std::uint64_t>(o.pre.finish_time));
+    mix(h, o.pre.traffic_bytes);
+    mix(h, static_cast<std::uint64_t>(o.fetched));
+    mix(h, static_cast<std::uint64_t>(o.fetch.rejected));
+    mix(h, static_cast<std::uint64_t>(o.fetch.finish_time));
+  }
+  const double n = static_cast<double>(result.outcomes.size());
+  m.pre_failure = n > 0 ? static_cast<double>(pre_failures) / n : 0.0;
+  m.e2e_failure = n > 0 ? static_cast<double>(e2e_failures) / n : 0.0;
+  m.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
+  m.rejections = result.fetch_rejections;
+  m.highly_popular_rejections = result.rejections_by_class[static_cast<std::size_t>(
+      workload::PopularityClass::kHighlyPopular)];
+  m.shed = result.shed_fetches;
+  m.oversubscribed = result.oversubscribed_fetches;
+  m.vm_crashes = result.vm_crashes;
+  m.vm_retries = result.vm_retries;
+  m.faults_fired = result.faults_fired;
+  m.fingerprint = h;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Calibrated cloud week under escalating fault plans (chaos harness).");
+  args.flag("divisor", "400", "scale divisor vs the measured system");
+  args.flag("seed", "20151028", "workload seed");
+  if (!args.parse(argc, argv)) return 1;
+
+  const double divisor = args.get_double("divisor");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  std::vector<RunMetrics> runs;
+  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(0), "baseline"));
+  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(1), "mild"));
+  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(2), "moderate"));
+  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(3), "severe"));
+  // Determinism check: the acceptance plan again, same seed.
+  const RunMetrics rerun =
+      run_once(divisor, seed, fault::make_chaos_plan(3), "severe(rerun)");
+
+  const RunMetrics& base = runs.front();
+  TextTable table({"plan", "e2e fail", "pre fail", "hit", "fetch med KBps",
+                   "rej", "hp-rej", "shed", "oversub", "crashes", "retries",
+                   "faults"});
+  for (const auto& m : runs) {
+    table.add_row({m.label, TextTable::pct(m.e2e_failure),
+                   TextTable::pct(m.pre_failure), TextTable::pct(m.cache_hit),
+                   TextTable::num(m.fetch_median_kbps, 0),
+                   std::to_string(m.rejections),
+                   std::to_string(m.highly_popular_rejections),
+                   std::to_string(m.shed), std::to_string(m.oversubscribed),
+                   std::to_string(m.vm_crashes), std::to_string(m.vm_retries),
+                   std::to_string(m.faults_fired)});
+  }
+  std::fputs(banner("Chaos week: headline drift vs fault-free baseline (1/" +
+                    args.get("divisor") + " scale)")
+                 .c_str(),
+             stdout);
+  std::fputs(table.render().c_str(), stdout);
+
+  // --- acceptance checks on the severe plan --------------------------------
+  const RunMetrics& severe = runs.back();
+  const bool failure_ok = severe.e2e_failure <= 2.0 * base.e2e_failure;
+  const bool hp_ok = severe.highly_popular_rejections == 0;
+  const bool deterministic = severe.fingerprint == rerun.fingerprint;
+  std::printf("\nacceptance: e2e failure %.2f%% vs baseline %.2f%% (<= 2x): %s\n",
+              100.0 * severe.e2e_failure, 100.0 * base.e2e_failure,
+              failure_ok ? "PASS" : "FAIL");
+  std::printf("acceptance: highly-popular rejections == 0: %s (%llu)\n",
+              hp_ok ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(severe.highly_popular_rejections));
+  std::printf("acceptance: deterministic re-run (fingerprint %016llx): %s\n",
+              static_cast<unsigned long long>(severe.fingerprint),
+              deterministic ? "PASS" : "FAIL");
+  return failure_ok && hp_ok && deterministic ? 0 : 1;
+}

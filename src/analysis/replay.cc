@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "ap/ap_models.h"
+#include "fault/injector.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "util/md5.h"
@@ -90,6 +92,17 @@ CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
   result.users = users;
   result.catalog = catalog;
 
+  // Fault layer: constructed (and its Rng stream forked) only when the
+  // plan is non-empty, and only after the workload is generated — so the
+  // same seed yields the identical request stream under every plan, and
+  // fault-free replays keep their exact RNG sequence.
+  std::optional<fault::FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    injector.emplace(sim, rng);
+    injector->attach_cloud(cloud, net);
+    injector->load(config.fault_plan);
+  }
+
   for (const auto& request : result.requests) {
     sim.schedule_at(request.request_time, [&, request] {
       cloud.submit(request, users->user(request.user_id),
@@ -119,6 +132,17 @@ CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
   result.fetch_rejections = cloud.uploads().rejected_count();
   result.fetch_admissions = cloud.uploads().admitted_count();
   result.privileged_paths = cloud.uploads().privileged_count();
+  result.vm_crashes = cloud.predownloaders().crash_count();
+  result.vm_retries = cloud.predownloaders().retry_count();
+  result.vm_retries_exhausted = cloud.predownloaders().retries_exhausted();
+  result.shed_fetches = cloud.uploads().shed_count();
+  result.oversubscribed_fetches = cloud.uploads().oversubscribed_count();
+  result.storage_fault_evictions = cloud.storage().fault_evictions();
+  for (std::size_t c = 0; c < result.rejections_by_class.size(); ++c) {
+    result.rejections_by_class[c] = cloud.uploads().rejected_count(
+        static_cast<workload::PopularityClass>(c));
+  }
+  if (injector.has_value()) result.faults_fired = injector->total_fired();
   result.duration = config.requests.duration;
   result.cloud_capacity = config.cloud.total_upload_capacity;
   return result;
@@ -373,6 +397,23 @@ StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config) {
                           config.experiment.sources, exec_cfg, rng);
   core::Redirector redirector(config.redirector);
 
+  // Opt-in substrate circuit breakers and fault injection (see
+  // run_cloud_replay for the RNG-ordering rationale).
+  std::optional<core::CircuitBreaker> cloud_breaker;
+  std::optional<core::CircuitBreaker> ap_breaker;
+  if (config.use_circuit_breakers) {
+    cloud_breaker.emplace(sim, config.breaker);
+    ap_breaker.emplace(sim, config.breaker);
+    executor.set_substrate_breakers(&*cloud_breaker, &*ap_breaker);
+  }
+  std::optional<fault::FaultInjector> injector;
+  if (!config.experiment.fault_plan.empty()) {
+    injector.emplace(sim, rng);
+    injector->attach_cloud(cloud, net);
+    for (auto& ap : aps) injector->attach_ap(ap.get());
+    injector->load(config.experiment.fault_plan);
+  }
+
   StrategyReplayResult result;
   result.outcomes.reserve(requests.size());
 
@@ -423,6 +464,10 @@ StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config) {
                        : static_cast<double>(ap_throttled) /
                              static_cast<double>(requests.size());
   result.cache_hit_ratio = cloud.storage().hit_ratio();
+  result.reroutes = executor.reroutes();
+  if (cloud_breaker) result.cloud_breaker_openings = cloud_breaker->times_opened();
+  if (ap_breaker) result.ap_breaker_openings = ap_breaker->times_opened();
+  if (injector) result.faults_fired = injector->total_fired();
   return result;
 }
 

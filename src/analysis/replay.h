@@ -8,13 +8,16 @@
 //                            strategy through all systems.
 #pragma once
 
+#include <array>
 #include <string>
 #include <vector>
 
 #include "ap/smart_ap.h"
 #include "cloud/xuanfeng.h"
+#include "core/circuit_breaker.h"
 #include "core/executor.h"
 #include "core/strategy.h"
+#include "fault/fault_plan.h"
 #include "proto/download.h"
 #include "workload/catalog.h"
 #include "workload/request_gen.h"
@@ -34,6 +37,10 @@ struct ExperimentConfig {
   // measurement week. The real pool predates the trace by years; without
   // warming, every first request of the week would miss.
   int warmup_weeks = 4;
+  // Infrastructure faults injected during the measurement week. An empty
+  // plan (the default) adds zero RNG draws and zero events, so fault-free
+  // replays are bit-identical with or without the fault layer linked in.
+  fault::FaultPlan fault_plan;
 };
 
 // Scales workload size and cloud capacity together by 1/divisor relative
@@ -49,6 +56,16 @@ struct CloudReplayResult {
   std::uint64_t privileged_paths = 0;
   SimTime duration = 0;
   Rate cloud_capacity = 0.0;
+  // Fault-tolerance accounting (all zero on a fault-free run).
+  std::uint64_t vm_crashes = 0;        // injected pre-downloader crashes
+  std::uint64_t vm_retries = 0;        // retry/backoff re-submissions
+  std::uint64_t vm_retries_exhausted = 0;
+  std::uint64_t shed_fetches = 0;      // degraded-mode load shedding
+  std::uint64_t oversubscribed_fetches = 0;  // highly-popular floor admits
+  std::uint64_t storage_fault_evictions = 0;
+  std::uint64_t faults_fired = 0;      // injector activations/crashes
+  // Rejections split by popularity class (indexed by PopularityClass).
+  std::array<std::uint64_t, 3> rejections_by_class{};
   // The user population (for impeded-fetch attribution).
   std::shared_ptr<workload::UserPopulation> users;
   std::shared_ptr<workload::Catalog> catalog;
@@ -106,6 +123,11 @@ struct StrategyReplayConfig {
   // Every user owns a smart AP in the evaluation testbed; the three
   // hardware models are assigned round-robin.
   bool users_have_ap = true;
+  // Opt-in circuit breakers between the executor and its substrates:
+  // an open breaker reroutes traffic away from an unhealthy cloud/AP
+  // (see core::CircuitBreaker). Pointless without a fault plan.
+  bool use_circuit_breakers = false;
+  core::CircuitBreaker::Config breaker;
 };
 
 struct StrategyReplayResult {
@@ -114,6 +136,11 @@ struct StrategyReplayResult {
   Rate cloud_capacity = 0.0;
   double storage_throttled_fraction = 0.0;
   double cache_hit_ratio = 0.0;
+  // Circuit-breaker accounting (zero when breakers are off).
+  std::uint64_t reroutes = 0;
+  std::uint64_t cloud_breaker_openings = 0;
+  std::uint64_t ap_breaker_openings = 0;
+  std::uint64_t faults_fired = 0;
 };
 
 StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config);

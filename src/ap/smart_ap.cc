@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <vector>
 
 namespace odr::ap {
 
@@ -14,6 +16,7 @@ SmartAp::SmartAp(sim::Simulator& sim, net::Network& net, SmartApConfig config,
       rng_(rng.fork()),
       io_(io_profile(config_.device, config_.filesystem)) {
   assert(combination_supported(config_.device, config_.filesystem));
+  if (config_.crash_rate_per_hour > 0.0) schedule_self_crash();
 }
 
 Rate SmartAp::storage_write_ceiling() const { return io_.max_write_rate; }
@@ -29,21 +32,36 @@ SimTime SmartAp::lan_fetch_duration(Bytes bytes, Rng& rng) const {
 void SmartAp::predownload(const workload::FileInfo& file,
                           Rate rate_restriction, DoneFn done) {
   const std::uint64_t id = next_id_++;
+  Running r;
+  r.done = std::move(done);
+  r.file = file;
+  r.rate_restriction = rate_restriction;
+  r.original_start = sim_.now();
+  if (rebooting_) {
+    // The router is down; the request is queued on-disk and started when
+    // the reboot completes (the reboot event walks task-less entries).
+    tasks_.emplace(id, std::move(r));
+    return;
+  }
+  start_task(id, std::move(r));
+}
 
-  auto source = proto::make_source(file.protocol,
-                                   file.expected_weekly_requests, sources_,
+void SmartAp::start_task(std::uint64_t id, Running r) {
+  const Bytes remaining =
+      r.file.size > r.preserved_bytes ? r.file.size - r.preserved_bytes : 1;
+
+  auto source = proto::make_source(r.file.protocol,
+                                   r.file.expected_weekly_requests, sources_,
                                    rng_);
   proto::DownloadTask::Config cfg;
   cfg.line_rate =
-      std::min(config_.line_rate * kTransportEfficiency, rate_restriction);
+      std::min(config_.line_rate * kTransportEfficiency, r.rate_restriction);
   cfg.sink_rate = io_.max_write_rate;  // Bottleneck 4: the storage ceiling
   cfg.stagnation_timeout = config_.stagnation_timeout;
   cfg.hard_timeout = config_.hard_timeout;
 
-  Running r;
-  r.done = std::move(done);
   r.task = std::make_unique<proto::DownloadTask>(
-      sim_, net_, std::move(source), file.size, cfg,
+      sim_, net_, std::move(source), remaining, cfg,
       [this, id](const proto::DownloadResult& result) { on_done(id, result); });
 
   // Firmware-bug injection: a small fraction of attempts die for reasons
@@ -53,28 +71,117 @@ void SmartAp::predownload(const workload::FileInfo& file,
     const SimTime crash_after = from_minutes(rng_.uniform(1.0, 90.0));
     proto::DownloadTask* task_ptr = r.task.get();
     r.bug_event = sim_.schedule_after(crash_after, [task_ptr] {
-      task_ptr->fail(proto::FailureCause::kSystemBug);
+      task_ptr->fail_externally(proto::FailureCause::kSystemBug);
     });
   }
 
   proto::DownloadTask* task_ptr = r.task.get();
-  tasks_.emplace(id, std::move(r));
+  tasks_.insert_or_assign(id, std::move(r));
   task_ptr->start(rng_);
+}
+
+void SmartAp::crash() {
+  if (rebooting_) return;  // already down
+  ++crashes_;
+  rebooting_ = true;
+  if (self_crash_event_ != sim::kInvalidEvent) {
+    sim_.cancel(self_crash_event_);
+    self_crash_event_ = sim::kInvalidEvent;
+  }
+
+  // Interrupt every running task. P2P clients persist piece state to the
+  // USB disk, so their completed bytes survive the crash; HTTP/FTP fetches
+  // lose everything. A task over its resume budget fails with kCrash.
+  std::vector<std::uint64_t> doomed;
+  for (auto& [id, r] : tasks_) {
+    if (!r.task) continue;  // queued during a previous reboot window
+    if (r.bug_event != sim::kInvalidEvent) {
+      sim_.cancel(r.bug_event);
+      r.bug_event = sim::kInvalidEvent;
+    }
+    const Bytes attempt_bytes = r.task->bytes_done();
+    if (proto::is_p2p(r.file.protocol)) {
+      r.preserved_bytes = std::min<Bytes>(
+          r.file.size, r.preserved_bytes + attempt_bytes);
+    } else {
+      r.preserved_bytes = 0;
+    }
+    // Bytes moved in the interrupted attempt crossed the wire regardless.
+    r.prior_traffic += static_cast<Bytes>(
+        std::llround(static_cast<double>(attempt_bytes) *
+                     r.task->source().traffic_factor()));
+    r.task.reset();  // silent teardown: no callback, flow cancelled
+    if (++r.crash_resumes > config_.max_crash_resumes) doomed.push_back(id);
+  }
+
+  for (std::uint64_t id : doomed) {
+    auto it = tasks_.find(id);
+    Running r = std::move(it->second);
+    tasks_.erase(it);
+    proto::DownloadResult result;
+    result.success = false;
+    result.cause = proto::FailureCause::kCrash;
+    result.started_at = r.original_start;
+    result.finished_at = sim_.now();
+    result.file_size = r.file.size;
+    result.bytes_downloaded = r.preserved_bytes;
+    result.traffic_bytes = r.prior_traffic;
+    result.average_rate =
+        average_rate(r.preserved_bytes, sim_.now() - r.original_start);
+    if (r.done) r.done(result);
+  }
+
+  sim_.schedule_after(config_.reboot_delay, [this] {
+    rebooting_ = false;
+    std::vector<std::uint64_t> to_start;
+    for (const auto& [id, r] : tasks_) {
+      if (!r.task) to_start.push_back(id);
+    }
+    std::sort(to_start.begin(), to_start.end());  // deterministic order
+    for (std::uint64_t id : to_start) {
+      auto it = tasks_.find(id);
+      if (it == tasks_.end()) continue;
+      if (it->second.crash_resumes > 0) ++resumes_;
+      Running r = std::move(it->second);
+      start_task(id, std::move(r));
+    }
+    if (config_.crash_rate_per_hour > 0.0) schedule_self_crash();
+  });
+}
+
+void SmartAp::schedule_self_crash() {
+  const double hours = rng_.exponential(1.0 / config_.crash_rate_per_hour);
+  self_crash_event_ = sim_.schedule_after(
+      from_seconds(hours * 3600.0), [this] {
+        self_crash_event_ = sim::kInvalidEvent;
+        crash();
+      });
 }
 
 void SmartAp::on_done(std::uint64_t id, const proto::DownloadResult& result) {
   auto it = tasks_.find(id);
   assert(it != tasks_.end());
-  DoneFn done = std::move(it->second.done);
-  if (it->second.bug_event != sim::kInvalidEvent) {
-    sim_.cancel(it->second.bug_event);
-  }
+  Running r = std::move(it->second);
+  if (r.bug_event != sim::kInvalidEvent) sim_.cancel(r.bug_event);
   // We are inside the task's own callback; defer its destruction.
-  proto::DownloadTask* raw = it->second.task.release();
+  proto::DownloadTask* raw = r.task.release();
   tasks_.erase(it);
   sim_.schedule_after(0, [raw] { delete raw; });
 
-  if (done) done(result);
+  // Stitch crash-interrupted attempts into one user-visible result.
+  proto::DownloadResult patched = result;
+  patched.started_at = r.original_start;
+  patched.file_size = r.file.size;
+  patched.bytes_downloaded = std::min<Bytes>(
+      r.file.size, r.preserved_bytes + result.bytes_downloaded);
+  if (patched.success) patched.bytes_downloaded = r.file.size;
+  patched.traffic_bytes = result.traffic_bytes + r.prior_traffic;
+  const SimTime elapsed = patched.duration();
+  patched.average_rate =
+      patched.success ? average_rate(patched.file_size, elapsed)
+                      : average_rate(patched.bytes_downloaded, elapsed);
+
+  if (r.done) r.done(patched);
 }
 
 }  // namespace odr::ap

@@ -13,6 +13,14 @@
 //
 // Fetching from an AP happens over the LAN at 8-12 MBps, which never
 // bottlenecks (§5.2), so fetch is modeled as a closed-form delay.
+//
+// Fault tolerance: the fault layer (or crash_rate_per_hour) can crash the
+// whole router. A crash interrupts every running pre-download; after
+// reboot_delay the AP resumes them. P2P clients persist piece state to the
+// USB disk, so a resumed BitTorrent/eMule task keeps its partial bytes;
+// plain HTTP/FTP fetches restart from zero. A task survives at most
+// max_crash_resumes crashes before it is reported failed with
+// FailureCause::kCrash.
 #pragma once
 
 #include <functional>
@@ -38,6 +46,11 @@ struct SmartApConfig {
   SimTime stagnation_timeout = kHour;   // same give-up rule as the cloud
   SimTime hard_timeout = kWeek;
   double bug_failure_prob = 0.012;      // ~4% of the 16.8% failures (§5.2)
+  // Fault model: spontaneous router crashes (Poisson, per hour; 0 = off),
+  // reboot time, and how many crashes a single task may survive.
+  double crash_rate_per_hour = 0.0;
+  SimTime reboot_delay = 45 * kSec;
+  std::uint32_t max_crash_resumes = 5;
 };
 
 class SmartAp {
@@ -53,6 +66,10 @@ class SmartAp {
   void predownload(const workload::FileInfo& file, Rate rate_restriction,
                    DoneFn done);
 
+  // Fault-layer hook: the router dies now and reboots after
+  // config().reboot_delay, resuming interrupted tasks (see file comment).
+  void crash();
+
   // Effective write ceiling of the configured storage (Bottleneck 4).
   Rate storage_write_ceiling() const;
   // iowait ratio while writing at `rate`.
@@ -62,10 +79,28 @@ class SmartAp {
   SimTime lan_fetch_duration(Bytes bytes, Rng& rng) const;
 
   std::size_t active() const { return tasks_.size(); }
+  bool rebooting() const { return rebooting_; }
+  std::uint64_t crash_count() const { return crashes_; }
+  std::uint64_t resume_count() const { return resumes_; }
   const SmartApConfig& config() const { return config_; }
 
  private:
+  struct Running {
+    std::unique_ptr<proto::DownloadTask> task;
+    DoneFn done;
+    sim::EventId bug_event = sim::kInvalidEvent;
+    // Crash-recovery bookkeeping.
+    workload::FileInfo file;
+    Rate rate_restriction = net::kUnlimitedRate;
+    SimTime original_start = 0;
+    Bytes preserved_bytes = 0;  // verified on disk before the last crash
+    Bytes prior_traffic = 0;    // wire bytes spent in interrupted attempts
+    std::uint32_t crash_resumes = 0;
+  };
+
+  void start_task(std::uint64_t id, Running r);
   void on_done(std::uint64_t id, const proto::DownloadResult& result);
+  void schedule_self_crash();
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -74,13 +109,12 @@ class SmartAp {
   Rng rng_;
   IoProfile io_;
 
-  struct Running {
-    std::unique_ptr<proto::DownloadTask> task;
-    DoneFn done;
-    sim::EventId bug_event = sim::kInvalidEvent;
-  };
   std::unordered_map<std::uint64_t, Running> tasks_;
   std::uint64_t next_id_ = 1;
+  bool rebooting_ = false;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t resumes_ = 0;
+  sim::EventId self_crash_event_ = sim::kInvalidEvent;
 };
 
 }  // namespace odr::ap

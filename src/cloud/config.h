@@ -62,6 +62,29 @@ struct CloudConfig {
   double dynamics_prob = 0.068;
   double dynamics_slowdown_lo = 0.04;
   double dynamics_slowdown_hi = 0.45;
+
+  // --- fault tolerance (see DESIGN.md "Fault model & degradation policy") --
+
+  // Pre-download retry budget for infrastructure faults (VM crash,
+  // checksum mismatch after the task's own verify retries). Source-model
+  // failures (starved swarm, dead origin) are terminal as in §4.1 — the
+  // content is the problem, not the infrastructure. A crashed task
+  // re-enters the VM queue at the FRONT after an exponential backoff:
+  // backoff_base * backoff_factor^attempt.
+  std::uint32_t predownload_max_retries = 3;
+  SimTime retry_backoff_base = kMinute;
+  double retry_backoff_factor = 2.0;
+
+  // Degraded-mode admission control. Off by default so the calibrated §4
+  // replays keep Xuanfeng's measured reject-at-peak policy; the chaos
+  // harness turns it on. When on:
+  //   - highly-popular fetches are NEVER rejected — if every cluster is
+  //     saturated they are admitted oversubscribed at the admission floor
+  //     (the link then max-min shares, degrading rather than refusing);
+  //   - while any cluster is unhealthy, unpopular-class fetches are shed
+  //     preemptively once healthy headroom drops below shed_headroom.
+  bool degraded_admission = false;
+  double shed_headroom = 0.30;
 };
 
 }  // namespace odr::cloud

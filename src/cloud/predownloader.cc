@@ -1,7 +1,9 @@
 #include "cloud/predownloader.h"
 
 #include <cassert>
+#include <cmath>
 #include <utility>
+#include <vector>
 
 namespace odr::cloud {
 
@@ -16,57 +18,102 @@ PreDownloaderPool::PreDownloaderPool(sim::Simulator& sim, net::Network& net,
       rng_(rng.fork()) {}
 
 void PreDownloaderPool::submit(const workload::FileInfo& file, DoneFn done) {
+  Pending pending{file, std::move(done), 0};
   if (active_.size() >= config_.predownloader_count) {
-    queue_.push_back(Pending{file, std::move(done)});
+    queue_.push_back(std::move(pending));
     return;
   }
-  start_task(file, std::move(done));
+  start_task(std::move(pending));
 }
 
-void PreDownloaderPool::start_task(const workload::FileInfo& file,
-                                   DoneFn done) {
+void PreDownloaderPool::start_task(Pending pending) {
   const std::uint64_t slot = next_slot_++;
   ++started_;
-  done_callbacks_[slot] = std::move(done);
 
-  auto source = proto::make_source(file.protocol,
-                                   file.expected_weekly_requests, sources_,
-                                   rng_);
+  auto source = proto::make_source(pending.file.protocol,
+                                   pending.file.expected_weekly_requests,
+                                   sources_, rng_);
   proto::DownloadTask::Config cfg;
   cfg.line_rate = config_.predownloader_rate * kTransportEfficiency;
   cfg.stagnation_timeout = config_.stagnation_timeout;
   cfg.hard_timeout = config_.predownload_hard_timeout;
+  cfg.corruption_prob = corruption_prob_;
   auto task = std::make_unique<proto::DownloadTask>(
-      sim_, net_, std::move(source), file.size, cfg,
+      sim_, net_, std::move(source), pending.file.size, cfg,
       [this, slot](const proto::DownloadResult& result) {
         on_task_done(slot, result);
       });
   task->start(rng_);
-  active_.emplace(slot, std::move(task));
+  active_.emplace(slot, Active{std::move(task), std::move(pending.file),
+                               std::move(pending.done), pending.attempt});
+}
+
+std::size_t PreDownloaderPool::inject_crashes(double prob, Rng& rng) {
+  // Collect first: fail_externally() re-enters on_task_done, which mutates
+  // active_.
+  std::vector<std::uint64_t> victims;
+  victims.reserve(active_.size());
+  for (const auto& [slot, a] : active_) {
+    if (rng.bernoulli(prob)) victims.push_back(slot);
+  }
+  std::size_t crashed = 0;
+  for (std::uint64_t slot : victims) {
+    auto it = active_.find(slot);
+    if (it == active_.end() || !it->second.task->running()) continue;
+    ++crashes_;
+    ++crashed;
+    it->second.task->fail_externally(proto::FailureCause::kCrash);
+  }
+  return crashed;
+}
+
+void PreDownloaderPool::start_next_queued() {
+  if (!queue_.empty() && active_.size() < config_.predownloader_count) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    start_task(std::move(next));
+  }
 }
 
 void PreDownloaderPool::on_task_done(std::uint64_t slot,
                                      const proto::DownloadResult& result) {
-  auto cb_it = done_callbacks_.find(slot);
-  assert(cb_it != done_callbacks_.end());
-  DoneFn done = std::move(cb_it->second);
-  done_callbacks_.erase(cb_it);
+  auto it = active_.find(slot);
+  assert(it != active_.end());
+  Pending pending{std::move(it->second.file), std::move(it->second.done),
+                  it->second.attempt + 1};
 
   // Defer the erase of the task object: we are inside its own callback.
-  auto task_it = active_.find(slot);
-  assert(task_it != active_.end());
-  auto task = std::move(task_it->second);
-  active_.erase(task_it);
-  proto::DownloadTask* raw = task.release();
+  proto::DownloadTask* raw = it->second.task.release();
+  active_.erase(it);
   sim_.schedule_after(0, [raw] { delete raw; });
 
-  if (!queue_.empty() && active_.size() < config_.predownloader_count) {
-    Pending next = std::move(queue_.front());
-    queue_.pop_front();
-    start_task(next.file, std::move(next.done));
+  // Infrastructure faults are retried; the VM slot is freed immediately
+  // and the task re-enters the queue at the FRONT once its backoff
+  // expires, preserving FIFO fairness against younger submissions.
+  if (!result.success && proto::is_infrastructure_cause(result.cause) &&
+      pending.attempt <= config_.predownload_max_retries) {
+    ++retries_;
+    const double factor =
+        std::pow(config_.retry_backoff_factor,
+                 static_cast<double>(pending.attempt - 1));
+    const SimTime backoff = static_cast<SimTime>(
+        static_cast<double>(config_.retry_backoff_base) * factor);
+    sim_.schedule_after(backoff, [this, p = std::move(pending)]() mutable {
+      if (active_.size() < config_.predownloader_count) {
+        start_task(std::move(p));
+      } else {
+        queue_.push_front(std::move(p));
+      }
+    });
+    start_next_queued();
+    return;
   }
 
-  if (done) done(result);
+  if (!result.success && proto::is_infrastructure_cause(result.cause)) {
+    ++retries_exhausted_;
+  }
+  start_next_queued();
+  if (pending.done) pending.done(result);
 }
 
 }  // namespace odr::cloud

@@ -5,6 +5,14 @@
 // it from the original source. The pool bounds concurrency; excess
 // requests queue FIFO. Each VM runs the shared DownloadTask engine with
 // the cloud's stagnation-timeout failure rule.
+//
+// Fault tolerance: a VM that dies mid-transfer (FailureCause::kCrash,
+// injected by the fault layer) does not fail the task — the task is
+// re-queued at the FRONT of the VM queue after an exponential backoff, so
+// it keeps its FIFO position relative to younger work, up to
+// CloudConfig::predownload_max_retries attempts. The same applies when the
+// task's own checksum-verify retries are exhausted. `done` fires exactly
+// once, on the terminal result.
 #pragma once
 
 #include <cstdint>
@@ -34,18 +42,34 @@ class PreDownloaderPool {
   // Starts (or queues) a pre-download of `file`; `done` fires exactly once.
   void submit(const workload::FileInfo& file, DoneFn done);
 
+  // --- fault-layer hooks ----------------------------------------------------
+
+  // Crashes each active VM independently with probability `prob`; the
+  // affected tasks follow the retry/backoff path above.
+  std::size_t inject_crashes(double prob, Rng& rng);
+
+  // MD5 corruption probability applied to tasks STARTED while set (the
+  // fault window); see DownloadTask::Config::corruption_prob.
+  void set_corruption_prob(double prob) { corruption_prob_ = prob; }
+  double corruption_prob() const { return corruption_prob_; }
+
   std::size_t active() const { return active_.size(); }
   std::size_t queued() const { return queue_.size(); }
   std::uint64_t started_count() const { return started_; }
+  std::uint64_t crash_count() const { return crashes_; }
+  std::uint64_t retry_count() const { return retries_; }
+  std::uint64_t retries_exhausted() const { return retries_exhausted_; }
 
  private:
   struct Pending {
     workload::FileInfo file;
     DoneFn done;
+    std::uint32_t attempt = 0;  // completed attempts so far
   };
 
-  void start_task(const workload::FileInfo& file, DoneFn done);
+  void start_task(Pending pending);
   void on_task_done(std::uint64_t slot, const proto::DownloadResult& result);
+  void start_next_queued();
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -53,11 +77,20 @@ class PreDownloaderPool {
   proto::SourceParams sources_;
   Rng rng_;
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<proto::DownloadTask>> active_;
-  std::unordered_map<std::uint64_t, DoneFn> done_callbacks_;
+  struct Active {
+    std::unique_ptr<proto::DownloadTask> task;
+    workload::FileInfo file;
+    DoneFn done;
+    std::uint32_t attempt = 0;
+  };
+  std::unordered_map<std::uint64_t, Active> active_;
   std::deque<Pending> queue_;
   std::uint64_t next_slot_ = 1;
   std::uint64_t started_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retries_exhausted_ = 0;
+  double corruption_prob_ = 0.0;
 };
 
 }  // namespace odr::cloud

@@ -1,5 +1,8 @@
 #include "cloud/storage_pool.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace odr::cloud {
 
 bool StoragePool::lookup(const Md5Digest& id) {
@@ -14,6 +17,20 @@ bool StoragePool::lookup(const Md5Digest& id) {
 void StoragePool::insert(const Md5Digest& id, workload::FileIndex file,
                          Bytes size) {
   cache_.put(id, CachedFile{file, size}, size);
+}
+
+std::size_t StoragePool::evict_fraction(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto count = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(cache_.size())));
+  std::size_t evicted = 0;
+  for (; evicted < count; ++evicted) {
+    const auto key = cache_.lru_key();
+    if (!key) break;
+    cache_.erase(*key);
+  }
+  fault_evictions_ += evicted;
+  return evicted;
 }
 
 double StoragePool::hit_ratio() const {

@@ -33,9 +33,15 @@ class StoragePool {
   // Inserts a fully pre-downloaded file.
   void insert(const Md5Digest& id, workload::FileIndex file, Bytes size);
 
+  // Fault-layer hook: a storage node dies, taking `fraction` of the pool's
+  // entries with it. Cold (least-recently-used) entries model the shard a
+  // years-old node accumulated. Returns the number of entries lost.
+  std::size_t evict_fraction(double fraction);
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   double hit_ratio() const;
+  std::uint64_t fault_evictions() const { return fault_evictions_; }
 
   Bytes used_bytes() const { return cache_.used_bytes(); }
   Bytes capacity_bytes() const { return cache_.capacity_bytes(); }
@@ -46,6 +52,7 @@ class StoragePool {
   LruCache<Md5Digest, CachedFile> cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t fault_evictions_ = 0;
 };
 
 }  // namespace odr::cloud

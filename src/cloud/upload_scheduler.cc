@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <string>
 
 namespace odr::cloud {
@@ -44,6 +45,21 @@ net::LinkId UploadScheduler::cluster_link(net::Isp isp) const {
   return cluster_for(isp).link;
 }
 
+void UploadScheduler::set_cluster_healthy(net::Isp isp, bool healthy) {
+  cluster_for(isp).healthy = healthy;
+}
+
+bool UploadScheduler::cluster_healthy(net::Isp isp) const {
+  return cluster_for(isp).healthy;
+}
+
+bool UploadScheduler::degraded() const {
+  for (const Cluster& c : clusters_) {
+    if (!c.healthy) return true;
+  }
+  return false;
+}
+
 Rate UploadScheduler::sample_barrier_rate() {
   return config_.barrier_median *
          std::exp(rng_.normal(0.0, config_.barrier_sigma));
@@ -54,9 +70,34 @@ Rate UploadScheduler::sample_spillover_rate() {
          std::exp(rng_.normal(0.0, config_.spillover_sigma));
 }
 
-FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate) {
+FetchPlan UploadScheduler::reject(workload::PopularityClass popularity) {
+  ++rejected_;
+  ++rejected_by_class_[static_cast<std::size_t>(popularity)];
+  return FetchPlan{};
+}
+
+FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate,
+                                      workload::PopularityClass popularity) {
   desired_rate = std::min(desired_rate, config_.max_fetch_rate);
   const Rate floor = std::min(config_.admission_floor, desired_rate);
+
+  // Degraded-mode load shedding: while a cluster is out, preserve the
+  // surviving headroom for (highly-)popular fetches by shedding unpopular
+  // ones once healthy headroom falls below the shed threshold.
+  if (config_.degraded_admission && degraded() &&
+      popularity == workload::PopularityClass::kUnpopular) {
+    Rate healthy_capacity = 0.0, healthy_headroom = 0.0;
+    for (const Cluster& c : clusters_) {
+      if (!c.healthy) continue;
+      healthy_capacity += c.capacity;
+      healthy_headroom += std::max(0.0, c.capacity - c.reserved);
+    }
+    if (healthy_capacity <= 0.0 ||
+        healthy_headroom < config_.shed_headroom * healthy_capacity) {
+      ++shed_;
+      return reject(popularity);
+    }
+  }
 
   // 1. Privileged path: a server inside the user's own ISP. The fetch is
   //    served at whatever headroom remains (never squeezing active
@@ -64,26 +105,28 @@ FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate) {
   if (net::is_major_isp(user_isp)) {
     Cluster& home = cluster_for(user_isp);
     const Rate headroom = home.capacity - home.reserved;
-    if (headroom >= floor) {
+    if (home.healthy && headroom >= floor) {
       const Rate rate = std::min(desired_rate, headroom);
       home.reserved += rate;
       ++admitted_;
       ++privileged_;
-      return FetchPlan{true, user_isp, true, rate, home.link};
+      return FetchPlan{true, user_isp, true, rate, home.link, false};
     }
   }
 
   // 2. Cross-ISP path: out-of-ISP users hit the barrier proper; major-ISP
-  //    users spilled at peak reach the lowest-latency alternative cluster.
+  //    users spilled at peak (or failed over from an unhealthy home
+  //    cluster) reach the lowest-latency alternative cluster.
   const Rate cross_cap = net::is_major_isp(user_isp)
                              ? sample_spillover_rate()
                              : sample_barrier_rate();
-  const Rate degraded = std::min(desired_rate, cross_cap);
+  const Rate degraded_rate = std::min(desired_rate, cross_cap);
   net::Isp best = net::Isp::kOther;
   Rate best_headroom = 0.0;
   for (net::Isp isp : net::kMajorIsps) {
     if (isp == user_isp) continue;  // home cluster already found full
     const Cluster& c = cluster_for(isp);
+    if (!c.healthy) continue;
     const Rate headroom = c.capacity - c.reserved;
     if (headroom > best_headroom) {
       best_headroom = headroom;
@@ -91,17 +134,44 @@ FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate) {
     }
   }
   if (best != net::Isp::kOther &&
-      best_headroom >= std::min(floor, degraded)) {
-    const Rate rate = std::min(degraded, best_headroom);
+      best_headroom >= std::min(floor, degraded_rate)) {
+    const Rate rate = std::min(degraded_rate, best_headroom);
     Cluster& c = cluster_for(best);
     c.reserved += rate;
     ++admitted_;
-    return FetchPlan{true, best, false, rate, c.link};
+    return FetchPlan{true, best, false, rate, c.link, false};
   }
 
-  // 3. Peak-hour exhaustion: reject rather than degrade active fetches.
-  ++rejected_;
-  return FetchPlan{};
+  // 3. Peak-hour exhaustion. Default policy: reject rather than degrade
+  //    active fetches. Degraded-mode policy: a highly-popular fetch is
+  //    never rejected — admit it oversubscribed at the floor rate on the
+  //    least-loaded healthy cluster and let the uplink max-min share.
+  if (config_.degraded_admission &&
+      popularity == workload::PopularityClass::kHighlyPopular) {
+    net::Isp target = net::Isp::kOther;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (net::Isp isp : net::kMajorIsps) {
+      const Cluster& c = cluster_for(isp);
+      if (!c.healthy || c.capacity <= 0.0) continue;
+      const double load = c.reserved / c.capacity;
+      if (load < best_load) {
+        best_load = load;
+        target = isp;
+      }
+    }
+    if (target != net::Isp::kOther) {
+      Cluster& c = cluster_for(target);
+      const Rate rate = std::max(floor, kbps_to_rate(1.0));
+      c.reserved += rate;
+      ++admitted_;
+      ++oversubscribed_;
+      const bool priv = target == user_isp;
+      if (priv) ++privileged_;
+      return FetchPlan{true, target, priv, rate, c.link, true};
+    }
+  }
+
+  return reject(popularity);
 }
 
 void UploadScheduler::release(const FetchPlan& plan) {

@@ -13,6 +13,15 @@
 // rate on the serving cluster's uplink for its duration, so active
 // transfers never slow down when new ones arrive — exactly the
 // no-degradation policy the paper describes.
+//
+// Fault tolerance: each cluster carries a health bit the fault layer can
+// clear (upload-server outage). Unhealthy clusters are skipped by path
+// construction — fetches fail over to the healthiest alternative. With
+// CloudConfig::degraded_admission on, admission additionally degrades
+// gracefully instead of collapsing into rejections: unpopular-class load
+// is shed first while the system is impaired, and highly-popular fetches
+// are never rejected (worst case they are admitted oversubscribed at the
+// floor rate and the uplink max-min shares).
 #pragma once
 
 #include <array>
@@ -21,6 +30,7 @@
 #include "cloud/config.h"
 #include "net/network.h"
 #include "util/rng.h"
+#include "workload/file.h"
 
 namespace odr::cloud {
 
@@ -30,18 +40,30 @@ struct FetchPlan {
   bool privileged = false;              // same-ISP path, no barrier
   Rate rate = 0.0;                      // reserved rate == flow cap
   net::LinkId cluster_link = 0;
+  bool oversubscribed = false;  // degraded-mode floor admission
 };
 
 class UploadScheduler {
  public:
   UploadScheduler(net::Network& net, const CloudConfig& config, Rng& rng);
 
-  // Plans a fetch for a user in `user_isp` wanting `desired_rate`.
-  // Reserves bandwidth on the chosen cluster when admitted.
-  FetchPlan plan_fetch(net::Isp user_isp, Rate desired_rate);
+  // Plans a fetch for a user in `user_isp` wanting `desired_rate`; the
+  // file's popularity class steers degraded-mode admission (ignored under
+  // the default reject-at-peak policy). Reserves bandwidth on the chosen
+  // cluster when admitted.
+  FetchPlan plan_fetch(net::Isp user_isp, Rate desired_rate,
+                       workload::PopularityClass popularity =
+                           workload::PopularityClass::kUnpopular);
 
   // Releases an admitted plan's reservation (call exactly once).
   void release(const FetchPlan& plan);
+
+  // Fault-layer hook: marks a cluster's upload servers down/up. An
+  // unhealthy cluster admits nothing; already-admitted flows stall on the
+  // (separately faulted) link and resume when it recovers.
+  void set_cluster_healthy(net::Isp isp, bool healthy);
+  bool cluster_healthy(net::Isp isp) const;
+  bool degraded() const;  // any cluster currently unhealthy
 
   Rate cluster_capacity(net::Isp isp) const;
   Rate cluster_reserved(net::Isp isp) const;
@@ -50,6 +72,11 @@ class UploadScheduler {
   std::uint64_t admitted_count() const { return admitted_; }
   std::uint64_t rejected_count() const { return rejected_; }
   std::uint64_t privileged_count() const { return privileged_; }
+  std::uint64_t rejected_count(workload::PopularityClass c) const {
+    return rejected_by_class_[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t shed_count() const { return shed_; }
+  std::uint64_t oversubscribed_count() const { return oversubscribed_; }
 
   // Samples a degraded cross-ISP path cap (exposed for tests): the barrier
   // proper (out-of-ISP users) and the milder alternative-cluster spillover.
@@ -61,10 +88,12 @@ class UploadScheduler {
     net::LinkId link = 0;
     Rate capacity = 0.0;
     Rate reserved = 0.0;
+    bool healthy = true;
   };
 
   Cluster& cluster_for(net::Isp isp);
   const Cluster& cluster_for(net::Isp isp) const;
+  FetchPlan reject(workload::PopularityClass popularity);
 
   net::Network& net_;
   CloudConfig config_;
@@ -73,6 +102,9 @@ class UploadScheduler {
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t privileged_ = 0;
+  std::array<std::uint64_t, 3> rejected_by_class_{};
+  std::uint64_t shed_ = 0;
+  std::uint64_t oversubscribed_ = 0;
 };
 
 }  // namespace odr::cloud

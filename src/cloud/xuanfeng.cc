@@ -158,8 +158,6 @@ void XuanfengCloud::begin_fetch(const workload::WorkloadRecord& request,
                             config_.dynamics_slowdown_hi);
   }
 
-  const FetchPlan plan = uploads_.plan_fetch(user.isp, desired);
-
   TaskOutcome outcome;
   outcome.task_id = request.task_id;
   outcome.pre = pre;
@@ -167,6 +165,9 @@ void XuanfengCloud::begin_fetch(const workload::WorkloadRecord& request,
       content_db_.weekly_popularity(request.file, sim_.now());
   outcome.popularity =
       workload::classify_popularity(outcome.weekly_popularity);
+
+  const FetchPlan plan =
+      uploads_.plan_fetch(user.isp, desired, outcome.popularity);
   outcome.fetch.task_id = request.task_id;
   outcome.fetch.user_id = request.user_id;
   outcome.fetch.ip = request.ip;

@@ -40,11 +40,72 @@ DecisionInput Executor::make_input(const workload::WorkloadRecord& request,
   return in;
 }
 
+namespace {
+
+bool uses_cloud(Route route) {
+  return route == Route::kCloud || route == Route::kCloudThenSmartAp ||
+         route == Route::kCloudPreDownloadFirst;
+}
+
+// Failures that indict the serving substrate rather than the content
+// source (dead swarms and bad mirrors say nothing about our health).
+bool is_substrate_failure(proto::FailureCause cause) {
+  return proto::is_infrastructure_cause(cause) ||
+         cause == proto::FailureCause::kRejected ||
+         cause == proto::FailureCause::kSystemBug;
+}
+
+}  // namespace
+
+void Executor::record_breaker_outcome(const ExecOutcome& outcome) {
+  CircuitBreaker* breaker = uses_cloud(outcome.route) ? cloud_breaker_
+                            : outcome.route == Route::kSmartAp ? ap_breaker_
+                                                               : nullptr;
+  if (breaker == nullptr) return;
+  if (outcome.success) {
+    breaker->record_success();
+  } else if (is_substrate_failure(outcome.cause)) {
+    breaker->record_failure();
+  }
+}
+
+Executor::DoneFn Executor::wrap_with_breakers(DoneFn done, bool rerouted) {
+  return [this, rerouted, done = std::move(done)](const ExecOutcome& o) {
+    ExecOutcome patched = o;
+    patched.rerouted = rerouted;
+    record_breaker_outcome(patched);
+    if (done) done(patched);
+  };
+}
+
 void Executor::execute(const Decision& decision,
                        const workload::WorkloadRecord& request,
                        const workload::User& user, odr::ap::SmartAp* ap,
                        DoneFn done) {
-  switch (decision.route) {
+  Route route = decision.route;
+  bool rerouted = false;
+  if (cloud_breaker_ != nullptr && uses_cloud(route) &&
+      !cloud_breaker_->allow()) {
+    // Cloud substrate tripped: stage on the AP if there is one, otherwise
+    // fall back to the user's own device.
+    route = ap != nullptr ? Route::kSmartAp : Route::kUserDevice;
+    rerouted = true;
+  }
+  if (ap_breaker_ != nullptr && route == Route::kSmartAp &&
+      !ap_breaker_->allow()) {
+    // AP substrate tripped too (or first): prefer the cloud if its breaker
+    // still admits traffic, else download directly.
+    const bool cloud_ok =
+        !rerouted && (cloud_breaker_ == nullptr || cloud_breaker_->allow());
+    route = cloud_ok ? Route::kCloud : Route::kUserDevice;
+    rerouted = true;
+  }
+  if (cloud_breaker_ != nullptr || ap_breaker_ != nullptr) {
+    done = wrap_with_breakers(std::move(done), rerouted);
+    if (rerouted) ++reroutes_;
+  }
+
+  switch (route) {
     case Route::kCloud:
       run_cloud(request, user, std::move(done));
       return;

@@ -14,6 +14,7 @@
 
 #include "ap/smart_ap.h"
 #include "cloud/xuanfeng.h"
+#include "core/circuit_breaker.h"
 #include "core/decision.h"
 #include "core/strategy.h"
 #include "net/network.h"
@@ -42,6 +43,7 @@ struct ExecOutcome {
   Rate fetch_rate = 0.0;       // rate into the user premises (Fig 17)
   Rate e2e_rate = 0.0;         // size / (ready - request)
   bool impeded = false;        // real-time fetch below the 125 KBps line
+  bool rerouted = false;       // a circuit breaker overrode the decision
 
   Bytes cloud_upload_bytes = 0;  // burden this task placed on the cloud
   SimTime cloud_upload_start = 0, cloud_upload_finish = 0;
@@ -85,6 +87,19 @@ class Executor {
                const workload::WorkloadRecord& request,
                const workload::User& user, odr::ap::SmartAp* ap, DoneFn done);
 
+  // Opt-in fault tolerance: when set, an open breaker reroutes requests
+  // away from the unhealthy substrate (cloud <-> AP, falling back to the
+  // user's own device), and every executed outcome feeds the breaker for
+  // the substrate that served it. Either pointer may be null; both must
+  // outlive the executor. Default (nullptr) leaves routing untouched.
+  void set_substrate_breakers(CircuitBreaker* cloud_breaker,
+                              CircuitBreaker* ap_breaker) {
+    cloud_breaker_ = cloud_breaker;
+    ap_breaker_ = ap_breaker;
+  }
+
+  std::uint64_t reroutes() const { return reroutes_; }
+
  private:
   void run_cloud(const workload::WorkloadRecord& request,
                  const workload::User& user, DoneFn done);
@@ -104,6 +119,9 @@ class Executor {
                                  const workload::WorkloadRecord& request) const;
   void finalize_lan_stage(ExecOutcome outcome, odr::ap::SmartAp* ap,
                           DoneFn done);
+  // Feeds the outcome to the breaker of the substrate that served it.
+  void record_breaker_outcome(const ExecOutcome& outcome);
+  DoneFn wrap_with_breakers(DoneFn done, bool rerouted);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -117,6 +135,10 @@ class Executor {
   std::unordered_map<std::uint64_t,
                      std::unique_ptr<proto::DownloadTask>> direct_tasks_;
   std::uint64_t next_direct_ = 1;
+
+  CircuitBreaker* cloud_breaker_ = nullptr;
+  CircuitBreaker* ap_breaker_ = nullptr;
+  std::uint64_t reroutes_ = 0;
 };
 
 }  // namespace odr::core

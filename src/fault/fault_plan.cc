@@ -1,0 +1,76 @@
+#include "fault/fault_plan.h"
+
+namespace odr::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kVmCrash: return "vm-crash";
+    case FaultKind::kUploadClusterOutage: return "upload-cluster-outage";
+    case FaultKind::kLinkDegradation: return "link-degradation";
+    case FaultKind::kStorageNodeLoss: return "storage-node-loss";
+    case FaultKind::kChecksumCorruption: return "checksum-corruption";
+    case FaultKind::kApCrash: return "ap-crash";
+  }
+  return "unknown";
+}
+
+FaultPlan make_chaos_plan(int level) {
+  FaultPlan plan;
+  if (level <= 0) return plan;
+
+  if (level == 1) {
+    plan.add({.kind = FaultKind::kVmCrash,
+              .start = 0,
+              .duration = kWeek,
+              .rate = 0.02});
+    plan.add({.kind = FaultKind::kLinkDegradation,
+              .start = 2 * kDay,
+              .duration = 3 * kHour,
+              .severity = 0.5,
+              .isp = net::Isp::kTelecom});
+    return plan;
+  }
+
+  if (level == 2) {
+    plan.add({.kind = FaultKind::kVmCrash,
+              .start = 0,
+              .duration = kWeek,
+              .rate = 0.05});
+    plan.add({.kind = FaultKind::kUploadClusterOutage,
+              .start = 2 * kDay + 20 * kHour,  // an evening peak
+              .duration = 2 * kHour,
+              .isp = net::Isp::kUnicom});
+    plan.add({.kind = FaultKind::kLinkDegradation,
+              .start = 4 * kDay,
+              .duration = 6 * kHour,
+              .severity = 0.3,
+              .isp = net::Isp::kTelecom,
+              .flap_period = 20 * kMinute});
+    plan.add({.kind = FaultKind::kChecksumCorruption,
+              .start = 1 * kDay,
+              .duration = kDay,
+              .rate = 0.01});
+    plan.add({.kind = FaultKind::kStorageNodeLoss,
+              .start = 3 * kDay,
+              .severity = 0.05});
+    plan.add({.kind = FaultKind::kApCrash,
+              .start = 0,
+              .duration = kWeek,
+              .rate = 0.005});
+    return plan;
+  }
+
+  // Severe: the acceptance pair — a week of 10%/h VM crashes and a 6 h
+  // evening-peak outage of the largest (Telecom) upload cluster.
+  plan.add({.kind = FaultKind::kVmCrash,
+            .start = 0,
+            .duration = kWeek,
+            .rate = 0.10});
+  plan.add({.kind = FaultKind::kUploadClusterOutage,
+            .start = 3 * kDay + 18 * kHour,
+            .duration = 6 * kHour,
+            .isp = net::Isp::kTelecom});
+  return plan;
+}
+
+}  // namespace odr::fault

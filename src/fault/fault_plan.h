@@ -1,0 +1,89 @@
+// FaultPlan: a declarative, seeded schedule of infrastructure faults.
+//
+// The paper measures Xuanfeng and smart APs on healthy infrastructure;
+// this layer asks the follow-up question every operator asks next: what
+// happens to the headline metrics (failure ratio, speed distributions,
+// rejection rate) when the infrastructure itself misbehaves? A FaultPlan
+// lists fault specs — each a kind, an activation window, and a magnitude —
+// and the FaultInjector turns them into simulator events against the
+// attached components. Plans are plain data: they can be built inline in
+// tests, swept in benchmarks, and compared across seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/isp.h"
+#include "util/units.h"
+
+namespace odr::fault {
+
+enum class FaultKind : std::uint8_t {
+  // A pre-downloader VM dies mid-transfer. `rate` is the per-active-task
+  // crash probability per hour, applied over the window. Crashed tasks
+  // take the pool's retry/backoff path.
+  kVmCrash = 0,
+  // An entire per-ISP upload cluster goes dark for `duration`: the
+  // scheduler marks it unhealthy (admissions fail over) and the cluster
+  // uplink capacity drops to zero (in-flight fetches stall until
+  // recovery). `isp` selects the cluster.
+  kUploadClusterOutage = 1,
+  // ISP peering degradation: the cluster uplink runs at `severity` of its
+  // capacity for `duration`. With flap_period > 0 the link flaps —
+  // alternating degraded/full at that period — modeling route instability
+  // rather than a steady squeeze.
+  kLinkDegradation = 2,
+  // A storage node is lost at `start`: `severity` fraction of the pool's
+  // entries (coldest first) vanish. One-shot; there is no recovery —
+  // the cache re-warms organically.
+  kStorageNodeLoss = 3,
+  // Completed transfers fail MD5 verification with probability `rate`
+  // while the window is active (tasks started in the window carry the
+  // corruption probability; see DownloadTask checksum retries).
+  kChecksumCorruption = 4,
+  // A smart AP crashes and reboots. `rate` is the per-AP crash
+  // probability per hour over the window; partial downloads on resumable
+  // (P2P) sources survive the reboot.
+  kApCrash = 5,
+};
+
+inline constexpr std::size_t kFaultKindCount = 6;
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kVmCrash;
+  SimTime start = 0;     // activation time
+  SimTime duration = 0;  // window length; 0 = instantaneous (one-shot)
+  // Per-hour probability for crash kinds; corruption probability for
+  // kChecksumCorruption; unused otherwise.
+  double rate = 0.0;
+  // Capacity multiplier in [0,1] for kLinkDegradation; evicted fraction
+  // for kStorageNodeLoss; unused otherwise.
+  double severity = 0.0;
+  net::Isp isp = net::Isp::kTelecom;  // target cluster where applicable
+  SimTime flap_period = 0;            // kLinkDegradation: >0 enables flapping
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+  FaultPlan& add(const FaultSpec& spec) {
+    faults.push_back(spec);
+    return *this;
+  }
+};
+
+// Canonical escalating plans for benchmarks, calibrated for a one-week
+// replay window:
+//   0  fault-free (empty plan);
+//   1  mild      — 2%/h VM crashes, a 3 h peering degradation;
+//   2  moderate  — 5%/h VM crashes, a 2 h cluster outage, a flapping
+//                  degradation, 1% checksum corruption for a day, a 5%
+//                  storage-node loss, 0.5%/h AP crashes;
+//   3  severe    — the chaos_week acceptance pair: 10%/h VM crashes all
+//                  week plus one 6 h upload-cluster outage.
+FaultPlan make_chaos_plan(int level);
+
+}  // namespace odr::fault

@@ -1,0 +1,161 @@
+#include "fault/injector.h"
+
+#include <cassert>
+
+namespace odr::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, Rng& rng)
+    : sim_(sim), rng_(rng.fork()) {}
+
+void FaultInjector::attach_cloud(cloud::XuanfengCloud& cloud,
+                                 net::Network& net) {
+  attach_predownloaders(&cloud.predownloaders());
+  attach_uploads(&cloud.uploads());
+  attach_storage(&cloud.storage());
+  attach_network(&net);
+}
+
+void FaultInjector::load(const FaultPlan& plan) {
+  for (const FaultSpec& spec : plan.faults) schedule(spec);
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::uint64_t total = 0;
+  for (const KindStats& s : stats_) total += s.fired;
+  return total;
+}
+
+void FaultInjector::schedule(const FaultSpec& spec) {
+  sim_.schedule_at(spec.start, [this, spec] { activate(spec); });
+}
+
+void FaultInjector::activate(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kVmCrash:
+    case FaultKind::kApCrash:
+      // Sampled over the window; the first tick lands one period in.
+      sim_.schedule_after(tick_period_, [this, spec] { crash_tick(spec); });
+      return;
+
+    case FaultKind::kUploadClusterOutage: {
+      if (uploads_ == nullptr) return;
+      uploads_->set_cluster_healthy(spec.isp, false);
+      if (net_ != nullptr) {
+        const net::LinkId link = uploads_->cluster_link(spec.isp);
+        saved_capacity_.emplace(link, net_->link_capacity(link));
+        net_->set_link_capacity(link, 0.0);  // in-flight fetches stall
+      }
+      ++mutable_stats(spec.kind).fired;
+      sim_.schedule_after(spec.duration, [this, spec] { recover(spec); });
+      return;
+    }
+
+    case FaultKind::kLinkDegradation: {
+      if (uploads_ == nullptr || net_ == nullptr) return;
+      const net::LinkId link = uploads_->cluster_link(spec.isp);
+      saved_capacity_.emplace(link, net_->link_capacity(link));
+      ++mutable_stats(spec.kind).fired;
+      flap_toggle(spec, /*degraded=*/true);
+      sim_.schedule_after(spec.duration, [this, spec] { recover(spec); });
+      return;
+    }
+
+    case FaultKind::kStorageNodeLoss:
+      if (storage_ == nullptr) return;
+      storage_->evict_fraction(spec.severity);
+      ++mutable_stats(spec.kind).fired;
+      // One-shot: the pool re-warms organically, nothing to recover.
+      ++mutable_stats(spec.kind).recovered;
+      return;
+
+    case FaultKind::kChecksumCorruption:
+      if (pool_ == nullptr) return;
+      pool_->set_corruption_prob(spec.rate);
+      ++mutable_stats(spec.kind).fired;
+      sim_.schedule_after(spec.duration, [this, spec] { recover(spec); });
+      return;
+  }
+}
+
+void FaultInjector::recover(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::kVmCrash:
+    case FaultKind::kApCrash:
+      break;  // the tick chain notices the window end itself
+
+    case FaultKind::kUploadClusterOutage:
+      if (uploads_ != nullptr) {
+        uploads_->set_cluster_healthy(spec.isp, true);
+        if (net_ != nullptr) {
+          const net::LinkId link = uploads_->cluster_link(spec.isp);
+          auto it = saved_capacity_.find(link);
+          if (it != saved_capacity_.end()) {
+            net_->set_link_capacity(link, it->second);
+            saved_capacity_.erase(it);
+          }
+        }
+      }
+      break;
+
+    case FaultKind::kLinkDegradation:
+      if (uploads_ != nullptr && net_ != nullptr) {
+        const net::LinkId link = uploads_->cluster_link(spec.isp);
+        auto it = saved_capacity_.find(link);
+        if (it != saved_capacity_.end()) {
+          net_->set_link_capacity(link, it->second);
+          saved_capacity_.erase(it);
+        }
+      }
+      break;
+
+    case FaultKind::kStorageNodeLoss:
+      break;  // one-shot, recovered at activation
+
+    case FaultKind::kChecksumCorruption:
+      if (pool_ != nullptr) pool_->set_corruption_prob(0.0);
+      break;
+  }
+  ++mutable_stats(spec.kind).recovered;
+}
+
+void FaultInjector::crash_tick(const FaultSpec& spec) {
+  const SimTime window_end = spec.start + spec.duration;
+  if (sim_.now() > window_end) {
+    ++mutable_stats(spec.kind).recovered;
+    return;
+  }
+  const double tick_hours =
+      static_cast<double>(tick_period_) / static_cast<double>(kHour);
+  const double prob = spec.rate * tick_hours;
+
+  if (spec.kind == FaultKind::kVmCrash) {
+    if (pool_ != nullptr && prob > 0.0) {
+      mutable_stats(spec.kind).fired += pool_->inject_crashes(prob, rng_);
+    }
+  } else {  // kApCrash
+    for (ap::SmartAp* ap : aps_) {
+      if (prob > 0.0 && !ap->rebooting() && rng_.bernoulli(prob)) {
+        ap->crash();
+        ++mutable_stats(spec.kind).fired;
+      }
+    }
+  }
+  sim_.schedule_after(tick_period_, [this, spec] { crash_tick(spec); });
+}
+
+void FaultInjector::flap_toggle(const FaultSpec& spec, bool degraded) {
+  const SimTime window_end = spec.start + spec.duration;
+  if (sim_.now() >= window_end) return;  // recover() restores capacity
+  const net::LinkId link = uploads_->cluster_link(spec.isp);
+  const auto it = saved_capacity_.find(link);
+  if (it == saved_capacity_.end()) return;  // already recovered
+  const Rate full = it->second;
+  net_->set_link_capacity(link, degraded ? full * spec.severity : full);
+  if (spec.flap_period > 0) {
+    sim_.schedule_after(spec.flap_period, [this, spec, degraded] {
+      flap_toggle(spec, !degraded);
+    });
+  }
+}
+
+}  // namespace odr::fault

@@ -1,0 +1,91 @@
+// FaultInjector: executes a FaultPlan against live simulation components.
+//
+// The injector is attached to whichever components an experiment has —
+// the cloud's VM pool, upload scheduler, storage pool, the network, any
+// number of smart APs — then load()ed with a plan. Every fault becomes
+// ordinary simulator events (activation, periodic crash ticks, flap
+// toggles, recovery), so fault timing composes deterministically with the
+// rest of the event stream: the same seed and plan always yield the same
+// run, byte for byte.
+//
+// Crash-style faults (kVmCrash, kApCrash) are sampled: every tick_period
+// inside the window, each active task / AP crashes independently with
+// probability rate * tick_hours. The injector forks its own Rng stream so
+// these draws never perturb the workload's streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ap/smart_ap.h"
+#include "cloud/xuanfeng.h"
+#include "fault/fault_plan.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace odr::fault {
+
+class FaultInjector {
+ public:
+  struct KindStats {
+    std::uint64_t fired = 0;      // activations (per crash for crash kinds)
+    std::uint64_t recovered = 0;  // windows that ended
+  };
+
+  FaultInjector(sim::Simulator& sim, Rng& rng);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- attachment (call before load; any subset may be attached) ----------
+  void attach_predownloaders(cloud::PreDownloaderPool* pool) { pool_ = pool; }
+  void attach_uploads(cloud::UploadScheduler* uploads) { uploads_ = uploads; }
+  void attach_storage(cloud::StoragePool* storage) { storage_ = storage; }
+  void attach_network(net::Network* net) { net_ = net; }
+  void attach_ap(ap::SmartAp* ap) { aps_.push_back(ap); }
+  // Convenience: attaches every cloud-side component at once.
+  void attach_cloud(cloud::XuanfengCloud& cloud, net::Network& net);
+
+  // Schedules every fault in `plan`. May be called once per injector.
+  void load(const FaultPlan& plan);
+
+  const KindStats& stats(FaultKind kind) const {
+    return stats_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total_fired() const;
+
+  // Sampling cadence for crash-style faults.
+  SimTime tick_period() const { return tick_period_; }
+  void set_tick_period(SimTime period) { tick_period_ = period; }
+
+ private:
+  void schedule(const FaultSpec& spec);
+  void activate(const FaultSpec& spec);
+  void recover(const FaultSpec& spec);
+  void crash_tick(const FaultSpec& spec);
+  void flap_toggle(const FaultSpec& spec, bool degraded);
+
+  KindStats& mutable_stats(FaultKind kind) {
+    return stats_[static_cast<std::size_t>(kind)];
+  }
+
+  sim::Simulator& sim_;
+  Rng rng_;
+  SimTime tick_period_ = 5 * kMinute;
+
+  cloud::PreDownloaderPool* pool_ = nullptr;
+  cloud::UploadScheduler* uploads_ = nullptr;
+  cloud::StoragePool* storage_ = nullptr;
+  net::Network* net_ = nullptr;
+  std::vector<ap::SmartAp*> aps_;
+
+  // Pre-fault capacities of links we zeroed or degraded, for recovery.
+  std::unordered_map<net::LinkId, Rate> saved_capacity_;
+
+  std::array<KindStats, kFaultKindCount> stats_{};
+};
+
+}  // namespace odr::fault

@@ -44,12 +44,9 @@ void DownloadTask::start(Rng& rng) {
 
   net::Network::FlowSpec spec;
   spec.path = config_.shared_links;
-  spec.bytes = file_size_;
+  spec.bytes = round_bytes_ = file_size_;
   spec.rate_cap = effective_cap();
-  spec.on_complete = [this](net::FlowId) {
-    flow_ = net::kInvalidFlow;
-    finish(true, FailureCause::kNone);
-  };
+  spec.on_complete = [this](net::FlowId) { on_flow_complete(); };
   flow_ = net_.start_flow(std::move(spec));
   peak_rate_ = net_.flow_stats(flow_).current_rate;
   tick_event_ = sim_.schedule_after(config_.tick_period, [this] { on_tick(); });
@@ -57,7 +54,8 @@ void DownloadTask::start(Rng& rng) {
 
 Bytes DownloadTask::bytes_done() {
   if (flow_ == net::kInvalidFlow) return done_ ? file_size_ : 0;
-  return net_.flow_stats(flow_).bytes_done;
+  return std::min<Bytes>(file_size_,
+                         verified_bytes_ + net_.flow_stats(flow_).bytes_done);
 }
 
 void DownloadTask::on_tick() {
@@ -105,12 +103,62 @@ void DownloadTask::on_tick() {
   tick_event_ = sim_.schedule_after(config_.tick_period, [this] { on_tick(); });
 }
 
+// The flow delivered the current round's bytes; verify the MD5 before
+// declaring success. A corrupted round is re-fetched: P2P piece hashes
+// localize the damage so only ~10% of the round is re-downloaded, while
+// HTTP/FTP must restart the whole file.
+void DownloadTask::on_flow_complete() {
+  // The network retires a flow before invoking its completion callback,
+  // so its stats are gone by now; the delivered round is exactly the
+  // byte count this task requested when it opened the flow.
+  const Bytes round = round_bytes_;
+  flow_ = net::kInvalidFlow;
+
+  const bool corrupted = config_.corruption_prob > 0.0 && rng_ != nullptr &&
+                         rng_->bernoulli(config_.corruption_prob);
+  if (!corrupted) {
+    verified_bytes_ = file_size_;
+    finish(true, FailureCause::kNone);
+    return;
+  }
+  if (checksum_retries_ >= config_.max_checksum_retries) {
+    discarded_bytes_ += round;
+    finish(false, FailureCause::kChecksumMismatch);
+    return;
+  }
+  ++checksum_retries_;
+
+  Bytes refetch;
+  if (is_p2p(source_->protocol())) {
+    // Per-piece hashes: keep the good 90%, re-fetch the corrupt pieces.
+    refetch = std::max<Bytes>(1, round / 10);
+    verified_bytes_ = std::min(file_size_, verified_bytes_ + (round - refetch));
+    discarded_bytes_ += refetch;
+  } else {
+    // Whole-file hash only: nothing salvageable, restart from zero.
+    refetch = file_size_;
+    verified_bytes_ = 0;
+    discarded_bytes_ += round;
+  }
+
+  net::Network::FlowSpec spec;
+  spec.path = config_.shared_links;
+  spec.bytes = round_bytes_ = refetch;
+  spec.rate_cap = effective_cap();
+  spec.on_complete = [this](net::FlowId) { on_flow_complete(); };
+  flow_ = net_.start_flow(std::move(spec));
+  // The new flow's byte counter restarts at zero; re-arm progress tracking
+  // so the stagnation rule measures the retry round on its own terms.
+  last_progress_bytes_ = 0.0;
+  last_progress_at_ = sim_.now();
+}
+
 void DownloadTask::abort() {
   if (!running_) return;
   finish(false, FailureCause::kAborted);
 }
 
-void DownloadTask::fail(FailureCause cause) {
+void DownloadTask::fail_externally(FailureCause cause) {
   if (!running_) return;
   finish(false, cause);
 }
@@ -129,12 +177,13 @@ void DownloadTask::finish(bool success, FailureCause cause) {
 
   if (flow_ != net::kInvalidFlow) {
     const net::FlowStats stats = net_.flow_stats(flow_);
-    result.bytes_downloaded = stats.bytes_done;
+    result.bytes_downloaded =
+        std::min<Bytes>(file_size_, verified_bytes_ + stats.bytes_done);
     peak_rate_ = std::max(peak_rate_, stats.peak_rate);
     net_.cancel_flow(flow_);
     flow_ = net::kInvalidFlow;
   } else {
-    result.bytes_downloaded = file_size_;
+    result.bytes_downloaded = verified_bytes_;
   }
   if (success) result.bytes_downloaded = file_size_;
 
@@ -143,10 +192,13 @@ void DownloadTask::finish(bool success, FailureCause cause) {
     tick_event_ = sim::kInvalidEvent;
   }
 
+  // Discarded (corrupt) bytes crossed the wire too; they count as traffic.
   result.traffic_bytes = static_cast<Bytes>(
-      std::llround(static_cast<double>(result.bytes_downloaded) *
+      std::llround(static_cast<double>(result.bytes_downloaded +
+                                       discarded_bytes_) *
                    source_->traffic_factor()));
   result.peak_rate = peak_rate_;
+  result.checksum_retries = checksum_retries_;
   const SimTime elapsed = result.duration();
   result.average_rate =
       success ? average_rate(result.file_size, elapsed)

@@ -31,10 +31,14 @@ struct DownloadResult {
   SimTime finished_at = 0;
   Bytes file_size = 0;
   Bytes bytes_downloaded = 0;
-  // Total network traffic including protocol/tit-for-tat overhead.
+  // Total network traffic including protocol/tit-for-tat overhead and any
+  // bytes discarded by failed checksum verifications.
   Bytes traffic_bytes = 0;
   Rate average_rate = 0.0;  // file bytes over wall time (0 for failures at 0%)
   Rate peak_rate = 0.0;
+  // Completions discarded because the MD5 of the received bytes mismatched
+  // (injected corruption); each one restarted the transfer.
+  std::uint32_t checksum_retries = 0;
 
   SimTime duration() const { return finished_at - started_at; }
 };
@@ -48,6 +52,14 @@ class DownloadTask {
     SimTime stagnation_timeout = kHour;     // Xuanfeng's failure rule
     SimTime tick_period = 5 * kMinute;      // source model update cadence
     SimTime hard_timeout = kTimeNever;      // absolute give-up time, if any
+    // Fault injection: probability that a completed transfer fails MD5
+    // verification. A corrupted completion is retried — P2P sources carry
+    // per-piece hashes so only the bad pieces are re-fetched (resume);
+    // HTTP/FTP have no piece hashes, so the whole file is re-downloaded
+    // (restart) — up to max_checksum_retries times, then the attempt fails
+    // with FailureCause::kChecksumMismatch.
+    double corruption_prob = 0.0;
+    std::uint32_t max_checksum_retries = 2;
   };
 
   using DoneFn = std::function<void(const DownloadResult&)>;
@@ -67,8 +79,9 @@ class DownloadTask {
   void abort();
 
   // Fails a running task with an externally determined cause (e.g. a
-  // downloader-side crash injected by the smart-AP bug model).
-  void fail(proto::FailureCause cause);
+  // downloader-side crash injected by the fault layer or the smart-AP bug
+  // model).
+  void fail_externally(proto::FailureCause cause);
 
   bool running() const { return running_; }
   Bytes bytes_done();
@@ -76,6 +89,7 @@ class DownloadTask {
 
  private:
   void on_tick();
+  void on_flow_complete();
   void finish(bool success, FailureCause cause);
   Rate effective_cap() const;
 
@@ -96,6 +110,14 @@ class DownloadTask {
   Rate peak_rate_ = 0.0;
   bool running_ = false;
   bool done_ = false;
+  // Checksum-verification retry state: the size of the in-flight round
+  // (the network retires a flow before its completion callback runs, so
+  // the task must remember what it asked for), bytes verified good in
+  // earlier rounds, bytes discarded as corrupt, and rounds used so far.
+  Bytes round_bytes_ = 0;
+  Bytes verified_bytes_ = 0;
+  Bytes discarded_bytes_ = 0;
+  std::uint32_t checksum_retries_ = 0;
 };
 
 }  // namespace odr::proto

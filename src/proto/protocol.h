@@ -41,6 +41,8 @@ enum class FailureCause : std::uint8_t {
   kSystemBug,           // downloader-side defect (injected, AP models)
   kRejected,            // cloud admission control refused the fetch
   kAborted,             // cancelled by the caller
+  kCrash,               // downloader host died (injected VM/AP crash)
+  kChecksumMismatch,    // completed transfer failed MD5 verification
 };
 
 constexpr std::string_view failure_cause_name(FailureCause c) {
@@ -51,8 +53,16 @@ constexpr std::string_view failure_cause_name(FailureCause c) {
     case FailureCause::kSystemBug: return "system-bug";
     case FailureCause::kRejected: return "rejected";
     case FailureCause::kAborted: return "aborted";
+    case FailureCause::kCrash: return "crash";
+    case FailureCause::kChecksumMismatch: return "checksum-mismatch";
   }
   return "?";
+}
+
+// Infrastructure faults are transient (the content itself is fine), so
+// retry layers re-attempt them; source/model failures are terminal.
+constexpr bool is_infrastructure_cause(FailureCause c) {
+  return c == FailureCause::kCrash || c == FailureCause::kChecksumMismatch;
 }
 
 }  // namespace odr::proto

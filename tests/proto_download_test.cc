@@ -181,7 +181,7 @@ TEST_F(DownloadTest, InjectedFailureCause) {
   DownloadTask task(sim, net, std::move(source), 1 << 20, {}, capture());
   task.start(rng);
   sim.run_until(kMinute);
-  task.fail(FailureCause::kSystemBug);
+  task.fail_externally(FailureCause::kSystemBug);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(result->cause, FailureCause::kSystemBug);
 }
