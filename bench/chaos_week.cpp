@@ -19,6 +19,7 @@
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
 #include "util/args.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace {
@@ -98,6 +99,7 @@ int main(int argc, char** argv) {
       "Calibrated cloud week under escalating fault plans (chaos harness).");
   args.flag("divisor", "400", "scale divisor vs the measured system");
   args.flag("seed", "20151028", "workload seed");
+  args.flag("json", "BENCH_chaos_week.json", "output JSON (empty to skip)");
   if (!args.parse(argc, argv)) return 1;
 
   const double divisor = args.get_double("divisor");
@@ -146,5 +148,49 @@ int main(int argc, char** argv) {
   std::printf("acceptance: deterministic re-run (fingerprint %016llx): %s\n",
               static_cast<unsigned long long>(severe.fingerprint),
               deterministic ? "PASS" : "FAIL");
-  return failure_ok && hp_ok && deterministic ? 0 : 1;
+
+  const bool pass = failure_ok && hp_ok && deterministic;
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    JsonWriter j;
+    j.begin_object()
+        .field("bench", "chaos_week")
+        .field("divisor", divisor)
+        .field("seed", seed);
+    j.key("plans").begin_array();
+    for (const auto& m : runs) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(m.fingerprint));
+      j.begin_object()
+          .field("label", m.label)
+          .field("cache_hit", m.cache_hit)
+          .field("pre_failure", m.pre_failure)
+          .field("e2e_failure", m.e2e_failure)
+          .field("fetch_median_kbps", m.fetch_median_kbps)
+          .field("rejections", m.rejections)
+          .field("highly_popular_rejections", m.highly_popular_rejections)
+          .field("shed", m.shed)
+          .field("oversubscribed", m.oversubscribed)
+          .field("vm_crashes", m.vm_crashes)
+          .field("vm_retries", m.vm_retries)
+          .field("faults_fired", m.faults_fired)
+          .field("fingerprint", std::string(fp))
+          .end_object();
+    }
+    j.end_array();
+    j.key("acceptance")
+        .begin_object()
+        .field("e2e_failure_within_2x", failure_ok)
+        .field("zero_highly_popular_rejections", hp_ok)
+        .field("deterministic_rerun", deterministic)
+        .end_object();
+    j.field("pass", pass).end_object();
+    if (j.write_file(json_path)) {
+      std::printf("results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
+  return pass ? 0 : 1;
 }

@@ -1,0 +1,239 @@
+// Kill-and-resume recovery harness: the headline crash-consistency check.
+//
+// Runs the calibrated cloud week twice per fault plan: once uninterrupted
+// (the reference), then K more times where the process is "killed" at a
+// random event index — the world object is destroyed mid-week exactly as a
+// SIGKILL would leave it — and brought back from the latest on-disk
+// checkpoint. Because checkpoints capture the ENTIRE mutable world
+// (simulator queue, RNG streams, network flows, cloud caches, VM tasks,
+// fault machinery, pending arrivals), the resumed run must reach a final
+// state that is BIT-IDENTICAL to the uninterrupted one: same outcome
+// stream, same final serialized world. Plan 0 is the fault-free week; plan
+// 3 keeps the severe chaos plan (10%/h VM crashes all week + a 6-hour
+// upload-cluster outage) active across the kill, proving recovery composes
+// with fault injection. Results land in BENCH_crash_resume.json.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/replay.h"
+#include "fault/fault_plan.h"
+#include "snapshot/snapshotter.h"
+#include "snapshot/world.h"
+#include "util/args.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace odr;
+
+// FNV-1a over the outcome stream; byte-identical runs hash equal.
+void mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= 1099511628211ull;
+}
+
+std::uint64_t outcome_fingerprint(const std::vector<cloud::TaskOutcome>& outcomes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& o : outcomes) {
+    mix(h, o.task_id);
+    mix(h, static_cast<std::uint64_t>(o.pre.success));
+    mix(h, static_cast<std::uint64_t>(o.pre.finish_time));
+    mix(h, o.pre.traffic_bytes);
+    mix(h, static_cast<std::uint64_t>(o.fetched));
+    mix(h, static_cast<std::uint64_t>(o.fetch.rejected));
+    mix(h, static_cast<std::uint64_t>(o.fetch.finish_time));
+  }
+  return h;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+struct KillRecord {
+  std::uint64_t kill_index = 0;
+  double kill_fraction = 0.0;
+  std::uint64_t checkpoints_at_kill = 0;
+  bool checkpoint_used = false;
+  std::uint64_t events_after_resume = 0;
+  bool bit_identical = false;
+  bool outcomes_match = false;
+};
+
+struct PlanResult {
+  int plan = 0;
+  std::string label;
+  std::uint64_t baseline_events = 0;
+  std::uint64_t baseline_fingerprint = 0;
+  std::vector<KillRecord> kills;
+};
+
+PlanResult run_plan(int plan, const std::string& label, double divisor,
+                    std::uint64_t seed, int kills, SimTime period,
+                    const std::string& ckpt_path, Rng& rng) {
+  analysis::ExperimentConfig config = analysis::make_scaled_config(divisor, seed);
+  if (plan > 0) {
+    config.cloud.degraded_admission = true;
+    config.fault_plan = fault::make_chaos_plan(plan);
+  }
+
+  // The reference and every victim run with the same checkpoint period, so
+  // their event streams (checkpoint ticks included) are identical; only the
+  // reference skips the file writes.
+  snapshot::WorldOptions opts;
+  opts.checkpoint_period = period;
+  opts.audit_at_checkpoint = true;
+
+  PlanResult pr;
+  pr.plan = plan;
+  pr.label = label;
+
+  snapshot::CloudWorld reference(config, opts);
+  pr.baseline_events = reference.run();
+  const std::string final_state = reference.save_to_buffer();
+  pr.baseline_fingerprint = outcome_fingerprint(reference.finalize().outcomes);
+
+  snapshot::WorldOptions victim_opts = opts;
+  victim_opts.checkpoint_path = ckpt_path;
+
+  for (int k = 0; k < kills; ++k) {
+    KillRecord rec;
+    rec.kill_fraction = rng.uniform(0.2, 0.95);
+    rec.kill_index = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(rec.kill_fraction *
+                                      static_cast<double>(pr.baseline_events)));
+    std::remove(ckpt_path.c_str());
+    {
+      // The victim dies here: scope exit discards all in-memory state, the
+      // way a SIGKILL would. Only the checkpoint file survives.
+      snapshot::CloudWorld victim(config, victim_opts);
+      victim.run(rec.kill_index);
+      rec.checkpoints_at_kill = victim.checkpoints_written();
+    }
+    rec.checkpoint_used = file_exists(ckpt_path);
+    std::unique_ptr<snapshot::CloudWorld> revived;
+    if (rec.checkpoint_used) {
+      revived = snapshot::Restorer::restore_file(config, victim_opts, ckpt_path);
+    } else {
+      // Killed before the first checkpoint landed: recovery restarts the
+      // deterministic week from scratch, which must converge all the same.
+      revived = std::make_unique<snapshot::CloudWorld>(config, victim_opts);
+    }
+    rec.events_after_resume = revived->run();
+    rec.bit_identical = revived->save_to_buffer() == final_state;
+    rec.outcomes_match =
+        outcome_fingerprint(revived->finalize().outcomes) ==
+        pr.baseline_fingerprint;
+    pr.kills.push_back(rec);
+  }
+  std::remove(ckpt_path.c_str());
+  return pr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Kill the cloud week at random event indices and resume from the "
+      "latest checkpoint; the final state must be bit-identical.");
+  args.flag("divisor", "2000", "scale divisor vs the measured system");
+  args.flag("seed", "20151028", "workload seed");
+  args.flag("kills", "3", "kill points per fault plan");
+  args.flag("kill-seed", "4242", "rng seed for kill-point placement");
+  args.flag("period-hours", "6", "checkpoint period (simulated hours)");
+  args.flag("ckpt", "crash_resume.ckpt", "checkpoint file path");
+  args.flag("json", "BENCH_crash_resume.json", "output JSON (empty to skip)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const double divisor = args.get_double("divisor");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const int kills = static_cast<int>(args.get_int("kills"));
+  const SimTime period = args.get_int("period-hours") * kHour;
+  Rng kill_rng(static_cast<std::uint64_t>(args.get_int("kill-seed")));
+
+  std::vector<PlanResult> plans;
+  plans.push_back(run_plan(0, "fault-free", divisor, seed, kills, period,
+                           args.get("ckpt"), kill_rng));
+  plans.push_back(run_plan(3, "severe-chaos", divisor, seed, kills, period,
+                           args.get("ckpt"), kill_rng));
+
+  TextTable table({"plan", "kill@", "frac", "ckpts", "from-ckpt", "resumed ev",
+                   "bit-identical", "outcomes"});
+  bool all_identical = true;
+  int from_checkpoint = 0, total_kills = 0;
+  for (const auto& p : plans) {
+    for (const auto& k : p.kills) {
+      table.add_row({p.label, std::to_string(k.kill_index),
+                     TextTable::pct(k.kill_fraction),
+                     std::to_string(k.checkpoints_at_kill),
+                     k.checkpoint_used ? "yes" : "no",
+                     std::to_string(k.events_after_resume),
+                     k.bit_identical ? "PASS" : "FAIL",
+                     k.outcomes_match ? "PASS" : "FAIL"});
+      all_identical = all_identical && k.bit_identical && k.outcomes_match;
+      from_checkpoint += k.checkpoint_used ? 1 : 0;
+      ++total_kills;
+    }
+  }
+  std::fputs(banner("Crash/resume: " + std::to_string(total_kills) +
+                    " random kills across fault plans (1/" +
+                    args.get("divisor") + " scale)")
+                 .c_str(),
+             stdout);
+  std::fputs(table.render().c_str(), stdout);
+
+  const bool enough_kills = total_kills >= 5;
+  const bool checkpoint_path_exercised = from_checkpoint > 0;
+  const bool pass = all_identical && enough_kills && checkpoint_path_exercised;
+  std::printf("\nacceptance: every resume bit-identical to the reference: %s\n",
+              all_identical ? "PASS" : "FAIL");
+  std::printf("acceptance: >= 5 kill points (%d run, %d from a checkpoint): %s\n",
+              total_kills, from_checkpoint, enough_kills ? "PASS" : "FAIL");
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    JsonWriter j;
+    j.begin_object()
+        .field("bench", "crash_resume")
+        .field("divisor", divisor)
+        .field("seed", seed)
+        .field("kills_per_plan", kills)
+        .field("checkpoint_period_hours",
+               static_cast<std::int64_t>(period / kHour));
+    j.key("plans").begin_array();
+    for (const auto& p : plans) {
+      j.begin_object()
+          .field("plan", p.plan)
+          .field("label", p.label)
+          .field("baseline_events", p.baseline_events);
+      j.key("kills").begin_array();
+      for (const auto& k : p.kills) {
+        j.begin_object()
+            .field("kill_index", k.kill_index)
+            .field("kill_fraction", k.kill_fraction)
+            .field("checkpoints_at_kill", k.checkpoints_at_kill)
+            .field("checkpoint_used", k.checkpoint_used)
+            .field("events_after_resume", k.events_after_resume)
+            .field("bit_identical", k.bit_identical)
+            .field("outcomes_match", k.outcomes_match)
+            .end_object();
+      }
+      j.end_array().end_object();
+    }
+    j.end_array().field("pass", pass).end_object();
+    if (j.write_file(json_path)) {
+      std::printf("results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
+  return pass ? 0 : 1;
+}

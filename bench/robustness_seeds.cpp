@@ -7,15 +7,32 @@
 // mid-severity fault plan (fault::make_chaos_plan(2)) and writes a CSV of
 // the per-seed metrics, quantifying how much variance the fault machinery
 // itself adds on top of workload randomness.
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
 #include "util/args.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
+
+namespace {
+
+struct SeedMetrics {
+  std::uint64_t seed = 0;
+  double cache_hit = 0.0;
+  double pre_failure = 0.0;
+  double e2e_failure = 0.0;
+  double unpopular_failure = 0.0;
+  double fetch_median_kbps = 0.0;
+  double impeded = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace odr;
@@ -24,9 +41,12 @@ int main(int argc, char** argv) {
   args.flag("seeds", "5", "number of seeds");
   args.flag("csv", "robustness_faults.csv",
             "output CSV for the faulted sweep (empty to skip)");
+  args.flag("json", "BENCH_robustness_seeds.json",
+            "output JSON for both sweeps (empty to skip)");
   if (!args.parse(argc, argv)) return 1;
 
   EmpiricalCdf hit, failure, unpopular_failure, fetch_median, impeded;
+  std::vector<SeedMetrics> clean_runs;
   const int n = static_cast<int>(args.get_int("seeds"));
   for (int s = 0; s < n; ++s) {
     const auto config = analysis::make_scaled_config(
@@ -40,12 +60,19 @@ int main(int argc, char** argv) {
     for (const auto& o : result.outcomes) {
       if (!o.pre.success) ++failures;
     }
-    hit.add(result.cache_hit_ratio);
-    failure.add(static_cast<double>(failures) / result.outcomes.size());
-    unpopular_failure.add(
-        by_class.ratio(workload::PopularityClass::kUnpopular));
-    fetch_median.add(cdfs.fetch_speed_kbps.median());
-    impeded.add(breakdown.impeded_fraction());
+    SeedMetrics m;
+    m.seed = config.seed;
+    m.cache_hit = result.cache_hit_ratio;
+    m.pre_failure = static_cast<double>(failures) / result.outcomes.size();
+    m.unpopular_failure = by_class.ratio(workload::PopularityClass::kUnpopular);
+    m.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
+    m.impeded = breakdown.impeded_fraction();
+    clean_runs.push_back(m);
+    hit.add(m.cache_hit);
+    failure.add(m.pre_failure);
+    unpopular_failure.add(m.unpopular_failure);
+    fetch_median.add(m.fetch_median_kbps);
+    impeded.add(m.impeded);
   }
 
   auto row = [](const std::string& name, const std::string& paper,
@@ -71,6 +98,7 @@ int main(int argc, char** argv) {
 
   // --- the same seeds under the fixed mid-severity fault plan ---------------
   EmpiricalCdf f_hit, f_failure, f_e2e, f_fetch_median;
+  std::vector<SeedMetrics> faulted_runs;
   const std::string csv_path = args.get("csv");
   std::FILE* csv = csv_path.empty() ? nullptr : std::fopen(csv_path.c_str(), "w");
   if (csv != nullptr) {
@@ -98,6 +126,13 @@ int main(int argc, char** argv) {
     f_failure.add(pre_ratio);
     f_e2e.add(e2e_ratio);
     f_fetch_median.add(cdfs.fetch_speed_kbps.median());
+    SeedMetrics fm;
+    fm.seed = seed;
+    fm.cache_hit = result.cache_hit_ratio;
+    fm.pre_failure = pre_ratio;
+    fm.e2e_failure = e2e_ratio;
+    fm.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
+    faulted_runs.push_back(fm);
     if (csv != nullptr) {
       std::fprintf(csv, "%llu,%.6f,%.6f,%.6f,%.1f,%llu,%llu,%llu,%llu,%llu,%llu\n",
                    static_cast<unsigned long long>(seed),
@@ -132,6 +167,44 @@ int main(int argc, char** argv) {
   if (csv != nullptr) {
     std::printf("\nper-seed fault-sweep metrics written to %s\n",
                 csv_path.c_str());
+  }
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    auto emit = [](JsonWriter& j, const std::vector<SeedMetrics>& runs,
+                   bool faulted) {
+      j.begin_array();
+      for (const auto& m : runs) {
+        j.begin_object()
+            .field("seed", m.seed)
+            .field("cache_hit", m.cache_hit)
+            .field("pre_failure", m.pre_failure)
+            .field("fetch_median_kbps", m.fetch_median_kbps);
+        if (faulted) {
+          j.field("e2e_failure", m.e2e_failure);
+        } else {
+          j.field("unpopular_failure", m.unpopular_failure)
+              .field("impeded", m.impeded);
+        }
+        j.end_object();
+      }
+      j.end_array();
+    };
+    JsonWriter j;
+    j.begin_object()
+        .field("bench", "robustness_seeds")
+        .field("divisor", args.get_double("divisor"))
+        .field("seeds", static_cast<std::int64_t>(n));
+    j.key("clean");
+    emit(j, clean_runs, false);
+    j.key("faulted_plan2");
+    emit(j, faulted_runs, true);
+    j.end_object();
+    if (j.write_file(json_path)) {
+      std::printf("results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
   }
   return 0;
 }

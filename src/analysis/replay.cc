@@ -54,6 +54,13 @@ void warm_cloud(cloud::XuanfengCloud& cloud, const workload::Catalog& catalog,
 
 }  // namespace
 
+void warm_cloud_for_replay(cloud::XuanfengCloud& cloud,
+                           const workload::Catalog& catalog,
+                           std::size_t weekly_requests, int weeks,
+                           Rng& warm_rng) {
+  warm_cloud(cloud, catalog, weekly_requests, weeks, warm_rng);
+}
+
 ExperimentConfig make_scaled_config(double divisor, std::uint64_t seed) {
   assert(divisor >= 1.0);
   ExperimentConfig cfg;

@@ -73,6 +73,15 @@ struct CloudReplayResult {
 
 CloudReplayResult run_cloud_replay(const ExperimentConfig& config);
 
+// The pool/content-DB warm-up run_cloud_replay performs before the
+// measurement week, exposed so other drivers (e.g. the checkpointable
+// snapshot::CloudWorld) can reproduce its exact construction — including
+// the rng draw sequence — and stay bit-identical with run_cloud_replay.
+void warm_cloud_for_replay(cloud::XuanfengCloud& cloud,
+                           const workload::Catalog& catalog,
+                           std::size_t weekly_requests, int weeks,
+                           Rng& warm_rng);
+
 // Replays an externally supplied workload trace (e.g. loaded from the CSVs
 // `generate_traces` writes) through a fresh cloud. The catalog and user
 // population are reconstructed from the records themselves: file metadata

@@ -21,11 +21,17 @@
 // plain HTTP/FTP fetches restart from zero. A task survives at most
 // max_crash_resumes crashes before it is reported failed with
 // FailureCause::kCrash.
+//
+// All deferred work (reboot completion, firmware-bug timers, the deferred
+// delete tick) is held as event ids + plain state, so an AP checkpoints
+// and restores mid-reboot and mid-transfer; see save()/load().
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "ap/ap_models.h"
 #include "ap/storage_device.h"
@@ -35,6 +41,11 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/file.h"
+
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
 
 namespace odr::ap {
 
@@ -56,6 +67,8 @@ struct SmartApConfig {
 class SmartAp {
  public:
   using DoneFn = std::function<void(const proto::DownloadResult&)>;
+  // Recreates a task's done-callback from its id when loading a checkpoint.
+  using RebindDoneFn = std::function<DoneFn(std::uint64_t id)>;
 
   SmartAp(sim::Simulator& sim, net::Network& net, SmartApConfig config,
           const proto::SourceParams& sources, Rng& rng);
@@ -84,6 +97,19 @@ class SmartAp {
   std::uint64_t resume_count() const { return resumes_; }
   const SmartApConfig& config() const { return config_; }
 
+  // Simulator events this AP currently owns (audit accounting).
+  std::size_t pending_event_count() const;
+
+  // --- snapshot support -----------------------------------------------------
+  //
+  // save() serializes the rng, every task (running mid-flight or queued
+  // behind a reboot, including partial P2P bytes preserved across earlier
+  // crashes), and the armed reboot / firmware-bug / self-crash timers.
+  // load() rebuilds them on a freshly constructed AP; `rebind` recreates
+  // the per-task done callbacks (closures cannot be checkpointed).
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r, const RebindDoneFn& rebind);
+
  private:
   struct Running {
     std::unique_ptr<proto::DownloadTask> task;
@@ -101,6 +127,9 @@ class SmartAp {
   void start_task(std::uint64_t id, Running r);
   void on_done(std::uint64_t id, const proto::DownloadResult& result);
   void schedule_self_crash();
+  void finish_reboot();
+  void bury(std::unique_ptr<proto::DownloadTask> corpse);
+  void collect_garbage();
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -115,6 +144,11 @@ class SmartAp {
   std::uint64_t crashes_ = 0;
   std::uint64_t resumes_ = 0;
   sim::EventId self_crash_event_ = sim::kInvalidEvent;
+  sim::EventId reboot_event_ = sim::kInvalidEvent;
+  // Tasks finished inside their own callback wait here for a zero-delay
+  // tick to delete them.
+  std::vector<std::unique_ptr<proto::DownloadTask>> graveyard_;
+  sim::EventId gc_event_ = sim::kInvalidEvent;
 };
 
 }  // namespace odr::ap

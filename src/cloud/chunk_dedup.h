@@ -22,6 +22,11 @@
 #include "util/units.h"
 #include "workload/catalog.h"
 
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
 namespace odr::cloud {
 
 struct ChunkingParams {
@@ -64,6 +69,11 @@ class ChunkStore {
   double dedup_saving() const;
   // Index bookkeeping: bytes of chunk metadata (signature + locator).
   Bytes index_bytes(std::size_t entry_bytes = 24) const;
+
+  // Snapshot support: serializes counters plus the unique-chunk signature
+  // set in sorted order.
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r);
 
  private:
   Bytes chunk_size_;

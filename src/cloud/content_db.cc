@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "snapshot/format.h"
+
 namespace odr::cloud {
+namespace {
+
+enum : std::uint16_t {
+  kTagTotalRequests = 1,
+  kTagFileCount = 2,
+  kTagFileIndex = 3,
+  kTagTimeCount = 4,
+  kTagTime = 5,
+};
+
+}  // namespace
 
 void ContentDb::record_request(workload::FileIndex file, SimTime now) {
   requests_[file].push_back(now);
@@ -28,6 +41,33 @@ std::vector<double> ContentDb::popularity_series(SimTime now) const {
   }
   std::sort(out.begin(), out.end(), std::greater<>());
   return out;
+}
+
+void ContentDb::save(snapshot::SnapshotWriter& w) const {
+  w.u64(kTagTotalRequests, total_requests_);
+  std::vector<workload::FileIndex> files;
+  files.reserve(requests_.size());
+  for (const auto& [file, times] : requests_) files.push_back(file);
+  std::sort(files.begin(), files.end());
+  w.u64(kTagFileCount, files.size());
+  for (workload::FileIndex file : files) {
+    const auto& times = requests_.at(file);
+    w.u32(kTagFileIndex, file);
+    w.u64(kTagTimeCount, times.size());
+    for (SimTime t : times) w.i64(kTagTime, t);
+  }
+}
+
+void ContentDb::load(snapshot::SnapshotReader& r) {
+  total_requests_ = r.u64(kTagTotalRequests);
+  requests_.clear();
+  const std::uint64_t files = r.u64(kTagFileCount);
+  for (std::uint64_t i = 0; i < files; ++i) {
+    const workload::FileIndex file = r.u32(kTagFileIndex);
+    auto& times = requests_[file];
+    const std::uint64_t count = r.u64(kTagTimeCount);
+    for (std::uint64_t j = 0; j < count; ++j) times.push_back(r.i64(kTagTime));
+  }
 }
 
 }  // namespace odr::cloud

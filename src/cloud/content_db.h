@@ -15,6 +15,11 @@
 #include "util/units.h"
 #include "workload/file.h"
 
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
 namespace odr::cloud {
 
 class ContentDb {
@@ -36,6 +41,11 @@ class ContentDb {
   // Popularity (trailing week at `now`) of every tracked file, descending;
   // the series behind the Fig 6/7 rank-popularity fits.
   std::vector<double> popularity_series(SimTime now) const;
+
+  // Snapshot support: serializes the current (post-lazy-prune) timestamp
+  // deques sorted by file index.
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r);
 
  private:
   // Timestamps are pruned lazily on query; mutable for const access paths.

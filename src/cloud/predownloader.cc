@@ -1,11 +1,37 @@
 #include "cloud/predownloader.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <utility>
 #include <vector>
 
+#include "snapshot/format.h"
+#include "workload/snapshot.h"
+
 namespace odr::cloud {
+namespace {
+
+enum : std::uint16_t {
+  kTagRng = 1,  // ..6
+  kTagCorruption = 10,
+  kTagNextSlot = 11,
+  kTagStarted = 12,
+  kTagCrashes = 13,
+  kTagRetries = 14,
+  kTagRetriesExhausted = 15,
+  kTagNextRetryKey = 16,
+  kTagActiveCount = 20,
+  kTagSlot = 21,
+  kTagAttempt = 22,
+  kTagQueueCount = 30,
+  kTagRetryCount = 40,
+  kTagRetryKey = 41,
+  kTagRetryEvent = 42,
+  kTagGcEvent = 50,
+};
+
+}  // namespace
 
 PreDownloaderPool::PreDownloaderPool(sim::Simulator& sim, net::Network& net,
                                      const CloudConfig& config,
@@ -49,11 +75,16 @@ void PreDownloaderPool::start_task(Pending pending) {
 }
 
 std::size_t PreDownloaderPool::inject_crashes(double prob, Rng& rng) {
-  // Collect first: fail_externally() re-enters on_task_done, which mutates
-  // active_.
+  // Visit slots in sorted order so the rng draw sequence does not depend
+  // on hash-map iteration order (save/restore determinism). Collect first:
+  // fail_externally() re-enters on_task_done, which mutates active_.
+  std::vector<std::uint64_t> slots;
+  slots.reserve(active_.size());
+  for (const auto& [slot, a] : active_) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
   std::vector<std::uint64_t> victims;
-  victims.reserve(active_.size());
-  for (const auto& [slot, a] : active_) {
+  victims.reserve(slots.size());
+  for (std::uint64_t slot : slots) {
     if (rng.bernoulli(prob)) victims.push_back(slot);
   }
   std::size_t crashed = 0;
@@ -75,6 +106,30 @@ void PreDownloaderPool::start_next_queued() {
   }
 }
 
+void PreDownloaderPool::bury(std::unique_ptr<proto::DownloadTask> corpse) {
+  graveyard_.push_back(std::move(corpse));
+  if (gc_event_ == sim::kInvalidEvent) {
+    gc_event_ = sim_.schedule_after(0, [this] { collect_garbage(); });
+  }
+}
+
+void PreDownloaderPool::collect_garbage() {
+  gc_event_ = sim::kInvalidEvent;
+  graveyard_.clear();
+}
+
+void PreDownloaderPool::resume_retry(std::uint64_t key) {
+  auto it = retrying_.find(key);
+  assert(it != retrying_.end());
+  Pending pending = std::move(it->second.pending);
+  retrying_.erase(it);
+  if (active_.size() < config_.predownloader_count) {
+    start_task(std::move(pending));
+  } else {
+    queue_.push_front(std::move(pending));
+  }
+}
+
 void PreDownloaderPool::on_task_done(std::uint64_t slot,
                                      const proto::DownloadResult& result) {
   auto it = active_.find(slot);
@@ -82,10 +137,9 @@ void PreDownloaderPool::on_task_done(std::uint64_t slot,
   Pending pending{std::move(it->second.file), std::move(it->second.done),
                   it->second.attempt + 1};
 
-  // Defer the erase of the task object: we are inside its own callback.
-  proto::DownloadTask* raw = it->second.task.release();
+  // Defer the delete of the task object: we are inside its own callback.
+  bury(std::move(it->second.task));
   active_.erase(it);
-  sim_.schedule_after(0, [raw] { delete raw; });
 
   // Infrastructure faults are retried; the VM slot is freed immediately
   // and the task re-enters the queue at the FRONT once its backoff
@@ -98,13 +152,10 @@ void PreDownloaderPool::on_task_done(std::uint64_t slot,
                  static_cast<double>(pending.attempt - 1));
     const SimTime backoff = static_cast<SimTime>(
         static_cast<double>(config_.retry_backoff_base) * factor);
-    sim_.schedule_after(backoff, [this, p = std::move(pending)]() mutable {
-      if (active_.size() < config_.predownloader_count) {
-        start_task(std::move(p));
-      } else {
-        queue_.push_front(std::move(p));
-      }
-    });
+    const std::uint64_t key = next_retry_++;
+    const sim::EventId event =
+        sim_.schedule_after(backoff, [this, key] { resume_retry(key); });
+    retrying_.emplace(key, Retry{std::move(pending), event});
     start_next_queued();
     return;
   }
@@ -114,6 +165,123 @@ void PreDownloaderPool::on_task_done(std::uint64_t slot,
   }
   start_next_queued();
   if (pending.done) pending.done(result);
+}
+
+std::vector<net::FlowId> PreDownloaderPool::active_flow_ids() const {
+  std::vector<net::FlowId> flows;
+  flows.reserve(active_.size());
+  for (const auto& [slot, a] : active_) {
+    if (a.task->flow_id() != net::kInvalidFlow) {
+      flows.push_back(a.task->flow_id());
+    }
+  }
+  std::sort(flows.begin(), flows.end());
+  return flows;
+}
+
+std::size_t PreDownloaderPool::pending_event_count() const {
+  std::size_t n = retrying_.size();
+  for (const auto& [slot, a] : active_) {
+    if (a.task->tick_pending()) ++n;
+  }
+  if (gc_event_ != sim::kInvalidEvent) ++n;
+  return n;
+}
+
+void PreDownloaderPool::save(snapshot::SnapshotWriter& w) const {
+  save_rng(w, kTagRng, rng_);
+  w.f64(kTagCorruption, corruption_prob_);
+  w.u64(kTagNextSlot, next_slot_);
+  w.u64(kTagStarted, started_);
+  w.u64(kTagCrashes, crashes_);
+  w.u64(kTagRetries, retries_);
+  w.u64(kTagRetriesExhausted, retries_exhausted_);
+  w.u64(kTagNextRetryKey, next_retry_);
+
+  std::vector<std::uint64_t> slots;
+  slots.reserve(active_.size());
+  for (const auto& [slot, a] : active_) slots.push_back(slot);
+  std::sort(slots.begin(), slots.end());
+  w.u64(kTagActiveCount, slots.size());
+  for (std::uint64_t slot : slots) {
+    const Active& a = active_.at(slot);
+    w.u64(kTagSlot, slot);
+    w.u32(kTagAttempt, a.attempt);
+    workload::save_file_info(w, a.file);
+    a.task->save(w);
+  }
+
+  w.u64(kTagQueueCount, queue_.size());
+  for (const Pending& p : queue_) {
+    w.u32(kTagAttempt, p.attempt);
+    workload::save_file_info(w, p.file);
+  }
+
+  w.u64(kTagRetryCount, retrying_.size());
+  for (const auto& [key, entry] : retrying_) {
+    w.u64(kTagRetryKey, key);
+    w.u64(kTagRetryEvent, entry.event);
+    w.u32(kTagAttempt, entry.pending.attempt);
+    workload::save_file_info(w, entry.pending.file);
+  }
+
+  // The graveyard's contents are dead objects; only the pending tick (a
+  // live event in the checkpointed queue) needs to survive.
+  w.u64(kTagGcEvent, gc_event_);
+}
+
+void PreDownloaderPool::load(snapshot::SnapshotReader& r,
+                             const RebindFn& rebind) {
+  load_rng(r, kTagRng, rng_);
+  corruption_prob_ = r.f64(kTagCorruption);
+  next_slot_ = r.u64(kTagNextSlot);
+  started_ = r.u64(kTagStarted);
+  crashes_ = r.u64(kTagCrashes);
+  retries_ = r.u64(kTagRetries);
+  retries_exhausted_ = r.u64(kTagRetriesExhausted);
+  next_retry_ = r.u64(kTagNextRetryKey);
+
+  active_.clear();
+  queue_.clear();
+  retrying_.clear();
+  graveyard_.clear();
+
+  const std::uint64_t actives = r.u64(kTagActiveCount);
+  for (std::uint64_t i = 0; i < actives; ++i) {
+    const std::uint64_t slot = r.u64(kTagSlot);
+    const std::uint32_t attempt = r.u32(kTagAttempt);
+    workload::FileInfo file = workload::load_file_info(r);
+    auto task = proto::DownloadTask::restore(
+        sim_, net_, r, sources_,
+        [this, slot](const proto::DownloadResult& result) {
+          on_task_done(slot, result);
+        },
+        rng_);
+    active_.emplace(slot,
+                    Active{std::move(task), file, rebind(file), attempt});
+  }
+
+  const std::uint64_t queued = r.u64(kTagQueueCount);
+  for (std::uint64_t i = 0; i < queued; ++i) {
+    const std::uint32_t attempt = r.u32(kTagAttempt);
+    workload::FileInfo file = workload::load_file_info(r);
+    queue_.push_back(Pending{file, rebind(file), attempt});
+  }
+
+  const std::uint64_t retry_count = r.u64(kTagRetryCount);
+  for (std::uint64_t i = 0; i < retry_count; ++i) {
+    const std::uint64_t key = r.u64(kTagRetryKey);
+    const sim::EventId event = r.u64(kTagRetryEvent);
+    const std::uint32_t attempt = r.u32(kTagAttempt);
+    workload::FileInfo file = workload::load_file_info(r);
+    sim_.rearm(event, [this, key] { resume_retry(key); });
+    retrying_.emplace(key, Retry{Pending{file, rebind(file), attempt}, event});
+  }
+
+  gc_event_ = r.u64(kTagGcEvent);
+  if (gc_event_ != sim::kInvalidEvent) {
+    sim_.rearm(gc_event_, [this] { collect_garbage(); });
+  }
 }
 
 }  // namespace odr::cloud

@@ -13,13 +13,19 @@
 // CloudConfig::predownload_max_retries attempts. The same applies when the
 // task's own checksum-verify retries are exhausted. `done` fires exactly
 // once, on the terminal result.
+//
+// All deferred work (retry backoffs, the deferred-delete garbage tick) is
+// keyed state rather than captured closures, so the pool can checkpoint
+// and restore itself mid-flight; see save()/load().
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "cloud/config.h"
 #include "net/network.h"
@@ -29,11 +35,18 @@
 #include "util/rng.h"
 #include "workload/file.h"
 
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
 namespace odr::cloud {
 
 class PreDownloaderPool {
  public:
   using DoneFn = std::function<void(const proto::DownloadResult&)>;
+  // Recreates the owner's done-callback for a task found in a checkpoint.
+  using RebindFn = std::function<DoneFn(const workload::FileInfo&)>;
 
   PreDownloaderPool(sim::Simulator& sim, net::Network& net,
                     const CloudConfig& config,
@@ -45,7 +58,8 @@ class PreDownloaderPool {
   // --- fault-layer hooks ----------------------------------------------------
 
   // Crashes each active VM independently with probability `prob`; the
-  // affected tasks follow the retry/backoff path above.
+  // affected tasks follow the retry/backoff path above. Slots are visited
+  // in sorted order so the rng draw sequence is iteration-order free.
   std::size_t inject_crashes(double prob, Rng& rng);
 
   // MD5 corruption probability applied to tasks STARTED while set (the
@@ -55,10 +69,27 @@ class PreDownloaderPool {
 
   std::size_t active() const { return active_.size(); }
   std::size_t queued() const { return queue_.size(); }
+  std::size_t retrying() const { return retrying_.size(); }
   std::uint64_t started_count() const { return started_; }
   std::uint64_t crash_count() const { return crashes_; }
   std::uint64_t retry_count() const { return retries_; }
   std::uint64_t retries_exhausted() const { return retries_exhausted_; }
+
+  // Simulator events this pool currently owns (audit accounting): one per
+  // backoff in flight, one per active task with an armed source tick, plus
+  // the deferred-delete tick if armed.
+  std::size_t pending_event_count() const;
+  // Network flows owned by active tasks, sorted (audit accounting).
+  std::vector<net::FlowId> active_flow_ids() const;
+
+  // --- snapshot support -----------------------------------------------------
+  //
+  // save() serializes the rng, counters, every queued/retrying request and
+  // every active DownloadTask mid-flight. load() rebuilds them on a freshly
+  // constructed pool; `rebind` recreates the owner-side done callbacks
+  // (closures cannot be checkpointed).
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r, const RebindFn& rebind);
 
  private:
   struct Pending {
@@ -66,10 +97,17 @@ class PreDownloaderPool {
     DoneFn done;
     std::uint32_t attempt = 0;  // completed attempts so far
   };
+  struct Retry {
+    Pending pending;
+    sim::EventId event = sim::kInvalidEvent;
+  };
 
   void start_task(Pending pending);
   void on_task_done(std::uint64_t slot, const proto::DownloadResult& result);
   void start_next_queued();
+  void resume_retry(std::uint64_t key);
+  void bury(std::unique_ptr<proto::DownloadTask> corpse);
+  void collect_garbage();
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -85,6 +123,14 @@ class PreDownloaderPool {
   };
   std::unordered_map<std::uint64_t, Active> active_;
   std::deque<Pending> queue_;
+  // Backoff-pending retries keyed by a monotone counter; the key (not a
+  // closure) is what the simulator event carries, so it survives restore.
+  std::map<std::uint64_t, Retry> retrying_;
+  std::uint64_t next_retry_ = 1;
+  // Tasks finished inside their own callback wait here for a zero-delay
+  // tick to delete them (a task cannot delete itself mid-callback).
+  std::vector<std::unique_ptr<proto::DownloadTask>> graveyard_;
+  sim::EventId gc_event_ = sim::kInvalidEvent;
   std::uint64_t next_slot_ = 1;
   std::uint64_t started_ = 0;
   std::uint64_t crashes_ = 0;

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "snapshot/format.h"
+
 namespace odr::cloud {
+namespace {
+
+enum : std::uint16_t {
+  kTagHits = 1,
+  kTagMisses = 2,
+  kTagFaultEvictions = 3,
+  kTagEvictions = 4,
+  kTagCapacity = 5,
+  kTagEntryCount = 6,
+  kTagEntryKey = 7,
+  kTagEntryFile = 8,
+  kTagEntrySize = 9,
+};
+
+}  // namespace
 
 bool StoragePool::lookup(const Md5Digest& id) {
   if (cache_.get(id) != nullptr) {
@@ -36,6 +53,43 @@ std::size_t StoragePool::evict_fraction(double fraction) {
 double StoragePool::hit_ratio() const {
   const std::uint64_t total = hits_ + misses_;
   return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void StoragePool::save(snapshot::SnapshotWriter& w) const {
+  w.u64(kTagHits, hits_);
+  w.u64(kTagMisses, misses_);
+  w.u64(kTagFaultEvictions, fault_evictions_);
+  w.u64(kTagEvictions, cache_.eviction_count());
+  w.u64(kTagCapacity, cache_.capacity_bytes());
+  w.u64(kTagEntryCount, cache_.size());
+  cache_.for_each_mru_to_lru(
+      [&w](const Md5Digest& key, const CachedFile& file, std::uint64_t size) {
+        w.bytes(kTagEntryKey, key.bytes.data(), key.bytes.size());
+        w.u32(kTagEntryFile, file.file);
+        w.u64(kTagEntrySize, size);
+      });
+}
+
+void StoragePool::load(snapshot::SnapshotReader& r) {
+  hits_ = r.u64(kTagHits);
+  misses_ = r.u64(kTagMisses);
+  fault_evictions_ = r.u64(kTagFaultEvictions);
+  cache_.set_eviction_count(r.u64(kTagEvictions));
+  const std::uint64_t capacity = r.u64(kTagCapacity);
+  if (capacity != cache_.capacity_bytes()) {
+    throw snapshot::SnapshotError(
+        "storage pool: capacity mismatch between checkpoint and config");
+  }
+  cache_.clear();
+  const std::uint64_t count = r.u64(kTagEntryCount);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Md5Digest key;
+    r.bytes(kTagEntryKey, key.bytes.data(), key.bytes.size());
+    CachedFile file;
+    file.file = r.u32(kTagEntryFile);
+    file.size = r.u64(kTagEntrySize);
+    cache_.restore_push_back(key, file, file.size);
+  }
 }
 
 }  // namespace odr::cloud

@@ -14,6 +14,11 @@
 #include "util/units.h"
 #include "workload/file.h"
 
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
 namespace odr::cloud {
 
 struct CachedFile {
@@ -47,6 +52,12 @@ class StoragePool {
   Bytes capacity_bytes() const { return cache_.capacity_bytes(); }
   std::size_t file_count() const { return cache_.size(); }
   std::uint64_t evictions() const { return cache_.eviction_count(); }
+
+  // Snapshot support: serializes counters plus the full cache contents in
+  // MRU->LRU order, so restore reproduces the exact recency list (and
+  // therefore identical future evictions).
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r);
 
  private:
   LruCache<Md5Digest, CachedFile> cache_;

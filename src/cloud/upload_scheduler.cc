@@ -6,7 +6,26 @@
 #include <limits>
 #include <string>
 
+#include "snapshot/format.h"
+
 namespace odr::cloud {
+namespace {
+
+enum : std::uint16_t {
+  kTagRngBase = 1,  // ..6
+  kTagClusterLink = 10,
+  kTagClusterCapacity = 11,
+  kTagClusterReserved = 12,
+  kTagClusterHealthy = 13,
+  kTagAdmitted = 20,
+  kTagRejected = 21,
+  kTagPrivileged = 22,
+  kTagRejectedByClass = 23,
+  kTagShed = 24,
+  kTagOversubscribed = 25,
+};
+
+}  // namespace
 
 UploadScheduler::UploadScheduler(net::Network& net, const CloudConfig& config,
                                  Rng& rng)
@@ -178,6 +197,43 @@ void UploadScheduler::release(const FetchPlan& plan) {
   if (!plan.admitted) return;
   Cluster& c = cluster_for(plan.cluster);
   c.reserved = std::max(0.0, c.reserved - plan.rate);
+}
+
+void UploadScheduler::save(snapshot::SnapshotWriter& w) const {
+  save_rng(w, kTagRngBase, rng_);
+  for (const Cluster& c : clusters_) {
+    w.u32(kTagClusterLink, c.link);
+    w.f64(kTagClusterCapacity, c.capacity);
+    w.f64(kTagClusterReserved, c.reserved);
+    w.b(kTagClusterHealthy, c.healthy);
+  }
+  w.u64(kTagAdmitted, admitted_);
+  w.u64(kTagRejected, rejected_);
+  w.u64(kTagPrivileged, privileged_);
+  for (std::uint64_t n : rejected_by_class_) w.u64(kTagRejectedByClass, n);
+  w.u64(kTagShed, shed_);
+  w.u64(kTagOversubscribed, oversubscribed_);
+}
+
+void UploadScheduler::load(snapshot::SnapshotReader& r) {
+  load_rng(r, kTagRngBase, rng_);
+  for (Cluster& c : clusters_) {
+    const net::LinkId link = r.u32(kTagClusterLink);
+    if (link != c.link) {
+      throw snapshot::SnapshotError(
+          "upload scheduler: cluster link id mismatch — topology was not "
+          "rebuilt identically");
+    }
+    c.capacity = r.f64(kTagClusterCapacity);
+    c.reserved = r.f64(kTagClusterReserved);
+    c.healthy = r.b(kTagClusterHealthy);
+  }
+  admitted_ = r.u64(kTagAdmitted);
+  rejected_ = r.u64(kTagRejected);
+  privileged_ = r.u64(kTagPrivileged);
+  for (std::uint64_t& n : rejected_by_class_) n = r.u64(kTagRejectedByClass);
+  shed_ = r.u64(kTagShed);
+  oversubscribed_ = r.u64(kTagOversubscribed);
 }
 
 }  // namespace odr::cloud

@@ -32,6 +32,11 @@
 #include "util/rng.h"
 #include "workload/file.h"
 
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
 namespace odr::cloud {
 
 struct FetchPlan {
@@ -82,6 +87,12 @@ class UploadScheduler {
   // proper (out-of-ISP users) and the milder alternative-cluster spillover.
   Rate sample_barrier_rate();
   Rate sample_spillover_rate();
+
+  // Snapshot support: round-trips the rng, per-cluster reservations and
+  // health bits, and the admission counters. Cluster links/capacities come
+  // from deterministic reconstruction and are verified on load.
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r);
 
  private:
   struct Cluster {

@@ -3,8 +3,80 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
+
+#include "snapshot/format.h"
+#include "workload/snapshot.h"
 
 namespace odr::cloud {
+namespace {
+
+enum : std::uint16_t {
+  kTagRng = 1,  // ..6
+  kTagInflightCount = 10,
+  kTagInflightFile = 11,
+  kTagWaiterCount = 12,
+  kTagWaiterEnqueuedAt = 13,
+  kTagFetchCount = 20,
+  kTagFetchFlow = 21,
+  kTagFetchSize = 22,
+  kTagFetchOverhead = 23,
+  kTagOutcomeTaskId = 30,
+  kTagOutcomeFetched = 31,
+  kTagOutcomePopularity = 32,
+  kTagOutcomeClass = 33,
+  kTagOutcomePrivileged = 34,
+  kTagPlanAdmitted = 50,
+  kTagPlanCluster = 51,
+  kTagPlanPrivileged = 52,
+  kTagPlanRate = 53,
+  kTagPlanLink = 54,
+  kTagPlanOversubscribed = 55,
+};
+
+void save_outcome(snapshot::SnapshotWriter& w, const TaskOutcome& o) {
+  w.u64(kTagOutcomeTaskId, o.task_id);
+  workload::save_predownload_record(w, o.pre);
+  workload::save_fetch_record(w, o.fetch);
+  w.b(kTagOutcomeFetched, o.fetched);
+  w.f64(kTagOutcomePopularity, o.weekly_popularity);
+  w.u8(kTagOutcomeClass, static_cast<std::uint8_t>(o.popularity));
+  w.b(kTagOutcomePrivileged, o.privileged_path);
+}
+
+TaskOutcome load_outcome(snapshot::SnapshotReader& r) {
+  TaskOutcome o;
+  o.task_id = r.u64(kTagOutcomeTaskId);
+  o.pre = workload::load_predownload_record(r);
+  o.fetch = workload::load_fetch_record(r);
+  o.fetched = r.b(kTagOutcomeFetched);
+  o.weekly_popularity = r.f64(kTagOutcomePopularity);
+  o.popularity = static_cast<workload::PopularityClass>(r.u8(kTagOutcomeClass));
+  o.privileged_path = r.b(kTagOutcomePrivileged);
+  return o;
+}
+
+void save_plan(snapshot::SnapshotWriter& w, const FetchPlan& p) {
+  w.b(kTagPlanAdmitted, p.admitted);
+  w.u8(kTagPlanCluster, static_cast<std::uint8_t>(p.cluster));
+  w.b(kTagPlanPrivileged, p.privileged);
+  w.f64(kTagPlanRate, p.rate);
+  w.u32(kTagPlanLink, p.cluster_link);
+  w.b(kTagPlanOversubscribed, p.oversubscribed);
+}
+
+FetchPlan load_plan(snapshot::SnapshotReader& r) {
+  FetchPlan p;
+  p.admitted = r.b(kTagPlanAdmitted);
+  p.cluster = static_cast<net::Isp>(r.u8(kTagPlanCluster));
+  p.privileged = r.b(kTagPlanPrivileged);
+  p.rate = r.f64(kTagPlanRate);
+  p.cluster_link = r.u32(kTagPlanLink);
+  p.oversubscribed = r.b(kTagPlanOversubscribed);
+  return p;
+}
+
+}  // namespace
 
 XuanfengCloud::XuanfengCloud(sim::Simulator& sim, net::Network& net,
                              const workload::Catalog& catalog,
@@ -36,6 +108,13 @@ workload::PreDownloadRecord XuanfengCloud::make_cache_hit_record(
   return pre;
 }
 
+PreDownloaderPool::DoneFn XuanfengCloud::predownload_callback(
+    workload::FileIndex file) {
+  return [this, file](const proto::DownloadResult& result) {
+    on_predownload_done(file, result);
+  };
+}
+
 void XuanfengCloud::submit(const workload::WorkloadRecord& request,
                            const workload::User& user, OutcomeFn on_done) {
   content_db_.record_request(request.file, sim_.now());
@@ -57,11 +136,7 @@ void XuanfengCloud::submit(const workload::WorkloadRecord& request,
   it->second.push_back(std::move(w));
   if (!first) return;  // an identical file is already being pre-downloaded
 
-  predownloaders_.submit(file,
-                         [this, index = request.file](
-                             const proto::DownloadResult& result) {
-                           on_predownload_done(index, result);
-                         });
+  predownloaders_.submit(file, predownload_callback(request.file));
 }
 
 void XuanfengCloud::predownload_only(const workload::WorkloadRecord& request,
@@ -83,11 +158,7 @@ void XuanfengCloud::predownload_only(const workload::WorkloadRecord& request,
   it->second.push_back(std::move(w));
   if (!first) return;
 
-  predownloaders_.submit(file,
-                         [this, index = request.file](
-                             const proto::DownloadResult& result) {
-                           on_predownload_done(index, result);
-                         });
+  predownloaders_.submit(file, predownload_callback(request.file));
 }
 
 void XuanfengCloud::fetch_only(const workload::WorkloadRecord& request,
@@ -191,21 +262,122 @@ void XuanfengCloud::begin_fetch(const workload::WorkloadRecord& request,
   spec.path = {plan.cluster_link};
   spec.bytes = size;
   spec.rate_cap = plan.rate;
-  // The callback owns everything needed to finalize the record.
-  spec.on_complete = [this, outcome, plan, size, overhead,
-                      on_done = std::move(on_done)](net::FlowId) mutable {
-    uploads_.release(plan);
-    outcome.fetch.finish_time = sim_.now();
-    outcome.fetch.acquired_bytes = size;
-    outcome.fetch.traffic_bytes = static_cast<Bytes>(
-        std::llround(static_cast<double>(size) * overhead));
-    outcome.fetch.average_rate = average_rate(
-        size, outcome.fetch.finish_time - outcome.fetch.start_time);
-    outcome.fetch.peak_rate = plan.rate;
-    outcome.fetched = true;
-    if (on_done) on_done(outcome);
-  };
-  net_.start_flow(std::move(spec));
+  spec.on_complete = [this](net::FlowId id) { on_fetch_complete(id); };
+  const net::FlowId flow = net_.start_flow(std::move(spec));
+  fetches_.emplace(flow, ActiveFetch{std::move(outcome), plan, size, overhead,
+                                     std::move(on_done)});
+}
+
+void XuanfengCloud::on_fetch_complete(net::FlowId id) {
+  auto it = fetches_.find(id);
+  assert(it != fetches_.end());
+  ActiveFetch fetch = std::move(it->second);
+  fetches_.erase(it);
+
+  uploads_.release(fetch.plan);
+  TaskOutcome& outcome = fetch.outcome;
+  outcome.fetch.finish_time = sim_.now();
+  outcome.fetch.acquired_bytes = fetch.size;
+  outcome.fetch.traffic_bytes = static_cast<Bytes>(std::llround(
+      static_cast<double>(fetch.size) * fetch.overhead));
+  outcome.fetch.average_rate = average_rate(
+      fetch.size, outcome.fetch.finish_time - outcome.fetch.start_time);
+  outcome.fetch.peak_rate = fetch.plan.rate;
+  outcome.fetched = true;
+  if (fetch.on_done) fetch.on_done(outcome);
+}
+
+std::vector<net::FlowId> XuanfengCloud::fetch_flow_ids() const {
+  std::vector<net::FlowId> flows;
+  flows.reserve(fetches_.size());
+  for (const auto& [flow, fetch] : fetches_) flows.push_back(flow);
+  std::sort(flows.begin(), flows.end());
+  return flows;
+}
+
+void XuanfengCloud::save(snapshot::SnapshotWriter& w) const {
+  save_rng(w, kTagRng, rng_);
+  content_db_.save(w);
+  storage_.save(w);
+  uploads_.save(w);
+  predownloaders_.save(w);
+
+  std::vector<workload::FileIndex> files;
+  files.reserve(inflight_.size());
+  for (const auto& [file, waiters] : inflight_) files.push_back(file);
+  std::sort(files.begin(), files.end());
+  w.u64(kTagInflightCount, files.size());
+  for (workload::FileIndex file : files) {
+    const std::vector<Waiter>& waiters = inflight_.at(file);
+    w.u32(kTagInflightFile, file);
+    w.u64(kTagWaiterCount, waiters.size());
+    for (const Waiter& waiter : waiters) {
+      if (waiter.pre_only) {
+        throw snapshot::SnapshotError(
+            "cloud: predownload_only waiter pending — its caller closure "
+            "cannot be checkpointed");
+      }
+      workload::save_workload_record(w, waiter.request);
+      workload::save_user(w, waiter.user);
+      w.i64(kTagWaiterEnqueuedAt, waiter.enqueued_at);
+    }
+  }
+
+  std::vector<net::FlowId> flows;
+  flows.reserve(fetches_.size());
+  for (const auto& [flow, fetch] : fetches_) flows.push_back(flow);
+  std::sort(flows.begin(), flows.end());
+  w.u64(kTagFetchCount, flows.size());
+  for (net::FlowId flow : flows) {
+    const ActiveFetch& fetch = fetches_.at(flow);
+    w.u64(kTagFetchFlow, flow);
+    save_outcome(w, fetch.outcome);
+    save_plan(w, fetch.plan);
+    w.u64(kTagFetchSize, fetch.size);
+    w.f64(kTagFetchOverhead, fetch.overhead);
+  }
+}
+
+void XuanfengCloud::load(snapshot::SnapshotReader& r, OutcomeFn sink) {
+  load_rng(r, kTagRng, rng_);
+  content_db_.load(r);
+  storage_.load(r);
+  uploads_.load(r);
+  predownloaders_.load(r, [this](const workload::FileInfo& file) {
+    return predownload_callback(file.index);
+  });
+
+  inflight_.clear();
+  const std::uint64_t files = r.u64(kTagInflightCount);
+  for (std::uint64_t i = 0; i < files; ++i) {
+    const workload::FileIndex file = r.u32(kTagInflightFile);
+    std::vector<Waiter>& waiters = inflight_[file];
+    const std::uint64_t count = r.u64(kTagWaiterCount);
+    waiters.reserve(count);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      Waiter waiter;
+      waiter.request = workload::load_workload_record(r);
+      waiter.user = workload::load_user(r);
+      waiter.enqueued_at = r.i64(kTagWaiterEnqueuedAt);
+      waiter.on_done = sink;
+      waiters.push_back(std::move(waiter));
+    }
+  }
+
+  fetches_.clear();
+  const std::uint64_t fetch_count = r.u64(kTagFetchCount);
+  for (std::uint64_t i = 0; i < fetch_count; ++i) {
+    const net::FlowId flow = r.u64(kTagFetchFlow);
+    ActiveFetch fetch;
+    fetch.outcome = load_outcome(r);
+    fetch.plan = load_plan(r);
+    fetch.size = r.u64(kTagFetchSize);
+    fetch.overhead = r.f64(kTagFetchOverhead);
+    fetch.on_done = sink;
+    net_.reattach_on_complete(flow,
+                              [this](net::FlowId id) { on_fetch_complete(id); });
+    fetches_.emplace(flow, std::move(fetch));
+  }
 }
 
 }  // namespace odr::cloud

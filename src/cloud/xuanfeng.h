@@ -11,6 +11,10 @@
 //      privileged same-ISP upload server when possible, degraded cross-ISP
 //      path otherwise, or rejection when every cluster is exhausted;
 //   5. report a TaskOutcome with the pre-download and fetch trace records.
+//
+// Active user fetches are tracked in a flow-id-keyed table (not captured
+// closures), so the whole cloud — in-flight pre-downloads, waiter queues,
+// and running fetches — can checkpoint and restore mid-flight.
 #pragma once
 
 #include <functional>
@@ -29,6 +33,11 @@
 #include "workload/catalog.h"
 #include "workload/trace.h"
 #include "workload/user_model.h"
+
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
 
 namespace odr::cloud {
 
@@ -86,8 +95,28 @@ class XuanfengCloud {
   UploadScheduler& uploads() { return uploads_; }
   const UploadScheduler& uploads() const { return uploads_; }
   PreDownloaderPool& predownloaders() { return predownloaders_; }
+  const PreDownloaderPool& predownloaders() const { return predownloaders_; }
 
   const CloudConfig& config() const { return config_; }
+
+  // User fetch flows currently in flight (audit accounting).
+  std::size_t active_fetch_count() const { return fetches_.size(); }
+  std::vector<net::FlowId> fetch_flow_ids() const;
+  // Distinct files with an in-flight pre-download and attached waiters.
+  std::size_t inflight_predownload_count() const { return inflight_.size(); }
+
+  // --- snapshot support -----------------------------------------------------
+  //
+  // save() serializes the cloud's full mutable state: rng, content db,
+  // storage pool, upload clusters, the VM pool with every mid-flight
+  // DownloadTask, the waiter queues, and the active user fetches. load()
+  // rebuilds it on a freshly constructed cloud; every restored callback is
+  // rebound to `sink` (per-task closures cannot be checkpointed — the
+  // driving harness owns one uniform outcome sink instead).
+  // predownload_only waiters hold caller closures with no rebindable
+  // identity; save() refuses (SnapshotError) if any are pending.
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r, OutcomeFn sink);
 
  private:
   struct Waiter {
@@ -97,14 +126,25 @@ class XuanfengCloud {
     PreDownloadFn pre_only;  // set for predownload_only waiters
     SimTime enqueued_at = 0;
   };
+  // A user fetch in flight: everything the completion handler needs to
+  // finalize the record, keyed by the flow id.
+  struct ActiveFetch {
+    TaskOutcome outcome;
+    FetchPlan plan;
+    Bytes size = 0;
+    double overhead = 1.0;
+    OutcomeFn on_done;
+  };
 
   void on_predownload_done(workload::FileIndex file,
                            const proto::DownloadResult& result);
   void begin_fetch(const workload::WorkloadRecord& request,
                    const workload::User& user,
                    workload::PreDownloadRecord pre, OutcomeFn on_done);
+  void on_fetch_complete(net::FlowId id);
   workload::PreDownloadRecord make_cache_hit_record(
       const workload::WorkloadRecord& request) const;
+  PreDownloaderPool::DoneFn predownload_callback(workload::FileIndex file);
 
   sim::Simulator& sim_;
   net::Network& net_;
@@ -119,6 +159,7 @@ class XuanfengCloud {
 
   // In-flight pre-downloads by file: all waiters share one download.
   std::unordered_map<workload::FileIndex, std::vector<Waiter>> inflight_;
+  std::unordered_map<net::FlowId, ActiveFetch> fetches_;
 };
 
 }  // namespace odr::cloud

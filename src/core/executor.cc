@@ -66,6 +66,10 @@ void Executor::record_breaker_outcome(const ExecOutcome& outcome) {
     breaker->record_success();
   } else if (is_substrate_failure(outcome.cause)) {
     breaker->record_failure();
+  } else {
+    // Source-model failure: no verdict on the substrate, but the request
+    // is over — free its half-open probe slot if it held one.
+    breaker->release_probe();
   }
 }
 

@@ -1,8 +1,37 @@
 #include "fault/injector.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "snapshot/format.h"
+
 namespace odr::fault {
+namespace {
+
+enum : std::uint16_t {
+  kTagRng = 1,  // ..6
+  kTagTickPeriod = 10,
+  kTagSavedCapCount = 11,
+  kTagSavedCapLink = 12,
+  kTagSavedCapRate = 13,
+  kTagStatsFired = 14,
+  kTagStatsRecovered = 15,
+  kTagPlanSpecCount = 20,
+  kTagSpecKind = 21,
+  kTagSpecStart = 22,
+  kTagSpecDuration = 23,
+  kTagSpecRate = 24,
+  kTagSpecSeverity = 25,
+  kTagSpecIsp = 26,
+  kTagSpecFlapPeriod = 27,
+  kTagPendingCount = 30,
+  kTagPendingIndex = 31,
+  kTagPendingPhase = 32,
+  kTagPendingDegraded = 33,
+  kTagPendingEvent = 34,
+};
+
+}  // namespace
 
 FaultInjector::FaultInjector(sim::Simulator& sim, Rng& rng)
     : sim_(sim), rng_(rng.fork()) {}
@@ -16,7 +45,10 @@ void FaultInjector::attach_cloud(cloud::XuanfengCloud& cloud,
 }
 
 void FaultInjector::load(const FaultPlan& plan) {
-  for (const FaultSpec& spec : plan.faults) schedule(spec);
+  plan_ = plan;
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    arm_at(i, kPhaseActivate, plan_.faults[i].start);
+  }
 }
 
 std::uint64_t FaultInjector::total_fired() const {
@@ -25,16 +57,48 @@ std::uint64_t FaultInjector::total_fired() const {
   return total;
 }
 
-void FaultInjector::schedule(const FaultSpec& spec) {
-  sim_.schedule_at(spec.start, [this, spec] { activate(spec); });
+void FaultInjector::arm_at(std::size_t index, Phase phase, SimTime at) {
+  const sim::EventId event =
+      sim_.schedule_at(at, [this, index, phase] { fire(index, phase); });
+  pending_[{index, static_cast<std::uint8_t>(phase)}] = PendingEvent{event};
 }
 
-void FaultInjector::activate(const FaultSpec& spec) {
+void FaultInjector::arm_after(std::size_t index, Phase phase, SimTime delay,
+                              bool degraded) {
+  const sim::EventId event =
+      sim_.schedule_after(delay, [this, index, phase] { fire(index, phase); });
+  pending_[{index, static_cast<std::uint8_t>(phase)}] =
+      PendingEvent{event, degraded};
+}
+
+void FaultInjector::fire(std::size_t index, Phase phase) {
+  auto it = pending_.find({index, static_cast<std::uint8_t>(phase)});
+  assert(it != pending_.end());
+  const bool degraded = it->second.degraded;
+  pending_.erase(it);
+  const FaultSpec& spec = plan_.faults[index];
+  switch (phase) {
+    case kPhaseActivate:
+      activate(index, spec);
+      break;
+    case kPhaseRecover:
+      recover(spec);
+      break;
+    case kPhaseCrashTick:
+      crash_tick(index, spec);
+      break;
+    case kPhaseFlap:
+      flap_toggle(index, spec, degraded);
+      break;
+  }
+}
+
+void FaultInjector::activate(std::size_t index, const FaultSpec& spec) {
   switch (spec.kind) {
     case FaultKind::kVmCrash:
     case FaultKind::kApCrash:
       // Sampled over the window; the first tick lands one period in.
-      sim_.schedule_after(tick_period_, [this, spec] { crash_tick(spec); });
+      arm_after(index, kPhaseCrashTick, tick_period_);
       return;
 
     case FaultKind::kUploadClusterOutage: {
@@ -46,7 +110,7 @@ void FaultInjector::activate(const FaultSpec& spec) {
         net_->set_link_capacity(link, 0.0);  // in-flight fetches stall
       }
       ++mutable_stats(spec.kind).fired;
-      sim_.schedule_after(spec.duration, [this, spec] { recover(spec); });
+      arm_after(index, kPhaseRecover, spec.duration);
       return;
     }
 
@@ -55,8 +119,8 @@ void FaultInjector::activate(const FaultSpec& spec) {
       const net::LinkId link = uploads_->cluster_link(spec.isp);
       saved_capacity_.emplace(link, net_->link_capacity(link));
       ++mutable_stats(spec.kind).fired;
-      flap_toggle(spec, /*degraded=*/true);
-      sim_.schedule_after(spec.duration, [this, spec] { recover(spec); });
+      flap_toggle(index, spec, /*degraded=*/true);
+      arm_after(index, kPhaseRecover, spec.duration);
       return;
     }
 
@@ -72,7 +136,7 @@ void FaultInjector::activate(const FaultSpec& spec) {
       if (pool_ == nullptr) return;
       pool_->set_corruption_prob(spec.rate);
       ++mutable_stats(spec.kind).fired;
-      sim_.schedule_after(spec.duration, [this, spec] { recover(spec); });
+      arm_after(index, kPhaseRecover, spec.duration);
       return;
   }
 }
@@ -118,7 +182,7 @@ void FaultInjector::recover(const FaultSpec& spec) {
   ++mutable_stats(spec.kind).recovered;
 }
 
-void FaultInjector::crash_tick(const FaultSpec& spec) {
+void FaultInjector::crash_tick(std::size_t index, const FaultSpec& spec) {
   const SimTime window_end = spec.start + spec.duration;
   if (sim_.now() > window_end) {
     ++mutable_stats(spec.kind).recovered;
@@ -140,10 +204,11 @@ void FaultInjector::crash_tick(const FaultSpec& spec) {
       }
     }
   }
-  sim_.schedule_after(tick_period_, [this, spec] { crash_tick(spec); });
+  arm_after(index, kPhaseCrashTick, tick_period_);
 }
 
-void FaultInjector::flap_toggle(const FaultSpec& spec, bool degraded) {
+void FaultInjector::flap_toggle(std::size_t index, const FaultSpec& spec,
+                                bool degraded) {
   const SimTime window_end = spec.start + spec.duration;
   if (sim_.now() >= window_end) return;  // recover() restores capacity
   const net::LinkId link = uploads_->cluster_link(spec.isp);
@@ -152,9 +217,105 @@ void FaultInjector::flap_toggle(const FaultSpec& spec, bool degraded) {
   const Rate full = it->second;
   net_->set_link_capacity(link, degraded ? full * spec.severity : full);
   if (spec.flap_period > 0) {
-    sim_.schedule_after(spec.flap_period, [this, spec, degraded] {
-      flap_toggle(spec, !degraded);
-    });
+    arm_after(index, kPhaseFlap, spec.flap_period, !degraded);
+  }
+}
+
+void FaultInjector::save_snapshot(snapshot::SnapshotWriter& w) const {
+  save_rng(w, kTagRng, rng_);
+  w.i64(kTagTickPeriod, tick_period_);
+
+  std::vector<net::LinkId> links;
+  links.reserve(saved_capacity_.size());
+  for (const auto& [link, rate] : saved_capacity_) links.push_back(link);
+  std::sort(links.begin(), links.end());
+  w.u64(kTagSavedCapCount, links.size());
+  for (net::LinkId link : links) {
+    w.u32(kTagSavedCapLink, link);
+    w.f64(kTagSavedCapRate, saved_capacity_.at(link));
+  }
+
+  for (const KindStats& s : stats_) {
+    w.u64(kTagStatsFired, s.fired);
+    w.u64(kTagStatsRecovered, s.recovered);
+  }
+
+  // The plan itself, so a restore against a different plan fails loudly
+  // rather than firing the wrong faults.
+  w.u64(kTagPlanSpecCount, plan_.faults.size());
+  for (const FaultSpec& spec : plan_.faults) {
+    w.u8(kTagSpecKind, static_cast<std::uint8_t>(spec.kind));
+    w.i64(kTagSpecStart, spec.start);
+    w.i64(kTagSpecDuration, spec.duration);
+    w.f64(kTagSpecRate, spec.rate);
+    w.f64(kTagSpecSeverity, spec.severity);
+    w.u8(kTagSpecIsp, static_cast<std::uint8_t>(spec.isp));
+    w.i64(kTagSpecFlapPeriod, spec.flap_period);
+  }
+
+  w.u64(kTagPendingCount, pending_.size());
+  for (const auto& [key, entry] : pending_) {
+    w.u64(kTagPendingIndex, key.first);
+    w.u8(kTagPendingPhase, key.second);
+    w.b(kTagPendingDegraded, entry.degraded);
+    w.u64(kTagPendingEvent, entry.event);
+  }
+}
+
+void FaultInjector::load_snapshot(snapshot::SnapshotReader& r) {
+  load_rng(r, kTagRng, rng_);
+  tick_period_ = r.i64(kTagTickPeriod);
+
+  saved_capacity_.clear();
+  const std::uint64_t caps = r.u64(kTagSavedCapCount);
+  for (std::uint64_t i = 0; i < caps; ++i) {
+    const net::LinkId link = r.u32(kTagSavedCapLink);
+    saved_capacity_.emplace(link, r.f64(kTagSavedCapRate));
+  }
+
+  for (KindStats& s : stats_) {
+    s.fired = r.u64(kTagStatsFired);
+    s.recovered = r.u64(kTagStatsRecovered);
+  }
+
+  const std::uint64_t specs = r.u64(kTagPlanSpecCount);
+  if (specs != plan_.faults.size()) {
+    throw snapshot::SnapshotError(
+        "fault injector: checkpoint plan has a different fault count than "
+        "the loaded plan");
+  }
+  for (const FaultSpec& spec : plan_.faults) {
+    const auto kind = static_cast<FaultKind>(r.u8(kTagSpecKind));
+    const SimTime start = r.i64(kTagSpecStart);
+    const SimTime duration = r.i64(kTagSpecDuration);
+    const double rate = r.f64(kTagSpecRate);
+    const double severity = r.f64(kTagSpecSeverity);
+    const auto isp = static_cast<net::Isp>(r.u8(kTagSpecIsp));
+    const SimTime flap_period = r.i64(kTagSpecFlapPeriod);
+    if (kind != spec.kind || start != spec.start ||
+        duration != spec.duration || rate != spec.rate ||
+        severity != spec.severity || isp != spec.isp ||
+        flap_period != spec.flap_period) {
+      throw snapshot::SnapshotError(
+          "fault injector: checkpoint was taken under a different fault "
+          "plan — refusing to resume");
+    }
+  }
+
+  pending_.clear();
+  const std::uint64_t count = r.u64(kTagPendingCount);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t index = r.u64(kTagPendingIndex);
+    const std::uint8_t phase_raw = r.u8(kTagPendingPhase);
+    const bool degraded = r.b(kTagPendingDegraded);
+    const sim::EventId event = r.u64(kTagPendingEvent);
+    if (index >= plan_.faults.size() || phase_raw > kPhaseFlap) {
+      throw snapshot::SnapshotError(
+          "fault injector: pending event references an unknown spec/phase");
+    }
+    const auto phase = static_cast<Phase>(phase_raw);
+    sim_.rearm(event, [this, index, phase] { fire(index, phase); });
+    pending_[{index, phase_raw}] = PendingEvent{event, degraded};
   }
 }
 

@@ -12,11 +12,17 @@
 // inside the window, each active task / AP crashes independently with
 // probability rate * tick_hours. The injector forks its own Rng stream so
 // these draws never perturb the workload's streams.
+//
+// Every pending fault event is tracked as (spec index, phase) — not a
+// captured closure — so an active plan survives checkpoint/restore
+// mid-window; see save_snapshot()/load_snapshot().
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ap/smart_ap.h"
@@ -25,6 +31,11 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
+
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
 
 namespace odr::fault {
 
@@ -61,12 +72,39 @@ class FaultInjector {
   SimTime tick_period() const { return tick_period_; }
   void set_tick_period(SimTime period) { tick_period_ = period; }
 
+  // Fault events currently armed in the simulator (audit accounting).
+  std::size_t pending_event_count() const { return pending_.size(); }
+
+  // --- snapshot support -----------------------------------------------------
+  //
+  // save_snapshot() serializes the rng, stats, saved link capacities, and
+  // every pending fault event as (spec index, phase). load_snapshot()
+  // requires that the restoring process already called load() with the
+  // SAME plan (verified field by field), discards the freshly scheduled
+  // activations, and re-arms exactly the checkpointed events.
+  void save_snapshot(snapshot::SnapshotWriter& w) const;
+  void load_snapshot(snapshot::SnapshotReader& r);
+
  private:
-  void schedule(const FaultSpec& spec);
-  void activate(const FaultSpec& spec);
+  enum Phase : std::uint8_t {
+    kPhaseActivate = 0,
+    kPhaseRecover = 1,
+    kPhaseCrashTick = 2,
+    kPhaseFlap = 3,
+  };
+  struct PendingEvent {
+    sim::EventId event = sim::kInvalidEvent;
+    bool degraded = false;  // next flap_toggle argument (kPhaseFlap only)
+  };
+
+  void arm_at(std::size_t index, Phase phase, SimTime at);
+  void arm_after(std::size_t index, Phase phase, SimTime delay,
+                 bool degraded = false);
+  void fire(std::size_t index, Phase phase);
+  void activate(std::size_t index, const FaultSpec& spec);
   void recover(const FaultSpec& spec);
-  void crash_tick(const FaultSpec& spec);
-  void flap_toggle(const FaultSpec& spec, bool degraded);
+  void crash_tick(std::size_t index, const FaultSpec& spec);
+  void flap_toggle(std::size_t index, const FaultSpec& spec, bool degraded);
 
   KindStats& mutable_stats(FaultKind kind) {
     return stats_[static_cast<std::size_t>(kind)];
@@ -81,6 +119,11 @@ class FaultInjector {
   cloud::StoragePool* storage_ = nullptr;
   net::Network* net_ = nullptr;
   std::vector<ap::SmartAp*> aps_;
+
+  FaultPlan plan_;
+  // Armed fault events keyed by (spec index, phase); a spec has at most
+  // one pending event per phase, so the key is unique.
+  std::map<std::pair<std::size_t, std::uint8_t>, PendingEvent> pending_;
 
   // Pre-fault capacities of links we zeroed or degraded, for recovery.
   std::unordered_map<net::LinkId, Rate> saved_capacity_;

@@ -5,12 +5,35 @@
 #include <cmath>
 #include <deque>
 
+#include "snapshot/format.h"
+
 namespace odr::net {
 
 namespace {
 // Rates below this (bytes/sec) are treated as zero: the flow is stalled and
 // no completion event is scheduled for it.
 constexpr Rate kMinRate = 1e-6;
+
+// Field tags for the network snapshot section.
+enum : std::uint16_t {
+  kTagModel = 1,
+  kTagLinkCount = 2,
+  kTagLinkCapacity = 3,
+  kTagNextFlowId = 4,
+  kTagFlowCount = 5,
+  kTagFlowId = 6,
+  kTagFlowPathLen = 7,
+  kTagFlowPathLink = 8,
+  kTagFlowBytesTotal = 9,
+  kTagFlowBytesDone = 10,
+  kTagFlowRate = 11,
+  kTagFlowRateCap = 12,
+  kTagFlowPeakRate = 13,
+  kTagFlowStartedAt = 14,
+  kTagFlowLastSettled = 15,
+  kTagFlowCompletionEvent = 16,
+  kTagFlowHasCallback = 17,
+};
 }  // namespace
 
 NodeId Network::add_node(std::string name, Isp isp) {
@@ -323,6 +346,125 @@ void Network::detach_from_links(FlowId id, const FlowState& f) {
     auto& v = links_[l].flows;
     v.erase(std::remove(v.begin(), v.end(), id), v.end());
   }
+}
+
+void Network::save(snapshot::SnapshotWriter& w) const {
+  w.u8(kTagModel, static_cast<std::uint8_t>(model_));
+  w.u64(kTagLinkCount, links_.size());
+  for (const LinkState& l : links_) w.f64(kTagLinkCapacity, l.capacity);
+  w.u64(kTagNextFlowId, next_flow_id_);
+
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  w.u64(kTagFlowCount, ids.size());
+  for (FlowId id : ids) {
+    const FlowState& f = flows_.at(id);
+    w.u64(kTagFlowId, id);
+    w.u64(kTagFlowPathLen, f.path.size());
+    for (LinkId l : f.path) w.u32(kTagFlowPathLink, l);
+    w.u64(kTagFlowBytesTotal, f.bytes_total);
+    w.f64(kTagFlowBytesDone, f.bytes_done);
+    w.f64(kTagFlowRate, f.rate);
+    w.f64(kTagFlowRateCap, f.rate_cap);
+    w.f64(kTagFlowPeakRate, f.peak_rate);
+    w.i64(kTagFlowStartedAt, f.started_at);
+    w.i64(kTagFlowLastSettled, f.last_settled);
+    w.u64(kTagFlowCompletionEvent, f.completion_event);
+    w.b(kTagFlowHasCallback, static_cast<bool>(f.on_complete));
+  }
+}
+
+void Network::load(snapshot::SnapshotReader& r) {
+  const auto model = static_cast<AllocationModel>(r.u8(kTagModel));
+  if (model != model_) {
+    throw snapshot::SnapshotError(
+        "network: allocation model mismatch between checkpoint and build");
+  }
+  const std::uint64_t link_count = r.u64(kTagLinkCount);
+  if (link_count != links_.size()) {
+    throw snapshot::SnapshotError(
+        "network: checkpoint has " + std::to_string(link_count) +
+        " links but the rebuilt topology has " + std::to_string(links_.size()));
+  }
+  for (LinkState& l : links_) {
+    l.capacity = r.f64(kTagLinkCapacity);
+    l.flows.clear();
+  }
+  next_flow_id_ = r.u64(kTagNextFlowId);
+
+  flows_.clear();
+  awaiting_callback_.clear();
+  const std::uint64_t flow_count = r.u64(kTagFlowCount);
+  for (std::uint64_t i = 0; i < flow_count; ++i) {
+    const FlowId id = r.u64(kTagFlowId);
+    FlowState f;
+    const std::uint64_t path_len = r.u64(kTagFlowPathLen);
+    f.path.reserve(path_len);
+    for (std::uint64_t p = 0; p < path_len; ++p) {
+      const LinkId l = r.u32(kTagFlowPathLink);
+      if (l >= links_.size()) {
+        throw snapshot::SnapshotError("network: flow path references link " +
+                                      std::to_string(l) + " out of range");
+      }
+      f.path.push_back(l);
+    }
+    f.bytes_total = r.u64(kTagFlowBytesTotal);
+    f.bytes_done = r.f64(kTagFlowBytesDone);
+    f.rate = r.f64(kTagFlowRate);
+    f.rate_cap = r.f64(kTagFlowRateCap);
+    f.peak_rate = r.f64(kTagFlowPeakRate);
+    f.started_at = r.i64(kTagFlowStartedAt);
+    f.last_settled = r.i64(kTagFlowLastSettled);
+    const sim::EventId completion = r.u64(kTagFlowCompletionEvent);
+    const bool has_callback = r.b(kTagFlowHasCallback);
+    // Flows are saved in ascending id order and link membership lists are
+    // append-only over monotone ids, so pushing back here reproduces the
+    // original vectors exactly.
+    for (LinkId l : f.path) links_[l].flows.push_back(id);
+    if (completion != sim::kInvalidEvent) {
+      sim_.rearm(completion, [this, id] { complete_flow(id); });
+      f.completion_event = completion;
+    }
+    if (has_callback) awaiting_callback_.insert(id);
+    flows_.emplace(id, std::move(f));
+  }
+}
+
+void Network::reattach_on_complete(FlowId id, FlowCallback cb) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    throw snapshot::SnapshotError(
+        "network: reattach_on_complete for unknown flow " + std::to_string(id));
+  }
+  it->second.on_complete = std::move(cb);
+  awaiting_callback_.erase(id);
+}
+
+std::vector<Network::FlowView> Network::flow_views() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  std::vector<FlowView> views;
+  views.reserve(ids.size());
+  for (FlowId id : ids) {
+    const FlowState& f = flows_.at(id);
+    views.push_back(FlowView{id, &f.path, f.bytes_total, f.bytes_done, f.rate,
+                             f.last_settled,
+                             f.completion_event != sim::kInvalidEvent,
+                             static_cast<bool>(f.on_complete)});
+  }
+  return views;
+}
+
+std::size_t Network::pending_completion_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, f] : flows_) {
+    if (f.completion_event != sim::kInvalidEvent) ++n;
+  }
+  return n;
 }
 
 }  // namespace odr::net

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +26,11 @@
 #include "net/isp.h"
 #include "sim/simulator.h"
 #include "util/units.h"
+
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
 
 namespace odr::net {
 
@@ -111,6 +117,42 @@ class Network {
   // (all other rates are provably unchanged).
   void reallocate_component(const std::vector<LinkId>& seed_links);
 
+  // --- snapshot support ---------------------------------------------------
+  //
+  // save() emits link capacities (faults mutate them) and per-flow state
+  // including exact fractional progress and the pending completion event
+  // id. load() expects an identically-built topology (same add_link calls),
+  // rebuilds the flow table, and rearms completion events internally; flow
+  // completion *callbacks* are closures owned by other components, so each
+  // flow records whether it had one and the owner must re-attach it via
+  // reattach_on_complete() before the simulation resumes. Rates are NOT
+  // recomputed on load — they are restored exactly, so completion events
+  // keep their original times and ids.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r);
+  void reattach_on_complete(FlowId id, FlowCallback cb);
+  // Flows restored with a recorded callback that nobody has re-attached
+  // yet; must be zero before resuming (audited).
+  std::size_t flows_awaiting_callback() const { return awaiting_callback_.size(); }
+
+  // Read-only view for the invariant auditor. Deliberately does NOT settle
+  // flows: settling at audit time would change the floating-point summation
+  // schedule and break bit-identical resume.
+  struct FlowView {
+    FlowId id = kInvalidFlow;
+    const std::vector<LinkId>* path = nullptr;
+    Bytes bytes_total = 0;
+    double bytes_done = 0.0;
+    Rate rate = 0.0;
+    SimTime last_settled = 0;
+    bool completion_pending = false;
+    bool has_callback = false;
+  };
+  std::vector<FlowView> flow_views() const;  // sorted by flow id
+  std::size_t pending_completion_count() const;
+  std::size_t link_count() const { return links_.size(); }
+
  private:
   struct LinkState {
     std::string name;
@@ -147,6 +189,8 @@ class Network {
   std::vector<NodeState> nodes_;
   std::vector<LinkState> links_;
   std::unordered_map<FlowId, FlowState> flows_;
+  // Restored flows whose completion callback has not been re-attached yet.
+  std::set<FlowId> awaiting_callback_;
   FlowId next_flow_id_ = 1;
   AllocationModel model_ = AllocationModel::kMaxMinFair;
 };

@@ -4,7 +4,39 @@
 #include <cassert>
 #include <cmath>
 
+#include "snapshot/format.h"
+
 namespace odr::proto {
+namespace {
+
+// Field tags for serialized DownloadTask state (inline in owner's section).
+enum : std::uint16_t {
+  kTagFileSize = 60,
+  kTagLineRate = 61,
+  kTagSinkRate = 62,
+  kTagSharedLinkCount = 63,
+  kTagSharedLink = 64,
+  kTagStagnationTimeout = 65,
+  kTagTickPeriod = 66,
+  kTagHardTimeout = 67,
+  kTagCorruptionProb = 68,
+  kTagMaxChecksumRetries = 69,
+  kTagFlow = 70,
+  kTagTickEvent = 71,
+  kTagStartedAt = 72,
+  kTagLastTick = 73,
+  kTagLastProgressBytes = 74,
+  kTagLastProgressAt = 75,
+  kTagPeakRate = 76,
+  kTagRunning = 77,
+  kTagDone = 78,
+  kTagRoundBytes = 79,
+  kTagVerifiedBytes = 80,
+  kTagDiscardedBytes = 81,
+  kTagChecksumRetries = 82,
+};
+
+}  // namespace
 
 DownloadTask::DownloadTask(sim::Simulator& sim, net::Network& net,
                            std::unique_ptr<Source> source, Bytes file_size,
@@ -205,6 +237,81 @@ void DownloadTask::finish(bool success, FailureCause cause) {
               : average_rate(result.bytes_downloaded, elapsed);
 
   if (on_done_) on_done_(result);
+}
+
+void DownloadTask::save(snapshot::SnapshotWriter& w) const {
+  save_source(w, *source_);
+  w.u64(kTagFileSize, file_size_);
+  w.f64(kTagLineRate, config_.line_rate);
+  w.f64(kTagSinkRate, config_.sink_rate);
+  w.u64(kTagSharedLinkCount, config_.shared_links.size());
+  for (net::LinkId l : config_.shared_links) w.u32(kTagSharedLink, l);
+  w.i64(kTagStagnationTimeout, config_.stagnation_timeout);
+  w.i64(kTagTickPeriod, config_.tick_period);
+  w.i64(kTagHardTimeout, config_.hard_timeout);
+  w.f64(kTagCorruptionProb, config_.corruption_prob);
+  w.u32(kTagMaxChecksumRetries, config_.max_checksum_retries);
+  w.u64(kTagFlow, flow_);
+  w.u64(kTagTickEvent, tick_event_);
+  w.i64(kTagStartedAt, started_at_);
+  w.i64(kTagLastTick, last_tick_);
+  w.f64(kTagLastProgressBytes, last_progress_bytes_);
+  w.i64(kTagLastProgressAt, last_progress_at_);
+  w.f64(kTagPeakRate, peak_rate_);
+  w.b(kTagRunning, running_);
+  w.b(kTagDone, done_);
+  w.u64(kTagRoundBytes, round_bytes_);
+  w.u64(kTagVerifiedBytes, verified_bytes_);
+  w.u64(kTagDiscardedBytes, discarded_bytes_);
+  w.u32(kTagChecksumRetries, checksum_retries_);
+}
+
+std::unique_ptr<DownloadTask> DownloadTask::restore(
+    sim::Simulator& sim, net::Network& net, snapshot::SnapshotReader& r,
+    const SourceParams& sources, DoneFn on_done, Rng& rng) {
+  std::unique_ptr<Source> source = restore_source(r, sources);
+  const Bytes file_size = r.u64(kTagFileSize);
+  Config config;
+  config.line_rate = r.f64(kTagLineRate);
+  config.sink_rate = r.f64(kTagSinkRate);
+  const std::uint64_t shared = r.u64(kTagSharedLinkCount);
+  config.shared_links.reserve(shared);
+  for (std::uint64_t i = 0; i < shared; ++i) {
+    config.shared_links.push_back(r.u32(kTagSharedLink));
+  }
+  config.stagnation_timeout = r.i64(kTagStagnationTimeout);
+  config.tick_period = r.i64(kTagTickPeriod);
+  config.hard_timeout = r.i64(kTagHardTimeout);
+  config.corruption_prob = r.f64(kTagCorruptionProb);
+  config.max_checksum_retries = r.u32(kTagMaxChecksumRetries);
+
+  auto task = std::make_unique<DownloadTask>(sim, net, std::move(source),
+                                             file_size, std::move(config),
+                                             std::move(on_done));
+  DownloadTask* t = task.get();
+  t->rng_ = &rng;
+  t->flow_ = r.u64(kTagFlow);
+  t->tick_event_ = r.u64(kTagTickEvent);
+  t->started_at_ = r.i64(kTagStartedAt);
+  t->last_tick_ = r.i64(kTagLastTick);
+  t->last_progress_bytes_ = r.f64(kTagLastProgressBytes);
+  t->last_progress_at_ = r.i64(kTagLastProgressAt);
+  t->peak_rate_ = r.f64(kTagPeakRate);
+  t->running_ = r.b(kTagRunning);
+  t->done_ = r.b(kTagDone);
+  t->round_bytes_ = r.u64(kTagRoundBytes);
+  t->verified_bytes_ = r.u64(kTagVerifiedBytes);
+  t->discarded_bytes_ = r.u64(kTagDiscardedBytes);
+  t->checksum_retries_ = r.u32(kTagChecksumRetries);
+
+  if (t->tick_event_ != sim::kInvalidEvent) {
+    sim.rearm(t->tick_event_, [t] { t->on_tick(); });
+  }
+  if (t->flow_ != net::kInvalidFlow) {
+    net.reattach_on_complete(t->flow_,
+                             [t](net::FlowId) { t->on_flow_complete(); });
+  }
+  return task;
 }
 
 }  // namespace odr::proto

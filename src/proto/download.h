@@ -86,6 +86,25 @@ class DownloadTask {
   bool running() const { return running_; }
   Bytes bytes_done();
   const Source& source() const { return *source_; }
+  // True while the periodic source-tick event is armed (audit accounting).
+  bool tick_pending() const { return tick_event_ != sim::kInvalidEvent; }
+  // The active flow id, or net::kInvalidFlow between rounds.
+  net::FlowId flow_id() const { return flow_; }
+
+  // --- snapshot support ---------------------------------------------------
+  //
+  // save() serializes the source, config, and all mutable fields including
+  // the flow and tick event ids. restore() rebuilds the task *mid-flight*:
+  // it does not call start(), it re-claims the tick event from the
+  // simulator's rearm table and re-attaches the flow completion callback.
+  // The owner supplies the done callback (a closure into the owner) and
+  // the rng the original task was started with.
+  void save(snapshot::SnapshotWriter& w) const;
+  static std::unique_ptr<DownloadTask> restore(sim::Simulator& sim,
+                                               net::Network& net,
+                                               snapshot::SnapshotReader& r,
+                                               const SourceParams& sources,
+                                               DoneFn on_done, Rng& rng);
 
  private:
   void on_tick();

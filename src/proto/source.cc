@@ -3,7 +3,28 @@
 #include <cassert>
 #include <cmath>
 
+#include "snapshot/format.h"
+
 namespace odr::proto {
+namespace {
+
+// Field tags for serialized source state (inline in the owner's section).
+enum : std::uint16_t {
+  kTagSourceKind = 20,
+  kTagSourceProtocol = 21,
+  kTagServerRate = 22,
+  kTagServerOverhead = 23,
+  kTagServerWillBreak = 24,
+  kTagServerBreakFatal = 25,
+  kTagServerBreakAfter = 26,
+  kTagServerElapsed = 27,
+  kTagServerBroken = 28,
+  kTagServerFatal = 29,
+};
+
+enum : std::uint8_t { kKindServer = 0, kKindSwarm = 1 };
+
+}  // namespace
 
 ServerSource::ServerSource(Protocol protocol, const ServerParams& params,
                            Rng& rng)
@@ -47,6 +68,64 @@ std::unique_ptr<Source> make_source(Protocol protocol, double weekly_popularity,
                                          params.swarm, rng);
   }
   return std::make_unique<ServerSource>(protocol, params.server, rng);
+}
+
+void ServerSource::save(snapshot::SnapshotWriter& w) const {
+  w.u8(kTagSourceKind, kKindServer);
+  w.u8(kTagSourceProtocol, static_cast<std::uint8_t>(protocol_));
+  w.f64(kTagServerRate, rate_);
+  w.f64(kTagServerOverhead, overhead_);
+  w.b(kTagServerWillBreak, will_break_);
+  w.b(kTagServerBreakFatal, break_is_fatal_);
+  w.i64(kTagServerBreakAfter, break_after_);
+  w.i64(kTagServerElapsed, elapsed_);
+  w.b(kTagServerBroken, broken_);
+  w.b(kTagServerFatal, fatal_);
+}
+
+std::unique_ptr<ServerSource> ServerSource::restored(
+    Protocol protocol, snapshot::SnapshotReader& r) {
+  auto s = std::unique_ptr<ServerSource>(new ServerSource(protocol));
+  s->rate_ = r.f64(kTagServerRate);
+  s->overhead_ = r.f64(kTagServerOverhead);
+  s->will_break_ = r.b(kTagServerWillBreak);
+  s->break_is_fatal_ = r.b(kTagServerBreakFatal);
+  s->break_after_ = r.i64(kTagServerBreakAfter);
+  s->elapsed_ = r.i64(kTagServerElapsed);
+  s->broken_ = r.b(kTagServerBroken);
+  s->fatal_ = r.b(kTagServerFatal);
+  return s;
+}
+
+void SwarmSource::save(snapshot::SnapshotWriter& w) const {
+  w.u8(kTagSourceKind, kKindSwarm);
+  w.u8(kTagSourceProtocol, static_cast<std::uint8_t>(protocol_));
+  swarm_.save(w);
+}
+
+std::unique_ptr<SwarmSource> SwarmSource::restored(
+    Protocol protocol, const SwarmParams& params, snapshot::SnapshotReader& r) {
+  return std::unique_ptr<SwarmSource>(
+      new SwarmSource(protocol, Swarm::restored(protocol, params, r)));
+}
+
+void save_source(snapshot::SnapshotWriter& w, const Source& source) {
+  source.save(w);
+}
+
+std::unique_ptr<Source> restore_source(snapshot::SnapshotReader& r,
+                                       const SourceParams& params) {
+  const std::uint8_t kind = r.u8(kTagSourceKind);
+  const auto protocol = static_cast<Protocol>(r.u8(kTagSourceProtocol));
+  switch (kind) {
+    case kKindServer:
+      return ServerSource::restored(protocol, r);
+    case kKindSwarm:
+      return SwarmSource::restored(protocol, params.swarm, r);
+    default:
+      throw snapshot::SnapshotError("unknown source kind " +
+                                    std::to_string(kind) + " in checkpoint");
+  }
 }
 
 }  // namespace odr::proto

@@ -15,17 +15,27 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "proto/protocol.h"
 #include "proto/swarm.h"
 #include "util/rng.h"
 #include "util/units.h"
 
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
 namespace odr::proto {
 
 class Source {
  public:
   virtual ~Source() = default;
+
+  // Serializes the concrete source's sampled constants and mutable state.
+  // Restored via restore_source() below.
+  virtual void save(snapshot::SnapshotWriter& w) const = 0;
 
   // Current service rate cap for one downloader (bytes/sec).
   virtual Rate current_rate() const = 0;
@@ -75,7 +85,14 @@ class ServerSource final : public Source {
   double traffic_factor() const override { return overhead_; }
   Protocol protocol() const override { return protocol_; }
 
+  void save(snapshot::SnapshotWriter& w) const override;
+  static std::unique_ptr<ServerSource> restored(Protocol protocol,
+                                                snapshot::SnapshotReader& r);
+
  private:
+  // Restore path: fields come from the checkpoint, no sampling.
+  explicit ServerSource(Protocol protocol) : protocol_(protocol) {}
+
   Protocol protocol_;
   Rate rate_;
   double overhead_;
@@ -104,7 +121,15 @@ class SwarmSource final : public Source {
   Swarm& swarm() { return swarm_; }
   const Swarm& swarm() const { return swarm_; }
 
+  void save(snapshot::SnapshotWriter& w) const override;
+  static std::unique_ptr<SwarmSource> restored(Protocol protocol,
+                                               const SwarmParams& params,
+                                               snapshot::SnapshotReader& r);
+
  private:
+  SwarmSource(Protocol protocol, Swarm swarm)
+      : protocol_(protocol), swarm_(std::move(swarm)) {}
+
   Protocol protocol_;
   Swarm swarm_;
 };
@@ -119,5 +144,12 @@ struct SourceParams {
 // Creates the right Source for a file's protocol and popularity.
 std::unique_ptr<Source> make_source(Protocol protocol, double weekly_popularity,
                                     const SourceParams& params, Rng& rng);
+
+// Snapshot counterparts of make_source: save_source writes a kind marker
+// plus the concrete source's state; restore_source rebuilds it without
+// consuming RNG draws.
+void save_source(snapshot::SnapshotWriter& w, const Source& source);
+std::unique_ptr<Source> restore_source(snapshot::SnapshotReader& r,
+                                       const SourceParams& params);
 
 }  // namespace odr::proto

@@ -4,7 +4,25 @@
 #include <cassert>
 #include <cmath>
 
+#include "snapshot/format.h"
+
 namespace odr::proto {
+namespace {
+
+// Field tags for serialized swarm state (inline in the owner's section).
+enum : std::uint16_t {
+  kTagPopularity = 40,
+  kTagScale = 41,
+  kTagPerSeedRate = 42,
+  kTagHasSeedbox = 43,
+  kTagSeedboxRate = 44,
+  kTagTrafficFactor = 45,
+  kTagSeeds = 46,
+  kTagLeechers = 47,
+  kTagExternalSeeds = 48,
+};
+
+}  // namespace
 
 Swarm::Swarm(Protocol protocol, double weekly_popularity,
              const SwarmParams& params, Rng& rng)
@@ -96,6 +114,33 @@ Rate Swarm::multiplied_rate(Rate seed_rate) const {
 
 void Swarm::remove_external_seed() {
   if (external_seeds_ > 0) --external_seeds_;
+}
+
+void Swarm::save(snapshot::SnapshotWriter& w) const {
+  w.f64(kTagPopularity, popularity_);
+  w.f64(kTagScale, scale_);
+  w.f64(kTagPerSeedRate, per_seed_rate_);
+  w.b(kTagHasSeedbox, has_seedbox_);
+  w.f64(kTagSeedboxRate, seedbox_rate_);
+  w.f64(kTagTrafficFactor, traffic_factor_);
+  w.u32(kTagSeeds, seeds_);
+  w.u32(kTagLeechers, leechers_);
+  w.u32(kTagExternalSeeds, external_seeds_);
+}
+
+Swarm Swarm::restored(Protocol protocol, const SwarmParams& params,
+                      snapshot::SnapshotReader& r) {
+  Swarm s(protocol, params);
+  s.popularity_ = r.f64(kTagPopularity);
+  s.scale_ = r.f64(kTagScale);
+  s.per_seed_rate_ = r.f64(kTagPerSeedRate);
+  s.has_seedbox_ = r.b(kTagHasSeedbox);
+  s.seedbox_rate_ = r.f64(kTagSeedboxRate);
+  s.traffic_factor_ = r.f64(kTagTrafficFactor);
+  s.seeds_ = r.u32(kTagSeeds);
+  s.leechers_ = r.u32(kTagLeechers);
+  s.external_seeds_ = r.u32(kTagExternalSeeds);
+  return s;
 }
 
 }  // namespace odr::proto

@@ -20,6 +20,11 @@
 #include "util/rng.h"
 #include "util/units.h"
 
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
 namespace odr::proto {
 
 struct SwarmParams {
@@ -97,7 +102,19 @@ class Swarm {
   void add_external_seed() { ++external_seeds_; }
   void remove_external_seed();
 
+  // Snapshot support: serializes the per-swarm sampled constants and the
+  // dynamic populations. restored() rebuilds without consuming any RNG
+  // draws (params come from the caller's SourceParams, sampled state from
+  // the checkpoint).
+  void save(snapshot::SnapshotWriter& w) const;
+  static Swarm restored(Protocol protocol, const SwarmParams& params,
+                        snapshot::SnapshotReader& r);
+
  private:
+  // Restore path: sets only what the checkpoint does not carry.
+  Swarm(Protocol protocol, const SwarmParams& params)
+      : params_(params), protocol_(protocol), popularity_(0.0) {}
+
   double arrival_mean_seeds() const;
   double arrival_mean_leechers() const;
 

@@ -1,9 +1,27 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
+#include "snapshot/format.h"
+
 namespace odr::sim {
+namespace {
+
+// Field tags for the simulator snapshot section.
+enum : std::uint16_t {
+  kTagNow = 1,
+  kTagNextSeq = 2,
+  kTagNextId = 3,
+  kTagExecuted = 4,
+  kTagEventCount = 5,
+  kTagEventId = 6,
+  kTagEventSeq = 7,
+  kTagEventTime = 8,
+};
+
+}  // namespace
 
 EventId Simulator::schedule_at(SimTime t, Callback fn) {
   if (t < now_) t = now_;
@@ -66,6 +84,72 @@ std::uint64_t Simulator::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && step()) ++n;
   return n;
+}
+
+void Simulator::save(snapshot::SnapshotWriter& w) const {
+  w.i64(kTagNow, now_);
+  w.u64(kTagNextSeq, next_seq_);
+  w.u64(kTagNextId, next_id_);
+  w.u64(kTagExecuted, executed_);
+
+  // Walk a copy of the queue, skipping tombstones, emitting live events in
+  // (time, seq) order — deterministic regardless of heap layout.
+  std::vector<Scheduled> live;
+  live.reserve(live_events_);
+  auto copy = queue_;
+  while (!copy.empty()) {
+    const Scheduled top = copy.top();
+    copy.pop();
+    if (callbacks_.count(top.id)) live.push_back(top);
+  }
+  w.u64(kTagEventCount, live.size());
+  for (const Scheduled& e : live) {
+    w.u64(kTagEventId, e.id);
+    w.u64(kTagEventSeq, e.seq);
+    w.i64(kTagEventTime, e.time);
+  }
+}
+
+void Simulator::load(snapshot::SnapshotReader& r) {
+  now_ = r.i64(kTagNow);
+  next_seq_ = r.u64(kTagNextSeq);
+  next_id_ = r.u64(kTagNextId);
+  executed_ = r.u64(kTagExecuted);
+
+  queue_ = {};
+  callbacks_.clear();
+  live_events_ = 0;
+  rearm_.clear();
+  const std::uint64_t count = r.u64(kTagEventCount);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const EventId id = r.u64(kTagEventId);
+    const std::uint64_t seq = r.u64(kTagEventSeq);
+    const SimTime time = r.i64(kTagEventTime);
+    if (!rearm_.emplace(id, std::make_pair(time, seq)).second) {
+      throw snapshot::SnapshotError("simulator: duplicate event id " +
+                                    std::to_string(id) + " in checkpoint");
+    }
+  }
+}
+
+void Simulator::rearm(EventId id, Callback fn) {
+  auto it = rearm_.find(id);
+  if (it == rearm_.end()) {
+    throw snapshot::SnapshotError(
+        "simulator: rearm of unknown event id " + std::to_string(id) +
+        " — component state disagrees with the checkpointed event queue");
+  }
+  queue_.push(Scheduled{it->second.first, it->second.second, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_events_;
+  rearm_.erase(it);
+}
+
+std::vector<EventId> Simulator::unclaimed_rearm_ids() const {
+  std::vector<EventId> ids;
+  ids.reserve(rearm_.size());
+  for (const auto& [id, ts] : rearm_) ids.push_back(id);
+  return ids;
 }
 
 PeriodicTask::PeriodicTask(Simulator& sim, SimTime period,

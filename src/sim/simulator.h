@@ -9,11 +9,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "util/units.h"
+
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
 
 namespace odr::sim {
 
@@ -52,6 +58,26 @@ class Simulator {
 
   std::uint64_t executed_count() const { return executed_; }
 
+  // --- snapshot support ---------------------------------------------------
+  //
+  // Callbacks are closures and cannot be serialized. Instead, save() writes
+  // the clock/counters plus the exact (id, seq, time) triple of every live
+  // event; load() clears the queue and parks those triples in a rearm
+  // table. Each owning component then recreates its closure and claims its
+  // event with rearm(id, fn), which re-inserts it at the original (time,
+  // seq) — so the restored queue pops in exactly the original order no
+  // matter what order components rearm in. After a full restore the rearm
+  // table must be empty; unclaimed entries mean orphaned events and are a
+  // hard audit failure.
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r);
+  // Re-attaches a callback to a parked event id; throws SnapshotError if
+  // the id is not in the rearm table.
+  void rearm(EventId id, Callback fn);
+  std::size_t unclaimed_rearm_count() const { return rearm_.size(); }
+  std::vector<EventId> unclaimed_rearm_ids() const;
+
  private:
   struct Scheduled {
     SimTime time;
@@ -70,6 +96,8 @@ class Simulator {
   std::size_t live_events_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
   std::unordered_map<EventId, Callback> callbacks_;
+  // Parked events awaiting rearm() after load(): id -> (time, seq).
+  std::map<EventId, std::pair<SimTime, std::uint64_t>> rearm_;
 };
 
 // Repeats a callback at a fixed period until stopped; used for watchdogs

@@ -1,0 +1,103 @@
+#include "snapshot/audit.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snapshot/world.h"
+
+namespace odr::snapshot {
+
+std::vector<std::string> audit(const CloudWorld& world) {
+  std::vector<std::string> problems;
+  const net::Network& net = world.net();
+  const cloud::XuanfengCloud& cloud = world.cloud();
+  const cloud::PreDownloaderPool& pool = cloud.predownloaders();
+
+  // --- event accounting ------------------------------------------------------
+  // Every live simulator event must be owned by exactly one component. The
+  // sum of all per-component counts equaling the queue size catches both
+  // leaked events (a closure nobody tracks — unrestorable) and lost ones.
+  const std::size_t owned =
+      world.pending_arrival_count() + net.pending_completion_count() +
+      pool.pending_event_count() +
+      (world.injector() ? world.injector()->pending_event_count() : 0) +
+      (world.checkpoint_armed() ? 1 : 0);
+  if (owned != world.sim().pending_count()) {
+    problems.push_back(
+        "event accounting: components own " + std::to_string(owned) +
+        " pending event(s) but the simulator queue holds " +
+        std::to_string(world.sim().pending_count()));
+  }
+
+  // --- flow invariants -------------------------------------------------------
+  std::vector<net::FlowId> owned_flows = cloud.fetch_flow_ids();
+  {
+    std::vector<net::FlowId> pool_flows = pool.active_flow_ids();
+    owned_flows.insert(owned_flows.end(), pool_flows.begin(),
+                       pool_flows.end());
+    std::sort(owned_flows.begin(), owned_flows.end());
+  }
+
+  std::vector<net::FlowId> live_flows;
+  for (const net::Network::FlowView& v : net.flow_views()) {
+    live_flows.push_back(v.id);
+    // Byte conservation: progress never exceeds the flow's size. The done
+    // count is fractional (settled rate * time), so allow sub-byte slack.
+    if (v.bytes_done > static_cast<double>(v.bytes_total) + 1.0) {
+      problems.push_back("flow #" + std::to_string(v.id) +
+                         ": bytes_done " + std::to_string(v.bytes_done) +
+                         " exceeds bytes_total " +
+                         std::to_string(v.bytes_total));
+    }
+    if (v.rate < 0.0) {
+      problems.push_back("flow #" + std::to_string(v.id) +
+                         ": negative rate");
+    }
+    // Ownership: a flow with a completion callback must belong to a
+    // component that will survive a checkpoint (user fetch or VM task);
+    // anything else is an orphan whose completion would be lost on resume.
+    if (v.has_callback &&
+        !std::binary_search(owned_flows.begin(), owned_flows.end(), v.id)) {
+      problems.push_back("flow #" + std::to_string(v.id) +
+                         ": orphaned (completion callback owned by no "
+                         "checkpointable component)");
+    }
+  }
+  for (net::FlowId id : owned_flows) {
+    if (!std::binary_search(live_flows.begin(), live_flows.end(), id)) {
+      problems.push_back("flow #" + std::to_string(id) +
+                         ": a component references it but the network has "
+                         "no such flow");
+    }
+  }
+
+  // --- capacity bounds -------------------------------------------------------
+  if (pool.active() > cloud.config().predownloader_count) {
+    problems.push_back("vm pool: " + std::to_string(pool.active()) +
+                       " active tasks exceed the pool size " +
+                       std::to_string(cloud.config().predownloader_count));
+  }
+  if (pool.active() < cloud.config().predownloader_count && pool.queued() > 0) {
+    problems.push_back("vm pool: requests queued while slots are free");
+  }
+  const cloud::StoragePool& storage = cloud.storage();
+  if (storage.used_bytes() > storage.capacity_bytes()) {
+    problems.push_back("storage pool: used " +
+                       std::to_string(storage.used_bytes()) +
+                       " bytes exceed capacity " +
+                       std::to_string(storage.capacity_bytes()));
+  }
+
+  // --- bookkeeping sanity ----------------------------------------------------
+  if (world.outcomes().size() > world.requests().size()) {
+    problems.push_back("world: more outcomes (" +
+                       std::to_string(world.outcomes().size()) +
+                       ") than requests (" +
+                       std::to_string(world.requests().size()) + ")");
+  }
+  return problems;
+}
+
+}  // namespace odr::snapshot

@@ -1,0 +1,21 @@
+// Invariant auditor for a CloudWorld, run at every checkpoint boundary.
+//
+// The auditor is the tripwire between "the checkpoint machinery has a bug"
+// and "we shipped a silently-wrong week of results": it cross-checks the
+// event queue against every component's own accounting, byte conservation
+// on every flow, capacity bounds, and flow ownership (no network flow may
+// outlive the component that would handle its completion). It is strictly
+// read-only — auditing must never perturb the run it observes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace odr::snapshot {
+
+class CloudWorld;
+
+// Returns one human-readable string per violated invariant; empty = clean.
+std::vector<std::string> audit(const CloudWorld& world);
+
+}  // namespace odr::snapshot

@@ -1,0 +1,334 @@
+#include "snapshot/format.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "util/crc32.h"
+
+namespace odr::snapshot {
+namespace {
+
+std::string hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer --
+
+SnapshotWriter::SnapshotWriter() {
+  raw_u32(out_, kMagic);
+  raw_u32(out_, kFormatVersion);
+}
+
+void SnapshotWriter::raw_u16(std::uint16_t v) {
+  payload_.push_back(static_cast<char>(v & 0xFF));
+  payload_.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void SnapshotWriter::raw_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void SnapshotWriter::raw_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void SnapshotWriter::begin_section(std::uint32_t id, std::uint32_t version) {
+  if (in_section_) {
+    throw SnapshotError("begin_section(" + hex(id) + ") while section " +
+                        hex(cur_id_) + " is open");
+  }
+  in_section_ = true;
+  cur_id_ = id;
+  cur_version_ = version;
+  payload_.clear();
+}
+
+void SnapshotWriter::end_section() {
+  if (!in_section_) throw SnapshotError("end_section with no open section");
+  raw_u32(out_, cur_id_);
+  raw_u32(out_, cur_version_);
+  raw_u64(out_, payload_.size());
+  raw_u32(out_, crc32c(payload_.data(), payload_.size()));
+  out_.append(payload_);
+  payload_.clear();
+  in_section_ = false;
+}
+
+void SnapshotWriter::u8(std::uint16_t t, std::uint8_t v) {
+  tag(t);
+  payload_.push_back(static_cast<char>(v));
+}
+
+void SnapshotWriter::u32(std::uint16_t t, std::uint32_t v) {
+  tag(t);
+  raw_u32(payload_, v);
+}
+
+void SnapshotWriter::u64(std::uint16_t t, std::uint64_t v) {
+  tag(t);
+  raw_u64(payload_, v);
+}
+
+void SnapshotWriter::i64(std::uint16_t t, std::int64_t v) {
+  u64(t, static_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::f64(std::uint16_t t, double v) {
+  u64(t, std::bit_cast<std::uint64_t>(v));
+}
+
+void SnapshotWriter::str(std::uint16_t t, std::string_view s) {
+  tag(t);
+  raw_u64(payload_, s.size());
+  payload_.append(s);
+}
+
+void SnapshotWriter::bytes(std::uint16_t t, const void* data, std::size_t len) {
+  tag(t);
+  raw_u64(payload_, len);
+  payload_.append(static_cast<const char*>(data), len);
+}
+
+std::string SnapshotWriter::take() {
+  if (in_section_) {
+    throw SnapshotError("take() while section " + hex(cur_id_) + " is open");
+  }
+  return std::move(out_);
+}
+
+// ---------------------------------------------------------------- reader --
+
+SnapshotReader::SnapshotReader(std::string data) : data_(std::move(data)) {
+  if (data_.size() < 8) fail("snapshot too short for header");
+  const std::uint32_t magic = raw_u32(0);
+  if (magic != kMagic) {
+    fail("bad magic " + hex(magic) + " (want " + hex(kMagic) +
+         ") — not a snapshot file");
+  }
+  const std::uint32_t version = raw_u32(4);
+  if (version != kFormatVersion) {
+    fail("unsupported snapshot format version " + std::to_string(version) +
+         " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  pos_ = 8;
+}
+
+void SnapshotReader::fail(const std::string& msg) const {
+  std::ostringstream os;
+  os << "snapshot: " << msg;
+  if (in_section_) {
+    os << " [section " << hex(cur_id_) << ", offset " << pos_ << "]";
+  } else {
+    os << " [offset " << pos_ << "]";
+  }
+  throw SnapshotError(os.str());
+}
+
+std::uint32_t SnapshotReader::raw_u32(std::size_t at) const {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t SnapshotReader::raw_u64(std::size_t at) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void SnapshotReader::need(std::size_t n, const char* what) {
+  const std::size_t limit = in_section_ ? pay_end_ : data_.size();
+  if (pos_ + n > limit) {
+    fail(std::string("truncated while reading ") + what + " (" +
+         std::to_string(n) + " bytes needed, " + std::to_string(limit - pos_) +
+         " available)");
+  }
+}
+
+std::uint32_t SnapshotReader::enter_section(std::uint32_t id) {
+  if (in_section_) {
+    fail("enter_section(" + hex(id) + ") while section " + hex(cur_id_) +
+         " is open");
+  }
+  need(20, "section header");
+  const std::uint32_t stored_id = raw_u32(pos_);
+  const std::uint32_t version = raw_u32(pos_ + 4);
+  const std::uint64_t len = raw_u64(pos_ + 8);
+  const std::uint32_t stored_crc = raw_u32(pos_ + 16);
+  if (stored_id != id) {
+    fail("expected section " + hex(id) + " but found " + hex(stored_id));
+  }
+  pos_ += 20;
+  if (pos_ + len > data_.size()) {
+    fail("section " + hex(id) + " payload truncated (" + std::to_string(len) +
+         " bytes declared, " + std::to_string(data_.size() - pos_) +
+         " available)");
+  }
+  const std::uint32_t actual_crc = crc32c(data_.data() + pos_, len);
+  if (actual_crc != stored_crc) {
+    fail("section " + hex(id) + " CRC mismatch (stored " + hex(stored_crc) +
+         ", computed " + hex(actual_crc) + ") — checkpoint is corrupt");
+  }
+  in_section_ = true;
+  cur_id_ = id;
+  pay_end_ = pos_ + len;
+  return version;
+}
+
+void SnapshotReader::require_section(std::uint32_t id, std::uint32_t version) {
+  const std::uint32_t stored = enter_section(id);
+  if (stored != version) {
+    in_section_ = false;
+    fail("section " + hex(id) + " version mismatch: checkpoint has v" +
+         std::to_string(stored) + ", this build loads v" +
+         std::to_string(version) + " — refusing to misload old state");
+  }
+}
+
+void SnapshotReader::end_section() {
+  if (!in_section_) fail("end_section with no open section");
+  if (pos_ != pay_end_) {
+    fail("section " + hex(cur_id_) + " has " + std::to_string(pay_end_ - pos_) +
+         " unread payload bytes — reader/writer field lists disagree");
+  }
+  in_section_ = false;
+}
+
+void SnapshotReader::check_tag(std::uint16_t expected) {
+  if (!in_section_) fail("field read outside any section");
+  const std::uint16_t actual = raw_u16();
+  if (actual != expected) {
+    fail("field tag mismatch: expected " + std::to_string(expected) +
+         ", found " + std::to_string(actual));
+  }
+}
+
+std::uint16_t SnapshotReader::raw_u16() {
+  need(2, "field tag");
+  const auto lo = static_cast<unsigned char>(data_[pos_]);
+  const auto hi = static_cast<unsigned char>(data_[pos_ + 1]);
+  pos_ += 2;
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint8_t SnapshotReader::u8(std::uint16_t tag) {
+  check_tag(tag);
+  need(1, "u8");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t SnapshotReader::u32(std::uint16_t tag) {
+  check_tag(tag);
+  need(4, "u32");
+  const std::uint32_t v = raw_u32(pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t SnapshotReader::u64(std::uint16_t tag) {
+  check_tag(tag);
+  need(8, "u64");
+  const std::uint64_t v = raw_u64(pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t SnapshotReader::i64(std::uint16_t tag) {
+  return static_cast<std::int64_t>(u64(tag));
+}
+
+double SnapshotReader::f64(std::uint16_t tag) {
+  return std::bit_cast<double>(u64(tag));
+}
+
+std::string SnapshotReader::str(std::uint16_t tag) {
+  check_tag(tag);
+  need(8, "string length");
+  const std::uint64_t len = raw_u64(pos_);
+  pos_ += 8;
+  need(len, "string bytes");
+  std::string s = data_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+void SnapshotReader::bytes(std::uint16_t tag, void* out, std::size_t len) {
+  check_tag(tag);
+  need(8, "bytes length");
+  const std::uint64_t stored = raw_u64(pos_);
+  pos_ += 8;
+  if (stored != len) {
+    fail("fixed byte field length mismatch: expected " + std::to_string(len) +
+         ", stored " + std::to_string(stored));
+  }
+  need(len, "byte field");
+  std::memcpy(out, data_.data() + pos_, len);
+  pos_ += len;
+}
+
+// ------------------------------------------------------------------- rng --
+
+void save_rng(SnapshotWriter& w, std::uint16_t base_tag, const Rng& rng) {
+  const RngState st = rng.state();
+  for (int i = 0; i < 4; ++i) {
+    w.u64(static_cast<std::uint16_t>(base_tag + i), st.s[i]);
+  }
+  w.u64(static_cast<std::uint16_t>(base_tag + 4), st.stream_id);
+  w.u64(static_cast<std::uint16_t>(base_tag + 5), st.draws);
+}
+
+void load_rng(SnapshotReader& r, std::uint16_t base_tag, Rng& rng) {
+  RngState st;
+  for (int i = 0; i < 4; ++i) {
+    st.s[i] = r.u64(static_cast<std::uint16_t>(base_tag + i));
+  }
+  st.stream_id = r.u64(static_cast<std::uint16_t>(base_tag + 4));
+  st.draws = r.u64(static_cast<std::uint16_t>(base_tag + 5));
+  rng.set_state(st);
+}
+
+// -------------------------------------------------------------- file IO --
+
+void write_snapshot_file(const std::string& path, std::string_view buffer) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw SnapshotError("cannot open " + tmp + " for writing");
+  const std::size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != buffer.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::string read_snapshot_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw SnapshotError("cannot open snapshot file " + path);
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
+  const bool error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (error) throw SnapshotError("read error on snapshot file " + path);
+  return data;
+}
+
+}  // namespace odr::snapshot

@@ -1,0 +1,129 @@
+// Versioned, CRC-protected binary checkpoint format.
+//
+// A snapshot is a header (magic + format version) followed by a sequence of
+// sections. Each section is framed as
+//
+//   [section id u32][section version u32][payload length u64][CRC32C u32]
+//   [payload bytes]
+//
+// and the payload is a sequence of tagged fields: every primitive is
+// prefixed by an explicit u16 field tag that the reader checks against the
+// tag it expects at that position. The tags buy loud failure: a checkpoint
+// written by older code (missing/extra/reordered fields) throws a
+// SnapshotError naming the section, tag, and offset instead of silently
+// misinterpreting bytes. Section versions gate intentional format changes;
+// the CRC catches torn writes and bit rot before any state is mutated.
+//
+// All integers are serialized little-endian byte-by-byte, so snapshots are
+// portable across hosts. Doubles are serialized as their raw IEEE-754 bit
+// pattern — exact round-trip is a requirement (bit-identical resume), so
+// no text formatting is ever involved.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace odr::snapshot {
+
+inline constexpr std::uint32_t kMagic = 0x53524f44u;  // "DORS"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Any structural problem with a snapshot: bad magic, version mismatch, CRC
+// failure, tag mismatch, short/trailing payload, unknown event id on rearm.
+// Loading never partially applies: world restore constructs-or-throws.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  // Sections must be strictly bracketed; nesting is not supported (nested
+  // components serialize their fields inline within the owner's section).
+  void begin_section(std::uint32_t id, std::uint32_t version);
+  void end_section();
+
+  void u8(std::uint16_t tag, std::uint8_t v);
+  void u32(std::uint16_t tag, std::uint32_t v);
+  void u64(std::uint16_t tag, std::uint64_t v);
+  void i64(std::uint16_t tag, std::int64_t v);
+  void f64(std::uint16_t tag, double v);
+  void b(std::uint16_t tag, bool v) { u8(tag, v ? 1 : 0); }
+  void str(std::uint16_t tag, std::string_view s);
+  void bytes(std::uint16_t tag, const void* data, std::size_t len);
+
+  // Finalizes and returns the snapshot buffer. The writer is spent after.
+  std::string take();
+
+ private:
+  void raw_u16(std::uint16_t v);
+  void raw_u32(std::string& out, std::uint32_t v);
+  void raw_u64(std::string& out, std::uint64_t v);
+  void tag(std::uint16_t t) { raw_u16(t); }
+
+  std::string out_;      // header + completed sections
+  std::string payload_;  // current section payload
+  bool in_section_ = false;
+  std::uint32_t cur_id_ = 0;
+  std::uint32_t cur_version_ = 0;
+};
+
+class SnapshotReader {
+ public:
+  // Takes ownership of the buffer; validates magic and format version.
+  explicit SnapshotReader(std::string data);
+
+  // Reads the next section header, verifies the id and the payload CRC,
+  // and returns the stored section version.
+  std::uint32_t enter_section(std::uint32_t id);
+  // enter_section + throws unless the stored version equals `version`.
+  void require_section(std::uint32_t id, std::uint32_t version);
+  // Asserts the payload was fully consumed — a short read means the reader
+  // and writer disagree about the field list, which must fail loudly.
+  void end_section();
+
+  std::uint8_t u8(std::uint16_t tag);
+  std::uint32_t u32(std::uint16_t tag);
+  std::uint64_t u64(std::uint16_t tag);
+  std::int64_t i64(std::uint16_t tag);
+  double f64(std::uint16_t tag);
+  bool b(std::uint16_t tag) { return u8(tag) != 0; }
+  std::string str(std::uint16_t tag);
+  // Fixed-size byte field; throws if the stored length differs from `len`.
+  void bytes(std::uint16_t tag, void* out, std::size_t len);
+
+  // True once every section has been consumed.
+  bool at_end() const { return pos_ == data_.size() && !in_section_; }
+
+ private:
+  std::uint16_t raw_u16();
+  std::uint32_t raw_u32(std::size_t at) const;
+  std::uint64_t raw_u64(std::size_t at) const;
+  void need(std::size_t n, const char* what);
+  void check_tag(std::uint16_t expected);
+  [[noreturn]] void fail(const std::string& msg) const;
+
+  std::string data_;
+  std::size_t pos_ = 0;      // next unread byte (absolute)
+  bool in_section_ = false;
+  std::uint32_t cur_id_ = 0;
+  std::size_t pay_end_ = 0;  // one past the current section's payload
+};
+
+// Rng streams round-trip through their full RngState.
+void save_rng(SnapshotWriter& w, std::uint16_t base_tag, const Rng& rng);
+void load_rng(SnapshotReader& r, std::uint16_t base_tag, Rng& rng);
+
+// Atomic snapshot file IO: writes to `path + ".tmp"` then renames, so a
+// crash mid-write leaves either the previous checkpoint or none — never a
+// truncated one masquerading as valid (the CRC would catch that too).
+void write_snapshot_file(const std::string& path, std::string_view buffer);
+std::string read_snapshot_file(const std::string& path);
+
+}  // namespace odr::snapshot

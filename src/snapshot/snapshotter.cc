@@ -1,0 +1,28 @@
+#include "snapshot/snapshotter.h"
+
+#include "snapshot/format.h"
+
+namespace odr::snapshot {
+
+std::string Snapshotter::capture(const CloudWorld& world) {
+  return world.save_to_buffer();
+}
+
+void Snapshotter::capture_to_file(const CloudWorld& world,
+                                  const std::string& path) {
+  write_snapshot_file(path, world.save_to_buffer());
+}
+
+std::unique_ptr<CloudWorld> Restorer::restore_buffer(
+    const analysis::ExperimentConfig& config, const WorldOptions& options,
+    const std::string& buffer) {
+  return std::make_unique<CloudWorld>(config, options, buffer);
+}
+
+std::unique_ptr<CloudWorld> Restorer::restore_file(
+    const analysis::ExperimentConfig& config, const WorldOptions& options,
+    const std::string& path) {
+  return restore_buffer(config, options, read_snapshot_file(path));
+}
+
+}  // namespace odr::snapshot

@@ -1,0 +1,41 @@
+// Snapshotter / Restorer: the harness-facing facade over CloudWorld.
+//
+// CloudWorld implements the mechanics (periodic checkpoint events, world
+// serialization, rearm-on-load); these helpers package the two operations
+// a recovery harness actually performs — "capture this world now" and
+// "bring a world back from a checkpoint" — including the atomic file IO
+// and construct-or-throw validation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/replay.h"
+#include "snapshot/world.h"
+
+namespace odr::snapshot {
+
+class Snapshotter {
+ public:
+  // Serializes `world` at the current event boundary.
+  static std::string capture(const CloudWorld& world);
+  // capture() + atomic write (tmp + rename): a crash mid-write leaves the
+  // previous checkpoint intact, never a truncated file.
+  static void capture_to_file(const CloudWorld& world, const std::string& path);
+};
+
+class Restorer {
+ public:
+  // Reconstructs a world from a checkpoint buffer. Validation (CRC,
+  // versions, config fingerprint, orphaned events) happens before any
+  // state is trusted; failure throws SnapshotError and yields no object.
+  static std::unique_ptr<CloudWorld> restore_buffer(
+      const analysis::ExperimentConfig& config, const WorldOptions& options,
+      const std::string& buffer);
+  // Reads `path` and restores from it.
+  static std::unique_ptr<CloudWorld> restore_file(
+      const analysis::ExperimentConfig& config, const WorldOptions& options,
+      const std::string& path);
+};
+
+}  // namespace odr::snapshot

@@ -1,0 +1,379 @@
+#include "snapshot/world.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "snapshot/audit.h"
+#include "snapshot/format.h"
+#include "workload/file.h"
+#include "workload/request_gen.h"
+#include "workload/snapshot.h"
+
+namespace odr::snapshot {
+namespace {
+
+// Section ids of a world checkpoint, in file order.
+enum : std::uint32_t {
+  kSectionMeta = 1,
+  kSectionCloudState = 2,
+  kSectionFault = 3,
+  kSectionWorld = 4,
+};
+inline constexpr std::uint32_t kMetaVersion = 1;
+inline constexpr std::uint32_t kCloudVersion = 1;
+inline constexpr std::uint32_t kFaultVersion = 1;
+inline constexpr std::uint32_t kWorldVersion = 1;
+
+enum : std::uint16_t {
+  kTagFingerprint = 1,
+  kTagRequestCount = 2,
+  kTagNow = 3,
+  kTagHasInjector = 10,
+  kTagOutcomeCount = 20,
+  kTagOutcomeTaskId = 21,
+  kTagOutcomeFetched = 22,
+  kTagOutcomePopularity = 23,
+  kTagOutcomeClass = 24,
+  kTagOutcomePrivileged = 25,
+  kTagPendingArrivalCount = 30,
+  kTagArrivalIndex = 31,
+  kTagArrivalEvent = 32,
+  kTagCheckpointEvent = 40,
+};
+
+void save_outcome(SnapshotWriter& w, const cloud::TaskOutcome& o) {
+  w.u64(kTagOutcomeTaskId, o.task_id);
+  workload::save_predownload_record(w, o.pre);
+  workload::save_fetch_record(w, o.fetch);
+  w.b(kTagOutcomeFetched, o.fetched);
+  w.f64(kTagOutcomePopularity, o.weekly_popularity);
+  w.u8(kTagOutcomeClass, static_cast<std::uint8_t>(o.popularity));
+  w.b(kTagOutcomePrivileged, o.privileged_path);
+}
+
+cloud::TaskOutcome load_outcome(SnapshotReader& r) {
+  cloud::TaskOutcome o;
+  o.task_id = r.u64(kTagOutcomeTaskId);
+  o.pre = workload::load_predownload_record(r);
+  o.fetch = workload::load_fetch_record(r);
+  o.fetched = r.b(kTagOutcomeFetched);
+  o.weekly_popularity = r.f64(kTagOutcomePopularity);
+  o.popularity = static_cast<workload::PopularityClass>(r.u8(kTagOutcomeClass));
+  o.privileged_path = r.b(kTagOutcomePrivileged);
+  return o;
+}
+
+}  // namespace
+
+CloudWorld::CloudWorld(const analysis::ExperimentConfig& config,
+                       WorldOptions options)
+    : config_(config), options_(std::move(options)), net_(sim_) {
+  build();
+  if (options_.checkpoint_period > 0) {
+    checkpoint_event_ = sim_.schedule_after(options_.checkpoint_period,
+                                            [this] { checkpoint_tick(); });
+  }
+}
+
+CloudWorld::CloudWorld(const analysis::ExperimentConfig& config,
+                       WorldOptions options, const std::string& buffer)
+    : config_(config), options_(std::move(options)), net_(sim_) {
+  build();
+  // No fresh checkpoint tick here: the checkpointed one is rearmed below,
+  // keeping the resumed event stream identical to the uninterrupted run.
+  load_from(buffer);
+}
+
+// Mirrors analysis::run_cloud_replay construction EXACTLY — every rng
+// draw and every schedule call in the same order — so a fault-free
+// CloudWorld produces run_cloud_replay's results and a restored CloudWorld
+// regenerates the same immutable tables the checkpoint was taken over.
+void CloudWorld::build() {
+  Rng rng(config_.seed);
+  catalog_ = std::make_shared<workload::Catalog>(config_.catalog, rng);
+  users_ = std::make_shared<workload::UserPopulation>(config_.users, rng);
+  workload::RequestGenerator generator(config_.requests);
+  cloud_.emplace(sim_, net_, *catalog_, config_.sources, config_.cloud, rng);
+
+  Rng warm_rng = rng.fork();
+  analysis::warm_cloud_for_replay(*cloud_, *catalog_,
+                                  config_.requests.num_requests,
+                                  config_.warmup_weeks, warm_rng);
+
+  requests_ = generator.generate(*catalog_, *users_, rng);
+  outcomes_.clear();
+  outcomes_.reserve(requests_.size());
+
+  if (!config_.fault_plan.empty()) {
+    injector_.emplace(sim_, rng);
+    injector_->attach_cloud(*cloud_, net_);
+    injector_->load(config_.fault_plan);
+  }
+
+  arrival_events_.assign(requests_.size(), sim::kInvalidEvent);
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    arrival_events_[i] =
+        sim_.schedule_at(requests_[i].request_time, [this, i] { on_arrival(i); });
+  }
+}
+
+cloud::XuanfengCloud::OutcomeFn CloudWorld::outcome_sink() {
+  return [this](const cloud::TaskOutcome& outcome) {
+    outcomes_.push_back(outcome);
+  };
+}
+
+void CloudWorld::on_arrival(std::size_t index) {
+  arrival_events_[index] = sim::kInvalidEvent;
+  const workload::WorkloadRecord& request = requests_[index];
+  cloud_->submit(request, users_->user(request.user_id), outcome_sink());
+}
+
+std::uint64_t CloudWorld::run(std::uint64_t max_events) {
+  return sim_.run(max_events);
+}
+
+std::size_t CloudWorld::pending_arrival_count() const {
+  std::size_t n = 0;
+  for (sim::EventId id : arrival_events_) {
+    if (id != sim::kInvalidEvent) ++n;
+  }
+  return n;
+}
+
+void CloudWorld::checkpoint_tick() {
+  checkpoint_event_ = sim::kInvalidEvent;
+  // Reschedule BEFORE saving, so the checkpoint carries the next tick and
+  // a resumed run keeps the identical checkpoint cadence (and event ids).
+  // No reschedule once the queue is otherwise empty: the tick must not
+  // keep a finished week alive.
+  if (sim_.pending_count() > 0 && options_.checkpoint_period > 0) {
+    checkpoint_event_ = sim_.schedule_after(options_.checkpoint_period,
+                                            [this] { checkpoint_tick(); });
+  }
+  if (options_.audit_at_checkpoint) {
+    const std::vector<std::string> problems = audit(*this);
+    if (!problems.empty()) {
+      std::string msg = "world audit failed at t=" +
+                        std::to_string(sim_.now()) + ":";
+      for (const std::string& p : problems) msg += "\n  - " + p;
+      throw SnapshotError(msg);
+    }
+  }
+  if (!options_.checkpoint_path.empty()) {
+    write_snapshot_file(options_.checkpoint_path, save_to_buffer());
+    ++checkpoints_written_;
+  }
+}
+
+std::uint64_t CloudWorld::config_fingerprint() const {
+  // FNV-1a over the config scalars that shape the deterministic build. A
+  // checkpoint only makes sense over the exact world it was taken from;
+  // restoring under a different config must fail before any state loads.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_f = [&mix](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(config_.seed);
+  mix(config_.catalog.num_files);
+  mix_f(config_.catalog.total_weekly_requests);
+  mix(config_.users.num_users);
+  mix(config_.requests.num_requests);
+  mix(static_cast<std::uint64_t>(config_.requests.duration));
+  mix(config_.cloud.storage_capacity);
+  mix(config_.cloud.predownloader_count);
+  mix_f(config_.cloud.total_upload_capacity);
+  mix(static_cast<std::uint64_t>(config_.warmup_weeks));
+  mix(config_.fault_plan.faults.size());
+  for (const fault::FaultSpec& s : config_.fault_plan.faults) {
+    mix(static_cast<std::uint64_t>(s.kind));
+    mix(static_cast<std::uint64_t>(s.start));
+    mix(static_cast<std::uint64_t>(s.duration));
+    mix_f(s.rate);
+    mix_f(s.severity);
+    mix(static_cast<std::uint64_t>(s.isp));
+    mix(static_cast<std::uint64_t>(s.flap_period));
+  }
+  mix(static_cast<std::uint64_t>(options_.checkpoint_period));
+  return h;
+}
+
+std::string CloudWorld::save_to_buffer() const {
+  SnapshotWriter w;
+
+  w.begin_section(kSectionMeta, kMetaVersion);
+  w.u64(kTagFingerprint, config_fingerprint());
+  w.u64(kTagRequestCount, requests_.size());
+  w.i64(kTagNow, sim_.now());
+  w.end_section();
+
+  w.begin_section(kSectionCloudState, kCloudVersion);
+  sim_.save(w);
+  net_.save(w);
+  cloud_->save(w);
+  w.end_section();
+
+  w.begin_section(kSectionFault, kFaultVersion);
+  w.b(kTagHasInjector, injector_.has_value());
+  if (injector_) injector_->save_snapshot(w);
+  w.end_section();
+
+  w.begin_section(kSectionWorld, kWorldVersion);
+  w.u64(kTagOutcomeCount, outcomes_.size());
+  for (const cloud::TaskOutcome& o : outcomes_) save_outcome(w, o);
+  w.u64(kTagPendingArrivalCount, pending_arrival_count());
+  for (std::size_t i = 0; i < arrival_events_.size(); ++i) {
+    if (arrival_events_[i] == sim::kInvalidEvent) continue;
+    w.u64(kTagArrivalIndex, i);
+    w.u64(kTagArrivalEvent, arrival_events_[i]);
+  }
+  w.u64(kTagCheckpointEvent, checkpoint_event_);
+  w.end_section();
+
+  return w.take();
+}
+
+void CloudWorld::load_from(const std::string& buffer) {
+  SnapshotReader r(buffer);
+
+  r.require_section(kSectionMeta, kMetaVersion);
+  const std::uint64_t fingerprint = r.u64(kTagFingerprint);
+  if (fingerprint != config_fingerprint()) {
+    throw SnapshotError(
+        "world: checkpoint was taken under a different experiment "
+        "configuration (fingerprint mismatch) — refusing to restore");
+  }
+  const std::uint64_t request_count = r.u64(kTagRequestCount);
+  if (request_count != requests_.size()) {
+    throw SnapshotError("world: checkpoint request count " +
+                        std::to_string(request_count) +
+                        " != rebuilt workload size " +
+                        std::to_string(requests_.size()));
+  }
+  (void)r.i64(kTagNow);
+  r.end_section();
+
+  r.require_section(kSectionCloudState, kCloudVersion);
+  // sim_.load wipes the queue build() just filled and parks the
+  // checkpointed events in the rearm table; everything after this point
+  // reclaims its own events by id.
+  sim_.load(r);
+  net_.load(r);
+  cloud_->load(r, outcome_sink());
+  r.end_section();
+
+  r.require_section(kSectionFault, kFaultVersion);
+  const bool has_injector = r.b(kTagHasInjector);
+  if (has_injector != injector_.has_value()) {
+    throw SnapshotError(
+        "world: checkpoint and config disagree about the fault injector");
+  }
+  if (injector_) injector_->load_snapshot(r);
+  r.end_section();
+
+  r.require_section(kSectionWorld, kWorldVersion);
+  outcomes_.clear();
+  const std::uint64_t outcome_count = r.u64(kTagOutcomeCount);
+  outcomes_.reserve(requests_.size());
+  for (std::uint64_t i = 0; i < outcome_count; ++i) {
+    outcomes_.push_back(load_outcome(r));
+  }
+
+  // build() scheduled every arrival with ids that — by determinism — must
+  // equal the checkpointed ids of the arrivals still pending. Verifying
+  // that equality catches any divergence between the checkpointing and
+  // restoring builds before the simulation resumes.
+  const std::vector<sim::EventId> built = std::move(arrival_events_);
+  arrival_events_.assign(requests_.size(), sim::kInvalidEvent);
+  const std::uint64_t pending = r.u64(kTagPendingArrivalCount);
+  for (std::uint64_t k = 0; k < pending; ++k) {
+    const std::uint64_t raw_index = r.u64(kTagArrivalIndex);
+    const sim::EventId event = r.u64(kTagArrivalEvent);
+    if (raw_index >= requests_.size()) {
+      throw SnapshotError("world: arrival index out of range");
+    }
+    const std::size_t i = static_cast<std::size_t>(raw_index);
+    if (built[i] != event) {
+      throw SnapshotError(
+          "world: arrival event id mismatch between checkpoint and rebuilt "
+          "schedule — the builds diverged");
+    }
+    sim_.rearm(event, [this, i] { on_arrival(i); });
+    arrival_events_[i] = event;
+  }
+
+  checkpoint_event_ = r.u64(kTagCheckpointEvent);
+  if (checkpoint_event_ != sim::kInvalidEvent) {
+    sim_.rearm(checkpoint_event_, [this] { checkpoint_tick(); });
+  }
+  r.end_section();
+
+  if (!r.at_end()) {
+    throw SnapshotError("world: trailing data after the final section");
+  }
+  if (sim_.unclaimed_rearm_count() != 0) {
+    std::string msg = "world: " +
+                      std::to_string(sim_.unclaimed_rearm_count()) +
+                      " checkpointed event(s) were never rearmed (orphaned):";
+    for (sim::EventId id : sim_.unclaimed_rearm_ids()) {
+      msg += " #" + std::to_string(id);
+    }
+    throw SnapshotError(msg);
+  }
+  if (net_.flows_awaiting_callback() != 0) {
+    throw SnapshotError(
+        "world: " + std::to_string(net_.flows_awaiting_callback()) +
+        " restored flow(s) never had their completion callback re-attached");
+  }
+}
+
+analysis::CloudReplayResult CloudWorld::finalize() const {
+  analysis::CloudReplayResult result;
+  result.requests = requests_;
+  result.outcomes = outcomes_;
+  result.users = users_;
+  result.catalog = catalog_;
+
+  // Identical to run_cloud_replay's epilogue: report the paper's
+  // popularity (full-week request count), not the trailing count the
+  // content DB saw at decision time.
+  {
+    std::unordered_map<workload::FileIndex, double> week_counts;
+    for (const auto& req : result.requests) week_counts[req.file] += 1.0;
+    for (auto& o : result.outcomes) {
+      if (o.task_id < 1 || o.task_id > result.requests.size()) continue;
+      o.weekly_popularity = week_counts[result.requests[o.task_id - 1].file];
+      o.popularity = workload::classify_popularity(o.weekly_popularity);
+    }
+  }
+
+  result.cache_hit_ratio = cloud_->storage().hit_ratio();
+  result.fetch_rejections = cloud_->uploads().rejected_count();
+  result.fetch_admissions = cloud_->uploads().admitted_count();
+  result.privileged_paths = cloud_->uploads().privileged_count();
+  result.vm_crashes = cloud_->predownloaders().crash_count();
+  result.vm_retries = cloud_->predownloaders().retry_count();
+  result.vm_retries_exhausted = cloud_->predownloaders().retries_exhausted();
+  result.shed_fetches = cloud_->uploads().shed_count();
+  result.oversubscribed_fetches = cloud_->uploads().oversubscribed_count();
+  result.storage_fault_evictions = cloud_->storage().fault_evictions();
+  for (std::size_t c = 0; c < result.rejections_by_class.size(); ++c) {
+    result.rejections_by_class[c] = cloud_->uploads().rejected_count(
+        static_cast<workload::PopularityClass>(c));
+  }
+  if (injector_) result.faults_fired = injector_->total_fired();
+  result.duration = config_.requests.duration;
+  result.cloud_capacity = config_.cloud.total_upload_capacity;
+  return result;
+}
+
+}  // namespace odr::snapshot

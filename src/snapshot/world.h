@@ -1,0 +1,129 @@
+// CloudWorld: a checkpointable variant of analysis::run_cloud_replay.
+//
+// run_cloud_replay owns all experiment state in stack locals and lambda
+// captures, so it cannot be interrupted. CloudWorld holds the identical
+// state as inspectable members and drives the identical construction
+// sequence (same rng draw order, same event scheduling order), which makes
+// its fault-free results equal to run_cloud_replay's — a property the test
+// suite asserts — while adding the ability to
+//
+//   - write a CRC-protected checkpoint of the ENTIRE mutable world
+//     (simulator queue, network flows, cloud, fault injector, pending
+//     arrivals, accumulated outcomes) at any event boundary, and
+//   - reconstruct a world from such a checkpoint and resume it to a final
+//     state bit-identical to the uninterrupted run.
+//
+// Restore works by replaying the deterministic build (catalog, users,
+// workload, topology — all pure functions of the config) and then loading
+// only the mutable state over it. The simulator parks every checkpointed
+// event in a rearm table; each component reclaims its own events, and any
+// unclaimed event fails the restore loudly (see sim::Simulator::rearm).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/replay.h"
+#include "cloud/xuanfeng.h"
+#include "fault/injector.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+#include "workload/catalog.h"
+#include "workload/trace.h"
+#include "workload/user_model.h"
+
+namespace odr::snapshot {
+
+struct WorldOptions {
+  // Checkpoint file target; empty disables file writes (checkpoint events
+  // still fire so the event stream is identical either way).
+  std::string checkpoint_path;
+  // Simulated time between checkpoints; 0 disables the periodic tick
+  // entirely (then a run is NOT comparable to one that had ticks).
+  SimTime checkpoint_period = 12 * kHour;
+  // Run the invariant auditor at every checkpoint boundary and throw
+  // SnapshotError on any violation.
+  bool audit_at_checkpoint = true;
+};
+
+class CloudWorld {
+ public:
+  // Fresh world: deterministic build + arrival schedule + checkpoint tick.
+  CloudWorld(const analysis::ExperimentConfig& config, WorldOptions options);
+
+  // Restored world: deterministic build, then the checkpoint buffer is
+  // loaded over it. Throws SnapshotError (leaving no half-loaded object —
+  // construction fails) on any corruption, version, or config mismatch.
+  CloudWorld(const analysis::ExperimentConfig& config, WorldOptions options,
+             const std::string& buffer);
+
+  CloudWorld(const CloudWorld&) = delete;
+  CloudWorld& operator=(const CloudWorld&) = delete;
+
+  // Runs the event loop until it drains; `max_events` bounds the run (used
+  // by the kill harness to stop mid-week). Returns events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  // Post-run popularity reclassification + counter harvest, mirroring
+  // run_cloud_replay's epilogue field for field.
+  analysis::CloudReplayResult finalize() const;
+
+  // Serializes the full mutable world state. Read-only: a checkpoint never
+  // perturbs the run it observes.
+  std::string save_to_buffer() const;
+
+  // --- introspection (auditor, tests, harness) ----------------------------
+  const sim::Simulator& sim() const { return sim_; }
+  const net::Network& net() const { return net_; }
+  const cloud::XuanfengCloud& cloud() const { return *cloud_; }
+  const fault::FaultInjector* injector() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
+  const analysis::ExperimentConfig& config() const { return config_; }
+  const WorldOptions& options() const { return options_; }
+  const std::vector<workload::WorkloadRecord>& requests() const {
+    return requests_;
+  }
+  const std::vector<cloud::TaskOutcome>& outcomes() const { return outcomes_; }
+  std::size_t pending_arrival_count() const;
+  bool checkpoint_armed() const { return checkpoint_event_ != sim::kInvalidEvent; }
+  std::uint64_t checkpoints_written() const { return checkpoints_written_; }
+
+ private:
+  // The shared deterministic build: identical between fresh construction,
+  // restore, and analysis::run_cloud_replay.
+  void build();
+  void on_arrival(std::size_t index);
+  void checkpoint_tick();
+  void load_from(const std::string& buffer);
+  cloud::XuanfengCloud::OutcomeFn outcome_sink();
+  std::uint64_t config_fingerprint() const;
+
+  analysis::ExperimentConfig config_;
+  WorldOptions options_;
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::shared_ptr<workload::Catalog> catalog_;
+  std::shared_ptr<workload::UserPopulation> users_;
+  std::optional<cloud::XuanfengCloud> cloud_;
+  std::optional<fault::FaultInjector> injector_;
+
+  std::vector<workload::WorkloadRecord> requests_;
+  // arrival_events_[i] is the pending arrival event for requests_[i], or
+  // kInvalidEvent once it fired. Indexed identity (not closures) is what
+  // lets arrivals survive a restore.
+  std::vector<sim::EventId> arrival_events_;
+  std::vector<cloud::TaskOutcome> outcomes_;
+
+  sim::EventId checkpoint_event_ = sim::kInvalidEvent;
+  // Deliberately NOT serialized: a resumed run re-counts from zero, and
+  // excluding it keeps baseline and resumed checkpoints byte-comparable.
+  std::uint64_t checkpoints_written_ = 0;
+};
+
+}  // namespace odr::snapshot

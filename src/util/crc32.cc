@@ -1,0 +1,40 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace odr {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // CRC32C, reflected
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data,
+                            std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t len) {
+  return crc32c_extend(0, data, len);
+}
+
+}  // namespace odr

@@ -1,0 +1,54 @@
+// Minimal JSON emitter for machine-readable bench output.
+//
+// Benches historically printed human tables plus ad-hoc CSVs; CI and the
+// paper-regeneration scripts want a single structured artifact per bench
+// (BENCH_<name>.json). This writer covers exactly that: objects, arrays,
+// scalars, correct string escaping, and round-trippable number formatting.
+// It is an emitter only — parsing is out of scope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace odr {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  // Inside an object: names the next value (or container).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  // key(name).value(v) in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  // Writes str() plus a trailing newline; returns false on IO failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  void separate();
+
+  std::string out_;
+  // Element counts per open container, used for comma placement.
+  std::vector<std::size_t> counts_;
+  bool after_key_ = false;
+};
+
+}  // namespace odr

@@ -76,6 +76,31 @@ class LruCache {
     return entries_.back().key;
   }
 
+  // --- snapshot support ---------------------------------------------------
+
+  // Visits entries most- to least-recently-used: fn(key, value, size).
+  template <typename Fn>
+  void for_each_mru_to_lru(Fn fn) const {
+    for (const Entry& e : entries_) fn(e.key, e.value, e.size_bytes);
+  }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+    used_bytes_ = 0;
+  }
+
+  // Restore path: appends at the LRU end with no capacity check; the caller
+  // feeds back entries in MRU->LRU order, reproducing the exact recency
+  // list a checkpoint recorded.
+  void restore_push_back(const Key& key, Value value, std::uint64_t size_bytes) {
+    entries_.push_back(Entry{key, std::move(value), size_bytes});
+    index_[key] = std::prev(entries_.end());
+    used_bytes_ += size_bytes;
+  }
+
+  void set_eviction_count(std::uint64_t n) { evictions_ = n; }
+
  private:
   struct Entry {
     Key key;

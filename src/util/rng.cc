@@ -25,11 +25,14 @@ void Rng::reseed(std::uint64_t seed) {
   if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
     state_[0] = 1;
   }
+  stream_id_ = seed;
+  draws_ = 0;
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
 
 std::uint64_t Rng::next_u64() {
+  ++draws_;
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;
   state_[2] ^= state_[0];

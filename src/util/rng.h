@@ -14,19 +14,43 @@
 
 namespace odr {
 
+// Complete serializable state of an Rng: the four xoshiro256** words plus
+// the stream id (the seed this stream was created from) and the number of
+// draws taken so far. Restoring this state reproduces the exact subsequent
+// draw sequence, which is what makes checkpoint/restore bit-identical.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  std::uint64_t stream_id = 0;
+  std::uint64_t draws = 0;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
 
   // Re-initializes the state from a 64-bit seed via SplitMix64, the
-  // recommended seeding procedure for xoshiro.
+  // recommended seeding procedure for xoshiro. Resets the draw counter and
+  // records the seed as this stream's id.
   void reseed(std::uint64_t seed);
 
   // Derives an independent child stream; used to give each model component
   // its own stream so adding draws in one component does not perturb others.
+  // The child's stream id is the seed drawn from the parent.
   Rng fork();
 
   std::uint64_t next_u64();
+
+  RngState state() const { return {state_, stream_id_, draws_}; }
+  void set_state(const RngState& st) {
+    state_ = st.s;
+    stream_id_ = st.stream_id;
+    draws_ = st.draws;
+  }
+
+  // Identifies which seed produced this stream (for snapshot diagnostics).
+  std::uint64_t stream_id() const { return stream_id_; }
+  // Number of next_u64() calls since the last reseed/set_state baseline.
+  std::uint64_t draw_count() const { return draws_; }
 
   // Uniform in [0, 1).
   double uniform();
@@ -67,6 +91,8 @@ class Rng {
 
  private:
   std::array<std::uint64_t, 4> state_{};
+  std::uint64_t stream_id_ = 0;
+  std::uint64_t draws_ = 0;
 };
 
 // Samples ranks from a Zipf distribution over {1..n} with exponent s,

@@ -1,0 +1,33 @@
+// Snapshot serializers for the plain-data workload record types.
+//
+// These are shared by every component that checkpoints records (the cloud's
+// in-flight waiter queues, outcome logs, AP task state). All fields are
+// written with explicit tags inline in the caller's section, so a record
+// layout change shows up as a tag/length mismatch at load time.
+#pragma once
+
+#include "snapshot/format.h"
+#include "workload/file.h"
+#include "workload/trace.h"
+#include "workload/user_model.h"
+
+namespace odr::workload {
+
+void save_file_info(snapshot::SnapshotWriter& w, const FileInfo& f);
+FileInfo load_file_info(snapshot::SnapshotReader& r);
+
+void save_user(snapshot::SnapshotWriter& w, const User& u);
+User load_user(snapshot::SnapshotReader& r);
+
+void save_workload_record(snapshot::SnapshotWriter& w,
+                          const WorkloadRecord& rec);
+WorkloadRecord load_workload_record(snapshot::SnapshotReader& r);
+
+void save_predownload_record(snapshot::SnapshotWriter& w,
+                             const PreDownloadRecord& rec);
+PreDownloadRecord load_predownload_record(snapshot::SnapshotReader& r);
+
+void save_fetch_record(snapshot::SnapshotWriter& w, const FetchRecord& rec);
+FetchRecord load_fetch_record(snapshot::SnapshotReader& r);
+
+}  // namespace odr::workload

@@ -111,6 +111,9 @@ TEST_F(CircuitBreakerTest, RecoversThroughHalfOpenProbes) {
   EXPECT_EQ(b.state(), core::CircuitBreaker::State::kHalfOpen);
   b.record_success();
   EXPECT_EQ(b.state(), core::CircuitBreaker::State::kHalfOpen);
+  // Each probe outcome must correspond to an admitted probe: a success
+  // that nobody was granted a slot for does not count toward recovery.
+  EXPECT_TRUE(b.allow());
   b.record_success();
   EXPECT_EQ(b.state(), core::CircuitBreaker::State::kClosed);
 }
@@ -126,6 +129,82 @@ TEST_F(CircuitBreakerTest, HalfOpenFailureReopensImmediately) {
   EXPECT_FALSE(b.allow());
 }
 
+TEST_F(CircuitBreakerTest, HalfOpenFailureDoublesCooldownUpToCap) {
+  config.max_open_duration = 18 * kMinute;
+  core::CircuitBreaker b(sim, config);
+  trip(b);
+  EXPECT_EQ(b.cooldown(), 5 * kMinute);
+
+  // Every failed probe round doubles the cool-off: 5 -> 10 -> 18 (capped).
+  SimTime t = 0;
+  const SimTime expected[] = {10 * kMinute, 18 * kMinute, 18 * kMinute};
+  for (SimTime next : expected) {
+    t += b.cooldown() + kMinute;
+    sim.run_until(t);
+    ASSERT_TRUE(b.allow());  // half-open probe
+    b.record_failure();
+    EXPECT_EQ(b.state(), core::CircuitBreaker::State::kOpen);
+    EXPECT_EQ(b.cooldown(), next);
+  }
+
+  // A successful recovery resets the backoff to the base cool-off.
+  t += b.cooldown() + kMinute;
+  sim.run_until(t);
+  for (std::uint32_t i = 0; i < config.half_open_probes; ++i) {
+    ASSERT_TRUE(b.allow());
+    b.record_success();
+  }
+  EXPECT_EQ(b.state(), core::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.cooldown(), config.open_duration);
+
+  // A fresh trip from CLOSED starts from the base cool-off again, not the
+  // doubled one.
+  trip(b);
+  EXPECT_EQ(b.cooldown(), config.open_duration);
+}
+
+TEST_F(CircuitBreakerTest, ConcurrentProbesAreCappedAndNotDoubleCounted) {
+  core::CircuitBreaker b(sim, config);
+  trip(b);
+  sim.run_until(6 * kMinute);
+
+  // Only half_open_probes (2) concurrent probes may be admitted; the third
+  // request is refused while both are still in flight.
+  EXPECT_TRUE(b.allow());
+  EXPECT_TRUE(b.allow());
+  EXPECT_EQ(b.probes_inflight(), 2u);
+  const std::uint64_t refusals_before = b.refusals();
+  EXPECT_FALSE(b.allow());
+  EXPECT_EQ(b.refusals(), refusals_before + 1);
+
+  // Successes without an admitted probe slot must not count: the breaker
+  // needs half_open_probes outcomes from ADMITTED probes to close.
+  b.record_success();
+  EXPECT_EQ(b.state(), core::CircuitBreaker::State::kHalfOpen);
+  b.record_success();
+  EXPECT_EQ(b.state(), core::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(b.probes_inflight(), 0u);
+}
+
+TEST_F(CircuitBreakerTest, ReleaseProbeFreesASlotWithoutJudging) {
+  core::CircuitBreaker b(sim, config);
+  trip(b);
+  sim.run_until(6 * kMinute);
+  EXPECT_TRUE(b.allow());
+  EXPECT_TRUE(b.allow());
+  EXPECT_FALSE(b.allow());
+  // The first probe ends with a source-model failure (says nothing about
+  // the substrate): its slot is released, no state change.
+  b.release_probe();
+  EXPECT_EQ(b.state(), core::CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(b.probes_inflight(), 1u);
+  // The freed slot admits a new probe; two real successes then close.
+  EXPECT_TRUE(b.allow());
+  b.record_success();
+  b.record_success();
+  EXPECT_EQ(b.state(), core::CircuitBreaker::State::kClosed);
+}
+
 // ---------------------------------------------------------------------------
 // DownloadTask: abort / external failure / checksum-verify retries.
 
@@ -136,6 +215,8 @@ class TaskFaultTest : public ::testing::Test {
    public:
     explicit FixedSource(Rate rate, proto::Protocol protocol)
         : rate_(rate), protocol_(protocol) {}
+    // Test-only source; never checkpointed.
+    void save(snapshot::SnapshotWriter&) const override {}
     Rate current_rate() const override { return rate_; }
     void tick(SimTime, Rng&) override {}
     bool fatal() const override { return false; }

@@ -16,6 +16,9 @@ class FakeSource final : public Source {
   explicit FakeSource(Rate rate, double traffic = 1.0)
       : rate_(rate), traffic_(traffic) {}
 
+  // Test-only source; never checkpointed.
+  void save(snapshot::SnapshotWriter&) const override {}
+
   Rate current_rate() const override { return rate_; }
   void tick(SimTime dt, Rng&) override { elapsed_ += dt; if (elapsed_ >= fatal_after_) fatal_ = fatal_armed_; }
   bool fatal() const override { return fatal_; }

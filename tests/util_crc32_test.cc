@@ -1,0 +1,50 @@
+#include "util/crc32.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace odr {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 appendix B.4 / the canonical CRC32C check value.
+  EXPECT_EQ(crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(crc32c(""), 0x00000000u);
+  EXPECT_EQ(crc32c("The quick brown fox jumps over the lazy dog"),
+            0x22620404u);
+}
+
+TEST(Crc32cTest, ZeroBuffers) {
+  // iSCSI test vectors: 32 bytes of zeros / 32 bytes of 0xFF.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(crc32c(ones), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t crc = crc32c_extend(0, data.data(), split);
+    crc = crc32c_extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SingleBitFlipIsDetected) {
+  std::string data(257, 'x');
+  const std::uint32_t clean = crc32c(data);
+  for (std::size_t byte : {std::size_t{0}, data.size() / 2, data.size() - 1}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(crc32c(corrupt), clean)
+          << "flip byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odr
