@@ -18,6 +18,7 @@
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
+#include "obs/observer.h"
 #include "util/args.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -105,6 +106,14 @@ int main(int argc, char** argv) {
   const double divisor = args.get_double("divisor");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
 
+  // Bench-wide metrics registry, snapshotted into the JSON output. Fault
+  // dumps are off because every chaos plan fires faults by design; the
+  // flight recorder still keeps the tail of events for a bench-abort dump.
+  obs::ObsConfig bench_obs;
+  bench_obs.tracing = false;
+  bench_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver bench(bench_obs);
+
   std::vector<RunMetrics> runs;
   runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(0), "baseline"));
   runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(1), "mild"));
@@ -150,6 +159,10 @@ int main(int argc, char** argv) {
               deterministic ? "PASS" : "FAIL");
 
   const bool pass = failure_ok && hp_ok && deterministic;
+  if (!pass) {
+    bench->flight().auto_dump(obs::FlightRecorder::DumpTrigger::kBenchAbort,
+                              "chaos_week acceptance failed");
+  }
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
     JsonWriter j;
@@ -185,6 +198,8 @@ int main(int argc, char** argv) {
         .field("zero_highly_popular_rejections", hp_ok)
         .field("deterministic_rerun", deterministic)
         .end_object();
+    j.key("metrics");
+    bench->write_metrics_json(j);
     j.field("pass", pass).end_object();
     if (j.write_file(json_path)) {
       std::printf("results written to %s\n", json_path.c_str());

@@ -20,6 +20,7 @@
 
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
+#include "obs/observer.h"
 #include "snapshot/snapshotter.h"
 #include "snapshot/world.h"
 #include "util/args.h"
@@ -138,6 +139,81 @@ PlanResult run_plan(int plan, const std::string& label, double divisor,
   return pr;
 }
 
+// Determinism guard for the observability layer: observability must be
+// pure derived state, so (a) a week observed with full tracing + metrics +
+// sampling serializes byte-identically to the same week unobserved, and
+// (b) a kill-and-resume cycle under full observability still reconverges
+// to the unobserved reference bits and outcome stream.
+struct ObsGuardResult {
+  bool ref_matches_unobserved = false;
+  bool checkpoint_used = false;
+  bool resume_bit_identical = false;
+  bool outcomes_match = false;
+  bool pass() const {
+    return ref_matches_unobserved && checkpoint_used && resume_bit_identical &&
+           outcomes_match;
+  }
+};
+
+ObsGuardResult run_obs_guard(double divisor, std::uint64_t seed, SimTime period,
+                             const std::string& ckpt_path) {
+  analysis::ExperimentConfig config =
+      analysis::make_scaled_config(divisor, seed);
+  config.cloud.degraded_admission = true;
+  config.fault_plan = fault::make_chaos_plan(3);
+
+  snapshot::WorldOptions opts;
+  opts.checkpoint_period = period;
+  opts.audit_at_checkpoint = true;
+
+  // Unobserved reference: explicitly uninstall any ambient observer.
+  std::string plain_state;
+  std::uint64_t plain_fingerprint = 0;
+  std::uint64_t plain_events = 0;
+  {
+    obs::Observer* prev = obs::current();
+    obs::set_current(nullptr);
+    snapshot::CloudWorld reference(config, opts);
+    plain_events = reference.run();
+    plain_state = reference.save_to_buffer();
+    plain_fingerprint = outcome_fingerprint(reference.finalize().outcomes);
+    obs::set_current(prev);
+  }
+
+  ObsGuardResult g;
+  obs::ObsConfig ocfg;  // full observability: tracing, metrics, sampler
+  ocfg.trace_max_events = 1u << 16;
+  ocfg.dump_on_fault_fired = false;  // chaos plan 3 fires constantly
+  obs::ScopedObserver scoped(ocfg);
+
+  {
+    snapshot::CloudWorld observed(config, opts);
+    observed.run();
+    g.ref_matches_unobserved = observed.save_to_buffer() == plain_state;
+  }
+
+  snapshot::WorldOptions victim_opts = opts;
+  victim_opts.checkpoint_path = ckpt_path;
+  std::remove(ckpt_path.c_str());
+  {
+    snapshot::CloudWorld victim(config, victim_opts);
+    victim.run(std::max<std::uint64_t>(1, plain_events / 2));
+  }
+  g.checkpoint_used = file_exists(ckpt_path);
+  std::unique_ptr<snapshot::CloudWorld> revived;
+  if (g.checkpoint_used) {
+    revived = snapshot::Restorer::restore_file(config, victim_opts, ckpt_path);
+  } else {
+    revived = std::make_unique<snapshot::CloudWorld>(config, victim_opts);
+  }
+  revived->run();
+  g.resume_bit_identical = revived->save_to_buffer() == plain_state;
+  g.outcomes_match =
+      outcome_fingerprint(revived->finalize().outcomes) == plain_fingerprint;
+  std::remove(ckpt_path.c_str());
+  return g;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -158,6 +234,15 @@ int main(int argc, char** argv) {
   const int kills = static_cast<int>(args.get_int("kills"));
   const SimTime period = args.get_int("period-hours") * kHour;
   Rng kill_rng(static_cast<std::uint64_t>(args.get_int("kill-seed")));
+
+  // Bench-wide observer: accumulates the metrics registry across every run
+  // below (snapshotted into the JSON output). Tracing stays off here — the
+  // obs guard runs its own fully-traced observer — and fault dumps are off
+  // because the chaos plans fire faults by design.
+  obs::ObsConfig bench_obs;
+  bench_obs.tracing = false;
+  bench_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver bench(bench_obs);
 
   std::vector<PlanResult> plans;
   plans.push_back(run_plan(0, "fault-free", divisor, seed, kills, period,
@@ -190,13 +275,28 @@ int main(int argc, char** argv) {
              stdout);
   std::fputs(table.render().c_str(), stdout);
 
+  const ObsGuardResult guard =
+      run_obs_guard(divisor, seed, period, args.get("ckpt"));
+
   const bool enough_kills = total_kills >= 5;
   const bool checkpoint_path_exercised = from_checkpoint > 0;
-  const bool pass = all_identical && enough_kills && checkpoint_path_exercised;
+  const bool pass = all_identical && enough_kills &&
+                    checkpoint_path_exercised && guard.pass();
   std::printf("\nacceptance: every resume bit-identical to the reference: %s\n",
               all_identical ? "PASS" : "FAIL");
   std::printf("acceptance: >= 5 kill points (%d run, %d from a checkpoint): %s\n",
               total_kills, from_checkpoint, enough_kills ? "PASS" : "FAIL");
+  std::printf(
+      "acceptance: full observability is state-transparent "
+      "(ref=%s ckpt=%s resume=%s outcomes=%s): %s\n",
+      guard.ref_matches_unobserved ? "ok" : "DIVERGED",
+      guard.checkpoint_used ? "ok" : "missing",
+      guard.resume_bit_identical ? "ok" : "DIVERGED",
+      guard.outcomes_match ? "ok" : "DIVERGED", guard.pass() ? "PASS" : "FAIL");
+  if (!pass) {
+    bench->flight().auto_dump(obs::FlightRecorder::DumpTrigger::kBenchAbort,
+                              "crash_resume acceptance failed");
+  }
 
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
@@ -228,7 +328,18 @@ int main(int argc, char** argv) {
       }
       j.end_array().end_object();
     }
-    j.end_array().field("pass", pass).end_object();
+    j.end_array();
+    j.key("obs_guard")
+        .begin_object()
+        .field("ref_matches_unobserved", guard.ref_matches_unobserved)
+        .field("checkpoint_used", guard.checkpoint_used)
+        .field("resume_bit_identical", guard.resume_bit_identical)
+        .field("outcomes_match", guard.outcomes_match)
+        .field("pass", guard.pass())
+        .end_object();
+    j.key("metrics");
+    bench->write_metrics_json(j);
+    j.field("pass", pass).end_object();
     if (j.write_file(json_path)) {
       std::printf("results written to %s\n", json_path.c_str());
     } else {

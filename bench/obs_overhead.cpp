@@ -1,0 +1,108 @@
+// Observability overhead guard (runs as the `obs_overhead` ctest).
+//
+// The contract of src/obs is that the runtime-disabled state — no observer
+// installed, every ODR_* macro reduced to one global load and a branch, no
+// after-event hook on the simulator — costs nothing measurable. This bench
+// interleaves repetitions of the same short cloud week in two states:
+//
+//   disabled: no ambient observer (the default for every library user);
+//   enabled:  a full observer (metrics + tracing + flight + sampler).
+//
+// Taking the minimum wall-clock per state discards scheduler noise.
+// Acceptance: the disabled runs must not be slower than the fully-enabled
+// runs by more than 2% (plus a small absolute epsilon for timer jitter) —
+// the disabled path does strictly less work, so if this fails the "off"
+// state has grown real overhead. The enabled/disabled ratio is reported
+// for the record but not gated: enabled mode is allowed to cost.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+
+#include "analysis/replay.h"
+#include "obs/observer.h"
+#include "util/args.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace odr;
+
+double run_week_seconds(const analysis::ExperimentConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = analysis::run_cloud_replay(config);
+  const auto t1 = std::chrono::steady_clock::now();
+  // Touch the result so the replay cannot be elided.
+  if (result.outcomes.empty()) std::fputs("empty replay\n", stderr);
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Wall-clock overhead of the observability layer's disabled state.");
+  args.flag("divisor", "4000", "scale divisor vs the measured system");
+  args.flag("seed", "20151028", "workload seed");
+  args.flag("reps", "5", "repetitions per state (min is taken)");
+  args.flag("json", "BENCH_obs_overhead.json", "output JSON (empty to skip)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const analysis::ExperimentConfig config =
+      analysis::make_scaled_config(args.get_double("divisor"),
+                                   static_cast<std::uint64_t>(args.get_int("seed")));
+  const int reps = static_cast<int>(args.get_int("reps"));
+
+  // One untimed warm-up per state (page cache, allocator arenas).
+  run_week_seconds(config);
+  {
+    obs::ScopedObserver warm;
+    run_week_seconds(config);
+  }
+
+  double t_disabled = 1e100, t_enabled = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    t_disabled = std::min(t_disabled, run_week_seconds(config));
+    {
+      obs::ObsConfig ocfg;  // everything on, including tracing
+      ocfg.dump_on_fault_fired = false;
+      obs::ScopedObserver scoped(ocfg);
+      t_enabled = std::min(t_enabled, run_week_seconds(config));
+    }
+  }
+
+  const double overhead_enabled =
+      t_disabled > 0.0 ? t_enabled / t_disabled - 1.0 : 0.0;
+  constexpr double kRelSlack = 0.02;   // the 2% acceptance bound
+  constexpr double kAbsSlackS = 0.05;  // timer jitter floor
+  const bool pass = t_disabled <= t_enabled * (1.0 + kRelSlack) + kAbsSlackS;
+
+  std::printf("obs overhead, min of %d reps at 1/%s scale:\n", reps,
+              args.get("divisor").c_str());
+  std::printf("  disabled (no observer):    %8.3f s\n", t_disabled);
+  std::printf("  enabled (full observer):   %8.3f s  (%+.1f%% vs disabled)\n",
+              t_enabled, 100.0 * overhead_enabled);
+  std::printf(
+      "acceptance: disabled state within 2%% of the enabled run: %s\n",
+      pass ? "PASS" : "FAIL");
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    JsonWriter j;
+    j.begin_object()
+        .field("bench", "obs_overhead")
+        .field("divisor", args.get_double("divisor"))
+        .field("reps", static_cast<std::int64_t>(reps))
+        .field("disabled_s", t_disabled)
+        .field("enabled_s", t_enabled)
+        .field("enabled_overhead", overhead_enabled)
+        .field("pass", pass)
+        .end_object();
+    if (j.write_file(json_path)) {
+      std::printf("results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
+  return pass ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
+#include "obs/observer.h"
 #include "util/args.h"
 #include "util/json.h"
 #include "util/stats.h"
@@ -44,6 +45,14 @@ int main(int argc, char** argv) {
   args.flag("json", "BENCH_robustness_seeds.json",
             "output JSON for both sweeps (empty to skip)");
   if (!args.parse(argc, argv)) return 1;
+
+  // Bench-wide metrics registry, snapshotted into the JSON output (counters
+  // accumulate across both sweeps). Fault dumps off: the level-2 sweep fires
+  // faults by design.
+  obs::ObsConfig bench_obs;
+  bench_obs.tracing = false;
+  bench_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver bench(bench_obs);
 
   EmpiricalCdf hit, failure, unpopular_failure, fetch_median, impeded;
   std::vector<SeedMetrics> clean_runs;
@@ -199,6 +208,8 @@ int main(int argc, char** argv) {
     emit(j, clean_runs, false);
     j.key("faulted_plan2");
     emit(j, faulted_runs, true);
+    j.key("metrics");
+    bench->write_metrics_json(j);
     j.end_object();
     if (j.write_file(json_path)) {
       std::printf("results written to %s\n", json_path.c_str());

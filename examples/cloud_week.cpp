@@ -1,14 +1,20 @@
 // Example: replay a scaled Xuanfeng week and print §4-style statistics.
 //
 // Usage: cloud_week [--divisor 100] [--seed 20151028]
+//                   [--metrics-out metrics.json] [--trace-out trace.json]
 //
 // `--divisor N` runs a 1/N-scale instance of the measured system (both
 // workload and cloud capacity scale, preserving every ratio).
+// `--trace-out` writes a Chrome trace_event file; open it at
+// https://ui.perfetto.dev (or chrome://tracing) to see the week laid out
+// on per-subsystem lanes. `--trace-sample N` keeps 1-in-N flow events.
 #include <cstdio>
+#include <memory>
 
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "analysis/report.h"
+#include "obs/observer.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -18,7 +24,21 @@ int main(int argc, char** argv) {
       "simulated Xuanfeng cloud.");
   args.flag("divisor", "100", "scale divisor vs the measured system");
   args.flag("seed", "20151028", "random seed");
+  args.flag("metrics-out", "", "write a metrics-registry JSON snapshot here");
+  args.flag("trace-out", "", "write a Chrome trace_event JSON file here");
+  args.flag("trace-sample", "1", "trace 1-in-N net/proto flow events");
   if (!args.parse(argc, argv)) return 1;
+
+  const std::string metrics_out = args.get("metrics-out");
+  const std::string trace_out = args.get("trace-out");
+  std::unique_ptr<odr::obs::ScopedObserver> observer;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    odr::obs::ObsConfig ocfg;
+    ocfg.tracing = !trace_out.empty();
+    ocfg.trace_sample_every_flows =
+        static_cast<std::uint32_t>(args.get_int("trace-sample"));
+    observer = std::make_unique<odr::obs::ScopedObserver>(ocfg);
+  }
 
   const auto config = odr::analysis::make_scaled_config(
       args.get_double("divisor"), static_cast<std::uint64_t>(args.get_int("seed")));
@@ -105,5 +125,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.fetch_rejections),
               static_cast<unsigned long long>(result.fetch_admissions +
                                               result.fetch_rejections));
+
+  if (observer != nullptr) {
+    if (!metrics_out.empty()) {
+      if ((*observer)->write_metrics_file(metrics_out)) {
+        std::printf("metrics written to %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+        return 1;
+      }
+    }
+    if (!trace_out.empty()) {
+      if ((*observer)->write_trace_file(trace_out)) {
+        std::printf("trace written to %s (open at https://ui.perfetto.dev)\n",
+                    trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }

@@ -1,12 +1,19 @@
 // Example: route a replayed workload through ODR and the baselines (§6.2).
 //
-// Usage: odr_replay [--divisor 400] [--seed 20151028] [--strategies all]
+// Usage: odr_replay [--divisor 400] [--seed 20151028]
+//                   [--metrics-out metrics.json] [--trace-out trace.json]
+//
+// `--trace-out` writes a Chrome trace_event file covering all five
+// strategy replays back to back; open it at https://ui.perfetto.dev.
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "analysis/report.h"
+#include "obs/observer.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -15,7 +22,21 @@ int main(int argc, char** argv) {
       "Replay the workload under ODR and baseline routing strategies.");
   args.flag("divisor", "400", "scale divisor vs the measured system");
   args.flag("seed", "20151028", "random seed");
+  args.flag("metrics-out", "", "write a metrics-registry JSON snapshot here");
+  args.flag("trace-out", "", "write a Chrome trace_event JSON file here");
+  args.flag("trace-sample", "1", "trace 1-in-N net/proto flow events");
   if (!args.parse(argc, argv)) return 1;
+
+  const std::string metrics_out = args.get("metrics-out");
+  const std::string trace_out = args.get("trace-out");
+  std::unique_ptr<odr::obs::ScopedObserver> observer;
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    odr::obs::ObsConfig ocfg;
+    ocfg.tracing = !trace_out.empty();
+    ocfg.trace_sample_every_flows =
+        static_cast<std::uint32_t>(args.get_int("trace-sample"));
+    observer = std::make_unique<odr::obs::ScopedObserver>(ocfg);
+  }
 
   const std::vector<odr::core::Strategy> strategies = {
       odr::core::Strategy::kCloudOnly, odr::core::Strategy::kApOnly,
@@ -53,5 +74,25 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
   std::fputs(table.render().c_str(), stdout);
+
+  if (observer != nullptr) {
+    if (!metrics_out.empty()) {
+      if ((*observer)->write_metrics_file(metrics_out)) {
+        std::printf("metrics written to %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+        return 1;
+      }
+    }
+    if (!trace_out.empty()) {
+      if ((*observer)->write_trace_file(trace_out)) {
+        std::printf("trace written to %s (open at https://ui.perfetto.dev)\n",
+                    trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+        return 1;
+      }
+    }
+  }
   return 0;
 }

@@ -1,0 +1,97 @@
+#include "analysis/obs_wiring.h"
+
+#include <string>
+
+#include "cloud/predownloader.h"
+#include "cloud/storage_pool.h"
+#include "cloud/upload_scheduler.h"
+#include "cloud/xuanfeng.h"
+#include "core/circuit_breaker.h"
+#include "net/isp.h"
+#include "net/network.h"
+#include "obs/observer.h"
+#include "sim/simulator.h"
+
+namespace odr::analysis {
+
+#if ODR_OBS_ENABLED
+
+void wire_sim_observability(sim::Simulator& sim, SimTime horizon) {
+  obs::Observer* obs = obs::current();
+  if (obs == nullptr) {
+    // A previous run may have left its hook on a reused simulator; with no
+    // observer to feed there is nothing to do per event.
+    sim.clear_after_event_hook();
+    return;
+  }
+  obs->set_now(sim.now());
+  obs->enable_sampler(sim.now(), horizon);
+  // The hook captures the observer, not the other way round: the observer
+  // outlives the world, and a rebuilt world installs a fresh hook.
+  sim.set_after_event_hook([obs, &sim] { obs->on_sim_event(sim.now()); });
+}
+
+void wire_cloud_observability(sim::Simulator& sim, net::Network& net,
+                              cloud::XuanfengCloud& cloud, SimTime horizon) {
+  wire_sim_observability(sim, horizon);
+  obs::Observer* obs = obs::current();
+  if (obs == nullptr) return;
+  obs::GaugeSampler* sampler = obs->sampler();
+
+  sampler->add_probe("net.flows.live", obs::Cat::kNet, [&net] {
+    return static_cast<double>(net.active_flow_count());
+  });
+  sampler->add_probe("cloud.vm.active", obs::Cat::kCloud, [&cloud] {
+    return static_cast<double>(cloud.predownloaders().active());
+  });
+  sampler->add_probe("cloud.vm.queued", obs::Cat::kCloud, [&cloud] {
+    return static_cast<double>(cloud.predownloaders().queued());
+  });
+  sampler->add_probe("cloud.pool.used_gb", obs::Cat::kCloud, [&cloud] {
+    return static_cast<double>(cloud.storage().used_bytes()) / 1e9;
+  });
+  sampler->add_probe("cloud.pool.hit_ratio", obs::Cat::kCloud,
+                     [&cloud] { return cloud.storage().hit_ratio(); });
+  sampler->add_probe("cloud.inflight_predownloads", obs::Cat::kCloud,
+                     [&cloud] {
+                       return static_cast<double>(
+                           cloud.inflight_predownload_count());
+                     });
+  sampler->add_probe("cloud.active_fetches", obs::Cat::kCloud, [&cloud] {
+    return static_cast<double>(cloud.active_fetch_count());
+  });
+  for (net::Isp isp : net::kMajorIsps) {
+    sampler->add_probe(
+        "cloud.upload.util." + std::string(net::isp_name(isp)),
+        obs::Cat::kCloud, [&cloud, isp] {
+          const Rate cap = cloud.uploads().cluster_capacity(isp);
+          if (cap <= 0.0) return 0.0;
+          return cloud.uploads().cluster_reserved(isp) / cap;
+        });
+  }
+}
+
+void wire_breaker_probe(const char* name,
+                        const core::CircuitBreaker& breaker) {
+  obs::Observer* obs = obs::current();
+  if (obs == nullptr || obs->sampler() == nullptr) return;
+  obs->sampler()->add_probe(name, obs::Cat::kCore, [&breaker] {
+    switch (breaker.current_state()) {
+      case core::CircuitBreaker::State::kClosed: return 0.0;
+      case core::CircuitBreaker::State::kHalfOpen: return 0.5;
+      case core::CircuitBreaker::State::kOpen: return 1.0;
+    }
+    return 0.0;
+  });
+}
+
+#else  // !ODR_OBS_ENABLED
+
+void wire_sim_observability(sim::Simulator&, SimTime) {}
+void wire_cloud_observability(sim::Simulator&, net::Network&,
+                              cloud::XuanfengCloud&, SimTime) {}
+void wire_breaker_probe(const char*, const core::CircuitBreaker&) {}
+
+#endif  // ODR_OBS_ENABLED
+
+}  // namespace odr::analysis

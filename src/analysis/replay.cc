@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 
+#include "analysis/obs_wiring.h"
 #include "ap/ap_models.h"
 #include "fault/injector.h"
 #include "net/network.h"
@@ -118,6 +119,12 @@ CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
                    });
     });
   }
+
+  SimTime horizon = 0;
+  for (const auto& request : result.requests) {
+    horizon = std::max(horizon, request.request_time);
+  }
+  wire_cloud_observability(sim, net, cloud, horizon + kDay);
 
   sim.run();
 
@@ -234,6 +241,7 @@ CloudReplayResult run_cloud_replay_from_trace(
                    });
     });
   }
+  wire_cloud_observability(sim, net, cloud, horizon + kDay);
   sim.run();
 
   {
@@ -351,6 +359,9 @@ ApReplayResult run_ap_replay(const ApReplayConfig& config) {
   };
   for (std::size_t i = 0; i < aps.size(); ++i) start_next(i);
 
+  // Sequential chaining means the finish time is workload-dependent; give
+  // the sampler a generous window rather than an exact horizon.
+  wire_sim_observability(sim, 8 * kWeek);
   sim.run();
   return result;
 }
@@ -449,6 +460,14 @@ StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config) {
                        });
     });
   }
+
+  SimTime horizon = 0;
+  for (const auto& request : requests) {
+    horizon = std::max(horizon, request.request_time);
+  }
+  wire_cloud_observability(sim, net, cloud, horizon + kDay);
+  if (cloud_breaker) wire_breaker_probe("core.breaker.cloud", *cloud_breaker);
+  if (ap_breaker) wire_breaker_probe("core.breaker.ap", *ap_breaker);
 
   sim.run();
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 #include "workload/snapshot.h"
 
@@ -58,6 +59,7 @@ SimTime SmartAp::lan_fetch_duration(Bytes bytes, Rng& rng) const {
 void SmartAp::predownload(const workload::FileInfo& file,
                           Rate rate_restriction, DoneFn done) {
   const std::uint64_t id = next_id_++;
+  ODR_COUNT("ap.predownloads.submitted");
   Running r;
   r.done = std::move(done);
   r.file = file;
@@ -110,6 +112,9 @@ void SmartAp::crash() {
   if (rebooting_) return;  // already down
   ++crashes_;
   rebooting_ = true;
+  ODR_COUNT("ap.crashes");
+  ODR_TRACE_INSTANT(kAp, "ap.crash");
+  ODR_FLIGHT(kAp, kWarn, "ap.crash", static_cast<double>(tasks_.size()));
   if (self_crash_event_ != sim::kInvalidEvent) {
     sim_.cancel(self_crash_event_);
     self_crash_event_ = sim::kInvalidEvent;
@@ -166,6 +171,8 @@ void SmartAp::crash() {
 void SmartAp::finish_reboot() {
   reboot_event_ = sim::kInvalidEvent;
   rebooting_ = false;
+  ODR_COUNT("ap.reboots");
+  ODR_TRACE_INSTANT(kAp, "ap.reboot");
   std::vector<std::uint64_t> to_start;
   for (const auto& [id, r] : tasks_) {
     if (!r.task) to_start.push_back(id);

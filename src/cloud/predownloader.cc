@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 #include "workload/snapshot.h"
 
@@ -55,6 +56,7 @@ void PreDownloaderPool::submit(const workload::FileInfo& file, DoneFn done) {
 void PreDownloaderPool::start_task(Pending pending) {
   const std::uint64_t slot = next_slot_++;
   ++started_;
+  ODR_COUNT("cloud.vm.tasks.started");
 
   auto source = proto::make_source(pending.file.protocol,
                                    pending.file.expected_weekly_requests,
@@ -93,7 +95,12 @@ std::size_t PreDownloaderPool::inject_crashes(double prob, Rng& rng) {
     if (it == active_.end() || !it->second.task->running()) continue;
     ++crashes_;
     ++crashed;
+    ODR_COUNT("cloud.vm.crashes");
     it->second.task->fail_externally(proto::FailureCause::kCrash);
+  }
+  if (crashed > 0) {
+    ODR_FLIGHT(kCloud, kWarn, "vm.crashes_injected",
+               static_cast<double>(crashed));
   }
   return crashed;
 }
@@ -144,9 +151,14 @@ void PreDownloaderPool::on_task_done(std::uint64_t slot,
   // Infrastructure faults are retried; the VM slot is freed immediately
   // and the task re-enters the queue at the FRONT once its backoff
   // expires, preserving FIFO fairness against younger submissions.
+  ODR_COUNT(result.success ? "cloud.vm.tasks.succeeded"
+                           : "cloud.vm.tasks.failed");
+  ODR_TRACE_COMPLETE(kCloud, result.success ? "vm.task.ok" : "vm.task.fail",
+                     result.started_at, result.finished_at);
   if (!result.success && proto::is_infrastructure_cause(result.cause) &&
       pending.attempt <= config_.predownload_max_retries) {
     ++retries_;
+    ODR_COUNT("cloud.vm.retries");
     const double factor =
         std::pow(config_.retry_backoff_factor,
                  static_cast<double>(pending.attempt - 1));
@@ -162,6 +174,9 @@ void PreDownloaderPool::on_task_done(std::uint64_t slot,
 
   if (!result.success && proto::is_infrastructure_cause(result.cause)) {
     ++retries_exhausted_;
+    ODR_COUNT("cloud.vm.retries_exhausted");
+    ODR_FLIGHT(kCloud, kWarn, "vm.retries_exhausted",
+               static_cast<double>(pending.attempt));
   }
   start_next_queued();
   if (pending.done) pending.done(result);

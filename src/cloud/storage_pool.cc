@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 
 namespace odr::cloud {
@@ -25,15 +26,20 @@ enum : std::uint16_t {
 bool StoragePool::lookup(const Md5Digest& id) {
   if (cache_.get(id) != nullptr) {
     ++hits_;
+    ODR_COUNT("cloud.pool.hits");
     return true;
   }
   ++misses_;
+  ODR_COUNT("cloud.pool.misses");
   return false;
 }
 
 void StoragePool::insert(const Md5Digest& id, workload::FileIndex file,
                          Bytes size) {
+  [[maybe_unused]] const std::uint64_t before = cache_.eviction_count();
   cache_.put(id, CachedFile{file, size}, size);
+  ODR_COUNT("cloud.pool.inserts");
+  ODR_COUNT_N("cloud.pool.evictions", cache_.eviction_count() - before);
 }
 
 std::size_t StoragePool::evict_fraction(double fraction) {
@@ -47,6 +53,9 @@ std::size_t StoragePool::evict_fraction(double fraction) {
     cache_.erase(*key);
   }
   fault_evictions_ += evicted;
+  ODR_COUNT_N("cloud.pool.fault_evictions", evicted);
+  ODR_FLIGHT(kCloud, kWarn, "pool.evict_fraction", fraction,
+             static_cast<double>(evicted));
   return evicted;
 }
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 
 namespace odr::cloud {
@@ -92,6 +93,8 @@ Rate UploadScheduler::sample_spillover_rate() {
 FetchPlan UploadScheduler::reject(workload::PopularityClass popularity) {
   ++rejected_;
   ++rejected_by_class_[static_cast<std::size_t>(popularity)];
+  ODR_COUNT("cloud.upload.rejected");
+  ODR_TRACE_INSTANT(kCloud, "upload.reject");
   return FetchPlan{};
 }
 
@@ -114,6 +117,7 @@ FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate,
     if (healthy_capacity <= 0.0 ||
         healthy_headroom < config_.shed_headroom * healthy_capacity) {
       ++shed_;
+      ODR_COUNT("cloud.upload.shed");
       return reject(popularity);
     }
   }
@@ -129,6 +133,8 @@ FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate,
       home.reserved += rate;
       ++admitted_;
       ++privileged_;
+      ODR_COUNT("cloud.upload.admitted");
+      ODR_COUNT("cloud.upload.privileged");
       return FetchPlan{true, user_isp, true, rate, home.link, false};
     }
   }
@@ -158,6 +164,8 @@ FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate,
     Cluster& c = cluster_for(best);
     c.reserved += rate;
     ++admitted_;
+    ODR_COUNT("cloud.upload.admitted");
+    ODR_COUNT("cloud.upload.cross_isp");
     return FetchPlan{true, best, false, rate, c.link, false};
   }
 
@@ -184,6 +192,8 @@ FetchPlan UploadScheduler::plan_fetch(net::Isp user_isp, Rate desired_rate,
       c.reserved += rate;
       ++admitted_;
       ++oversubscribed_;
+      ODR_COUNT("cloud.upload.admitted");
+      ODR_COUNT("cloud.upload.oversubscribed");
       const bool priv = target == user_isp;
       if (priv) ++privileged_;
       return FetchPlan{true, target, priv, rate, c.link, true};

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 #include "workload/snapshot.h"
 
@@ -119,8 +120,10 @@ void XuanfengCloud::submit(const workload::WorkloadRecord& request,
                            const workload::User& user, OutcomeFn on_done) {
   content_db_.record_request(request.file, sim_.now());
   const workload::FileInfo& file = catalog_.file(request.file);
+  ODR_COUNT("cloud.tasks.submitted");
 
   if (storage_.lookup(file.content_id)) {
+    ODR_COUNT("cloud.tasks.cache_hits");
     begin_fetch(request, user, make_cache_hit_record(request),
                 std::move(on_done));
     return;
@@ -275,8 +278,10 @@ void XuanfengCloud::on_fetch_complete(net::FlowId id) {
   fetches_.erase(it);
 
   uploads_.release(fetch.plan);
+  ODR_COUNT("cloud.fetches.completed");
   TaskOutcome& outcome = fetch.outcome;
   outcome.fetch.finish_time = sim_.now();
+  ODR_TRACE_COMPLETE(kCloud, "fetch", outcome.fetch.start_time, sim_.now());
   outcome.fetch.acquired_bytes = fetch.size;
   outcome.fetch.traffic_bytes = static_cast<Bytes>(std::llround(
       static_cast<double>(fetch.size) * fetch.overhead));

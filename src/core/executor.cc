@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/observer.h"
+
 namespace odr::core {
 
 Executor::Executor(sim::Simulator& sim, net::Network& net,
@@ -106,7 +108,11 @@ void Executor::execute(const Decision& decision,
   }
   if (cloud_breaker_ != nullptr || ap_breaker_ != nullptr) {
     done = wrap_with_breakers(std::move(done), rerouted);
-    if (rerouted) ++reroutes_;
+    if (rerouted) {
+      ++reroutes_;
+      ODR_COUNT("core.executor.reroutes");
+      ODR_TRACE_INSTANT(kCore, "executor.reroute");
+    }
   }
 
   switch (route) {

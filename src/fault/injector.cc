@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 
 namespace odr::fault {
@@ -94,6 +96,16 @@ void FaultInjector::fire(std::size_t index, Phase phase) {
 }
 
 void FaultInjector::activate(std::size_t index, const FaultSpec& spec) {
+  ODR_COUNT("fault.activations");
+  ODR_TRACE_INSTANT(kFault, "fault.activate");
+  ODR_OBS(if (auto* odr_obs = obs::current()) {
+    const std::string kind(fault_kind_name(spec.kind));
+    odr_obs->flight().note(odr_obs->now(), obs::Cat::kFault,
+                           obs::Severity::kWarn, "fault.activate:" + kind,
+                           static_cast<double>(index), spec.severity);
+    odr_obs->flight().auto_dump(
+        obs::FlightRecorder::DumpTrigger::kFaultFired, kind);
+  })
   switch (spec.kind) {
     case FaultKind::kVmCrash:
     case FaultKind::kApCrash:
@@ -180,6 +192,9 @@ void FaultInjector::recover(const FaultSpec& spec) {
       break;
   }
   ++mutable_stats(spec.kind).recovered;
+  ODR_COUNT("fault.recoveries");
+  ODR_FLIGHT(kFault, kInfo, "fault.recover",
+             static_cast<double>(static_cast<int>(spec.kind)));
 }
 
 void FaultInjector::crash_tick(std::size_t index, const FaultSpec& spec) {

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 
 namespace odr::net {
@@ -110,6 +111,8 @@ FlowId Network::start_flow(FlowSpec spec) {
   } else {
     reallocate_component(seed);
   }
+  ODR_COUNT("net.flows.started");
+  ODR_TRACE_INSTANT(kNet, "flow.start");
   return id;
 }
 
@@ -123,6 +126,7 @@ bool Network::cancel_flow(FlowId id) {
   detach_from_links(id, it->second);
   flows_.erase(it);
   reallocate_component(seed);
+  ODR_COUNT("net.flows.cancelled");
   return true;
 }
 
@@ -259,7 +263,9 @@ void Network::reallocate_flows(std::vector<FlowId> component) {
   std::unordered_map<FlowId, char> frozen;
   std::size_t active = unfrozen.size();
   std::size_t guard = 2 * (unfrozen.size() + remaining.size()) + 8;
+  [[maybe_unused]] std::uint64_t iterations = 0;
   while (active > 0 && guard-- > 0) {
+    ODR_OBS(++iterations;)
     double inc = std::numeric_limits<double>::infinity();
     for (const auto& [l, rem] : remaining) {
       const std::size_t n = unfrozen_on_link.at(l);
@@ -309,6 +315,10 @@ void Network::reallocate_flows(std::vector<FlowId> component) {
     f.peak_rate = std::max(f.peak_rate, f.rate);
     schedule_completion(id, f);
   }
+  ODR_COUNT("net.solver.runs");
+  ODR_COUNT_N("net.solver.iterations", iterations);
+  ODR_HIST("net.solver.component_flows", 0.0, 256.0, 32,
+           static_cast<double>(component.size()));
 }
 
 void Network::schedule_completion(FlowId id, FlowState& f) {
@@ -333,6 +343,11 @@ void Network::complete_flow(FlowId id) {
   settle(it->second);
   it->second.completion_event = sim::kInvalidEvent;
   it->second.bytes_done = static_cast<double>(it->second.bytes_total);
+  [[maybe_unused]] const SimTime started_at = it->second.started_at;
+  ODR_COUNT("net.flows.completed");
+  ODR_HIST("net.flow.duration_s", 0.0, 3600.0, 48,
+           to_seconds(sim_.now() - started_at));
+  ODR_TRACE_COMPLETE(kNet, "flow", started_at, sim_.now());
   FlowCallback cb = std::move(it->second.on_complete);
   const std::vector<LinkId> seed = it->second.path;
   detach_from_links(id, it->second);

@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/json.h"
+
+namespace odr::obs {
+namespace {
+
+template <typename Map>
+std::vector<typename Map::const_iterator> sorted_by_name(const Map& m) {
+  std::vector<typename Map::const_iterator> its;
+  its.reserve(m.size());
+  for (auto it = m.begin(); it != m.end(); ++it) its.push_back(it);
+  std::sort(its.begin(), its.end(),
+            [](const auto& a, const auto& b) { return a->first < b->first; });
+  return its;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, double lo, double hi,
+                               std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(name),
+                      std::forward_as_tuple(lo, hi, bins))
+             .first;
+  }
+  return it->second;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::write_fields(JsonWriter& j) const {
+  j.key("counters").begin_object();
+  for (const auto& it : sorted_by_name(counters_)) {
+    j.field(it->first, it->second.value());
+  }
+  j.end_object();
+
+  j.key("gauges").begin_object();
+  for (const auto& it : sorted_by_name(gauges_)) {
+    j.field(it->first, it->second.value());
+  }
+  j.end_object();
+
+  j.key("histograms").begin_array();
+  for (const auto& it : sorted_by_name(histograms_)) {
+    const Histogram& h = it->second;
+    j.begin_object()
+        .field("name", it->first)
+        .field("lo", h.bin_lo(0))
+        .field("hi", h.bin_hi(h.bins() - 1));
+    j.key("counts").begin_array();
+    for (std::size_t b = 0; b < h.bins(); ++b) {
+      j.value(static_cast<std::uint64_t>(h.bin_count(b)));
+    }
+    j.end_array();
+    j.key("totals").begin_array();
+    for (std::size_t b = 0; b < h.bins(); ++b) j.value(h.bin_total(b));
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+}
+
+}  // namespace odr::obs

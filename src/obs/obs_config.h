@@ -1,0 +1,60 @@
+// Observability configuration and the compile-time gate.
+//
+// Everything in src/obs is double-gated:
+//   - compile time: building with -DODR_OBS_ENABLED=0 (cmake -DODR_OBS=OFF)
+//     expands every ODR_* instrumentation macro to nothing, so the hot
+//     paths carry zero observability code;
+//   - run time: with instrumentation compiled in, the macros are no-ops
+//     unless an obs::Observer is installed via obs::set_current (usually
+//     through obs::ScopedObserver) — one global load and branch per site.
+//
+// Observability state is deliberately derived state: it is never
+// serialized into checkpoints, never draws from any Rng stream, and never
+// schedules simulator events, so a run produces bit-identical results and
+// bit-identical checkpoints whether or not an observer is watching.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+// The compile-time gate. Defined to 0 by `cmake -DODR_OBS=OFF`.
+#ifndef ODR_OBS_ENABLED
+#define ODR_OBS_ENABLED 1
+#endif
+
+namespace odr::obs {
+
+struct ObsConfig {
+  // --- sim-time tracing ----------------------------------------------------
+  // Master switch for the tracer; metrics and the flight recorder are cheap
+  // enough to always run, traces are the memory-hungry piece.
+  bool tracing = true;
+  // Hard cap on buffered trace events; excess events are counted as
+  // dropped (reported in the export) rather than silently discarded.
+  std::size_t trace_max_events = 1u << 20;
+  // Sampling knob for the high-frequency categories (kNet, kProto): record
+  // one of every N events. 1 = record everything.
+  std::uint32_t trace_sample_every_flows = 1;
+
+  // --- flight recorder -----------------------------------------------------
+  std::size_t flight_capacity = 256;
+  // Automatic dump triggers (see FlightRecorder::DumpTrigger).
+  bool dump_on_audit_failure = true;
+  bool dump_on_fault_fired = true;
+  bool dump_on_bench_abort = true;
+  // Ceiling on automatic dumps, so a chaos week with hundreds of fault
+  // activations does not bury the console. Manual dumps are not capped.
+  std::size_t max_auto_dumps = 4;
+  // Dump target: empty dumps human-readable text to stderr; otherwise each
+  // dump writes "<dump_path>.<n>.<trigger>.json".
+  std::string dump_path;
+
+  // --- periodic gauge sampler ----------------------------------------------
+  // Bin width of the sampled TimeSeries (the paper's Fig 11 cadence).
+  SimTime sample_period = 5 * kMinute;
+};
+
+}  // namespace odr::obs

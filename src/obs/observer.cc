@@ -1,0 +1,68 @@
+#include "obs/observer.h"
+
+#include "util/json.h"
+
+namespace odr::obs {
+
+namespace {
+Observer* g_current = nullptr;
+}  // namespace
+
+Observer* current() { return g_current; }
+void set_current(Observer* obs) { g_current = obs; }
+
+Observer::Observer(ObsConfig config)
+    : config_(std::move(config)),
+      tracer_(config_.tracing, config_.trace_max_events),
+      flight_(config_),
+      sim_events_(&metrics_.counter("sim.events.executed")) {
+  if (config_.trace_sample_every_flows > 1) {
+    tracer_.set_sample_every(Cat::kNet, config_.trace_sample_every_flows);
+    tracer_.set_sample_every(Cat::kProto, config_.trace_sample_every_flows);
+  }
+}
+
+void Observer::enable_sampler(SimTime start, SimTime end) {
+  sampler_ = std::make_unique<GaugeSampler>(start, end, config_.sample_period);
+  if (tracer_.enabled()) sampler_->set_tracer(&tracer_);
+}
+
+void Observer::write_metrics_json(JsonWriter& j) const {
+  j.begin_object();
+  j.field("schema", "odr.metrics.v1");
+  metrics_.write_fields(j);
+  if (sampler_) {
+    j.key("sampler").begin_object();
+    sampler_->write_fields(j);
+    j.end_object();
+  }
+  j.key("trace").begin_object()
+      .field("enabled", tracer_.enabled())
+      .field("events", static_cast<std::uint64_t>(tracer_.size()))
+      .field("dropped", tracer_.dropped())
+      .end_object();
+  j.key("flight").begin_object()
+      .field("noted", flight_.total_noted())
+      .field("dumps", flight_.dumps_written())
+      .end_object();
+  j.end_object();
+}
+
+bool Observer::write_metrics_file(const std::string& path) const {
+  JsonWriter j;
+  write_metrics_json(j);
+  return j.write_file(path);
+}
+
+bool Observer::write_trace_file(const std::string& path) const {
+  return tracer_.write_file(path);
+}
+
+ScopedObserver::ScopedObserver(ObsConfig config)
+    : obs_(std::move(config)), prev_(current()) {
+  set_current(&obs_);
+}
+
+ScopedObserver::~ScopedObserver() { set_current(prev_); }
+
+}  // namespace odr::obs

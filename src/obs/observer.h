@@ -1,0 +1,214 @@
+// Observer: the facade that ties metrics, tracing, the flight recorder,
+// and the gauge sampler together, plus the ODR_* instrumentation macros
+// used at every call site across the stack.
+//
+// Instrumented code never holds an Observer directly; it goes through the
+// ambient pointer (obs::current()), installed for the duration of a run by
+// obs::ScopedObserver. With no observer installed every macro is one
+// global load and a branch; compiled with ODR_OBS_ENABLED=0 the macros
+// vanish entirely.
+//
+// The Observer tracks sim time via a plain value (set from the simulator's
+// after-event hook), not a clock closure, so it cannot dangle when a
+// replay's world is torn down and a new one is built.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/obs_config.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "util/units.h"
+
+namespace odr {
+class JsonWriter;
+}
+
+namespace odr::obs {
+
+class Observer {
+ public:
+  explicit Observer(ObsConfig config = ObsConfig{});
+
+  const ObsConfig& config() const { return config_; }
+  Registry& metrics() { return metrics_; }
+  const Registry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+  GaugeSampler* sampler() { return sampler_.get(); }
+  const GaugeSampler* sampler() const { return sampler_.get(); }
+
+  // The observer's view of simulated time, fed by the simulator's
+  // after-event hook (and settable directly for harness-level events).
+  SimTime now() const { return now_; }
+  void set_now(SimTime t) { now_ = t; }
+
+  // After-event hook body: advance the clock, count the event, give the
+  // sampler a chance to take its periodic sample.
+  void on_sim_event(SimTime now) {
+    now_ = now;
+    sim_events_->inc();
+    if (sampler_) sampler_->on_time(now);
+  }
+
+  // (Re)creates the sampler over [start, end) at config().sample_period.
+  // Recreating on every wiring call drops probes captured against a
+  // previous replay's world, so nothing dangles across runs.
+  void enable_sampler(SimTime start, SimTime end);
+
+  // Full metrics document: config echo, registry, sampler series.
+  void write_metrics_json(JsonWriter& j) const;
+  bool write_metrics_file(const std::string& path) const;
+  bool write_trace_file(const std::string& path) const;
+
+ private:
+  ObsConfig config_;
+  Registry metrics_;
+  Tracer tracer_;
+  FlightRecorder flight_;
+  std::unique_ptr<GaugeSampler> sampler_;
+  Counter* sim_events_;  // pre-resolved: on_sim_event runs after every event
+  SimTime now_ = 0;
+};
+
+// Ambient observer. Null when no observer is installed (the runtime "off"
+// state). Deliberately not inline: call sites pay one function call when
+// an observer IS installed; when none is, the branch predicts perfectly.
+Observer* current();
+void set_current(Observer* obs);
+
+// Installs an owned Observer for a scope; restores the previous one on
+// exit (scopes nest, e.g. a bench harness around a replay).
+class ScopedObserver {
+ public:
+  explicit ScopedObserver(ObsConfig config = ObsConfig{});
+  ~ScopedObserver();
+  ScopedObserver(const ScopedObserver&) = delete;
+  ScopedObserver& operator=(const ScopedObserver&) = delete;
+
+  Observer& operator*() { return obs_; }
+  Observer* operator->() { return &obs_; }
+  Observer* get() { return &obs_; }
+
+ private:
+  Observer obs_;
+  Observer* prev_;
+};
+
+// RAII span against the ambient observer. Note: simulated time does not
+// advance inside one event callback, so a span opened and closed within a
+// single callback has zero duration — it still marks structure. For spans
+// that cover real simulated intervals, use ODR_TRACE_COMPLETE with the
+// recorded begin time instead.
+class ScopedSpan {
+ public:
+  ScopedSpan(Cat cat, std::string_view name)
+      : obs_(current()), cat_(cat), name_(name),
+        begin_(obs_ != nullptr ? obs_->now() : 0) {}
+  ~ScopedSpan() {
+    if (obs_ != nullptr) {
+      obs_->tracer().complete(cat_, name_, begin_, obs_->now());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Observer* obs_;
+  Cat cat_;
+  std::string name_;
+  SimTime begin_;
+};
+
+}  // namespace odr::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. `cat` and `sev` arguments are bare enumerator
+// tokens (kNet, kWarn); the macros qualify them. All of them evaluate their
+// arguments only when an observer is installed, and compile to nothing
+// under ODR_OBS_ENABLED=0 — capture locals feeding ONLY these macros as
+// [[maybe_unused]].
+// ---------------------------------------------------------------------------
+#if ODR_OBS_ENABLED
+
+// Wraps code (declarations, statements) that should exist only in
+// observability-enabled builds.
+#define ODR_OBS(...) __VA_ARGS__
+
+#define ODR_COUNT(name)                                        \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      odr_obs_->metrics().counter(name).inc();                 \
+  } while (0)
+
+#define ODR_COUNT_N(name, n)                                   \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      odr_obs_->metrics().counter(name).inc(                   \
+          static_cast<std::uint64_t>(n));                      \
+  } while (0)
+
+#define ODR_GAUGE(name, v)                                     \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      odr_obs_->metrics().gauge(name).set(                     \
+          static_cast<double>(v));                             \
+  } while (0)
+
+#define ODR_HIST(name, lo, hi, bins, v)                        \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      odr_obs_->metrics().histogram(name, lo, hi, bins).add(   \
+          static_cast<double>(v));                             \
+  } while (0)
+
+#define ODR_TRACE_INSTANT(cat, name)                           \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      odr_obs_->tracer().instant(::odr::obs::Cat::cat, name,   \
+                                 odr_obs_->now());             \
+  } while (0)
+
+#define ODR_TRACE_COMPLETE(cat, name, begin, end)              \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      odr_obs_->tracer().complete(::odr::obs::Cat::cat, name,  \
+                                  begin, end);                 \
+  } while (0)
+
+#define ODR_OBS_CONCAT_INNER(a, b) a##b
+#define ODR_OBS_CONCAT(a, b) ODR_OBS_CONCAT_INNER(a, b)
+#define ODR_TRACE_SPAN(cat, name)                              \
+  ::odr::obs::ScopedSpan ODR_OBS_CONCAT(odr_obs_span_,         \
+                                        __LINE__)(             \
+      ::odr::obs::Cat::cat, name)
+
+// Extra args are (a) or (a, b) numeric payloads.
+#define ODR_FLIGHT(cat, sev, what, ...)                        \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      odr_obs_->flight().note(                                 \
+          odr_obs_->now(), ::odr::obs::Cat::cat,               \
+          ::odr::obs::Severity::sev, what                      \
+          __VA_OPT__(, ) __VA_ARGS__);                         \
+  } while (0)
+
+#else  // !ODR_OBS_ENABLED
+
+#define ODR_OBS(...)
+#define ODR_COUNT(name) do {} while (0)
+#define ODR_COUNT_N(name, n) do {} while (0)
+#define ODR_GAUGE(name, v) do {} while (0)
+#define ODR_HIST(name, lo, hi, bins, v) do {} while (0)
+#define ODR_TRACE_INSTANT(cat, name) do {} while (0)
+#define ODR_TRACE_COMPLETE(cat, name, begin, end) do {} while (0)
+#define ODR_TRACE_SPAN(cat, name) do {} while (0)
+#define ODR_FLIGHT(cat, sev, what, ...) do {} while (0)
+
+#endif  // ODR_OBS_ENABLED

@@ -1,0 +1,58 @@
+#include "obs/sampler.h"
+
+#include "util/json.h"
+
+namespace odr::obs {
+
+GaugeSampler::GaugeSampler(SimTime start, SimTime end, SimTime period)
+    : start_(start),
+      end_(end),
+      period_(period > 0 ? period : 1),
+      next_due_(start) {}
+
+void GaugeSampler::add_probe(std::string name, Cat cat, Probe probe) {
+  probes_.push_back(Entry{std::move(name), cat, std::move(probe),
+                          TimeSeries(start_, end_, period_)});
+}
+
+void GaugeSampler::on_time(SimTime now) {
+  if (now < next_due_ || now >= end_) return;
+  for (Entry& e : probes_) {
+    const double v = e.probe();
+    e.series.add_at(now, v);
+    if (tracer_ != nullptr) tracer_->counter(e.cat, e.name, now, v);
+  }
+  ++samples_;
+  // Jump to the first period boundary strictly after `now`: at most one
+  // sample per bin no matter how dense the event stream is, and quiet
+  // stretches simply produce empty bins rather than catch-up bursts.
+  const SimTime elapsed = now - start_;
+  next_due_ = start_ + (elapsed / period_ + 1) * period_;
+}
+
+const TimeSeries* GaugeSampler::series(std::string_view name) const {
+  for (const Entry& e : probes_) {
+    if (e.name == name) return &e.series;
+  }
+  return nullptr;
+}
+
+void GaugeSampler::write_fields(JsonWriter& j) const {
+  j.field("sample_period_us", static_cast<std::int64_t>(period_));
+  j.field("samples_taken", samples_);
+  j.key("samples").begin_array();
+  for (const Entry& e : probes_) {
+    j.begin_object()
+        .field("name", e.name)
+        .field("cat", std::string(cat_name(e.cat)));
+    j.key("values").begin_array();
+    for (std::size_t b = 0; b < e.series.bins(); ++b) {
+      j.value(e.series.bin_total(b));
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+}
+
+}  // namespace odr::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include "util/json.h"
+
+namespace odr::obs {
+
+std::string_view cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::kSim: return "sim";
+    case Cat::kNet: return "net";
+    case Cat::kProto: return "proto";
+    case Cat::kCloud: return "cloud";
+    case Cat::kAp: return "ap";
+    case Cat::kCore: return "core";
+    case Cat::kFault: return "fault";
+    case Cat::kSnapshot: return "snapshot";
+    case Cat::kBench: return "bench";
+  }
+  return "?";
+}
+
+Tracer::Tracer(bool enabled, std::size_t max_events)
+    : enabled_(enabled), max_events_(max_events) {
+  sample_every_.fill(1);
+  sample_seen_.fill(0);
+}
+
+void Tracer::set_sample_every(Cat cat, std::uint32_t n) {
+  sample_every_[static_cast<std::size_t>(cat)] = n == 0 ? 1 : n;
+}
+
+bool Tracer::admit(Cat cat) {
+  if (!enabled_) return false;
+  const std::size_t c = static_cast<std::size_t>(cat);
+  if (sample_seen_[c]++ % sample_every_[c] != 0) return false;
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void Tracer::push(Event e) { events_.push_back(std::move(e)); }
+
+void Tracer::instant(Cat cat, std::string_view name, SimTime ts) {
+  if (!admit(cat)) return;
+  Event e;
+  e.ts = ts;
+  e.cat = cat;
+  e.ph = 'i';
+  e.name = name;
+  push(std::move(e));
+}
+
+void Tracer::complete(Cat cat, std::string_view name, SimTime begin,
+                      SimTime end) {
+  if (!admit(cat)) return;
+  Event e;
+  e.ts = begin;
+  e.dur = end >= begin ? end - begin : 0;
+  e.cat = cat;
+  e.ph = 'X';
+  e.name = name;
+  push(std::move(e));
+}
+
+void Tracer::counter(Cat cat, std::string_view name, SimTime ts,
+                     double value) {
+  if (!admit(cat)) return;
+  Event e;
+  e.ts = ts;
+  e.value = value;
+  e.cat = cat;
+  e.ph = 'C';
+  e.name = name;
+  push(std::move(e));
+}
+
+void Tracer::write_json(JsonWriter& j) const {
+  j.begin_object();
+  j.field("displayTimeUnit", "ms");
+  j.field("dropped_events", dropped_);
+  j.key("traceEvents").begin_array();
+  // Track-name metadata first: one named lane per category.
+  for (std::size_t c = 0; c < kCatCount; ++c) {
+    j.begin_object()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", 0)
+        .field("tid", static_cast<int>(c));
+    j.key("args").begin_object();
+    j.field("name", std::string(cat_name(static_cast<Cat>(c))));
+    j.end_object().end_object();
+  }
+  for (const Event& e : events_) {
+    j.begin_object()
+        .field("name", e.name)
+        .field("cat", std::string(cat_name(e.cat)))
+        .field("ph", std::string(1, e.ph))
+        .field("ts", static_cast<std::int64_t>(e.ts))
+        .field("pid", 0)
+        .field("tid", static_cast<int>(e.cat));
+    if (e.ph == 'X') j.field("dur", static_cast<std::int64_t>(e.dur));
+    if (e.ph == 'i') j.field("s", "t");
+    if (e.ph == 'C') {
+      j.key("args").begin_object();
+      j.field("value", e.value);
+      j.end_object();
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+bool Tracer::write_file(const std::string& path) const {
+  JsonWriter j;
+  write_json(j);
+  return j.write_file(path);
+}
+
+}  // namespace odr::obs

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 
 namespace odr::proto {
@@ -159,6 +160,8 @@ void DownloadTask::on_flow_complete() {
     return;
   }
   ++checksum_retries_;
+  ODR_COUNT("proto.checksum.retries");
+  ODR_TRACE_INSTANT(kProto, "checksum.retry");
 
   Bytes refetch;
   if (is_p2p(source_->protocol())) {
@@ -235,6 +238,12 @@ void DownloadTask::finish(bool success, FailureCause cause) {
   result.average_rate =
       success ? average_rate(result.file_size, elapsed)
               : average_rate(result.bytes_downloaded, elapsed);
+
+  ODR_COUNT(success ? "proto.downloads.succeeded" : "proto.downloads.failed");
+  ODR_HIST("proto.download.duration_s", 0.0, 24.0 * 3600.0, 48,
+           to_seconds(elapsed));
+  ODR_TRACE_COMPLETE(kProto, success ? "download.ok" : "download.fail",
+                     started_at_, sim_.now());
 
   if (on_done_) on_done_(result);
 }

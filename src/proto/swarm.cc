@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 
 namespace odr::proto {
@@ -74,6 +75,10 @@ void Swarm::tick(SimTime dt, Rng& rng) {
   seeds_ += static_cast<std::uint32_t>(rng.poisson(arrival_mean_seeds() * frac));
   leechers_ +=
       static_cast<std::uint32_t>(rng.poisson(arrival_mean_leechers() * frac));
+  ODR_COUNT("proto.swarm.ticks");
+  ODR_HIST("proto.swarm.seeds", 0.0, 128.0, 32, static_cast<double>(seeds_));
+  ODR_HIST("proto.swarm.leechers", 0.0, 256.0, 32,
+           static_cast<double>(leechers_));
 }
 
 Rate Swarm::downloader_rate() const {

@@ -62,6 +62,7 @@ bool Simulator::step() {
     --live_events_;
     ++executed_;
     fn();
+    if (after_event_) after_event_();
     return true;
   }
   return false;

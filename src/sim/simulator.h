@@ -58,6 +58,13 @@ class Simulator {
 
   std::uint64_t executed_count() const { return executed_; }
 
+  // Called after every executed event (observability wiring). The hook is
+  // engine-side scaffolding, not model state: it is never serialized and
+  // survives load(), so an observer installed before a restore keeps
+  // watching the restored world.
+  void set_after_event_hook(Callback hook) { after_event_ = std::move(hook); }
+  void clear_after_event_hook() { after_event_ = nullptr; }
+
   // --- snapshot support ---------------------------------------------------
   //
   // Callbacks are closures and cannot be serialized. Instead, save() writes
@@ -96,6 +103,7 @@ class Simulator {
   std::size_t live_events_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
   std::unordered_map<EventId, Callback> callbacks_;
+  Callback after_event_;  // see set_after_event_hook(); not snapshotted
   // Parked events awaiting rearm() after load(): id -> (time, seq).
   std::map<EventId, std::pair<SimTime, std::uint64_t>> rearm_;
 };

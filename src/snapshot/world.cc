@@ -1,9 +1,12 @@
 #include "snapshot/world.h"
 
+#include <algorithm>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/obs_wiring.h"
+#include "obs/observer.h"
 #include "snapshot/audit.h"
 #include "snapshot/format.h"
 #include "workload/file.h"
@@ -116,6 +119,16 @@ void CloudWorld::build() {
     arrival_events_[i] =
         sim_.schedule_at(requests_[i].request_time, [this, i] { on_arrival(i); });
   }
+
+  // Observability is wired against the rebuilt world but carries no state
+  // of its own into the checkpoint: metrics/traces are derived, and the
+  // sampler polls from the after-event hook instead of scheduling events,
+  // so checkpoints stay byte-identical with or without an observer.
+  SimTime horizon = 0;
+  for (const auto& request : requests_) {
+    horizon = std::max(horizon, request.request_time);
+  }
+  analysis::wire_cloud_observability(sim_, net_, *cloud_, horizon + kDay);
 }
 
 cloud::XuanfengCloud::OutcomeFn CloudWorld::outcome_sink() {
@@ -158,12 +171,22 @@ void CloudWorld::checkpoint_tick() {
       std::string msg = "world audit failed at t=" +
                         std::to_string(sim_.now()) + ":";
       for (const std::string& p : problems) msg += "\n  - " + p;
+      ODR_FLIGHT(kSnapshot, kError, "audit.failed",
+                 static_cast<double>(problems.size()));
+      ODR_OBS(if (auto* odr_obs = obs::current()) {
+        odr_obs->flight().auto_dump(
+            obs::FlightRecorder::DumpTrigger::kAuditFailure, problems.front());
+      })
       throw SnapshotError(msg);
     }
   }
   if (!options_.checkpoint_path.empty()) {
     write_snapshot_file(options_.checkpoint_path, save_to_buffer());
     ++checkpoints_written_;
+    ODR_COUNT("snapshot.checkpoints.written");
+    ODR_TRACE_INSTANT(kSnapshot, "checkpoint");
+    ODR_FLIGHT(kSnapshot, kInfo, "checkpoint.written",
+               static_cast<double>(checkpoints_written_));
   }
 }
 
@@ -334,6 +357,14 @@ void CloudWorld::load_from(const std::string& buffer) {
         "world: " + std::to_string(net_.flows_awaiting_callback()) +
         " restored flow(s) never had their completion callback re-attached");
   }
+
+  // The observer (if any) survived the restore; resync its clock to the
+  // restored simulated time and log the event for crash forensics.
+  ODR_OBS(if (auto* odr_obs = obs::current()) {
+    odr_obs->set_now(sim_.now());
+  })
+  ODR_COUNT("snapshot.restores");
+  ODR_FLIGHT(kSnapshot, kInfo, "world.restored", to_seconds(sim_.now()));
 }
 
 analysis::CloudReplayResult CloudWorld::finalize() const {

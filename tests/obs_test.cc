@@ -1,0 +1,407 @@
+// Tests for src/obs: metric registry, sim-time tracer, flight recorder,
+// gauge sampler, the ambient Observer, and the determinism contract (an
+// installed observer must not change a replay's outcomes).
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/replay.h"
+#include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/units.h"
+
+namespace odr::obs {
+namespace {
+
+// --- registry --------------------------------------------------------------
+
+TEST(RegistryTest, CounterFindOrCreate) {
+  Registry reg;
+  EXPECT_EQ(reg.find_counter("a.b"), nullptr);
+  reg.counter("a.b").inc();
+  reg.counter("a.b").inc(4);
+  ASSERT_NE(reg.find_counter("a.b"), nullptr);
+  EXPECT_EQ(reg.find_counter("a.b")->value(), 5u);
+  EXPECT_EQ(reg.counter_count(), 1u);
+}
+
+TEST(RegistryTest, GaugeSetAndAdd) {
+  Registry reg;
+  reg.gauge("g").set(2.5);
+  reg.gauge("g").add(-1.0);
+  ASSERT_NE(reg.find_gauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("g")->value(), 1.5);
+}
+
+TEST(RegistryTest, HistogramShapeFixedByFirstCall) {
+  Registry reg;
+  Histogram& h = reg.histogram("h", 0.0, 10.0, 5);
+  // A later call with a different shape must return the SAME histogram.
+  Histogram& again = reg.histogram("h", 0.0, 100.0, 50);
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bins(), 5u);
+  EXPECT_EQ(reg.histogram_count(), 1u);
+}
+
+TEST(RegistryTest, ReferencesStayValidAcrossGrowth) {
+  Registry reg;
+  Counter& a = reg.counter("stable");
+  for (int i = 0; i < 1000; ++i) {
+    std::string name = "filler.";
+    name += std::to_string(i);
+    reg.counter(name).inc();
+  }
+  // Node-based storage: the early reference must not have moved.
+  EXPECT_EQ(&reg.counter("stable"), &a);
+  a.inc();
+  EXPECT_EQ(reg.find_counter("stable")->value(), 1u);
+}
+
+TEST(RegistryTest, JsonExportContainsSortedSections) {
+  Registry reg;
+  reg.counter("z.last").inc(7);
+  reg.counter("a.first").inc(1);
+  reg.gauge("mid").set(3.0);
+  reg.histogram("h", 0.0, 1.0, 2).add(0.75);
+  JsonWriter j;
+  j.begin_object();
+  reg.write_fields(j);
+  j.end_object();
+  const std::string& s = j.str();
+  EXPECT_NE(s.find("\"counters\""), std::string::npos);
+  EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+  // Lexicographic order within the counters object.
+  EXPECT_LT(s.find("a.first"), s.find("z.last"));
+}
+
+// --- tracer ----------------------------------------------------------------
+
+TEST(TracerTest, RecordsAllThreeShapes) {
+  Tracer t(/*enabled=*/true, /*max_events=*/16);
+  t.instant(Cat::kFault, "boom", 10);
+  t.complete(Cat::kNet, "flow", 5, 25);
+  t.counter(Cat::kCloud, "util", 30, 0.5);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer t(/*enabled=*/false, /*max_events=*/16);
+  t.instant(Cat::kSim, "x", 0);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);  // disabled, not dropped
+}
+
+TEST(TracerTest, PerCategorySamplingKeepsOneInN) {
+  Tracer t(/*enabled=*/true, /*max_events=*/100);
+  t.set_sample_every(Cat::kNet, 3);
+  for (int i = 0; i < 9; ++i) t.instant(Cat::kNet, "flow", i);
+  EXPECT_EQ(t.size(), 3u);  // events 0, 3, 6
+  // Other categories are unaffected.
+  t.instant(Cat::kCloud, "x", 0);
+  t.instant(Cat::kCloud, "y", 1);
+  EXPECT_EQ(t.size(), 5u);
+}
+
+TEST(TracerTest, CapacityOverflowIsCountedNotSilent) {
+  Tracer t(/*enabled=*/true, /*max_events=*/2);
+  for (int i = 0; i < 5; ++i) t.instant(Cat::kSim, "e", i);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 3u);
+}
+
+TEST(TracerTest, JsonHasLaneMetadataAndEventFields) {
+  Tracer t(/*enabled=*/true, /*max_events=*/16);
+  t.complete(Cat::kProto, "dl", 100, 250);
+  t.instant(Cat::kAp, "crash", 400);
+  JsonWriter j;
+  t.write_json(j);
+  const std::string& s = j.str();
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '}');
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"displayTimeUnit\""), std::string::npos);
+  // One thread_name metadata record per category lane.
+  std::size_t lanes = 0, pos = 0;
+  while ((pos = s.find("thread_name", pos)) != std::string::npos) {
+    ++lanes;
+    ++pos;
+  }
+  EXPECT_EQ(lanes, kCatCount);
+  EXPECT_NE(s.find("\"dur\":150"), std::string::npos);   // 250 - 100
+  EXPECT_NE(s.find("\"ts\":400"), std::string::npos);
+}
+
+// --- flight recorder -------------------------------------------------------
+
+ObsConfig small_flight_config() {
+  ObsConfig c;
+  c.flight_capacity = 4;
+  return c;
+}
+
+TEST(FlightRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  FlightRecorder fr(small_flight_config());
+  for (int i = 0; i < 6; ++i) {
+    std::string what = "e";
+    what += std::to_string(i);
+    fr.note(i * kSec, Cat::kCloud, Severity::kInfo, std::move(what), i);
+  }
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.total_noted(), 6u);
+  EXPECT_TRUE(fr.wrapped());
+  const std::vector<FlightEntry> e = fr.entries();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e.front().what, "e2");  // e0, e1 overwritten
+  EXPECT_EQ(e.back().what, "e5");
+  EXPECT_DOUBLE_EQ(e.back().a, 5.0);
+}
+
+TEST(FlightRecorderTest, NotWrappedBelowCapacity) {
+  FlightRecorder fr(small_flight_config());
+  fr.note(0, Cat::kSim, Severity::kInfo, "only");
+  EXPECT_FALSE(fr.wrapped());
+  EXPECT_EQ(fr.entries().size(), 1u);
+}
+
+TEST(FlightRecorderTest, TriggerMaskGatesAutoDumps) {
+  ObsConfig c = small_flight_config();
+  c.dump_on_bench_abort = false;
+  c.dump_path = testing::TempDir() + "fr_mask";
+  FlightRecorder fr(c);
+  fr.note(0, Cat::kBench, Severity::kError, "fail");
+  EXPECT_FALSE(fr.auto_dump(FlightRecorder::DumpTrigger::kBenchAbort, "off"));
+  EXPECT_EQ(fr.dumps_written(), 0u);
+  EXPECT_TRUE(fr.auto_dump(FlightRecorder::DumpTrigger::kAuditFailure, "on"));
+  EXPECT_EQ(fr.dumps_written(), 1u);
+}
+
+TEST(FlightRecorderTest, AutoDumpBudgetCapsAllButManual) {
+  ObsConfig c = small_flight_config();
+  c.max_auto_dumps = 1;
+  c.dump_path = testing::TempDir() + "fr_budget";
+  FlightRecorder fr(c);
+  fr.note(0, Cat::kFault, Severity::kWarn, "f");
+  EXPECT_TRUE(fr.auto_dump(FlightRecorder::DumpTrigger::kFaultFired, "1st"));
+  EXPECT_FALSE(fr.auto_dump(FlightRecorder::DumpTrigger::kFaultFired, "2nd"));
+  // Manual dumps ignore the budget.
+  EXPECT_TRUE(fr.auto_dump(FlightRecorder::DumpTrigger::kManual, "manual"));
+  EXPECT_EQ(fr.dumps_written(), 2u);
+}
+
+TEST(FlightRecorderTest, FileDumpUsesNumberedTriggerNames) {
+  ObsConfig c = small_flight_config();
+  c.dump_path = testing::TempDir() + "fr_file";
+  FlightRecorder fr(c);
+  fr.note(kSec, Cat::kSnapshot, Severity::kError, "audit", 2, 3);
+  ASSERT_TRUE(fr.auto_dump(FlightRecorder::DumpTrigger::kAuditFailure, "r"));
+  const std::string path = c.dump_path + ".0.audit_failure.json";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, TextRenderMentionsTriggerAndEntries) {
+  FlightRecorder fr(small_flight_config());
+  fr.note(2 * kSec, Cat::kCore, Severity::kWarn, "breaker.trip", 1);
+  const std::string text =
+      fr.render_text(FlightRecorder::DumpTrigger::kManual, "look");
+  EXPECT_NE(text.find("trigger=manual"), std::string::npos);
+  EXPECT_NE(text.find("breaker.trip"), std::string::npos);
+}
+
+// --- gauge sampler ---------------------------------------------------------
+
+TEST(GaugeSamplerTest, OneSamplePerPeriodBin) {
+  GaugeSampler s(/*start=*/0, /*end=*/10 * kMinute, /*period=*/kMinute);
+  int calls = 0;
+  s.add_probe("p", Cat::kCloud, [&calls] { return double(++calls); });
+  s.on_time(0);             // bin 0
+  s.on_time(10 * kSec);     // same bin: no sample
+  s.on_time(50 * kSec);     // still bin 0: no sample
+  s.on_time(kMinute);       // bin 1
+  EXPECT_EQ(s.samples_taken(), 2u);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(GaugeSamplerTest, SparseEventsJumpToNextBoundary) {
+  GaugeSampler s(0, 10 * kMinute, kMinute);
+  s.add_probe("p", Cat::kNet, [] { return 1.0; });
+  s.on_time(0);
+  // A long quiet stretch: the next event lands mid-bin-5. Exactly one
+  // sample is taken and the due time jumps past it.
+  s.on_time(5 * kMinute + 10 * kSec);
+  EXPECT_EQ(s.samples_taken(), 2u);
+  s.on_time(5 * kMinute + 30 * kSec);  // same bin: nothing
+  EXPECT_EQ(s.samples_taken(), 2u);
+  s.on_time(6 * kMinute);
+  EXPECT_EQ(s.samples_taken(), 3u);
+}
+
+TEST(GaugeSamplerTest, StopsAtWindowEnd) {
+  GaugeSampler s(0, 2 * kMinute, kMinute);
+  s.add_probe("p", Cat::kSim, [] { return 1.0; });
+  s.on_time(0);
+  s.on_time(2 * kMinute);  // == end: out of window
+  s.on_time(kWeek);
+  EXPECT_EQ(s.samples_taken(), 1u);
+}
+
+TEST(GaugeSamplerTest, SeriesLookupAndValues) {
+  GaugeSampler s(0, 3 * kMinute, kMinute);
+  double v = 10.0;
+  s.add_probe("load", Cat::kCloud, [&v] { return v; });
+  s.on_time(0);
+  v = 20.0;
+  s.on_time(kMinute);
+  EXPECT_EQ(s.series("missing"), nullptr);
+  const TimeSeries* ts = s.series("load");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_DOUBLE_EQ(ts->bin_total(0), 10.0);
+  EXPECT_DOUBLE_EQ(ts->bin_total(1), 20.0);
+}
+
+TEST(GaugeSamplerTest, MirrorsSamplesIntoTracerCounters) {
+  GaugeSampler s(0, 2 * kMinute, kMinute);
+  Tracer t(true, 16);
+  s.set_tracer(&t);
+  s.add_probe("g", Cat::kAp, [] { return 7.0; });
+  s.on_time(0);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+// --- observer + ambient installation --------------------------------------
+
+TEST(ObserverTest, ScopedObserverInstallsAndRestoresNested) {
+  EXPECT_EQ(current(), nullptr);
+  {
+    ScopedObserver outer;
+    EXPECT_EQ(current(), outer.get());
+    {
+      ScopedObserver inner;
+      EXPECT_EQ(current(), inner.get());
+    }
+    EXPECT_EQ(current(), outer.get());
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+TEST(ObserverTest, MetricsJsonDocumentShape) {
+  ScopedObserver obs;
+  obs->metrics().counter("x").inc();
+  obs->enable_sampler(0, kHour);
+  JsonWriter j;
+  obs->write_metrics_json(j);
+  const std::string& s = j.str();
+  EXPECT_NE(s.find("odr.metrics.v1"), std::string::npos);
+  EXPECT_NE(s.find("\"sampler\""), std::string::npos);
+  EXPECT_NE(s.find("\"trace\""), std::string::npos);
+  EXPECT_NE(s.find("\"flight\""), std::string::npos);
+}
+
+TEST(ObserverTest, OnSimEventAdvancesClockAndCounts) {
+  ScopedObserver obs;
+  obs->on_sim_event(42 * kSec);
+  obs->on_sim_event(43 * kSec);
+  EXPECT_EQ(obs->now(), 43 * kSec);
+  EXPECT_EQ(obs->metrics().find_counter("sim.events.executed")->value(), 2u);
+}
+
+#if ODR_OBS_ENABLED
+
+TEST(ObserverMacrosTest, NoOpWithoutObserverInstalled) {
+  ASSERT_EQ(current(), nullptr);
+  // Must not crash, allocate registries, or do anything observable.
+  ODR_COUNT("ghost");
+  ODR_COUNT_N("ghost", 10);
+  ODR_GAUGE("ghost", 1.0);
+  ODR_HIST("ghost", 0, 1, 2, 0.5);
+  ODR_TRACE_INSTANT(kSim, "ghost");
+  ODR_TRACE_COMPLETE(kSim, "ghost", 0, 1);
+  ODR_FLIGHT(kSim, kInfo, "ghost", 1.0);
+  SUCCEED();
+}
+
+TEST(ObserverMacrosTest, FeedTheAmbientObserver) {
+  ScopedObserver obs;
+  obs->set_now(5 * kSec);
+  ODR_COUNT("m.count");
+  ODR_COUNT_N("m.count", 2);
+  ODR_GAUGE("m.gauge", 1.25);
+  ODR_HIST("m.hist", 0, 10, 5, 3.0);
+  ODR_TRACE_INSTANT(kBench, "mark");
+  ODR_FLIGHT(kBench, kWarn, "note", 4.0, 8.0);
+  EXPECT_EQ(obs->metrics().find_counter("m.count")->value(), 3u);
+  EXPECT_DOUBLE_EQ(obs->metrics().find_gauge("m.gauge")->value(), 1.25);
+  EXPECT_EQ(obs->metrics().find_histogram("m.hist")->bin_count(1), 1u);
+  EXPECT_EQ(obs->tracer().size(), 1u);
+  ASSERT_EQ(obs->flight().size(), 1u);
+  EXPECT_EQ(obs->flight().entries().front().t, 5 * kSec);
+  EXPECT_DOUBLE_EQ(obs->flight().entries().front().b, 8.0);
+}
+
+TEST(ObserverMacrosTest, ScopedSpanEmitsCompleteEvent) {
+  ScopedObserver obs;
+  obs->set_now(100);
+  {
+    ODR_TRACE_SPAN(kCore, "work");
+    obs->set_now(250);  // sim time advances while the span is open
+  }
+  EXPECT_EQ(obs->tracer().size(), 1u);
+  JsonWriter j;
+  obs->tracer().write_json(j);
+  EXPECT_NE(j.str().find("\"dur\":150"), std::string::npos);
+}
+
+#endif  // ODR_OBS_ENABLED
+
+// --- determinism contract --------------------------------------------------
+
+std::uint64_t fingerprint(const std::vector<cloud::TaskOutcome>& outcomes) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& o : outcomes) {
+    mix(o.task_id);
+    mix(static_cast<std::uint64_t>(o.pre.success));
+    mix(static_cast<std::uint64_t>(o.pre.finish_time));
+    mix(o.pre.traffic_bytes);
+    mix(static_cast<std::uint64_t>(o.fetched));
+    mix(static_cast<std::uint64_t>(o.fetch.finish_time));
+  }
+  return h;
+}
+
+TEST(ObsIntegrationTest, ObserverDoesNotPerturbTheReplay) {
+  const auto config = analysis::make_scaled_config(8000.0, 20151028);
+  const auto plain = analysis::run_cloud_replay(config);
+  const std::uint64_t plain_fp = fingerprint(plain.outcomes);
+
+  ScopedObserver obs;  // full default config, tracing on
+  const auto observed = analysis::run_cloud_replay(config);
+  EXPECT_EQ(fingerprint(observed.outcomes), plain_fp);
+  EXPECT_EQ(observed.outcomes.size(), plain.outcomes.size());
+
+#if ODR_OBS_ENABLED
+  // The run actually fed the observer: events were counted, probes were
+  // sampled, flows were traced.
+  EXPECT_GT(obs->metrics().find_counter("sim.events.executed")->value(), 0u);
+  ASSERT_NE(obs->sampler(), nullptr);
+  EXPECT_GT(obs->sampler()->samples_taken(), 0u);
+  EXPECT_NE(obs->sampler()->series("cloud.pool.hit_ratio"), nullptr);
+  EXPECT_GT(obs->tracer().size(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace odr::obs

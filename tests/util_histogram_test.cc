@@ -1,0 +1,124 @@
+// Edge cases for util/histogram: Histogram's lo/hi clamping and bin
+// boundaries, and TimeSeries' handling of degenerate or out-of-window
+// transfers and boundary samples.
+#include "util/histogram.h"
+
+#include "gtest/gtest.h"
+#include "util/units.h"
+
+namespace odr {
+namespace {
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, BelowRangeClampsIntoFirstBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(-0.001);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_total(0), 2.0);
+}
+
+TEST(HistogramTest, AtOrAboveHiClampsIntoLastBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);   // hi itself is outside [lo, hi)
+  h.add(1e9);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  for (std::size_t i = 0; i + 1 < h.bins(); ++i) {
+    EXPECT_EQ(h.bin_count(i), 0u) << "bin " << i;
+  }
+}
+
+TEST(HistogramTest, SamplesExactlyOnInteriorBinBoundaries) {
+  Histogram h(0.0, 10.0, 5);  // bins [0,2) [2,4) [4,6) [6,8) [8,10)
+  h.add(2.0);
+  h.add(4.0);
+  h.add(8.0);
+  EXPECT_EQ(h.bin_of(2.0), 1u);  // boundary belongs to the upper bin
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.bin_count(0), 0u);
+}
+
+TEST(HistogramTest, BinEdgesPartitionTheRange) {
+  Histogram h(-4.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(HistogramTest, WeightedAddAndBinMean) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0, 3.0);
+  h.add(1.5, 5.0);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_total(0), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_mean(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_mean(1), 0.0);  // empty bin
+}
+
+// --- TimeSeries ------------------------------------------------------------
+
+TEST(TimeSeriesTest, ZeroDurationTransferIsIgnored) {
+  TimeSeries ts(0, kHour, kMinute);
+  ts.add_transfer(10 * kMinute, 10 * kMinute, 1'000'000);  // to == from
+  ts.add_transfer(10 * kMinute, 9 * kMinute, 1'000'000);   // to < from
+  EXPECT_DOUBLE_EQ(ts.sum(), 0.0);
+}
+
+TEST(TimeSeriesTest, ZeroByteTransferIsIgnored) {
+  TimeSeries ts(0, kHour, kMinute);
+  ts.add_transfer(0, 10 * kMinute, 0);
+  EXPECT_DOUBLE_EQ(ts.sum(), 0.0);
+}
+
+TEST(TimeSeriesTest, TransfersEntirelyOutsideTheWindowAreIgnored) {
+  TimeSeries ts(kHour, 2 * kHour, kMinute);
+  ts.add_transfer(0, 30 * kMinute, 1'000'000);              // before start
+  ts.add_transfer(3 * kHour, 4 * kHour, 1'000'000);         // after end
+  EXPECT_DOUBLE_EQ(ts.sum(), 0.0);
+}
+
+TEST(TimeSeriesTest, PartialOverlapClipsButKeepsTheOriginalRate) {
+  // 120s transfer at 100 bytes/s, but only the last 60s are in-window:
+  // exactly half the bytes land, all in the first bin.
+  TimeSeries ts(kMinute, 3 * kMinute, kMinute);
+  ts.add_transfer(0, 2 * kMinute, 12'000);
+  EXPECT_DOUBLE_EQ(ts.bin_total(0), 6'000.0);
+  EXPECT_DOUBLE_EQ(ts.bin_total(1), 0.0);
+  EXPECT_DOUBLE_EQ(ts.sum(), 6'000.0);
+}
+
+TEST(TimeSeriesTest, SpanningTransferSplitsProportionally) {
+  TimeSeries ts(0, 3 * kMinute, kMinute);
+  // 90s at a constant rate: 2/3 in bin 0, 1/3 in bin 1.
+  ts.add_transfer(30 * kSec, 2 * kMinute, 9'000);
+  EXPECT_DOUBLE_EQ(ts.bin_total(0), 3'000.0);
+  EXPECT_DOUBLE_EQ(ts.bin_total(1), 6'000.0);
+  EXPECT_DOUBLE_EQ(ts.bin_rate(1), 100.0);  // 6000 bytes over a 60 s bin
+}
+
+TEST(TimeSeriesTest, SamplesOnBinBoundaries) {
+  TimeSeries ts(0, 3 * kMinute, kMinute);
+  ts.add_at(0, 1.0);             // first instant of bin 0
+  ts.add_at(kMinute, 2.0);       // boundary belongs to bin 1
+  ts.add_at(3 * kMinute, 99.0);  // == end: ignored
+  ts.add_at(-1, 99.0);           // before start: ignored
+  EXPECT_DOUBLE_EQ(ts.bin_total(0), 1.0);
+  EXPECT_DOUBLE_EQ(ts.bin_total(1), 2.0);
+  EXPECT_DOUBLE_EQ(ts.bin_total(2), 0.0);
+  EXPECT_DOUBLE_EQ(ts.sum(), 3.0);
+}
+
+TEST(TimeSeriesTest, PeakAndMaxOverBins) {
+  TimeSeries ts(0, 3 * kMinute, kMinute);
+  ts.add_at(10 * kSec, 5.0);
+  ts.add_at(70 * kSec, 9.0);
+  EXPECT_DOUBLE_EQ(ts.max_total(), 9.0);
+  EXPECT_DOUBLE_EQ(ts.peak_rate(), 9.0 / 60.0);
+}
+
+}  // namespace
+}  // namespace odr
