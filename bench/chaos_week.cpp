@@ -17,6 +17,7 @@
 
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
+#include "analysis/report.h"
 #include "fault/fault_plan.h"
 #include "obs/observer.h"
 #include "util/args.h"
@@ -112,10 +113,18 @@ int main(int argc, char** argv) {
   obs::ObsConfig bench_obs;
   bench_obs.tracing = false;
   bench_obs.dump_on_fault_fired = false;
+  // Spans + calibration ride along: the monitor resets per replay, so the
+  // report captured right after the baseline run is the fault-free one
+  // (informational here — chaos plans legitimately drift the marginals).
+  bench_obs.spans = true;
+  bench_obs.calibration = true;
   obs::ScopedObserver bench(bench_obs);
 
   std::vector<RunMetrics> runs;
   runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(0), "baseline"));
+  const obs::CalibrationReport baseline_calibration =
+      bench->calibration() != nullptr ? bench->calibration()->report()
+                                      : obs::CalibrationReport{};
   runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(1), "mild"));
   runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(2), "moderate"));
   runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(3), "severe"));
@@ -142,6 +151,8 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
   std::fputs(table.render().c_str(), stdout);
+  std::fputs(analysis::calibration_table(baseline_calibration).c_str(),
+             stdout);
 
   // --- acceptance checks on the severe plan --------------------------------
   const RunMetrics& severe = runs.back();
@@ -198,6 +209,30 @@ int main(int argc, char** argv) {
         .field("zero_highly_popular_rejections", hp_ok)
         .field("deterministic_rerun", deterministic)
         .end_object();
+    // Informational fault-free calibration snapshot (never gates the bench:
+    // chaos plans themselves are allowed to drift the marginals).
+    j.key("calibration")
+        .begin_object()
+        .field("pass", baseline_calibration.pass())
+        .field("drift_events", baseline_calibration.drift_events)
+        .field("gated_total",
+               static_cast<std::uint64_t>(baseline_calibration.gated_total))
+        .field("gated_pass",
+               static_cast<std::uint64_t>(baseline_calibration.gated_pass));
+    j.key("rows").begin_array();
+    for (const auto& row : baseline_calibration.rows) {
+      const char* status =
+          row.status == obs::CalibrationRow::Status::kPass    ? "PASS"
+          : row.status == obs::CalibrationRow::Status::kDrift ? "DRIFT"
+                                                              : "N/A";
+      j.begin_object()
+          .field("key", row.spec.key)
+          .field("estimate", row.estimate)
+          .field("samples", static_cast<std::uint64_t>(row.samples))
+          .field("status", status)
+          .end_object();
+    }
+    j.end_array().end_object();
     j.key("metrics");
     bench->write_metrics_json(j);
     j.field("pass", pass).end_object();

@@ -184,6 +184,12 @@ ObsGuardResult run_obs_guard(double divisor, std::uint64_t seed, SimTime period,
   obs::ObsConfig ocfg;  // full observability: tracing, metrics, sampler
   ocfg.trace_max_events = 1u << 16;
   ocfg.dump_on_fault_fired = false;  // chaos plan 3 fires constantly
+  // PR 4 surface: per-task spans + the calibration monitor must also be
+  // state-transparent — journaling every lifecycle event and streaming
+  // estimates must not perturb a single serialized byte, through the
+  // checkpoint kill+resume below included.
+  ocfg.spans = true;
+  ocfg.calibration = true;
   obs::ScopedObserver scoped(ocfg);
 
   {

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
               {"max size", "4 GB (4000 MB)",
                TextTable::num(s.max, 0) + " MB"},
               {"files below 8 MB", "25%",
-               TextTable::pct(sizes_mb.fraction_below(8.0))},
+               analysis::fmt_pct(sizes_mb.fraction_below(8.0))},
           })
           .c_str(),
       stdout);

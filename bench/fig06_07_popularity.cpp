@@ -62,11 +62,11 @@ int main(int argc, char** argv) {
                    std::to_string(counts.size())},
               {"Zipf slope a1", "1.034", TextTable::num(zipf.a, 3)},
               {"Zipf fit: mean relative error", "15.3%",
-               TextTable::pct(zipf.mean_relative_error)},
+               analysis::fmt_pct(zipf.mean_relative_error)},
               {"SE slope a2 (c=0.01)", "0.010", TextTable::num(se.a, 4)},
               {"SE intercept b2", "1.134", TextTable::num(se.b, 3)},
               {"SE fit: mean relative error", "13.7%",
-               TextTable::pct(se.mean_relative_error)},
+               analysis::fmt_pct(se.mean_relative_error)},
               {"better-fitting model", "SE",
                se.mean_relative_error < zipf.mean_relative_error ? "SE"
                                                                  : "Zipf"},

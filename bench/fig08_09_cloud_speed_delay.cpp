@@ -45,10 +45,10 @@ int main(int argc, char** argv) {
               row("end-to-end speed", "233 / 380 / 6100 KBps",
                   cdfs.e2e_speed_kbps.summary(), "KBps"),
               {"pre-download speeds near zero", "21%",
-               TextTable::pct(
+               analysis::fmt_pct(
                    cdfs.predownload_speed_kbps.fraction_below(1.0))},
               {"fetch speeds below 125 KBps", "28%",
-               TextTable::pct(cdfs.fetch_speed_kbps.fraction_below(125.0))},
+               analysis::fmt_pct(cdfs.fetch_speed_kbps.fraction_below(125.0))},
           })
           .c_str(),
       stdout);

@@ -44,34 +44,41 @@ int main(int argc, char** argv) {
              stdout);
   std::fputs(table.render().c_str(), stdout);
 
+  // Failure counts come from the shared attribution taxonomy — the same
+  // (stage, cause, popularity) keying the live span pipeline folds — so
+  // this bench and cloud_week's attribution table can never disagree.
   const auto by_class = analysis::failure_by_class(result.outcomes);
-  std::size_t failures = 0;
-  for (const auto& o : result.outcomes) {
-    if (!o.pre.success) ++failures;
-  }
+  const auto taxonomy = analysis::taxonomy_from_outcomes(result.outcomes);
+  const std::uint64_t failures = taxonomy.count_for_stage("vm_fetch");
 
+  using analysis::fmt_pct;
   using workload::PopularityClass;
   std::fputs(
       analysis::comparison_table(
           "Figure 10 / §4.1 headline ratios",
           {
               {"unpopular-file failure ratio", "13%",
-               TextTable::pct(by_class.ratio(PopularityClass::kUnpopular))},
+               fmt_pct(by_class.ratio(PopularityClass::kUnpopular))},
               {"requests to unpopular files", "36%",
-               TextTable::pct(
+               fmt_pct(
                    by_class.share_of_requests(PopularityClass::kUnpopular))},
               {"requests to highly popular files", "39%",
-               TextTable::pct(by_class.share_of_requests(
+               fmt_pct(by_class.share_of_requests(
                    PopularityClass::kHighlyPopular))},
               {"highly-popular failure ratio", "~0%",
-               TextTable::pct(
-                   by_class.ratio(PopularityClass::kHighlyPopular))},
+               fmt_pct(by_class.ratio(PopularityClass::kHighlyPopular))},
               {"overall failure (with cache)", "8.7%",
-               TextTable::pct(static_cast<double>(failures) /
-                              result.outcomes.size())},
+               fmt_pct(static_cast<double>(failures) /
+                       result.outcomes.size())},
           })
           .c_str(),
       stdout);
+
+  std::fputs(analysis::taxonomy_table(
+                 "Figure 10 failure taxonomy (stage x cause x popularity)",
+                 taxonomy)
+                 .c_str(),
+             stdout);
 
   // No-cache counterfactual: replay with a zero-capacity storage pool.
   auto nocache = config;

@@ -68,9 +68,9 @@ int main(int argc, char** argv) {
               {"peak exceeds purchased capacity", "yes (day 7)",
                peak_gbps > 30.0 ? "yes" : "no"},
               {"highly-popular share of burden", "~40%",
-               TextTable::pct(total_all > 0 ? total_hp / total_all : 0.0)},
+               analysis::fmt_pct(total_all > 0 ? total_hp / total_all : 0.0)},
               {"rejected fetch requests", "1.5%",
-               TextTable::pct(static_cast<double>(result.fetch_rejections) /
+               analysis::fmt_pct(static_cast<double>(result.fetch_rejections) /
                               (result.fetch_admissions +
                                result.fetch_rejections))},
           })

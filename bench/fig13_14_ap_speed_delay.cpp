@@ -57,60 +57,56 @@ int main(int argc, char** argv) {
   const double n = static_cast<double>(ap.tasks.size());
 
   using analysis::ComparisonRow;
+  using analysis::fmt_kbps;
+  using analysis::fmt_minutes;
+  using analysis::fmt_pct;
   std::fputs(
       analysis::comparison_table(
           "Figures 13-14: AP pre-download performance",
           {
               {"pre-download speed med/avg", "27 / 64 KBps",
-               TextTable::num(speed.median, 0) + " / " +
-                   TextTable::num(speed.mean, 0) + " KBps"},
+               fmt_kbps(speed.median) + " / " + fmt_kbps(speed.mean)},
               {"max speed, HiWiFi/MiWiFi", "2370 KBps",
-               TextTable::num(max_speed_hiwifi_miwifi, 0) + " KBps"},
+               fmt_kbps(max_speed_hiwifi_miwifi)},
               {"max speed, Newifi (NTFS flash)", "930 KBps",
-               TextTable::num(max_speed_newifi, 0) + " KBps"},
+               fmt_kbps(max_speed_newifi)},
               {"pre-download delay med/avg", "77 / 402 min",
-               TextTable::num(delay.median, 0) + " / " +
-                   TextTable::num(delay.mean, 0) + " min"},
+               fmt_minutes(delay.median) + " / " + fmt_minutes(delay.mean)},
               {"cloud speed med/avg (same world)", "25 / 69 KBps",
-               TextTable::num(cloud_cdfs.predownload_speed_kbps.median(), 0) +
-                   " / " +
-                   TextTable::num(cloud_cdfs.predownload_speed_kbps.mean(),
-                                  0) +
-                   " KBps"},
+               fmt_kbps(cloud_cdfs.predownload_speed_kbps.median()) + " / " +
+                   fmt_kbps(cloud_cdfs.predownload_speed_kbps.mean())},
           })
           .c_str(),
       stdout);
 
+  // The §5.2 cause breakdown comes from the shared attribution taxonomy
+  // (same keying the live span pipeline folds), not ad-hoc counters.
+  const auto taxonomy = analysis::taxonomy_from_ap_tasks(ap.tasks);
+  const double ap_failures = static_cast<double>(taxonomy.total());
   std::fputs(
       analysis::comparison_table(
           "§5.2: AP pre-download failures",
           {
-              {"overall failure ratio", "16.8%",
-               TextTable::pct(ap.failures / n)},
+              {"overall failure ratio", "16.8%", fmt_pct(ap_failures / n)},
               {"unpopular-file failure ratio", "42%",
-               TextTable::pct(unpopular == 0
-                                  ? 0.0
-                                  : static_cast<double>(unpopular_failed) /
-                                        unpopular)},
+               fmt_pct(unpopular == 0
+                           ? 0.0
+                           : static_cast<double>(unpopular_failed) /
+                                 unpopular)},
               {"cause: insufficient seeds", "86%",
-               TextTable::pct(ap.failures == 0
-                                  ? 0.0
-                                  : static_cast<double>(
-                                        ap.insufficient_seed_failures) /
-                                        ap.failures)},
+               fmt_pct(taxonomy.cause_share("insufficient-seeds"))},
               {"cause: poor HTTP/FTP connection", "10%",
-               TextTable::pct(ap.failures == 0
-                                  ? 0.0
-                                  : static_cast<double>(ap.http_failures) /
-                                        ap.failures)},
+               fmt_pct(taxonomy.cause_share("poor-http-connection"))},
               {"cause: system bugs", "4%",
-               TextTable::pct(ap.failures == 0
-                                  ? 0.0
-                                  : static_cast<double>(ap.bug_failures) /
-                                        ap.failures)},
+               fmt_pct(taxonomy.cause_share("system-bug"))},
           })
           .c_str(),
       stdout);
+
+  std::fputs(analysis::taxonomy_table(
+                 "AP failure taxonomy (stage x cause x popularity)", taxonomy)
+                 .c_str(),
+             stdout);
 
   // Per-device breakdown (the paper reports per-AP maxima; the shipping
   // storage configurations differ, §5.1).

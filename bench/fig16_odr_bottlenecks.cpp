@@ -49,8 +49,8 @@ int main(int argc, char** argv) {
           "Figure 16: bottleneck metrics, conventional vs ODR",
           {
               {"B1 impeded fetches: cloud -> ODR", "28% -> 9%",
-               TextTable::pct(cloud.impeded_fraction) + " -> " +
-                   TextTable::pct(odr.impeded_fraction)},
+               analysis::fmt_pct(cloud.impeded_fraction) + " -> " +
+                   analysis::fmt_pct(odr.impeded_fraction)},
               {"B2 cloud upload volume: cloud -> ODR", "-35%",
                TextTable::num(
                    100.0 * (1.0 - static_cast<double>(odr.total_cloud_upload) /
@@ -68,14 +68,14 @@ int main(int argc, char** argv) {
                                   1) +
                    " Gbps"},
               {"B2 rejected fetches: cloud -> ODR", "1.5% -> 0%",
-               TextTable::pct(cloud.rejected_fraction) + " -> " +
-                   TextTable::pct(odr.rejected_fraction)},
+               analysis::fmt_pct(cloud.rejected_fraction) + " -> " +
+                   analysis::fmt_pct(odr.rejected_fraction)},
               {"B3 unpopular failures: APs -> ODR", "42% -> 13%",
-               TextTable::pct(ap.unpopular_failure) + " -> " +
-                   TextTable::pct(odr.unpopular_failure)},
+               analysis::fmt_pct(ap.unpopular_failure) + " -> " +
+                   analysis::fmt_pct(odr.unpopular_failure)},
               {"B4 storage-throttled tasks: APs -> ODR", "-> ~0%",
-               TextTable::pct(ap.storage_throttled) + " -> " +
-                   TextTable::pct(odr.storage_throttled)},
+               analysis::fmt_pct(ap.storage_throttled) + " -> " +
+                   analysis::fmt_pct(odr.storage_throttled)},
           })
           .c_str(),
       stdout);

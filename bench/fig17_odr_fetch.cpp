@@ -43,15 +43,15 @@ int main(int argc, char** argv) {
           "Figure 17: fetch speeds (20 Mbps testbed lines)",
           {
               {"ODR median fetch speed", "368 KBps",
-               TextTable::num(odr_speed.median, 0) + " KBps"},
+               analysis::fmt_kbps(odr_speed.median)},
               {"ODR average fetch speed", "509 KBps",
-               TextTable::num(odr_speed.mean, 0) + " KBps"},
+               analysis::fmt_kbps(odr_speed.mean)},
               {"ODR max fetch speed", "2370 KBps (testbed line)",
-               TextTable::num(odr_speed.max, 0) + " KBps"},
+               analysis::fmt_kbps(odr_speed.max)},
               {"Xuanfeng median (comparison curve)", "287 KBps",
-               TextTable::num(cloud_speed.median, 0) + " KBps"},
+               analysis::fmt_kbps(cloud_speed.median)},
               {"Xuanfeng average", "504 KBps",
-               TextTable::num(cloud_speed.mean, 0) + " KBps"},
+               analysis::fmt_kbps(cloud_speed.mean)},
               {"ODR median uplift over Xuanfeng", "1.28x",
                TextTable::num(odr_speed.median /
                                   std::max(1.0, cloud_speed.median),

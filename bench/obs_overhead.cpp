@@ -6,14 +6,17 @@
 // interleaves repetitions of the same short cloud week in two states:
 //
 //   disabled: no ambient observer (the default for every library user);
-//   enabled:  a full observer (metrics + tracing + flight + sampler).
+//   enabled:  a full observer (metrics + tracing + flight + sampler);
+//   spans:    spans + calibration on but with every retention knob at
+//             zero (unsampled) — the per-task journal's bookkeeping floor.
 //
 // Taking the minimum wall-clock per state discards scheduler noise.
 // Acceptance: the disabled runs must not be slower than the fully-enabled
 // runs by more than 2% (plus a small absolute epsilon for timer jitter) —
 // the disabled path does strictly less work, so if this fails the "off"
-// state has grown real overhead. The enabled/disabled ratio is reported
-// for the record but not gated: enabled mode is allowed to cost.
+// state has grown real overhead. The enabled/disabled and spans/disabled
+// ratios are reported for the record but not gated: enabled modes are
+// allowed to cost.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -60,7 +63,7 @@ int main(int argc, char** argv) {
     run_week_seconds(config);
   }
 
-  double t_disabled = 1e100, t_enabled = 1e100;
+  double t_disabled = 1e100, t_enabled = 1e100, t_spans = 1e100;
   for (int r = 0; r < reps; ++r) {
     t_disabled = std::min(t_disabled, run_week_seconds(config));
     {
@@ -69,10 +72,27 @@ int main(int argc, char** argv) {
       obs::ScopedObserver scoped(ocfg);
       t_enabled = std::min(t_enabled, run_week_seconds(config));
     }
+    {
+      // Spans enabled but unsampled: every lifecycle event is journaled
+      // and folded, nothing is retained. Isolates the journal's fixed
+      // per-task cost from the sampling/retention cost.
+      obs::ObsConfig ocfg;
+      ocfg.dump_on_fault_fired = false;
+      ocfg.tracing = false;
+      ocfg.spans = true;
+      ocfg.calibration = true;
+      ocfg.span_reservoir = 0;
+      ocfg.span_keep_slowest = 0;
+      ocfg.span_keep_failed_cap = 0;
+      obs::ScopedObserver scoped(ocfg);
+      t_spans = std::min(t_spans, run_week_seconds(config));
+    }
   }
 
   const double overhead_enabled =
       t_disabled > 0.0 ? t_enabled / t_disabled - 1.0 : 0.0;
+  const double overhead_spans =
+      t_disabled > 0.0 ? t_spans / t_disabled - 1.0 : 0.0;
   constexpr double kRelSlack = 0.02;   // the 2% acceptance bound
   constexpr double kAbsSlackS = 0.05;  // timer jitter floor
   const bool pass = t_disabled <= t_enabled * (1.0 + kRelSlack) + kAbsSlackS;
@@ -82,6 +102,8 @@ int main(int argc, char** argv) {
   std::printf("  disabled (no observer):    %8.3f s\n", t_disabled);
   std::printf("  enabled (full observer):   %8.3f s  (%+.1f%% vs disabled)\n",
               t_enabled, 100.0 * overhead_enabled);
+  std::printf("  spans (on, unsampled):     %8.3f s  (%+.1f%% vs disabled)\n",
+              t_spans, 100.0 * overhead_spans);
   std::printf(
       "acceptance: disabled state within 2%% of the enabled run: %s\n",
       pass ? "PASS" : "FAIL");
@@ -96,6 +118,8 @@ int main(int argc, char** argv) {
         .field("disabled_s", t_disabled)
         .field("enabled_s", t_enabled)
         .field("enabled_overhead", overhead_enabled)
+        .field("spans_unsampled_s", t_spans)
+        .field("spans_unsampled_overhead", overhead_spans)
         .field("pass", pass)
         .end_object();
     if (j.write_file(json_path)) {

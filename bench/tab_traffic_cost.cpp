@@ -32,13 +32,13 @@ int main(int argc, char** argv) {
           "Traffic cost per file byte",
           {
               {"P2P pre-download traffic / size", "196%",
-               TextTable::pct(traffic.p2p_overhead())},
+               analysis::fmt_pct(traffic.p2p_overhead())},
               {"HTTP/FTP pre-download traffic / size", "107-110%",
-               TextTable::pct(traffic.http_overhead())},
+               analysis::fmt_pct(traffic.http_overhead())},
               {"user fetch traffic / size", "107-110%",
-               TextTable::pct(traffic.user_overhead())},
+               analysis::fmt_pct(traffic.user_overhead())},
               {"user saving vs direct P2P", "86-89% of file size",
-               TextTable::pct(saving)},
+               analysis::fmt_pct(saving)},
           })
           .c_str(),
       stdout);

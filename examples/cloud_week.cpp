@@ -2,12 +2,18 @@
 //
 // Usage: cloud_week [--divisor 100] [--seed 20151028]
 //                   [--metrics-out metrics.json] [--trace-out trace.json]
+//                   [--spans-out spans.json] [--calibration-report]
 //
 // `--divisor N` runs a 1/N-scale instance of the measured system (both
 // workload and cloud capacity scale, preserving every ratio).
 // `--trace-out` writes a Chrome trace_event file; open it at
 // https://ui.perfetto.dev (or chrome://tracing) to see the week laid out
 // on per-subsystem lanes. `--trace-sample N` keeps 1-in-N flow events.
+// `--spans-out` writes the sampled per-task lifecycle spans (failed and
+// slowest tasks always kept) as odr.spans.v1 JSON. `--calibration-report`
+// streams every finished span through the calibration monitor, prints the
+// per-stage latency attribution and the PASS/DRIFT table vs the
+// EXPERIMENTS.md targets, and exits 2 if a gated statistic drifted.
 #include <cstdio>
 #include <memory>
 
@@ -27,16 +33,24 @@ int main(int argc, char** argv) {
   args.flag("metrics-out", "", "write a metrics-registry JSON snapshot here");
   args.flag("trace-out", "", "write a Chrome trace_event JSON file here");
   args.flag("trace-sample", "1", "trace 1-in-N net/proto flow events");
+  args.flag("spans-out", "", "write sampled task spans (odr.spans.v1) here");
+  args.flag("calibration-report", "false",
+            "print the calibration PASS/DRIFT table; exit 2 on gated drift");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string metrics_out = args.get("metrics-out");
   const std::string trace_out = args.get("trace-out");
+  const std::string spans_out = args.get("spans-out");
+  const bool calibration = args.get_bool("calibration-report");
   std::unique_ptr<odr::obs::ScopedObserver> observer;
-  if (!metrics_out.empty() || !trace_out.empty()) {
+  if (!metrics_out.empty() || !trace_out.empty() || !spans_out.empty() ||
+      calibration) {
     odr::obs::ObsConfig ocfg;
     ocfg.tracing = !trace_out.empty();
     ocfg.trace_sample_every_flows =
         static_cast<std::uint32_t>(args.get_int("trace-sample"));
+    ocfg.spans = !spans_out.empty() || calibration;
+    ocfg.calibration = calibration;
     observer = std::make_unique<odr::obs::ScopedObserver>(ocfg);
   }
 
@@ -126,7 +140,32 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.fetch_admissions +
                                               result.fetch_rejections));
 
+  int exit_code = 0;
   if (observer != nullptr) {
+    if (const auto* attribution = (*observer)->attribution()) {
+      std::fputs(odr::analysis::attribution_table(*attribution).c_str(),
+                 stdout);
+      if (!attribution->failures().empty()) {
+        std::fputs(odr::analysis::taxonomy_table(
+                       "Failure taxonomy (stage x cause x popularity)",
+                       attribution->failures())
+                       .c_str(),
+                   stdout);
+      }
+    }
+    if (const auto* monitor = (*observer)->calibration()) {
+      const auto report = monitor->report();
+      std::fputs(odr::analysis::calibration_table(report).c_str(), stdout);
+      if (!report.pass()) exit_code = 2;
+    }
+    if (!spans_out.empty()) {
+      if ((*observer)->write_spans_file(spans_out)) {
+        std::printf("spans written to %s\n", spans_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", spans_out.c_str());
+        return 1;
+      }
+    }
     if (!metrics_out.empty()) {
       if ((*observer)->write_metrics_file(metrics_out)) {
         std::printf("metrics written to %s\n", metrics_out.c_str());
@@ -145,5 +184,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return exit_code;
 }

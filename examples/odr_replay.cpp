@@ -2,9 +2,13 @@
 //
 // Usage: odr_replay [--divisor 400] [--seed 20151028]
 //                   [--metrics-out metrics.json] [--trace-out trace.json]
+//                   [--spans-out spans.json]
 //
 // `--trace-out` writes a Chrome trace_event file covering all five
 // strategy replays back to back; open it at https://ui.perfetto.dev.
+// `--spans-out` writes the final (ODR) replay's sampled task spans; the
+// journal is reset per strategy, so the file and the printed attribution
+// table cover the last strategy in the sweep only.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -25,16 +29,20 @@ int main(int argc, char** argv) {
   args.flag("metrics-out", "", "write a metrics-registry JSON snapshot here");
   args.flag("trace-out", "", "write a Chrome trace_event JSON file here");
   args.flag("trace-sample", "1", "trace 1-in-N net/proto flow events");
+  args.flag("spans-out", "",
+            "write the last (ODR) replay's task spans (odr.spans.v1) here");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string metrics_out = args.get("metrics-out");
   const std::string trace_out = args.get("trace-out");
+  const std::string spans_out = args.get("spans-out");
   std::unique_ptr<odr::obs::ScopedObserver> observer;
-  if (!metrics_out.empty() || !trace_out.empty()) {
+  if (!metrics_out.empty() || !trace_out.empty() || !spans_out.empty()) {
     odr::obs::ObsConfig ocfg;
     ocfg.tracing = !trace_out.empty();
     ocfg.trace_sample_every_flows =
         static_cast<std::uint32_t>(args.get_int("trace-sample"));
+    ocfg.spans = !spans_out.empty();
     observer = std::make_unique<odr::obs::ScopedObserver>(ocfg);
   }
 
@@ -76,6 +84,25 @@ int main(int argc, char** argv) {
   std::fputs(table.render().c_str(), stdout);
 
   if (observer != nullptr) {
+    if (const auto* attribution = (*observer)->attribution()) {
+      std::fputs(odr::analysis::attribution_table(*attribution).c_str(),
+                 stdout);
+      if (!attribution->failures().empty()) {
+        std::fputs(odr::analysis::taxonomy_table(
+                       "ODR failure taxonomy (stage x cause x popularity)",
+                       attribution->failures())
+                       .c_str(),
+                   stdout);
+      }
+    }
+    if (!spans_out.empty()) {
+      if ((*observer)->write_spans_file(spans_out)) {
+        std::printf("spans written to %s\n", spans_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", spans_out.c_str());
+        return 1;
+      }
+    }
     if (!metrics_out.empty()) {
       if ((*observer)->write_metrics_file(metrics_out)) {
         std::printf("metrics written to %s\n", metrics_out.c_str());

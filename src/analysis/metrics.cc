@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "analysis/replay.h"
+
 namespace odr::analysis {
 
 SpeedDelayCdfs collect_speed_delay(
@@ -79,6 +81,38 @@ ClassFailure failure_by_class(const std::vector<cloud::TaskOutcome>& outcomes) {
     if (!o.pre.success) ++out.failures[i];
   }
   return out;
+}
+
+obs::FailureTaxonomy taxonomy_from_outcomes(
+    const std::vector<cloud::TaskOutcome>& outcomes) {
+  obs::FailureTaxonomy taxonomy;
+  for (const auto& o : outcomes) {
+    const std::string_view pop = workload::popularity_class_name(o.popularity);
+    if (!o.pre.success) {
+      taxonomy.add("vm_fetch", proto::failure_cause_name(o.pre.failure_cause),
+                   pop);
+    } else if (o.fetch.rejected) {
+      taxonomy.add("admission",
+                   proto::failure_cause_name(proto::FailureCause::kRejected),
+                   pop);
+    } else if (!o.fetched) {
+      taxonomy.add("upload_fetch",
+                   proto::failure_cause_name(proto::FailureCause::kNone), pop);
+    }
+  }
+  return taxonomy;
+}
+
+obs::FailureTaxonomy taxonomy_from_ap_tasks(
+    const std::vector<ApTaskResult>& tasks) {
+  obs::FailureTaxonomy taxonomy;
+  for (const auto& t : tasks) {
+    if (t.result.success) continue;
+    taxonomy.add("ap_fetch", proto::failure_cause_name(t.result.cause),
+                 workload::popularity_class_name(
+                     workload::classify_popularity(t.weekly_popularity)));
+  }
+  return taxonomy;
 }
 
 BurdenSeries burden_series(const std::vector<cloud::TaskOutcome>& outcomes,

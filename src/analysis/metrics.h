@@ -10,6 +10,7 @@
 
 #include "cloud/xuanfeng.h"
 #include "core/executor.h"
+#include "obs/attribution.h"
 #include "util/histogram.h"
 #include "util/stats.h"
 #include "util/units.h"
@@ -57,6 +58,23 @@ struct ClassFailure {
   double share_of_requests(workload::PopularityClass c) const;
 };
 ClassFailure failure_by_class(const std::vector<cloud::TaskOutcome>& outcomes);
+
+// --- shared failure taxonomy -------------------------------------------------
+
+struct ApTaskResult;  // analysis/replay.h
+
+// Builds the (stage, cause, popularity) failure taxonomy from plain cloud
+// outcome records, with the same keying as the span-fed obs::Attribution
+// instance: admission rejections land on the "admission" stage,
+// pre-download failures on "vm_fetch", delivery failures on
+// "upload_fetch". Benches that ran without a live observer get the exact
+// breakdown (and renderer) the attribution engine would have produced.
+obs::FailureTaxonomy taxonomy_from_outcomes(
+    const std::vector<cloud::TaskOutcome>& outcomes);
+
+// Same, for AP testbed replay tasks (every failure is an "ap_fetch").
+obs::FailureTaxonomy taxonomy_from_ap_tasks(
+    const std::vector<ApTaskResult>& tasks);
 
 // --- Fig 11: cloud upload bandwidth burden ----------------------------------
 

@@ -10,7 +10,9 @@
 #include "net/isp.h"
 #include "net/network.h"
 #include "obs/observer.h"
+#include "proto/protocol.h"
 #include "sim/simulator.h"
+#include "workload/file.h"
 
 namespace odr::analysis {
 
@@ -25,6 +27,7 @@ void wire_sim_observability(sim::Simulator& sim, SimTime horizon) {
     return;
   }
   obs->set_now(sim.now());
+  obs->begin_run();  // fresh journal/attribution per world build or restore
   obs->enable_sampler(sim.now(), horizon);
   // The hook captures the observer, not the other way round: the observer
   // outlives the world, and a rebuilt world installs a fresh hook.
@@ -85,12 +88,45 @@ void wire_breaker_probe(const char* name,
   });
 }
 
+void finish_cloud_task_span(const cloud::TaskOutcome& o) {
+  obs::Observer* obs = obs::current();
+  if (obs == nullptr) return;
+  obs::TaskJournal* journal = obs->journal();
+  if (journal == nullptr) return;
+  obs::SpanTerminal term;
+  term.cache_hit = o.pre.cache_hit;
+  term.pre_success = o.pre.success;
+  term.popularity = workload::popularity_class_name(o.popularity);
+  if (!o.pre.success) {
+    term.outcome = obs::SpanOutcome::kFailed;
+    term.cause = proto::failure_cause_name(o.pre.failure_cause);
+    journal->on_finish(o.task_id, o.pre.finish_time, term);
+    return;
+  }
+  if (o.fetch.rejected) {
+    term.outcome = obs::SpanOutcome::kRejected;
+    term.cause = proto::failure_cause_name(proto::FailureCause::kRejected);
+    journal->on_finish(o.task_id, o.fetch.finish_time, term);
+    return;
+  }
+  term.outcome =
+      o.fetched ? obs::SpanOutcome::kSuccess : obs::SpanOutcome::kFailed;
+  term.fetch_kbps = rate_to_kbps(o.fetch.average_rate);
+  // End-to-end speed over pre + fetch wall time, matching
+  // analysis::collect_speed_delay.
+  const SimTime e2e = (o.pre.finish_time - o.pre.start_time) +
+                      (o.fetch.finish_time - o.fetch.start_time);
+  term.e2e_kbps = rate_to_kbps(average_rate(o.fetch.acquired_bytes, e2e));
+  journal->on_finish(o.task_id, o.fetch.finish_time, term);
+}
+
 #else  // !ODR_OBS_ENABLED
 
 void wire_sim_observability(sim::Simulator&, SimTime) {}
 void wire_cloud_observability(sim::Simulator&, net::Network&,
                               cloud::XuanfengCloud&, SimTime) {}
 void wire_breaker_probe(const char*, const core::CircuitBreaker&) {}
+void finish_cloud_task_span(const cloud::TaskOutcome&) {}
 
 #endif  // ODR_OBS_ENABLED
 

@@ -19,6 +19,7 @@ class Network;
 }
 namespace odr::cloud {
 class XuanfengCloud;
+struct TaskOutcome;
 }
 namespace odr::core {
 class CircuitBreaker;
@@ -40,5 +41,13 @@ void wire_cloud_observability(sim::Simulator& sim, net::Network& net,
 // Adds a breaker-state probe (0 closed, 1 open, 0.5 half-open) to an
 // already-wired sampler. `name` is the metric name ("core.breaker.cloud").
 void wire_breaker_probe(const char* name, const core::CircuitBreaker& breaker);
+
+// Closes the ambient journal's span for a completed cloud task, deriving
+// the terminal facts (outcome, cause, popularity class, speeds) from the
+// TaskOutcome exactly as analysis::collect_speed_delay does. No-op when
+// no observer with spans is installed. Replay drivers and the snapshot
+// world call this from their outcome sinks — the one place a task's
+// outcome is final across every route shape.
+void finish_cloud_task_span(const cloud::TaskOutcome& outcome);
 
 }  // namespace odr::analysis

@@ -10,6 +10,7 @@
 #include "ap/ap_models.h"
 #include "fault/injector.h"
 #include "net/network.h"
+#include "obs/observer.h"
 #include "sim/simulator.h"
 #include "util/md5.h"
 
@@ -115,6 +116,7 @@ CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
     sim.schedule_at(request.request_time, [&, request] {
       cloud.submit(request, users->user(request.user_id),
                    [&result](const cloud::TaskOutcome& outcome) {
+                     finish_cloud_task_span(outcome);
                      result.outcomes.push_back(outcome);
                    });
     });
@@ -237,6 +239,7 @@ CloudReplayResult run_cloud_replay_from_trace(
     sim.schedule_at(request.request_time, [&, request] {
       cloud.submit(request, users->user(request.user_id),
                    [&result](const cloud::TaskOutcome& outcome) {
+                     finish_cloud_task_span(outcome);
                      result.outcomes.push_back(outcome);
                    });
     });
@@ -329,9 +332,23 @@ ApReplayResult run_ap_replay(const ApReplayConfig& config) {
     const Rate restriction = config.unrestricted_rate
                                  ? net::kUnlimitedRate
                                  : request.access_bandwidth;
+    ODR_SPAN(on_submit(request.task_id, sim.now(), obs::SpanOrigin::kAp));
     aps[ap_idx].ap->predownload(
         file, restriction,
         [&, ap_idx, request, file](const proto::DownloadResult& r) {
+          ODR_OBS({
+            ODR_SPAN(on_stage(request.task_id, obs::Stage::kApFetch,
+                              r.started_at, r.finished_at));
+            obs::SpanTerminal term;
+            term.outcome = r.success ? obs::SpanOutcome::kSuccess
+                                     : obs::SpanOutcome::kFailed;
+            term.cause = proto::failure_cause_name(r.cause);
+            term.popularity = workload::popularity_class_name(
+                workload::classify_popularity(file.expected_weekly_requests));
+            term.pre_success = r.success;
+            term.fetch_kbps = rate_to_kbps(r.average_rate);
+            ODR_SPAN(on_finish(request.task_id, sim.now(), term));
+          })
           ApTaskResult task;
           task.request = request;
           task.result = r;
@@ -357,11 +374,13 @@ ApReplayResult run_ap_replay(const ApReplayConfig& config) {
           start_next(ap_idx);
         });
   };
-  for (std::size_t i = 0; i < aps.size(); ++i) start_next(i);
-
+  // Wire before the chain starts: start_next opens the first spans
+  // immediately (not via a scheduled event), and wiring resets the journal.
   // Sequential chaining means the finish time is workload-dependent; give
   // the sampler a generous window rather than an exact horizon.
   wire_sim_observability(sim, 8 * kWeek);
+  for (std::size_t i = 0; i < aps.size(); ++i) start_next(i);
+
   sim.run();
   return result;
 }

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "obs/attribution.h"
+#include "obs/calibration_monitor.h"
+
 namespace odr::analysis {
 
 std::string comparison_table(const std::string& title,
@@ -36,6 +39,85 @@ std::string fmt_pct(double fraction) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
   return buf;
+}
+
+std::string fmt_unit(double value, const std::string& unit) {
+  if (unit == "%") return fmt_pct(value / 100.0);
+  if (unit == "min") return fmt_minutes(value);
+  if (unit == "KBps") return fmt_kbps(value);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, unit.c_str());
+  return buf;
+}
+
+std::string calibration_table(const obs::CalibrationReport& report) {
+  TextTable table(
+      {"statistic", "paper", "target band", "measured", "samples", "status"});
+  for (const auto& row : report.rows) {
+    const auto& spec = row.spec;
+    std::string band = fmt_unit(spec.target - spec.tolerance, spec.unit) +
+                       " .. " +
+                       fmt_unit(spec.target + spec.tolerance, spec.unit);
+    if (!spec.gated) band += " (ungated)";
+    std::string status;
+    switch (row.status) {
+      case obs::CalibrationRow::Status::kPass: status = "PASS"; break;
+      case obs::CalibrationRow::Status::kDrift: status = "DRIFT"; break;
+      case obs::CalibrationRow::Status::kNa: status = "N/A"; break;
+    }
+    table.add_row({spec.label, fmt_unit(spec.paper, spec.unit), band,
+                   row.samples == 0 ? std::string("-")
+                                    : fmt_unit(row.estimate, spec.unit),
+                   std::to_string(row.samples), status});
+  }
+  char summary[128];
+  std::snprintf(summary, sizeof(summary),
+                "calibration: %zu/%zu gated statistics PASS, %llu drift "
+                "event(s) -> %s\n",
+                report.gated_pass, report.gated_total,
+                static_cast<unsigned long long>(report.drift_events),
+                report.pass() ? "PASS" : "DRIFT");
+  return banner("Calibration vs paper (EXPERIMENTS.md targets)") +
+         table.render() + summary;
+}
+
+std::string attribution_table(const obs::Attribution& attribution) {
+  TextTable table({"stage", "tasks", "dominant", "total min", "p50 min",
+                   "p90 min", "p99 min"});
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    if (attribution.stage_tasks(stage) == 0) continue;
+    const Histogram& h = attribution.stage_hist(stage);
+    table.add_row({std::string(obs::stage_name(stage)),
+                   std::to_string(attribution.stage_tasks(stage)),
+                   std::to_string(attribution.dominant_count(stage)),
+                   TextTable::num(attribution.stage_total_minutes(stage), 0),
+                   TextTable::num(h.quantile(0.50), 1),
+                   TextTable::num(h.quantile(0.90), 1),
+                   TextTable::num(h.quantile(0.99), 1)});
+  }
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "spans folded: %llu, retries: %llu, reroutes: %llu, "
+                "failures: %llu\n",
+                static_cast<unsigned long long>(attribution.folded()),
+                static_cast<unsigned long long>(attribution.retries()),
+                static_cast<unsigned long long>(attribution.reroutes()),
+                static_cast<unsigned long long>(
+                    attribution.failures().total()));
+  return banner("Latency attribution by stage") + table.render() + summary;
+}
+
+std::string taxonomy_table(const std::string& title,
+                           const obs::FailureTaxonomy& taxonomy) {
+  TextTable table({"stage", "cause", "popularity", "count", "share"});
+  const double total = static_cast<double>(taxonomy.total());
+  for (const auto& row : taxonomy.rows()) {
+    table.add_row({row.stage, row.cause, row.popularity,
+                   std::to_string(row.count),
+                   fmt_pct(total > 0.0 ? row.count / total : 0.0)});
+  }
+  return banner(title) + table.render();
 }
 
 }  // namespace odr::analysis

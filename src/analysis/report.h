@@ -7,6 +7,12 @@
 #include "util/stats.h"
 #include "util/table.h"
 
+namespace odr::obs {
+class Attribution;
+class FailureTaxonomy;
+struct CalibrationReport;
+}
+
 namespace odr::analysis {
 
 struct ComparisonRow {
@@ -23,9 +29,28 @@ std::string comparison_table(const std::string& title,
 std::string cdf_table(const std::string& title, const std::string& x_label,
                       const EmpiricalCdf& cdf, std::size_t points = 20);
 
-// Formats helpers.
+// Renders the calibration monitor's end-of-run PASS/DRIFT table:
+// statistic | paper | target band | measured | samples | status.
+std::string calibration_table(const obs::CalibrationReport& report);
+
+// Renders the attribution engine's per-stage latency breakdown:
+// stage | tasks | dominant | total min | p50/p90/p99 min.
+std::string attribution_table(const obs::Attribution& attribution);
+
+// Renders a failure taxonomy (stage | cause | popularity | count | share).
+// Shared by the fig benches and the calibration drivers so every failure
+// breakdown in the repo prints through one code path.
+std::string taxonomy_table(const std::string& title,
+                           const obs::FailureTaxonomy& taxonomy);
+
+// Formats helpers. Every comparison_table user routes percentages, speeds,
+// and delays through these so all paper-vs-measured rows share ONE
+// precision (pct: 1 decimal; KBps and minutes: whole numbers).
 std::string fmt_kbps(double kbps);
 std::string fmt_minutes(double minutes);
 std::string fmt_pct(double fraction);
+// Formats `value` in the calibration table's unit vocabulary ("%", "min",
+// "KBps"), using the same precision as the fmt_* helpers above.
+std::string fmt_unit(double value, const std::string& unit);
 
 }  // namespace odr::analysis

@@ -87,6 +87,7 @@ void SmartAp::start_task(std::uint64_t id, Running r) {
   cfg.sink_rate = io_.max_write_rate;  // Bottleneck 4: the storage ceiling
   cfg.stagnation_timeout = config_.stagnation_timeout;
   cfg.hard_timeout = config_.hard_timeout;
+  cfg.obs_file_index = r.file.index;
 
   r.task = std::make_unique<proto::DownloadTask>(
       sim_, net_, std::move(source), remaining, cfg,
@@ -142,6 +143,8 @@ void SmartAp::crash() {
         std::llround(static_cast<double>(attempt_bytes) *
                      r.task->source().traffic_factor()));
     r.task.reset();  // silent teardown: no callback, flow cancelled
+    // The post-reboot restart is one more attempt from the span's view.
+    ODR_SPAN(note_file_retry(r.file.index));
     if (++r.crash_resumes > config_.max_crash_resumes) doomed.push_back(id);
   }
   // Deterministic failure-callback order regardless of hash-map layout.

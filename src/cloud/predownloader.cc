@@ -66,6 +66,7 @@ void PreDownloaderPool::start_task(Pending pending) {
   cfg.stagnation_timeout = config_.stagnation_timeout;
   cfg.hard_timeout = config_.predownload_hard_timeout;
   cfg.corruption_prob = corruption_prob_;
+  cfg.obs_file_index = pending.file.index;
   auto task = std::make_unique<proto::DownloadTask>(
       sim_, net_, std::move(source), pending.file.size, cfg,
       [this, slot](const proto::DownloadResult& result) {
@@ -159,6 +160,7 @@ void PreDownloaderPool::on_task_done(std::uint64_t slot,
       pending.attempt <= config_.predownload_max_retries) {
     ++retries_;
     ODR_COUNT("cloud.vm.retries");
+    ODR_SPAN(note_file_retry(pending.file.index));
     const double factor =
         std::pow(config_.retry_backoff_factor,
                  static_cast<double>(pending.attempt - 1));

@@ -121,9 +121,13 @@ void XuanfengCloud::submit(const workload::WorkloadRecord& request,
   content_db_.record_request(request.file, sim_.now());
   const workload::FileInfo& file = catalog_.file(request.file);
   ODR_COUNT("cloud.tasks.submitted");
+  ODR_SPAN(on_submit(request.task_id, sim_.now(), obs::SpanOrigin::kCloud));
+  ODR_SPAN(on_stage(request.task_id, obs::Stage::kCacheLookup, sim_.now(),
+                    sim_.now()));
 
   if (storage_.lookup(file.content_id)) {
     ODR_COUNT("cloud.tasks.cache_hits");
+    ODR_SPAN(on_cache_hit(request.task_id));
     begin_fetch(request, user, make_cache_hit_record(request),
                 std::move(on_done));
     return;
@@ -146,8 +150,12 @@ void XuanfengCloud::predownload_only(const workload::WorkloadRecord& request,
                                      PreDownloadFn on_done) {
   content_db_.record_request(request.file, sim_.now());
   const workload::FileInfo& file = catalog_.file(request.file);
+  ODR_SPAN(on_submit(request.task_id, sim_.now(), obs::SpanOrigin::kCloud));
+  ODR_SPAN(on_stage(request.task_id, obs::Stage::kCacheLookup, sim_.now(),
+                    sim_.now()));
 
   if (storage_.lookup(file.content_id)) {
+    ODR_SPAN(on_cache_hit(request.task_id));
     if (on_done) on_done(make_cache_hit_record(request));
     return;
   }
@@ -183,8 +191,22 @@ void XuanfengCloud::on_predownload_done(workload::FileIndex file,
     storage_.insert(info.content_id, file, info.size);
   }
 
+  // Retry notes accumulated per file (VM backoff requeues, checksum
+  // refetches) move onto every waiter's span: each attached task lived
+  // through the same retried transfer.
+  ODR_OBS([[maybe_unused]] std::uint32_t span_file_retries = 0;
+          if (auto* odr_obs_ = obs::current())
+            if (auto* odr_journal_ = odr_obs_->journal())
+              span_file_retries = odr_journal_->take_file_retries(file);)
+
   bool first = true;
   for (Waiter& w : waiters) {
+    ODR_SPAN(on_stage(w.request.task_id, obs::Stage::kVmQueue, w.enqueued_at,
+                      result.started_at));
+    ODR_SPAN(on_stage(w.request.task_id, obs::Stage::kVmFetch,
+                      result.started_at, result.finished_at));
+    ODR_OBS(if (span_file_retries > 0)
+                ODR_SPAN(on_retry(w.request.task_id, span_file_retries));)
     workload::PreDownloadRecord pre;
     pre.task_id = w.request.task_id;
     pre.start_time = result.started_at;
@@ -282,6 +304,8 @@ void XuanfengCloud::on_fetch_complete(net::FlowId id) {
   TaskOutcome& outcome = fetch.outcome;
   outcome.fetch.finish_time = sim_.now();
   ODR_TRACE_COMPLETE(kCloud, "fetch", outcome.fetch.start_time, sim_.now());
+  ODR_SPAN(on_stage(outcome.task_id, obs::Stage::kUploadFetch,
+                    outcome.fetch.start_time, sim_.now()));
   outcome.fetch.acquired_bytes = fetch.size;
   outcome.fetch.traffic_bytes = static_cast<Bytes>(std::llround(
       static_cast<double>(fetch.size) * fetch.overhead));

@@ -57,6 +57,37 @@ bool is_substrate_failure(proto::FailureCause cause) {
          cause == proto::FailureCause::kSystemBug;
 }
 
+#if ODR_OBS_ENABLED
+obs::SpanOrigin origin_for(Route route) {
+  switch (route) {
+    case Route::kSmartAp: return obs::SpanOrigin::kAp;
+    case Route::kUserDevice: return obs::SpanOrigin::kDirect;
+    case Route::kCloud:
+    case Route::kCloudThenSmartAp:
+    case Route::kCloudPreDownloadFirst: return obs::SpanOrigin::kCloud;
+  }
+  return obs::SpanOrigin::kCloud;
+}
+
+// Terminal span facts from an executor outcome. The cloud layer notes the
+// cache verdict itself (on_cache_hit), so `cache_hit` stays false here.
+void finish_task_span(obs::TaskJournal& journal, const ExecOutcome& o,
+                      SimTime now) {
+  obs::SpanTerminal term;
+  term.outcome = o.success    ? obs::SpanOutcome::kSuccess
+                 : o.rejected ? obs::SpanOutcome::kRejected
+                              : obs::SpanOutcome::kFailed;
+  term.cause = proto::failure_cause_name(o.cause);
+  term.popularity = workload::popularity_class_name(o.popularity);
+  // On cloud routes a non-rejected failure is by construction a failed
+  // pre-download (admitted fetches run to completion).
+  term.pre_success = o.success || o.rejected;
+  term.fetch_kbps = rate_to_kbps(o.fetch_rate);
+  term.e2e_kbps = rate_to_kbps(o.e2e_rate);
+  journal.on_finish(o.task_id, std::max(now, o.ready_time), term);
+}
+#endif  // ODR_OBS_ENABLED
+
 }  // namespace
 
 void Executor::record_breaker_outcome(const ExecOutcome& outcome) {
@@ -106,6 +137,24 @@ void Executor::execute(const Decision& decision,
     route = cloud_ok ? Route::kCloud : Route::kUserDevice;
     rerouted = true;
   }
+  // Span accounting wraps INSIDE the breaker wrapper, so it sees the
+  // final (reroute-patched) outcome and fires before the caller's sink.
+  ODR_OBS(if (auto* odr_obs_ = obs::current()) {
+    if (auto* journal = odr_obs_->journal()) {
+      journal->on_submit(request.task_id, sim_.now(), origin_for(route));
+      if (rerouted) journal->on_reroute(request.task_id);
+      // Re-resolve the ambient journal at completion time: the observer
+      // may be swapped (or gone) before a long task finishes.
+      done = [this, done = std::move(done)](const ExecOutcome& o) {
+        if (auto* fin_obs = obs::current()) {
+          if (auto* fin_journal = fin_obs->journal()) {
+            finish_task_span(*fin_journal, o, sim_.now());
+          }
+        }
+        if (done) done(o);
+      };
+    }
+  })
   if (cloud_breaker_ != nullptr || ap_breaker_ != nullptr) {
     done = wrap_with_breakers(std::move(done), rerouted);
     if (rerouted) {
@@ -212,6 +261,8 @@ void Executor::run_user_device(const workload::WorkloadRecord& request,
         direct_tasks_.erase(it);
         sim_.schedule_after(0, [raw] { delete raw; });
 
+        ODR_SPAN(on_stage(request.task_id, obs::Stage::kDirectFetch,
+                          result.started_at, result.finished_at));
         ExecOutcome e;
         e.task_id = request.task_id;
         e.route = Route::kUserDevice;
@@ -241,6 +292,8 @@ void Executor::finalize_lan_stage(ExecOutcome outcome, odr::ap::SmartAp* ap,
   // The last hop: user pulls the file from the AP over the LAN (8-12
   // MBps); never impeded, and fast enough to stream immediately.
   const SimTime lan = ap->lan_fetch_duration(outcome.file_size, rng_);
+  ODR_SPAN(on_stage(outcome.task_id, obs::Stage::kLanFetch,
+                    outcome.ready_time, outcome.ready_time + lan));
   outcome.ready_time += lan;
   outcome.e2e_rate =
       average_rate(outcome.file_size, outcome.ready_time - outcome.request_time);
@@ -256,6 +309,8 @@ void Executor::run_smart_ap(const workload::WorkloadRecord& request,
       file, net::kUnlimitedRate,  // testbed: the AP's own line is the cap
       [this, request, ap, done = std::move(done)](
           const proto::DownloadResult& result) {
+        ODR_SPAN(on_stage(request.task_id, obs::Stage::kApFetch,
+                          result.started_at, result.finished_at));
         ExecOutcome e;
         e.task_id = request.task_id;
         e.route = Route::kSmartAp;

@@ -1,0 +1,193 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace odr::obs {
+
+namespace {
+
+// The stage a failed/rejected span is charged to: rejections are an
+// admission-control verdict; failures charge the last stage the task
+// actually entered, falling back to the origin's fetch stage for spans
+// with no recorded interval (e.g. finished right after a restore).
+std::string_view failure_stage(const TaskSpan& span) {
+  if (span.outcome == SpanOutcome::kRejected) {
+    return stage_name(Stage::kAdmission);
+  }
+  if (!span.stages.empty()) {
+    const StageInterval* last = &span.stages.front();
+    for (const auto& i : span.stages) {
+      if (i.end >= last->end) last = &i;
+    }
+    return stage_name(last->stage);
+  }
+  switch (span.origin) {
+    case SpanOrigin::kCloud: return stage_name(Stage::kVmFetch);
+    case SpanOrigin::kAp: return stage_name(Stage::kApFetch);
+    case SpanOrigin::kDirect: return stage_name(Stage::kDirectFetch);
+  }
+  return stage_name(Stage::kVmFetch);
+}
+
+}  // namespace
+
+void FailureTaxonomy::add(std::string_view stage, std::string_view cause,
+                          std::string_view popularity, std::uint64_t n) {
+  counts_[{std::string(stage), std::string(cause), std::string(popularity)}] +=
+      n;
+}
+
+std::uint64_t FailureTaxonomy::total() const {
+  std::uint64_t n = 0;
+  for (const auto& [key, count] : counts_) n += count;
+  return n;
+}
+
+std::uint64_t FailureTaxonomy::count_for_cause(std::string_view cause) const {
+  std::uint64_t n = 0;
+  for (const auto& [key, count] : counts_) {
+    if (std::get<1>(key) == cause) n += count;
+  }
+  return n;
+}
+
+std::uint64_t FailureTaxonomy::count_for_stage(std::string_view stage) const {
+  std::uint64_t n = 0;
+  for (const auto& [key, count] : counts_) {
+    if (std::get<0>(key) == stage) n += count;
+  }
+  return n;
+}
+
+std::uint64_t FailureTaxonomy::count_for_popularity(
+    std::string_view popularity) const {
+  std::uint64_t n = 0;
+  for (const auto& [key, count] : counts_) {
+    if (std::get<2>(key) == popularity) n += count;
+  }
+  return n;
+}
+
+double FailureTaxonomy::cause_share(std::string_view cause) const {
+  const std::uint64_t all = total();
+  return all == 0 ? 0.0
+                  : static_cast<double>(count_for_cause(cause)) /
+                        static_cast<double>(all);
+}
+
+std::vector<FailureTaxonomy::Row> FailureTaxonomy::rows() const {
+  std::vector<Row> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.push_back(
+        {std::get<0>(key), std::get<1>(key), std::get<2>(key), count});
+  }
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return std::tie(a.stage, a.cause, a.popularity) <
+           std::tie(b.stage, b.cause, b.popularity);
+  });
+  return out;
+}
+
+void FailureTaxonomy::write_json(JsonWriter& j) const {
+  j.begin_array();
+  for (const auto& r : rows()) {
+    j.begin_object()
+        .field("stage", r.stage)
+        .field("cause", r.cause)
+        .field("popularity", r.popularity)
+        .field("count", r.count)
+        .end_object();
+  }
+  j.end_array();
+}
+
+Attribution::Attribution() = default;
+
+void Attribution::begin_run() {
+  for (auto& s : stages_) s = StageAgg{};
+  failures_.clear();
+  folded_ = 0;
+  retries_ = 0;
+  reroutes_ = 0;
+}
+
+void Attribution::fold(const TaskSpan& span) {
+  ++folded_;
+  retries_ += span.retries;
+  reroutes_ += span.reroutes;
+
+  SimTime per_stage[kStageCount] = {};
+  bool seen[kStageCount] = {};
+  for (const auto& i : span.stages) {
+    const auto s = static_cast<std::size_t>(i.stage);
+    per_stage[s] += i.duration();
+    seen[s] = true;
+  }
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (!seen[s]) continue;
+    const double minutes = to_minutes(per_stage[s]);
+    stages_[s].minutes.add(minutes);
+    stages_[s].total_minutes += minutes;
+    ++stages_[s].tasks;
+  }
+  if (span.stages_total() > 0) {
+    ++stages_[static_cast<std::size_t>(span.dominant_stage())].dominant;
+  }
+
+  if (span.outcome == SpanOutcome::kFailed ||
+      span.outcome == SpanOutcome::kRejected) {
+    failures_.add(failure_stage(span), span.cause, span.popularity);
+  }
+}
+
+void Attribution::export_metrics(Registry& registry) const {
+  registry.gauge("task.attr.folded").set(static_cast<double>(folded_));
+  registry.gauge("task.attr.retries").set(static_cast<double>(retries_));
+  registry.gauge("task.attr.reroutes").set(static_cast<double>(reroutes_));
+  registry.gauge("task.attr.failures")
+      .set(static_cast<double>(failures_.total()));
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const StageAgg& agg = stages_[s];
+    if (agg.tasks == 0) continue;
+    const std::string base =
+        "task.attr." + std::string(stage_name(static_cast<Stage>(s)));
+    registry.gauge(base + ".tasks").set(static_cast<double>(agg.tasks));
+    registry.gauge(base + ".dominant").set(static_cast<double>(agg.dominant));
+    registry.gauge(base + ".total_min").set(agg.total_minutes);
+    registry.gauge(base + ".p50_min").set(agg.minutes.quantile(0.5));
+    registry.gauge(base + ".p90_min").set(agg.minutes.quantile(0.9));
+    registry.gauge(base + ".p99_min").set(agg.minutes.quantile(0.99));
+  }
+}
+
+void Attribution::write_json(JsonWriter& j) const {
+  j.begin_object()
+      .field("folded", folded_)
+      .field("retries", retries_)
+      .field("reroutes", reroutes_);
+  j.key("stages").begin_array();
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const StageAgg& agg = stages_[s];
+    if (agg.tasks == 0) continue;
+    j.begin_object()
+        .field("stage", std::string(stage_name(static_cast<Stage>(s))))
+        .field("tasks", agg.tasks)
+        .field("dominant", agg.dominant)
+        .field("total_min", agg.total_minutes)
+        .field("p50_min", agg.minutes.quantile(0.5))
+        .field("p90_min", agg.minutes.quantile(0.9))
+        .field("p99_min", agg.minutes.quantile(0.99))
+        .end_object();
+  }
+  j.end_array();
+  j.key("failures");
+  failures_.write_json(j);
+  j.end_object();
+}
+
+}  // namespace odr::obs

@@ -1,0 +1,122 @@
+// Attribution engine: folds finished task spans into per-stage latency
+// histograms, critical-path (dominant-stage) breakdowns, and a failure
+// taxonomy keyed by (stage, cause, popularity bucket).
+//
+// Where the TaskJournal keeps a *sample* of spans for inspection, the
+// Attribution engine folds EVERY finished span, so its marginals are
+// exact. It answers the two questions the paper's tables revolve around:
+// "which stage dominates task latency?" (Figs 8/9 decomposed) and "which
+// stage/cause pair produces the failures, and for which popularity
+// class?" (Figs 10/14). The failure taxonomy is the shared code path the
+// fig benches print and the calibration monitor gates on.
+//
+// Export goes two ways: numeric gauges into the existing metrics registry
+// ("task.attr.<stage>.*") and a structured "attribution" JSON section in
+// the metrics document.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "obs/task_span.h"
+#include "util/histogram.h"
+
+namespace odr {
+class JsonWriter;
+}
+
+namespace odr::obs {
+
+class Registry;
+
+// Failure counts keyed by (stage, cause, popularity bucket). Key parts are
+// stored as owned strings so the taxonomy can also be built from plain
+// outcome records (the fig benches) — same type, same rates, same
+// rendering as the span-fed instance the monitor observes.
+class FailureTaxonomy {
+ public:
+  struct Row {
+    std::string stage;
+    std::string cause;
+    std::string popularity;
+    std::uint64_t count = 0;
+  };
+
+  void add(std::string_view stage, std::string_view cause,
+           std::string_view popularity, std::uint64_t n = 1);
+  void clear() { counts_.clear(); }
+
+  std::uint64_t total() const;
+  std::uint64_t count_for_cause(std::string_view cause) const;
+  std::uint64_t count_for_stage(std::string_view stage) const;
+  std::uint64_t count_for_popularity(std::string_view popularity) const;
+  // Share of all failures carrying this cause (0 if no failures) — the
+  // shape of the paper's Fig 14 cause breakdown.
+  double cause_share(std::string_view cause) const;
+
+  // Rows sorted by count descending, then key ascending.
+  std::vector<Row> rows() const;
+  bool empty() const { return counts_.empty(); }
+
+  void write_json(JsonWriter& j) const;
+
+ private:
+  std::map<std::tuple<std::string, std::string, std::string>, std::uint64_t>
+      counts_;
+};
+
+class Attribution {
+ public:
+  Attribution();
+
+  void begin_run();
+  void fold(const TaskSpan& span);
+
+  std::uint64_t folded() const { return folded_; }
+  // Tasks that recorded at least one interval of this stage.
+  std::uint64_t stage_tasks(Stage s) const {
+    return stages_[static_cast<std::size_t>(s)].tasks;
+  }
+  double stage_total_minutes(Stage s) const {
+    return stages_[static_cast<std::size_t>(s)].total_minutes;
+  }
+  // Tasks whose dominant (largest cumulative) stage was s.
+  std::uint64_t dominant_count(Stage s) const {
+    return stages_[static_cast<std::size_t>(s)].dominant;
+  }
+  // Per-task cumulative latency histogram of stage s, in minutes.
+  const Histogram& stage_hist(Stage s) const {
+    return stages_[static_cast<std::size_t>(s)].minutes;
+  }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t reroutes() const { return reroutes_; }
+  const FailureTaxonomy& failures() const { return failures_; }
+
+  // Sets "task.attr.*" gauges on the registry (idempotent: gauges are
+  // overwritten on every call, so repeated exports agree with the latest
+  // fold state).
+  void export_metrics(Registry& registry) const;
+  // Emits the "attribution" object value on `j`.
+  void write_json(JsonWriter& j) const;
+
+ private:
+  struct StageAgg {
+    Histogram minutes{0.0, 1440.0, 720};  // 2-minute bins over a day
+    std::uint64_t tasks = 0;
+    std::uint64_t dominant = 0;
+    double total_minutes = 0.0;
+  };
+
+  std::array<StageAgg, kStageCount> stages_;
+  FailureTaxonomy failures_;
+  std::uint64_t folded_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t reroutes_ = 0;
+};
+
+}  // namespace odr::obs

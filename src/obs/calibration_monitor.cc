@@ -1,0 +1,267 @@
+#include "obs/calibration_monitor.h"
+
+#include <cmath>
+
+#include "obs/flight_recorder.h"
+#include "util/json.h"
+
+namespace odr::obs {
+
+namespace {
+
+// §4.1: a fetch below the 1-Mbps playback rate impedes the user.
+constexpr double kImpededKbps = 125.0;
+
+CalibrationTarget make(StatId id, const char* key, const char* label,
+                       const char* unit, double paper, double target,
+                       double tolerance, std::size_t min_samples, bool gated) {
+  CalibrationTarget t;
+  t.id = id;
+  t.key = key;
+  t.label = label;
+  t.unit = unit;
+  t.paper = paper;
+  t.target = target;
+  t.tolerance = tolerance;
+  t.min_samples = min_samples;
+  t.gated = gated;
+  return t;
+}
+
+}  // namespace
+
+// Targets mirror EXPERIMENTS.md: `paper` is the paper's number, `target`
+// our calibrated measurement, `tolerance` the documented seed/scale
+// spread plus sampling slack. Ungated rows are the ones EXPERIMENTS.md
+// flags as intentionally deviating (note 1: failure-rate denominator;
+// means are long-tail-sensitive at small divisors).
+std::vector<CalibrationTarget> paper_calibration_targets() {
+  std::vector<CalibrationTarget> t;
+  t.push_back(make(StatId::kCacheHit, "cache_hit", "cache hit ratio", "%",
+                   89.0, 88.0, 4.0, 200, true));
+  t.push_back(make(StatId::kPreFailure, "pre_failure",
+                   "overall pre-download failure", "%", 8.7, 5.8, 3.0, 200,
+                   true));
+  t.push_back(make(StatId::kUnpopularFailure, "unpopular_failure",
+                   "unpopular-file failure", "%", 13.0, 17.3, 8.0, 100, true));
+  t.push_back(make(StatId::kRejected, "rejected", "fetches rejected", "%",
+                   1.5, 0.7, 1.0, 200, true));
+  t.push_back(make(StatId::kImpeded, "impeded", "impeded fetches (<125 KBps)",
+                   "%", 28.0, 22.6, 8.0, 200, true));
+  t.push_back(make(StatId::kPreDelayP50, "pre_delay_p50",
+                   "pre-download delay median (misses)", "min", 82.0, 60.0,
+                   40.0, 100, true));
+  // The delay/speed means are dominated by the long tail, which scales
+  // with the divisor (fewer VM slots -> deeper queues at small scale):
+  // observed 182..719 min across divisors 100..2000. Wide band, ungated.
+  t.push_back(make(StatId::kPreDelayMean, "pre_delay_mean",
+                   "pre-download delay mean (misses)", "min", 370.0, 420.0,
+                   320.0, 100, false));
+  t.push_back(make(StatId::kFetchDelayP50, "fetch_delay_p50",
+                   "fetch delay median", "min", 7.0, 3.0, 6.0, 100, true));
+  t.push_back(make(StatId::kFetchSpeedP50, "fetch_speed_p50",
+                   "fetch speed median", "KBps", 287.0, 295.0, 130.0, 100,
+                   true));
+  t.push_back(make(StatId::kFetchSpeedMean, "fetch_speed_mean",
+                   "fetch speed mean", "KBps", 504.0, 430.0, 250.0, 100,
+                   false));
+  t.push_back(make(StatId::kE2eSpeedP50, "e2e_speed_p50",
+                   "end-to-end speed median", "KBps", 233.0, 276.0, 130.0, 100,
+                   true));
+  t.push_back(make(StatId::kApFailure, "ap_failure", "AP pre-download failure",
+                   "%", 16.8, 18.9, 7.0, 100, true));
+  t.push_back(make(StatId::kApUnpopularFailure, "ap_unpopular_failure",
+                   "AP unpopular-file failure", "%", 42.0, 46.5, 15.0, 50,
+                   true));
+  t.push_back(make(StatId::kApSeedCauseShare, "ap_seed_cause_share",
+                   "AP failures: insufficient seeds", "%", 86.0, 86.2, 12.0,
+                   50, false));
+  return t;
+}
+
+bool CalibrationReport::pass() const { return gated_pass == gated_total; }
+
+CalibrationMonitor::CalibrationMonitor(std::vector<CalibrationTarget> targets,
+                                       SimTime check_period)
+    : targets_(std::move(targets)), check_period_(check_period) {}
+
+void CalibrationMonitor::begin_run() {
+  cache_hit_ = pre_failure_ = unpopular_failure_ = rejected_ = impeded_ =
+      Ratio{};
+  ap_failure_ = ap_unpopular_failure_ = ap_seed_share_ = Ratio{};
+  pre_delay_min_ = Histogram{0.0, 2880.0, 720};
+  fetch_delay_min_ = Histogram{0.0, 240.0, 480};
+  fetch_speed_kbps_ = Histogram{0.0, 3000.0, 600};
+  e2e_speed_kbps_ = Histogram{0.0, 3000.0, 600};
+  pre_delay_mean_ = fetch_speed_mean_ = Mean{};
+  for (bool& l : latched_) l = false;
+  last_check_ = 0;
+  checks_ = 0;
+  drift_events_ = 0;
+}
+
+void CalibrationMonitor::on_span(const TaskSpan& span) {
+  if (span.origin == SpanOrigin::kAp) {
+    const bool failed = span.outcome == SpanOutcome::kFailed;
+    ++ap_failure_.den;
+    if (failed) ++ap_failure_.num;
+    if (span.popularity == "unpopular") {
+      ++ap_unpopular_failure_.den;
+      if (failed) ++ap_unpopular_failure_.num;
+    }
+    if (failed) {
+      ++ap_seed_share_.den;
+      if (span.cause == "insufficient-seeds") ++ap_seed_share_.num;
+    }
+    return;
+  }
+  if (span.origin != SpanOrigin::kCloud) return;
+
+  ++cache_hit_.den;
+  if (span.cache_hit) ++cache_hit_.num;
+  ++pre_failure_.den;
+  if (!span.pre_success) ++pre_failure_.num;
+  if (span.popularity == "unpopular") {
+    ++unpopular_failure_.den;
+    if (!span.pre_success) ++unpopular_failure_.num;
+  }
+  // Pre-download delay CDFs exclude cache hits, exactly as Figs 8-9 do.
+  if (!span.cache_hit) {
+    const double pre_min = to_minutes(span.stage_total(Stage::kVmFetch));
+    pre_delay_min_.add(pre_min);
+    pre_delay_mean_.sum += pre_min;
+    ++pre_delay_mean_.n;
+  }
+  if (span.pre_success) {
+    const bool rejected = span.outcome == SpanOutcome::kRejected;
+    ++rejected_.den;
+    if (rejected) ++rejected_.num;
+    ++impeded_.den;
+    if (rejected || span.fetch_kbps < kImpededKbps) ++impeded_.num;
+    const double fetch_kbps = rejected ? 0.0 : span.fetch_kbps;
+    fetch_speed_kbps_.add(fetch_kbps);
+    fetch_speed_mean_.sum += fetch_kbps;
+    ++fetch_speed_mean_.n;
+    if (!rejected && span.outcome == SpanOutcome::kSuccess) {
+      fetch_delay_min_.add(to_minutes(span.stage_total(Stage::kUploadFetch)));
+      e2e_speed_kbps_.add(span.e2e_kbps);
+    }
+  }
+}
+
+double CalibrationMonitor::estimate(StatId id, std::size_t& samples) const {
+  auto ratio = [&samples](const Ratio& r) {
+    samples = r.den;
+    return r.den == 0 ? 0.0
+                      : 100.0 * static_cast<double>(r.num) /
+                            static_cast<double>(r.den);
+  };
+  auto median = [&samples](const Histogram& h) {
+    samples = h.total_count();
+    return h.quantile(0.5);
+  };
+  auto mean = [&samples](const Mean& m) {
+    samples = m.n;
+    return m.n == 0 ? 0.0 : m.sum / static_cast<double>(m.n);
+  };
+  switch (id) {
+    case StatId::kCacheHit: return ratio(cache_hit_);
+    case StatId::kPreFailure: return ratio(pre_failure_);
+    case StatId::kUnpopularFailure: return ratio(unpopular_failure_);
+    case StatId::kRejected: return ratio(rejected_);
+    case StatId::kImpeded: return ratio(impeded_);
+    case StatId::kPreDelayP50: return median(pre_delay_min_);
+    case StatId::kPreDelayMean: return mean(pre_delay_mean_);
+    case StatId::kFetchDelayP50: return median(fetch_delay_min_);
+    case StatId::kFetchSpeedP50: return median(fetch_speed_kbps_);
+    case StatId::kFetchSpeedMean: return mean(fetch_speed_mean_);
+    case StatId::kE2eSpeedP50: return median(e2e_speed_kbps_);
+    case StatId::kApFailure: return ratio(ap_failure_);
+    case StatId::kApUnpopularFailure: return ratio(ap_unpopular_failure_);
+    case StatId::kApSeedCauseShare: return ratio(ap_seed_share_);
+  }
+  samples = 0;
+  return 0.0;
+}
+
+void CalibrationMonitor::on_time(SimTime now) {
+  if (now < last_check_ + check_period_) return;
+  last_check_ = now;
+  check_drift(now);
+}
+
+void CalibrationMonitor::check_drift(SimTime now) {
+  ++checks_;
+  for (const auto& t : targets_) {
+    if (!t.gated || latched_[static_cast<std::size_t>(t.id)]) continue;
+    std::size_t samples = 0;
+    const double est = estimate(t.id, samples);
+    if (samples < t.min_samples) continue;
+    // Mid-run marginals legitimately wander while the week warms up (long
+    // tasks finish late, rejection pressure builds); alarm only outside a
+    // 2x transient band. The end-of-run report applies the strict 1x band.
+    if (std::fabs(est - t.target) <= 2.0 * t.tolerance) continue;
+    latched_[static_cast<std::size_t>(t.id)] = true;
+    ++drift_events_;
+    if (flight_ != nullptr) {
+      flight_->note(now, Cat::kTask, Severity::kWarn,
+                    "calibration.drift." + t.key, est, t.target);
+    }
+  }
+}
+
+CalibrationReport CalibrationMonitor::report() const {
+  CalibrationReport out;
+  out.drift_events = drift_events_;
+  for (const auto& t : targets_) {
+    CalibrationRow row;
+    row.spec = t;
+    row.estimate = estimate(t.id, row.samples);
+    if (row.samples < t.min_samples) {
+      row.status = CalibrationRow::Status::kNa;
+    } else if (std::fabs(row.estimate - t.target) <= t.tolerance) {
+      row.status = CalibrationRow::Status::kPass;
+    } else {
+      row.status = CalibrationRow::Status::kDrift;
+    }
+    if (t.gated && row.status != CalibrationRow::Status::kNa) {
+      ++out.gated_total;
+      if (row.status == CalibrationRow::Status::kPass) ++out.gated_pass;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+void CalibrationMonitor::write_json(JsonWriter& j) const {
+  const CalibrationReport rep = report();
+  j.begin_object()
+      .field("checks", checks_)
+      .field("drift_events", drift_events_)
+      .field("gated_total", static_cast<std::uint64_t>(rep.gated_total))
+      .field("gated_pass", static_cast<std::uint64_t>(rep.gated_pass))
+      .field("pass", rep.pass());
+  j.key("rows").begin_array();
+  for (const auto& r : rep.rows) {
+    const char* status = r.status == CalibrationRow::Status::kPass ? "PASS"
+                         : r.status == CalibrationRow::Status::kDrift
+                             ? "DRIFT"
+                             : "N/A";
+    j.begin_object()
+        .field("key", r.spec.key)
+        .field("label", r.spec.label)
+        .field("unit", r.spec.unit)
+        .field("paper", r.spec.paper)
+        .field("target", r.spec.target)
+        .field("tolerance", r.spec.tolerance)
+        .field("estimate", r.estimate)
+        .field("samples", static_cast<std::uint64_t>(r.samples))
+        .field("gated", r.spec.gated)
+        .field("status", status)
+        .end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+}  // namespace odr::obs

@@ -52,6 +52,30 @@ struct ObsConfig {
   // dump writes "<dump_path>.<n>.<trigger>.json".
   std::string dump_path;
 
+  // --- per-task lifecycle spans --------------------------------------------
+  // Master switch for the TaskJournal (and the Attribution engine fed by
+  // it). Off by default: span bookkeeping costs a hash-map touch per
+  // lifecycle event, which plain metrics users shouldn't pay.
+  bool spans = false;
+  // Retention sampling for finished spans: a deterministic hash reservoir
+  // of this many representative spans…
+  std::size_t span_reservoir = 512;
+  // …plus the slowest-k spans by cumulative stage time…
+  std::size_t span_keep_slowest = 64;
+  // …plus EVERY failed/rejected span, up to this cap (overflow counted).
+  std::size_t span_keep_failed_cap = 4096;
+  // Emit every n-th finished span into the Chrome trace "task" lane as one
+  // row per stage interval. 0 = no per-task trace rows.
+  std::uint32_t span_trace_every = 0;
+
+  // --- calibration drift monitor -------------------------------------------
+  // Streams finished spans into online estimators of the paper-reported
+  // statistics and raises flight-recorder events on drift. Implies spans.
+  bool calibration = false;
+  // How often (sim time) the gated estimates are checked against their
+  // targets.
+  SimTime calibration_check_period = kHour;
+
   // --- periodic gauge sampler ----------------------------------------------
   // Bin width of the sampled TimeSeries (the paper's Fig 11 cadence).
   SimTime sample_period = 5 * kMinute;

@@ -20,6 +20,22 @@ Observer::Observer(ObsConfig config)
     tracer_.set_sample_every(Cat::kNet, config_.trace_sample_every_flows);
     tracer_.set_sample_every(Cat::kProto, config_.trace_sample_every_flows);
   }
+  if (config_.spans || config_.calibration) {
+    journal_ = std::make_unique<TaskJournal>(config_);
+    attribution_ = std::make_unique<Attribution>();
+    if (config_.calibration) {
+      monitor_ = std::make_unique<CalibrationMonitor>(
+          paper_calibration_targets(), config_.calibration_check_period);
+      monitor_->set_flight(&flight_);
+    }
+    journal_->set_sinks(attribution_.get(), monitor_.get(), &tracer_);
+  }
+}
+
+void Observer::begin_run() {
+  if (journal_) journal_->begin_run();
+  if (attribution_) attribution_->begin_run();
+  if (monitor_) monitor_->begin_run();
 }
 
 void Observer::enable_sampler(SimTime start, SimTime end) {
@@ -27,10 +43,24 @@ void Observer::enable_sampler(SimTime start, SimTime end) {
   if (tracer_.enabled()) sampler_->set_tracer(&tracer_);
 }
 
-void Observer::write_metrics_json(JsonWriter& j) const {
+void Observer::write_metrics_json(JsonWriter& j) {
+  if (attribution_) attribution_->export_metrics(metrics_);
   j.begin_object();
   j.field("schema", "odr.metrics.v1");
   metrics_.write_fields(j);
+  if (journal_) {
+    j.key("spans").begin_object();
+    journal_->write_summary_fields(j);
+    j.end_object();
+  }
+  if (attribution_) {
+    j.key("attribution");
+    attribution_->write_json(j);
+  }
+  if (monitor_) {
+    j.key("calibration");
+    monitor_->write_json(j);
+  }
   if (sampler_) {
     j.key("sampler").begin_object();
     sampler_->write_fields(j);
@@ -48,7 +78,7 @@ void Observer::write_metrics_json(JsonWriter& j) const {
   j.end_object();
 }
 
-bool Observer::write_metrics_file(const std::string& path) const {
+bool Observer::write_metrics_file(const std::string& path) {
   JsonWriter j;
   write_metrics_json(j);
   return j.write_file(path);
@@ -56,6 +86,11 @@ bool Observer::write_metrics_file(const std::string& path) const {
 
 bool Observer::write_trace_file(const std::string& path) const {
   return tracer_.write_file(path);
+}
+
+bool Observer::write_spans_file(const std::string& path) const {
+  if (!journal_) return false;
+  return journal_->write_file(path);
 }
 
 ScopedObserver::ScopedObserver(ObsConfig config)

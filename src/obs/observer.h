@@ -17,10 +17,13 @@
 #include <string>
 #include <string_view>
 
+#include "obs/attribution.h"
+#include "obs/calibration_monitor.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs_config.h"
 #include "obs/sampler.h"
+#include "obs/task_span.h"
 #include "obs/trace.h"
 #include "util/units.h"
 
@@ -43,6 +46,14 @@ class Observer {
   const FlightRecorder& flight() const { return flight_; }
   GaugeSampler* sampler() { return sampler_.get(); }
   const GaugeSampler* sampler() const { return sampler_.get(); }
+  // Null unless config().spans (or calibration, which implies spans).
+  TaskJournal* journal() { return journal_.get(); }
+  const TaskJournal* journal() const { return journal_.get(); }
+  Attribution* attribution() { return attribution_.get(); }
+  const Attribution* attribution() const { return attribution_.get(); }
+  // Null unless config().calibration.
+  CalibrationMonitor* calibration() { return monitor_.get(); }
+  const CalibrationMonitor* calibration() const { return monitor_.get(); }
 
   // The observer's view of simulated time, fed by the simulator's
   // after-event hook (and settable directly for harness-level events).
@@ -55,17 +66,28 @@ class Observer {
     now_ = now;
     sim_events_->inc();
     if (sampler_) sampler_->on_time(now);
+    if (monitor_) monitor_->on_time(now);
   }
+
+  // Resets per-run derived state (open spans, attribution folds, drift
+  // latches). Called by the replay wiring whenever a world is built or
+  // restored, so a checkpoint resume starts from a clean journal and
+  // attribution never double-counts a task finished by the dead process.
+  void begin_run();
 
   // (Re)creates the sampler over [start, end) at config().sample_period.
   // Recreating on every wiring call drops probes captured against a
   // previous replay's world, so nothing dangles across runs.
   void enable_sampler(SimTime start, SimTime end);
 
-  // Full metrics document: config echo, registry, sampler series.
-  void write_metrics_json(JsonWriter& j) const;
-  bool write_metrics_file(const std::string& path) const;
+  // Full metrics document: config echo, registry, sampler series, span /
+  // attribution / calibration sections. Non-const: attribution gauges are
+  // refreshed into the registry at write time.
+  void write_metrics_json(JsonWriter& j);
+  bool write_metrics_file(const std::string& path);
   bool write_trace_file(const std::string& path) const;
+  // {"schema": "odr.spans.v1", ...}; false when spans are off.
+  bool write_spans_file(const std::string& path) const;
 
  private:
   ObsConfig config_;
@@ -73,6 +95,9 @@ class Observer {
   Tracer tracer_;
   FlightRecorder flight_;
   std::unique_ptr<GaugeSampler> sampler_;
+  std::unique_ptr<Attribution> attribution_;
+  std::unique_ptr<CalibrationMonitor> monitor_;
+  std::unique_ptr<TaskJournal> journal_;
   Counter* sim_events_;  // pre-resolved: on_sim_event runs after every event
   SimTime now_ = 0;
 };
@@ -189,6 +214,16 @@ class ScopedSpan {
                                         __LINE__)(             \
       ::odr::obs::Cat::cat, name)
 
+// Per-task span journal call: ODR_SPAN(on_stage(id, Stage::kVmFetch, a, b)).
+// `expr` is a TaskJournal member call; it runs only when an observer with
+// spans enabled is installed.
+#define ODR_SPAN(expr)                                         \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      if (auto* odr_journal_ = odr_obs_->journal())            \
+        odr_journal_->expr;                                    \
+  } while (0)
+
 // Extra args are (a) or (a, b) numeric payloads.
 #define ODR_FLIGHT(cat, sev, what, ...)                        \
   do {                                                         \
@@ -209,6 +244,7 @@ class ScopedSpan {
 #define ODR_TRACE_INSTANT(cat, name) do {} while (0)
 #define ODR_TRACE_COMPLETE(cat, name, begin, end) do {} while (0)
 #define ODR_TRACE_SPAN(cat, name) do {} while (0)
+#define ODR_SPAN(expr) do {} while (0)
 #define ODR_FLIGHT(cat, sev, what, ...) do {} while (0)
 
 #endif  // ODR_OBS_ENABLED

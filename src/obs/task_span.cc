@@ -1,0 +1,316 @@
+#include "obs/task_span.h"
+
+#include <algorithm>
+
+#include "obs/attribution.h"
+#include "obs/calibration_monitor.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace odr::obs {
+
+namespace {
+
+// splitmix64: the reservoir's deterministic admission hash. NOT a sim Rng
+// stream — observability must never perturb simulation randomness.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string_view stage_name(Stage s) {
+  switch (s) {
+    case Stage::kAdmission: return "admission";
+    case Stage::kCacheLookup: return "cache_lookup";
+    case Stage::kVmQueue: return "vm_queue";
+    case Stage::kVmFetch: return "vm_fetch";
+    case Stage::kUploadFetch: return "upload_fetch";
+    case Stage::kApFetch: return "ap_fetch";
+    case Stage::kDirectFetch: return "direct_fetch";
+    case Stage::kLanFetch: return "lan_fetch";
+  }
+  return "?";
+}
+
+std::string_view span_outcome_name(SpanOutcome o) {
+  switch (o) {
+    case SpanOutcome::kOpen: return "open";
+    case SpanOutcome::kSuccess: return "success";
+    case SpanOutcome::kFailed: return "failed";
+    case SpanOutcome::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+std::string_view span_origin_name(SpanOrigin o) {
+  switch (o) {
+    case SpanOrigin::kCloud: return "cloud";
+    case SpanOrigin::kAp: return "ap";
+    case SpanOrigin::kDirect: return "direct";
+  }
+  return "?";
+}
+
+SimTime TaskSpan::stage_total(Stage s) const {
+  SimTime total = 0;
+  for (const auto& i : stages) {
+    if (i.stage == s) total += i.duration();
+  }
+  return total;
+}
+
+SimTime TaskSpan::stages_total() const {
+  SimTime total = 0;
+  for (const auto& i : stages) total += i.duration();
+  return total;
+}
+
+Stage TaskSpan::dominant_stage() const {
+  SimTime per_stage[kStageCount] = {};
+  for (const auto& i : stages) {
+    per_stage[static_cast<std::size_t>(i.stage)] += i.duration();
+  }
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < kStageCount; ++s) {
+    if (per_stage[s] > per_stage[best]) best = s;
+  }
+  return static_cast<Stage>(best);
+}
+
+void TaskSpan::write_json(JsonWriter& j) const {
+  j.begin_object()
+      .field("task_id", task_id)
+      .field("origin", std::string(span_origin_name(origin)))
+      .field("submitted_us", static_cast<std::int64_t>(submitted_at))
+      .field("finished_us", static_cast<std::int64_t>(finished_at))
+      .field("outcome", std::string(span_outcome_name(outcome)))
+      .field("cause", std::string(cause))
+      .field("popularity", std::string(popularity))
+      .field("cache_hit", cache_hit)
+      .field("pre_success", pre_success)
+      .field("fetch_kbps", fetch_kbps)
+      .field("e2e_kbps", e2e_kbps)
+      .field("retries", static_cast<std::uint64_t>(retries))
+      .field("reroutes", static_cast<std::uint64_t>(reroutes))
+      .field("dominant_stage", std::string(stage_name(dominant_stage())));
+  j.key("stages").begin_array();
+  for (const auto& i : stages) {
+    j.begin_object()
+        .field("stage", std::string(stage_name(i.stage)))
+        .field("begin_us", static_cast<std::int64_t>(i.begin))
+        .field("end_us", static_cast<std::int64_t>(i.end))
+        .field("attempt", static_cast<std::uint64_t>(i.attempt))
+        .end_object();
+  }
+  j.end_array().end_object();
+}
+
+TaskJournal::TaskJournal(const ObsConfig& config)
+    : reservoir_size_(config.span_reservoir),
+      keep_slowest_(config.span_keep_slowest),
+      keep_failed_cap_(config.span_keep_failed_cap),
+      trace_every_(config.span_trace_every) {}
+
+void TaskJournal::set_sinks(Attribution* attribution,
+                            CalibrationMonitor* monitor, Tracer* tracer) {
+  attribution_ = attribution;
+  monitor_ = monitor;
+  tracer_ = tracer;
+}
+
+void TaskJournal::begin_run() {
+  open_.clear();
+  file_retries_.clear();
+  reservoir_.clear();
+  slowest_.clear();
+  kept_failed_.clear();
+  finished_ = 0;
+  kept_dropped_ = 0;
+  trace_seen_ = 0;
+}
+
+void TaskJournal::on_submit(std::uint64_t task_id, SimTime t,
+                            SpanOrigin origin) {
+  auto [it, inserted] = open_.try_emplace(task_id);
+  if (!inserted) return;  // the first opener wins (executor before cloud)
+  it->second.task_id = task_id;
+  it->second.origin = origin;
+  it->second.submitted_at = t;
+}
+
+void TaskJournal::on_stage(std::uint64_t task_id, Stage s, SimTime begin,
+                           SimTime end) {
+  auto [it, inserted] = open_.try_emplace(task_id);
+  TaskSpan& span = it->second;
+  if (inserted) {
+    // Mid-flight task revived from a checkpoint: open a span covering the
+    // resumed portion only.
+    span.task_id = task_id;
+    span.submitted_at = begin;
+  }
+  StageInterval interval;
+  interval.stage = s;
+  interval.begin = begin;
+  interval.end = std::max(begin, end);
+  for (const auto& prev : span.stages) {
+    if (prev.stage == s) ++interval.attempt;
+  }
+  span.stages.push_back(interval);
+}
+
+void TaskJournal::on_retry(std::uint64_t task_id, std::uint32_t n) {
+  auto it = open_.find(task_id);
+  if (it != open_.end()) it->second.retries += n;
+}
+
+void TaskJournal::on_reroute(std::uint64_t task_id) {
+  auto it = open_.find(task_id);
+  if (it != open_.end()) ++it->second.reroutes;
+}
+
+void TaskJournal::on_cache_hit(std::uint64_t task_id) {
+  auto it = open_.find(task_id);
+  if (it != open_.end()) it->second.cache_hit = true;
+}
+
+void TaskJournal::note_file_retry(std::uint64_t file_index, std::uint32_t n) {
+  file_retries_[file_index] += n;
+}
+
+std::uint32_t TaskJournal::take_file_retries(std::uint64_t file_index) {
+  auto it = file_retries_.find(file_index);
+  if (it == file_retries_.end()) return 0;
+  const std::uint32_t n = it->second;
+  file_retries_.erase(it);
+  return n;
+}
+
+void TaskJournal::on_finish(std::uint64_t task_id, SimTime t,
+                            const SpanTerminal& term) {
+  auto it = open_.find(task_id);
+  if (it == open_.end()) {
+    // Already finished (executor wrapper + replay sink both fire) — or a
+    // post-restore completion of a task whose stages all pre-dated the
+    // kill. The former must be a no-op; the latter is indistinguishable,
+    // and skipping it errs on the side of never double-counting.
+    return;
+  }
+  TaskSpan span = std::move(it->second);
+  open_.erase(it);
+  span.finished_at = std::max(t, span.submitted_at);
+  span.outcome = term.outcome;
+  span.cause = term.cause;
+  span.popularity = term.popularity;
+  span.cache_hit = span.cache_hit || term.cache_hit;
+  span.pre_success = term.pre_success;
+  span.fetch_kbps = term.fetch_kbps;
+  span.e2e_kbps = term.e2e_kbps;
+  ++finished_;
+
+  if (attribution_ != nullptr) attribution_->fold(span);
+  if (monitor_ != nullptr) monitor_->on_span(span);
+  emit_trace(span);
+  keep(span);
+}
+
+void TaskJournal::keep(const TaskSpan& span) {
+  const bool terminal_keep = span.outcome == SpanOutcome::kFailed ||
+                             span.outcome == SpanOutcome::kRejected;
+  if (terminal_keep) {
+    if (kept_failed_.size() < keep_failed_cap_) {
+      kept_failed_.push_back(span);
+    } else {
+      ++kept_dropped_;
+    }
+    return;  // already retained; no need to sample it again
+  }
+  if (reservoir_size_ > 0) {
+    // Bottom-k by hash: a finish-order-independent uniform sample.
+    const std::uint64_t h = mix64(span.task_id);
+    auto by_key = [](const Keyed& a, const Keyed& b) { return a.key < b.key; };
+    if (reservoir_.size() < reservoir_size_) {
+      reservoir_.push_back({h, span});
+      std::push_heap(reservoir_.begin(), reservoir_.end(), by_key);
+    } else if (h < reservoir_.front().key) {
+      std::pop_heap(reservoir_.begin(), reservoir_.end(), by_key);
+      reservoir_.back() = {h, span};
+      std::push_heap(reservoir_.begin(), reservoir_.end(), by_key);
+    }
+  }
+  if (keep_slowest_ > 0) {
+    const std::uint64_t d = static_cast<std::uint64_t>(span.stages_total());
+    auto by_key = [](const Keyed& a, const Keyed& b) { return a.key > b.key; };
+    if (slowest_.size() < keep_slowest_) {
+      slowest_.push_back({d, span});
+      std::push_heap(slowest_.begin(), slowest_.end(), by_key);
+    } else if (d > slowest_.front().key) {
+      std::pop_heap(slowest_.begin(), slowest_.end(), by_key);
+      slowest_.back() = {d, span};
+      std::push_heap(slowest_.begin(), slowest_.end(), by_key);
+    }
+  }
+}
+
+void TaskJournal::emit_trace(const TaskSpan& span) {
+  if (tracer_ == nullptr || trace_every_ == 0) return;
+  if (trace_seen_++ % trace_every_ != 0) return;
+  // One row for the whole task, then one per stage interval; they share
+  // the "task" lane and nest by containment in the viewer.
+  std::string name = "task.";
+  name += span_outcome_name(span.outcome);
+  tracer_->complete(Cat::kTask, name, span.submitted_at, span.finished_at);
+  for (const auto& i : span.stages) {
+    tracer_->complete(Cat::kTask, stage_name(i.stage), i.begin, i.end);
+  }
+}
+
+std::vector<TaskSpan> TaskJournal::sampled() const {
+  std::vector<TaskSpan> out;
+  out.reserve(kept_failed_.size() + reservoir_.size() + slowest_.size());
+  for (const auto& s : kept_failed_) out.push_back(s);
+  for (const auto& k : reservoir_) out.push_back(k.span);
+  for (const auto& k : slowest_) out.push_back(k.span);
+  std::sort(out.begin(), out.end(), [](const TaskSpan& a, const TaskSpan& b) {
+    return a.task_id < b.task_id;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const TaskSpan& a, const TaskSpan& b) {
+                          return a.task_id == b.task_id;
+                        }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const TaskSpan& a, const TaskSpan& b) {
+    return a.submitted_at != b.submitted_at ? a.submitted_at < b.submitted_at
+                                            : a.task_id < b.task_id;
+  });
+  return out;
+}
+
+void TaskJournal::write_summary_fields(JsonWriter& j) const {
+  j.field("finished", finished_)
+      .field("open", static_cast<std::uint64_t>(open_.size()))
+      .field("sampled", static_cast<std::uint64_t>(sampled().size()))
+      .field("kept_failed", static_cast<std::uint64_t>(kept_failed_.size()))
+      .field("kept_dropped", kept_dropped_);
+}
+
+void TaskJournal::write_json(JsonWriter& j) const {
+  j.begin_object();
+  j.field("schema", "odr.spans.v1");
+  write_summary_fields(j);
+  j.key("spans").begin_array();
+  for (const auto& s : sampled()) s.write_json(j);
+  j.end_array();
+  j.end_object();
+}
+
+bool TaskJournal::write_file(const std::string& path) const {
+  JsonWriter j;
+  write_json(j);
+  return j.write_file(path);
+}
+
+}  // namespace odr::obs

@@ -15,6 +15,7 @@ std::string_view cat_name(Cat cat) {
     case Cat::kFault: return "fault";
     case Cat::kSnapshot: return "snapshot";
     case Cat::kBench: return "bench";
+    case Cat::kTask: return "task";
   }
   return "?";
 }

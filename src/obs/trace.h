@@ -42,8 +42,9 @@ enum class Cat : std::uint8_t {
   kFault,
   kSnapshot,
   kBench,
+  kTask,  // per-task lifecycle spans (obs/task_span)
 };
-inline constexpr std::size_t kCatCount = 9;
+inline constexpr std::size_t kCatCount = 10;
 
 std::string_view cat_name(Cat cat);
 

@@ -162,6 +162,9 @@ void DownloadTask::on_flow_complete() {
   ++checksum_retries_;
   ODR_COUNT("proto.checksum.retries");
   ODR_TRACE_INSTANT(kProto, "checksum.retry");
+  if (config_.obs_file_index != Config::kNoObsFile) {
+    ODR_SPAN(note_file_retry(config_.obs_file_index));
+  }
 
   Bytes refetch;
   if (is_p2p(source_->protocol())) {

@@ -60,6 +60,12 @@ class DownloadTask {
     // with FailureCause::kChecksumMismatch.
     double corruption_prob = 0.0;
     std::uint32_t max_checksum_retries = 2;
+    // Observability-only task identity: the catalog file index this task
+    // is fetching, used to attribute checksum retries to waiting task
+    // spans. NOT serialized (derived-state contract: a restored task
+    // simply stops noting retries), never read by simulation logic.
+    std::uint64_t obs_file_index = kNoObsFile;
+    static constexpr std::uint64_t kNoObsFile = ~0ull;
   };
 
   using DoneFn = std::function<void(const DownloadResult&)>;

@@ -133,6 +133,7 @@ void CloudWorld::build() {
 
 cloud::XuanfengCloud::OutcomeFn CloudWorld::outcome_sink() {
   return [this](const cloud::TaskOutcome& outcome) {
+    analysis::finish_cloud_task_span(outcome);
     outcomes_.push_back(outcome);
   };
 }

@@ -31,6 +31,30 @@ double Histogram::bin_lo(std::size_t i) const {
 
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 
+std::size_t Histogram::total_count() const {
+  std::size_t n = 0;
+  for (std::size_t c : counts_) n += c;
+  return n;
+}
+
+double Histogram::quantile(double p) const {
+  const std::size_t n = total_count();
+  if (n == 0) return lo_;
+  p = std::min(1.0, std::max(0.0, p));
+  // Rank in (0, n]; the quantile is where the cumulative count reaches it.
+  const double rank = std::max(p * static_cast<double>(n), 1e-12);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (cum + c >= rank && c > 0.0) {
+      const double frac = (rank - cum) / c;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
 double Histogram::bin_mean(std::size_t i) const {
   return counts_[i] == 0 ? 0.0
                          : totals_[i] / static_cast<double>(counts_[i]);

@@ -29,6 +29,15 @@ class Histogram {
   double bin_mean(std::size_t i) const;
   std::size_t bins() const { return totals_.size(); }
 
+  // Total number of samples added (each add() counts once regardless of
+  // weight).
+  std::size_t total_count() const;
+  // p-quantile (p in [0,1]) of the SAMPLE COUNT distribution, linearly
+  // interpolated within the bin that crosses the p*N rank. Out-of-range
+  // samples were clamped into the edge bins, so tail quantiles saturate at
+  // [lo, hi]. Returns lo on an empty histogram.
+  double quantile(double p) const;
+
  private:
   double lo_, hi_;
   std::vector<double> totals_;

@@ -1,6 +1,7 @@
 // Tests for src/obs: metric registry, sim-time tracer, flight recorder,
 // gauge sampler, the ambient Observer, and the determinism contract (an
 // installed observer must not change a replay's outcomes).
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -8,10 +9,13 @@
 
 #include "analysis/replay.h"
 #include "gtest/gtest.h"
+#include "obs/attribution.h"
+#include "obs/calibration_monitor.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/observer.h"
 #include "obs/sampler.h"
+#include "obs/task_span.h"
 #include "obs/trace.h"
 #include "util/json.h"
 #include "util/units.h"
@@ -359,6 +363,425 @@ TEST(ObserverMacrosTest, ScopedSpanEmitsCompleteEvent) {
   JsonWriter j;
   obs->tracer().write_json(j);
   EXPECT_NE(j.str().find("\"dur\":150"), std::string::npos);
+}
+
+#endif  // ODR_OBS_ENABLED
+
+// --- task spans ------------------------------------------------------------
+
+ObsConfig span_config(std::size_t reservoir, std::size_t slowest,
+                      std::size_t failed_cap) {
+  ObsConfig c;
+  c.spans = true;
+  c.span_reservoir = reservoir;
+  c.span_keep_slowest = slowest;
+  c.span_keep_failed_cap = failed_cap;
+  return c;
+}
+
+SpanTerminal success_terminal() {
+  SpanTerminal t;
+  t.outcome = SpanOutcome::kSuccess;
+  t.popularity = "popular";
+  return t;
+}
+
+SpanTerminal failed_terminal(std::string_view cause = "insufficient-seeds") {
+  SpanTerminal t;
+  t.outcome = SpanOutcome::kFailed;
+  t.cause = cause;
+  t.pre_success = false;
+  t.popularity = "unpopular";
+  return t;
+}
+
+TEST(TaskJournalTest, StageIntervalsAccumulateAndDominantStage) {
+  TaskJournal j(span_config(8, 0, 8));
+  j.on_submit(1, 0, SpanOrigin::kCloud);
+  j.on_stage(1, Stage::kVmQueue, 0, kMinute);
+  j.on_stage(1, Stage::kVmFetch, kMinute, 10 * kMinute);
+  j.on_finish(1, 10 * kMinute, success_terminal());
+
+  const auto kept = j.sampled();
+  ASSERT_EQ(kept.size(), 1u);
+  const TaskSpan& s = kept.front();
+  EXPECT_EQ(s.stage_total(Stage::kVmQueue), kMinute);
+  EXPECT_EQ(s.stage_total(Stage::kVmFetch), 9 * kMinute);
+  EXPECT_EQ(s.stages_total(), 10 * kMinute);
+  EXPECT_EQ(s.dominant_stage(), Stage::kVmFetch);
+  EXPECT_EQ(s.wall(), 10 * kMinute);
+  EXPECT_EQ(s.outcome, SpanOutcome::kSuccess);
+}
+
+TEST(TaskJournalTest, ReenteredStageNumbersAttempts) {
+  // A VM crash mid-fetch: the stage is re-entered after a retry, and a
+  // breaker reroute is noted on the same task.
+  TaskJournal j(span_config(8, 0, 8));
+  j.on_submit(7, 0, SpanOrigin::kCloud);
+  j.on_stage(7, Stage::kVmFetch, 0, 5 * kMinute);  // killed mid-stage
+  j.on_retry(7);
+  j.on_reroute(7);
+  j.on_stage(7, Stage::kVmFetch, 5 * kMinute, 9 * kMinute);
+  j.on_finish(7, 9 * kMinute, success_terminal());
+
+  const auto kept = j.sampled();
+  ASSERT_EQ(kept.size(), 1u);
+  ASSERT_EQ(kept.front().stages.size(), 2u);
+  EXPECT_EQ(kept.front().stages[0].attempt, 0u);
+  EXPECT_EQ(kept.front().stages[1].attempt, 1u);
+  EXPECT_EQ(kept.front().retries, 1u);
+  EXPECT_EQ(kept.front().reroutes, 1u);
+}
+
+TEST(TaskJournalTest, SecondFinishAndUnknownIdAreNoOps) {
+  // The executor's done-wrapper and a replay outcome sink can both fire
+  // for the same task; only the first close may fold into attribution.
+  Attribution attr;
+  TaskJournal j(span_config(8, 0, 8));
+  j.set_sinks(&attr, nullptr, nullptr);
+  j.on_submit(1, 0, SpanOrigin::kCloud);
+  j.on_finish(1, kMinute, success_terminal());
+  j.on_finish(1, 2 * kMinute, failed_terminal());  // must not re-fold
+  j.on_finish(99, kMinute, success_terminal());    // never submitted
+  EXPECT_EQ(j.finished(), 1u);
+  EXPECT_EQ(attr.folded(), 1u);
+  EXPECT_EQ(j.open_spans(), 0u);
+}
+
+TEST(TaskJournalTest, CacheHitIsStickyAcrossFinish) {
+  // The pool's verdict arrives via on_cache_hit; the executor's terminal
+  // can't see it and reports cache_hit=false. The OR must survive.
+  TaskJournal j(span_config(8, 0, 8));
+  j.on_submit(3, 0, SpanOrigin::kCloud);
+  j.on_cache_hit(3);
+  SpanTerminal term = success_terminal();
+  term.cache_hit = false;
+  j.on_finish(3, kMinute, term);
+  const auto kept = j.sampled();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(kept.front().cache_hit);
+}
+
+TEST(TaskJournalTest, ReservoirIsIndependentOfFinishOrder) {
+  auto run = [](bool reverse) {
+    TaskJournal j(span_config(8, 0, 0));
+    for (int k = 0; k < 32; ++k) {
+      const std::uint64_t id = reverse ? 32u - k : 1u + k;
+      j.on_submit(id, k * kSec, SpanOrigin::kCloud);
+      j.on_finish(id, k * kSec + kMinute, success_terminal());
+    }
+    std::vector<std::uint64_t> ids;
+    for (const auto& s : j.sampled()) ids.push_back(s.task_id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  const auto forward = run(false);
+  EXPECT_EQ(forward.size(), 8u);
+  EXPECT_EQ(forward, run(true));
+}
+
+TEST(TaskJournalTest, FailedSpansAlwaysKeptUntilCapThenCounted) {
+  TaskJournal j(span_config(0, 0, 3));
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    j.on_submit(id, 0, SpanOrigin::kCloud);
+    j.on_finish(id, kMinute, failed_terminal());
+  }
+  EXPECT_EQ(j.sampled().size(), 3u);
+  EXPECT_EQ(j.kept_dropped(), 2u);
+  EXPECT_EQ(j.finished(), 5u);  // folding is unaffected by retention
+}
+
+TEST(TaskJournalTest, SlowestSpansRetainedByStageTime) {
+  TaskJournal j(span_config(0, 2, 0));
+  const SimTime minutes[] = {1, 5, 3, 9, 2};
+  std::uint64_t id = 0;
+  for (const SimTime m : minutes) {
+    ++id;
+    j.on_submit(id, 0, SpanOrigin::kCloud);
+    j.on_stage(id, Stage::kVmFetch, 0, m * kMinute);
+    j.on_finish(id, m * kMinute, success_terminal());
+  }
+  const auto kept = j.sampled();
+  ASSERT_EQ(kept.size(), 2u);
+  // ids 2 (5 min) and 4 (9 min) are the two slowest.
+  EXPECT_EQ(kept[0].task_id, 2u);
+  EXPECT_EQ(kept[1].task_id, 4u);
+}
+
+TEST(TaskJournalTest, FileRetryNotesFanOutOnce) {
+  TaskJournal j(span_config(8, 0, 8));
+  j.note_file_retry(42, 2);
+  j.note_file_retry(42);
+  EXPECT_EQ(j.take_file_retries(42), 3u);
+  EXPECT_EQ(j.take_file_retries(42), 0u);  // consumed
+  EXPECT_EQ(j.take_file_retries(7), 0u);   // never noted
+}
+
+TEST(TaskJournalTest, BeginRunResetsAllState) {
+  TaskJournal j(span_config(8, 2, 8));
+  j.on_submit(1, 0, SpanOrigin::kCloud);
+  j.on_finish(1, kMinute, failed_terminal());
+  j.on_submit(2, 0, SpanOrigin::kCloud);  // left open (killed mid-flight)
+  j.note_file_retry(5);
+  j.begin_run();
+  EXPECT_EQ(j.finished(), 0u);
+  EXPECT_EQ(j.open_spans(), 0u);
+  EXPECT_TRUE(j.sampled().empty());
+  EXPECT_EQ(j.take_file_retries(5), 0u);
+}
+
+TEST(TaskJournalTest, TraceRowsOnTaskLanePerStageInterval) {
+  ObsConfig c = span_config(8, 0, 8);
+  c.span_trace_every = 1;
+  Tracer tracer(/*enabled=*/true, /*max_events=*/64);
+  TaskJournal j(c);
+  j.set_sinks(nullptr, nullptr, &tracer);
+  j.on_submit(1, 0, SpanOrigin::kCloud);
+  j.on_stage(1, Stage::kVmQueue, 0, kMinute);
+  j.on_stage(1, Stage::kVmFetch, kMinute, 2 * kMinute);
+  j.on_finish(1, 2 * kMinute, success_terminal());
+  // One whole-task row plus one per stage interval.
+  EXPECT_EQ(tracer.size(), 3u);
+}
+
+TEST(TaskJournalTest, SpansJsonDocumentShape) {
+  TaskJournal j(span_config(8, 0, 8));
+  j.on_submit(1, 0, SpanOrigin::kCloud);
+  j.on_stage(1, Stage::kVmFetch, 0, kMinute);
+  j.on_finish(1, kMinute, failed_terminal());
+  JsonWriter w;
+  j.write_json(w);
+  const std::string& s = w.str();
+  EXPECT_NE(s.find("odr.spans.v1"), std::string::npos);
+  EXPECT_NE(s.find("\"spans\""), std::string::npos);
+  EXPECT_NE(s.find("\"vm_fetch\""), std::string::npos);
+  EXPECT_NE(s.find("insufficient-seeds"), std::string::npos);
+}
+
+// --- attribution -----------------------------------------------------------
+
+TEST(AttributionTest, FailureChargedToLastEnteredStage) {
+  Attribution attr;
+  attr.begin_run();
+  TaskSpan span;
+  span.task_id = 1;
+  span.outcome = SpanOutcome::kFailed;
+  span.cause = "poor-http-connection";
+  span.popularity = "unpopular";
+  span.stages.push_back({Stage::kVmQueue, 0, kMinute, 0});
+  span.stages.push_back({Stage::kVmFetch, kMinute, 3 * kMinute, 0});
+  attr.fold(span);
+  EXPECT_EQ(attr.failures().count_for_stage("vm_fetch"), 1u);
+  EXPECT_EQ(attr.failures().count_for_cause("poor-http-connection"), 1u);
+  EXPECT_EQ(attr.failures().count_for_popularity("unpopular"), 1u);
+}
+
+TEST(AttributionTest, RejectionChargedToAdmissionRegardlessOfStages) {
+  Attribution attr;
+  TaskSpan span;
+  span.task_id = 2;
+  span.outcome = SpanOutcome::kRejected;
+  span.cause = "rejected";
+  span.popularity = "highly-popular";
+  span.stages.push_back({Stage::kVmFetch, 0, kMinute, 0});
+  attr.fold(span);
+  EXPECT_EQ(attr.failures().count_for_stage("admission"), 1u);
+}
+
+TEST(AttributionTest, StageAggregatesAndDominantCounts) {
+  Attribution attr;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    TaskSpan span;
+    span.task_id = id;
+    span.outcome = SpanOutcome::kSuccess;
+    span.retries = 1;
+    span.stages.push_back({Stage::kVmQueue, 0, kMinute, 0});
+    span.stages.push_back(
+        {Stage::kUploadFetch, kMinute, SimTime(11) * kMinute, 0});
+    attr.fold(span);
+  }
+  EXPECT_EQ(attr.folded(), 3u);
+  EXPECT_EQ(attr.retries(), 3u);
+  EXPECT_EQ(attr.stage_tasks(Stage::kVmQueue), 3u);
+  EXPECT_EQ(attr.dominant_count(Stage::kUploadFetch), 3u);
+  EXPECT_EQ(attr.dominant_count(Stage::kVmQueue), 0u);
+  EXPECT_DOUBLE_EQ(attr.stage_total_minutes(Stage::kUploadFetch), 30.0);
+  EXPECT_EQ(attr.stage_hist(Stage::kUploadFetch).total_count(), 3u);
+}
+
+TEST(FailureTaxonomyTest, RowsSortByCountThenKeyAndSharesSum) {
+  FailureTaxonomy tax;
+  tax.add("vm_fetch", "insufficient-seeds", "unpopular", 5);
+  tax.add("vm_fetch", "poor-http-connection", "unpopular", 2);
+  tax.add("admission", "rejected", "popular", 2);
+  const auto rows = tax.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].cause, "insufficient-seeds");
+  EXPECT_EQ(rows[1].stage, "admission");  // ties break on key ascending
+  EXPECT_EQ(tax.total(), 9u);
+  EXPECT_DOUBLE_EQ(tax.cause_share("insufficient-seeds"), 5.0 / 9.0);
+  EXPECT_DOUBLE_EQ(tax.cause_share("nonexistent"), 0.0);
+}
+
+// --- calibration monitor ---------------------------------------------------
+
+CalibrationTarget one_target(StatId id, double target, double tolerance,
+                             std::size_t min_samples, bool gated) {
+  CalibrationTarget t;
+  t.id = id;
+  t.key = "cache_hit";
+  t.label = "cache hit ratio";
+  t.unit = "%";
+  t.target = target;
+  t.tolerance = tolerance;
+  t.min_samples = min_samples;
+  t.gated = gated;
+  return t;
+}
+
+TaskSpan cloud_span(std::uint64_t id, bool cache_hit) {
+  TaskSpan s;
+  s.task_id = id;
+  s.origin = SpanOrigin::kCloud;
+  s.outcome = SpanOutcome::kSuccess;
+  s.cache_hit = cache_hit;
+  s.pre_success = true;
+  s.fetch_kbps = 300.0;
+  s.e2e_kbps = 250.0;
+  s.popularity = "popular";
+  return s;
+}
+
+TEST(CalibrationMonitorTest, PassWithinBand) {
+  CalibrationMonitor m({one_target(StatId::kCacheHit, 50.0, 10.0, 4, true)},
+                       kHour);
+  m.begin_run();
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    m.on_span(cloud_span(id, /*cache_hit=*/id % 2 == 0));
+  }
+  const CalibrationReport rep = m.report();
+  ASSERT_EQ(rep.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rep.rows[0].estimate, 50.0);
+  EXPECT_EQ(rep.rows[0].status, CalibrationRow::Status::kPass);
+  EXPECT_TRUE(rep.pass());
+}
+
+TEST(CalibrationMonitorTest, DriftLatchesOneFlightEventAndFailsReport) {
+  CalibrationMonitor m({one_target(StatId::kCacheHit, 50.0, 5.0, 4, true)},
+                       kHour);
+  ObsConfig fc;
+  FlightRecorder flight(fc);
+  m.set_flight(&flight);
+  m.begin_run();
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    m.on_span(cloud_span(id, /*cache_hit=*/true));  // estimate: 100%
+  }
+  m.on_time(kHour);
+  m.on_time(3 * kHour);  // latched: no second event for the same stat
+  EXPECT_EQ(m.drift_events(), 1u);
+  ASSERT_EQ(flight.size(), 1u);
+  EXPECT_EQ(flight.entries().front().what, "calibration.drift.cache_hit");
+  const CalibrationReport rep = m.report();
+  EXPECT_EQ(rep.rows[0].status, CalibrationRow::Status::kDrift);
+  EXPECT_FALSE(rep.pass());
+}
+
+TEST(CalibrationMonitorTest, MidRunCheckTolerates2xBandButReportDoesNot) {
+  // Estimate 58% vs target 50 +/- 5: outside the report band (DRIFT) but
+  // inside the 2x transient band the periodic check allows mid-run.
+  CalibrationMonitor m({one_target(StatId::kCacheHit, 50.0, 5.0, 10, true)},
+                       kHour);
+  m.begin_run();
+  std::uint64_t id = 0;
+  for (int hit = 0; hit < 29; ++hit) m.on_span(cloud_span(++id, true));
+  for (int miss = 0; miss < 21; ++miss) m.on_span(cloud_span(++id, false));
+  m.on_time(kHour);
+  EXPECT_EQ(m.drift_events(), 0u);
+  const CalibrationReport rep = m.report();
+  EXPECT_EQ(rep.rows[0].status, CalibrationRow::Status::kDrift);
+  EXPECT_FALSE(rep.pass());
+}
+
+TEST(CalibrationMonitorTest, BelowMinSamplesIsNaNeverDrift) {
+  CalibrationMonitor m({one_target(StatId::kCacheHit, 50.0, 5.0, 100, true)},
+                       kHour);
+  m.begin_run();
+  for (std::uint64_t id = 1; id <= 4; ++id) m.on_span(cloud_span(id, true));
+  m.on_time(kHour);
+  EXPECT_EQ(m.drift_events(), 0u);
+  const CalibrationReport rep = m.report();
+  EXPECT_EQ(rep.rows[0].status, CalibrationRow::Status::kNa);
+  EXPECT_EQ(rep.gated_total, 0u);
+  EXPECT_TRUE(rep.pass());  // nothing measurable, nothing failed
+}
+
+TEST(CalibrationMonitorTest, UngatedDriftNeitherFailsNorRaisesEvents) {
+  CalibrationMonitor m({one_target(StatId::kCacheHit, 50.0, 5.0, 4, false)},
+                       kHour);
+  ObsConfig fc;
+  FlightRecorder flight(fc);
+  m.set_flight(&flight);
+  m.begin_run();
+  for (std::uint64_t id = 1; id <= 4; ++id) m.on_span(cloud_span(id, true));
+  m.on_time(kHour);
+  EXPECT_EQ(m.drift_events(), 0u);
+  EXPECT_EQ(flight.size(), 0u);
+  const CalibrationReport rep = m.report();
+  EXPECT_EQ(rep.rows[0].status, CalibrationRow::Status::kDrift);  // shown
+  EXPECT_TRUE(rep.pass());                                       // not gated
+}
+
+TEST(CalibrationMonitorTest, ApSpansDoNotPolluteCloudStatistics) {
+  CalibrationMonitor m({one_target(StatId::kCacheHit, 50.0, 5.0, 1, true)},
+                       kHour);
+  m.begin_run();
+  TaskSpan ap = cloud_span(1, true);
+  ap.origin = SpanOrigin::kAp;
+  m.on_span(ap);
+  const CalibrationReport rep = m.report();
+  EXPECT_EQ(rep.rows[0].samples, 0u);
+  EXPECT_EQ(rep.rows[0].status, CalibrationRow::Status::kNa);
+}
+
+TEST(CalibrationMonitorTest, PaperTargetTableCoversAtLeastEightGatedStats) {
+  // The ISSUE's acceptance: the calibration table tracks >= 8 paper
+  // statistics. Keep the canonical table honest.
+  const auto targets = paper_calibration_targets();
+  std::size_t gated = 0;
+  for (const auto& t : targets) {
+    if (t.gated) ++gated;
+  }
+  EXPECT_GE(gated, 8u);
+  EXPECT_GE(targets.size(), 10u);
+}
+
+#if ODR_OBS_ENABLED
+
+TEST(ObserverSpanTest, CalibrationImpliesSpansAndBeginRunResets) {
+  ObsConfig c;
+  c.calibration = true;  // implies spans
+  ScopedObserver obs(c);
+  ASSERT_NE(obs->journal(), nullptr);
+  ASSERT_NE(obs->attribution(), nullptr);
+  ASSERT_NE(obs->calibration(), nullptr);
+  obs->journal()->on_submit(1, 0, SpanOrigin::kCloud);
+  SpanTerminal term;
+  term.outcome = SpanOutcome::kSuccess;
+  obs->journal()->on_finish(1, kMinute, term);
+  EXPECT_EQ(obs->attribution()->folded(), 1u);
+  obs->begin_run();
+  EXPECT_EQ(obs->journal()->finished(), 0u);
+  EXPECT_EQ(obs->attribution()->folded(), 0u);
+}
+
+TEST(ObserverSpanTest, SpansDisabledMeansNoJournal) {
+  ScopedObserver obs;  // default config: spans off
+  EXPECT_EQ(obs->journal(), nullptr);
+  EXPECT_EQ(obs->attribution(), nullptr);
+  EXPECT_EQ(obs->calibration(), nullptr);
+  // The ODR_SPAN macro must be a safe no-op in this state.
+  ODR_SPAN(on_submit(1, 0, SpanOrigin::kCloud));
+  SUCCEED();
 }
 
 #endif  // ODR_OBS_ENABLED

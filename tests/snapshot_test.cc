@@ -14,6 +14,7 @@
 #include "core/circuit_breaker.h"
 #include "fault/fault_plan.h"
 #include "net/network.h"
+#include "obs/observer.h"
 #include "proto/download.h"
 #include "proto/ledbat.h"
 #include "sim/simulator.h"
@@ -620,6 +621,63 @@ TEST_F(WorldTest, KillAndResumeUnderSevereFaultPlan) {
   EXPECT_EQ(got.vm_crashes, expect.vm_crashes);
   EXPECT_EQ(got.vm_retries, expect.vm_retries);
 }
+
+#if ODR_OBS_ENABLED
+
+// PR4 span guard: tasks alive across a checkpoint kill+resume. Spans are
+// pure derived state, so (1) the restored run must still land on the
+// byte-identical final world, (2) the restore must reset the journal
+// (stage intervals recorded by the dead process are gone), and (3) the
+// combined processes attribute each task at most once — the victim's
+// pre-kill finishes plus the resumed process's finishes never exceed the
+// uninterrupted total (straddling tasks whose stages all pre-dated the
+// kill are deliberately skipped, not double-counted).
+TEST_F(WorldTest, SpansAcrossKillAndResumeNeverDoubleCount) {
+  const auto cfg = small_config(424242);
+  obs::ObsConfig ocfg;
+  ocfg.spans = true;
+  ocfg.calibration = true;
+
+  std::uint64_t total_events = 0;
+  std::string final_expected;
+  std::uint64_t baseline_finished = 0;
+  {
+    obs::ScopedObserver observer(ocfg);
+    snapshot::CloudWorld baseline(cfg, options());
+    total_events = baseline.run();
+    final_expected = baseline.save_to_buffer();
+    ASSERT_NE(observer->journal(), nullptr);
+    baseline_finished = observer->journal()->finished();
+    EXPECT_GT(baseline_finished, 0u);
+    // Every finished span was folded exactly once.
+    EXPECT_EQ(observer->attribution()->folded(), baseline_finished);
+  }
+
+  obs::ScopedObserver observer(ocfg);
+  snapshot::CloudWorld victim(cfg, options());
+  victim.run(total_events / 2);
+  const std::string ckpt = victim.save_to_buffer();
+  const std::uint64_t victim_finished = observer->journal()->finished();
+  // The kill leaves tasks mid-flight: their spans are open, unfolded.
+  EXPECT_GT(observer->journal()->open_spans(), 0u);
+  EXPECT_EQ(observer->attribution()->folded(), victim_finished);
+
+  // Restoring under the SAME observer must begin a fresh journal: the
+  // dead process's open spans and counters are gone.
+  snapshot::CloudWorld resumed(cfg, options(), ckpt);
+  EXPECT_EQ(observer->journal()->finished(), 0u);
+  EXPECT_EQ(observer->journal()->open_spans(), 0u);
+  resumed.run();
+  EXPECT_EQ(resumed.save_to_buffer(), final_expected);
+
+  const std::uint64_t resumed_finished = observer->journal()->finished();
+  EXPECT_EQ(observer->attribution()->folded(), resumed_finished);
+  EXPECT_GT(resumed_finished, 0u);
+  // No task is attributed twice across the two process lifetimes.
+  EXPECT_LE(victim_finished + resumed_finished, baseline_finished);
+}
+
+#endif  // ODR_OBS_ENABLED
 
 TEST_F(WorldTest, CorruptedCheckpointNeverPartiallyLoads) {
   const auto cfg = small_config(5);

@@ -1,9 +1,11 @@
 // Edge cases for util/histogram: Histogram's lo/hi clamping and bin
-// boundaries, and TimeSeries' handling of degenerate or out-of-window
-// transfers and boundary samples.
+// boundaries, quantile interpolation (cross-checked against the exact
+// util/stats EmpiricalCdf), and TimeSeries' handling of degenerate or
+// out-of-window transfers and boundary samples.
 #include "util/histogram.h"
 
 #include "gtest/gtest.h"
+#include "util/stats.h"
 #include "util/units.h"
 
 namespace odr {
@@ -57,6 +59,70 @@ TEST(HistogramTest, WeightedAddAndBinMean) {
   EXPECT_DOUBLE_EQ(h.bin_total(0), 8.0);
   EXPECT_DOUBLE_EQ(h.bin_mean(0), 4.0);
   EXPECT_DOUBLE_EQ(h.bin_mean(1), 0.0);  // empty bin
+}
+
+// --- Histogram::quantile ---------------------------------------------------
+
+TEST(HistogramQuantileTest, EmptyHistogramReturnsLo) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesLinearlyInsideABin) {
+  // All four samples land in bin 0 = [0, 2): the quantile walks the bin
+  // linearly by rank, independent of where in the bin the samples fell.
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 4; ++i) h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.5);  // rank 1 of 4 -> 1/4 through
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);   // full bin -> its upper edge
+}
+
+TEST(HistogramQuantileTest, PIsClampedInto01) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantileTest, MonotoneNonDecreasingInP) {
+  Histogram h(0.0, 100.0, 20);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>((i * 37) % 100));
+  double prev = h.quantile(0.0);
+  for (double p = 0.05; p <= 1.0; p += 0.05) {
+    const double q = h.quantile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+}
+
+TEST(HistogramQuantileTest, TailSaturatesAtHiWhenSamplesWereClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0);
+  h.add(1e9);  // clamped into the last bin
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramQuantileTest, AgreesWithEmpiricalCdfWithinOneBin) {
+  // The binned quantile can never be further than one bin width from the
+  // exact sample quantile. Deterministic LCG, no <random>.
+  Histogram h(0.0, 1000.0, 500);  // 2-unit bins
+  EmpiricalCdf exact;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 4000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double v = static_cast<double>(x % 100000) / 100.0;  // [0, 1000)
+    h.add(v);
+    exact.add(v);
+  }
+  const double bin_width = 2.0;
+  for (const double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(h.quantile(p), exact.quantile(p), bin_width) << "p=" << p;
+  }
 }
 
 // --- TimeSeries ------------------------------------------------------------
