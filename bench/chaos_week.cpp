@@ -20,6 +20,7 @@
 #include "analysis/report.h"
 #include "fault/fault_plan.h"
 #include "obs/observer.h"
+#include "run/parallel_runner.h"
 #include "util/args.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -41,22 +42,36 @@ struct RunMetrics {
   std::uint64_t vm_crashes = 0;
   std::uint64_t vm_retries = 0;
   std::uint64_t faults_fired = 0;
-  std::uint64_t fingerprint = 0;  // order-sensitive hash of every outcome
+  std::uint64_t fingerprint = 0;  // analysis::outcome_fingerprint
 };
 
-// FNV-1a over the fields that matter; byte-identical runs hash equal.
-void mix(std::uint64_t& h, std::uint64_t v) {
-  h ^= v;
-  h *= 1099511628211ull;
-}
+// One replay = one job on the parallel runner. Each job installs its own
+// observer (the ambient pointer is thread-local), so its counters and
+// calibration never mix with a concurrently running plan; the registry is
+// returned by value and merged on the main thread in plan order.
+struct RunResult {
+  RunMetrics m;
+  obs::CalibrationReport calibration;
+  obs::Registry metrics;
+};
 
-RunMetrics run_once(double divisor, std::uint64_t seed,
-                    const fault::FaultPlan& plan, const std::string& label) {
+RunResult run_once(double divisor, std::uint64_t seed, int plan_level,
+                   const std::string& label) {
+  obs::ObsConfig run_obs;
+  run_obs.tracing = false;
+  run_obs.dump_on_fault_fired = false;
+  // Spans + calibration ride along: the monitor resets per replay, so the
+  // report returned by the baseline job is the fault-free one
+  // (informational here — chaos plans legitimately drift the marginals).
+  run_obs.spans = true;
+  run_obs.calibration = true;
+  obs::ScopedObserver obs(run_obs);
+
   analysis::ExperimentConfig config = analysis::make_scaled_config(divisor, seed);
   // The chaos harness always runs with the degradation policy on (it is a
   // no-op while every cluster is healthy and admission has headroom).
   config.cloud.degraded_admission = true;
-  config.fault_plan = plan;
+  config.fault_plan = fault::make_chaos_plan(plan_level);
 
   const analysis::CloudReplayResult result = analysis::run_cloud_replay(config);
   const analysis::SpeedDelayCdfs cdfs =
@@ -66,18 +81,11 @@ RunMetrics run_once(double divisor, std::uint64_t seed,
   m.label = label;
   m.cache_hit = result.cache_hit_ratio;
   std::size_t pre_failures = 0, e2e_failures = 0;
-  std::uint64_t h = 1469598103934665603ull;
   for (const auto& o : result.outcomes) {
     if (!o.pre.success) ++pre_failures;
     if (!o.fetched) ++e2e_failures;
-    mix(h, o.task_id);
-    mix(h, static_cast<std::uint64_t>(o.pre.success));
-    mix(h, static_cast<std::uint64_t>(o.pre.finish_time));
-    mix(h, o.pre.traffic_bytes);
-    mix(h, static_cast<std::uint64_t>(o.fetched));
-    mix(h, static_cast<std::uint64_t>(o.fetch.rejected));
-    mix(h, static_cast<std::uint64_t>(o.fetch.finish_time));
   }
+  const std::uint64_t h = analysis::outcome_fingerprint(result.outcomes);
   const double n = static_cast<double>(result.outcomes.size());
   m.pre_failure = n > 0 ? static_cast<double>(pre_failures) / n : 0.0;
   m.e2e_failure = n > 0 ? static_cast<double>(e2e_failures) / n : 0.0;
@@ -91,7 +99,12 @@ RunMetrics run_once(double divisor, std::uint64_t seed,
   m.vm_retries = result.vm_retries;
   m.faults_fired = result.faults_fired;
   m.fingerprint = h;
-  return m;
+
+  RunResult r;
+  r.m = std::move(m);
+  if (obs->calibration() != nullptr) r.calibration = obs->calibration()->report();
+  r.metrics = obs->metrics();
+  return r;
 }
 
 }  // namespace
@@ -110,27 +123,40 @@ int main(int argc, char** argv) {
   // Bench-wide metrics registry, snapshotted into the JSON output. Fault
   // dumps are off because every chaos plan fires faults by design; the
   // flight recorder still keeps the tail of events for a bench-abort dump.
+  // The simulation work all happens inside the per-plan jobs (each with
+  // its own observer); their registries are merged into this one below.
   obs::ObsConfig bench_obs;
   bench_obs.tracing = false;
   bench_obs.dump_on_fault_fired = false;
-  // Spans + calibration ride along: the monitor resets per replay, so the
-  // report captured right after the baseline run is the fault-free one
-  // (informational here — chaos plans legitimately drift the marginals).
-  bench_obs.spans = true;
-  bench_obs.calibration = true;
   obs::ScopedObserver bench(bench_obs);
 
+  // All five replays (four plans + the determinism re-run) are independent
+  // worlds at the same seed; run them concurrently. Results come back in
+  // submission order, and each run's outcome is identical to a sequential
+  // execution — parallelism here only buys wall-clock time.
+  const struct {
+    int level;
+    const char* label;
+  } kPlans[] = {{0, "baseline"},
+                {1, "mild"},
+                {2, "moderate"},
+                {3, "severe"},
+                {3, "severe(rerun)"}};
+  std::vector<std::function<RunResult()>> jobs;
+  for (const auto& p : kPlans) {
+    const int level = p.level;
+    const std::string label = p.label;
+    jobs.push_back(
+        [divisor, seed, level, label] { return run_once(divisor, seed, level, label); });
+  }
+  std::vector<RunResult> all = run::run_parallel(std::move(jobs));
+  for (const RunResult& r : all) bench->metrics().merge_from(r.metrics);
+
   std::vector<RunMetrics> runs;
-  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(0), "baseline"));
-  const obs::CalibrationReport baseline_calibration =
-      bench->calibration() != nullptr ? bench->calibration()->report()
-                                      : obs::CalibrationReport{};
-  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(1), "mild"));
-  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(2), "moderate"));
-  runs.push_back(run_once(divisor, seed, fault::make_chaos_plan(3), "severe"));
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) runs.push_back(all[i].m);
+  const obs::CalibrationReport baseline_calibration = all.front().calibration;
   // Determinism check: the acceptance plan again, same seed.
-  const RunMetrics rerun =
-      run_once(divisor, seed, fault::make_chaos_plan(3), "severe(rerun)");
+  const RunMetrics rerun = all.back().m;
 
   const RunMetrics& base = runs.front();
   TextTable table({"plan", "e2e fail", "pre fail", "hit", "fetch med KBps",

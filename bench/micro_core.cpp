@@ -5,7 +5,9 @@
 // popularity samplers and the LRU cache.
 #include <benchmark/benchmark.h>
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -37,20 +39,93 @@ void BM_MaxMinFairReallocation(benchmark::State& state) {
     odr::sim::Simulator sim;
     odr::net::Network net(sim);
     const odr::net::LinkId link = net.add_link("l", 1e9);
+    // Batched start: one joint solve instead of n incremental ones, so the
+    // untimed setup is O(n) and no longer dwarfs the measured solve.
+    std::vector<odr::net::Network::FlowSpec> specs;
+    specs.reserve(static_cast<std::size_t>(flows));
     for (int i = 0; i < flows; ++i) {
-      net.start_flow({{link}, 1ull << 32, 1e5 + i * 997.0, nullptr});
+      specs.push_back({{link}, 1ull << 32, 1e5 + i * 997.0, nullptr});
     }
+    net.start_flows(std::move(specs));
     state.ResumeTiming();
     // One more flow triggers a full component reallocation.
     net.start_flow({{link}, 1ull << 32, 5e5, nullptr});
   }
   state.SetItemsProcessed(state.iterations() * flows);
 }
-// The 1024-flow case has O(n^2) untimed setup per iteration (starting the
-// flows is itself n reallocations); cap the iteration count so the
-// benchmark's wall time stays dominated by the measured work.
-BENCHMARK(BM_MaxMinFairReallocation)->Arg(16)->Arg(128);
-BENCHMARK(BM_MaxMinFairReallocation)->Arg(1024)->Iterations(5);
+BENCHMARK(BM_MaxMinFairReallocation)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+// Cancel-heavy queue: half the scheduled events are cancelled before the
+// run, exercising the lazy-deletion tombstones and heap compaction.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    odr::sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<odr::sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(sim.schedule_at((i * 7919) % 100000, [] {}));
+    }
+    for (int i = 0; i < n; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(10000)->Arg(100000);
+
+// Steady-state dispatch: a ring of events that reschedule themselves,
+// measuring per-event overhead (slot reuse + heap push/pop) with a queue
+// that never grows.
+void BM_EventDispatchSteadyState(benchmark::State& state) {
+  odr::sim::Simulator sim;
+  const int ring = 64;
+  long long remaining = 0;
+  std::function<void()> hop;  // shared body; each event reschedules once
+  hop = [&] {
+    if (--remaining > 0) sim.schedule_after(1, [&] { hop(); });
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    remaining = static_cast<long long>(state.range(0));
+    for (int i = 0; i < ring; ++i) sim.schedule_after(1, [&] { hop(); });
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventDispatchSteadyState)->Arg(100000);
+
+// Incremental component solve vs the topology-wide alternative: k disjoint
+// links with f flows each; completing one flow must re-solve only its own
+// component (f flows), not all k*f.
+void BM_ComponentScopedCancel(benchmark::State& state) {
+  const int components = static_cast<int>(state.range(0));
+  const int flows_per = 32;
+  for (auto _ : state) {
+    state.PauseTiming();
+    odr::sim::Simulator sim;
+    odr::net::Network net(sim);
+    std::vector<odr::net::FlowId> victims;
+    std::vector<odr::net::Network::FlowSpec> specs;
+    for (int c = 0; c < components; ++c) {
+      const odr::net::LinkId link =
+          net.add_link("l" + std::to_string(c), 1e9);
+      for (int i = 0; i < flows_per; ++i) {
+        specs.push_back({{link}, 1ull << 32, 0.0, nullptr});
+      }
+    }
+    const std::vector<odr::net::FlowId> ids = net.start_flows(std::move(specs));
+    for (int c = 0; c < components; ++c) {
+      victims.push_back(ids[static_cast<std::size_t>(c) * flows_per]);
+    }
+    state.ResumeTiming();
+    // One cancel per component; each should cost O(flows_per), independent
+    // of the number of other components.
+    for (const odr::net::FlowId id : victims) net.cancel_flow(id);
+  }
+  state.SetItemsProcessed(state.iterations() * components);
+}
+BENCHMARK(BM_ComponentScopedCancel)->Arg(4)->Arg(64)->Arg(512);
 
 void BM_Md5Throughput(benchmark::State& state) {
   const std::string data(static_cast<std::size_t>(state.range(0)), 'x');

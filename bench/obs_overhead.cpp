@@ -17,15 +17,64 @@
 // state has grown real overhead. The enabled/disabled and spans/disabled
 // ratios are reported for the record but not gated: enabled modes are
 // allowed to cost.
+//
+// A second, exact gate counts heap allocations (this binary replaces the
+// global operator new with a counting shim): warm steady-state event
+// dispatch with no observer installed must perform ZERO allocations —
+// small-capture callbacks live inline in the engine's slab slots.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 
 #include "analysis/replay.h"
 #include "obs/observer.h"
+#include "sim/simulator.h"
 #include "util/args.h"
 #include "util/json.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counter. This binary replaces the global operator new/delete
+// with counting shims so the steady-state check below can assert an exact
+// allocation count (zero), not just "not much slower".
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace {
 
@@ -38,6 +87,30 @@ double run_week_seconds(const analysis::ExperimentConfig& config) {
   // Touch the result so the replay cannot be elided.
   if (result.outcomes.empty()) std::fputs("empty replay\n", stderr);
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Steady-state event dispatch with no observer installed must allocate
+// NOTHING: callbacks with small captures live inline in the slab slots
+// (SmallFunc SBO), freed slots and heap capacity are reused, and the
+// disabled ODR_* macros expand to a load and a branch. The first pass warms
+// the slab/heap/id-map; the second pass is the measured one.
+std::uint64_t disabled_dispatch_allocations() {
+  sim::Simulator sim;
+  std::uint64_t acc = 0;
+  const int n = 20000;
+  auto pass = [&] {
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_at(sim.now() + 1 + (i * 7919) % 1000,
+                      [&acc, i] { acc += static_cast<std::uint64_t>(i); });
+    }
+    sim.run();
+  };
+  pass();  // warm-up: grows every container to steady-state capacity
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  pass();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  if (acc == 0) std::fputs("impossible\n", stderr);  // keep `acc` observable
+  return after - before;
 }
 
 }  // namespace
@@ -95,7 +168,13 @@ int main(int argc, char** argv) {
       t_disabled > 0.0 ? t_spans / t_disabled - 1.0 : 0.0;
   constexpr double kRelSlack = 0.02;   // the 2% acceptance bound
   constexpr double kAbsSlackS = 0.05;  // timer jitter floor
-  const bool pass = t_disabled <= t_enabled * (1.0 + kRelSlack) + kAbsSlackS;
+  const bool time_pass =
+      t_disabled <= t_enabled * (1.0 + kRelSlack) + kAbsSlackS;
+
+  // Exact gate: warm dispatch with no observer performs zero allocations.
+  const std::uint64_t dispatch_allocs = disabled_dispatch_allocations();
+  const bool alloc_pass = dispatch_allocs == 0;
+  const bool pass = time_pass && alloc_pass;
 
   std::printf("obs overhead, min of %d reps at 1/%s scale:\n", reps,
               args.get("divisor").c_str());
@@ -106,7 +185,11 @@ int main(int argc, char** argv) {
               t_spans, 100.0 * overhead_spans);
   std::printf(
       "acceptance: disabled state within 2%% of the enabled run: %s\n",
-      pass ? "PASS" : "FAIL");
+      time_pass ? "PASS" : "FAIL");
+  std::printf(
+      "acceptance: warm disabled dispatch allocates nothing: %s (%llu)\n",
+      alloc_pass ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(dispatch_allocs));
 
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
@@ -120,6 +203,7 @@ int main(int argc, char** argv) {
         .field("enabled_overhead", overhead_enabled)
         .field("spans_unsampled_s", t_spans)
         .field("spans_unsampled_overhead", overhead_spans)
+        .field("disabled_dispatch_allocations", dispatch_allocs)
         .field("pass", pass)
         .end_object();
     if (j.write_file(json_path)) {

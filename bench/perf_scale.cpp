@@ -1,0 +1,176 @@
+// Scale ladder: wall-clock throughput of the calibrated cloud week as the
+// divisor drops toward full paper scale (divisor 1).
+//
+// For each requested divisor the week is replayed twice: once exact
+// (net_rate_epsilon = 0, the bit-for-bit golden configuration) and once
+// with the opt-in rate-change cutoff enabled, which skips completion-event
+// reschedules whose rate moved less than epsilon relatively. The bench
+// reports tasks/second for both, the exact run's outcome fingerprint (so a
+// scale sweep doubles as a determinism check against the pinned goldens),
+// and the process peak RSS after each rung of the ladder.
+//
+// Timing fidelity vs wall clock: with --workers=1 (the default) runs are
+// timed back to back on an otherwise idle process, so the per-run seconds
+// are honest. Higher worker counts fan the independent runs out over the
+// parallel runner — total wall time drops but per-run timings include
+// memory-bandwidth and scheduler contention, so the JSON flags the mode.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.h"
+#include "analysis/replay.h"
+#include "obs/observer.h"
+#include "run/parallel_runner.h"
+#include "util/args.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace odr;
+
+struct ScaleRun {
+  double divisor = 0.0;
+  double epsilon = 0.0;        // 0 = exact replay
+  double wall_seconds = 0.0;
+  std::size_t tasks = 0;
+  std::uint64_t fingerprint = 0;
+  double tasks_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(tasks) / wall_seconds : 0.0;
+  }
+};
+
+ScaleRun run_week(double divisor, std::uint64_t seed, double epsilon) {
+  obs::ObsConfig run_obs;
+  run_obs.tracing = false;
+  run_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver obs(run_obs);
+
+  analysis::ExperimentConfig config = analysis::make_scaled_config(divisor, seed);
+  config.net_rate_epsilon = epsilon;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const analysis::CloudReplayResult result = analysis::run_cloud_replay(config);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ScaleRun r;
+  r.divisor = divisor;
+  r.epsilon = epsilon;
+  r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.tasks = result.outcomes.size();
+  r.fingerprint = analysis::outcome_fingerprint(result.outcomes);
+  return r;
+}
+
+std::vector<double> parse_divisors(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string tok =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!tok.empty()) out.push_back(std::stod(tok));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("Throughput ladder toward full-scale (divisor 1) replay.");
+  args.flag("divisors", "4000,1000,400,100",
+            "comma-separated scale divisors, largest (cheapest) first");
+  args.flag("seed", "20151028", "workload seed");
+  args.flag("epsilon", "1e-4",
+            "relative rate-change cutoff for the approximate runs");
+  args.flag("workers", "1",
+            "worker threads (1 = sequential, honest per-run timings; "
+            "0 = hardware concurrency)");
+  args.flag("json", "BENCH_perf_scale.json", "output JSON (empty to skip)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::vector<double> divisors = parse_divisors(args.get("divisors"));
+  if (divisors.empty()) {
+    std::fprintf(stderr, "no divisors given\n");
+    return 1;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const double epsilon = args.get_double("epsilon");
+  run::ParallelOptions popts;
+  popts.workers = static_cast<std::size_t>(args.get_int("workers"));
+  const bool sequential = popts.workers == 1;
+
+  // Two runs per divisor, exact first. Each job times itself with a steady
+  // clock so the measurement excludes runner scheduling overhead.
+  std::vector<std::function<ScaleRun()>> jobs;
+  for (const double d : divisors) {
+    jobs.push_back([d, seed] { return run_week(d, seed, 0.0); });
+    jobs.push_back([d, seed, epsilon] { return run_week(d, seed, epsilon); });
+  }
+  const auto batch0 = std::chrono::steady_clock::now();
+  const std::vector<ScaleRun> runs = run::run_parallel(std::move(jobs), popts);
+  const auto batch1 = std::chrono::steady_clock::now();
+  const double batch_seconds =
+      std::chrono::duration<double>(batch1 - batch0).count();
+  const std::uint64_t rss = run::peak_rss_bytes();
+
+  TextTable table({"divisor", "mode", "tasks", "wall s", "tasks/s",
+                   "fingerprint"});
+  for (const ScaleRun& r : runs) {
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    table.add_row({TextTable::num(r.divisor, 0),
+                   r.epsilon == 0.0 ? "exact" : "epsilon",
+                   std::to_string(r.tasks), TextTable::num(r.wall_seconds, 2),
+                   TextTable::num(r.tasks_per_second(), 0), fp});
+  }
+  std::fputs(banner("Cloud-week throughput ladder (seed " + args.get("seed") +
+                    ", epsilon " + args.get("epsilon") + ")")
+                 .c_str(),
+             stdout);
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nbatch wall: %.2f s over %zu runs (%s), peak RSS %.1f MiB\n",
+              batch_seconds, runs.size(),
+              sequential ? "sequential" : "parallel",
+              static_cast<double>(rss) / (1024.0 * 1024.0));
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    JsonWriter j;
+    j.begin_object()
+        .field("bench", "perf_scale")
+        .field("seed", seed)
+        .field("epsilon", epsilon)
+        .field("sequential_timings", sequential)
+        .field("batch_wall_seconds", batch_seconds)
+        .field("peak_rss_bytes", rss);
+    j.key("runs").begin_array();
+    for (const ScaleRun& r : runs) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(r.fingerprint));
+      j.begin_object()
+          .field("divisor", r.divisor)
+          .field("mode", r.epsilon == 0.0 ? "exact" : "epsilon")
+          .field("tasks", static_cast<std::uint64_t>(r.tasks))
+          .field("wall_seconds", r.wall_seconds)
+          .field("tasks_per_second", r.tasks_per_second())
+          .field("fingerprint", std::string(fp))
+          .end_object();
+    }
+    j.end_array().end_object();
+    if (j.write_file(json_path)) {
+      std::printf("results written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    }
+  }
+  return 0;
+}

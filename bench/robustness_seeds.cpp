@@ -7,15 +7,22 @@
 // mid-severity fault plan (fault::make_chaos_plan(2)) and writes a CSV of
 // the per-seed metrics, quantifying how much variance the fault machinery
 // itself adds on top of workload randomness.
+//
+// Every run is an independent world, so both sweeps go through
+// run::run_parallel: per-seed results are identical to a sequential
+// execution and come back in submission order; only wall-clock changes.
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
 #include "obs/observer.h"
+#include "run/parallel_runner.h"
 #include "util/args.h"
 #include "util/json.h"
 #include "util/stats.h"
@@ -33,6 +40,83 @@ struct SeedMetrics {
   double impeded = 0.0;
 };
 
+// One sweep run: the per-seed metrics plus the fault-accounting extras the
+// CSV wants, and the run's own metrics registry (the ambient observer is
+// thread-local; each job installs its own and the registries are merged on
+// the main thread afterwards, in seed order).
+struct SweepRun {
+  SeedMetrics m;
+  std::uint64_t rejections = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t oversubscribed = 0;
+  std::uint64_t vm_crashes = 0;
+  std::uint64_t vm_retries = 0;
+  std::uint64_t faults_fired = 0;
+  odr::obs::Registry metrics;
+};
+
+odr::obs::ObsConfig run_obs_config() {
+  odr::obs::ObsConfig c;
+  c.tracing = false;
+  // Fault dumps off: the level-2 sweep fires faults by design.
+  c.dump_on_fault_fired = false;
+  return c;
+}
+
+SweepRun run_clean(double divisor, std::uint64_t seed) {
+  using namespace odr;
+  obs::ScopedObserver obs(run_obs_config());
+  const auto config = analysis::make_scaled_config(divisor, seed);
+  const auto result = analysis::run_cloud_replay(config);
+  const auto cdfs = analysis::collect_speed_delay(result.outcomes);
+  const auto by_class = analysis::failure_by_class(result.outcomes);
+  const auto breakdown = analysis::impeded_breakdown(
+      result.outcomes, *result.users, result.requests, kbps_to_rate(125.0));
+  std::size_t failures = 0;
+  for (const auto& o : result.outcomes) {
+    if (!o.pre.success) ++failures;
+  }
+  SweepRun r;
+  r.m.seed = config.seed;
+  r.m.cache_hit = result.cache_hit_ratio;
+  r.m.pre_failure = static_cast<double>(failures) / result.outcomes.size();
+  r.m.unpopular_failure = by_class.ratio(workload::PopularityClass::kUnpopular);
+  r.m.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
+  r.m.impeded = breakdown.impeded_fraction();
+  r.metrics = obs->metrics();
+  return r;
+}
+
+SweepRun run_faulted(double divisor, std::uint64_t seed) {
+  using namespace odr;
+  obs::ScopedObserver obs(run_obs_config());
+  auto config = analysis::make_scaled_config(divisor, seed);
+  config.cloud.degraded_admission = true;
+  config.fault_plan = fault::make_chaos_plan(2);
+  const auto result = analysis::run_cloud_replay(config);
+  const auto cdfs = analysis::collect_speed_delay(result.outcomes);
+  std::size_t pre_failures = 0, e2e_failures = 0;
+  for (const auto& o : result.outcomes) {
+    if (!o.pre.success) ++pre_failures;
+    if (!o.fetched) ++e2e_failures;
+  }
+  const double total = static_cast<double>(result.outcomes.size());
+  SweepRun r;
+  r.m.seed = seed;
+  r.m.cache_hit = result.cache_hit_ratio;
+  r.m.pre_failure = total > 0 ? pre_failures / total : 0.0;
+  r.m.e2e_failure = total > 0 ? e2e_failures / total : 0.0;
+  r.m.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
+  r.rejections = result.fetch_rejections;
+  r.shed = result.shed_fetches;
+  r.oversubscribed = result.oversubscribed_fetches;
+  r.vm_crashes = result.vm_crashes;
+  r.vm_retries = result.vm_retries;
+  r.faults_fired = result.faults_fired;
+  r.metrics = obs->metrics();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,6 +124,7 @@ int main(int argc, char** argv) {
   ArgParser args("Headline-metric spread across seeds.");
   args.flag("divisor", "400", "scale divisor vs the measured system");
   args.flag("seeds", "5", "number of seeds");
+  args.flag("workers", "0", "worker threads (0 = hardware concurrency)");
   args.flag("csv", "robustness_faults.csv",
             "output CSV for the faulted sweep (empty to skip)");
   args.flag("json", "BENCH_robustness_seeds.json",
@@ -47,35 +132,31 @@ int main(int argc, char** argv) {
   if (!args.parse(argc, argv)) return 1;
 
   // Bench-wide metrics registry, snapshotted into the JSON output (counters
-  // accumulate across both sweeps). Fault dumps off: the level-2 sweep fires
-  // faults by design.
-  obs::ObsConfig bench_obs;
-  bench_obs.tracing = false;
-  bench_obs.dump_on_fault_fired = false;
-  obs::ScopedObserver bench(bench_obs);
+  // accumulate across both sweeps, merged from the per-run registries).
+  obs::ScopedObserver bench(run_obs_config());
+
+  const double divisor = args.get_double("divisor");
+  const int n = static_cast<int>(args.get_int("seeds"));
+  run::ParallelOptions popts;
+  popts.workers = static_cast<std::size_t>(args.get_int("workers"));
+
+  // Both sweeps in one batch: 2n independent worlds.
+  std::vector<std::function<SweepRun()>> jobs;
+  for (int s = 0; s < n; ++s) {
+    const std::uint64_t seed = 20151028 + 7919ull * s;
+    jobs.push_back([divisor, seed] { return run_clean(divisor, seed); });
+  }
+  for (int s = 0; s < n; ++s) {
+    const std::uint64_t seed = 20151028 + 7919ull * s;
+    jobs.push_back([divisor, seed] { return run_faulted(divisor, seed); });
+  }
+  const std::vector<SweepRun> all = run::run_parallel(std::move(jobs), popts);
+  for (const SweepRun& r : all) bench->metrics().merge_from(r.metrics);
 
   EmpiricalCdf hit, failure, unpopular_failure, fetch_median, impeded;
   std::vector<SeedMetrics> clean_runs;
-  const int n = static_cast<int>(args.get_int("seeds"));
   for (int s = 0; s < n; ++s) {
-    const auto config = analysis::make_scaled_config(
-        args.get_double("divisor"), 20151028 + 7919ull * s);
-    const auto result = analysis::run_cloud_replay(config);
-    const auto cdfs = analysis::collect_speed_delay(result.outcomes);
-    const auto by_class = analysis::failure_by_class(result.outcomes);
-    const auto breakdown = analysis::impeded_breakdown(
-        result.outcomes, *result.users, result.requests, kbps_to_rate(125.0));
-    std::size_t failures = 0;
-    for (const auto& o : result.outcomes) {
-      if (!o.pre.success) ++failures;
-    }
-    SeedMetrics m;
-    m.seed = config.seed;
-    m.cache_hit = result.cache_hit_ratio;
-    m.pre_failure = static_cast<double>(failures) / result.outcomes.size();
-    m.unpopular_failure = by_class.ratio(workload::PopularityClass::kUnpopular);
-    m.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
-    m.impeded = breakdown.impeded_fraction();
+    const SeedMetrics& m = all[s].m;
     clean_runs.push_back(m);
     hit.add(m.cache_hit);
     failure.add(m.pre_failure);
@@ -117,42 +198,23 @@ int main(int argc, char** argv) {
         csv);
   }
   for (int s = 0; s < n; ++s) {
-    const std::uint64_t seed = 20151028 + 7919ull * s;
-    auto config = analysis::make_scaled_config(args.get_double("divisor"), seed);
-    config.cloud.degraded_admission = true;
-    config.fault_plan = fault::make_chaos_plan(2);
-    const auto result = analysis::run_cloud_replay(config);
-    const auto cdfs = analysis::collect_speed_delay(result.outcomes);
-    std::size_t pre_failures = 0, e2e_failures = 0;
-    for (const auto& o : result.outcomes) {
-      if (!o.pre.success) ++pre_failures;
-      if (!o.fetched) ++e2e_failures;
-    }
-    const double total = static_cast<double>(result.outcomes.size());
-    const double pre_ratio = total > 0 ? pre_failures / total : 0.0;
-    const double e2e_ratio = total > 0 ? e2e_failures / total : 0.0;
-    f_hit.add(result.cache_hit_ratio);
-    f_failure.add(pre_ratio);
-    f_e2e.add(e2e_ratio);
-    f_fetch_median.add(cdfs.fetch_speed_kbps.median());
-    SeedMetrics fm;
-    fm.seed = seed;
-    fm.cache_hit = result.cache_hit_ratio;
-    fm.pre_failure = pre_ratio;
-    fm.e2e_failure = e2e_ratio;
-    fm.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
-    faulted_runs.push_back(fm);
+    const SweepRun& r = all[static_cast<std::size_t>(n) + s];
+    f_hit.add(r.m.cache_hit);
+    f_failure.add(r.m.pre_failure);
+    f_e2e.add(r.m.e2e_failure);
+    f_fetch_median.add(r.m.fetch_median_kbps);
+    faulted_runs.push_back(r.m);
     if (csv != nullptr) {
       std::fprintf(csv, "%llu,%.6f,%.6f,%.6f,%.1f,%llu,%llu,%llu,%llu,%llu,%llu\n",
-                   static_cast<unsigned long long>(seed),
-                   result.cache_hit_ratio, pre_ratio, e2e_ratio,
-                   cdfs.fetch_speed_kbps.median(),
-                   static_cast<unsigned long long>(result.fetch_rejections),
-                   static_cast<unsigned long long>(result.shed_fetches),
-                   static_cast<unsigned long long>(result.oversubscribed_fetches),
-                   static_cast<unsigned long long>(result.vm_crashes),
-                   static_cast<unsigned long long>(result.vm_retries),
-                   static_cast<unsigned long long>(result.faults_fired));
+                   static_cast<unsigned long long>(r.m.seed),
+                   r.m.cache_hit, r.m.pre_failure, r.m.e2e_failure,
+                   r.m.fetch_median_kbps,
+                   static_cast<unsigned long long>(r.rejections),
+                   static_cast<unsigned long long>(r.shed),
+                   static_cast<unsigned long long>(r.oversubscribed),
+                   static_cast<unsigned long long>(r.vm_crashes),
+                   static_cast<unsigned long long>(r.vm_retries),
+                   static_cast<unsigned long long>(r.faults_fired));
     }
   }
   if (csv != nullptr) std::fclose(csv);
@@ -181,7 +243,7 @@ int main(int argc, char** argv) {
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
     auto emit = [](JsonWriter& j, const std::vector<SeedMetrics>& runs,
-                   bool faulted) {
+                   bool faulted_sweep) {
       j.begin_array();
       for (const auto& m : runs) {
         j.begin_object()
@@ -189,7 +251,7 @@ int main(int argc, char** argv) {
             .field("cache_hit", m.cache_hit)
             .field("pre_failure", m.pre_failure)
             .field("fetch_median_kbps", m.fetch_median_kbps);
-        if (faulted) {
+        if (faulted_sweep) {
           j.field("e2e_failure", m.e2e_failure);
         } else {
           j.field("unpopular_failure", m.unpopular_failure)
@@ -202,7 +264,7 @@ int main(int argc, char** argv) {
     JsonWriter j;
     j.begin_object()
         .field("bench", "robustness_seeds")
-        .field("divisor", args.get_double("divisor"))
+        .field("divisor", divisor)
         .field("seeds", static_cast<std::int64_t>(n));
     j.key("clean");
     emit(j, clean_runs, false);

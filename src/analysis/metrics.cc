@@ -7,6 +7,25 @@
 
 namespace odr::analysis {
 
+std::uint64_t outcome_fingerprint(
+    const std::vector<cloud::TaskOutcome>& outcomes) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& o : outcomes) {
+    mix(o.task_id);
+    mix(static_cast<std::uint64_t>(o.pre.success));
+    mix(static_cast<std::uint64_t>(o.pre.finish_time));
+    mix(o.pre.traffic_bytes);
+    mix(static_cast<std::uint64_t>(o.fetched));
+    mix(static_cast<std::uint64_t>(o.fetch.rejected));
+    mix(static_cast<std::uint64_t>(o.fetch.finish_time));
+  }
+  return h;
+}
+
 SpeedDelayCdfs collect_speed_delay(
     const std::vector<cloud::TaskOutcome>& outcomes) {
   SpeedDelayCdfs out;

@@ -18,6 +18,14 @@
 
 namespace odr::analysis {
 
+// Order-sensitive FNV-1a hash over every outcome's decisive fields
+// (task id, pre-download success/finish/traffic, fetch success/rejection/
+// finish); two byte-identical replays hash equal. The chaos and perf
+// harnesses and the determinism tests share this exact definition — golden
+// values are pinned against it, so any change is a format break.
+std::uint64_t outcome_fingerprint(
+    const std::vector<cloud::TaskOutcome>& outcomes);
+
 // --- Fig 8 / Fig 9: speed and delay CDFs -----------------------------------
 
 struct SpeedDelayCdfs {

@@ -81,6 +81,7 @@ ExperimentConfig make_scaled_config(double divisor, std::uint64_t seed) {
 CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
   sim::Simulator sim;
   net::Network net(sim);
+  net.set_rate_epsilon(config.net_rate_epsilon);
   Rng rng(config.seed);
 
   auto catalog = std::make_shared<workload::Catalog>(config.catalog, rng);
@@ -112,8 +113,13 @@ CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
     injector->load(config.fault_plan);
   }
 
-  for (const auto& request : result.requests) {
-    sim.schedule_at(request.request_time, [&, request] {
+  // Arrivals capture an index into the (already final) request vector, not
+  // the ~120-byte record itself: the callback then fits the event engine's
+  // inline slot and scheduling the full week allocates nothing per event.
+  for (std::size_t i = 0; i < result.requests.size(); ++i) {
+    sim.schedule_at(result.requests[i].request_time, [&result, &cloud, &users,
+                                                      i] {
+      const workload::WorkloadRecord& request = result.requests[i];
       cloud.submit(request, users->user(request.user_id),
                    [&result](const cloud::TaskOutcome& outcome) {
                      finish_cloud_task_span(outcome);
@@ -169,6 +175,7 @@ CloudReplayResult run_cloud_replay_from_trace(
     const ExperimentConfig& config) {
   sim::Simulator sim;
   net::Network net(sim);
+  net.set_rate_epsilon(config.net_rate_epsilon);
   Rng rng(config.seed);
 
   // --- Reconstruct the file catalog from the trace. -------------------------
@@ -270,6 +277,7 @@ CloudReplayResult run_cloud_replay_from_trace(
 ApReplayResult run_ap_replay(const ApReplayConfig& config) {
   sim::Simulator sim;
   net::Network net(sim);
+  net.set_rate_epsilon(config.experiment.net_rate_epsilon);
   Rng rng(config.experiment.seed);
 
   workload::Catalog catalog(config.experiment.catalog, rng);
@@ -388,6 +396,7 @@ ApReplayResult run_ap_replay(const ApReplayConfig& config) {
 StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config) {
   sim::Simulator sim;
   net::Network net(sim);
+  net.set_rate_epsilon(config.experiment.net_rate_epsilon);
   Rng rng(config.experiment.seed);
 
   workload::Catalog catalog(config.experiment.catalog, rng);

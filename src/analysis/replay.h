@@ -41,6 +41,12 @@ struct ExperimentConfig {
   // plan (the default) adds zero RNG draws and zero events, so fault-free
   // replays are bit-identical with or without the fault layer linked in.
   fault::FaultPlan fault_plan;
+  // Relative rate-change cutoff below which the network keeps an already
+  // scheduled flow completion instead of rescheduling it (see
+  // net::Network::set_rate_epsilon). 0 = exact (the default); large-scale
+  // replays set e.g. 1e-4 to shed cancel/reschedule churn at the cost of
+  // completion times drifting by up to that relative error.
+  double net_rate_epsilon = 0.0;
 };
 
 // Scales workload size and cloud capacity together by 1/divisor relative

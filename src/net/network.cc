@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
 
 #include "obs/observer.h"
 #include "snapshot/format.h"
@@ -34,6 +33,7 @@ enum : std::uint16_t {
   kTagFlowLastSettled = 15,
   kTagFlowCompletionEvent = 16,
   kTagFlowHasCallback = 17,
+  kTagFlowSchedRate = 18,
 };
 }  // namespace
 
@@ -45,7 +45,14 @@ NodeId Network::add_node(std::string name, Isp isp) {
 LinkId Network::add_link(std::string name, Rate capacity) {
   assert(capacity >= 0.0);
   links_.push_back(LinkState{std::move(name), capacity, {}});
-  return static_cast<LinkId>(links_.size() - 1);
+  link_epoch_.push_back(0);
+  link_remaining_.push_back(0.0);
+  link_unfrozen_.push_back(0);
+  const auto l = static_cast<std::uint32_t>(links_.size() - 1);
+  dsu_parent_.push_back(l);
+  dsu_size_.push_back(1);
+  dsu_next_.push_back(l);
+  return l;
 }
 
 void Network::set_link_capacity(LinkId link, Rate capacity) {
@@ -63,10 +70,9 @@ Rate Network::link_capacity(LinkId link) const {
 Rate Network::link_utilization(LinkId link) const {
   assert(link < links_.size());
   Rate total = 0.0;
-  for (FlowId id : links_[link].flows) {
-    auto it = flows_.find(id);
-    if (it != flows_.end()) total += it->second.rate;
-  }
+  // Membership lists are ordered by ascending flow id, which fixes this
+  // summation order.
+  for (std::uint32_t slot : links_[link].flows) total += slab_[slot].rate;
   return total;
 }
 
@@ -90,64 +96,154 @@ const std::string& Network::link_name(LinkId link) const {
   return links_[link].name;
 }
 
+std::uint32_t Network::acquire_slot() {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  slab_[slot].next_free = kNoSlot;
+  return slot;
+}
+
+void Network::release_slot(std::uint32_t slot) {
+  FlowState& f = slab_[slot];
+  f.path.clear();  // keeps capacity: the buffer is reused by the next flow
+  f.on_complete = nullptr;
+  f.completion_event = sim::kInvalidEvent;
+  f.id = kInvalidFlow;
+  f.epoch = 0;
+  f.next_free = free_head_;
+  free_head_ = slot;
+}
+
 FlowId Network::start_flow(FlowSpec spec) {
   assert(spec.bytes > 0);
   const FlowId id = next_flow_id_++;
-  FlowState f;
+  const std::uint32_t slot = acquire_slot();
+  FlowState& f = slab_[slot];
   f.path = std::move(spec.path);
   f.bytes_total = spec.bytes;
+  f.bytes_done = 0.0;
+  f.rate = 0.0;
   f.rate_cap = spec.rate_cap;
+  f.peak_rate = 0.0;
+  f.sched_rate = 0.0;
   f.started_at = sim_.now();
   f.last_settled = sim_.now();
   f.on_complete = std::move(spec.on_complete);
+  f.id = id;
   for (LinkId l : f.path) {
     assert(l < links_.size());
-    links_[l].flows.push_back(id);
+    // New ids are monotone, so appending keeps the list ascending by id.
+    links_[l].flows.push_back(slot);
   }
-  const std::vector<LinkId> seed = f.path;
-  flows_.emplace(id, std::move(f));
-  if (seed.empty()) {
-    reallocate_flows({id});
+  dsu_union_path(f.path);
+  id_to_slot_.put(id, slot);
+  ++live_flows_;
+  if (slab_[slot].path.empty()) {
+    component_scratch_.clear();
+    component_scratch_.push_back(slot);
+    reallocate_flows(component_scratch_);
   } else {
-    reallocate_component(seed);
+    reallocate_component(slab_[slot].path);
   }
   ODR_COUNT("net.flows.started");
   ODR_TRACE_INSTANT(kNet, "flow.start");
   return id;
 }
 
-bool Network::cancel_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
-  if (it->second.completion_event != sim::kInvalidEvent) {
-    sim_.cancel(it->second.completion_event);
+std::vector<FlowId> Network::start_flows(std::vector<FlowSpec> specs) {
+  std::vector<FlowId> ids;
+  ids.reserve(specs.size());
+  std::vector<LinkId> seeds;
+  for (FlowSpec& spec : specs) {
+    assert(spec.bytes > 0);
+    const FlowId id = next_flow_id_++;
+    const std::uint32_t slot = acquire_slot();
+    FlowState& f = slab_[slot];
+    f.path = std::move(spec.path);
+    f.bytes_total = spec.bytes;
+    f.bytes_done = 0.0;
+    f.rate = 0.0;
+    f.rate_cap = spec.rate_cap;
+    f.peak_rate = 0.0;
+    f.sched_rate = 0.0;
+    f.started_at = sim_.now();
+    f.last_settled = sim_.now();
+    f.on_complete = std::move(spec.on_complete);
+    f.id = id;
+    for (LinkId l : f.path) {
+      assert(l < links_.size());
+      links_[l].flows.push_back(slot);
+      seeds.push_back(l);
+    }
+    dsu_union_path(f.path);
+    id_to_slot_.put(id, slot);
+    ++live_flows_;
+    ids.push_back(id);
+    ODR_COUNT("net.flows.started");
+    ODR_TRACE_INSTANT(kNet, "flow.start");
   }
-  const std::vector<LinkId> seed = it->second.path;
-  detach_from_links(id, it->second);
-  flows_.erase(it);
-  reallocate_component(seed);
+  if (!seeds.empty()) {
+    collect_component(seeds);
+  } else {
+    component_scratch_.clear();
+  }
+  // Pathless flows sit on no link, so the closure walk cannot reach them;
+  // they also never constrain the joint solve (cap-only), so appending is
+  // exactly equivalent to solving them alone.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint32_t* slot = id_to_slot_.find(ids[i]);
+    if (slab_[*slot].path.empty()) component_scratch_.push_back(*slot);
+  }
+  if (!component_scratch_.empty()) reallocate_flows(component_scratch_);
+  return ids;
+}
+
+bool Network::cancel_flow(FlowId id) {
+  const std::uint32_t* ps = id_to_slot_.find(id);
+  if (ps == nullptr) return false;
+  const std::uint32_t slot = *ps;
+  FlowState& f = slab_[slot];
+  if (f.completion_event != sim::kInvalidEvent) {
+    sim_.cancel(f.completion_event);
+  }
+  detach_from_links(slot, f);
+  note_removed(f);
+  path_scratch_ = std::move(f.path);
+  release_slot(slot);
+  id_to_slot_.erase(id);
+  --live_flows_;
+  reallocate_component(path_scratch_);
   ODR_COUNT("net.flows.cancelled");
   return true;
 }
 
 bool Network::set_flow_cap(FlowId id, Rate cap) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return false;
-  it->second.rate_cap = cap;
-  if (it->second.path.empty()) {
-    reallocate_flows({id});
+  const std::uint32_t* ps = id_to_slot_.find(id);
+  if (ps == nullptr) return false;
+  const std::uint32_t slot = *ps;
+  slab_[slot].rate_cap = cap;
+  if (slab_[slot].path.empty()) {
+    component_scratch_.clear();
+    component_scratch_.push_back(slot);
+    reallocate_flows(component_scratch_);
   } else {
-    reallocate_component(it->second.path);
+    reallocate_component(slab_[slot].path);
   }
   return true;
 }
 
 FlowStats Network::flow_stats(FlowId id) {
   FlowStats s;
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return s;
-  settle(it->second);
-  const FlowState& f = it->second;
+  const std::uint32_t* ps = id_to_slot_.find(id);
+  if (ps == nullptr) return s;
+  FlowState& f = slab_[*ps];
+  settle(f);
   s.bytes_total = f.bytes_total;
   s.bytes_done = static_cast<Bytes>(std::min<double>(
       f.bytes_done, static_cast<double>(f.bytes_total)));
@@ -166,73 +262,109 @@ void Network::settle(FlowState& f) {
 }
 
 void Network::reallocate() {
-  std::vector<FlowId> all;
-  all.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) all.push_back(id);
-  reallocate_flows(std::move(all));
+  component_scratch_.clear();
+  for (std::uint32_t s = 0; s < slab_.size(); ++s) {
+    if (slab_[s].id != kInvalidFlow) component_scratch_.push_back(s);
+  }
+  reallocate_flows(component_scratch_);
 }
 
 void Network::reallocate_component(const std::vector<LinkId>& seed_links) {
-  // Breadth-first expansion over the "shares a link" relation: only flows in
-  // the affected component can change rate, so only they are re-solved.
-  std::vector<char> link_seen(links_.size(), 0);
-  std::deque<LinkId> frontier;
+  // Only flows transitively sharing a link with the seeds can change rate,
+  // so only they are re-solved.
+  collect_component(seed_links);
+  reallocate_flows(component_scratch_);
+}
+
+void Network::collect_component(const std::vector<LinkId>& seed_links) {
+  component_scratch_.clear();
+  if (dsu_pending_splits_ > 0 && ++dsu_dirty_solves_ >= kDsuRebuildAfter) {
+    dsu_rebuild();
+  }
+  const std::uint32_t ep = next_epoch();
+  if (dsu_pending_splits_ == 0) {
+    // Fast path: the union-find is exact (every recorded union is justified
+    // by a live flow), so each seed's component is its member ring.
+    for (LinkId l : seed_links) {
+      if (l >= links_.size() || link_epoch_[l] == ep) continue;
+      std::uint32_t cur = l;
+      do {
+        link_epoch_[cur] = ep;
+        for (std::uint32_t slot : links_[cur].flows) {
+          FlowState& f = slab_[slot];
+          if (f.epoch != ep) {
+            f.epoch = ep;
+            component_scratch_.push_back(slot);
+          }
+        }
+        cur = dsu_next_[cur];
+      } while (cur != l);
+    }
+    return;
+  }
+  // Fallback after a multi-link flow departed (the union-find cannot track
+  // splits): exact breadth-first expansion over the shares-a-link relation.
+  bfs_queue_.clear();
   for (LinkId l : seed_links) {
-    if (l < links_.size() && !link_seen[l]) {
-      link_seen[l] = 1;
-      frontier.push_back(l);
+    if (l < links_.size() && link_epoch_[l] != ep) {
+      link_epoch_[l] = ep;
+      bfs_queue_.push_back(l);
     }
   }
-  std::vector<FlowId> component;
-  std::unordered_map<FlowId, bool> flow_seen;
-  while (!frontier.empty()) {
-    const LinkId l = frontier.front();
-    frontier.pop_front();
-    for (FlowId id : links_[l].flows) {
-      if (flow_seen.emplace(id, true).second) {
-        component.push_back(id);
-        for (LinkId l2 : flows_.at(id).path) {
-          if (!link_seen[l2]) {
-            link_seen[l2] = 1;
-            frontier.push_back(l2);
-          }
+  for (std::size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+    const LinkId l = bfs_queue_[qi];
+    for (std::uint32_t slot : links_[l].flows) {
+      FlowState& f = slab_[slot];
+      if (f.epoch == ep) continue;
+      f.epoch = ep;
+      component_scratch_.push_back(slot);
+      for (LinkId l2 : f.path) {
+        if (link_epoch_[l2] != ep) {
+          link_epoch_[l2] = ep;
+          bfs_queue_.push_back(l2);
         }
       }
     }
   }
-  reallocate_flows(std::move(component));
 }
 
-void Network::reallocate_flows(std::vector<FlowId> component) {
+void Network::reallocate_flows(std::vector<std::uint32_t>& component) {
   if (component.empty()) return;
-  std::sort(component.begin(), component.end());
+  // The progressive-filling rounds below fold sums in iteration order, so
+  // the component must be visited in a canonical order for bit-identical
+  // allocations: ascending flow id, as always.
+  std::sort(component.begin(), component.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return slab_[a].id < slab_[b].id;
+            });
 
-  // Links touched by the component, with capacity *minus* rates of flows
-  // outside the component (those keep their current rates).
-  std::unordered_map<LinkId, double> remaining;
-  std::unordered_map<LinkId, std::size_t> unfrozen_on_link;
-  std::unordered_map<FlowId, char> in_component;
-  for (FlowId id : component) in_component[id] = 1;
-  for (FlowId id : component) {
-    for (LinkId l : flows_.at(id).path) {
-      if (remaining.count(l)) continue;
-      double cap = links_[l].capacity;
-      for (FlowId other : links_[l].flows) {
-        if (!in_component.count(other)) cap -= flows_.at(other).rate;
-      }
-      remaining[l] = std::max(0.0, cap);
-      unfrozen_on_link[l] = 0;
+  const std::uint32_t ep = next_epoch();
+  for (std::uint32_t slot : component) slab_[slot].epoch = ep;
+  component_links_scratch_.clear();
+  for (std::uint32_t slot : component) {
+    for (LinkId l : slab_[slot].path) {
+      if (link_epoch_[l] == ep) continue;
+      link_epoch_[l] = ep;
+      // Components are link-closed — every flow on a member's link is a
+      // member — so the full capacity is up for (re)distribution; there are
+      // no out-of-component rates to subtract.
+      assert(std::all_of(links_[l].flows.begin(), links_[l].flows.end(),
+                         [&](std::uint32_t s2) { return slab_[s2].epoch == ep; }) &&
+             "reallocate_flows requires a link-closed flow set");
+      link_remaining_[l] = std::max(0.0, links_[l].capacity);
+      link_unfrozen_[l] = 0;
+      component_links_scratch_.push_back(l);
     }
   }
 
   // Settle progress at the old rates before assigning new ones.
-  for (FlowId id : component) settle(flows_.at(id));
+  for (std::uint32_t slot : component) settle(slab_[slot]);
 
   if (model_ == AllocationModel::kEqualSplit) {
     // Naive split: each flow gets min over its links of capacity/n, then
     // its cap. No redistribution of unclaimed share (the ablation point).
-    for (FlowId id : component) {
-      FlowState& f = flows_.at(id);
+    for (std::uint32_t slot : component) {
+      FlowState& f = slab_[slot];
       double r = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
       for (LinkId l : f.path) {
         const double n = static_cast<double>(links_[l].flows.size());
@@ -240,80 +372,93 @@ void Network::reallocate_flows(std::vector<FlowId> component) {
       }
       f.rate = std::max(0.0, r);
       f.peak_rate = std::max(f.peak_rate, f.rate);
-      schedule_completion(id, f);
+      schedule_completion(f.id, f);
     }
     return;
   }
 
-  std::unordered_map<FlowId, double> rate;
-  std::vector<FlowId> unfrozen;
-  for (FlowId id : component) {
-    rate[id] = 0.0;
-    FlowState& f = flows_.at(id);
+  unfrozen_scratch_.clear();
+  for (std::uint32_t slot : component) {
+    FlowState& f = slab_[slot];
+    f.solve_rate = 0.0;
+    f.solve_frozen = false;
     if (f.rate_cap <= kMinRate) continue;  // fully throttled
     if (f.path.empty()) {
       // No shared constraint: the cap alone determines the rate.
-      rate[id] = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
+      f.solve_rate = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
       continue;
     }
-    unfrozen.push_back(id);
-    for (LinkId l : f.path) ++unfrozen_on_link[l];
+    unfrozen_scratch_.push_back(slot);
+    for (LinkId l : f.path) ++link_unfrozen_[l];
   }
 
-  std::unordered_map<FlowId, char> frozen;
-  std::size_t active = unfrozen.size();
-  std::size_t guard = 2 * (unfrozen.size() + remaining.size()) + 8;
+  std::size_t active = unfrozen_scratch_.size();
+  std::size_t guard =
+      2 * (unfrozen_scratch_.size() + component_links_scratch_.size()) + 8;
   [[maybe_unused]] std::uint64_t iterations = 0;
   while (active > 0 && guard-- > 0) {
     ODR_OBS(++iterations;)
     double inc = std::numeric_limits<double>::infinity();
-    for (const auto& [l, rem] : remaining) {
-      const std::size_t n = unfrozen_on_link.at(l);
+    for (LinkId l : component_links_scratch_) {
+      const std::uint32_t n = link_unfrozen_[l];
       if (n == 0) continue;
-      inc = std::min(inc, rem / static_cast<double>(n));
+      inc = std::min(inc, link_remaining_[l] / static_cast<double>(n));
     }
-    for (FlowId id : unfrozen) {
-      if (frozen.count(id)) continue;
-      const FlowState& f = flows_.at(id);
-      if (std::isfinite(f.rate_cap)) inc = std::min(inc, f.rate_cap - rate[id]);
+    for (std::uint32_t slot : unfrozen_scratch_) {
+      const FlowState& f = slab_[slot];
+      if (f.solve_frozen) continue;
+      if (std::isfinite(f.rate_cap)) {
+        inc = std::min(inc, f.rate_cap - f.solve_rate);
+      }
     }
     if (!std::isfinite(inc)) inc = 1e15;  // unconstrained flows: clamp
     inc = std::max(inc, 0.0);
 
-    for (FlowId id : unfrozen) {
-      if (frozen.count(id)) continue;
-      rate[id] += inc;
-      for (LinkId l : flows_.at(id).path) remaining[l] -= inc;
+    for (std::uint32_t slot : unfrozen_scratch_) {
+      FlowState& f = slab_[slot];
+      if (f.solve_frozen) continue;
+      f.solve_rate += inc;
+      for (LinkId l : f.path) link_remaining_[l] -= inc;
     }
 
     std::size_t newly_frozen = 0;
-    for (FlowId id : unfrozen) {
-      if (frozen.count(id)) continue;
-      const FlowState& f = flows_.at(id);
-      bool freeze = std::isfinite(f.rate_cap) && rate[id] >= f.rate_cap - kMinRate;
+    for (std::uint32_t slot : unfrozen_scratch_) {
+      FlowState& f = slab_[slot];
+      if (f.solve_frozen) continue;
+      bool freeze =
+          std::isfinite(f.rate_cap) && f.solve_rate >= f.rate_cap - kMinRate;
       if (!freeze) {
         for (LinkId l : f.path) {
-          if (remaining[l] <= kMinRate) {
+          if (link_remaining_[l] <= kMinRate) {
             freeze = true;
             break;
           }
         }
       }
       if (freeze) {
-        frozen[id] = 1;
+        f.solve_frozen = true;
         ++newly_frozen;
-        for (LinkId l : f.path) --unfrozen_on_link[l];
+        for (LinkId l : f.path) --link_unfrozen_[l];
       }
     }
     active -= newly_frozen;
     if (newly_frozen == 0) break;  // numerical guard; allocation converged
+    // Frozen flows contribute nothing to later rounds; drop them (stable,
+    // so the ascending-id iteration order is preserved) to keep long
+    // freeze chains O(still-active) per round.
+    if (newly_frozen * 2 > unfrozen_scratch_.size()) {
+      unfrozen_scratch_.erase(
+          std::remove_if(unfrozen_scratch_.begin(), unfrozen_scratch_.end(),
+                         [this](std::uint32_t s) { return slab_[s].solve_frozen; }),
+          unfrozen_scratch_.end());
+    }
   }
 
-  for (FlowId id : component) {
-    FlowState& f = flows_.at(id);
-    f.rate = rate[id];
+  for (std::uint32_t slot : component) {
+    FlowState& f = slab_[slot];
+    f.rate = f.solve_rate;
     f.peak_rate = std::max(f.peak_rate, f.rate);
-    schedule_completion(id, f);
+    schedule_completion(f.id, f);
   }
   ODR_COUNT("net.solver.runs");
   ODR_COUNT_N("net.solver.iterations", iterations);
@@ -323,44 +468,103 @@ void Network::reallocate_flows(std::vector<FlowId> component) {
 
 void Network::schedule_completion(FlowId id, FlowState& f) {
   if (f.completion_event != sim::kInvalidEvent) {
+    // Epsilon cutoff (opt-in, see set_rate_epsilon): keep the pending
+    // completion when the rate barely moved. With the default eps of 0 this
+    // branch never fires and behavior is exact.
+    if (rate_epsilon_ > 0.0 && f.rate > kMinRate && f.sched_rate > kMinRate) {
+      const double rel = std::abs(f.rate - f.sched_rate) / f.sched_rate;
+      if (rel <= rate_epsilon_) return;
+    }
     sim_.cancel(f.completion_event);
     f.completion_event = sim::kInvalidEvent;
   }
   const double remaining = static_cast<double>(f.bytes_total) - f.bytes_done;
   if (remaining <= 0.0) {
+    f.sched_rate = f.rate;
     f.completion_event = sim_.schedule_after(0, [this, id] { complete_flow(id); });
     return;
   }
   if (f.rate <= kMinRate) return;  // stalled: completion waits for rate change
   const double secs = remaining / f.rate;
   const SimTime delay = std::max<SimTime>(0, from_seconds(secs));
+  f.sched_rate = f.rate;
   f.completion_event = sim_.schedule_after(delay, [this, id] { complete_flow(id); });
 }
 
 void Network::complete_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  settle(it->second);
-  it->second.completion_event = sim::kInvalidEvent;
-  it->second.bytes_done = static_cast<double>(it->second.bytes_total);
-  [[maybe_unused]] const SimTime started_at = it->second.started_at;
+  const std::uint32_t* ps = id_to_slot_.find(id);
+  if (ps == nullptr) return;
+  const std::uint32_t slot = *ps;
+  FlowState& f = slab_[slot];
+  settle(f);
+  f.completion_event = sim::kInvalidEvent;
+  f.bytes_done = static_cast<double>(f.bytes_total);
+  [[maybe_unused]] const SimTime started_at = f.started_at;
   ODR_COUNT("net.flows.completed");
   ODR_HIST("net.flow.duration_s", 0.0, 3600.0, 48,
            to_seconds(sim_.now() - started_at));
   ODR_TRACE_COMPLETE(kNet, "flow", started_at, sim_.now());
-  FlowCallback cb = std::move(it->second.on_complete);
-  const std::vector<LinkId> seed = it->second.path;
-  detach_from_links(id, it->second);
-  flows_.erase(it);
-  reallocate_component(seed);
+  FlowCallback cb = std::move(f.on_complete);
+  detach_from_links(slot, f);
+  note_removed(f);
+  path_scratch_ = std::move(f.path);
+  release_slot(slot);
+  id_to_slot_.erase(id);
+  --live_flows_;
+  reallocate_component(path_scratch_);
   if (cb) cb(id);
 }
 
-void Network::detach_from_links(FlowId id, const FlowState& f) {
+void Network::detach_from_links(std::uint32_t slot, const FlowState& f) {
   for (LinkId l : f.path) {
     auto& v = links_[l].flows;
-    v.erase(std::remove(v.begin(), v.end(), id), v.end());
+    v.erase(std::remove(v.begin(), v.end(), slot), v.end());
   }
+}
+
+void Network::note_removed(const FlowState& f) {
+  // Only a multi-link flow can have been the sole connection between two
+  // links; its departure may split a component, which the union-find cannot
+  // express. Mark it stale; collect_component falls back to the exact BFS
+  // until the next rebuild.
+  if (f.path.size() > 1) ++dsu_pending_splits_;
+}
+
+std::uint32_t Network::dsu_find(std::uint32_t l) {
+  while (dsu_parent_[l] != l) {
+    dsu_parent_[l] = dsu_parent_[dsu_parent_[l]];  // path halving
+    l = dsu_parent_[l];
+  }
+  return l;
+}
+
+void Network::dsu_union(std::uint32_t a, std::uint32_t b) {
+  a = dsu_find(a);
+  b = dsu_find(b);
+  if (a == b) return;
+  if (dsu_size_[a] < dsu_size_[b]) std::swap(a, b);
+  dsu_parent_[b] = a;
+  dsu_size_[a] += dsu_size_[b];
+  // Splice the circular member rings: swapping successors of any two
+  // members of disjoint rings concatenates them.
+  std::swap(dsu_next_[a], dsu_next_[b]);
+}
+
+void Network::dsu_union_path(const std::vector<LinkId>& path) {
+  for (std::size_t i = 1; i < path.size(); ++i) dsu_union(path[0], path[i]);
+}
+
+void Network::dsu_rebuild() {
+  for (std::uint32_t l = 0; l < links_.size(); ++l) {
+    dsu_parent_[l] = l;
+    dsu_size_[l] = 1;
+    dsu_next_[l] = l;
+  }
+  for (const FlowState& f : slab_) {
+    if (f.id != kInvalidFlow) dsu_union_path(f.path);
+  }
+  dsu_pending_splits_ = 0;
+  dsu_dirty_solves_ = 0;
 }
 
 void Network::save(snapshot::SnapshotWriter& w) const {
@@ -369,13 +573,15 @@ void Network::save(snapshot::SnapshotWriter& w) const {
   for (const LinkState& l : links_) w.f64(kTagLinkCapacity, l.capacity);
   w.u64(kTagNextFlowId, next_flow_id_);
 
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
-  w.u64(kTagFlowCount, ids.size());
-  for (FlowId id : ids) {
-    const FlowState& f = flows_.at(id);
+  std::vector<std::pair<FlowId, std::uint32_t>> ordered;
+  ordered.reserve(live_flows_);
+  id_to_slot_.for_each([&](std::uint64_t id, std::uint32_t slot) {
+    ordered.emplace_back(id, slot);
+  });
+  std::sort(ordered.begin(), ordered.end());
+  w.u64(kTagFlowCount, ordered.size());
+  for (const auto& [id, slot] : ordered) {
+    const FlowState& f = slab_[slot];
     w.u64(kTagFlowId, id);
     w.u64(kTagFlowPathLen, f.path.size());
     for (LinkId l : f.path) w.u32(kTagFlowPathLink, l);
@@ -384,6 +590,7 @@ void Network::save(snapshot::SnapshotWriter& w) const {
     w.f64(kTagFlowRate, f.rate);
     w.f64(kTagFlowRateCap, f.rate_cap);
     w.f64(kTagFlowPeakRate, f.peak_rate);
+    w.f64(kTagFlowSchedRate, f.sched_rate);
     w.i64(kTagFlowStartedAt, f.started_at);
     w.i64(kTagFlowLastSettled, f.last_settled);
     w.u64(kTagFlowCompletionEvent, f.completion_event);
@@ -409,12 +616,21 @@ void Network::load(snapshot::SnapshotReader& r) {
   }
   next_flow_id_ = r.u64(kTagNextFlowId);
 
-  flows_.clear();
+  slab_.clear();
+  free_head_ = kNoSlot;
+  id_to_slot_.clear();
+  live_flows_ = 0;
   awaiting_callback_.clear();
+  epoch_ = 0;
+  std::fill(link_epoch_.begin(), link_epoch_.end(), 0);
   const std::uint64_t flow_count = r.u64(kTagFlowCount);
   for (std::uint64_t i = 0; i < flow_count; ++i) {
     const FlowId id = r.u64(kTagFlowId);
-    FlowState f;
+    // Flows were saved in ascending id order and the slab is empty, so
+    // slots come out sequential and link membership lists (slots appended
+    // below) reproduce the original ascending-by-id order exactly.
+    const std::uint32_t slot = acquire_slot();
+    FlowState& f = slab_[slot];
     const std::uint64_t path_len = r.u64(kTagFlowPathLen);
     f.path.reserve(path_len);
     for (std::uint64_t p = 0; p < path_len; ++p) {
@@ -430,42 +646,45 @@ void Network::load(snapshot::SnapshotReader& r) {
     f.rate = r.f64(kTagFlowRate);
     f.rate_cap = r.f64(kTagFlowRateCap);
     f.peak_rate = r.f64(kTagFlowPeakRate);
+    f.sched_rate = r.f64(kTagFlowSchedRate);
     f.started_at = r.i64(kTagFlowStartedAt);
     f.last_settled = r.i64(kTagFlowLastSettled);
     const sim::EventId completion = r.u64(kTagFlowCompletionEvent);
     const bool has_callback = r.b(kTagFlowHasCallback);
-    // Flows are saved in ascending id order and link membership lists are
-    // append-only over monotone ids, so pushing back here reproduces the
-    // original vectors exactly.
-    for (LinkId l : f.path) links_[l].flows.push_back(id);
+    f.id = id;
+    for (LinkId l : f.path) links_[l].flows.push_back(slot);
     if (completion != sim::kInvalidEvent) {
       sim_.rearm(completion, [this, id] { complete_flow(id); });
       f.completion_event = completion;
     }
     if (has_callback) awaiting_callback_.insert(id);
-    flows_.emplace(id, std::move(f));
+    id_to_slot_.put(id, slot);
+    ++live_flows_;
   }
+  dsu_rebuild();
 }
 
 void Network::reattach_on_complete(FlowId id, FlowCallback cb) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) {
+  const std::uint32_t* ps = id_to_slot_.find(id);
+  if (ps == nullptr) {
     throw snapshot::SnapshotError(
         "network: reattach_on_complete for unknown flow " + std::to_string(id));
   }
-  it->second.on_complete = std::move(cb);
+  slab_[*ps].on_complete = std::move(cb);
   awaiting_callback_.erase(id);
 }
 
 std::vector<Network::FlowView> Network::flow_views() const {
-  std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [id, f] : flows_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  std::vector<std::pair<FlowId, std::uint32_t>> ordered;
+  ordered.reserve(live_flows_);
+  id_to_slot_.for_each([&](std::uint64_t id, std::uint32_t slot) {
+    ordered.emplace_back(id, slot);
+  });
+  std::sort(ordered.begin(), ordered.end());
   std::vector<FlowView> views;
-  views.reserve(ids.size());
-  for (FlowId id : ids) {
-    const FlowState& f = flows_.at(id);
+  views.reserve(ordered.size());
+  for (const auto& [id, slot] : ordered) {
+    const FlowState& f = slab_[slot];
     views.push_back(FlowView{id, &f.path, f.bytes_total, f.bytes_done, f.rate,
                              f.last_settled,
                              f.completion_event != sim::kInvalidEvent,
@@ -476,8 +695,8 @@ std::vector<Network::FlowView> Network::flow_views() const {
 
 std::size_t Network::pending_completion_count() const {
   std::size_t n = 0;
-  for (const auto& [id, f] : flows_) {
-    if (f.completion_event != sim::kInvalidEvent) ++n;
+  for (const FlowState& f : slab_) {
+    if (f.id != kInvalidFlow && f.completion_event != sim::kInvalidEvent) ++n;
   }
   return n;
 }

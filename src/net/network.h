@@ -13,6 +13,18 @@
 // bandwidth phenomenon the paper analyses (who is bottlenecked where, link
 // saturation, admission pressure) at a cost that lets us replay
 // hundreds of thousands of tasks per second of wall time.
+//
+// Hot-path layout (see DESIGN.md §11): flows live in a slot slab indexed
+// by dense 32-bit handles (link membership lists hold slots, not ids, so
+// the solver never hashes), solver scratch is epoch-stamped per-slot and
+// per-link arrays reused across solves, and link connectivity is tracked
+// by an incremental union-find with member lists so start-heavy and
+// cap-churn phases resolve their component in O(component) without a BFS.
+// Flow removals can split components, which a union-find cannot track;
+// removals invalidate it and the exact epoch-stamped BFS takes over until
+// the structure is rebuilt (amortized — see kDsuRebuildAfter). Every path
+// yields the exact same component set, so allocations are bit-identical
+// to the original implementation's.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +32,11 @@
 #include <limits>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/isp.h"
 #include "sim/simulator.h"
+#include "util/flat_map.h"
 #include "util/units.h"
 
 namespace odr::snapshot {
@@ -96,6 +108,14 @@ class Network {
 
   FlowId start_flow(FlowSpec spec);
 
+  // Batched admission: starts every flow, then runs ONE solve over the
+  // union of the affected components instead of one per flow. Results are
+  // identical to N sequential start_flow calls made at the same instant
+  // (intermediate allocations exist for zero simulated time), but the
+  // setup cost drops from O(N * component) to O(component). Use this for
+  // admission bursts; it is what makes full-scale replays affordable.
+  std::vector<FlowId> start_flows(std::vector<FlowSpec> specs);
+
   // Stops a flow before completion; its callback is not invoked.
   // Returns false if the flow already finished or never existed.
   bool cancel_flow(FlowId id);
@@ -103,11 +123,21 @@ class Network {
   // Changes a flow's cap mid-transfer (e.g. swarm capacity drift).
   bool set_flow_cap(FlowId id, Rate cap);
 
-  bool flow_active(FlowId id) const { return flows_.count(id) > 0; }
+  bool flow_active(FlowId id) const { return id_to_slot_.contains(id); }
   // Stats are settled to `now` before being returned.
   FlowStats flow_stats(FlowId id);
 
-  std::size_t active_flow_count() const { return flows_.size(); }
+  std::size_t active_flow_count() const { return live_flows_; }
+
+  // Completion-rescheduling cutoff: when > 0, a solve that changes a
+  // flow's rate by less than `eps` (relative) keeps the already-scheduled
+  // completion event instead of cancelling and rescheduling it. This is an
+  // APPROXIMATION — completion times can drift by up to eps relative to
+  // the exact schedule — so it defaults to 0 (exact, bit-identical to the
+  // historical engine). Large-scale replays enable it to shed the
+  // dominant cancel/reschedule churn; see bench/perf_scale.cpp.
+  void set_rate_epsilon(double eps) { rate_epsilon_ = eps; }
+  double rate_epsilon() const { return rate_epsilon_; }
 
   // Recomputes the max-min fair allocation immediately. Normally invoked
   // internally; exposed for tests.
@@ -138,7 +168,8 @@ class Network {
 
   // Read-only view for the invariant auditor. Deliberately does NOT settle
   // flows: settling at audit time would change the floating-point summation
-  // schedule and break bit-identical resume.
+  // schedule and break bit-identical resume. The `path` pointers alias the
+  // flow slab; views are invalidated by the next flow mutation.
   struct FlowView {
     FlowId id = kInvalidFlow;
     const std::vector<LinkId>* path = nullptr;
@@ -153,11 +184,25 @@ class Network {
   std::size_t pending_completion_count() const;
   std::size_t link_count() const { return links_.size(); }
 
+  // Union-find health, exposed for the benchmarks and property tests.
+  bool component_index_clean() const { return dsu_pending_splits_ == 0; }
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  // Rebuild the union-find after this many BFS-fallback solves. Rebuilding
+  // costs one pass over every live flow's path; spreading it over 16
+  // fallback solves keeps the amortized overhead a few percent while
+  // start/cap-churn bursts (which never dirty the structure) stay O(1).
+  static constexpr std::uint32_t kDsuRebuildAfter = 16;
+
   struct LinkState {
     std::string name;
     Rate capacity;
-    std::vector<FlowId> flows;  // active flows traversing this link
+    // Active flows traversing this link, as slab slots. Always ordered by
+    // ascending flow id (appends are monotone in id, removals keep order),
+    // which fixes the floating-point summation order everywhere a link's
+    // flows are folded.
+    std::vector<std::uint32_t> flows;
   };
 
   struct NodeState {
@@ -172,27 +217,86 @@ class Network {
     Rate rate = 0.0;
     Rate rate_cap = kUnlimitedRate;
     Rate peak_rate = 0.0;
+    // Rate the pending completion event was computed from (the epsilon
+    // cutoff compares against it). Meaningful only while one is pending.
+    Rate sched_rate = 0.0;
     SimTime started_at = 0;
     SimTime last_settled = 0;
     FlowCallback on_complete;
     sim::EventId completion_event = sim::kInvalidEvent;
+    FlowId id = kInvalidFlow;  // owning id; kInvalidFlow when the slot is free
+    std::uint32_t next_free = kNoSlot;
+    // Solver scratch (valid only inside one reallocate_flows call).
+    double solve_rate = 0.0;
+    std::uint32_t epoch = 0;     // component-membership stamp
+    bool solve_frozen = false;
   };
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
   void settle(FlowState& f);
-  // Progressive filling restricted to `component`; reschedules completions.
-  void reallocate_flows(std::vector<FlowId> component);
+  // Progressive filling over `component` (slab slots, any order; sorted by
+  // flow id internally). REQUIRES the set to be link-closed: every flow on
+  // every link touched by a member is itself a member (components are, by
+  // construction). Reschedules completions.
+  void reallocate_flows(std::vector<std::uint32_t>& component);
+  // Collects the exact component of `seed_links` into component_scratch_
+  // (union-find fast path when clean, epoch-stamped BFS otherwise).
+  void collect_component(const std::vector<LinkId>& seed_links);
   void schedule_completion(FlowId id, FlowState& f);
   void complete_flow(FlowId id);
-  void detach_from_links(FlowId id, const FlowState& f);
+  void detach_from_links(std::uint32_t slot, const FlowState& f);
+  void note_removed(const FlowState& f);
+
+  // --- link union-find (incremental unions; removals invalidate) ----------
+  std::uint32_t dsu_find(std::uint32_t l);
+  void dsu_union(std::uint32_t a, std::uint32_t b);
+  void dsu_union_path(const std::vector<LinkId>& path);
+  void dsu_rebuild();
+
+  std::uint32_t next_epoch() {
+    if (++epoch_ == 0) {  // wrapped: invalidate every stale stamp
+      for (FlowState& f : slab_) f.epoch = 0;
+      link_epoch_.assign(link_epoch_.size(), 0);
+      epoch_ = 1;
+    }
+    return epoch_;
+  }
 
   sim::Simulator& sim_;
   std::vector<NodeState> nodes_;
   std::vector<LinkState> links_;
-  std::unordered_map<FlowId, FlowState> flows_;
+
+  // Flow storage: slab + free list + id lookup (see file header).
+  std::vector<FlowState> slab_;
+  std::uint32_t free_head_ = kNoSlot;
+  util::FlatMap64<std::uint32_t> id_to_slot_;
+  std::size_t live_flows_ = 0;
+
+  // Reusable solver scratch (epoch-stamped; no per-solve allocation).
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> link_epoch_;      // per link: touched this solve
+  std::vector<double> link_remaining_;         // per link: capacity left
+  std::vector<std::uint32_t> link_unfrozen_;   // per link: unfrozen flow count
+  std::vector<std::uint32_t> component_scratch_;       // slots
+  std::vector<LinkId> component_links_scratch_;
+  std::vector<std::uint32_t> unfrozen_scratch_;
+  std::vector<LinkId> bfs_queue_;
+  std::vector<LinkId> path_scratch_;  // detached flow's path during removal
+
+  // Link union-find with circular member lists.
+  std::vector<std::uint32_t> dsu_parent_;
+  std::vector<std::uint32_t> dsu_size_;
+  std::vector<std::uint32_t> dsu_next_;        // circular list per component
+  std::uint64_t dsu_pending_splits_ = 0;       // multi-link removals since rebuild
+  std::uint32_t dsu_dirty_solves_ = 0;         // BFS fallbacks since rebuild
+
   // Restored flows whose completion callback has not been re-attached yet.
   std::set<FlowId> awaiting_callback_;
   FlowId next_flow_id_ = 1;
   AllocationModel model_ = AllocationModel::kMaxMinFair;
+  double rate_epsilon_ = 0.0;
 };
 
 }  // namespace odr::net

@@ -64,6 +64,15 @@ const Histogram* Registry::find_histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+void Registry::merge_from(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).inc(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).set(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bin_lo(0), h.bin_hi(h.bins() - 1), h.bins())
+        .merge_from(h);
+  }
+}
+
 void Registry::write_fields(JsonWriter& j) const {
   j.key("counters").begin_object();
   for (const auto& it : sorted_by_name(counters_)) {

@@ -62,6 +62,13 @@ class Registry {
   std::size_t gauge_count() const { return gauges_.size(); }
   std::size_t histogram_count() const { return histograms_.size(); }
 
+  // Folds another registry into this one: counters add, histograms add
+  // bin-wise (shapes must match — first registration wins as usual), and
+  // gauges take the other registry's last value. Used on the coordinating
+  // thread after a parallel sweep to aggregate per-worker registries;
+  // merge in submission order for deterministic gauge results.
+  void merge_from(const Registry& other);
+
   // Emits "counters"/"gauges"/"histograms" fields (sorted by name) into
   // the object currently open on `j`.
   void write_fields(JsonWriter& j) const;

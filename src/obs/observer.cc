@@ -5,7 +5,11 @@
 namespace odr::obs {
 
 namespace {
-Observer* g_current = nullptr;
+// Thread-local: parallel replicate runs (run::run_parallel) simulate
+// independent worlds on worker threads; an observer installed on one
+// thread must never see another thread's events. Single-threaded use is
+// unaffected.
+thread_local Observer* g_current = nullptr;
 }  // namespace
 
 Observer* current() { return g_current; }

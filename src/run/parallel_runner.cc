@@ -1,0 +1,19 @@
+#include "run/parallel_runner.h"
+
+#include <sys/resource.h>
+
+namespace odr::run {
+
+std::size_t default_worker_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::size_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<std::size_t>(ru.ru_maxrss) * 1024u;
+}
+
+}  // namespace odr::run

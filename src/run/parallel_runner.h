@@ -1,0 +1,84 @@
+// Parallel replicate runner: a thread-pool harness for independent
+// simulator runs (seed sweeps, fault-plan matrices, divisor scans).
+//
+// Each job builds, runs, and tears down its OWN world (Simulator, Network,
+// Rng, observers) — nothing simulated is shared between jobs, so a job's
+// result is the same whether it runs on a worker thread or inline, and the
+// result vector is always in submission order. Determinism is therefore
+// preserved exactly: parallelism changes wall-clock time, never outcomes.
+//
+// Observability: the ambient obs::current() pointer is thread_local, so a
+// worker starts with NO observer installed. A job that wants metrics must
+// install its own obs::ScopedObserver and return whatever it needs (e.g. a
+// serialized report or a Registry to merge on the caller's thread — see
+// obs::Registry::merge_from).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace odr::run {
+
+// Hardware concurrency, minimum 1.
+std::size_t default_worker_count();
+
+// Peak resident set size of this process so far, in bytes (0 if unknown).
+// Benchmarks record it per configuration; note it is a high-water mark for
+// the whole process, not per run.
+std::size_t peak_rss_bytes();
+
+struct ParallelOptions {
+  std::size_t workers = 0;  // 0 = default_worker_count()
+};
+
+// Runs every job, returning results in submission order. Jobs are claimed
+// from a shared counter, so long jobs do not serialize behind short ones.
+// If any job throws, the first exception in submission order is rethrown
+// after all workers have drained (no detached threads, no lost results for
+// the jobs that did finish — they are simply discarded with the throw).
+template <typename R>
+std::vector<R> run_parallel(std::vector<std::function<R()>> jobs,
+                            ParallelOptions opts = {}) {
+  const std::size_t n = jobs.size();
+  std::vector<std::optional<R>> results(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i].emplace(jobs[i]());
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::size_t workers = opts.workers != 0 ? opts.workers : default_worker_count();
+  if (workers > n) workers = n;
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  std::vector<R> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(std::move(*results[i]));
+  return out;
+}
+
+}  // namespace odr::run

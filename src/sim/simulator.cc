@@ -23,42 +23,87 @@ enum : std::uint16_t {
 
 }  // namespace
 
-EventId Simulator::schedule_at(SimTime t, Callback fn) {
-  if (t < now_) t = now_;
+std::uint32_t Simulator::acquire_slot(EventId id, Callback&& fn) {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.id = id;
+  s.next_free = kNoSlot;
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  s.id = 0;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+EventId Simulator::insert(SimTime t, Callback&& fn) {
   const EventId id = next_id_++;
-  queue_.push(Scheduled{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint32_t slot = acquire_slot(id, std::move(fn));
+  heap_.push_back(Scheduled{t, next_seq_++, id, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  id_to_slot_.put(id, slot);
   ++live_events_;
   return id;
 }
 
+EventId Simulator::schedule_at(SimTime t, Callback fn) {
+  if (t < now_) t = now_;
+  return insert(t, std::move(fn));
+}
+
 EventId Simulator::schedule_after(SimTime delay, Callback fn) {
   if (delay < 0) delay = 0;
-  return schedule_at(now_ + delay, std::move(fn));
+  return insert(now_ + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  const std::uint32_t* slot = id_to_slot_.find(id);
+  if (slot == nullptr) return false;
+  release_slot(*slot);
+  id_to_slot_.erase(id);
   --live_events_;
-  // The queue entry stays as a tombstone and is skipped when popped.
+  // The heap entry stays as a tombstone, skipped when popped; when
+  // tombstones dominate, compact() drops them wholesale.
+  ++tombstones_;
+  if (tombstones_ > 64 && tombstones_ * 2 > heap_.size()) compact();
   return true;
 }
 
+void Simulator::compact() {
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Scheduled& e) {
+                               return slots_[e.slot].id != e.id;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  tombstones_ = 0;
+}
+
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Scheduled top = queue_.top();
-    auto it = callbacks_.find(top.id);
-    if (it == callbacks_.end()) {
-      queue_.pop();  // cancelled
-      continue;
+  while (!heap_.empty()) {
+    const Scheduled top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+    if (slots_[top.slot].id != top.id) {
+      if (tombstones_ > 0) --tombstones_;
+      continue;  // cancelled
     }
     assert(top.time >= now_);
-    queue_.pop();
     now_ = top.time;
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
+    Callback fn = std::move(slots_[top.slot].fn);
+    release_slot(top.slot);
+    id_to_slot_.erase(top.id);
     --live_events_;
     ++executed_;
     fn();
@@ -69,10 +114,12 @@ bool Simulator::step() {
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty()) {
-    const Scheduled& top = queue_.top();
-    if (callbacks_.find(top.id) == callbacks_.end()) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Scheduled& top = heap_.front();
+    if (slots_[top.slot].id != top.id) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+      if (tombstones_ > 0) --tombstones_;
       continue;
     }
     if (top.time > t) break;
@@ -93,16 +140,18 @@ void Simulator::save(snapshot::SnapshotWriter& w) const {
   w.u64(kTagNextId, next_id_);
   w.u64(kTagExecuted, executed_);
 
-  // Walk a copy of the queue, skipping tombstones, emitting live events in
-  // (time, seq) order — deterministic regardless of heap layout.
+  // Emit live events in (time, seq) order — deterministic regardless of
+  // heap layout, and identical to the pop order of the original engine.
   std::vector<Scheduled> live;
   live.reserve(live_events_);
-  auto copy = queue_;
-  while (!copy.empty()) {
-    const Scheduled top = copy.top();
-    copy.pop();
-    if (callbacks_.count(top.id)) live.push_back(top);
+  for (const Scheduled& e : heap_) {
+    if (slots_[e.slot].id == e.id) live.push_back(e);
   }
+  std::sort(live.begin(), live.end(),
+            [](const Scheduled& a, const Scheduled& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
   w.u64(kTagEventCount, live.size());
   for (const Scheduled& e : live) {
     w.u64(kTagEventId, e.id);
@@ -117,9 +166,12 @@ void Simulator::load(snapshot::SnapshotReader& r) {
   next_id_ = r.u64(kTagNextId);
   executed_ = r.u64(kTagExecuted);
 
-  queue_ = {};
-  callbacks_.clear();
+  heap_.clear();
+  slots_.clear();
+  free_head_ = kNoSlot;
+  id_to_slot_.clear();
   live_events_ = 0;
+  tombstones_ = 0;
   rearm_.clear();
   const std::uint64_t count = r.u64(kTagEventCount);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -140,8 +192,10 @@ void Simulator::rearm(EventId id, Callback fn) {
         "simulator: rearm of unknown event id " + std::to_string(id) +
         " — component state disagrees with the checkpointed event queue");
   }
-  queue_.push(Scheduled{it->second.first, it->second.second, id});
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint32_t slot = acquire_slot(id, std::move(fn));
+  heap_.push_back(Scheduled{it->second.first, it->second.second, id, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  id_to_slot_.put(id, slot);
   ++live_events_;
   rearm_.erase(it);
 }

@@ -5,15 +5,26 @@
 // may schedule or cancel further events. Ties break in scheduling order,
 // which (with the deterministic Rng) makes whole experiments bit-for-bit
 // reproducible.
+//
+// Hot-path layout (see DESIGN.md §11): callbacks live in pooled slab
+// slots embedded in the engine (util::SmallFunc — no per-event heap
+// allocation for captures up to 48 bytes, which covers every scheduling
+// site in the tree), heap entries reference their slot directly so
+// dispatch never performs a hash lookup, and cancel-by-id goes through an
+// open-addressing id map. Cancelled events leave tombstones in the heap
+// that are skipped on pop and compacted away wholesale when they dominate
+// (watchdog-heavy workloads cancel far more events than they fire). None
+// of this changes observable behavior: the (time, seq) order, the id
+// sequence, and the snapshot format are identical to the original
+// map-of-std::function engine.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.h"
+#include "util/small_func.h"
 #include "util/units.h"
 
 namespace odr::snapshot {
@@ -28,7 +39,7 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::SmallFunc<void()>;
 
   SimTime now() const { return now_; }
 
@@ -45,6 +56,8 @@ class Simulator {
 
   bool has_pending() const { return live_events_ > 0; }
   std::size_t pending_count() const { return live_events_; }
+  // Heap entries (live + tombstones); exposed for the compaction tests.
+  std::size_t heap_size() const { return heap_.size(); }
 
   // Runs exactly one event; false if none pending.
   bool step();
@@ -63,7 +76,7 @@ class Simulator {
   // survives load(), so an observer installed before a restore keeps
   // watching the restored world.
   void set_after_event_hook(Callback hook) { after_event_ = std::move(hook); }
-  void clear_after_event_hook() { after_event_ = nullptr; }
+  void clear_after_event_hook() { after_event_.reset(); }
 
   // --- snapshot support ---------------------------------------------------
   //
@@ -86,25 +99,53 @@ class Simulator {
   std::vector<EventId> unclaimed_rearm_ids() const;
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  // A heap entry. `slot` indexes the slab; the entry is stale (a cancel
+  // tombstone) when the slot no longer holds `id`.
   struct Scheduled {
     SimTime time;
     std::uint64_t seq;  // tie-break: FIFO among equal times
     EventId id;
-    bool operator>(const Scheduled& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
+    std::uint32_t slot;
+  };
+  // Min-heap order by (time, seq); seq is unique, so the order is total
+  // and independent of heap layout (compaction cannot perturb it).
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
+
+  // A pooled callback slot. `id` is the owning event while armed, 0 when
+  // free (then `next_free` chains the free list).
+  struct Slot {
+    Callback fn;
+    EventId id = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  std::uint32_t acquire_slot(EventId id, Callback&& fn);
+  void release_slot(std::uint32_t slot);
+  EventId insert(SimTime t, Callback&& fn);
+  // Drops tombstoned heap entries and re-heapifies. Total (time, seq)
+  // order makes the rebuilt heap pop identically.
+  void compact();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::size_t live_events_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>> queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t tombstones_ = 0;  // stale heap entries awaiting skip/compact
+  std::vector<Scheduled> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  util::FlatMap64<std::uint32_t> id_to_slot_;
   Callback after_event_;  // see set_after_event_hook(); not snapshotted
   // Parked events awaiting rearm() after load(): id -> (time, seq).
+  // std::map: unclaimed_rearm_ids() reports in deterministic order.
   std::map<EventId, std::pair<SimTime, std::uint64_t>> rearm_;
 };
 

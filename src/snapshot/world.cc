@@ -93,6 +93,7 @@ CloudWorld::CloudWorld(const analysis::ExperimentConfig& config,
 // CloudWorld produces run_cloud_replay's results and a restored CloudWorld
 // regenerates the same immutable tables the checkpoint was taken over.
 void CloudWorld::build() {
+  net_.set_rate_epsilon(config_.net_rate_epsilon);
   Rng rng(config_.seed);
   catalog_ = std::make_shared<workload::Catalog>(config_.catalog, rng);
   users_ = std::make_shared<workload::UserPopulation>(config_.users, rng);
@@ -217,6 +218,7 @@ std::uint64_t CloudWorld::config_fingerprint() const {
   mix(config_.cloud.predownloader_count);
   mix_f(config_.cloud.total_upload_capacity);
   mix(static_cast<std::uint64_t>(config_.warmup_weeks));
+  mix_f(config_.net_rate_epsilon);
   mix(config_.fault_plan.faults.size());
   for (const fault::FaultSpec& s : config_.fault_plan.faults) {
     mix(static_cast<std::uint64_t>(s.kind));

@@ -25,6 +25,16 @@ void Histogram::add(double x, double weight) {
   counts_[i] += 1;
 }
 
+void Histogram::merge_from(const Histogram& other) {
+  assert(other.lo_ == lo_ && other.hi_ == hi_ &&
+         other.totals_.size() == totals_.size() &&
+         "merge_from requires an identical histogram shape");
+  for (std::size_t i = 0; i < totals_.size(); ++i) {
+    totals_[i] += other.totals_[i];
+    counts_[i] += other.counts_[i];
+  }
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(bins());
 }

@@ -20,6 +20,11 @@ class Histogram {
 
   void add(double x, double weight = 1.0);
 
+  // Adds another histogram's bins into this one. Requires an identical
+  // (lo, hi, bins) shape; used to fold per-worker histograms into a
+  // run-wide one after a parallel sweep.
+  void merge_from(const Histogram& other);
+
   std::size_t bin_of(double x) const;
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;

@@ -1,0 +1,155 @@
+// SmallFunc: a move-only callable wrapper with small-buffer optimization.
+//
+// std::function heap-allocates any capture larger than two pointers and
+// pays a virtual-ish dispatch through its manager on every move/destroy.
+// The simulator schedules and destroys hundreds of millions of callbacks
+// per full-scale replay, so those allocations dominate the event engine's
+// profile. SmallFunc stores callables up to `Inline` bytes in place (the
+// event engine's slab slots embed them directly — see sim/simulator.h) and
+// falls back to the heap only for oversized captures, which the call sites
+// avoid by capturing indices instead of records.
+//
+// Differences from std::function, all deliberate:
+//   - move-only (callbacks are scheduled once; copying closures that own
+//     state is a correctness hazard);
+//   - no small-object guarantees beyond `Inline`; the fallback is a plain
+//     heap allocation, not a shared one;
+//   - invoking an empty SmallFunc is undefined (the engine never stores
+//     empty callbacks; assert in debug builds).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace odr::util {
+
+inline constexpr std::size_t kSmallFuncInlineBytes = 48;
+
+template <typename Signature, std::size_t Inline = kSmallFuncInlineBytes>
+class SmallFunc;
+
+template <typename R, typename... Args, std::size_t Inline>
+class SmallFunc<R(Args...), Inline> {
+ public:
+  SmallFunc() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFunc> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunc(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = &invoke_inline<D>;
+      manage_ = &manage_inline<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      invoke_ = &invoke_heap<D>;
+      manage_ = &manage_heap<D>;
+    }
+  }
+
+  SmallFunc(SmallFunc&& o) noexcept { move_from(o); }
+
+  SmallFunc& operator=(SmallFunc&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunc>>>
+  SmallFunc& operator=(F&& f) {
+    *this = SmallFunc(std::forward<F>(f));
+    return *this;
+  }
+
+  SmallFunc(const SmallFunc&) = delete;
+  SmallFunc& operator=(const SmallFunc&) = delete;
+
+  ~SmallFunc() { reset(); }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(buf_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    assert(invoke_ != nullptr && "invoking an empty SmallFunc");
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Inline &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  // manage(dst, src): src == nullptr -> destroy dst's callable;
+  //                   src != nullptr -> move-construct src's callable into
+  //                                     dst's storage and destroy src's.
+  using InvokeFn = R (*)(void*, Args&&...);
+  using ManageFn = void (*)(void*, void*);
+
+  template <typename D>
+  static R invoke_inline(void* buf, Args&&... args) {
+    return (*std::launder(reinterpret_cast<D*>(buf)))(
+        std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static R invoke_heap(void* buf, Args&&... args) {
+    return (**std::launder(reinterpret_cast<D**>(buf)))(
+        std::forward<Args>(args)...);
+  }
+  template <typename D>
+  static void manage_inline(void* dst, void* src) {
+    if (src == nullptr) {
+      std::launder(reinterpret_cast<D*>(dst))->~D();
+    } else {
+      D* from = std::launder(reinterpret_cast<D*>(src));
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    }
+  }
+  template <typename D>
+  static void manage_heap(void* dst, void* src) {
+    if (src == nullptr) {
+      delete *std::launder(reinterpret_cast<D**>(dst));
+    } else {
+      D** from = std::launder(reinterpret_cast<D**>(src));
+      ::new (dst) D*(*from);
+      *from = nullptr;  // ownership moved; src slot is destroyed as empty
+    }
+  }
+
+  void move_from(SmallFunc& o) noexcept {
+    if (o.manage_ != nullptr) {
+      o.manage_(buf_, o.buf_);
+      invoke_ = o.invoke_;
+      manage_ = o.manage_;
+      o.invoke_ = nullptr;
+      o.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) mutable unsigned char buf_[Inline];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace odr::util

@@ -1,0 +1,76 @@
+// Pinned golden fingerprints of the chaos acceptance scenario.
+//
+// The chaos harness (bench/chaos_week) gates on the severe-plan replay
+// being bit-for-bit deterministic; this test pins the actual hash values
+// so ANY change to the event engine, the flow solver, the rng draw order,
+// or the outcome fields shows up as a test failure here — not as a silent
+// baseline shift in the bench JSON. The goldens were recorded at divisor
+// 4000, seed 20151028, before the incremental-solver rewrite, and the
+// rewrite was required to reproduce them exactly.
+//
+// If a deliberate format break changes these values, re-record them with:
+//   bench/chaos_week --divisor=4000 --json=out.json   (fields "fingerprint")
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "analysis/metrics.h"
+#include "analysis/replay.h"
+#include "fault/fault_plan.h"
+#include "snapshot/world.h"
+
+namespace odr {
+namespace {
+
+constexpr std::uint64_t kSeed = 20151028;
+constexpr double kDivisor = 4000.0;
+// Golden values; see the header comment before touching these.
+constexpr std::uint64_t kBaselineFingerprint = 0x23fc401bb568f2b1ull;
+constexpr std::uint64_t kSevereFingerprint = 0x51153af7097f620aull;
+
+analysis::ExperimentConfig chaos_config(int plan_level) {
+  analysis::ExperimentConfig config =
+      analysis::make_scaled_config(kDivisor, kSeed);
+  config.cloud.degraded_admission = true;
+  config.fault_plan = fault::make_chaos_plan(plan_level);
+  return config;
+}
+
+TEST(DeterminismTest, BaselinePlanMatchesGoldenFingerprint) {
+  const auto result = analysis::run_cloud_replay(chaos_config(0));
+  EXPECT_EQ(analysis::outcome_fingerprint(result.outcomes),
+            kBaselineFingerprint);
+}
+
+TEST(DeterminismTest, SeverePlanMatchesGoldenFingerprint) {
+  const auto result = analysis::run_cloud_replay(chaos_config(3));
+  EXPECT_EQ(analysis::outcome_fingerprint(result.outcomes),
+            kSevereFingerprint);
+}
+
+TEST(DeterminismTest, SeverePlanKillAndResumeMatchesGoldenFingerprint) {
+  // The same golden value must survive a mid-week kill + restore: the
+  // checkpoint subsystem serializes the solver's flow state (including the
+  // scheduled-rate field behind the epsilon cutoff), so a resumed world
+  // replays the identical event stream.
+  const auto cfg = chaos_config(3);
+  snapshot::WorldOptions options;  // no file writes, default ticks
+
+  snapshot::CloudWorld baseline(cfg, options);
+  const std::uint64_t total_events = baseline.run();
+  ASSERT_GT(total_events, 100u);
+  EXPECT_EQ(analysis::outcome_fingerprint(baseline.finalize().outcomes),
+            kSevereFingerprint);
+
+  snapshot::CloudWorld victim(cfg, options);
+  victim.run(total_events / 2);
+  const std::string ckpt = victim.save_to_buffer();
+
+  snapshot::CloudWorld resumed(cfg, options, ckpt);
+  resumed.run();
+  EXPECT_EQ(analysis::outcome_fingerprint(resumed.finalize().outcomes),
+            kSevereFingerprint);
+}
+
+}  // namespace
+}  // namespace odr

@@ -3,6 +3,7 @@
 // must hold exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "net/network.h"
@@ -116,6 +117,92 @@ TEST_P(NetworkFuzzTest, InvariantsUnderRandomOperations) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, NetworkFuzzTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// The incremental solver (link->flow adjacency + union-find components,
+// epoch-stamped membership) must compute the same allocation as a
+// from-scratch solve of the same topology. After every mutation step we
+// rebuild the current live set in a FRESH network (whose first solve is
+// necessarily from scratch) and compare every flow's rate. Max-min fair
+// rates are unique, so this pins the incremental bookkeeping — stale
+// adjacency, a missed component split, or a bad epoch stamp all surface as
+// a rate mismatch.
+class IncrementalSolverTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalSolverTest, MatchesFromScratchReallocation) {
+  sim::Simulator sim;
+  Network net(sim);
+  Rng rng(GetParam());
+
+  std::vector<LinkId> links;
+  std::vector<Rate> capacities;
+  for (int i = 0; i < 8; ++i) {
+    capacities.push_back(rng.uniform(100.0, 2000.0));
+    links.push_back(net.add_link("l" + std::to_string(i), capacities.back()));
+  }
+
+  struct LiveFlow {
+    FlowId id;
+    std::vector<LinkId> path;  // indices match between net and reference
+    Rate cap;
+  };
+  std::vector<LiveFlow> live;
+
+  for (int step = 0; step < 200; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.5 || live.empty()) {
+      std::vector<LinkId> path;
+      const int hops = 1 + static_cast<int>(rng.uniform_index(3));
+      for (int h = 0; h < hops; ++h) {
+        path.push_back(links[rng.uniform_index(links.size())]);
+      }
+      const Rate cap =
+          rng.bernoulli(0.3) ? kUnlimitedRate : rng.uniform(10.0, 3000.0);
+      const FlowId id =
+          net.start_flow({path, 1ull << 40, cap, nullptr});
+      live.push_back({id, path, cap});
+    } else if (action < 0.7) {
+      const std::size_t victim = rng.uniform_index(live.size());
+      EXPECT_TRUE(net.cancel_flow(live[victim].id));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (action < 0.85) {
+      const std::size_t victim = rng.uniform_index(live.size());
+      live[victim].cap = rng.uniform(0.0, 2500.0);
+      net.set_flow_cap(live[victim].id, live[victim].cap);
+    } else {
+      const std::size_t l = rng.uniform_index(links.size());
+      capacities[l] = rng.uniform(50.0, 2500.0);
+      net.set_link_capacity(links[l], capacities[l]);
+    }
+
+    // Reference: the same live set solved from scratch in a fresh network.
+    sim::Simulator ref_sim;
+    Network ref(ref_sim);
+    std::vector<LinkId> ref_links;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      ref_links.push_back(
+          ref.add_link("r" + std::to_string(i), capacities[i]));
+    }
+    std::vector<FlowId> ref_ids;
+    for (const LiveFlow& f : live) {
+      std::vector<LinkId> ref_path;
+      for (const LinkId l : f.path) {
+        ref_path.push_back(ref_links[static_cast<std::size_t>(l)]);
+      }
+      ref_ids.push_back(ref.start_flow({ref_path, 1ull << 40, f.cap, nullptr}));
+    }
+    // Compare only once the reference holds the complete live set: its
+    // final allocation is then the unique max-min fair one.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const Rate got = net.flow_stats(live[i].id).current_rate;
+      const Rate want = ref.flow_stats(ref_ids[i]).current_rate;
+      EXPECT_NEAR(got, want, 1e-6 * std::max(1.0, want))
+          << "flow " << live[i].id << " after step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSolverTest,
+                         ::testing::Values(21u, 34u, 55u, 89u));
 
 TEST(NetworkAccountingTest, BytesDeliveredMatchElapsedRates) {
   // A flow re-capped several times must deliver exactly its size, with

@@ -162,5 +162,68 @@ TEST(PeriodicTaskTest, RestartAfterStop) {
   EXPECT_EQ(count, 4);
 }
 
+TEST(SimulatorEngineTest, CancelHeavyQueueCompactsTombstones) {
+  // Cancelling most of a large queue must shrink the heap (lazy deletion
+  // plus wholesale compaction), not leave it full of dead entries; the
+  // survivors still run in exact time order.
+  Simulator sim;
+  std::vector<EventId> ids;
+  const int n = 10000;
+  ids.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(sim.schedule_at((i * 7919) % 100000, [] {}));
+  }
+  EXPECT_EQ(sim.heap_size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    if (i % 10 != 0) {
+      EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+  }
+  // 9000 of 10000 entries are tombstones; compaction must have fired.
+  EXPECT_LT(sim.heap_size(), static_cast<std::size_t>(n) / 2);
+  EXPECT_EQ(sim.pending_count(), static_cast<std::size_t>(n) / 10);
+  EXPECT_EQ(sim.run(), static_cast<std::uint64_t>(n / 10));
+}
+
+TEST(SimulatorEngineTest, LargeCaptureCallbacksFallBackToHeapStorage) {
+  // Captures past the inline buffer go through SmallFunc's heap fallback;
+  // scheduling, cancelling and running them must all behave identically.
+  Simulator sim;
+  struct Big {
+    std::uint64_t payload[16];
+  };
+  Big big{};
+  big.payload[0] = 3;
+  big.payload[15] = 4;
+  std::uint64_t sum = 0;
+  sim.schedule_at(10, [big, &sum] { sum += big.payload[0] + big.payload[15]; });
+  const EventId doomed =
+      sim.schedule_at(20, [big, &sum] { sum += 100 * big.payload[0]; });
+  EXPECT_TRUE(sim.cancel(doomed));
+  sim.run();
+  EXPECT_EQ(sum, 7u);
+}
+
+TEST(SimulatorEngineTest, SlotReuseKeepsIdsUniqueAcrossChurn) {
+  // Heavy schedule/cancel/run churn reuses slab slots; stale EventIds from
+  // already-fired or cancelled events must never cancel a later event that
+  // happens to occupy the same slot.
+  Simulator sim;
+  std::vector<EventId> old_ids;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(
+          sim.schedule_at(sim.now() + 1 + (i % 5), [&fired] { ++fired; }));
+    }
+    for (int i = 0; i < 20; i += 2) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.run();
+    for (const EventId id : old_ids) EXPECT_FALSE(sim.cancel(id));
+    old_ids = std::move(ids);
+  }
+  EXPECT_EQ(fired, 50 * 10);
+}
+
 }  // namespace
 }  // namespace odr::sim

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Gate perf_scale results against the checked-in baseline.
+
+Reads bench/perf_scale's JSON output and compares every exact-mode run's
+wall seconds against bench/baselines/perf_smoke.json. Fails (exit 1) if any
+divisor regressed by more than the baseline's max_ratio (2x by default) —
+generous enough to absorb runner jitter, tight enough that an accidental
+return to the quadratic solver (a >5x slowdown at divisor 100) can never
+slip through CI.
+
+Usage:
+  tools/check_perf_regression.py --baseline bench/baselines/perf_smoke.json \
+      --results BENCH_perf_scale.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--results", required=True,
+                        help="BENCH_perf_scale.json from this run")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    with open(args.results, encoding="utf-8") as f:
+        results = json.load(f)
+
+    max_ratio = float(baseline.get("max_ratio", 2.0))
+    reference = {str(k): float(v)
+                 for k, v in baseline["exact_wall_seconds"].items()}
+
+    checked = 0
+    failures = []
+    for run in results.get("runs", []):
+        if run.get("mode") != "exact":
+            continue
+        key = "%g" % run["divisor"]
+        if key not in reference:
+            continue
+        checked += 1
+        wall = float(run["wall_seconds"])
+        ref = reference[key]
+        ratio = wall / ref if ref > 0 else float("inf")
+        status = "OK" if ratio <= max_ratio else "REGRESSED"
+        print(f"divisor {key:>6}: {wall:8.2f} s vs baseline {ref:8.2f} s "
+              f"({ratio:.2f}x, limit {max_ratio:.1f}x) {status}")
+        if ratio > max_ratio:
+            failures.append(key)
+
+    if checked == 0:
+        print("error: no exact-mode runs matched the baseline divisors",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"perf regression at divisor(s): {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"perf smoke: {checked} divisor(s) within {max_ratio:.1f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
