@@ -12,9 +12,11 @@
 //   - the run is deterministic (two executions are byte-identical).
 #include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
+#include "analysis/failure_kind.h"
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "analysis/report.h"
@@ -149,7 +151,34 @@ int main(int argc, char** argv) {
     jobs.push_back(
         [divisor, seed, level, label] { return run_once(divisor, seed, level, label); });
   }
-  std::vector<RunResult> all = run::run_parallel(std::move(jobs));
+  // Settled, not rethrowing: a plan that dies mid-replay is reported with
+  // its failure-kind name instead of aborting the whole matrix unlabeled.
+  auto settled = run::run_parallel_settled(std::move(jobs));
+  int failed_plans = 0;
+  for (std::size_t i = 0; i < settled.size(); ++i) {
+    if (settled[i].ok()) continue;
+    ++failed_plans;
+    auto kind = analysis::ReplayFailureKind::kUnknown;
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(settled[i].error);
+    } catch (const std::exception& e) {
+      kind = analysis::classify_replay_failure(e);
+      what = e.what();
+    } catch (...) {
+    }
+    const auto name = analysis::replay_failure_kind_name(kind);
+    std::fprintf(stderr, "plan FAILED: %s: [%.*s] %s\n", kPlans[i].label,
+                 static_cast<int>(name.size()), name.data(), what.c_str());
+  }
+  if (failed_plans > 0) {
+    std::fprintf(stderr, "chaos_week: %d of %zu replay(s) failed\n",
+                 failed_plans, settled.size());
+    return 1;
+  }
+  std::vector<RunResult> all;
+  all.reserve(settled.size());
+  for (auto& s : settled) all.push_back(std::move(*s.value));
   for (const RunResult& r : all) bench->metrics().merge_from(r.metrics);
 
   std::vector<RunMetrics> runs;
@@ -194,6 +223,17 @@ int main(int argc, char** argv) {
   std::printf("acceptance: deterministic re-run (fingerprint %016llx): %s\n",
               static_cast<unsigned long long>(severe.fingerprint),
               deterministic ? "PASS" : "FAIL");
+  if (!deterministic) {
+    const auto name = analysis::replay_failure_kind_name(
+        analysis::ReplayFailureKind::kFingerprintMismatch);
+    std::fprintf(stderr,
+                 "chaos_week: [%.*s] severe plan rerun produced fingerprint "
+                 "%016llx, expected %016llx — bisect with "
+                 "tools/odr_bisect\n",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(rerun.fingerprint),
+                 static_cast<unsigned long long>(severe.fingerprint));
+  }
 
   const bool pass = failure_ok && hp_ok && deterministic;
   if (!pass) {

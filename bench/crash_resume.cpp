@@ -14,10 +14,12 @@
 // with fault injection. Results land in BENCH_crash_resume.json.
 #include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/failure_kind.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
 #include "obs/observer.h"
@@ -67,6 +69,11 @@ struct KillRecord {
   std::uint64_t events_after_resume = 0;
   bool bit_identical = false;
   bool outcomes_match = false;
+  // Taxonomy verdict for this kill: kNone on a clean pass,
+  // kFingerprintMismatch when the resumed world drifted, or whatever
+  // classify_replay_failure says when the resume itself threw.
+  analysis::ReplayFailureKind kind = analysis::ReplayFailureKind::kNone;
+  std::string error;
 };
 
 struct PlanResult {
@@ -112,27 +119,39 @@ PlanResult run_plan(int plan, const std::string& label, double divisor,
         1, static_cast<std::uint64_t>(rec.kill_fraction *
                                       static_cast<double>(pr.baseline_events)));
     std::remove(ckpt_path.c_str());
-    {
-      // The victim dies here: scope exit discards all in-memory state, the
-      // way a SIGKILL would. Only the checkpoint file survives.
-      snapshot::CloudWorld victim(config, victim_opts);
-      victim.run(rec.kill_index);
-      rec.checkpoints_at_kill = victim.checkpoints_written();
+    try {
+      {
+        // The victim dies here: scope exit discards all in-memory state, the
+        // way a SIGKILL would. Only the checkpoint file survives.
+        snapshot::CloudWorld victim(config, victim_opts);
+        victim.run(rec.kill_index);
+        rec.checkpoints_at_kill = victim.checkpoints_written();
+      }
+      rec.checkpoint_used = file_exists(ckpt_path);
+      std::unique_ptr<snapshot::CloudWorld> revived;
+      if (rec.checkpoint_used) {
+        revived =
+            snapshot::Restorer::restore_file(config, victim_opts, ckpt_path);
+      } else {
+        // Killed before the first checkpoint landed: recovery restarts the
+        // deterministic week from scratch, which must converge all the same.
+        revived = std::make_unique<snapshot::CloudWorld>(config, victim_opts);
+      }
+      rec.events_after_resume = revived->run();
+      rec.bit_identical = revived->save_to_buffer() == final_state;
+      rec.outcomes_match =
+          outcome_fingerprint(revived->finalize().outcomes) ==
+          pr.baseline_fingerprint;
+      if (!rec.bit_identical || !rec.outcomes_match) {
+        rec.kind = analysis::ReplayFailureKind::kFingerprintMismatch;
+      }
+    } catch (const std::exception& e) {
+      // A throw during resume is a distinct failure mode from a silent
+      // divergence; classify it (SnapshotCorrupt, AuditFailure, ...) so the
+      // report names what actually broke.
+      rec.kind = analysis::classify_replay_failure(e);
+      rec.error = e.what();
     }
-    rec.checkpoint_used = file_exists(ckpt_path);
-    std::unique_ptr<snapshot::CloudWorld> revived;
-    if (rec.checkpoint_used) {
-      revived = snapshot::Restorer::restore_file(config, victim_opts, ckpt_path);
-    } else {
-      // Killed before the first checkpoint landed: recovery restarts the
-      // deterministic week from scratch, which must converge all the same.
-      revived = std::make_unique<snapshot::CloudWorld>(config, victim_opts);
-    }
-    rec.events_after_resume = revived->run();
-    rec.bit_identical = revived->save_to_buffer() == final_state;
-    rec.outcomes_match =
-        outcome_fingerprint(revived->finalize().outcomes) ==
-        pr.baseline_fingerprint;
     pr.kills.push_back(rec);
   }
   std::remove(ckpt_path.c_str());
@@ -257,19 +276,28 @@ int main(int argc, char** argv) {
                            args.get("ckpt"), kill_rng));
 
   TextTable table({"plan", "kill@", "frac", "ckpts", "from-ckpt", "resumed ev",
-                   "bit-identical", "outcomes"});
+                   "bit-identical", "outcomes", "kind"});
   bool all_identical = true;
   int from_checkpoint = 0, total_kills = 0;
   for (const auto& p : plans) {
     for (const auto& k : p.kills) {
+      const auto kind_name = analysis::replay_failure_kind_name(k.kind);
       table.add_row({p.label, std::to_string(k.kill_index),
                      TextTable::pct(k.kill_fraction),
                      std::to_string(k.checkpoints_at_kill),
                      k.checkpoint_used ? "yes" : "no",
                      std::to_string(k.events_after_resume),
                      k.bit_identical ? "PASS" : "FAIL",
-                     k.outcomes_match ? "PASS" : "FAIL"});
-      all_identical = all_identical && k.bit_identical && k.outcomes_match;
+                     k.outcomes_match ? "PASS" : "FAIL",
+                     std::string(kind_name)});
+      if (!k.error.empty()) {
+        std::fprintf(stderr, "kill @%llu (%s) FAILED: [%.*s] %s\n",
+                     static_cast<unsigned long long>(k.kill_index),
+                     p.label.c_str(), static_cast<int>(kind_name.size()),
+                     kind_name.data(), k.error.c_str());
+      }
+      all_identical = all_identical &&
+                      k.kind == analysis::ReplayFailureKind::kNone;
       from_checkpoint += k.checkpoint_used ? 1 : 0;
       ++total_kills;
     }
@@ -281,8 +309,16 @@ int main(int argc, char** argv) {
              stdout);
   std::fputs(table.render().c_str(), stdout);
 
-  const ObsGuardResult guard =
-      run_obs_guard(divisor, seed, period, args.get("ckpt"));
+  ObsGuardResult guard;
+  try {
+    guard = run_obs_guard(divisor, seed, period, args.get("ckpt"));
+  } catch (const std::exception& e) {
+    const auto kind = analysis::classify_replay_failure(e);
+    const auto name = analysis::replay_failure_kind_name(kind);
+    std::fprintf(stderr, "obs guard FAILED: [%.*s] %s\n",
+                 static_cast<int>(name.size()), name.data(), e.what());
+    // guard stays all-false and fails the acceptance below.
+  }
 
   const bool enough_kills = total_kills >= 5;
   const bool checkpoint_path_exercised = from_checkpoint > 0;
@@ -330,6 +366,8 @@ int main(int argc, char** argv) {
             .field("events_after_resume", k.events_after_resume)
             .field("bit_identical", k.bit_identical)
             .field("outcomes_match", k.outcomes_match)
+            .field("failure_kind",
+                   std::string(analysis::replay_failure_kind_name(k.kind)))
             .end_object();
       }
       j.end_array().end_object();

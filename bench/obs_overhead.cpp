@@ -33,6 +33,7 @@
 #include "analysis/replay.h"
 #include "obs/observer.h"
 #include "sim/simulator.h"
+#include "snapshot/world.h"
 #include "util/args.h"
 #include "util/json.h"
 
@@ -113,6 +114,36 @@ std::uint64_t disabled_dispatch_allocations() {
   return after - before;
 }
 
+// With in-run state hashing OFF (the default), snapshot::CloudWorld::run
+// must be a zero-cost wrapper over the engine: no per-invocation
+// allocations, no chunking bookkeeping. Determinism makes the workload's
+// own allocation count identical between a single drain and an
+// event-by-event drain of the same config, so any allocation the wrapper
+// performs per run() call shows up as a difference between the two counts
+// (the stepped world calls run() thousands of times, the single world
+// once).
+std::uint64_t hashing_off_added_allocations(
+    const analysis::ExperimentConfig& config) {
+  snapshot::WorldOptions opts;
+  opts.audit_at_checkpoint = false;  // audits allocate scratch; not under test
+  snapshot::CloudWorld single(config, opts);
+  snapshot::CloudWorld stepped(config, opts);
+
+  const std::uint64_t a0 = g_allocations.load(std::memory_order_relaxed);
+  single.run();
+  const std::uint64_t single_allocs =
+      g_allocations.load(std::memory_order_relaxed) - a0;
+
+  const std::uint64_t b0 = g_allocations.load(std::memory_order_relaxed);
+  while (stepped.run(1) != 0) {
+  }
+  const std::uint64_t stepped_allocs =
+      g_allocations.load(std::memory_order_relaxed) - b0;
+
+  return stepped_allocs > single_allocs ? stepped_allocs - single_allocs
+                                        : single_allocs - stepped_allocs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -174,7 +205,12 @@ int main(int argc, char** argv) {
   // Exact gate: warm dispatch with no observer performs zero allocations.
   const std::uint64_t dispatch_allocs = disabled_dispatch_allocations();
   const bool alloc_pass = dispatch_allocs == 0;
-  const bool pass = time_pass && alloc_pass;
+
+  // Exact gate: the hashing-off CloudWorld::run wrapper adds zero
+  // allocations per invocation over the direct engine drain.
+  const std::uint64_t hash_off_allocs = hashing_off_added_allocations(config);
+  const bool hash_off_pass = hash_off_allocs == 0;
+  const bool pass = time_pass && alloc_pass && hash_off_pass;
 
   std::printf("obs overhead, min of %d reps at 1/%s scale:\n", reps,
               args.get("divisor").c_str());
@@ -190,6 +226,11 @@ int main(int argc, char** argv) {
       "acceptance: warm disabled dispatch allocates nothing: %s (%llu)\n",
       alloc_pass ? "PASS" : "FAIL",
       static_cast<unsigned long long>(dispatch_allocs));
+  std::printf(
+      "acceptance: hashing-off CloudWorld::run adds zero allocations: %s "
+      "(%llu)\n",
+      hash_off_pass ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(hash_off_allocs));
 
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
@@ -204,6 +245,7 @@ int main(int argc, char** argv) {
         .field("spans_unsampled_s", t_spans)
         .field("spans_unsampled_overhead", overhead_spans)
         .field("disabled_dispatch_allocations", dispatch_allocs)
+        .field("hashing_off_added_allocations", hash_off_allocs)
         .field("pass", pass)
         .end_object();
     if (j.write_file(json_path)) {

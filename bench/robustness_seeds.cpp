@@ -9,15 +9,23 @@
 // itself adds on top of workload randomness.
 //
 // Every run is an independent world, so both sweeps go through
-// run::run_parallel: per-seed results are identical to a sequential
-// execution and come back in submission order; only wall-clock changes.
+// run::run_parallel_settled: per-seed results are identical to a
+// sequential execution and come back in submission order; only wall-clock
+// changes. A replicate that throws does not abort the sweep — its failure
+// is classified (analysis::classify_replay_failure) and the bench exits
+// nonzero naming the failure kind for every bad seed. The first clean
+// seed is also re-run at the end as a determinism pair: a fingerprint
+// mismatch between the pair is reported as FingerprintMismatch and fails
+// the bench the same way.
 #include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/failure_kind.h"
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
@@ -38,6 +46,7 @@ struct SeedMetrics {
   double unpopular_failure = 0.0;
   double fetch_median_kbps = 0.0;
   double impeded = 0.0;
+  std::uint64_t fingerprint = 0;  // analysis::outcome_fingerprint
 };
 
 // One sweep run: the per-seed metrics plus the fault-accounting extras the
@@ -83,6 +92,7 @@ SweepRun run_clean(double divisor, std::uint64_t seed) {
   r.m.unpopular_failure = by_class.ratio(workload::PopularityClass::kUnpopular);
   r.m.fetch_median_kbps = cdfs.fetch_speed_kbps.median();
   r.m.impeded = breakdown.impeded_fraction();
+  r.m.fingerprint = analysis::outcome_fingerprint(result.outcomes);
   r.metrics = obs->metrics();
   return r;
 }
@@ -113,6 +123,7 @@ SweepRun run_faulted(double divisor, std::uint64_t seed) {
   r.vm_crashes = result.vm_crashes;
   r.vm_retries = result.vm_retries;
   r.faults_fired = result.faults_fired;
+  r.m.fingerprint = analysis::outcome_fingerprint(result.outcomes);
   r.metrics = obs->metrics();
   return r;
 }
@@ -140,17 +151,53 @@ int main(int argc, char** argv) {
   run::ParallelOptions popts;
   popts.workers = static_cast<std::size_t>(args.get_int("workers"));
 
-  // Both sweeps in one batch: 2n independent worlds.
+  // Both sweeps in one batch plus a determinism pair: 2n+1 independent
+  // worlds. The last job repeats the first clean seed bit-for-bit; its
+  // outcome fingerprint must match the first job's exactly.
   std::vector<std::function<SweepRun()>> jobs;
+  std::vector<std::string> labels;
   for (int s = 0; s < n; ++s) {
     const std::uint64_t seed = 20151028 + 7919ull * s;
     jobs.push_back([divisor, seed] { return run_clean(divisor, seed); });
+    labels.push_back("clean seed=" + std::to_string(seed));
   }
   for (int s = 0; s < n; ++s) {
     const std::uint64_t seed = 20151028 + 7919ull * s;
     jobs.push_back([divisor, seed] { return run_faulted(divisor, seed); });
+    labels.push_back("faulted seed=" + std::to_string(seed));
   }
-  const std::vector<SweepRun> all = run::run_parallel(std::move(jobs), popts);
+  const std::uint64_t rerun_seed = 20151028;
+  jobs.push_back([divisor, rerun_seed] { return run_clean(divisor, rerun_seed); });
+  labels.push_back("determinism-rerun seed=" + std::to_string(rerun_seed));
+
+  // Settled, not rethrowing: one bad seed must not hide the state of the
+  // others. Every failed replicate is reported with its taxonomy name.
+  auto settled = run::run_parallel_settled(std::move(jobs), popts);
+  int failed_replicates = 0;
+  for (std::size_t i = 0; i < settled.size(); ++i) {
+    if (settled[i].ok()) continue;
+    ++failed_replicates;
+    auto kind = analysis::ReplayFailureKind::kUnknown;
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(settled[i].error);
+    } catch (const std::exception& e) {
+      kind = analysis::classify_replay_failure(e);
+      what = e.what();
+    } catch (...) {
+    }
+    const auto name = analysis::replay_failure_kind_name(kind);
+    std::fprintf(stderr, "replicate FAILED: %s: [%.*s] %s\n", labels[i].c_str(),
+                 static_cast<int>(name.size()), name.data(), what.c_str());
+  }
+  if (failed_replicates > 0) {
+    std::fprintf(stderr, "robustness_seeds: %d of %zu replicate(s) failed\n",
+                 failed_replicates, settled.size());
+    return 1;
+  }
+  std::vector<SweepRun> all;
+  all.reserve(settled.size());
+  for (auto& s : settled) all.push_back(std::move(*s.value));
   for (const SweepRun& r : all) bench->metrics().merge_from(r.metrics);
 
   EmpiricalCdf hit, failure, unpopular_failure, fetch_median, impeded;
@@ -240,14 +287,36 @@ int main(int argc, char** argv) {
                 csv_path.c_str());
   }
 
+  // --- determinism pair: first clean seed, run twice -----------------------
+  const SeedMetrics& first = all.front().m;
+  const SeedMetrics& rerun = all.back().m;
+  const bool deterministic = first.fingerprint == rerun.fingerprint;
+  std::printf("\ndeterminism: seed %llu fingerprint %016llx vs rerun %016llx: %s\n",
+              static_cast<unsigned long long>(first.seed),
+              static_cast<unsigned long long>(first.fingerprint),
+              static_cast<unsigned long long>(rerun.fingerprint),
+              deterministic ? "PASS" : "FAIL");
+  if (!deterministic) {
+    const auto name = analysis::replay_failure_kind_name(
+        analysis::ReplayFailureKind::kFingerprintMismatch);
+    std::fprintf(stderr,
+                 "robustness_seeds: [%.*s] same-seed rerun produced a "
+                 "different outcome fingerprint\n",
+                 static_cast<int>(name.size()), name.data());
+  }
+
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
     auto emit = [](JsonWriter& j, const std::vector<SeedMetrics>& runs,
                    bool faulted_sweep) {
       j.begin_array();
       for (const auto& m : runs) {
+        char fp[24];
+        std::snprintf(fp, sizeof(fp), "%016llx",
+                      static_cast<unsigned long long>(m.fingerprint));
         j.begin_object()
             .field("seed", m.seed)
+            .field("fingerprint", std::string(fp))
             .field("cache_hit", m.cache_hit)
             .field("pre_failure", m.pre_failure)
             .field("fetch_median_kbps", m.fetch_median_kbps);
@@ -270,6 +339,20 @@ int main(int argc, char** argv) {
     emit(j, clean_runs, false);
     j.key("faulted_plan2");
     emit(j, faulted_runs, true);
+    {
+      char fp_a[24], fp_b[24];
+      std::snprintf(fp_a, sizeof(fp_a), "%016llx",
+                    static_cast<unsigned long long>(first.fingerprint));
+      std::snprintf(fp_b, sizeof(fp_b), "%016llx",
+                    static_cast<unsigned long long>(rerun.fingerprint));
+      j.key("determinism")
+          .begin_object()
+          .field("seed", first.seed)
+          .field("fingerprint", std::string(fp_a))
+          .field("rerun_fingerprint", std::string(fp_b))
+          .field("pass", deterministic)
+          .end_object();
+    }
     j.key("metrics");
     bench->write_metrics_json(j);
     j.end_object();
@@ -279,5 +362,5 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     }
   }
-  return 0;
+  return deterministic ? 0 : 1;
 }

@@ -10,7 +10,10 @@
 // https://ui.perfetto.dev (or chrome://tracing) to see the week laid out
 // on per-subsystem lanes. `--trace-sample N` keeps 1-in-N flow events.
 // `--spans-out` writes the sampled per-task lifecycle spans (failed and
-// slowest tasks always kept) as odr.spans.v1 JSON. `--calibration-report`
+// slowest tasks always kept) as odr.spans.v1 JSON. `--hashes-out` runs the
+// week through the checkpointable CloudWorld with in-run state hashing and
+// writes the odr.hashes.v1 journal — feed it to tools/odr_bisect to triage
+// a determinism failure (`--hash-every N` sets the event-count cadence). `--calibration-report`
 // streams every finished span through the calibration monitor, prints the
 // per-stage latency attribution and the PASS/DRIFT table vs the
 // EXPERIMENTS.md targets, and exits 2 if a gated statistic drifted.
@@ -20,7 +23,9 @@
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "analysis/report.h"
+#include "obs/hash_journal.h"
 #include "obs/observer.h"
+#include "snapshot/world.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -34,11 +39,16 @@ int main(int argc, char** argv) {
   args.flag("trace-out", "", "write a Chrome trace_event JSON file here");
   args.flag("trace-sample", "1", "trace 1-in-N net/proto flow events");
   args.flag("spans-out", "", "write sampled task spans (odr.spans.v1) here");
+  args.flag("hashes-out", "",
+            "write in-run state hashes (odr.hashes.v1) here for odr_bisect");
+  args.flag("hash-every", "4000",
+            "state-hash cadence in executed events (with --hashes-out)");
   args.flag("calibration-report", "false",
             "print the calibration PASS/DRIFT table; exit 2 on gated drift");
   if (!args.parse(argc, argv)) return 1;
 
   const std::string metrics_out = args.get("metrics-out");
+  const std::string hashes_out = args.get("hashes-out");
   const std::string trace_out = args.get("trace-out");
   const std::string spans_out = args.get("spans-out");
   const bool calibration = args.get_bool("calibration-report");
@@ -60,7 +70,32 @@ int main(int argc, char** argv) {
   std::printf("Replaying %zu requests over %zu files by %zu users...\n",
               config.requests.num_requests, config.catalog.num_files,
               config.users.num_users);
-  const auto result = odr::analysis::run_cloud_replay(config);
+  odr::analysis::CloudReplayResult result;
+  if (!hashes_out.empty()) {
+    // Hashing runs go through the checkpointable CloudWorld (its
+    // fault-free results are bit-identical to run_cloud_replay's).
+    odr::snapshot::WorldOptions wopts;
+    wopts.audit_at_checkpoint = false;
+    wopts.hash_every_events =
+        static_cast<std::uint64_t>(args.get_int("hash-every"));
+    odr::snapshot::CloudWorld world(config, wopts);
+    world.run();
+    result = world.finalize();
+    odr::obs::HashJournal journal;
+    journal.cadence_events = wopts.hash_every_events;
+    journal.seed = config.seed;
+    journal.records = world.hashes();
+    try {
+      journal.write_file(hashes_out);
+      std::printf("state hashes written to %s (%zu records)\n",
+                  hashes_out.c_str(), journal.records.size());
+    } catch (const odr::obs::HashJournalError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  } else {
+    result = odr::analysis::run_cloud_replay(config);
+  }
 
   const auto cdfs = odr::analysis::collect_speed_delay(result.outcomes);
   const auto pre_speed = cdfs.predownload_speed_kbps.summary();

@@ -1,0 +1,82 @@
+// Stable failure taxonomy for determinism / replay / recovery tooling.
+//
+// Every harness that gates on reproducibility (determinism_test,
+// bench/crash_resume, bench/chaos_week, bench/robustness_seeds,
+// bench/divergence_triage, tools/odr_bisect) reports failures through this
+// one enum, so CI logs and bench JSON use the same vocabulary and a
+// failure can be routed to the right tool (a FingerprintMismatch is a
+// bisector job; a SnapshotCorrupt is a storage/format job) without
+// re-reading the harness source.
+//
+// The enum is intentionally small and stable: new kinds are appended,
+// existing values are never renumbered, and names are never reused — the
+// numeric values and names appear in checked-in bench baselines.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string_view>
+
+#include "snapshot/format.h"
+
+namespace odr::analysis {
+
+enum class ReplayFailureKind : std::uint8_t {
+  kNone = 0,
+  // A periodic in-run state hash differed between two runs that were
+  // supposed to be identical (see snapshot::StateHasher).
+  kHashMismatch = 1,
+  // End-of-run outcome fingerprints differed (analysis::outcome_fingerprint
+  // or a byte-compare of serialized final worlds).
+  kFingerprintMismatch = 2,
+  // A checkpoint failed structural validation: bad magic/version, CRC
+  // mismatch, unknown section tag, truncated frame, orphaned events.
+  kSnapshotCorrupt = 3,
+  // A run hit a configured safety limit (max events, wall-clock budget)
+  // before reaching a comparable state.
+  kSafetyLimit = 4,
+  // The invariant auditor rejected the world at a checkpoint boundary.
+  kAuditFailure = 5,
+  // A replicate raised an exception that is not a snapshot problem
+  // (bad_alloc, logic_error from a model, ...).
+  kReplicateException = 6,
+  kUnknown = 7,
+};
+
+// Divergence triage reports use the same taxonomy; the alias keeps call
+// sites honest about which side of the tooling they are on.
+using DivergenceKind = ReplayFailureKind;
+
+constexpr std::string_view replay_failure_kind_name(ReplayFailureKind k) {
+  switch (k) {
+    case ReplayFailureKind::kNone:                return "None";
+    case ReplayFailureKind::kHashMismatch:        return "HashMismatch";
+    case ReplayFailureKind::kFingerprintMismatch: return "FingerprintMismatch";
+    case ReplayFailureKind::kSnapshotCorrupt:     return "SnapshotCorrupt";
+    case ReplayFailureKind::kSafetyLimit:         return "SafetyLimit";
+    case ReplayFailureKind::kAuditFailure:        return "AuditFailure";
+    case ReplayFailureKind::kReplicateException:  return "ReplicateException";
+    case ReplayFailureKind::kUnknown:             return "Unknown";
+  }
+  return "Unknown";
+}
+
+// Maps a caught exception onto the taxonomy: structured SnapshotErrors
+// carry their own kind (corruption vs audit vs IO), anything else is a
+// generic replicate failure.
+inline ReplayFailureKind classify_replay_failure(const std::exception& e) {
+  if (const auto* snap = dynamic_cast<const snapshot::SnapshotError*>(&e)) {
+    switch (snap->kind()) {
+      case snapshot::SnapshotErrorKind::kAudit:
+        return ReplayFailureKind::kAuditFailure;
+      case snapshot::SnapshotErrorKind::kCorrupt:
+      case snapshot::SnapshotErrorKind::kIo:
+      case snapshot::SnapshotErrorKind::kUsage:
+        return ReplayFailureKind::kSnapshotCorrupt;
+    }
+    return ReplayFailureKind::kSnapshotCorrupt;
+  }
+  return ReplayFailureKind::kReplicateException;
+}
+
+}  // namespace odr::analysis

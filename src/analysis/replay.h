@@ -47,6 +47,14 @@ struct ExperimentConfig {
   // replays set e.g. 1e-4 to shed cancel/reschedule churn at the cost of
   // completion times drifting by up to that relative error.
   double net_rate_epsilon = 0.0;
+  // Divergence-triage test hook: when nonzero, the checkpointable
+  // CloudWorld consumes ONE extra draw from the cloud's rng stream once
+  // `debug_burn_rng_at_event` events have executed — a deliberate,
+  // minimal, single-event divergence that bench/divergence_triage uses to
+  // prove tools/odr_bisect can localize a real one. 0 (the default) adds
+  // zero draws, zero branches on the hot path, and zero byte changes
+  // anywhere. Ignored by run_cloud_replay (which has no event-count hook).
+  std::uint64_t debug_burn_rng_at_event = 0;
 };
 
 // Scales workload size and cloud capacity together by 1/divisor relative

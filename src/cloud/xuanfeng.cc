@@ -325,12 +325,35 @@ std::vector<net::FlowId> XuanfengCloud::fetch_flow_ids() const {
 }
 
 void XuanfengCloud::save(snapshot::SnapshotWriter& w) const {
+  // The granular savers exist so StateHasher can hash each subsystem into
+  // its own buffer; calling them here in the same order keeps the full
+  // snapshot byte stream identical to the pre-split format (the golden
+  // fingerprints in determinism_test pin that stream).
+  save_rng_state(w);
+  save_caches(w);
+  save_uploads(w);
+  save_vm(w);
+  save_tasks(w);
+}
+
+void XuanfengCloud::save_rng_state(snapshot::SnapshotWriter& w) const {
   save_rng(w, kTagRng, rng_);
+}
+
+void XuanfengCloud::save_caches(snapshot::SnapshotWriter& w) const {
   content_db_.save(w);
   storage_.save(w);
-  uploads_.save(w);
-  predownloaders_.save(w);
+}
 
+void XuanfengCloud::save_uploads(snapshot::SnapshotWriter& w) const {
+  uploads_.save(w);
+}
+
+void XuanfengCloud::save_vm(snapshot::SnapshotWriter& w) const {
+  predownloaders_.save(w);
+}
+
+void XuanfengCloud::save_tasks(snapshot::SnapshotWriter& w) const {
   std::vector<workload::FileIndex> files;
   files.reserve(inflight_.size());
   for (const auto& [file, waiters] : inflight_) files.push_back(file);
@@ -344,7 +367,8 @@ void XuanfengCloud::save(snapshot::SnapshotWriter& w) const {
       if (waiter.pre_only) {
         throw snapshot::SnapshotError(
             "cloud: predownload_only waiter pending — its caller closure "
-            "cannot be checkpointed");
+            "cannot be checkpointed",
+            snapshot::SnapshotErrorKind::kUsage);
       }
       workload::save_workload_record(w, waiter.request);
       workload::save_user(w, waiter.user);
@@ -366,6 +390,8 @@ void XuanfengCloud::save(snapshot::SnapshotWriter& w) const {
     w.f64(kTagFetchOverhead, fetch.overhead);
   }
 }
+
+void XuanfengCloud::debug_burn_rng_draw() { (void)rng_.next_u64(); }
 
 void XuanfengCloud::load(snapshot::SnapshotReader& r, OutcomeFn sink) {
   load_rng(r, kTagRng, rng_);

@@ -118,6 +118,22 @@ class XuanfengCloud {
   void save(snapshot::SnapshotWriter& w) const;
   void load(snapshot::SnapshotReader& r, OutcomeFn sink);
 
+  // Granular savers, called by save() in this exact order (the combined
+  // byte stream is pinned by golden fingerprints). StateHasher calls them
+  // individually to compute per-subsystem sub-hashes, so a divergence
+  // report can name the subsystem whose state first broke.
+  void save_rng_state(snapshot::SnapshotWriter& w) const;
+  void save_caches(snapshot::SnapshotWriter& w) const;   // content db + pool
+  void save_uploads(snapshot::SnapshotWriter& w) const;  // upload clusters
+  void save_vm(snapshot::SnapshotWriter& w) const;       // pre-download VMs
+  void save_tasks(snapshot::SnapshotWriter& w) const;    // waiters + fetches
+
+  // Test hook for bench/divergence_triage: consumes one draw from the
+  // cloud's private rng stream, deliberately desynchronizing this run from
+  // an otherwise-identical one. Never called unless
+  // ExperimentConfig::debug_burn_rng_at_event is set.
+  void debug_burn_rng_draw();
+
  private:
   struct Waiter {
     workload::WorkloadRecord request;

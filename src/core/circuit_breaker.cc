@@ -1,0 +1,133 @@
+#include "core/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "snapshot/format.h"
+
+namespace odr::core {
+namespace {
+
+enum : std::uint16_t {
+  kTagState = 1,
+  kTagOpenedAt = 2,
+  kTagCooldown = 3,
+  kTagProbesInflight = 4,
+  kTagProbeSuccesses = 5,
+  kTagTimesOpened = 6,
+  kTagRefusals = 7,
+  kTagFailureCount = 8,
+  kTagFailureTime = 9,
+};
+
+}  // namespace
+
+void CircuitBreaker::prune_window() {
+  const SimTime cutoff = sim_.now() - config_.window;
+  while (!failures_.empty() && failures_.front() < cutoff) {
+    failures_.pop_front();
+  }
+}
+
+void CircuitBreaker::open_from(State from) {
+  if (from == State::kHalfOpen) {
+    // A failed probe round: the substrate is still sick, back off harder.
+    cooldown_ = std::min(cooldown_ * 2, config_.max_open_duration);
+  } else {
+    cooldown_ = config_.open_duration;
+  }
+  state_ = State::kOpen;
+  opened_at_ = sim_.now();
+  probes_inflight_ = 0;
+  probe_successes_ = 0;
+  failures_.clear();
+  ++times_opened_;
+}
+
+bool CircuitBreaker::allow() {
+  if (state_ == State::kClosed) return true;
+  if (state_ == State::kOpen) {
+    if (sim_.now() < opened_at_ + cooldown_) {
+      ++refusals_;
+      return false;
+    }
+    state_ = State::kHalfOpen;
+    probes_inflight_ = 0;
+    probe_successes_ = 0;
+  }
+  // Half-open: admit up to half_open_probes concurrent probes.
+  if (probes_inflight_ < config_.half_open_probes) {
+    ++probes_inflight_;
+    return true;
+  }
+  ++refusals_;
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  if (state_ != State::kHalfOpen) return;
+  // Only outcomes of ADMITTED probes count toward recovery; a success
+  // from a request admitted before the trip proves nothing.
+  if (probes_inflight_ == 0) return;
+  --probes_inflight_;
+  ++probe_successes_;
+  if (probe_successes_ >= config_.half_open_probes) {
+    state_ = State::kClosed;
+    cooldown_ = config_.open_duration;  // recovery resets the backoff
+    probes_inflight_ = 0;
+    probe_successes_ = 0;
+    failures_.clear();
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  if (state_ == State::kHalfOpen) {
+    open_from(State::kHalfOpen);
+    return;
+  }
+  if (state_ == State::kOpen) return;  // already tripped; nothing to learn
+  failures_.push_back(sim_.now());
+  prune_window();
+  if (failures_.size() >= config_.failure_threshold) {
+    open_from(State::kClosed);
+  }
+}
+
+void CircuitBreaker::release_probe() {
+  if (state_ != State::kHalfOpen || probes_inflight_ == 0) return;
+  --probes_inflight_;
+}
+
+void CircuitBreaker::save(snapshot::SnapshotWriter& w) const {
+  w.u8(kTagState, static_cast<std::uint8_t>(state_));
+  w.i64(kTagOpenedAt, opened_at_);
+  w.i64(kTagCooldown, cooldown_);
+  w.u32(kTagProbesInflight, probes_inflight_);
+  w.u32(kTagProbeSuccesses, probe_successes_);
+  w.u64(kTagTimesOpened, times_opened_);
+  w.u64(kTagRefusals, refusals_);
+  w.u64(kTagFailureCount, failures_.size());
+  for (SimTime t : failures_) w.i64(kTagFailureTime, t);
+}
+
+void CircuitBreaker::load(snapshot::SnapshotReader& r) {
+  const std::uint8_t raw_state = r.u8(kTagState);
+  if (raw_state > static_cast<std::uint8_t>(State::kHalfOpen)) {
+    throw snapshot::SnapshotError(
+        "circuit breaker: invalid state " + std::to_string(raw_state) +
+        " in checkpoint");
+  }
+  state_ = static_cast<State>(raw_state);
+  opened_at_ = r.i64(kTagOpenedAt);
+  cooldown_ = r.i64(kTagCooldown);
+  probes_inflight_ = r.u32(kTagProbesInflight);
+  probe_successes_ = r.u32(kTagProbeSuccesses);
+  times_opened_ = r.u64(kTagTimesOpened);
+  refusals_ = r.u64(kTagRefusals);
+  failures_.clear();
+  const std::uint64_t count = r.u64(kTagFailureCount);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    failures_.push_back(r.i64(kTagFailureTime));
+  }
+}
+
+}  // namespace odr::core

@@ -81,4 +81,47 @@ std::vector<R> run_parallel(std::vector<std::function<R()>> jobs,
   return out;
 }
 
+// run_parallel, but failures settle instead of rethrowing: every job's
+// outcome is reported — value or exception — in submission order, so a
+// sweep harness can classify each failed replicate (see
+// analysis::classify_replay_failure) and exit nonzero with a full report
+// instead of dying on the first bad seed.
+template <typename R>
+struct Settled {
+  std::optional<R> value;          // set iff the job returned
+  std::exception_ptr error;        // set iff the job threw
+  bool ok() const { return value.has_value(); }
+};
+
+template <typename R>
+std::vector<Settled<R>> run_parallel_settled(
+    std::vector<std::function<R()>> jobs, ParallelOptions opts = {}) {
+  const std::size_t n = jobs.size();
+  std::vector<Settled<R>> results(n);
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        results[i].value.emplace(jobs[i]());
+      } catch (...) {
+        results[i].error = std::current_exception();
+      }
+    }
+  };
+
+  std::size_t workers = opts.workers != 0 ? opts.workers : default_worker_count();
+  if (workers > n) workers = n;
+  if (workers <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  }
+  return results;
+}
+
 }  // namespace odr::run

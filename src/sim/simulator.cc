@@ -106,6 +106,9 @@ bool Simulator::step() {
     id_to_slot_.erase(top.id);
     --live_events_;
     ++executed_;
+    last_id_ = top.id;
+    last_seq_ = top.seq;
+    last_time_ = top.time;
     fn();
     if (after_event_) after_event_();
     return true;
@@ -179,8 +182,10 @@ void Simulator::load(snapshot::SnapshotReader& r) {
     const std::uint64_t seq = r.u64(kTagEventSeq);
     const SimTime time = r.i64(kTagEventTime);
     if (!rearm_.emplace(id, std::make_pair(time, seq)).second) {
-      throw snapshot::SnapshotError("simulator: duplicate event id " +
-                                    std::to_string(id) + " in checkpoint");
+      throw snapshot::SnapshotError(
+          "simulator: duplicate event id " + std::to_string(id) +
+              " in checkpoint",
+          snapshot::SnapshotErrorKind::kCorrupt);
     }
   }
 }
@@ -190,7 +195,8 @@ void Simulator::rearm(EventId id, Callback fn) {
   if (it == rearm_.end()) {
     throw snapshot::SnapshotError(
         "simulator: rearm of unknown event id " + std::to_string(id) +
-        " — component state disagrees with the checkpointed event queue");
+            " — component state disagrees with the checkpointed event queue",
+        snapshot::SnapshotErrorKind::kUsage);
   }
   const std::uint32_t slot = acquire_slot(id, std::move(fn));
   heap_.push_back(Scheduled{it->second.first, it->second.second, id, slot});

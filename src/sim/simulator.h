@@ -71,6 +71,13 @@ class Simulator {
 
   std::uint64_t executed_count() const { return executed_; }
 
+  // (id, seq, time) of the most recently executed event; all zero before
+  // the first step(). Divergence triage uses this to name the exact event
+  // after which two runs' state hashes first disagree.
+  EventId last_event_id() const { return last_id_; }
+  std::uint64_t last_event_seq() const { return last_seq_; }
+  SimTime last_event_time() const { return last_time_; }
+
   // Called after every executed event (observability wiring). The hook is
   // engine-side scaffolding, not model state: it is never serialized and
   // survives load(), so an observer installed before a restore keeps
@@ -137,6 +144,9 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  EventId last_id_ = 0;         // most recently executed event (0 = none);
+  std::uint64_t last_seq_ = 0;  // not snapshotted — purely diagnostic, and
+  SimTime last_time_ = 0;       // refreshed by the first post-restore step.
   std::size_t live_events_ = 0;
   std::size_t tombstones_ = 0;  // stale heap entries awaiting skip/compact
   std::vector<Scheduled> heap_;

@@ -41,7 +41,8 @@ void SnapshotWriter::raw_u64(std::string& out, std::uint64_t v) {
 void SnapshotWriter::begin_section(std::uint32_t id, std::uint32_t version) {
   if (in_section_) {
     throw SnapshotError("begin_section(" + hex(id) + ") while section " +
-                        hex(cur_id_) + " is open");
+                            hex(cur_id_) + " is open",
+                        SnapshotErrorKind::kUsage, cur_id_);
   }
   in_section_ = true;
   cur_id_ = id;
@@ -50,7 +51,10 @@ void SnapshotWriter::begin_section(std::uint32_t id, std::uint32_t version) {
 }
 
 void SnapshotWriter::end_section() {
-  if (!in_section_) throw SnapshotError("end_section with no open section");
+  if (!in_section_) {
+    throw SnapshotError("end_section with no open section",
+                        SnapshotErrorKind::kUsage);
+  }
   raw_u32(out_, cur_id_);
   raw_u32(out_, cur_version_);
   raw_u64(out_, payload_.size());
@@ -97,7 +101,8 @@ void SnapshotWriter::bytes(std::uint16_t t, const void* data, std::size_t len) {
 
 std::string SnapshotWriter::take() {
   if (in_section_) {
-    throw SnapshotError("take() while section " + hex(cur_id_) + " is open");
+    throw SnapshotError("take() while section " + hex(cur_id_) + " is open",
+                        SnapshotErrorKind::kUsage, cur_id_);
   }
   return std::move(out_);
 }
@@ -119,15 +124,18 @@ SnapshotReader::SnapshotReader(std::string data) : data_(std::move(data)) {
   pos_ = 8;
 }
 
-void SnapshotReader::fail(const std::string& msg) const {
+void SnapshotReader::fail(const std::string& msg, std::uint16_t tag) const {
   std::ostringstream os;
   os << "snapshot: " << msg;
   if (in_section_) {
-    os << " [section " << hex(cur_id_) << ", offset " << pos_ << "]";
+    os << " [section " << hex(cur_id_) << ", offset " << pos_;
   } else {
-    os << " [offset " << pos_ << "]";
+    os << " [offset " << pos_;
   }
-  throw SnapshotError(os.str());
+  if (tag != 0) os << ", tag " << tag;
+  os << "]";
+  throw SnapshotError(os.str(), SnapshotErrorKind::kCorrupt,
+                      in_section_ ? cur_id_ : 0, tag, pos_);
 }
 
 std::uint32_t SnapshotReader::raw_u32(std::size_t at) const {
@@ -148,12 +156,13 @@ std::uint64_t SnapshotReader::raw_u64(std::size_t at) const {
   return v;
 }
 
-void SnapshotReader::need(std::size_t n, const char* what) {
+void SnapshotReader::need(std::size_t n, const char* what, std::uint16_t tag) {
   const std::size_t limit = in_section_ ? pay_end_ : data_.size();
   if (pos_ + n > limit) {
     fail(std::string("truncated while reading ") + what + " (" +
-         std::to_string(n) + " bytes needed, " + std::to_string(limit - pos_) +
-         " available)");
+             std::to_string(n) + " bytes needed, " +
+             std::to_string(limit - pos_) + " available)",
+         tag);
   }
 }
 
@@ -168,18 +177,31 @@ std::uint32_t SnapshotReader::enter_section(std::uint32_t id) {
   const std::uint64_t len = raw_u64(pos_ + 8);
   const std::uint32_t stored_crc = raw_u32(pos_ + 16);
   if (stored_id != id) {
-    fail("expected section " + hex(id) + " but found " + hex(stored_id));
+    // The structured error names the UNKNOWN section id that was found —
+    // that is what a reader from a different format generation trips over.
+    throw SnapshotError("snapshot: expected section " + hex(id) +
+                            " but found unknown section " + hex(stored_id) +
+                            " [offset " + std::to_string(pos_) + "]",
+                        SnapshotErrorKind::kCorrupt, stored_id, 0, pos_);
   }
   pos_ += 20;
   if (pos_ + len > data_.size()) {
-    fail("section " + hex(id) + " payload truncated (" + std::to_string(len) +
-         " bytes declared, " + std::to_string(data_.size() - pos_) +
-         " available)");
+    throw SnapshotError("snapshot: section " + hex(id) +
+                            " frame truncated (" + std::to_string(len) +
+                            " payload bytes declared, " +
+                            std::to_string(data_.size() - pos_) +
+                            " available) [offset " + std::to_string(pos_) +
+                            "]",
+                        SnapshotErrorKind::kCorrupt, id, 0, pos_);
   }
   const std::uint32_t actual_crc = crc32c(data_.data() + pos_, len);
   if (actual_crc != stored_crc) {
-    fail("section " + hex(id) + " CRC mismatch (stored " + hex(stored_crc) +
-         ", computed " + hex(actual_crc) + ") — checkpoint is corrupt");
+    throw SnapshotError("snapshot: section " + hex(id) +
+                            " CRC mismatch (stored " + hex(stored_crc) +
+                            ", computed " + hex(actual_crc) +
+                            ") — checkpoint is corrupt [offset " +
+                            std::to_string(pos_) + "]",
+                        SnapshotErrorKind::kCorrupt, id, 0, pos_);
   }
   in_section_ = true;
   cur_id_ = id;
@@ -207,11 +229,16 @@ void SnapshotReader::end_section() {
 }
 
 void SnapshotReader::check_tag(std::uint16_t expected) {
-  if (!in_section_) fail("field read outside any section");
+  if (!in_section_) fail("field read outside any section", expected);
   const std::uint16_t actual = raw_u16();
   if (actual != expected) {
+    // An unexpected field tag means the stored layout and this reader
+    // disagree (unknown/reordered field, or corruption the CRC happened to
+    // miss). The structured error carries the tag that was FOUND — that is
+    // the unknown quantity a triage tool wants.
     fail("field tag mismatch: expected " + std::to_string(expected) +
-         ", found " + std::to_string(actual));
+             ", found " + std::to_string(actual),
+         actual);
   }
 }
 
@@ -225,13 +252,13 @@ std::uint16_t SnapshotReader::raw_u16() {
 
 std::uint8_t SnapshotReader::u8(std::uint16_t tag) {
   check_tag(tag);
-  need(1, "u8");
+  need(1, "u8", tag);
   return static_cast<std::uint8_t>(data_[pos_++]);
 }
 
 std::uint32_t SnapshotReader::u32(std::uint16_t tag) {
   check_tag(tag);
-  need(4, "u32");
+  need(4, "u32", tag);
   const std::uint32_t v = raw_u32(pos_);
   pos_ += 4;
   return v;
@@ -239,7 +266,7 @@ std::uint32_t SnapshotReader::u32(std::uint16_t tag) {
 
 std::uint64_t SnapshotReader::u64(std::uint16_t tag) {
   check_tag(tag);
-  need(8, "u64");
+  need(8, "u64", tag);
   const std::uint64_t v = raw_u64(pos_);
   pos_ += 8;
   return v;
@@ -255,10 +282,10 @@ double SnapshotReader::f64(std::uint16_t tag) {
 
 std::string SnapshotReader::str(std::uint16_t tag) {
   check_tag(tag);
-  need(8, "string length");
+  need(8, "string length", tag);
   const std::uint64_t len = raw_u64(pos_);
   pos_ += 8;
-  need(len, "string bytes");
+  need(len, "string bytes", tag);
   std::string s = data_.substr(pos_, len);
   pos_ += len;
   return s;
@@ -266,14 +293,15 @@ std::string SnapshotReader::str(std::uint16_t tag) {
 
 void SnapshotReader::bytes(std::uint16_t tag, void* out, std::size_t len) {
   check_tag(tag);
-  need(8, "bytes length");
+  need(8, "bytes length", tag);
   const std::uint64_t stored = raw_u64(pos_);
   pos_ += 8;
   if (stored != len) {
     fail("fixed byte field length mismatch: expected " + std::to_string(len) +
-         ", stored " + std::to_string(stored));
+             ", stored " + std::to_string(stored),
+         tag);
   }
-  need(len, "byte field");
+  need(len, "byte field", tag);
   std::memcpy(out, data_.data() + pos_, len);
   pos_ += len;
 }
@@ -304,30 +332,40 @@ void load_rng(SnapshotReader& r, std::uint16_t base_tag, Rng& rng) {
 void write_snapshot_file(const std::string& path, std::string_view buffer) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) throw SnapshotError("cannot open " + tmp + " for writing");
+  if (!f) {
+    throw SnapshotError("cannot open " + tmp + " for writing",
+                        SnapshotErrorKind::kIo);
+  }
   const std::size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f);
   const bool flushed = std::fflush(f) == 0;
   std::fclose(f);
   if (written != buffer.size() || !flushed) {
     std::remove(tmp.c_str());
-    throw SnapshotError("short write to " + tmp);
+    throw SnapshotError("short write to " + tmp, SnapshotErrorKind::kIo);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw SnapshotError("cannot rename " + tmp + " to " + path);
+    throw SnapshotError("cannot rename " + tmp + " to " + path,
+                        SnapshotErrorKind::kIo);
   }
 }
 
 std::string read_snapshot_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw SnapshotError("cannot open snapshot file " + path);
+  if (!f) {
+    throw SnapshotError("cannot open snapshot file " + path,
+                        SnapshotErrorKind::kIo);
+  }
   std::string data;
   char buf[1 << 16];
   std::size_t n;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) data.append(buf, n);
   const bool error = std::ferror(f) != 0;
   std::fclose(f);
-  if (error) throw SnapshotError("read error on snapshot file " + path);
+  if (error) {
+    throw SnapshotError("read error on snapshot file " + path,
+                        SnapshotErrorKind::kIo);
+  }
   return data;
 }
 

@@ -32,12 +32,48 @@ namespace odr::snapshot {
 inline constexpr std::uint32_t kMagic = 0x53524f44u;  // "DORS"
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+// Broad classification of a SnapshotError, for the replay-failure
+// taxonomy (analysis/failure_kind.h) and for tooling that routes
+// corruption and audit failures differently.
+enum class SnapshotErrorKind : std::uint8_t {
+  kCorrupt = 0,  // structural: CRC, magic, version, tag, truncation
+  kAudit = 1,    // the invariant auditor rejected a live world
+  kIo = 2,       // file open/read/write/rename failed
+  kUsage = 3,    // API misuse (unbalanced sections, rearm of unknown id)
+};
+
 // Any structural problem with a snapshot: bad magic, version mismatch, CRC
 // failure, tag mismatch, short/trailing payload, unknown event id on rearm.
 // Loading never partially applies: world restore constructs-or-throws.
+//
+// Errors raised by SnapshotReader are structured: kind() says what class
+// of failure this is, and for corruption inside a buffer section()/tag()/
+// offset() pinpoint the frame — the section id being read (0 outside any
+// section), the field tag involved (0 when not a tag problem), and the
+// absolute byte offset the reader had reached. The human-readable what()
+// string repeats all of it.
 class SnapshotError : public std::runtime_error {
  public:
-  explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
+  explicit SnapshotError(const std::string& what,
+                         SnapshotErrorKind kind = SnapshotErrorKind::kCorrupt,
+                         std::uint32_t section = 0, std::uint16_t tag = 0,
+                         std::uint64_t offset = 0)
+      : std::runtime_error(what),
+        kind_(kind),
+        section_(section),
+        tag_(tag),
+        offset_(offset) {}
+
+  SnapshotErrorKind kind() const { return kind_; }
+  std::uint32_t section() const { return section_; }
+  std::uint16_t tag() const { return tag_; }
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  SnapshotErrorKind kind_;
+  std::uint32_t section_;
+  std::uint16_t tag_;
+  std::uint64_t offset_;
 };
 
 class SnapshotWriter {
@@ -105,9 +141,9 @@ class SnapshotReader {
   std::uint16_t raw_u16();
   std::uint32_t raw_u32(std::size_t at) const;
   std::uint64_t raw_u64(std::size_t at) const;
-  void need(std::size_t n, const char* what);
+  void need(std::size_t n, const char* what, std::uint16_t tag = 0);
   void check_tag(std::uint16_t expected);
-  [[noreturn]] void fail(const std::string& msg) const;
+  [[noreturn]] void fail(const std::string& msg, std::uint16_t tag = 0) const;
 
   std::string data_;
   std::size_t pos_ = 0;      // next unread byte (absolute)

@@ -146,8 +146,56 @@ void CloudWorld::on_arrival(std::size_t index) {
 }
 
 std::uint64_t CloudWorld::run(std::uint64_t max_events) {
-  return sim_.run(max_events);
+  const std::uint64_t burn_at = config_.debug_burn_rng_at_event;
+  const std::uint64_t cadence = options_.hash_every_events;
+  if (cadence == 0 && burn_at == 0) {
+    // The default path is the raw engine loop — no chunking, no division,
+    // no allocation. bench/obs_overhead pins this at zero added
+    // allocations relative to the engine itself.
+    return sim_.run(max_events);
+  }
+
+  std::uint64_t done = 0;
+  while (done < max_events) {
+    if (burn_at != 0 && !rng_burned_ && sim_.executed_count() >= burn_at) {
+      // The injected divergence: one extra draw from the cloud's rng
+      // stream at the event boundary after `burn_at` events. The guard
+      // flag (not a counter comparison alone) makes it fire exactly once
+      // even across multiple run() calls.
+      cloud_->debug_burn_rng_draw();
+      rng_burned_ = true;
+    }
+    std::uint64_t chunk = max_events - done;
+    if (cadence != 0) {
+      chunk = std::min(chunk, cadence - sim_.executed_count() % cadence);
+    }
+    if (burn_at != 0 && !rng_burned_) {
+      chunk = std::min(chunk, burn_at - sim_.executed_count());
+    }
+    const std::uint64_t n = sim_.run(chunk);
+    done += n;
+    if (cadence != 0 && n > 0 && sim_.executed_count() % cadence == 0) {
+      record_hash();
+    }
+    if (n < chunk) {
+      // Queue drained. Record the final state so end-of-run hashes are
+      // comparable even when the drain point is off-cadence.
+      if (cadence != 0 && n > 0) record_hash();
+      break;
+    }
+  }
+  return done;
 }
+
+void CloudWorld::record_hash() {
+  const StateHash h = StateHasher::hash(*this);
+  // Dedupe: a drain landing exactly on cadence, or a checkpoint tick
+  // coinciding with an event-count boundary, would otherwise double-record.
+  if (!hashes_.empty() && hashes_.back().executed == h.executed) return;
+  hashes_.push_back(h);
+}
+
+StateHash CloudWorld::hash_now() const { return StateHasher::hash(*this); }
 
 std::size_t CloudWorld::pending_arrival_count() const {
   std::size_t n = 0;
@@ -179,9 +227,10 @@ void CloudWorld::checkpoint_tick() {
         odr_obs->flight().auto_dump(
             obs::FlightRecorder::DumpTrigger::kAuditFailure, problems.front());
       })
-      throw SnapshotError(msg);
+      throw SnapshotError(msg, SnapshotErrorKind::kAudit);
     }
   }
+  if (options_.hash_at_checkpoint) record_hash();
   if (!options_.checkpoint_path.empty()) {
     write_snapshot_file(options_.checkpoint_path, save_to_buffer());
     ++checkpoints_written_;
@@ -219,6 +268,7 @@ std::uint64_t CloudWorld::config_fingerprint() const {
   mix_f(config_.cloud.total_upload_capacity);
   mix(static_cast<std::uint64_t>(config_.warmup_weeks));
   mix_f(config_.net_rate_epsilon);
+  mix(config_.debug_burn_rng_at_event);
   mix(config_.fault_plan.faults.size());
   for (const fault::FaultSpec& s : config_.fault_plan.faults) {
     mix(static_cast<std::uint64_t>(s.kind));
@@ -249,11 +299,22 @@ std::string CloudWorld::save_to_buffer() const {
   w.end_section();
 
   w.begin_section(kSectionFault, kFaultVersion);
-  w.b(kTagHasInjector, injector_.has_value());
-  if (injector_) injector_->save_snapshot(w);
+  save_fault_state(w);
   w.end_section();
 
   w.begin_section(kSectionWorld, kWorldVersion);
+  save_world_state(w);
+  w.end_section();
+
+  return w.take();
+}
+
+void CloudWorld::save_fault_state(SnapshotWriter& w) const {
+  w.b(kTagHasInjector, injector_.has_value());
+  if (injector_) injector_->save_snapshot(w);
+}
+
+void CloudWorld::save_world_state(SnapshotWriter& w) const {
   w.u64(kTagOutcomeCount, outcomes_.size());
   for (const cloud::TaskOutcome& o : outcomes_) save_outcome(w, o);
   w.u64(kTagPendingArrivalCount, pending_arrival_count());
@@ -263,9 +324,6 @@ std::string CloudWorld::save_to_buffer() const {
     w.u64(kTagArrivalEvent, arrival_events_[i]);
   }
   w.u64(kTagCheckpointEvent, checkpoint_event_);
-  w.end_section();
-
-  return w.take();
 }
 
 void CloudWorld::load_from(const std::string& buffer) {
@@ -360,6 +418,13 @@ void CloudWorld::load_from(const std::string& buffer) {
         "world: " + std::to_string(net_.flows_awaiting_callback()) +
         " restored flow(s) never had their completion callback re-attached");
   }
+
+  // The burn flag is not serialized; reconstruct it from the restored
+  // event count. Strictly-greater: a checkpoint taken exactly at the burn
+  // boundary was written before the burn fires (it fires at the next
+  // run()-loop iteration), so the resumed run must still perform it.
+  rng_burned_ = config_.debug_burn_rng_at_event != 0 &&
+                sim_.executed_count() > config_.debug_burn_rng_at_event;
 
   // The observer (if any) survived the restore; resync its clock to the
   // restored simulated time and log the event for crash forensics.

@@ -31,12 +31,15 @@
 #include "fault/injector.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "snapshot/state_hash.h"
 #include "util/units.h"
 #include "workload/catalog.h"
 #include "workload/trace.h"
 #include "workload/user_model.h"
 
 namespace odr::snapshot {
+
+class SnapshotWriter;
 
 struct WorldOptions {
   // Checkpoint file target; empty disables file writes (checkpoint events
@@ -48,6 +51,16 @@ struct WorldOptions {
   // Run the invariant auditor at every checkpoint boundary and throw
   // SnapshotError on any violation.
   bool audit_at_checkpoint = true;
+  // Event-count cadence for in-run state hashing (see state_hash.h):
+  // record a StateHash after every N executed events. 0 (the default)
+  // disables hashing entirely — run() then takes the direct engine path
+  // with zero added allocations and zero behavior change (gated by
+  // bench/obs_overhead).
+  std::uint64_t hash_every_events = 0;
+  // Also record a StateHash at every checkpoint tick (sim-time cadence).
+  // Only meaningful when hashing is on via hash_every_events, or on its
+  // own for coarse sim-time-aligned journals.
+  bool hash_at_checkpoint = false;
 };
 
 class CloudWorld {
@@ -76,6 +89,17 @@ class CloudWorld {
   // perturbs the run it observes.
   std::string save_to_buffer() const;
 
+  // Granular savers for StateHasher (the full checkpoint composes the
+  // same bytes): the fault-injector state and the world-level state
+  // (outcomes, pending arrivals, checkpoint tick).
+  void save_fault_state(SnapshotWriter& w) const;
+  void save_world_state(SnapshotWriter& w) const;
+
+  // StateHashes recorded so far (empty unless hashing is enabled).
+  const std::vector<StateHash>& hashes() const { return hashes_; }
+  // Digest the world right now, independent of cadence.
+  StateHash hash_now() const;
+
   // --- introspection (auditor, tests, harness) ----------------------------
   const sim::Simulator& sim() const { return sim_; }
   const net::Network& net() const { return net_; }
@@ -99,6 +123,7 @@ class CloudWorld {
   void build();
   void on_arrival(std::size_t index);
   void checkpoint_tick();
+  void record_hash();
   void load_from(const std::string& buffer);
   cloud::XuanfengCloud::OutcomeFn outcome_sink();
   std::uint64_t config_fingerprint() const;
@@ -124,6 +149,11 @@ class CloudWorld {
   // Deliberately NOT serialized: a resumed run re-counts from zero, and
   // excluding it keeps baseline and resumed checkpoints byte-comparable.
   std::uint64_t checkpoints_written_ = 0;
+  // In-run state hashes (triage artifacts, never serialized — a restored
+  // run re-hashes from its resume point).
+  std::vector<StateHash> hashes_;
+  // The debug_burn_rng_at_event injection fired (it fires at most once).
+  bool rng_burned_ = false;
 };
 
 }  // namespace odr::snapshot

@@ -48,6 +48,19 @@ TEST(DeterminismTest, SeverePlanMatchesGoldenFingerprint) {
             kSevereFingerprint);
 }
 
+TEST(DeterminismTest, SeverePlanWithHashingMatchesGoldenFingerprint) {
+  // In-run state hashing (the divergence-triage journal) must be a pure
+  // reader: the severe week run WITH a hash cadence reproduces the same
+  // golden fingerprint as the unhashed replay above.
+  snapshot::WorldOptions options;
+  options.hash_every_events = 500;
+  snapshot::CloudWorld world(chaos_config(3), options);
+  world.run();
+  EXPECT_FALSE(world.hashes().empty());
+  EXPECT_EQ(analysis::outcome_fingerprint(world.finalize().outcomes),
+            kSevereFingerprint);
+}
+
 TEST(DeterminismTest, SeverePlanKillAndResumeMatchesGoldenFingerprint) {
   // The same golden value must survive a mid-week kill + restore: the
   // checkpoint subsystem serializes the solver's flow state (including the

@@ -1,0 +1,324 @@
+// Divergence triage: in-run state hashes, the odr.hashes.v1 journal, and
+// the first-divergence bisector (src/snapshot/state_hash.h, bisect.h,
+// src/obs/hash_journal.h; see DESIGN.md §12).
+//
+// The contract under test, end to end: two runs of the same config hash
+// identically at every cadence point; an injected single-event divergence
+// (one extra rng draw, the debug_burn_rng_at_event hook) is localized by
+// the bisector to EXACTLY that event in O(log n) checkpoint comparisons;
+// and turning hashing on never perturbs the simulation — the final world
+// serializes to the same bytes and the calibration monitor produces the
+// same statistics as a hashing-off run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/failure_kind.h"
+#include "analysis/metrics.h"
+#include "analysis/replay.h"
+#include "fault/fault_plan.h"
+#include "obs/hash_journal.h"
+#include "obs/observer.h"
+#include "snapshot/bisect.h"
+#include "snapshot/state_hash.h"
+#include "snapshot/world.h"
+
+namespace odr {
+namespace {
+
+constexpr double kDivisor = 4000.0;
+constexpr std::uint64_t kSeed = 20151028;
+
+analysis::ExperimentConfig config_at(std::uint64_t seed = kSeed) {
+  return analysis::make_scaled_config(kDivisor, seed);
+}
+
+snapshot::WorldOptions world_options(std::uint64_t hash_every = 0) {
+  snapshot::WorldOptions o;
+  o.audit_at_checkpoint = false;
+  o.hash_every_events = hash_every;
+  return o;
+}
+
+std::uint64_t log2_ceil(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  while ((1ull << bits) < n) ++bits;
+  return bits;
+}
+
+// --- StateHasher ----------------------------------------------------------
+
+TEST(StateHashTest, IdenticalRunsHashIdentically) {
+  snapshot::CloudWorld a(config_at(), world_options());
+  snapshot::CloudWorld b(config_at(), world_options());
+  a.run(500);
+  b.run(500);
+  const snapshot::StateHash ha = a.hash_now();
+  const snapshot::StateHash hb = b.hash_now();
+  EXPECT_TRUE(ha == hb);
+  EXPECT_TRUE(snapshot::divergent_subsystems(ha, hb).empty());
+}
+
+TEST(StateHashTest, DifferentSeedsHashDifferently) {
+  snapshot::CloudWorld a(config_at(kSeed), world_options());
+  snapshot::CloudWorld b(config_at(kSeed + 1), world_options());
+  a.run(500);
+  b.run(500);
+  const snapshot::StateHash ha = a.hash_now();
+  const snapshot::StateHash hb = b.hash_now();
+  EXPECT_FALSE(ha == hb);
+  EXPECT_FALSE(snapshot::divergent_subsystems(ha, hb).empty());
+}
+
+TEST(StateHashTest, HashAdvancesWithTheWorld) {
+  snapshot::CloudWorld w(config_at(), world_options());
+  w.run(200);
+  const snapshot::StateHash h1 = w.hash_now();
+  w.run(200);
+  const snapshot::StateHash h2 = w.hash_now();
+  EXPECT_FALSE(h1 == h2);
+  EXPECT_GT(h2.executed, h1.executed);
+}
+
+TEST(StateHashTest, CadenceRecordsOnePerBoundary) {
+  snapshot::CloudWorld w(config_at(), world_options(250));
+  const std::uint64_t total = w.run();
+  ASSERT_GT(total, 1000u);
+  const auto& hashes = w.hashes();
+  // One record per full cadence boundary plus the end-of-run record (which
+  // dedupes if the drain lands exactly on a boundary).
+  ASSERT_GE(hashes.size(), total / 250);
+  for (std::size_t i = 0; i + 1 < hashes.size(); ++i) {
+    EXPECT_LT(hashes[i].executed, hashes[i + 1].executed);
+    if (i + 2 < hashes.size()) {
+      EXPECT_EQ(hashes[i + 1].executed - hashes[i].executed, 250u);
+    }
+  }
+  // Sub-hash layout: every record carries the full subsystem array and a
+  // combined digest that recomputes from it.
+  for (const auto& h : hashes) {
+    EXPECT_EQ(h.combined, snapshot::combine_sub_hashes(h.sub));
+  }
+}
+
+// --- odr.hashes.v1 journal ------------------------------------------------
+
+obs::HashJournal sample_journal() {
+  snapshot::CloudWorld w(config_at(), world_options(500));
+  w.run();
+  obs::HashJournal j;
+  j.cadence_events = 500;
+  j.seed = kSeed;
+  j.records = w.hashes();
+  return j;
+}
+
+TEST(HashJournalTest, RoundTripsThroughText) {
+  const obs::HashJournal j = sample_journal();
+  ASSERT_FALSE(j.records.empty());
+  const obs::HashJournal back = obs::HashJournal::from_text(j.to_text());
+  EXPECT_EQ(back.cadence_events, j.cadence_events);
+  EXPECT_EQ(back.seed, j.seed);
+  ASSERT_EQ(back.records.size(), j.records.size());
+  for (std::size_t i = 0; i < j.records.size(); ++i) {
+    EXPECT_TRUE(back.records[i] == j.records[i]) << "record " << i;
+  }
+}
+
+TEST(HashJournalTest, ParserRejectsTampering) {
+  const std::string text = sample_journal().to_text();
+  // Truncated mid-record.
+  EXPECT_THROW(obs::HashJournal::from_text(text.substr(0, text.size() - 10)),
+               obs::HashJournalError);
+  // Unknown / renamed key.
+  std::string renamed = text;
+  const auto pos = renamed.find("\"executed\"");
+  ASSERT_NE(pos, std::string::npos);
+  renamed.replace(pos, 10, "\"exeKuted\"");
+  EXPECT_THROW(obs::HashJournal::from_text(renamed), obs::HashJournalError);
+  // A flipped digit in a sub-hash breaks the combined-digest cross-check.
+  std::string flipped = text;
+  const auto sub = flipped.find("\"sub\":[\"0x");
+  ASSERT_NE(sub, std::string::npos);
+  char& digit = flipped[sub + 10];
+  digit = digit == 'f' ? '0' : 'f';
+  EXPECT_THROW(obs::HashJournal::from_text(flipped), obs::HashJournalError);
+}
+
+// --- bisector -------------------------------------------------------------
+
+TEST(BisectTest, IdenticalConfigsAreIdenticalInOneComparison) {
+  const auto report = snapshot::bisect_divergence(config_at(), config_at());
+  EXPECT_FALSE(report.diverged);
+  EXPECT_EQ(report.kind, analysis::DivergenceKind::kNone);
+  EXPECT_EQ(report.hash_comparisons, 1u);
+}
+
+TEST(BisectTest, PinsAnInjectedBurnToTheExactEvent) {
+  const analysis::ExperimentConfig clean = config_at();
+
+  std::uint64_t total = 0;
+  {
+    snapshot::CloudWorld w(clean, world_options());
+    total = w.run();
+  }
+  const std::uint64_t burn_at = total * 2 / 5;
+  ASSERT_GT(burn_at, 0u);
+
+  SimTime expected_time = 0;
+  std::uint64_t expected_seq = 0;
+  {
+    snapshot::CloudWorld w(clean, world_options());
+    w.run(burn_at + 1);
+    expected_time = w.sim().last_event_time();
+    expected_seq = w.sim().last_event_seq();
+  }
+
+  analysis::ExperimentConfig burned = clean;
+  burned.debug_burn_rng_at_event = burn_at;
+
+  snapshot::BisectOptions options;
+  options.hash_every_events = 400;
+  const auto report = snapshot::bisect_divergence(clean, burned, options);
+
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.kind, analysis::DivergenceKind::kHashMismatch);
+  EXPECT_EQ(report.first_divergent_event, burn_at + 1);
+  EXPECT_EQ(report.event_time, expected_time);
+  EXPECT_EQ(report.event_seq, expected_seq);
+  // The burn perturbs the generator first; whatever else the divergent
+  // event touches, rng leads the subsystem list.
+  ASSERT_FALSE(report.subsystems.empty());
+  EXPECT_EQ(report.subsystems.front(), snapshot::Subsystem::kRng);
+  // O(log n): one probe of the last record plus the binary search.
+  EXPECT_LE(report.hash_comparisons, 1 + log2_ceil(report.journal_records));
+}
+
+TEST(BisectTest, JournalModeMatchesLiveMode) {
+  const analysis::ExperimentConfig clean = config_at();
+  std::uint64_t total = 0;
+  obs::HashJournal recorded;
+  {
+    snapshot::CloudWorld w(clean, world_options(400));
+    total = w.run();
+    recorded.cadence_events = 400;
+    recorded.seed = clean.seed;
+    recorded.records = w.hashes();
+  }
+  analysis::ExperimentConfig burned = clean;
+  burned.debug_burn_rng_at_event = total / 2;
+
+  // Live side A carries the burn; side B is the clean recorded journal.
+  const auto report =
+      snapshot::bisect_against_journal(burned, clean, recorded);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_EQ(report.kind, analysis::DivergenceKind::kHashMismatch);
+  EXPECT_EQ(report.first_divergent_event, total / 2 + 1);
+  ASSERT_FALSE(report.subsystems.empty());
+  EXPECT_EQ(report.subsystems.front(), snapshot::Subsystem::kRng);
+}
+
+TEST(BisectTest, SafetyLimitIsInconclusiveNotIdentical) {
+  snapshot::BisectOptions options;
+  options.hash_every_events = 100;
+  options.max_events = 300;
+  const auto report =
+      snapshot::bisect_divergence(config_at(), config_at(), options);
+  EXPECT_FALSE(report.diverged);
+  EXPECT_EQ(report.kind, analysis::DivergenceKind::kSafetyLimit);
+}
+
+// --- taxonomy -------------------------------------------------------------
+
+TEST(FailureKindTest, NamesAreStable) {
+  using analysis::ReplayFailureKind;
+  EXPECT_EQ(analysis::replay_failure_kind_name(ReplayFailureKind::kNone),
+            "None");
+  EXPECT_EQ(
+      analysis::replay_failure_kind_name(ReplayFailureKind::kHashMismatch),
+      "HashMismatch");
+  EXPECT_EQ(analysis::replay_failure_kind_name(
+                ReplayFailureKind::kFingerprintMismatch),
+            "FingerprintMismatch");
+  EXPECT_EQ(
+      analysis::replay_failure_kind_name(ReplayFailureKind::kSnapshotCorrupt),
+      "SnapshotCorrupt");
+  EXPECT_EQ(
+      analysis::replay_failure_kind_name(ReplayFailureKind::kSafetyLimit),
+      "SafetyLimit");
+  EXPECT_EQ(
+      analysis::replay_failure_kind_name(ReplayFailureKind::kAuditFailure),
+      "AuditFailure");
+}
+
+TEST(FailureKindTest, ClassifiesExceptions) {
+  using analysis::ReplayFailureKind;
+  const snapshot::SnapshotError corrupt(
+      "bad frame", snapshot::SnapshotErrorKind::kCorrupt, 3, 0, 42);
+  EXPECT_EQ(analysis::classify_replay_failure(corrupt),
+            ReplayFailureKind::kSnapshotCorrupt);
+  const snapshot::SnapshotError audit("invariant violated",
+                                      snapshot::SnapshotErrorKind::kAudit);
+  EXPECT_EQ(analysis::classify_replay_failure(audit),
+            ReplayFailureKind::kAuditFailure);
+  const std::runtime_error other("model blew up");
+  EXPECT_EQ(analysis::classify_replay_failure(other),
+            ReplayFailureKind::kReplicateException);
+}
+
+// --- hashing transparency -------------------------------------------------
+
+TEST(HashingTransparencyTest, FinalWorldBytesAreUnchanged) {
+  analysis::ExperimentConfig cfg = config_at();
+  cfg.cloud.degraded_admission = true;
+  cfg.fault_plan = fault::make_chaos_plan(3);
+
+  snapshot::CloudWorld off(cfg, world_options(0));
+  snapshot::CloudWorld on(cfg, world_options(500));
+  off.run();
+  on.run();
+  EXPECT_FALSE(on.hashes().empty());
+  EXPECT_TRUE(off.hashes().empty());
+  EXPECT_EQ(off.save_to_buffer(), on.save_to_buffer());
+  EXPECT_EQ(analysis::outcome_fingerprint(off.finalize().outcomes),
+            analysis::outcome_fingerprint(on.finalize().outcomes));
+}
+
+TEST(HashingTransparencyTest, CalibrationStatisticsAreUnchanged) {
+  analysis::ExperimentConfig cfg = config_at();
+  cfg.cloud.degraded_admission = true;
+
+  auto run_with = [&](std::uint64_t cadence) {
+    obs::ObsConfig ocfg;
+    ocfg.tracing = false;
+    ocfg.dump_on_fault_fired = false;
+    ocfg.spans = true;
+    ocfg.calibration = true;
+    obs::ScopedObserver scoped(ocfg);
+    snapshot::CloudWorld w(cfg, world_options(cadence));
+    w.run();
+    return scoped->calibration()->report();
+  };
+
+  const obs::CalibrationReport off = run_with(0);
+  const obs::CalibrationReport on = run_with(500);
+  EXPECT_EQ(on.gated_total, off.gated_total);
+  EXPECT_EQ(on.gated_pass, off.gated_pass);
+  ASSERT_EQ(on.rows.size(), off.rows.size());
+  for (std::size_t i = 0; i < off.rows.size(); ++i) {
+    EXPECT_EQ(on.rows[i].spec.key, off.rows[i].spec.key);
+    // Bit-exact, not approximately equal: hashing must not reorder or
+    // perturb a single sample.
+    EXPECT_EQ(on.rows[i].estimate, off.rows[i].estimate)
+        << off.rows[i].spec.key;
+    EXPECT_EQ(on.rows[i].samples, off.rows[i].samples) << off.rows[i].spec.key;
+    EXPECT_EQ(static_cast<int>(on.rows[i].status),
+              static_cast<int>(off.rows[i].status))
+        << off.rows[i].spec.key;
+  }
+}
+
+}  // namespace
+}  // namespace odr

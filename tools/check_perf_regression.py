@@ -35,7 +35,7 @@ def main() -> int:
     reference = {str(k): float(v)
                  for k, v in baseline["exact_wall_seconds"].items()}
 
-    checked = 0
+    checked = set()
     failures = []
     for run in results.get("runs", []):
         if run.get("mode") != "exact":
@@ -43,7 +43,7 @@ def main() -> int:
         key = "%g" % run["divisor"]
         if key not in reference:
             continue
-        checked += 1
+        checked.add(key)
         wall = float(run["wall_seconds"])
         ref = reference[key]
         ratio = wall / ref if ref > 0 else float("inf")
@@ -53,7 +53,17 @@ def main() -> int:
         if ratio > max_ratio:
             failures.append(key)
 
-    if checked == 0:
+    # Every baseline divisor must have been measured: a silently-skipped
+    # key would let a bench config change (or a renamed divisor) disable
+    # the gate without anyone noticing.
+    missing = sorted(set(reference) - checked, key=float)
+    for key in missing:
+        print(f"error: baseline divisor {key} has no exact-mode run in "
+              f"{args.results} — measured run missing or renamed",
+              file=sys.stderr)
+    if missing:
+        return 1
+    if not checked:
         print("error: no exact-mode runs matched the baseline divisors",
               file=sys.stderr)
         return 1
@@ -61,7 +71,8 @@ def main() -> int:
         print(f"perf regression at divisor(s): {', '.join(failures)}",
               file=sys.stderr)
         return 1
-    print(f"perf smoke: {checked} divisor(s) within {max_ratio:.1f}x of baseline")
+    print(f"perf smoke: {len(checked)} divisor(s) within "
+          f"{max_ratio:.1f}x of baseline")
     return 0
 
 

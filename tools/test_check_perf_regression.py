@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Self-test for check_perf_regression.py (stdlib only, run by CI).
+
+Exercises the gate's four verdicts against synthetic JSON: clean pass,
+regression, a baseline divisor with no measured run (the silent-skip bug
+this guards against), and an empty intersection.
+
+Usage:
+  python3 tools/test_check_perf_regression.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GATE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "check_perf_regression.py")
+
+
+def run_gate(baseline, results):
+    """Writes the two dicts to temp files and runs the gate on them."""
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "baseline.json")
+        rpath = os.path.join(tmp, "results.json")
+        with open(bpath, "w", encoding="utf-8") as f:
+            json.dump(baseline, f)
+        with open(rpath, "w", encoding="utf-8") as f:
+            json.dump(results, f)
+        return subprocess.run(
+            [sys.executable, GATE, "--baseline", bpath, "--results", rpath],
+            capture_output=True, text=True)
+
+
+def baseline(divisors, max_ratio=2.0):
+    return {"max_ratio": max_ratio,
+            "exact_wall_seconds": {k: v for k, v in divisors.items()}}
+
+
+def results(runs):
+    return {"runs": [{"mode": mode, "divisor": d, "wall_seconds": w}
+                     for mode, d, w in runs]}
+
+
+class CheckPerfRegressionTest(unittest.TestCase):
+    def test_within_budget_passes(self):
+        proc = run_gate(baseline({"400": 10.0, "100": 40.0}),
+                        results([("exact", 400, 12.0), ("exact", 100, 50.0)]))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("2 divisor(s) within", proc.stdout)
+
+    def test_regression_fails_naming_divisor(self):
+        proc = run_gate(baseline({"400": 10.0}),
+                        results([("exact", 400, 25.0)]))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REGRESSED", proc.stdout)
+        self.assertIn("400", proc.stderr)
+
+    def test_missing_baseline_key_fails_per_key(self):
+        # divisor 100 is in the baseline but was never measured; the gate
+        # must fail and name it instead of silently checking less.
+        proc = run_gate(baseline({"400": 10.0, "100": 40.0}),
+                        results([("exact", 400, 10.0)]))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("baseline divisor 100 has no exact-mode run",
+                      proc.stderr)
+
+    def test_every_missing_key_is_named(self):
+        proc = run_gate(baseline({"400": 10.0, "100": 40.0, "50": 90.0}),
+                        results([("exact", 400, 10.0)]))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("baseline divisor 50 ", proc.stderr)
+        self.assertIn("baseline divisor 100 ", proc.stderr)
+
+    def test_no_overlap_fails(self):
+        proc = run_gate(baseline({"400": 10.0}),
+                        results([("approx", 400, 5.0)]))
+        self.assertEqual(proc.returncode, 1)
+
+    def test_non_baseline_measurements_are_ignored(self):
+        proc = run_gate(baseline({"400": 10.0}),
+                        results([("exact", 400, 10.0), ("exact", 800, 1.0)]))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
