@@ -20,8 +20,10 @@
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "analysis/report.h"
+#include "core/strategy.h"
 #include "fault/fault_plan.h"
 #include "obs/observer.h"
+#include "proto/protocol.h"
 #include "run/parallel_runner.h"
 #include "util/args.h"
 #include "util/json.h"
@@ -109,6 +111,87 @@ RunResult run_once(double divisor, std::uint64_t seed, int plan_level,
   return r;
 }
 
+// --- hedged family -----------------------------------------------------------
+//
+// The same chaos plans again, but routed by HedgedFetch through the full
+// §6 executor testbed (cloud + smart APs + direct), with circuit breakers
+// on and every speculative clone charged to the shared retry/hedge
+// budget. The severe plan is the acceptance scenario: every task must
+// settle with a classified outcome — a failure surfacing the internal
+// kAborted loser-cancel cause (or no cause at all) is a hedging bug, not
+// an infrastructure fault — and the week must be deterministic across
+// reruns even though every hedged pair races two backends.
+struct HedgedMetrics {
+  std::string label;
+  std::size_t tasks = 0;
+  double e2e_failure = 0.0;  // task did not end in success
+  std::uint64_t pairs = 0;
+  std::uint64_t secondary_wins = 0;
+  std::uint64_t both_failed = 0;
+  std::uint64_t budget_denied = 0;
+  std::uint64_t cancelled_clones = 0;
+  double wasted_gb = 0.0;
+  std::uint64_t vm_budget_denied = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t unclassified = 0;  // failed outcomes without a usable cause
+  std::uint64_t fingerprint = 0;   // analysis::exec_outcome_fingerprint
+};
+
+struct HedgedResult {
+  HedgedMetrics m;
+  obs::Registry metrics;
+};
+
+HedgedResult run_hedged_once(double divisor, std::uint64_t seed,
+                             int plan_level, const std::string& label) {
+  obs::ObsConfig run_obs;
+  run_obs.tracing = false;
+  run_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver obs(run_obs);
+
+  analysis::StrategyReplayConfig config;
+  config.experiment = analysis::make_scaled_config(divisor, seed);
+  config.experiment.cloud.degraded_admission = true;
+  config.experiment.cloud.retry_budget_enabled = true;
+  config.experiment.fault_plan = fault::make_chaos_plan(plan_level);
+  config.strategy = core::Strategy::kHedged;
+  config.use_circuit_breakers = true;
+
+  const analysis::StrategyReplayResult result =
+      analysis::run_strategy_replay(config);
+
+  HedgedMetrics m;
+  m.label = label;
+  m.tasks = result.outcomes.size();
+  std::size_t failures = 0;
+  for (const auto& o : result.outcomes) {
+    if (o.success) continue;
+    ++failures;
+    if (o.cause == proto::FailureCause::kNone ||
+        o.cause == proto::FailureCause::kAborted) {
+      ++m.unclassified;
+    }
+  }
+  const double n = static_cast<double>(m.tasks);
+  m.e2e_failure = n > 0 ? static_cast<double>(failures) / n : 0.0;
+  m.pairs = result.hedge_pairs;
+  m.secondary_wins = result.hedge_secondary_wins;
+  m.both_failed = result.hedge_both_failed;
+  m.budget_denied = result.hedge_budget_denied;
+  m.cancelled_clones = result.hedge_cancelled_clones;
+  m.wasted_gb = static_cast<double>(result.hedge_wasted_bytes) / 1e9;
+  m.vm_budget_denied = result.vm_retry_budget_denied;
+  m.reroutes = result.reroutes;
+  m.faults_fired = result.faults_fired;
+  m.fingerprint = analysis::exec_outcome_fingerprint(result.outcomes);
+
+  HedgedResult r;
+  r.m = std::move(m);
+  r.metrics = obs->metrics();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,23 +236,27 @@ int main(int argc, char** argv) {
   }
   // Settled, not rethrowing: a plan that dies mid-replay is reported with
   // its failure-kind name instead of aborting the whole matrix unlabeled.
-  auto settled = run::run_parallel_settled(std::move(jobs));
-  int failed_plans = 0;
-  for (std::size_t i = 0; i < settled.size(); ++i) {
-    if (settled[i].ok()) continue;
-    ++failed_plans;
+  const auto report_settled_failure = [](const char* label,
+                                         std::exception_ptr error) {
     auto kind = analysis::ReplayFailureKind::kUnknown;
     std::string what = "unknown exception";
     try {
-      std::rethrow_exception(settled[i].error);
+      std::rethrow_exception(error);
     } catch (const std::exception& e) {
       kind = analysis::classify_replay_failure(e);
       what = e.what();
     } catch (...) {
     }
     const auto name = analysis::replay_failure_kind_name(kind);
-    std::fprintf(stderr, "plan FAILED: %s: [%.*s] %s\n", kPlans[i].label,
+    std::fprintf(stderr, "plan FAILED: %s: [%.*s] %s\n", label,
                  static_cast<int>(name.size()), name.data(), what.c_str());
+  };
+  auto settled = run::run_parallel_settled(std::move(jobs));
+  int failed_plans = 0;
+  for (std::size_t i = 0; i < settled.size(); ++i) {
+    if (settled[i].ok()) continue;
+    ++failed_plans;
+    report_settled_failure(kPlans[i].label, settled[i].error);
   }
   if (failed_plans > 0) {
     std::fprintf(stderr, "chaos_week: %d of %zu replay(s) failed\n",
@@ -180,6 +267,38 @@ int main(int argc, char** argv) {
   all.reserve(settled.size());
   for (auto& s : settled) all.push_back(std::move(*s.value));
   for (const RunResult& r : all) bench->metrics().merge_from(r.metrics);
+
+  // The hedged family: the same plans with HedgedFetch on (plus a severe
+  // rerun for determinism). A second batch rather than one mixed batch
+  // only because the result types differ; each job still installs its own
+  // thread-local observer.
+  std::vector<std::function<HedgedResult()>> hedged_jobs;
+  for (const auto& p : kPlans) {
+    const int level = p.level;
+    const std::string label = p.label;
+    hedged_jobs.push_back([divisor, seed, level, label] {
+      return run_hedged_once(divisor, seed, level, label);
+    });
+  }
+  auto hedged_settled = run::run_parallel_settled(std::move(hedged_jobs));
+  int hedged_failed_plans = 0;
+  for (std::size_t i = 0; i < hedged_settled.size(); ++i) {
+    if (hedged_settled[i].ok()) continue;
+    ++hedged_failed_plans;
+    report_settled_failure((std::string("hedged/") + kPlans[i].label).c_str(),
+                           hedged_settled[i].error);
+  }
+  if (hedged_failed_plans > 0) {
+    std::fprintf(stderr, "chaos_week: %d of %zu hedged replay(s) failed\n",
+                 hedged_failed_plans, hedged_settled.size());
+    return 1;
+  }
+  std::vector<HedgedResult> hedged_all;
+  hedged_all.reserve(hedged_settled.size());
+  for (auto& s : hedged_settled) hedged_all.push_back(std::move(*s.value));
+  for (const HedgedResult& r : hedged_all) {
+    bench->metrics().merge_from(r.metrics);
+  }
 
   std::vector<RunMetrics> runs;
   for (std::size_t i = 0; i + 1 < all.size(); ++i) runs.push_back(all[i].m);
@@ -209,6 +328,30 @@ int main(int argc, char** argv) {
   std::fputs(analysis::calibration_table(baseline_calibration).c_str(),
              stdout);
 
+  std::vector<HedgedMetrics> hedged_runs;
+  for (std::size_t i = 0; i + 1 < hedged_all.size(); ++i) {
+    hedged_runs.push_back(hedged_all[i].m);
+  }
+  const HedgedMetrics hedged_rerun = hedged_all.back().m;
+  TextTable hedged_table({"plan", "e2e fail", "pairs", "2nd wins",
+                          "both-fail", "budget denied", "cancelled",
+                          "wasted (GB)", "vm denied", "reroutes", "faults",
+                          "unclassified"});
+  for (const auto& m : hedged_runs) {
+    hedged_table.add_row(
+        {m.label, TextTable::pct(m.e2e_failure), std::to_string(m.pairs),
+         std::to_string(m.secondary_wins), std::to_string(m.both_failed),
+         std::to_string(m.budget_denied), std::to_string(m.cancelled_clones),
+         TextTable::num(m.wasted_gb, 2), std::to_string(m.vm_budget_denied),
+         std::to_string(m.reroutes), std::to_string(m.faults_fired),
+         std::to_string(m.unclassified)});
+  }
+  std::fputs(banner("HedgedFetch under the same plans (breakers on, "
+                    "shared retry/hedge budget on)")
+                 .c_str(),
+             stdout);
+  std::fputs(hedged_table.render().c_str(), stdout);
+
   // --- acceptance checks on the severe plan --------------------------------
   const RunMetrics& severe = runs.back();
   const bool failure_ok = severe.e2e_failure <= 2.0 * base.e2e_failure;
@@ -235,7 +378,34 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(severe.fingerprint));
   }
 
-  const bool pass = failure_ok && hp_ok && deterministic;
+  // --- acceptance checks on the hedged family ------------------------------
+  std::uint64_t hedged_unclassified = 0;
+  for (const auto& m : hedged_runs) hedged_unclassified += m.unclassified;
+  const bool hedged_classified = hedged_unclassified == 0;
+  const HedgedMetrics& hedged_severe = hedged_runs.back();
+  const bool hedged_deterministic =
+      hedged_severe.fingerprint == hedged_rerun.fingerprint;
+  std::printf("acceptance: hedged plans settle every task classified: %s "
+              "(%llu unclassified)\n",
+              hedged_classified ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(hedged_unclassified));
+  std::printf("acceptance: deterministic hedged severe re-run (fingerprint "
+              "%016llx): %s\n",
+              static_cast<unsigned long long>(hedged_severe.fingerprint),
+              hedged_deterministic ? "PASS" : "FAIL");
+  if (!hedged_deterministic) {
+    const auto name = analysis::replay_failure_kind_name(
+        analysis::ReplayFailureKind::kFingerprintMismatch);
+    std::fprintf(stderr,
+                 "chaos_week: [%.*s] hedged severe rerun produced "
+                 "fingerprint %016llx, expected %016llx\n",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(hedged_rerun.fingerprint),
+                 static_cast<unsigned long long>(hedged_severe.fingerprint));
+  }
+
+  const bool pass = failure_ok && hp_ok && deterministic &&
+                    hedged_classified && hedged_deterministic;
   if (!pass) {
     bench->flight().auto_dump(obs::FlightRecorder::DumpTrigger::kBenchAbort,
                               "chaos_week acceptance failed");
@@ -269,11 +439,36 @@ int main(int argc, char** argv) {
           .end_object();
     }
     j.end_array();
+    j.key("hedged_plans").begin_array();
+    for (const auto& m : hedged_runs) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(m.fingerprint));
+      j.begin_object()
+          .field("label", m.label)
+          .field("tasks", static_cast<std::uint64_t>(m.tasks))
+          .field("e2e_failure", m.e2e_failure)
+          .field("hedge_pairs", m.pairs)
+          .field("hedge_secondary_wins", m.secondary_wins)
+          .field("hedge_both_failed", m.both_failed)
+          .field("hedge_budget_denied", m.budget_denied)
+          .field("hedge_cancelled_clones", m.cancelled_clones)
+          .field("hedge_wasted_gb", m.wasted_gb)
+          .field("vm_retry_budget_denied", m.vm_budget_denied)
+          .field("reroutes", m.reroutes)
+          .field("faults_fired", m.faults_fired)
+          .field("unclassified_failures", m.unclassified)
+          .field("fingerprint", std::string(fp))
+          .end_object();
+    }
+    j.end_array();
     j.key("acceptance")
         .begin_object()
         .field("e2e_failure_within_2x", failure_ok)
         .field("zero_highly_popular_rejections", hp_ok)
         .field("deterministic_rerun", deterministic)
+        .field("hedged_zero_unclassified", hedged_classified)
+        .field("hedged_deterministic_rerun", hedged_deterministic)
         .end_object();
     // Informational fault-free calibration snapshot (never gates the bench:
     // chaos plans themselves are allowed to drift the marginals).

@@ -26,6 +26,27 @@ std::uint64_t outcome_fingerprint(
   return h;
 }
 
+std::uint64_t exec_outcome_fingerprint(
+    const std::vector<core::ExecOutcome>& outcomes) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const auto& o : outcomes) {
+    mix(o.task_id);
+    mix(static_cast<std::uint64_t>(o.route));
+    mix(static_cast<std::uint64_t>(o.success));
+    mix(static_cast<std::uint64_t>(o.cause));
+    mix(static_cast<std::uint64_t>(o.rejected));
+    mix(static_cast<std::uint64_t>(o.ready_time));
+    mix(o.cloud_upload_bytes);
+    mix(static_cast<std::uint64_t>(o.hedged));
+    mix(static_cast<std::uint64_t>(o.hedge_secondary_won));
+  }
+  return h;
+}
+
 SpeedDelayCdfs collect_speed_delay(
     const std::vector<cloud::TaskOutcome>& outcomes) {
   SpeedDelayCdfs out;

@@ -26,6 +26,12 @@ namespace odr::analysis {
 std::uint64_t outcome_fingerprint(
     const std::vector<cloud::TaskOutcome>& outcomes);
 
+// The same FNV-1a idiom over executor outcomes (strategy replays): task
+// id, success/cause/rejection, ready time, fetch bytes/route, and the
+// hedge verdict. Pinned by the hedged-week golden in determinism_test.
+std::uint64_t exec_outcome_fingerprint(
+    const std::vector<core::ExecOutcome>& outcomes);
+
 // --- Fig 8 / Fig 9: speed and delay CDFs -----------------------------------
 
 struct SpeedDelayCdfs {

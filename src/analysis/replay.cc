@@ -460,6 +460,20 @@ StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config) {
     injector->load(config.experiment.fault_plan);
   }
 
+  // HedgedFetch: the coordinator drives request cloning in the executor,
+  // charging every extra clone against the cloud's shared retry/hedge
+  // budget (the same pool VM front-requeue retries draw from). Any other
+  // strategy leaves the executor's hedging hook null — zero extra events,
+  // zero extra rng draws, byte-identical outcomes.
+  std::optional<core::HedgeCoordinator> hedges;
+  if (config.strategy == core::Strategy::kHedged) {
+    core::HedgeConfig hedge_cfg;
+    hedge_cfg.enabled = true;
+    hedges.emplace(hedge_cfg);
+    hedges->set_budget(&cloud.predownloaders().retry_budget());
+    executor.set_hedging(&*hedges);
+  }
+
   StrategyReplayResult result;
   result.outcomes.reserve(requests.size());
 
@@ -522,6 +536,16 @@ StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config) {
   if (cloud_breaker) result.cloud_breaker_openings = cloud_breaker->times_opened();
   if (ap_breaker) result.ap_breaker_openings = ap_breaker->times_opened();
   if (injector) result.faults_fired = injector->total_fired();
+  if (hedges) {
+    result.hedge_pairs = hedges->pairs_launched();
+    result.hedge_primary_wins = hedges->primary_wins();
+    result.hedge_secondary_wins = hedges->secondary_wins();
+    result.hedge_both_failed = hedges->both_failed();
+    result.hedge_budget_denied = hedges->budget_denied();
+    result.hedge_cancelled_clones = hedges->cancelled_clones();
+    result.hedge_wasted_bytes = hedges->wasted_bytes();
+  }
+  result.vm_retry_budget_denied = cloud.predownloaders().retry_budget_denied();
   return result;
 }
 

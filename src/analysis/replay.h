@@ -164,6 +164,16 @@ struct StrategyReplayResult {
   std::uint64_t cloud_breaker_openings = 0;
   std::uint64_t ap_breaker_openings = 0;
   std::uint64_t faults_fired = 0;
+  // Hedging accounting (zero unless strategy == kHedged).
+  std::uint64_t hedge_pairs = 0;
+  std::uint64_t hedge_primary_wins = 0;
+  std::uint64_t hedge_secondary_wins = 0;
+  std::uint64_t hedge_both_failed = 0;
+  std::uint64_t hedge_budget_denied = 0;
+  std::uint64_t hedge_cancelled_clones = 0;
+  Bytes hedge_wasted_bytes = 0;
+  // VM retries shed because the shared retry/hedge budget ran dry.
+  std::uint64_t vm_retry_budget_denied = 0;
 };
 
 StrategyReplayResult run_strategy_replay(const StrategyReplayConfig& config);

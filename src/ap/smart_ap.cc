@@ -56,8 +56,8 @@ SimTime SmartAp::lan_fetch_duration(Bytes bytes, Rng& rng) const {
   return from_seconds(static_cast<double>(bytes) / lan);
 }
 
-void SmartAp::predownload(const workload::FileInfo& file,
-                          Rate rate_restriction, DoneFn done) {
+std::uint64_t SmartAp::predownload(const workload::FileInfo& file,
+                                   Rate rate_restriction, DoneFn done) {
   const std::uint64_t id = next_id_++;
   ODR_COUNT("ap.predownloads.submitted");
   Running r;
@@ -69,9 +69,42 @@ void SmartAp::predownload(const workload::FileInfo& file,
     // The router is down; the request is queued on-disk and started when
     // the reboot completes (the reboot event walks task-less entries).
     tasks_.emplace(id, std::move(r));
-    return;
+    return id;
   }
   start_task(id, std::move(r));
+  return id;
+}
+
+Bytes SmartAp::cancel(std::uint64_t id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return 0;  // already finished: no-op
+  ODR_COUNT("ap.predownloads.cancelled");
+  Running& r = it->second;
+  if (r.task) {
+    // Wasted work: this attempt's bytes plus whatever earlier
+    // crash-interrupted attempts had preserved on disk.
+    const Bytes moved = r.preserved_bytes + r.task->bytes_done();
+    // abort() reports kAborted through on_done(id, ...) synchronously;
+    // on_done buries the task and erases the entry.
+    r.task->abort();
+    return moved;
+  }
+  // Queued behind a reboot (no live task): synthesize the aborted result
+  // with the same crash-stitched fields on_done would have patched in.
+  Running run = std::move(it->second);
+  tasks_.erase(it);
+  proto::DownloadResult result;
+  result.success = false;
+  result.cause = proto::FailureCause::kAborted;
+  result.started_at = run.original_start;
+  result.finished_at = sim_.now();
+  result.file_size = run.file.size;
+  result.bytes_downloaded = run.preserved_bytes;
+  result.traffic_bytes = run.prior_traffic;
+  result.average_rate =
+      average_rate(run.preserved_bytes, sim_.now() - run.original_start);
+  if (run.done) run.done(result);
+  return run.preserved_bytes;
 }
 
 void SmartAp::start_task(std::uint64_t id, Running r) {

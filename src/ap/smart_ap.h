@@ -76,8 +76,16 @@ class SmartAp {
   // Starts a pre-download of `file`, additionally throttled to
   // `rate_restriction` (the replayed user's recorded access bandwidth;
   // pass net::kUnlimitedRate for an unrestricted run as in Table 2).
-  void predownload(const workload::FileInfo& file, Rate rate_restriction,
-                   DoneFn done);
+  // Returns the task id, usable with cancel().
+  std::uint64_t predownload(const workload::FileInfo& file,
+                            Rate rate_restriction, DoneFn done);
+
+  // Component-scoped cancel fast path (hedged loser-cancel): aborts the
+  // pre-download `id` whether it is running or queued behind a reboot.
+  // `done` fires synchronously with FailureCause::kAborted. Returns the
+  // bytes the task had already pulled (wasted work); 0 when the id is not
+  // in flight (already finished: no-op).
+  Bytes cancel(std::uint64_t id);
 
   // Fault-layer hook: the router dies now and reboots after
   // config().reboot_delay, resuming interrupted tasks (see file comment).

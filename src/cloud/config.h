@@ -85,6 +85,19 @@ struct CloudConfig {
   //     preemptively once healthy headroom drops below shed_headroom.
   bool degraded_admission = false;
   double shed_headroom = 0.30;
+
+  // Shared retry/hedge token budget (core::RetryBudget): VM front-requeue
+  // retries and hedged request clones draw from ONE pool, bounding the
+  // load amplification either can cause during an incident. Off by
+  // default — every acquire is granted without touching state, so the
+  // calibrated §4 replays and their golden fingerprints are unchanged.
+  // An exhausted budget degrades the caller to its plain single-attempt
+  // path; it never rejects the underlying task.
+  bool retry_budget_enabled = false;
+  double retry_budget_global_capacity = 256.0;
+  double retry_budget_global_refill_per_hour = 128.0;
+  double retry_budget_per_user_capacity = 8.0;
+  double retry_budget_per_user_refill_per_hour = 4.0;
 };
 
 }  // namespace odr::cloud

@@ -30,7 +30,18 @@ enum : std::uint16_t {
   kTagRetryKey = 41,
   kTagRetryEvent = 42,
   kTagGcEvent = 50,
+  kTagBudgetDenied = 60,
 };
+
+core::RetryBudget::Config budget_config(const CloudConfig& config) {
+  core::RetryBudget::Config b;
+  b.enabled = config.retry_budget_enabled;
+  b.global_capacity = config.retry_budget_global_capacity;
+  b.global_refill_per_hour = config.retry_budget_global_refill_per_hour;
+  b.per_user_capacity = config.retry_budget_per_user_capacity;
+  b.per_user_refill_per_hour = config.retry_budget_per_user_refill_per_hour;
+  return b;
+}
 
 }  // namespace
 
@@ -42,7 +53,8 @@ PreDownloaderPool::PreDownloaderPool(sim::Simulator& sim, net::Network& net,
       net_(net),
       config_(config),
       sources_(sources),
-      rng_(rng.fork()) {}
+      rng_(rng.fork()),
+      retry_budget_(budget_config(config)) {}
 
 void PreDownloaderPool::submit(const workload::FileInfo& file, DoneFn done) {
   Pending pending{file, std::move(done), 0};
@@ -158,20 +170,29 @@ void PreDownloaderPool::on_task_done(std::uint64_t slot,
                      result.started_at, result.finished_at);
   if (!result.success && proto::is_infrastructure_cause(result.cause) &&
       pending.attempt <= config_.predownload_max_retries) {
-    ++retries_;
-    ODR_COUNT("cloud.vm.retries");
-    ODR_SPAN(note_file_retry(pending.file.index));
-    const double factor =
-        std::pow(config_.retry_backoff_factor,
-                 static_cast<double>(pending.attempt - 1));
-    const SimTime backoff = static_cast<SimTime>(
-        static_cast<double>(config_.retry_backoff_base) * factor);
-    const std::uint64_t key = next_retry_++;
-    const sim::EventId event =
-        sim_.schedule_after(backoff, [this, key] { resume_retry(key); });
-    retrying_.emplace(key, Retry{std::move(pending), event});
-    start_next_queued();
-    return;
+    // Every front-requeue retry charges the shared retry/hedge budget; an
+    // exhausted bucket sheds the task through the terminal path below
+    // (counted under retries_exhausted_) instead of spinning.
+    if (retry_budget_.try_acquire_global(sim_.now())) {
+      ++retries_;
+      ODR_COUNT("cloud.vm.retries");
+      ODR_SPAN(note_file_retry(pending.file.index));
+      const double factor =
+          std::pow(config_.retry_backoff_factor,
+                   static_cast<double>(pending.attempt - 1));
+      const SimTime backoff = static_cast<SimTime>(
+          static_cast<double>(config_.retry_backoff_base) * factor);
+      const std::uint64_t key = next_retry_++;
+      const sim::EventId event =
+          sim_.schedule_after(backoff, [this, key] { resume_retry(key); });
+      retrying_.emplace(key, Retry{std::move(pending), event});
+      start_next_queued();
+      return;
+    }
+    ++retry_budget_denied_;
+    ODR_COUNT("cloud.vm.retry_budget_denied");
+    ODR_FLIGHT(kCloud, kWarn, "vm.retry_budget_denied",
+               static_cast<double>(pending.attempt));
   }
 
   if (!result.success && proto::is_infrastructure_cause(result.cause)) {
@@ -245,6 +266,9 @@ void PreDownloaderPool::save(snapshot::SnapshotWriter& w) const {
   // The graveyard's contents are dead objects; only the pending tick (a
   // live event in the checkpointed queue) needs to survive.
   w.u64(kTagGcEvent, gc_event_);
+
+  w.u64(kTagBudgetDenied, retry_budget_denied_);
+  retry_budget_.save(w);
 }
 
 void PreDownloaderPool::load(snapshot::SnapshotReader& r,
@@ -299,6 +323,9 @@ void PreDownloaderPool::load(snapshot::SnapshotReader& r,
   if (gc_event_ != sim::kInvalidEvent) {
     sim_.rearm(gc_event_, [this] { collect_garbage(); });
   }
+
+  retry_budget_denied_ = r.u64(kTagBudgetDenied);
+  retry_budget_.load(r);
 }
 
 }  // namespace odr::cloud

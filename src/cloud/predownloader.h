@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cloud/config.h"
+#include "core/budget.h"
 #include "net/network.h"
 #include "proto/download.h"
 #include "proto/source.h"
@@ -74,6 +75,14 @@ class PreDownloaderPool {
   std::uint64_t crash_count() const { return crashes_; }
   std::uint64_t retry_count() const { return retries_; }
   std::uint64_t retries_exhausted() const { return retries_exhausted_; }
+
+  // The shared retry/hedge token budget (CloudConfig::retry_budget_*).
+  // The pool owns it; the hedging executor draws from the same instance so
+  // retries and clones compete for the same amplification allowance.
+  core::RetryBudget& retry_budget() { return retry_budget_; }
+  const core::RetryBudget& retry_budget() const { return retry_budget_; }
+  // Retries shed because the budget was exhausted (terminal-failure path).
+  std::uint64_t retry_budget_denied() const { return retry_budget_denied_; }
 
   // Simulator events this pool currently owns (audit accounting): one per
   // backoff in flight, one per active task with an armed source tick, plus
@@ -137,6 +146,8 @@ class PreDownloaderPool {
   std::uint64_t retries_ = 0;
   std::uint64_t retries_exhausted_ = 0;
   double corruption_prob_ = 0.0;
+  core::RetryBudget retry_budget_;
+  std::uint64_t retry_budget_denied_ = 0;
 };
 
 }  // namespace odr::cloud

@@ -119,6 +119,21 @@ PreDownloaderPool::DoneFn XuanfengCloud::predownload_callback(
 void XuanfengCloud::submit(const workload::WorkloadRecord& request,
                            const workload::User& user, OutcomeFn on_done) {
   content_db_.record_request(request.file, sim_.now());
+  submit_impl(request, user, std::move(on_done));
+}
+
+void XuanfengCloud::submit_clone(const workload::WorkloadRecord& request,
+                                 const workload::User& user,
+                                 OutcomeFn on_done) {
+  // No record_request: the hedge pair's primary leg already counted this
+  // request, and popularity statistics must see each user request once.
+  ODR_COUNT("cloud.tasks.clones");
+  submit_impl(request, user, std::move(on_done));
+}
+
+void XuanfengCloud::submit_impl(const workload::WorkloadRecord& request,
+                                const workload::User& user,
+                                OutcomeFn on_done) {
   const workload::FileInfo& file = catalog_.file(request.file);
   ODR_COUNT("cloud.tasks.submitted");
   ODR_SPAN(on_submit(request.task_id, sim_.now(), obs::SpanOrigin::kCloud));
@@ -144,6 +159,63 @@ void XuanfengCloud::submit(const workload::WorkloadRecord& request,
   if (!first) return;  // an identical file is already being pre-downloaded
 
   predownloaders_.submit(file, predownload_callback(request.file));
+}
+
+Bytes XuanfengCloud::cancel_task(workload::TaskId id) {
+  // Fetch stage: the task streams from an upload cluster. Tear the flow
+  // down, give its reservation back to the cluster, and report the bytes
+  // it had already moved as wasted work.
+  for (auto it = fetches_.begin(); it != fetches_.end(); ++it) {
+    if (it->second.outcome.task_id != id) continue;
+    const net::FlowId flow = it->first;
+    ActiveFetch fetch = std::move(it->second);
+    fetches_.erase(it);
+    const net::FlowStats stats = net_.flow_stats(flow);
+    net_.cancel_flow(flow);
+    uploads_.release(fetch.plan);
+    ODR_COUNT("cloud.fetches.cancelled");
+    TaskOutcome& outcome = fetch.outcome;
+    outcome.fetch.finish_time = sim_.now();
+    outcome.fetch.acquired_bytes = stats.bytes_done;
+    outcome.fetched = false;
+    outcome.aborted = true;
+    if (fetch.on_done) fetch.on_done(outcome);
+    return stats.bytes_done;
+  }
+  // Waiter stage: detach this task from the shared pre-download. The
+  // inflight_ entry itself stays — other waiters (and the cache admission)
+  // still want the transfer, and a cancelled clone must never un-admit a
+  // file or strand its siblings.
+  for (auto& [file, waiters] : inflight_) {
+    for (auto wit = waiters.begin(); wit != waiters.end(); ++wit) {
+      if (wit->request.task_id != id) continue;
+      Waiter w = std::move(*wit);
+      waiters.erase(wit);
+      ODR_COUNT("cloud.waiters.cancelled");
+      workload::PreDownloadRecord pre;
+      pre.task_id = id;
+      pre.start_time = w.enqueued_at;
+      pre.finish_time = sim_.now();
+      pre.success = false;
+      pre.failure_cause = proto::FailureCause::kAborted;
+      if (w.pre_only) {
+        w.pre_only(pre);
+        return 0;
+      }
+      TaskOutcome outcome;
+      outcome.task_id = id;
+      outcome.pre = pre;
+      outcome.fetched = false;
+      outcome.aborted = true;
+      outcome.weekly_popularity =
+          content_db_.weekly_popularity(w.request.file, sim_.now());
+      outcome.popularity =
+          workload::classify_popularity(outcome.weekly_popularity);
+      if (w.on_done) w.on_done(outcome);
+      return 0;
+    }
+  }
+  return 0;  // already terminal (or never here): cancel is a no-op
 }
 
 void XuanfengCloud::predownload_only(const workload::WorkloadRecord& request,

@@ -51,6 +51,10 @@ struct TaskOutcome {
   workload::PopularityClass popularity = workload::PopularityClass::kUnpopular;
   // True when the fetch ran on a privileged (same-ISP) path.
   bool privileged_path = false;
+  // Cancelled by the caller (hedged loser-cancel). Transient: aborted
+  // outcomes fire synchronously from cancel_task() and never rest in the
+  // active-fetch table, so the flag is not serialized.
+  bool aborted = false;
 };
 
 class XuanfengCloud {
@@ -70,6 +74,24 @@ class XuanfengCloud {
   // a terminal state (fetched, rejected, or pre-download failed).
   void submit(const workload::WorkloadRecord& request,
               const workload::User& user, OutcomeFn on_done);
+
+  // Hedged-clone submission: identical to submit() except the request is
+  // NOT recorded in the content database — the primary leg of the hedge
+  // pair already recorded it, and a speculative clone double-counting the
+  // file would inflate its measured popularity.
+  void submit_clone(const workload::WorkloadRecord& request,
+                    const workload::User& user, OutcomeFn on_done);
+
+  // Component-scoped cancel fast path (hedged loser-cancel): tears down
+  // whatever stage task `id` is in — a waiter attached to an in-flight
+  // pre-download (the shared pre-download itself keeps running for the
+  // benefit of other waiters and the cache: a cancelled clone must never
+  // un-admit a file), or an active user fetch (flow cancelled, upload
+  // reservation released). The task's on_done fires synchronously with an
+  // aborted outcome (pre.failure_cause / TaskOutcome::aborted). Returns
+  // the bytes the cancelled fetch had already moved (wasted work); 0 for
+  // waiter-stage cancels or when the task is not in flight (no-op).
+  Bytes cancel_task(workload::TaskId id);
 
   // Pre-download only (used by ODR's "Cloud pre-download, then decide"
   // branch): stops after stage 3, reporting the pre-download record.
@@ -152,6 +174,8 @@ class XuanfengCloud {
     OutcomeFn on_done;
   };
 
+  void submit_impl(const workload::WorkloadRecord& request,
+                   const workload::User& user, OutcomeFn on_done);
   void on_predownload_done(workload::FileIndex file,
                            const proto::DownloadResult& result);
   void begin_fetch(const workload::WorkloadRecord& request,

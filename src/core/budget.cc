@@ -1,0 +1,111 @@
+#include "core/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "snapshot/format.h"
+
+namespace odr::core {
+namespace {
+
+enum : std::uint16_t {
+  kTagGlobalTokens = 1,
+  kTagGlobalRefilledAt = 2,
+  kTagGranted = 3,
+  kTagDenied = 4,
+  kTagUserCount = 5,
+  kTagUserId = 6,
+  kTagUserTokens = 7,
+  kTagUserRefilledAt = 8,
+};
+
+}  // namespace
+
+RetryBudget::RetryBudget(const Config& config) : config_(config) {
+  global_.tokens = config_.global_capacity;
+}
+
+void RetryBudget::refill(Bucket& bucket, double capacity, double per_hour,
+                         SimTime now) const {
+  if (now <= bucket.refilled_at) return;
+  const double hours = to_seconds(now - bucket.refilled_at) / 3600.0;
+  bucket.tokens = std::min(capacity, bucket.tokens + per_hour * hours);
+  bucket.refilled_at = now;
+}
+
+bool RetryBudget::try_acquire_global(SimTime now) {
+  if (!config_.enabled) return true;
+  refill(global_, config_.global_capacity, config_.global_refill_per_hour,
+         now);
+  if (global_.tokens < 1.0) {
+    ++denied_;
+    return false;
+  }
+  global_.tokens -= 1.0;
+  ++granted_;
+  return true;
+}
+
+bool RetryBudget::try_acquire(std::uint64_t user_id, SimTime now) {
+  if (!config_.enabled) return true;
+  refill(global_, config_.global_capacity, config_.global_refill_per_hour,
+         now);
+  if (global_.tokens < 1.0) {
+    ++denied_;
+    return false;
+  }
+  auto [it, inserted] = users_.try_emplace(user_id);
+  Bucket& user = it->second;
+  if (inserted) {
+    user.tokens = config_.per_user_capacity;
+    user.refilled_at = now;
+  }
+  refill(user, config_.per_user_capacity, config_.per_user_refill_per_hour,
+         now);
+  if (user.tokens < 1.0) {
+    ++denied_;
+    return false;
+  }
+  global_.tokens -= 1.0;
+  user.tokens -= 1.0;
+  ++granted_;
+  return true;
+}
+
+std::uint64_t RetryBudget::global_tokens(SimTime now) {
+  if (!config_.enabled) return ~0ull;
+  refill(global_, config_.global_capacity, config_.global_refill_per_hour,
+         now);
+  return static_cast<std::uint64_t>(std::floor(global_.tokens));
+}
+
+void RetryBudget::save(snapshot::SnapshotWriter& w) const {
+  w.f64(kTagGlobalTokens, global_.tokens);
+  w.i64(kTagGlobalRefilledAt, global_.refilled_at);
+  w.u64(kTagGranted, granted_);
+  w.u64(kTagDenied, denied_);
+  w.u64(kTagUserCount, users_.size());
+  for (const auto& [id, bucket] : users_) {
+    w.u64(kTagUserId, id);
+    w.f64(kTagUserTokens, bucket.tokens);
+    w.i64(kTagUserRefilledAt, bucket.refilled_at);
+  }
+}
+
+void RetryBudget::load(snapshot::SnapshotReader& r) {
+  global_.tokens = r.f64(kTagGlobalTokens);
+  global_.refilled_at = r.i64(kTagGlobalRefilledAt);
+  granted_ = r.u64(kTagGranted);
+  denied_ = r.u64(kTagDenied);
+  users_.clear();
+  const std::uint64_t count = r.u64(kTagUserCount);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t id = r.u64(kTagUserId);
+    Bucket bucket;
+    bucket.tokens = r.f64(kTagUserTokens);
+    bucket.refilled_at = r.i64(kTagUserRefilledAt);
+    users_.emplace(id, bucket);
+  }
+}
+
+}  // namespace odr::core

@@ -1,0 +1,94 @@
+// RetryBudget: a deterministic token bucket shared by every speculative or
+// corrective re-download in the system.
+//
+// Hedged clones (core/executor) and pre-downloader front-requeue retries
+// (cloud/predownloader) both multiply load exactly when the system is
+// least able to absorb it — a faulted week can degenerate into a retry
+// storm where duplicated work crowds out first-attempt traffic. The budget
+// bounds that amplification: every clone launch and every VM retry must
+// acquire a token, and an exhausted bucket degrades the caller to its
+// plain single-attempt path (never a rejection of the underlying task).
+//
+// Two layers of buckets:
+//   - one global bucket bounds system-wide amplification;
+//   - per-user buckets stop a single pathological user (one stuck file
+//     re-requested in a loop) from draining the global pool for everyone.
+// A grant consumes one token from BOTH layers; the per-user layer is
+// skipped for acquisitions with no user identity (VM pool retries serve a
+// file, not a user).
+//
+// Determinism: refill is computed lazily from the simulated clock —
+// tokens = min(capacity, tokens + refill_rate * elapsed) — with no events,
+// no rng draws, and no wall-clock reads, so two replays issue the exact
+// same grant/deny sequence. Disabled (the default) every acquire is
+// granted without touching any state, which keeps pre-budget golden
+// fingerprints byte-identical.
+//
+// The full bucket state (global + per-user, in sorted user order)
+// serializes as tagged fields; see save()/load().
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/units.h"
+
+namespace odr::snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace odr::snapshot
+
+namespace odr::core {
+
+class RetryBudget {
+ public:
+  struct Config {
+    // Disabled: every try_acquire succeeds and no state is touched.
+    bool enabled = false;
+    // Global bucket: capacity (burst) and sustained refill rate.
+    double global_capacity = 256.0;
+    double global_refill_per_hour = 128.0;
+    // Per-user buckets.
+    double per_user_capacity = 8.0;
+    double per_user_refill_per_hour = 4.0;
+  };
+
+  explicit RetryBudget(const Config& config);
+
+  // One token from the global AND the user's bucket; both must have a
+  // whole token or neither is consumed.
+  bool try_acquire(std::uint64_t user_id, SimTime now);
+  // Global bucket only (acquisitions with no user identity).
+  bool try_acquire_global(SimTime now);
+
+  bool enabled() const { return config_.enabled; }
+  std::uint64_t granted() const { return granted_; }
+  std::uint64_t denied() const { return denied_; }
+  // Current whole tokens in the global bucket (refilled to `now`).
+  std::uint64_t global_tokens(SimTime now);
+
+  // --- snapshot support ---------------------------------------------------
+  // Serializes both bucket layers as tagged fields inside the caller's
+  // open section; per-user buckets are written in sorted user order so the
+  // byte stream is independent of insertion history.
+  void save(snapshot::SnapshotWriter& w) const;
+  void load(snapshot::SnapshotReader& r);
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    SimTime refilled_at = 0;
+  };
+
+  void refill(Bucket& bucket, double capacity, double per_hour,
+              SimTime now) const;
+
+  Config config_;
+  Bucket global_;
+  // std::map: deterministic iteration for save().
+  std::map<std::uint64_t, Bucket> users_;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace odr::core

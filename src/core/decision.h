@@ -70,6 +70,11 @@ struct Decision {
   Route route = Route::kCloud;
   // Which bottleneck this decision primarily guards against (0 = none).
   int addressed_bottleneck = 0;
+  // Speculatively clone the task onto a second backend and race the two
+  // (the HedgedFetch strategy); the executor picks the secondary route and
+  // may ignore the request when no disjoint backend or budget is
+  // available.
+  bool hedge = false;
   std::string rationale;
 };
 

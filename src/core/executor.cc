@@ -137,6 +137,25 @@ void Executor::execute(const Decision& decision,
     route = cloud_ok ? Route::kCloud : Route::kUserDevice;
     rerouted = true;
   }
+  if (decision.hedge && hedges_ != nullptr && hedges_->enabled()) {
+    const Route secondary = hedge_secondary_for(route, ap);
+    CircuitBreaker* sec_breaker = uses_cloud(secondary) ? cloud_breaker_
+                                  : secondary == Route::kSmartAp
+                                      ? ap_breaker_
+                                      : nullptr;
+    // Budget first, breaker last: allow() consumes a half-open probe
+    // slot, so it must only be asked when the clone will actually launch
+    // (a leaked slot would wedge the breaker in half-open).
+    if (hedges_->try_charge_clone(request.user_id, sim_.now()) &&
+        (sec_breaker == nullptr || sec_breaker->allow())) {
+      run_hedged(route, secondary, rerouted, request, user, ap,
+                 std::move(done));
+      return;
+    }
+    // Graceful degradation: out of budget, or the secondary substrate is
+    // tripped — fall through to the plain single-path policy.
+    ODR_COUNT("task.hedge.degraded");
+  }
   // Span accounting wraps INSIDE the breaker wrapper, so it sees the
   // final (reroute-patched) outcome and fires before the caller's sink.
   ODR_OBS(if (auto* odr_obs_ = obs::current()) {
@@ -195,6 +214,14 @@ ExecOutcome Executor::from_cloud_outcome(
   e.file_size = request.file_size;
   e.popularity = outcome.popularity;
   e.pre_delay = outcome.pre.finish_time - outcome.pre.start_time;
+  if (outcome.aborted) {
+    // Loser-cancel tore the clone down mid-flight (waiter or fetch stage).
+    e.success = false;
+    e.cause = proto::FailureCause::kAborted;
+    e.ready_time = outcome.pre.success ? outcome.fetch.finish_time
+                                       : outcome.pre.finish_time;
+    return e;
+  }
   if (!outcome.pre.success) {
     e.success = false;
     e.cause = outcome.pre.failure_cause;
@@ -223,20 +250,28 @@ ExecOutcome Executor::from_cloud_outcome(
 }
 
 void Executor::run_cloud(const workload::WorkloadRecord& request,
-                         const workload::User& user, DoneFn done) {
-  cloud_.submit(request, user,
-                [this, request, done = std::move(done)](
-                    const cloud::TaskOutcome& outcome) {
-                  if (done) done(from_cloud_outcome(outcome, request));
-                });
+                         const workload::User& user, DoneFn done,
+                         bool record) {
+  auto cb = [this, request, done = std::move(done)](
+                const cloud::TaskOutcome& outcome) {
+    if (done) done(from_cloud_outcome(outcome, request));
+  };
+  if (record) {
+    cloud_.submit(request, user, std::move(cb));
+  } else {
+    cloud_.submit_clone(request, user, std::move(cb));
+  }
 }
 
-void Executor::run_user_device(const workload::WorkloadRecord& request,
-                               const workload::User& /*user*/, DoneFn done) {
+std::uint64_t Executor::run_user_device(const workload::WorkloadRecord& request,
+                                        const workload::User& /*user*/,
+                                        DoneFn done, bool record) {
   // ODR sits in front of the content database, so requests it redirects
   // away from the cloud still update the popularity statistics. (The user
   // is not consulted: §6.2 testbed downloads run behind the testbed line.)
-  cloud_.content_db().record_request(request.file, sim_.now());
+  // Hedged secondary clones skip the recording: the primary leg already
+  // counted this request.
+  if (record) cloud_.content_db().record_request(request.file, sim_.now());
   const workload::FileInfo& file = catalog_.file(request.file);
   auto source = proto::make_source(file.protocol,
                                    file.expected_weekly_requests, sources_,
@@ -285,6 +320,18 @@ void Executor::run_user_device(const workload::WorkloadRecord& request,
   proto::DownloadTask* raw = task.get();
   direct_tasks_.emplace(id, std::move(task));
   raw->start(rng_);
+  return id;
+}
+
+Bytes Executor::cancel_direct(std::uint64_t id) {
+  auto it = direct_tasks_.find(id);
+  if (it == direct_tasks_.end()) return 0;  // already finished: no-op
+  proto::DownloadTask* task = it->second.get();
+  const Bytes moved = task->bytes_done();
+  // abort() reports kAborted through the task's callback synchronously;
+  // that callback erases the direct_tasks_ entry and defers destruction.
+  task->abort();
+  return moved;
 }
 
 void Executor::finalize_lan_stage(ExecOutcome outcome, odr::ap::SmartAp* ap,
@@ -300,12 +347,13 @@ void Executor::finalize_lan_stage(ExecOutcome outcome, odr::ap::SmartAp* ap,
   if (done) done(outcome);
 }
 
-void Executor::run_smart_ap(const workload::WorkloadRecord& request,
-                            const workload::User& /*user*/,
-                            odr::ap::SmartAp* ap, DoneFn done) {
-  cloud_.content_db().record_request(request.file, sim_.now());
+std::uint64_t Executor::run_smart_ap(const workload::WorkloadRecord& request,
+                                     const workload::User& /*user*/,
+                                     odr::ap::SmartAp* ap, DoneFn done,
+                                     bool record) {
+  if (record) cloud_.content_db().record_request(request.file, sim_.now());
   const workload::FileInfo& file = catalog_.file(request.file);
-  ap->predownload(
+  return ap->predownload(
       file, net::kUnlimitedRate,  // testbed: the AP's own line is the cap
       [this, request, ap, done = std::move(done)](
           const proto::DownloadResult& result) {
@@ -402,6 +450,178 @@ void Executor::run_predownload_first(const workload::WorkloadRecord& request,
               if (done) done(e);
             });
       });
+}
+
+Route Executor::hedge_secondary_for(Route primary, const odr::ap::SmartAp* ap) {
+  // The clone must run on a backend disjoint from the primary's, so one
+  // substrate-wide incident cannot take out both legs of the pair.
+  if (uses_cloud(primary)) {
+    return ap != nullptr ? Route::kSmartAp : Route::kUserDevice;
+  }
+  if (primary == Route::kSmartAp) return Route::kCloud;
+  // kUserDevice primary: stage on the AP when there is one, else the cloud.
+  return ap != nullptr ? Route::kSmartAp : Route::kCloud;
+}
+
+std::function<Bytes()> Executor::launch_clone(
+    Route route, const workload::WorkloadRecord& request,
+    const workload::User& user, odr::ap::SmartAp* ap, DoneFn done,
+    bool record) {
+  switch (route) {
+    case Route::kCloud:
+      run_cloud(request, user, std::move(done), record);
+      return [this, id = request.task_id] { return cloud_.cancel_task(id); };
+    case Route::kUserDevice: {
+      const std::uint64_t id =
+          run_user_device(request, user, std::move(done), record);
+      return [this, id] { return cancel_direct(id); };
+    }
+    case Route::kSmartAp: {
+      assert(ap != nullptr);
+      const std::uint64_t id =
+          run_smart_ap(request, user, ap, std::move(done), record);
+      return [ap, id] { return ap->cancel(id); };
+    }
+    // Compound cloud routes only ever run as the PRIMARY leg (the
+    // secondary is always one of the three plain backends above), so the
+    // clone-dedup `record` flag never applies here. They stay cancellable
+    // while the cloud leg runs; once the LAN hop begins the thunk finds
+    // nothing in flight and a natural completion is counted as wasted
+    // work by the race instead.
+    case Route::kCloudThenSmartAp:
+      assert(ap != nullptr && record);
+      run_cloud_then_ap(request, user, ap, std::move(done));
+      return [this, id = request.task_id] { return cloud_.cancel_task(id); };
+    case Route::kCloudPreDownloadFirst:
+      assert(record);
+      run_predownload_first(request, user, ap, std::move(done));
+      return [this, id = request.task_id] { return cloud_.cancel_task(id); };
+  }
+  return {};
+}
+
+namespace {
+
+// Shared state of one in-flight hedged race. The registry half of the
+// race (plain data) lives in the HedgeCoordinator so it can checkpoint;
+// this object holds only the closures, which die with the process and are
+// rebuilt by the restore harness.
+struct HedgeRace {
+  std::uint64_t pair = 0;
+  bool rerouted = false;
+  Executor::DoneFn done;
+  std::function<Bytes()> cancel_primary;
+  std::function<Bytes()> cancel_secondary;
+  int completed = 0;
+  bool settled = false;
+  std::optional<ExecOutcome> primary_failure;
+};
+
+}  // namespace
+
+void Executor::run_hedged(Route primary, Route secondary, bool rerouted,
+                          const workload::WorkloadRecord& request,
+                          const workload::User& user, odr::ap::SmartAp* ap,
+                          DoneFn done) {
+  const std::uint64_t pair = hedges_->open_pair(
+      request.task_id, static_cast<std::uint8_t>(primary),
+      static_cast<std::uint8_t>(secondary), sim_.now());
+  ODR_COUNT("task.hedge.pairs");
+  ODR_TRACE_INSTANT(kCore, "executor.hedge.launch");
+
+  // One task span regardless of clone count, attributed to the primary's
+  // origin; the finisher only ever sees the settled outcome.
+  ODR_OBS(if (auto* odr_obs_ = obs::current()) {
+    if (auto* journal = odr_obs_->journal()) {
+      journal->on_submit(request.task_id, sim_.now(), origin_for(primary));
+      if (rerouted) journal->on_reroute(request.task_id);
+      done = [this, done = std::move(done)](const ExecOutcome& o) {
+        if (auto* fin_obs = obs::current()) {
+          if (auto* fin_journal = fin_obs->journal()) {
+            finish_task_span(*fin_journal, o, sim_.now());
+          }
+        }
+        if (done) done(o);
+      };
+    }
+  })
+
+  auto race = std::make_shared<HedgeRace>();
+  race->pair = pair;
+  race->rerouted = rerouted;
+  race->done = std::move(done);
+
+  auto handle = [this, race, request](bool is_primary, const ExecOutcome& o) {
+    hedges_->note_clone_done(race->pair);
+    ++race->completed;
+    // Each clone feeds the breaker of its own substrate (o.route is the
+    // clone's route): the pair must not double-feed the primary's breaker,
+    // and a cancelled loser (kAborted is not a substrate failure) merely
+    // releases the probe slot it may hold.
+    record_breaker_outcome(o);
+    if (race->settled) {
+      // Post-settle arrival: the cancelled loser, or a natural completion
+      // that lost the race to the deferred cancel.
+      if (o.cause == proto::FailureCause::kAborted) {
+        hedges_->note_cancelled_clone();
+        ODR_COUNT("task.hedge.cancelled_clones");
+      } else if (o.success) {
+        // The whole transfer finished only to be thrown away.
+        hedges_->note_wasted_bytes(o.file_size);
+        ODR_COUNT_N("task.hedge.wasted_bytes", o.file_size);
+      }
+    } else if (o.success) {
+      race->settled = true;
+      hedges_->settle(race->pair,
+                      is_primary ? HedgeCoordinator::Winner::kPrimary
+                                 : HedgeCoordinator::Winner::kSecondary);
+      ODR_COUNT(is_primary ? "task.hedge.primary_wins"
+                           : "task.hedge.secondary_wins");
+      ODR_SPAN(on_stage(request.task_id, obs::Stage::kHedge,
+                        hedges_->launched_at(race->pair), sim_.now()));
+      if (race->completed < 2) {
+        // Loser-cancel, deferred one event: the loser's abort fires its
+        // callback synchronously and we are already inside the winner's.
+        auto cancel = is_primary ? std::move(race->cancel_secondary)
+                                 : std::move(race->cancel_primary);
+        sim_.schedule_after(0, [this, cancel = std::move(cancel)] {
+          if (!cancel) return;
+          const Bytes wasted = cancel();
+          if (wasted > 0) {
+            hedges_->note_wasted_bytes(wasted);
+            ODR_COUNT_N("task.hedge.wasted_bytes", wasted);
+          }
+        });
+      }
+      ExecOutcome patched = o;
+      patched.rerouted = race->rerouted;
+      patched.hedged = true;
+      patched.hedge_secondary_won = !is_primary;
+      if (race->done) race->done(patched);
+    } else {
+      // A failed clone waits for its sibling: the race is lost only when
+      // both legs fail, and then the caller sees the primary's failure
+      // (the clone was speculative).
+      if (is_primary) race->primary_failure = o;
+      if (race->completed == 2) {
+        race->settled = true;
+        hedges_->settle(race->pair, HedgeCoordinator::Winner::kNone);
+        ODR_COUNT("task.hedge.both_failed");
+        ExecOutcome patched = race->primary_failure.value_or(o);
+        patched.rerouted = race->rerouted;
+        patched.hedged = true;
+        if (race->done) race->done(patched);
+      }
+    }
+    if (race->completed == 2) hedges_->close_pair(race->pair);
+  };
+
+  race->cancel_primary = launch_clone(
+      primary, request, user, ap,
+      [handle](const ExecOutcome& o) { handle(true, o); }, /*record=*/true);
+  race->cancel_secondary = launch_clone(
+      secondary, request, user, ap,
+      [handle](const ExecOutcome& o) { handle(false, o); }, /*record=*/false);
 }
 
 }  // namespace odr::core

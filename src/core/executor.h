@@ -16,6 +16,7 @@
 #include "cloud/xuanfeng.h"
 #include "core/circuit_breaker.h"
 #include "core/decision.h"
+#include "core/hedge.h"
 #include "core/strategy.h"
 #include "net/network.h"
 #include "proto/download.h"
@@ -44,6 +45,8 @@ struct ExecOutcome {
   Rate e2e_rate = 0.0;         // size / (ready - request)
   bool impeded = false;        // real-time fetch below the 125 KBps line
   bool rerouted = false;       // a circuit breaker overrode the decision
+  bool hedged = false;         // a speculative clone raced this task
+  bool hedge_secondary_won = false;  // ... and the clone beat the primary
 
   Bytes cloud_upload_bytes = 0;  // burden this task placed on the cloud
   SimTime cloud_upload_start = 0, cloud_upload_finish = 0;
@@ -100,20 +103,49 @@ class Executor {
 
   std::uint64_t reroutes() const { return reroutes_; }
 
+  // Opt-in request cloning: when set (and enabled), a Decision with
+  // `hedge` launches the task on a disjoint secondary backend too, races
+  // the two clones, and cancels the loser on the first success. The
+  // coordinator must outlive the executor. Charges its budget per clone;
+  // a denied charge (or a tripped secondary breaker) silently degrades the
+  // request to the plain single-path policy.
+  void set_hedging(HedgeCoordinator* hedges) { hedges_ = hedges; }
+
+  // The disjoint backend a hedged clone of `primary` runs on.
+  static Route hedge_secondary_for(Route primary, const odr::ap::SmartAp* ap);
+
  private:
   void run_cloud(const workload::WorkloadRecord& request,
-                 const workload::User& user, DoneFn done);
-  void run_user_device(const workload::WorkloadRecord& request,
-                       const workload::User& user, DoneFn done);
-  void run_smart_ap(const workload::WorkloadRecord& request,
-                    const workload::User& user, odr::ap::SmartAp* ap,
-                    DoneFn done);
+                 const workload::User& user, DoneFn done,
+                 bool record = true);
+  std::uint64_t run_user_device(const workload::WorkloadRecord& request,
+                                const workload::User& user, DoneFn done,
+                                bool record = true);
+  std::uint64_t run_smart_ap(const workload::WorkloadRecord& request,
+                             const workload::User& user, odr::ap::SmartAp* ap,
+                             DoneFn done, bool record = true);
   void run_cloud_then_ap(const workload::WorkloadRecord& request,
                          const workload::User& user, odr::ap::SmartAp* ap,
                          DoneFn done);
   void run_predownload_first(const workload::WorkloadRecord& request,
                              const workload::User& user, odr::ap::SmartAp* ap,
                              DoneFn done);
+
+  // Hedged race: launches primary + secondary clones, settles on the first
+  // success, cancels the loser via the substrate cancel fast paths.
+  void run_hedged(Route primary, Route secondary, bool rerouted,
+                  const workload::WorkloadRecord& request,
+                  const workload::User& user, odr::ap::SmartAp* ap,
+                  DoneFn done);
+  // Launches one clone of a hedged pair on `route`; returns the cancel
+  // thunk for that clone (a no-op returning 0 once the clone finished).
+  std::function<Bytes()> launch_clone(Route route,
+                                      const workload::WorkloadRecord& request,
+                                      const workload::User& user,
+                                      odr::ap::SmartAp* ap, DoneFn done,
+                                      bool record);
+  // Aborts an in-flight direct download; returns the bytes it had moved.
+  Bytes cancel_direct(std::uint64_t id);
 
   ExecOutcome from_cloud_outcome(const cloud::TaskOutcome& outcome,
                                  const workload::WorkloadRecord& request) const;
@@ -139,6 +171,7 @@ class Executor {
   CircuitBreaker* cloud_breaker_ = nullptr;
   CircuitBreaker* ap_breaker_ = nullptr;
   std::uint64_t reroutes_ = 0;
+  HedgeCoordinator* hedges_ = nullptr;
 };
 
 }  // namespace odr::core

@@ -25,6 +25,14 @@ Decision decide_with(Strategy strategy, const Redirector& redirector,
       d.rationale = "baseline: vendors' hybrid, always cloud -> AP -> user";
       return d;
     }
+    case Strategy::kHedged: {
+      // ODR picks the primary route; the executor launches the clone on a
+      // disjoint backend (budget and breakers permitting).
+      Decision d = redirector.decide(input);
+      d.hedge = true;
+      d.rationale = "hedged: " + d.rationale;
+      return d;
+    }
     case Strategy::kAms: {
       Decision d;
       if (workload::classify_popularity(input.weekly_popularity) ==

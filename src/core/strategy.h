@@ -7,7 +7,11 @@
 //   kAms           — Zhou et al.'s Automatic Mode Selection: peer-assisted
 //                    for popular files, cloud for the rest (no user-side
 //                    bottleneck awareness);
-//   kOdr           — the full Fig-15 decision tree.
+//   kOdr           — the full Fig-15 decision tree;
+//   kHedged        — ODR's route plus a speculative clone on a second
+//                    backend; first success wins, the loser is cancelled
+//                    (request cloning per the Pellegrini report, budgeted
+//                    by core::RetryBudget).
 #pragma once
 
 #include "core/decision.h"
@@ -20,6 +24,7 @@ enum class Strategy : std::uint8_t {
   kApOnly = 2,
   kAlwaysHybrid = 3,
   kAms = 4,
+  kHedged = 5,
 };
 
 constexpr std::string_view strategy_name(Strategy s) {
@@ -29,6 +34,7 @@ constexpr std::string_view strategy_name(Strategy s) {
     case Strategy::kApOnly: return "SmartAP-only";
     case Strategy::kAlwaysHybrid: return "Always-hybrid";
     case Strategy::kAms: return "AMS";
+    case Strategy::kHedged: return "HedgedFetch";
   }
   return "?";
 }

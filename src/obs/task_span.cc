@@ -32,6 +32,7 @@ std::string_view stage_name(Stage s) {
     case Stage::kApFetch: return "ap_fetch";
     case Stage::kDirectFetch: return "direct_fetch";
     case Stage::kLanFetch: return "lan_fetch";
+    case Stage::kHedge: return "hedge";
   }
   return "?";
 }

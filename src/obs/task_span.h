@@ -61,8 +61,9 @@ enum class Stage : std::uint8_t {
   kApFetch,          // smart-AP download (testbed / ODR AP path)
   kDirectFetch,      // user-device direct download
   kLanFetch,         // AP -> device LAN hop
+  kHedge,            // hedged-pair window: clone launch -> race settled
 };
-inline constexpr std::size_t kStageCount = 8;
+inline constexpr std::size_t kStageCount = 9;
 std::string_view stage_name(Stage s);
 
 enum class SpanOutcome : std::uint8_t {

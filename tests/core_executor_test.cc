@@ -5,6 +5,10 @@
 
 #include <optional>
 
+#include "core/budget.h"
+#include "core/circuit_breaker.h"
+#include "core/hedge.h"
+
 namespace odr::core {
 namespace {
 
@@ -21,7 +25,6 @@ class ExecutorTest : public ::testing::Test {
     cloud = std::make_unique<cloud::XuanfengCloud>(sim, net, *catalog, sources,
                                                    cloud_config, rng);
 
-    odr::ap::SmartApConfig ap_config;
     ap_config.hardware = odr::ap::kMiWiFi;
     ap_config.device = odr::ap::DeviceType::kSataHdd;
     ap_config.filesystem = odr::ap::Filesystem::kExt4;
@@ -64,15 +67,55 @@ class ExecutorTest : public ::testing::Test {
     return d;
   }
 
+  Decision hedged(Route r) {
+    Decision d = route(r);
+    d.hedge = true;
+    return d;
+  }
+
+  // Rebuilds every substrate over starved swarm sources: p2p fetches find
+  // no seeds and stagnate until the timeout, so a cancelled clone would
+  // otherwise sit in flight for a simulated hour — the perfect loser.
+  void rebuild_starved() {
+    starved = sources;
+    starved.swarm.base_seed_mean = 0.0;
+    starved.swarm.seeds_per_popularity = 0.0;
+    cloud = std::make_unique<cloud::XuanfengCloud>(sim, net, *catalog, starved,
+                                                   cloud_config, rng);
+    ap = std::make_unique<odr::ap::SmartAp>(sim, net, ap_config, starved, rng);
+    executor = std::make_unique<Executor>(sim, net, *catalog, *cloud, starved,
+                                          Executor::Config{}, rng);
+  }
+
+  HedgeCoordinator& enable_hedging() {
+    HedgeConfig cfg;
+    cfg.enabled = true;
+    hedges = std::make_unique<HedgeCoordinator>(cfg);
+    executor->set_hedging(hedges.get());
+    return *hedges;
+  }
+
+  workload::FileIndex first_p2p_file() const {
+    for (std::size_t i = 0; i < catalog->size(); ++i) {
+      if (proto::is_p2p(catalog->file(i).protocol)) {
+        return static_cast<workload::FileIndex>(i);
+      }
+    }
+    return 0;
+  }
+
   sim::Simulator sim;
   net::Network net;
   Rng rng;
   proto::SourceParams sources;
+  proto::SourceParams starved;
   cloud::CloudConfig cloud_config;
+  odr::ap::SmartApConfig ap_config;
   std::unique_ptr<workload::Catalog> catalog;
   std::unique_ptr<cloud::XuanfengCloud> cloud;
   std::unique_ptr<odr::ap::SmartAp> ap;
   std::unique_ptr<Executor> executor;
+  std::unique_ptr<HedgeCoordinator> hedges;
   workload::TaskId next_task_ = 0;
 };
 
@@ -219,6 +262,139 @@ TEST_F(ExecutorTest, MakeInputFallsBackToTrueBandwidthWhenUnreported) {
   const DecisionInput in = executor->make_input(r, user, nullptr);
   EXPECT_DOUBLE_EQ(in.user_access_bandwidth, kbps_to_rate(333));
   EXPECT_FALSE(in.has_smart_ap);
+}
+
+// --- hedged request cloning --------------------------------------------------
+
+TEST_F(ExecutorTest, HedgedPrimaryWinCancelsLoserAndRecordsOnce) {
+  rebuild_starved();
+  HedgeCoordinator& h = enable_hedging();
+  const workload::FileIndex file = first_p2p_file();
+  cloud->warm_cache(catalog->file(file));  // primary: fast cache hit
+  const workload::User user =
+      make_user(net::Isp::kUnicom, kbps_to_rate(20000));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(hedged(Route::kCloud), request_for(file, user), user,
+                    ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_EQ(outcome->route, Route::kCloud);
+  EXPECT_TRUE(outcome->hedged);
+  EXPECT_FALSE(outcome->hedge_secondary_won);
+  EXPECT_EQ(h.pairs_launched(), 1u);
+  EXPECT_EQ(h.primary_wins(), 1u);
+  EXPECT_EQ(h.secondary_wins(), 0u);
+  EXPECT_EQ(h.cancelled_clones(), 1u);  // the starved AP clone was aborted
+  EXPECT_EQ(h.inflight_pairs(), 0u);
+  // Dedup: only the primary records the request into the content DB; the
+  // cancelled clone must not double-count popularity.
+  EXPECT_DOUBLE_EQ(cloud->content_db().weekly_popularity(file, sim.now()),
+                   1.0);
+}
+
+TEST_F(ExecutorTest, HedgedSecondaryWinReportsSecondaryRoute) {
+  rebuild_starved();
+  HedgeCoordinator& h = enable_hedging();
+  const workload::FileIndex file = first_p2p_file();
+  cloud->warm_cache(catalog->file(file));  // secondary: fast cache hit
+  const workload::User user =
+      make_user(net::Isp::kUnicom, kbps_to_rate(20000));
+  std::optional<ExecOutcome> outcome;
+  // Primary AP fetch stagnates on the starved swarm; the cloud clone wins.
+  executor->execute(hedged(Route::kSmartAp), request_for(file, user), user,
+                    ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_EQ(outcome->route, Route::kCloud);
+  EXPECT_TRUE(outcome->hedged);
+  EXPECT_TRUE(outcome->hedge_secondary_won);
+  EXPECT_EQ(h.secondary_wins(), 1u);
+  EXPECT_EQ(h.cancelled_clones(), 1u);
+  EXPECT_EQ(h.inflight_pairs(), 0u);
+}
+
+TEST_F(ExecutorTest, HedgedBothFailedReportsPrimaryFailure) {
+  rebuild_starved();
+  HedgeCoordinator& h = enable_hedging();
+  const workload::FileIndex file = first_p2p_file();  // not cached: both stall
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(500));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(hedged(Route::kCloud), request_for(file, user), user,
+                    ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->success);
+  EXPECT_TRUE(outcome->hedged);
+  // The primary's failure is the one reported, not the clone's.
+  EXPECT_EQ(outcome->route, Route::kCloud);
+  EXPECT_EQ(outcome->cause, proto::FailureCause::kInsufficientSeeds);
+  EXPECT_EQ(h.both_failed(), 1u);
+  EXPECT_EQ(h.inflight_pairs(), 0u);
+}
+
+TEST_F(ExecutorTest, HedgedBudgetExhaustedDegradesToPlainPath) {
+  HedgeCoordinator& h = enable_hedging();
+  RetryBudget::Config bcfg;
+  bcfg.enabled = true;
+  bcfg.global_capacity = 0.0;  // bone-dry: every clone charge is denied
+  bcfg.global_refill_per_hour = 0.0;
+  RetryBudget budget(bcfg);
+  h.set_budget(&budget);
+  cloud->warm_cache(catalog->file(0));
+  const workload::User user = make_user(net::Isp::kUnicom, kbps_to_rate(500));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(hedged(Route::kCloud), request_for(0, user), user,
+                    ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  // Graceful degradation: the request still succeeds, single-path.
+  EXPECT_TRUE(outcome->success);
+  EXPECT_FALSE(outcome->hedged);
+  EXPECT_EQ(h.pairs_launched(), 0u);
+  EXPECT_EQ(h.budget_denied(), 1u);
+  EXPECT_EQ(budget.denied(), 1u);
+}
+
+// Regression: a loser-cancel that lands while the clone holds a half-open
+// probe slot must RELEASE the probe (no verdict on the substrate), not
+// count as a failure that re-opens the breaker or a success that closes it.
+TEST_F(ExecutorTest, HalfOpenLoserCancelReleasesProbe) {
+  rebuild_starved();
+  HedgeCoordinator& h = enable_hedging();
+  CircuitBreaker::Config bcfg;
+  bcfg.failure_threshold = 2;
+  bcfg.open_duration = 5 * kMinute;
+  bcfg.half_open_probes = 1;
+  CircuitBreaker cloud_bk(sim, bcfg);
+  CircuitBreaker ap_bk(sim, bcfg);
+  executor->set_substrate_breakers(&cloud_bk, &ap_bk);
+  ap_bk.record_failure();
+  ap_bk.record_failure();
+  ASSERT_EQ(ap_bk.state(), CircuitBreaker::State::kOpen);
+  // Sit out the cool-off so the next AP request becomes the probe.
+  sim.schedule_after(bcfg.open_duration + kMinute, [] {});
+  sim.run();
+
+  const workload::FileIndex file = first_p2p_file();
+  cloud->warm_cache(catalog->file(file));
+  const workload::User user =
+      make_user(net::Isp::kUnicom, kbps_to_rate(20000));
+  std::optional<ExecOutcome> outcome;
+  executor->execute(hedged(Route::kCloud), request_for(file, user), user,
+                    ap.get(), [&](const ExecOutcome& o) { outcome = o; });
+  // The AP clone is in flight holding the single probe slot.
+  EXPECT_EQ(ap_bk.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(ap_bk.probes_inflight(), 1u);
+  sim.run();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->success);
+  EXPECT_EQ(h.cancelled_clones(), 1u);
+  EXPECT_EQ(ap_bk.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(ap_bk.probes_inflight(), 0u);
+  EXPECT_EQ(ap_bk.times_opened(), 1u);  // the cancel did not re-trip it
+  EXPECT_TRUE(ap_bk.allow());           // and the probe slot is free again
 }
 
 }  // namespace

@@ -27,6 +27,12 @@ constexpr double kDivisor = 4000.0;
 // Golden values; see the header comment before touching these.
 constexpr std::uint64_t kBaselineFingerprint = 0x23fc401bb568f2b1ull;
 constexpr std::uint64_t kSevereFingerprint = 0x51153af7097f620aull;
+// The hedged strategy week, hashed with exec_outcome_fingerprint (the
+// executor-outcome analogue of outcome_fingerprint, including the
+// hedged/secondary-won verdict per task). Re-record by running this test
+// and reading the "actual" value — but only after convincing yourself the
+// change to the hedging race order was intentional.
+constexpr std::uint64_t kHedgedWeekFingerprint = 0xbbb6ccaa17b96086ull;
 
 analysis::ExperimentConfig chaos_config(int plan_level) {
   analysis::ExperimentConfig config =
@@ -83,6 +89,19 @@ TEST(DeterminismTest, SeverePlanKillAndResumeMatchesGoldenFingerprint) {
   resumed.run();
   EXPECT_EQ(analysis::outcome_fingerprint(resumed.finalize().outcomes),
             kSevereFingerprint);
+}
+
+TEST(DeterminismTest, HedgedWeekMatchesGoldenFingerprint) {
+  // Hedging races two clones per task and cancels the loser with a
+  // deferred event; this pins that the whole dance — clone launches,
+  // loser-cancel ordering, budget charges — is bit-for-bit deterministic.
+  analysis::StrategyReplayConfig config;
+  config.experiment = analysis::make_scaled_config(kDivisor, kSeed);
+  config.strategy = core::Strategy::kHedged;
+  const auto result = analysis::run_strategy_replay(config);
+  EXPECT_GT(result.hedge_pairs, 0u);
+  EXPECT_EQ(analysis::exec_outcome_fingerprint(result.outcomes),
+            kHedgedWeekFingerprint);
 }
 
 }  // namespace

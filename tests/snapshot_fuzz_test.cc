@@ -15,6 +15,7 @@
 #include <string>
 
 #include "analysis/replay.h"
+#include "core/hedge.h"
 #include "snapshot/format.h"
 #include "snapshot/world.h"
 #include "util/rng.h"
@@ -133,6 +134,69 @@ TEST(SnapshotFuzzTest, ErrorsNameSectionAndOffset) {
               static_cast<int>(snapshot::SnapshotErrorKind::kCorrupt));
     const std::string what(e.what());
     EXPECT_NE(what.find("section"), std::string::npos) << what;
+  }
+}
+
+// --- hedge section ----------------------------------------------------------
+
+std::string hedge_section_buffer() {
+  core::HedgeConfig cfg;
+  cfg.enabled = true;
+  core::HedgeCoordinator h(cfg);
+  const std::uint64_t settled = h.open_pair(7, 0, 2, 5 * kMinute);
+  h.note_clone_done(settled);
+  h.settle(settled, core::HedgeCoordinator::Winner::kPrimary);
+  h.note_cancelled_clone();
+  h.note_wasted_bytes(4096);
+  h.open_pair(8, 2, 0, 6 * kMinute);
+  snapshot::SnapshotWriter w;
+  h.save_section(w);
+  return w.take();
+}
+
+void expect_hedge_rejection(std::string corrupt, const std::string& where) {
+  core::HedgeConfig cfg;
+  cfg.enabled = true;
+  try {
+    core::HedgeCoordinator h(cfg);
+    snapshot::SnapshotReader r(std::move(corrupt));
+    h.load_section(r);
+    FAIL() << where << ": corrupt hedge section loaded without an error";
+  } catch (const snapshot::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()), "") << where;
+  } catch (const std::exception& e) {
+    FAIL() << where << ": unstructured exception: " << e.what();
+  }
+}
+
+TEST(SnapshotFuzzTest, HedgeSectionCleanBufferRestores) {
+  const std::string buf = hedge_section_buffer();
+  core::HedgeConfig cfg;
+  cfg.enabled = true;
+  core::HedgeCoordinator h(cfg);
+  snapshot::SnapshotReader r(buf);
+  h.load_section(r);
+  EXPECT_EQ(h.inflight_pairs(), 2u);
+  EXPECT_EQ(h.primary_wins(), 1u);
+}
+
+TEST(SnapshotFuzzTest, HedgeSectionBitFlipsAreAllCaught) {
+  // The section is small, so flip the low bit of EVERY byte: header,
+  // tags, payload and CRC alike must all reject loudly.
+  const std::string buf = hedge_section_buffer();
+  for (std::size_t pos = 0; pos < buf.size(); ++pos) {
+    std::string corrupt = buf;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 1);
+    expect_hedge_rejection(std::move(corrupt),
+                           "hedge flip @" + std::to_string(pos));
+  }
+}
+
+TEST(SnapshotFuzzTest, HedgeSectionTruncationsAreAllCaught) {
+  const std::string buf = hedge_section_buffer();
+  for (std::size_t keep = 0; keep < buf.size(); ++keep) {
+    expect_hedge_rejection(buf.substr(0, keep),
+                           "hedge truncate to " + std::to_string(keep));
   }
 }
 

@@ -11,7 +11,9 @@
 #include "ap/smart_ap.h"
 #include "cloud/chunk_dedup.h"
 #include "cloud/storage_pool.h"
+#include "core/budget.h"
 #include "core/circuit_breaker.h"
+#include "core/hedge.h"
 #include "fault/fault_plan.h"
 #include "net/network.h"
 #include "obs/observer.h"
@@ -449,6 +451,78 @@ TEST(SnapshotBreakerTest, RoundTripPreservesStateMachine) {
   EXPECT_EQ(a.state(), core::CircuitBreaker::State::kClosed);
   EXPECT_EQ(b.state(), core::CircuitBreaker::State::kClosed);
   EXPECT_EQ(b.cooldown(), cfg.open_duration);  // closing resets the backoff
+}
+
+// --- hedge coordinator ------------------------------------------------------
+
+TEST(SnapshotHedgeTest, KillBetweenCloneLaunchAndLoserCancelRoundTrips) {
+  // The nastiest kill point for a hedged race: one pair is settled (the
+  // winner delivered its outcome) but the loser-cancel event has not fired
+  // yet, and a second pair is still fully open. Both must survive a
+  // checkpoint bit-identically, along with the shared retry budget.
+  core::HedgeConfig cfg;
+  cfg.enabled = true;
+  core::RetryBudget::Config bcfg;
+  bcfg.enabled = true;
+  core::RetryBudget budget(bcfg);
+  core::HedgeCoordinator h(cfg);
+  h.set_budget(&budget);
+
+  ASSERT_TRUE(h.try_charge_clone(7, 30 * kSec));
+  const std::uint64_t open_race = h.open_pair(101, 0, 2, 30 * kSec);
+  ASSERT_TRUE(h.try_charge_clone(9, 40 * kSec));
+  const std::uint64_t settled_race = h.open_pair(102, 2, 0, 40 * kSec);
+  h.note_clone_done(settled_race);
+  h.settle(settled_race, core::HedgeCoordinator::Winner::kSecondary);
+  h.note_wasted_bytes(12345);
+  h.note_cancelled_clone();
+
+  SnapshotWriter w;
+  h.save_section(w);
+  w.begin_section(99, 1);
+  budget.save(w);
+  w.end_section();
+  const std::string buf = w.take();
+
+  core::HedgeCoordinator h2(cfg);
+  core::RetryBudget budget2(bcfg);
+  SnapshotReader r(buf);
+  h2.load_section(r);
+  ASSERT_EQ(r.enter_section(99), 1u);
+  budget2.load(r);
+  r.end_section();
+  EXPECT_TRUE(r.at_end());
+
+  EXPECT_EQ(h2.inflight_pairs(), 2u);
+  const auto* settled = h2.find_pair(settled_race);
+  ASSERT_NE(settled, nullptr);
+  EXPECT_TRUE(settled->settled);
+  EXPECT_EQ(settled->winner, core::HedgeCoordinator::Winner::kSecondary);
+  EXPECT_EQ(settled->clones_done, 1u);
+  EXPECT_EQ(settled->launched_at, 40 * kSec);
+  const auto* open = h2.find_pair(open_race);
+  ASSERT_NE(open, nullptr);
+  EXPECT_FALSE(open->settled);
+  EXPECT_EQ(open->clones_done, 0u);
+  EXPECT_EQ(h2.pairs_launched(), 2u);
+  EXPECT_EQ(h2.secondary_wins(), 1u);
+  EXPECT_EQ(h2.wasted_bytes(), 12345u);
+  EXPECT_EQ(h2.cancelled_clones(), 1u);
+  EXPECT_EQ(budget2.granted(), 2u);
+
+  // Save the restored pair: the bytes must be identical — including the
+  // budget's token levels and refill timestamps, so a resumed world grants
+  // and denies on the same schedule.
+  SnapshotWriter w2;
+  h2.save_section(w2);
+  w2.begin_section(99, 1);
+  budget2.save(w2);
+  w2.end_section();
+  EXPECT_EQ(w2.take(), buf);
+
+  // And a new pair opened after restore must not collide with a live id.
+  const std::uint64_t next = h2.open_pair(103, 0, 1, 50 * kSec);
+  EXPECT_GT(next, settled_race);
 }
 
 // --- smart AP --------------------------------------------------------------
