@@ -25,6 +25,7 @@
 #include "obs/observer.h"
 #include "proto/protocol.h"
 #include "run/parallel_runner.h"
+#include "serve/service_loop.h"
 #include "util/args.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -192,6 +193,100 @@ HedgedResult run_hedged_once(double divisor, std::uint64_t seed,
   return r;
 }
 
+// --- serve family ------------------------------------------------------------
+//
+// Live-service mode under compound stress: an open-loop flash crowd (6x
+// surge concentrated on one hot file) with a regional ISP outage dropped
+// into the middle of it — the Telecom upload cluster goes dark for three
+// hours while the surge is still running. The acceptance pair: every
+// settled task must carry a classified outcome (admission sheds and
+// backpressure drops are counted separately and are NOT failures of this
+// gate), and the outage run must reproduce its admission/drop/latency
+// fingerprint bit-identically.
+struct ServeMetrics {
+  std::string label;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t dropped = 0;
+  double e2e_failure = 0.0;  // failed / completed
+  double p99_seconds = 0.0;
+  std::uint64_t violation_windows = 0;
+  std::uint64_t hedge_pairs = 0;
+  std::uint64_t budget_denied = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t unclassified = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+struct ServeRunResult {
+  ServeMetrics m;
+  obs::Registry metrics;
+};
+
+ServeRunResult run_serve_once(double divisor, std::uint64_t seed, bool outage,
+                              const std::string& label) {
+  obs::ObsConfig run_obs;
+  run_obs.tracing = false;
+  run_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver obs(run_obs);
+
+  serve::ServeConfig cfg;
+  cfg.experiment = analysis::make_scaled_config(divisor, seed);
+  cfg.experiment.cloud.degraded_admission = true;
+  cfg.experiment.cloud.retry_budget_enabled = true;
+  cfg.strategy = core::Strategy::kHedged;
+  cfg.use_circuit_breakers = true;
+
+  // Half a day of service; rate scales with the world (the cloud uplink
+  // shrinks 1/divisor, so the saturating rate does too).
+  const SimTime duration = 12 * kHour;
+  cfg.traffic.phases.push_back({duration, 40.0 / divisor});
+  cfg.traffic.diurnal = true;
+  cfg.traffic.diurnal_shape.duration = duration;
+  cfg.traffic.diurnal_shape.daily_growth = 0.0;
+  cfg.traffic.flash.start = 4 * kHour;
+  cfg.traffic.flash.duration = 4 * kHour;
+  cfg.traffic.flash.rate_multiplier = 6.0;
+  cfg.traffic.flash.hot_file_fraction = 0.5;
+  cfg.traffic.flash.hot_file = 0;
+
+  if (outage) {
+    fault::FaultSpec o;
+    o.kind = fault::FaultKind::kUploadClusterOutage;
+    o.start = 5 * kHour;      // one hour into the surge
+    o.duration = 3 * kHour;   // dark until the surge's last hour
+    o.isp = net::Isp::kTelecom;
+    cfg.experiment.fault_plan.add(o);
+  }
+
+  serve::ServiceLoop loop(cfg);
+  const serve::ServeResult res = loop.run();
+
+  ServeMetrics m;
+  m.label = label;
+  m.offered = res.offered;
+  m.admitted = res.admitted;
+  m.shed = res.shed_unpopular;
+  m.dropped = res.dropped_full;
+  m.e2e_failure =
+      res.completed > 0
+          ? static_cast<double>(res.failed) / static_cast<double>(res.completed)
+          : 0.0;
+  m.p99_seconds = res.slo.p99_seconds;
+  m.violation_windows = res.slo.violation_windows;
+  m.hedge_pairs = res.hedge_pairs;
+  m.budget_denied = res.budget_denied;
+  m.faults_fired = res.faults_fired;
+  m.unclassified = res.unclassified_failures;
+  m.fingerprint = res.fingerprint;
+
+  ServeRunResult r;
+  r.m = std::move(m);
+  r.metrics = obs->metrics();
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,6 +395,43 @@ int main(int argc, char** argv) {
     bench->metrics().merge_from(r.metrics);
   }
 
+  // The serve family: open-loop flash crowd, with and without the
+  // regional ISP outage, plus the determinism rerun of the outage run.
+  const struct {
+    bool outage;
+    const char* label;
+  } kServeRuns[] = {{false, "flash"},
+                    {true, "flash+outage"},
+                    {true, "flash+outage(rerun)"}};
+  std::vector<std::function<ServeRunResult()>> serve_jobs;
+  for (const auto& s : kServeRuns) {
+    const bool outage = s.outage;
+    const std::string label = s.label;
+    serve_jobs.push_back([divisor, seed, outage, label] {
+      return run_serve_once(divisor, seed, outage, label);
+    });
+  }
+  auto serve_settled = run::run_parallel_settled(std::move(serve_jobs));
+  int serve_failed_runs = 0;
+  for (std::size_t i = 0; i < serve_settled.size(); ++i) {
+    if (serve_settled[i].ok()) continue;
+    ++serve_failed_runs;
+    report_settled_failure(
+        (std::string("serve/") + kServeRuns[i].label).c_str(),
+        serve_settled[i].error);
+  }
+  if (serve_failed_runs > 0) {
+    std::fprintf(stderr, "chaos_week: %d of %zu serve run(s) failed\n",
+                 serve_failed_runs, serve_settled.size());
+    return 1;
+  }
+  std::vector<ServeRunResult> serve_all;
+  serve_all.reserve(serve_settled.size());
+  for (auto& s : serve_settled) serve_all.push_back(std::move(*s.value));
+  for (const ServeRunResult& r : serve_all) {
+    bench->metrics().merge_from(r.metrics);
+  }
+
   std::vector<RunMetrics> runs;
   for (std::size_t i = 0; i + 1 < all.size(); ++i) runs.push_back(all[i].m);
   const obs::CalibrationReport baseline_calibration = all.front().calibration;
@@ -351,6 +483,29 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
   std::fputs(hedged_table.render().c_str(), stdout);
+
+  std::vector<ServeMetrics> serve_runs;
+  for (std::size_t i = 0; i + 1 < serve_all.size(); ++i) {
+    serve_runs.push_back(serve_all[i].m);
+  }
+  const ServeMetrics serve_rerun = serve_all.back().m;
+  TextTable serve_table({"run", "offered", "admit", "shed", "drop",
+                         "e2e fail", "p99 s", "viol", "hedges", "denied",
+                         "faults", "unclassified"});
+  for (const auto& m : serve_runs) {
+    serve_table.add_row(
+        {m.label, std::to_string(m.offered), std::to_string(m.admitted),
+         std::to_string(m.shed), std::to_string(m.dropped),
+         TextTable::pct(m.e2e_failure), TextTable::num(m.p99_seconds, 1),
+         std::to_string(m.violation_windows), std::to_string(m.hedge_pairs),
+         std::to_string(m.budget_denied), std::to_string(m.faults_fired),
+         std::to_string(m.unclassified)});
+  }
+  std::fputs(banner("Live service: flash crowd, then a regional ISP outage "
+                    "mid-surge")
+                 .c_str(),
+             stdout);
+  std::fputs(serve_table.render().c_str(), stdout);
 
   // --- acceptance checks on the severe plan --------------------------------
   const RunMetrics& severe = runs.back();
@@ -404,8 +559,35 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(hedged_severe.fingerprint));
   }
 
+  // --- acceptance checks on the serve family -------------------------------
+  std::uint64_t serve_unclassified = 0;
+  for (const auto& m : serve_runs) serve_unclassified += m.unclassified;
+  const bool serve_classified = serve_unclassified == 0;
+  const ServeMetrics& serve_outage = serve_runs.back();
+  const bool serve_deterministic =
+      serve_outage.fingerprint == serve_rerun.fingerprint;
+  std::printf("acceptance: serve runs settle every task classified: %s "
+              "(%llu unclassified)\n",
+              serve_classified ? "PASS" : "FAIL",
+              static_cast<unsigned long long>(serve_unclassified));
+  std::printf("acceptance: deterministic flash+outage re-run (fingerprint "
+              "%016llx): %s\n",
+              static_cast<unsigned long long>(serve_outage.fingerprint),
+              serve_deterministic ? "PASS" : "FAIL");
+  if (!serve_deterministic) {
+    const auto name = analysis::replay_failure_kind_name(
+        analysis::ReplayFailureKind::kFingerprintMismatch);
+    std::fprintf(stderr,
+                 "chaos_week: [%.*s] serve flash+outage rerun produced "
+                 "fingerprint %016llx, expected %016llx\n",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(serve_rerun.fingerprint),
+                 static_cast<unsigned long long>(serve_outage.fingerprint));
+  }
+
   const bool pass = failure_ok && hp_ok && deterministic &&
-                    hedged_classified && hedged_deterministic;
+                    hedged_classified && hedged_deterministic &&
+                    serve_classified && serve_deterministic;
   if (!pass) {
     bench->flight().auto_dump(obs::FlightRecorder::DumpTrigger::kBenchAbort,
                               "chaos_week acceptance failed");
@@ -462,6 +644,28 @@ int main(int argc, char** argv) {
           .end_object();
     }
     j.end_array();
+    j.key("serve_plans").begin_array();
+    for (const auto& m : serve_runs) {
+      char fp[24];
+      std::snprintf(fp, sizeof(fp), "%016llx",
+                    static_cast<unsigned long long>(m.fingerprint));
+      j.begin_object()
+          .field("label", m.label)
+          .field("offered", m.offered)
+          .field("admitted", m.admitted)
+          .field("shed_unpopular", m.shed)
+          .field("dropped_full", m.dropped)
+          .field("e2e_failure", m.e2e_failure)
+          .field("p99_seconds", m.p99_seconds)
+          .field("violation_windows", m.violation_windows)
+          .field("hedge_pairs", m.hedge_pairs)
+          .field("budget_denied", m.budget_denied)
+          .field("faults_fired", m.faults_fired)
+          .field("unclassified_failures", m.unclassified)
+          .field("fingerprint", std::string(fp))
+          .end_object();
+    }
+    j.end_array();
     j.key("acceptance")
         .begin_object()
         .field("e2e_failure_within_2x", failure_ok)
@@ -469,6 +673,8 @@ int main(int argc, char** argv) {
         .field("deterministic_rerun", deterministic)
         .field("hedged_zero_unclassified", hedged_classified)
         .field("hedged_deterministic_rerun", hedged_deterministic)
+        .field("serve_zero_unclassified", serve_classified)
+        .field("serve_deterministic_rerun", serve_deterministic)
         .end_object();
     // Informational fault-free calibration snapshot (never gates the bench:
     // chaos plans themselves are allowed to drift the marginals).

@@ -1,0 +1,377 @@
+// Live-service load bench: the ODR engine under open-loop offered load.
+//
+// Two families, both on the scaled §6 world:
+//
+//   1. Ramp sweep — one ServiceLoop per rung of a geometric rate ladder,
+//      each sustaining a constant offered rate for the rung duration. The
+//      report locates the saturation knee: the highest rung whose
+//      streaming SLO (p99 latency + success ratio) still passes, and the
+//      first rung past it that blows the p99 target. Open-loop arrivals
+//      never slow down, so past the knee the bounded queue fills,
+//      degraded-mode admission sheds unpopular arrivals, and backpressure
+//      shows up as queue-full drops — none of which a fixed replay trace
+//      can express.
+//
+//   2. Flash crowd — a single run at a fixed mid-ladder rate with the
+//      diurnal shape on and a flash-crowd window (rate surge concentrated
+//      on one hot file) in the middle, over the full stack (HedgedFetch,
+//      breakers, shared retry/hedge budget). Run twice: the acceptance
+//      gate pins the admission/drop/latency fingerprint bit-identical
+//      across the rerun.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/failure_kind.h"
+#include "analysis/replay.h"
+#include "obs/observer.h"
+#include "run/parallel_runner.h"
+#include "serve/service_loop.h"
+#include "util/args.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace odr;
+
+serve::ServeConfig make_serve_config(double divisor, std::uint64_t seed,
+                                     std::size_t max_inflight,
+                                     std::size_t queue_capacity) {
+  serve::ServeConfig cfg;
+  cfg.experiment = analysis::make_scaled_config(divisor, seed);
+  cfg.experiment.cloud.degraded_admission = true;
+  cfg.max_inflight = max_inflight;
+  cfg.queue_capacity = queue_capacity;
+  return cfg;
+}
+
+struct SweepPoint {
+  double rate = 0.0;
+  serve::ServeResult r;
+  obs::Registry metrics;
+};
+
+SweepPoint run_rung(double divisor, std::uint64_t seed, double rate,
+                    SimTime duration, std::size_t max_inflight,
+                    std::size_t queue_capacity) {
+  obs::ObsConfig run_obs;
+  run_obs.tracing = false;
+  run_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver obs(run_obs);
+
+  serve::ServeConfig cfg =
+      make_serve_config(divisor, seed, max_inflight, queue_capacity);
+  cfg.traffic.phases.push_back({duration, rate});
+
+  serve::ServiceLoop loop(cfg);
+  SweepPoint p;
+  p.rate = rate;
+  p.r = loop.run();
+  p.metrics = obs->metrics();
+  return p;
+}
+
+SweepPoint run_flash(double divisor, std::uint64_t seed, double rate,
+                     SimTime duration, std::size_t max_inflight,
+                     std::size_t queue_capacity) {
+  obs::ObsConfig run_obs;
+  run_obs.tracing = false;
+  run_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver obs(run_obs);
+
+  serve::ServeConfig cfg =
+      make_serve_config(divisor, seed, max_inflight, queue_capacity);
+  // Full live stack for the surge: hedging against the shared budget,
+  // breakers armed, degraded-mode admission already on.
+  cfg.strategy = core::Strategy::kHedged;
+  cfg.use_circuit_breakers = true;
+  cfg.experiment.cloud.retry_budget_enabled = true;
+  cfg.traffic.phases.push_back({duration, rate});
+  cfg.traffic.diurnal = true;
+  cfg.traffic.diurnal_shape.duration = duration;
+  cfg.traffic.diurnal_shape.daily_growth = 0.0;
+  cfg.traffic.flash.start = duration / 3;
+  cfg.traffic.flash.duration = duration / 3;
+  cfg.traffic.flash.rate_multiplier = 6.0;
+  cfg.traffic.flash.hot_file_fraction = 0.5;
+  cfg.traffic.flash.hot_file = 0;
+
+  serve::ServiceLoop loop(cfg);
+  SweepPoint p;
+  p.rate = rate;
+  p.r = loop.run();
+  p.metrics = obs->metrics();
+  return p;
+}
+
+bool conservation_ok(const serve::ServeResult& r) {
+  return r.offered == r.admitted + r.shed_unpopular + r.dropped_full &&
+         r.completed == r.admitted;  // every admitted task settles
+}
+
+void emit_result_fields(JsonWriter& j, const serve::ServeResult& r) {
+  char fp[24];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(r.fingerprint));
+  j.field("offered", r.offered)
+      .field("offered_rate_tasks_per_sec", r.offered_rate_tasks_per_sec)
+      .field("admitted", r.admitted)
+      .field("shed_unpopular", r.shed_unpopular)
+      .field("dropped_full", r.dropped_full)
+      .field("completed", r.completed)
+      .field("succeeded", r.succeeded)
+      .field("failed", r.failed)
+      .field("rejected", r.rejected)
+      .field("unclassified_failures", r.unclassified_failures)
+      .field("peak_queue_depth", static_cast<std::uint64_t>(r.peak_queue_depth))
+      .field("peak_inflight", static_cast<std::uint64_t>(r.peak_inflight))
+      .field("budget_granted", r.budget_granted)
+      .field("budget_denied", r.budget_denied)
+      .field("hedge_pairs", r.hedge_pairs)
+      .field("p50_seconds", r.slo.p50_seconds)
+      .field("p99_seconds", r.slo.p99_seconds)
+      .field("goodput_tasks_per_sec", r.slo.goodput_tasks_per_sec)
+      .field("success_ratio", r.slo.success_ratio)
+      .field("windows", r.slo.windows)
+      .field("violation_windows", r.slo.violation_windows)
+      .field("slo_pass", r.slo.pass())
+      .field("fingerprint", std::string(fp));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Open-loop live-service load: ramp to the p99-SLO knee, then a "
+      "flash-crowd surge with a pinned determinism fingerprint.");
+  args.flag("divisor", "4000", "scale divisor vs the measured system");
+  args.flag("seed", "20151028", "workload seed");
+  args.flag("base-rate", "0.002", "first rung of the rate ladder (tasks/sec)");
+  args.flag("steps", "6", "rate-ladder rungs (each 2x the last)");
+  args.flag("rung-minutes", "720", "offered-load duration per rung");
+  args.flag("flash-rate", "0.01", "base rate of the flash-crowd run");
+  args.flag("inflight", "64", "concurrent dispatch slots");
+  args.flag("queue", "256", "admission queue capacity");
+  args.flag("json", "BENCH_serve_load.json", "output JSON (empty to skip)");
+  if (!args.parse(argc, argv)) return 1;
+
+  const double divisor = args.get_double("divisor");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const double base_rate = args.get_double("base-rate");
+  const int steps = args.get_int("steps");
+  const SimTime rung = args.get_int("rung-minutes") * kMinute;
+  const double flash_rate = args.get_double("flash-rate");
+  const auto inflight = static_cast<std::size_t>(args.get_int("inflight"));
+  const auto queue = static_cast<std::size_t>(args.get_int("queue"));
+
+  obs::ObsConfig bench_obs;
+  bench_obs.tracing = false;
+  bench_obs.dump_on_fault_fired = false;
+  obs::ScopedObserver bench(bench_obs);
+
+  // Every rung plus the flash run and its determinism rerun are
+  // independent worlds at the same seed; fan them all out at once.
+  std::vector<double> rates;
+  for (int i = 0; i < steps; ++i) {
+    rates.push_back(base_rate * static_cast<double>(1 << i));
+  }
+  std::vector<std::function<SweepPoint()>> jobs;
+  for (double rate : rates) {
+    jobs.push_back([=] {
+      return run_rung(divisor, seed, rate, rung, inflight, queue);
+    });
+  }
+  for (int rep = 0; rep < 2; ++rep) {
+    jobs.push_back([=] {
+      return run_flash(divisor, seed, flash_rate, rung, inflight, queue);
+    });
+  }
+
+  const auto report_settled_failure = [](const std::string& label,
+                                         std::exception_ptr error) {
+    auto kind = analysis::ReplayFailureKind::kUnknown;
+    std::string what = "unknown exception";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      kind = analysis::classify_replay_failure(e);
+      what = e.what();
+    } catch (...) {
+    }
+    const auto name = analysis::replay_failure_kind_name(kind);
+    std::fprintf(stderr, "run FAILED: %s: [%.*s] %s\n", label.c_str(),
+                 static_cast<int>(name.size()), name.data(), what.c_str());
+  };
+
+  auto settled = run::run_parallel_settled(std::move(jobs));
+  int failed_runs = 0;
+  for (std::size_t i = 0; i < settled.size(); ++i) {
+    if (settled[i].ok()) continue;
+    ++failed_runs;
+    const std::string label =
+        i < rates.size() ? "rate " + std::to_string(rates[i])
+                         : (i == rates.size() ? "flash" : "flash(rerun)");
+    report_settled_failure(label, settled[i].error);
+  }
+  if (failed_runs > 0) {
+    std::fprintf(stderr, "serve_load: %d of %zu run(s) failed\n", failed_runs,
+                 settled.size());
+    return 1;
+  }
+  std::vector<SweepPoint> ramp;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    ramp.push_back(std::move(*settled[i].value));
+  }
+  const SweepPoint flash = std::move(*settled[rates.size()].value);
+  const SweepPoint flash_rerun = std::move(*settled[rates.size() + 1].value);
+  for (const auto& p : ramp) bench->metrics().merge_from(p.metrics);
+  bench->metrics().merge_from(flash.metrics);
+  bench->metrics().merge_from(flash_rerun.metrics);
+
+  // --- knee location --------------------------------------------------------
+  double knee_rate = 0.0;        // highest rung whose SLO still passes
+  double first_failing = 0.0;    // lowest rung past the knee
+  bool any_pass = false, any_fail = false;
+  for (const auto& p : ramp) {
+    if (p.r.slo.pass()) {
+      any_pass = true;
+      knee_rate = std::max(knee_rate, p.rate);
+    } else {
+      any_fail = true;
+      if (first_failing == 0.0) first_failing = p.rate;
+    }
+  }
+  const bool knee_found = any_pass && any_fail;
+
+  TextTable table({"rate/s", "offered", "admit", "shed", "drop", "p50 s",
+                   "p99 s", "goodput/s", "succ", "viol", "SLO"});
+  for (const auto& p : ramp) {
+    table.add_row({TextTable::num(p.rate, 3), std::to_string(p.r.offered),
+                   std::to_string(p.r.admitted),
+                   std::to_string(p.r.shed_unpopular),
+                   std::to_string(p.r.dropped_full),
+                   TextTable::num(p.r.slo.p50_seconds, 1),
+                   TextTable::num(p.r.slo.p99_seconds, 1),
+                   TextTable::num(p.r.slo.goodput_tasks_per_sec, 3),
+                   TextTable::pct(p.r.slo.success_ratio),
+                   std::to_string(p.r.slo.violation_windows),
+                   p.r.slo.pass() ? "pass" : "FAIL"});
+  }
+  std::fputs(banner("Open-loop ramp to saturation (1/" + args.get("divisor") +
+                    " scale, " + args.get("rung-minutes") + " min per rung)")
+                 .c_str(),
+             stdout);
+  std::fputs(table.render().c_str(), stdout);
+  if (knee_found) {
+    std::printf("\nknee: p99 SLO holds at %.2f tasks/s, blows at %.2f "
+                "tasks/s (p99 target %.0f s)\n",
+                knee_rate, first_failing,
+                to_seconds(serve::SloConfig{}.p99_latency_target));
+  } else {
+    std::printf("\nknee: not bracketed by the ladder (%s)\n",
+                any_pass ? "every rung passed — raise --steps"
+                         : "every rung failed — lower --base-rate");
+  }
+
+  TextTable ftable({"run", "offered", "admit", "shed", "drop", "p99 s",
+                    "hedges", "denied", "viol", "fingerprint"});
+  for (const auto* p : {&flash, &flash_rerun}) {
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(p->r.fingerprint));
+    ftable.add_row({p == &flash ? "flash" : "flash(rerun)",
+                    std::to_string(p->r.offered),
+                    std::to_string(p->r.admitted),
+                    std::to_string(p->r.shed_unpopular),
+                    std::to_string(p->r.dropped_full),
+                    TextTable::num(p->r.slo.p99_seconds, 1),
+                    std::to_string(p->r.hedge_pairs),
+                    std::to_string(p->r.budget_denied),
+                    std::to_string(p->r.slo.violation_windows), fp});
+  }
+  std::fputs(banner("Flash crowd at " + args.get("flash-rate") +
+                    " tasks/s base (hedged, breakers, shared budget)")
+                 .c_str(),
+             stdout);
+  std::fputs(ftable.render().c_str(), stdout);
+
+  // --- acceptance -----------------------------------------------------------
+  bool conserve = conservation_ok(flash.r) && conservation_ok(flash_rerun.r);
+  for (const auto& p : ramp) conserve = conserve && conservation_ok(p.r);
+  const bool deterministic = flash.r.fingerprint == flash_rerun.r.fingerprint;
+  const bool saturates = any_fail;  // the ladder reaches overload
+  std::printf("\nacceptance: admission conservation (offered == admitted + "
+              "shed + dropped, completed == admitted): %s\n",
+              conserve ? "PASS" : "FAIL");
+  std::printf("acceptance: ladder reaches saturation (some rung fails SLO): "
+              "%s\n",
+              saturates ? "PASS" : "FAIL");
+  std::printf("acceptance: deterministic flash rerun (fingerprint %016llx): "
+              "%s\n",
+              static_cast<unsigned long long>(flash.r.fingerprint),
+              deterministic ? "PASS" : "FAIL");
+  if (!deterministic) {
+    const auto name = analysis::replay_failure_kind_name(
+        analysis::ReplayFailureKind::kFingerprintMismatch);
+    std::fprintf(stderr,
+                 "serve_load: [%.*s] flash rerun produced fingerprint "
+                 "%016llx, expected %016llx\n",
+                 static_cast<int>(name.size()), name.data(),
+                 static_cast<unsigned long long>(flash_rerun.r.fingerprint),
+                 static_cast<unsigned long long>(flash.r.fingerprint));
+  }
+
+  const bool pass = conserve && saturates && deterministic;
+  if (!pass) {
+    bench->flight().auto_dump(obs::FlightRecorder::DumpTrigger::kBenchAbort,
+                              "serve_load acceptance failed");
+  }
+
+  const std::string json_path = args.get("json");
+  if (!json_path.empty()) {
+    JsonWriter j;
+    j.begin_object()
+        .field("bench", "serve_load")
+        .field("divisor", divisor)
+        .field("seed", seed)
+        .field("max_inflight", static_cast<std::uint64_t>(inflight))
+        .field("queue_capacity", static_cast<std::uint64_t>(queue));
+    j.key("slo").begin_object();
+    const serve::SloConfig slo;
+    j.field("p99_target_seconds", to_seconds(slo.p99_latency_target))
+        .field("min_success_ratio", slo.min_success_ratio)
+        .field("window_seconds", to_seconds(slo.window))
+        .end_object();
+    j.key("ramp").begin_array();
+    for (const auto& p : ramp) {
+      j.begin_object().field("rate_tasks_per_sec", p.rate);
+      emit_result_fields(j, p.r);
+      j.end_object();
+    }
+    j.end_array();
+    j.field("knee_tasks_per_sec", knee_rate)
+        .field("first_failing_tasks_per_sec", first_failing)
+        .field("knee_found", knee_found);
+    j.key("flash").begin_object().field("rate_tasks_per_sec", flash.rate);
+    emit_result_fields(j, flash.r);
+    j.end_object();
+    j.key("acceptance")
+        .begin_object()
+        .field("conservation", conserve)
+        .field("saturation_reached", saturates)
+        .field("deterministic_rerun", deterministic)
+        .end_object();
+    j.end_object();
+    if (!j.write_file(json_path)) {
+      std::fprintf(stderr, "serve_load: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return pass ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/observer.h"
 #include "snapshot/format.h"
 
 namespace odr::core {
@@ -39,10 +40,12 @@ bool RetryBudget::try_acquire_global(SimTime now) {
          now);
   if (global_.tokens < 1.0) {
     ++denied_;
+    ODR_COUNT("core.budget.denied");
     return false;
   }
   global_.tokens -= 1.0;
   ++granted_;
+  ODR_COUNT("core.budget.granted");
   return true;
 }
 
@@ -52,6 +55,7 @@ bool RetryBudget::try_acquire(std::uint64_t user_id, SimTime now) {
          now);
   if (global_.tokens < 1.0) {
     ++denied_;
+    ODR_COUNT("core.budget.denied");
     return false;
   }
   auto [it, inserted] = users_.try_emplace(user_id);
@@ -64,11 +68,13 @@ bool RetryBudget::try_acquire(std::uint64_t user_id, SimTime now) {
          now);
   if (user.tokens < 1.0) {
     ++denied_;
+    ODR_COUNT("core.budget.denied");
     return false;
   }
   global_.tokens -= 1.0;
   user.tokens -= 1.0;
   ++granted_;
+  ODR_COUNT("core.budget.granted");
   return true;
 }
 

@@ -1,0 +1,100 @@
+// Streaming SLO tracking for live-service mode.
+//
+// Tracks end-to-end task latency (completion sim-time minus arrival
+// sim-time, queue wait included) in a quarter-octave log-bucketed
+// histogram — integer bucket math only, so quantile estimates are
+// bit-deterministic and merge-free — plus goodput (succeeded tasks per
+// second of offered-load window) against configurable targets. Latency is
+// also folded per fixed window so the report can say how MANY windows
+// violated the p99 target, not just whether the aggregate did: a service
+// that melts for ten minutes during a flash crowd and then recovers looks
+// healthy in aggregate but fails the windowed check.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace odr::serve {
+
+struct SloConfig {
+  // Aggregate p99 completion-latency target. Loose by wall-clock service
+  // standards because ODR latency is dominated by pre-download over the
+  // measured source-link mix (Fig 9): even an unloaded deployment has a
+  // multi-hour tail of cold unpopular files behind slow or dead links.
+  // Load pushes the p99 past this; the intrinsic tail does not.
+  SimTime p99_latency_target = 2 * kDay;
+  // Minimum fraction of OFFERED tasks that end in success. Offered, not
+  // completed: an open-loop source cannot be slowed down, so admission
+  // sheds and backpressure drops are SLO failures exactly like fetch
+  // failures — a service that keeps its queue short by dropping half the
+  // offered load is not meeting its SLO.
+  double min_success_ratio = 0.75;
+  // Streaming evaluation window.
+  SimTime window = kHour;
+};
+
+struct SloReport {
+  std::uint64_t completed = 0;
+  std::uint64_t succeeded = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double goodput_tasks_per_sec = 0.0;
+  double success_ratio = 0.0;
+  std::uint64_t windows = 0;
+  std::uint64_t violation_windows = 0;
+  bool p99_ok = false;
+  bool success_ok = false;
+  bool pass() const { return p99_ok && success_ok; }
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(const SloConfig& config) : config_(config) {}
+
+  const SloConfig& config() const { return config_; }
+
+  // Folds one completed task. `now` is the completion sim-time; calls
+  // arrive in completion order, so windows roll forward monotonically.
+  void on_complete(SimTime latency, bool success, SimTime now);
+
+  // p-quantile of completed-task latency (upper bound of the bucket that
+  // crosses rank p*N; 0 on no samples).
+  SimTime latency_quantile(double p) const;
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t succeeded() const { return succeeded_; }
+  std::uint64_t violation_windows() const { return violation_windows_; }
+
+  // Final report over `elapsed` sim-time of service (offered-load wall).
+  // When `offered` is nonzero it is the success-ratio denominator (tasks
+  // the generator offered, admitted or not); zero falls back to completed.
+  // Closes the open window first, so call once at end of run.
+  SloReport report(SimTime elapsed, std::uint64_t offered = 0);
+
+ private:
+  // Quarter-octave buckets over latency microseconds: bucket index =
+  // 4*floor(log2 v) + sub-quarter, which bounds quantile error at ~19%
+  // while spanning 1 us .. weeks in 256 buckets.
+  static constexpr std::size_t kBuckets = 256;
+  static std::size_t bucket_of(SimTime latency);
+  static SimTime bucket_upper(std::size_t bucket);
+  static SimTime quantile_of(const std::array<std::uint64_t, kBuckets>& h,
+                             std::uint64_t n, double p);
+
+  void roll_window_to(std::int64_t window_index);
+
+  SloConfig config_;
+  std::array<std::uint64_t, kBuckets> hist_{};
+  std::uint64_t completed_ = 0;
+  std::uint64_t succeeded_ = 0;
+
+  std::array<std::uint64_t, kBuckets> window_hist_{};
+  std::uint64_t window_completed_ = 0;
+  std::int64_t window_index_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t violation_windows_ = 0;
+};
+
+}  // namespace odr::serve

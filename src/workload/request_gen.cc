@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace odr::workload {
 
@@ -18,6 +17,40 @@ double RequestGenerator::relative_intensity(SimTime t) const {
   const double max_value = (1.0 + params_.diurnal_amplitude) *
                            (1.0 + params_.daily_growth * std::max(0.0, num_days - 1.0));
   return diurnal * growth / max_value;
+}
+
+bool RequestGenerator::sample_arrival(const Catalog& catalog,
+                                      const UserPopulation& users, Rng& rng,
+                                      SimTime t, TaskId task_id,
+                                      std::unordered_set<std::uint64_t>& seen,
+                                      WorkloadRecord& out) {
+  // (user, file) with per-user dedup; a handful of retries suffices
+  // because collisions are rare outside the very head of the catalog.
+  UserId user = 0;
+  FileIndex file = kInvalidFile;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    user = users.sample(rng);
+    file = catalog.sample_request(rng);
+    const std::uint64_t key = (static_cast<std::uint64_t>(user) << 32) | file;
+    if (seen.insert(key).second) break;
+    file = kInvalidFile;
+  }
+  if (file == kInvalidFile) return false;  // pathological collision streak
+
+  const User& u = users.user(user);
+  const FileInfo& f = catalog.file(file);
+  out.task_id = task_id;
+  out.user_id = user;
+  out.ip = u.ip;
+  out.isp = u.isp;
+  out.access_bandwidth = u.reports_bandwidth ? u.access_bandwidth : 0.0;
+  out.request_time = t;
+  out.file = file;
+  out.file_type = f.type;
+  out.file_size = f.size;
+  out.source_link = f.source_link;
+  out.protocol = f.protocol;
+  return true;
 }
 
 std::vector<WorkloadRecord> RequestGenerator::generate(
@@ -39,34 +72,11 @@ std::vector<WorkloadRecord> RequestGenerator::generate(
       if (rng.uniform() <= relative_intensity(t)) break;
     }
 
-    // (user, file) with per-user dedup; a handful of retries suffices
-    // because collisions are rare outside the very head of the catalog.
-    UserId user = 0;
-    FileIndex file = kInvalidFile;
-    for (int attempt = 0; attempt < 16; ++attempt) {
-      user = users.sample(rng);
-      file = catalog.sample_request(rng);
-      const std::uint64_t key =
-          (static_cast<std::uint64_t>(user) << 32) | file;
-      if (seen.insert(key).second) break;
-      file = kInvalidFile;
-    }
-    if (file == kInvalidFile) continue;  // pathological collision streak
-
-    const User& u = users.user(user);
-    const FileInfo& f = catalog.file(file);
     WorkloadRecord r;
-    r.task_id = static_cast<TaskId>(out.size() + 1);
-    r.user_id = user;
-    r.ip = u.ip;
-    r.isp = u.isp;
-    r.access_bandwidth = u.reports_bandwidth ? u.access_bandwidth : 0.0;
-    r.request_time = t;
-    r.file = file;
-    r.file_type = f.type;
-    r.file_size = f.size;
-    r.source_link = f.source_link;
-    r.protocol = f.protocol;
+    if (!sample_arrival(catalog, users, rng, t,
+                        static_cast<TaskId>(out.size() + 1), seen, r)) {
+      continue;  // pathological collision streak
+    }
     out.push_back(std::move(r));
   }
 

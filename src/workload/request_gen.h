@@ -8,6 +8,7 @@
 // choice follows the heavy-tailed activity weights of the population.
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "util/rng.h"
@@ -41,6 +42,18 @@ class RequestGenerator {
   // Relative arrival intensity at time t (max value <= 1; used for
   // rejection sampling and exposed for tests).
   double relative_intensity(SimTime t) const;
+
+  // Single-arrival sampling hook shared with the open-loop serving path
+  // (serve::TrafficGen): draws a (user, file) pair for an arrival at time
+  // `t`, honoring the same fetch-at-most-once dedup set generate() uses,
+  // and fills `out` from the catalog/user metadata. Draw order is exactly
+  // two Rng draws per attempt (user, then file), at most 16 attempts.
+  // Returns false when every attempt collided (out is left untouched).
+  static bool sample_arrival(const Catalog& catalog,
+                             const UserPopulation& users, Rng& rng, SimTime t,
+                             TaskId task_id,
+                             std::unordered_set<std::uint64_t>& seen,
+                             WorkloadRecord& out);
 
   const RequestGenParams& params() const { return params_; }
 

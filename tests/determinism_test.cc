@@ -17,6 +17,7 @@
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
+#include "serve/service_loop.h"
 #include "snapshot/world.h"
 
 namespace odr {
@@ -33,6 +34,13 @@ constexpr std::uint64_t kSevereFingerprint = 0x51153af7097f620aull;
 // and reading the "actual" value — but only after convincing yourself the
 // change to the hedging race order was intentional.
 constexpr std::uint64_t kHedgedWeekFingerprint = 0xbbb6ccaa17b96086ull;
+// The live-service flash-crowd run (bench/serve_load's flash family with
+// its default flags): open-loop arrivals, admission control, hedging,
+// breakers, shared budget. The fingerprint hashes every admission verdict
+// and completion in order, so it pins the arrival sampler's draw order,
+// the queue/dispatch interleaving, AND the engine's outcome stream.
+// Re-record from bench/serve_load's "flash" fingerprint field.
+constexpr std::uint64_t kServeFlashFingerprint = 0x5dc8b582fe904702ull;
 
 analysis::ExperimentConfig chaos_config(int plan_level) {
   analysis::ExperimentConfig config =
@@ -89,6 +97,38 @@ TEST(DeterminismTest, SeverePlanKillAndResumeMatchesGoldenFingerprint) {
   resumed.run();
   EXPECT_EQ(analysis::outcome_fingerprint(resumed.finalize().outcomes),
             kSevereFingerprint);
+}
+
+TEST(DeterminismTest, ServeFlashCrowdMatchesGoldenFingerprint) {
+  // Mirrors bench/serve_load's flash run at default flags (divisor 4000,
+  // 12 h at 0.01 tasks/s, diurnal on, 6x flash on the hot file mid-plan,
+  // full hedged stack). Same seed + same rate plan must reproduce the
+  // admission/drop/latency fingerprint bit for bit.
+  serve::ServeConfig cfg;
+  cfg.experiment = analysis::make_scaled_config(kDivisor, kSeed);
+  cfg.experiment.cloud.degraded_admission = true;
+  cfg.experiment.cloud.retry_budget_enabled = true;
+  cfg.strategy = core::Strategy::kHedged;
+  cfg.use_circuit_breakers = true;
+  cfg.max_inflight = 64;
+  cfg.queue_capacity = 256;
+  const SimTime duration = 720 * kMinute;
+  cfg.traffic.phases.push_back({duration, 0.01});
+  cfg.traffic.diurnal = true;
+  cfg.traffic.diurnal_shape.duration = duration;
+  cfg.traffic.diurnal_shape.daily_growth = 0.0;
+  cfg.traffic.flash.start = duration / 3;
+  cfg.traffic.flash.duration = duration / 3;
+  cfg.traffic.flash.rate_multiplier = 6.0;
+  cfg.traffic.flash.hot_file_fraction = 0.5;
+  cfg.traffic.flash.hot_file = 0;
+
+  serve::ServiceLoop loop(cfg);
+  const serve::ServeResult result = loop.run();
+  EXPECT_GT(result.offered, 0u);
+  EXPECT_EQ(result.offered,
+            result.admitted + result.shed_unpopular + result.dropped_full);
+  EXPECT_EQ(result.fingerprint, kServeFlashFingerprint);
 }
 
 TEST(DeterminismTest, HedgedWeekMatchesGoldenFingerprint) {

@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Gate perf_scale results against the checked-in baseline.
+"""Gate benchmark results against the checked-in perf baseline.
 
-Reads bench/perf_scale's JSON output and compares every exact-mode run's
-wall seconds against bench/baselines/perf_smoke.json. Fails (exit 1) if any
+Reads a bench's JSON output and compares every exact-mode run's wall
+seconds against bench/baselines/perf_smoke.json. Fails (exit 1) if any
 divisor regressed by more than the baseline's max_ratio (2x by default) —
 generous enough to absorb runner jitter, tight enough that an accidental
 return to the quadratic solver (a >5x slowdown at divisor 100) can never
 slip through CI.
+
+The baseline can carry several benchmark FAMILIES (keyed by the results'
+"bench" field; an absent field means perf_scale, the original family). A
+family that has no baseline recorded yet is accepted with a note instead
+of failing per-key: a new bench must be able to land before its reference
+numbers exist, without loosening per-key strictness inside families that
+do have a baseline — within a known family, a baseline divisor with no
+measured run is still a hard failure.
 
 Usage:
   tools/check_perf_regression.py --baseline bench/baselines/perf_smoke.json \
@@ -18,12 +26,32 @@ import json
 import sys
 
 
+def load_families(baseline):
+    """Returns {family: {max_ratio, exact_wall_seconds}} from the baseline.
+
+    Legacy layout (top-level exact_wall_seconds) is the perf_scale family;
+    a "families" object adds or overrides further families.
+    """
+    families = {}
+    if "exact_wall_seconds" in baseline:
+        families["perf_scale"] = {
+            "max_ratio": baseline.get("max_ratio", 2.0),
+            "exact_wall_seconds": baseline["exact_wall_seconds"],
+        }
+    for name, spec in baseline.get("families", {}).items():
+        families[name] = {
+            "max_ratio": spec.get("max_ratio", baseline.get("max_ratio", 2.0)),
+            "exact_wall_seconds": spec.get("exact_wall_seconds", {}),
+        }
+    return families
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
                         help="checked-in baseline JSON")
     parser.add_argument("--results", required=True,
-                        help="BENCH_perf_scale.json from this run")
+                        help="bench JSON output from this run")
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
@@ -31,9 +59,18 @@ def main() -> int:
     with open(args.results, encoding="utf-8") as f:
         results = json.load(f)
 
-    max_ratio = float(baseline.get("max_ratio", 2.0))
+    family = str(results.get("bench", "perf_scale"))
+    families = load_families(baseline)
+    if family not in families:
+        print(f"note: no baseline recorded for bench family '{family}' — "
+              f"accepting this run; record reference numbers under "
+              f"families.{family} in {args.baseline} to arm the gate")
+        return 0
+
+    spec = families[family]
+    max_ratio = float(spec["max_ratio"])
     reference = {str(k): float(v)
-                 for k, v in baseline["exact_wall_seconds"].items()}
+                 for k, v in spec["exact_wall_seconds"].items()}
 
     checked = set()
     failures = []
@@ -71,7 +108,7 @@ def main() -> int:
         print(f"perf regression at divisor(s): {', '.join(failures)}",
               file=sys.stderr)
         return 1
-    print(f"perf smoke: {len(checked)} divisor(s) within "
+    print(f"perf smoke [{family}]: {len(checked)} divisor(s) within "
           f"{max_ratio:.1f}x of baseline")
     return 0
 

@@ -39,9 +39,12 @@ def baseline(divisors, max_ratio=2.0):
             "exact_wall_seconds": {k: v for k, v in divisors.items()}}
 
 
-def results(runs):
-    return {"runs": [{"mode": mode, "divisor": d, "wall_seconds": w}
-                     for mode, d, w in runs]}
+def results(runs, bench=None):
+    out = {"runs": [{"mode": mode, "divisor": d, "wall_seconds": w}
+                    for mode, d, w in runs]}
+    if bench is not None:
+        out["bench"] = bench
+    return out
 
 
 class CheckPerfRegressionTest(unittest.TestCase):
@@ -83,6 +86,48 @@ class CheckPerfRegressionTest(unittest.TestCase):
         proc = run_gate(baseline({"400": 10.0}),
                         results([("exact", 400, 10.0), ("exact", 800, 1.0)]))
         self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    # --- benchmark families ------------------------------------------------
+
+    def test_unknown_family_is_accepted_with_note(self):
+        # A brand-new bench (serve_load) lands before its baseline exists:
+        # the gate must accept the run and say how to arm it, not fail
+        # per-key against perf_scale's divisors.
+        proc = run_gate(baseline({"400": 10.0}),
+                        results([("exact", 4000, 99.0)], bench="serve_load"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("no baseline recorded for bench family 'serve_load'",
+                      proc.stdout)
+        self.assertIn("families.serve_load", proc.stdout)
+
+    def test_known_family_is_gated_strictly(self):
+        b = baseline({"400": 10.0})
+        b["families"] = {"serve_load": {"max_ratio": 2.0,
+                                        "exact_wall_seconds": {"4000": 5.0}}}
+        ok = run_gate(b, results([("exact", 4000, 6.0)], bench="serve_load"))
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        self.assertIn("perf smoke [serve_load]", ok.stdout)
+        slow = run_gate(b, results([("exact", 4000, 25.0)],
+                                   bench="serve_load"))
+        self.assertEqual(slow.returncode, 1)
+        self.assertIn("REGRESSED", slow.stdout)
+
+    def test_known_family_missing_key_still_fails(self):
+        # Per-key strictness is not loosened for families that DO have a
+        # baseline: a recorded divisor with no measured run is an error.
+        b = baseline({"400": 10.0})
+        b["families"] = {"serve_load": {"exact_wall_seconds": {"4000": 5.0}}}
+        proc = run_gate(b, results([("exact", 8000, 1.0)],
+                                   bench="serve_load"))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("baseline divisor 4000 has no exact-mode run",
+                      proc.stderr)
+
+    def test_absent_bench_field_means_perf_scale(self):
+        proc = run_gate(baseline({"400": 10.0}),
+                        results([("exact", 400, 12.0)]))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("perf smoke [perf_scale]", proc.stdout)
 
 
 if __name__ == "__main__":
