@@ -217,6 +217,11 @@ struct ServeMetrics {
   std::uint64_t faults_fired = 0;
   std::uint64_t unclassified = 0;
   std::uint64_t fingerprint = 0;
+  // Windowed telemetry (zero unless the run armed the telemetry plane).
+  bool telemetry = false;
+  std::uint64_t telemetry_windows = 0;
+  std::uint64_t telemetry_violations = 0;
+  std::int64_t first_violation_window = -1;
 };
 
 struct ServeRunResult {
@@ -224,11 +229,19 @@ struct ServeRunResult {
   obs::Registry metrics;
 };
 
+// `telemetry` arms admission-verdict spans and the windowed metrics
+// exporter on this run. The determinism rerun keeps it OFF, so the
+// fingerprint-equality gate below doubles as proof that the telemetry
+// plane is invisible to the simulation even while faults fire mid-surge.
 ServeRunResult run_serve_once(double divisor, std::uint64_t seed, bool outage,
-                              const std::string& label) {
+                              bool telemetry, const std::string& label) {
   obs::ObsConfig run_obs;
   run_obs.tracing = false;
   run_obs.dump_on_fault_fired = false;
+  if (telemetry) {
+    run_obs.metrics_ts = true;
+    run_obs.spans = true;
+  }
   obs::ScopedObserver obs(run_obs);
 
   serve::ServeConfig cfg;
@@ -280,6 +293,14 @@ ServeRunResult run_serve_once(double divisor, std::uint64_t seed, bool outage,
   m.faults_fired = res.faults_fired;
   m.unclassified = res.unclassified_failures;
   m.fingerprint = res.fingerprint;
+#if ODR_OBS_ENABLED
+  if (const obs::MetricsTimeSeries* mts = obs->metrics_ts()) {
+    m.telemetry = true;
+    m.telemetry_windows = static_cast<std::uint64_t>(mts->rows().size());
+    m.telemetry_violations = mts->violation_windows();
+    m.first_violation_window = mts->first_violation_window();
+  }
+#endif
 
   ServeRunResult r;
   r.m = std::move(m);
@@ -399,16 +420,18 @@ int main(int argc, char** argv) {
   // regional ISP outage, plus the determinism rerun of the outage run.
   const struct {
     bool outage;
+    bool telemetry;
     const char* label;
-  } kServeRuns[] = {{false, "flash"},
-                    {true, "flash+outage"},
-                    {true, "flash+outage(rerun)"}};
+  } kServeRuns[] = {{false, true, "flash"},
+                    {true, true, "flash+outage"},
+                    {true, false, "flash+outage(rerun)"}};
   std::vector<std::function<ServeRunResult()>> serve_jobs;
   for (const auto& s : kServeRuns) {
     const bool outage = s.outage;
+    const bool telemetry = s.telemetry;
     const std::string label = s.label;
-    serve_jobs.push_back([divisor, seed, outage, label] {
-      return run_serve_once(divisor, seed, outage, label);
+    serve_jobs.push_back([divisor, seed, outage, telemetry, label] {
+      return run_serve_once(divisor, seed, outage, telemetry, label);
     });
   }
   auto serve_settled = run::run_parallel_settled(std::move(serve_jobs));
@@ -566,14 +589,26 @@ int main(int argc, char** argv) {
   const ServeMetrics& serve_outage = serve_runs.back();
   const bool serve_deterministic =
       serve_outage.fingerprint == serve_rerun.fingerprint;
+  // Telemetry-armed runs must agree with the SLO tracker window for
+  // window, and the telemetry-OFF rerun must reproduce the telemetry-ON
+  // fingerprint (the plane observes, never steers).
+  bool serve_telemetry_ok = true;
+  for (const auto& m : serve_runs) {
+    if (!m.telemetry) continue;
+    serve_telemetry_ok = serve_telemetry_ok && m.telemetry_windows > 0 &&
+                         m.telemetry_violations == m.violation_windows;
+  }
   std::printf("acceptance: serve runs settle every task classified: %s "
               "(%llu unclassified)\n",
               serve_classified ? "PASS" : "FAIL",
               static_cast<unsigned long long>(serve_unclassified));
-  std::printf("acceptance: deterministic flash+outage re-run (fingerprint "
-              "%016llx): %s\n",
+  std::printf("acceptance: deterministic flash+outage re-run, telemetry off "
+              "(fingerprint %016llx): %s\n",
               static_cast<unsigned long long>(serve_outage.fingerprint),
               serve_deterministic ? "PASS" : "FAIL");
+  std::printf("acceptance: windowed telemetry matches the SLO tracker on "
+              "armed serve runs: %s\n",
+              serve_telemetry_ok ? "PASS" : "FAIL");
   if (!serve_deterministic) {
     const auto name = analysis::replay_failure_kind_name(
         analysis::ReplayFailureKind::kFingerprintMismatch);
@@ -587,7 +622,8 @@ int main(int argc, char** argv) {
 
   const bool pass = failure_ok && hp_ok && deterministic &&
                     hedged_classified && hedged_deterministic &&
-                    serve_classified && serve_deterministic;
+                    serve_classified && serve_deterministic &&
+                    serve_telemetry_ok;
   if (!pass) {
     bench->flight().auto_dump(obs::FlightRecorder::DumpTrigger::kBenchAbort,
                               "chaos_week acceptance failed");
@@ -662,6 +698,10 @@ int main(int argc, char** argv) {
           .field("budget_denied", m.budget_denied)
           .field("faults_fired", m.faults_fired)
           .field("unclassified_failures", m.unclassified)
+          .field("telemetry", m.telemetry)
+          .field("telemetry_windows", m.telemetry_windows)
+          .field("telemetry_violation_windows", m.telemetry_violations)
+          .field("first_violation_window", m.first_violation_window)
           .field("fingerprint", std::string(fp))
           .end_object();
     }
@@ -675,6 +715,7 @@ int main(int argc, char** argv) {
         .field("hedged_deterministic_rerun", hedged_deterministic)
         .field("serve_zero_unclassified", serve_classified)
         .field("serve_deterministic_rerun", serve_deterministic)
+        .field("serve_telemetry_matches_slo", serve_telemetry_ok)
         .end_object();
     // Informational fault-free calibration snapshot (never gates the bench:
     // chaos plans themselves are allowed to drift the marginals).

@@ -32,6 +32,7 @@
 
 #include "analysis/replay.h"
 #include "obs/observer.h"
+#include "serve/service_loop.h"
 #include "sim/simulator.h"
 #include "snapshot/world.h"
 #include "util/args.h"
@@ -144,6 +145,48 @@ std::uint64_t hashing_off_added_allocations(
                                         : single_allocs - stepped_allocs;
 }
 
+// The live-service telemetry plane's OFF states must be free too. With an
+// ambient observer whose spans, metrics-ts exporter, and sampler are all
+// disabled, a ServiceLoop run hits every ODR_SPAN / ODR_METRICS_TS call
+// site (arrival verdicts, dispatch, completions) — each must reduce to a
+// load and a null branch, and the warm registry must serve ODR_COUNT /
+// ODR_GAUGE lookups without creating. Determinism makes the workload's own
+// operator-new count identical between fresh runs of the same config, so
+// any difference between the observer-free run and the warm observer run
+// is overhead added by the disabled telemetry path.
+std::uint64_t serve_run_allocations(const serve::ServeConfig& cfg) {
+  serve::ServiceLoop loop(cfg);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const serve::ServeResult r = loop.run();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  if (r.offered == 0) std::fputs("empty serve run\n", stderr);
+  return after - before;
+}
+
+std::uint64_t serve_off_state_added_allocations(double divisor,
+                                                std::uint64_t seed) {
+  serve::ServeConfig cfg;
+  cfg.experiment = analysis::make_scaled_config(divisor, seed);
+  cfg.experiment.cloud.degraded_admission = true;
+  cfg.max_inflight = 16;
+  cfg.queue_capacity = 64;
+  cfg.traffic.phases.push_back({6 * kHour, 0.01});
+
+  const std::uint64_t bare = serve_run_allocations(cfg);
+
+  obs::ObsConfig ocfg;
+  ocfg.tracing = false;
+  ocfg.spans = false;        // admission-verdict spans off
+  ocfg.metrics_ts = false;   // windowed exporter off
+  ocfg.sample_period = 0;    // sampler disabled entirely
+  ocfg.dump_on_fault_fired = false;
+  ocfg.dump_on_overload = false;
+  obs::ScopedObserver scoped(ocfg);
+  serve_run_allocations(cfg);  // warm: first use creates the serve.* counters
+  const std::uint64_t with_obs = serve_run_allocations(cfg);
+  return with_obs > bare ? with_obs - bare : bare - with_obs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -210,7 +253,15 @@ int main(int argc, char** argv) {
   // allocations per invocation over the direct engine drain.
   const std::uint64_t hash_off_allocs = hashing_off_added_allocations(config);
   const bool hash_off_pass = hash_off_allocs == 0;
-  const bool pass = time_pass && alloc_pass && hash_off_pass;
+
+  // Exact gate: a serve run under a telemetry-disabled observer (spans,
+  // metrics-ts, sampler all off) allocates exactly as much as with no
+  // observer at all.
+  const std::uint64_t serve_off_allocs = serve_off_state_added_allocations(
+      args.get_double("divisor"),
+      static_cast<std::uint64_t>(args.get_int("seed")));
+  const bool serve_off_pass = serve_off_allocs == 0;
+  const bool pass = time_pass && alloc_pass && hash_off_pass && serve_off_pass;
 
   std::printf("obs overhead, min of %d reps at 1/%s scale:\n", reps,
               args.get("divisor").c_str());
@@ -231,6 +282,10 @@ int main(int argc, char** argv) {
       "(%llu)\n",
       hash_off_pass ? "PASS" : "FAIL",
       static_cast<unsigned long long>(hash_off_allocs));
+  std::printf(
+      "acceptance: telemetry-off serve run adds zero allocations: %s (%llu)\n",
+      serve_off_pass ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(serve_off_allocs));
 
   const std::string json_path = args.get("json");
   if (!json_path.empty()) {
@@ -246,6 +301,7 @@ int main(int argc, char** argv) {
         .field("spans_unsampled_overhead", overhead_spans)
         .field("disabled_dispatch_allocations", dispatch_allocs)
         .field("hashing_off_added_allocations", hash_off_allocs)
+        .field("serve_off_state_added_allocations", serve_off_allocs)
         .field("pass", pass)
         .end_object();
     if (j.write_file(json_path)) {

@@ -17,7 +17,11 @@
 //      on one hot file) in the middle, over the full stack (HedgedFetch,
 //      breakers, shared retry/hedge budget). Run twice: the acceptance
 //      gate pins the admission/drop/latency fingerprint bit-identical
-//      across the rerun.
+//      across the rerun. The primary run carries the full telemetry
+//      plane (admission-verdict spans + windowed metrics time-series,
+//      exported as `odr.metricsts.v1` JSONL via --metrics-ts-out); the
+//      rerun is telemetry-OFF, so the fingerprint gate doubles as the
+//      proof that observing a run never changes it.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -54,6 +58,12 @@ struct SweepPoint {
   double rate = 0.0;
   serve::ServeResult r;
   obs::Registry metrics;
+  // Windowed telemetry copied out of the run's observer (empty unless the
+  // run enabled metrics_ts — and always empty under ODR_OBS=OFF).
+  std::vector<obs::MetricsTsRow> windows;
+  std::uint64_t telemetry_violations = 0;
+  std::int64_t first_violation_window = -1;
+  bool queue_saturated = false;
 };
 
 SweepPoint run_rung(double divisor, std::uint64_t seed, double rate,
@@ -76,12 +86,23 @@ SweepPoint run_rung(double divisor, std::uint64_t seed, double rate,
   return p;
 }
 
+// `telemetry` arms the live telemetry plane (admission-verdict spans +
+// windowed metrics time-series) on this run only; the export paths are
+// written while the run's observer is still alive. Pass empty paths to
+// skip the files.
 SweepPoint run_flash(double divisor, std::uint64_t seed, double rate,
                      SimTime duration, std::size_t max_inflight,
-                     std::size_t queue_capacity) {
+                     std::size_t queue_capacity, bool telemetry,
+                     const std::string& metrics_ts_path,
+                     const std::string& spans_path,
+                     const std::string& metrics_path) {
   obs::ObsConfig run_obs;
   run_obs.tracing = false;
   run_obs.dump_on_fault_fired = false;
+  if (telemetry) {
+    run_obs.metrics_ts = true;
+    run_obs.spans = true;
+  }
   obs::ScopedObserver obs(run_obs);
 
   serve::ServeConfig cfg =
@@ -106,6 +127,17 @@ SweepPoint run_flash(double divisor, std::uint64_t seed, double rate,
   p.rate = rate;
   p.r = loop.run();
   p.metrics = obs->metrics();
+  if (const obs::MetricsTimeSeries* mts = obs->metrics_ts()) {
+    p.windows = mts->rows();
+    p.telemetry_violations = mts->violation_windows();
+    p.first_violation_window = mts->first_violation_window();
+    p.queue_saturated = mts->saturation_latched();
+    if (!metrics_ts_path.empty()) obs->write_metrics_ts_file(metrics_ts_path);
+  }
+  if (telemetry) {
+    if (!spans_path.empty()) obs->write_spans_file(spans_path);
+    if (!metrics_path.empty()) obs->write_metrics_file(metrics_path);
+  }
   return p;
 }
 
@@ -158,6 +190,12 @@ int main(int argc, char** argv) {
   args.flag("inflight", "64", "concurrent dispatch slots");
   args.flag("queue", "256", "admission queue capacity");
   args.flag("json", "BENCH_serve_load.json", "output JSON (empty to skip)");
+  args.flag("metrics-ts-out", "BENCH_serve_load.metricsts.jsonl",
+            "odr.metricsts.v1 JSONL from the telemetry flash run (empty to "
+            "skip)");
+  args.flag("spans-out", "", "odr.spans.v1 JSON from the telemetry flash run");
+  args.flag("metrics-out", "",
+            "odr.metrics.v1 JSON from the telemetry flash run");
   if (!args.parse(argc, argv)) return 1;
 
   const double divisor = args.get_double("divisor");
@@ -186,11 +224,21 @@ int main(int argc, char** argv) {
       return run_rung(divisor, seed, rate, rung, inflight, queue);
     });
   }
-  for (int rep = 0; rep < 2; ++rep) {
-    jobs.push_back([=] {
-      return run_flash(divisor, seed, flash_rate, rung, inflight, queue);
-    });
-  }
+  // Primary flash run carries the telemetry plane and writes the export
+  // files; the rerun is telemetry-off, so the fingerprint comparison
+  // below is also the obs-transparency gate.
+  const std::string metrics_ts_path = args.get("metrics-ts-out");
+  const std::string spans_path = args.get("spans-out");
+  const std::string metrics_path = args.get("metrics-out");
+  jobs.push_back([=] {
+    return run_flash(divisor, seed, flash_rate, rung, inflight, queue,
+                     /*telemetry=*/true, metrics_ts_path, spans_path,
+                     metrics_path);
+  });
+  jobs.push_back([=] {
+    return run_flash(divisor, seed, flash_rate, rung, inflight, queue,
+                     /*telemetry=*/false, "", "", "");
+  });
 
   const auto report_settled_failure = [](const std::string& label,
                                          std::exception_ptr error) {
@@ -300,6 +348,47 @@ int main(int argc, char** argv) {
              stdout);
   std::fputs(ftable.render().c_str(), stdout);
 
+  // --- flash-crowd telemetry trajectory -------------------------------------
+  if (!flash.windows.empty()) {
+    TextTable ttable({"win", "start h", "offered", "admit", "shed", "drop",
+                      "done", "p99 s", "denied", "queue", "dominant", "viol"});
+    std::size_t idle_rows = 0;
+    for (const auto& w : flash.windows) {
+      // The drain tail is mostly idle windows; keep the console table to
+      // the rows that carry information (the JSONL has every window).
+      if (w.offered == 0 && w.completed == 0 && !w.p99_violation) {
+        ++idle_rows;
+        continue;
+      }
+      ttable.add_row(
+          {std::to_string(w.window), TextTable::num(to_hours(w.start), 1),
+           std::to_string(w.offered), std::to_string(w.admitted),
+           std::to_string(w.shed_unpopular), std::to_string(w.dropped_full),
+           std::to_string(w.completed), TextTable::num(w.p99_seconds, 1),
+           std::to_string(w.budget_denied()),
+           std::to_string(w.peak_queue_depth),
+           std::string(w.dominant_stage()), w.p99_violation ? "VIOL" : ""});
+    }
+    std::fputs(banner("Flash telemetry (odr.metricsts.v1, " +
+                      std::to_string(flash.windows.size()) + " windows, " +
+                      std::to_string(idle_rows) + " idle omitted)")
+                   .c_str(),
+               stdout);
+    std::fputs(ttable.render().c_str(), stdout);
+    if (flash.first_violation_window >= 0) {
+      const auto& first = flash.windows[static_cast<std::size_t>(
+          flash.first_violation_window)];
+      std::printf("\np99-SLO knee localized to window %lld "
+                  "[%.1f h, %.1f h): p99 %.1f s, dominant stage %s\n",
+                  static_cast<long long>(flash.first_violation_window),
+                  to_hours(first.start), to_hours(first.end),
+                  first.p99_seconds,
+                  std::string(first.dominant_stage()).c_str());
+    } else {
+      std::printf("\nno p99-violating window — flash absorbed within SLO\n");
+    }
+  }
+
   // --- acceptance -----------------------------------------------------------
   bool conserve = conservation_ok(flash.r) && conservation_ok(flash_rerun.r);
   for (const auto& p : ramp) conserve = conserve && conservation_ok(p.r);
@@ -326,7 +415,31 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(flash.r.fingerprint));
   }
 
-  const bool pass = conserve && saturates && deterministic;
+#if ODR_OBS_ENABLED
+  // Telemetry self-consistency: per-window sums reproduce the ServeResult
+  // totals, the window verdicts agree with the SloTracker, and every
+  // violating window names a dominant stage (spans were on).
+  bool telemetry_ok = !flash.windows.empty();
+  std::uint64_t tele_offered = 0, tele_completed = 0;
+  for (const auto& w : flash.windows) {
+    tele_offered += w.offered;
+    tele_completed += w.completed;
+    if (w.p99_violation && w.dominant_stage().empty()) telemetry_ok = false;
+  }
+  telemetry_ok = telemetry_ok && tele_offered == flash.r.offered &&
+                 tele_completed == flash.r.completed &&
+                 flash.telemetry_violations == flash.r.slo.violation_windows &&
+                 (flash.telemetry_violations == 0) ==
+                     (flash.first_violation_window < 0);
+  std::printf("acceptance: telemetry conservation (window sums == totals, "
+              "windowed verdicts == SLO tracker, violating windows "
+              "attributed): %s\n",
+              telemetry_ok ? "PASS" : "FAIL");
+#else
+  const bool telemetry_ok = true;  // no telemetry compiled in to check
+#endif
+
+  const bool pass = conserve && saturates && deterministic && telemetry_ok;
   if (!pass) {
     bench->flight().auto_dump(obs::FlightRecorder::DumpTrigger::kBenchAbort,
                               "serve_load acceptance failed");
@@ -359,12 +472,23 @@ int main(int argc, char** argv) {
         .field("knee_found", knee_found);
     j.key("flash").begin_object().field("rate_tasks_per_sec", flash.rate);
     emit_result_fields(j, flash.r);
+    j.key("telemetry")
+        .begin_object()
+        .field("windows", static_cast<std::uint64_t>(flash.windows.size()))
+        .field("violation_windows", flash.telemetry_violations)
+        .field("first_violation_window",
+               static_cast<std::int64_t>(flash.first_violation_window))
+        .field("queue_saturated", flash.queue_saturated);
+    j.key("rows").begin_array();
+    for (const auto& w : flash.windows) w.write_json(j);
+    j.end_array().end_object();
     j.end_object();
     j.key("acceptance")
         .begin_object()
         .field("conservation", conserve)
         .field("saturation_reached", saturates)
         .field("deterministic_rerun", deterministic)
+        .field("telemetry", telemetry_ok)
         .end_object();
     j.end_object();
     if (!j.write_file(json_path)) {

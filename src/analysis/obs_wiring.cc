@@ -40,6 +40,7 @@ void wire_cloud_observability(sim::Simulator& sim, net::Network& net,
   obs::Observer* obs = obs::current();
   if (obs == nullptr) return;
   obs::GaugeSampler* sampler = obs->sampler();
+  if (sampler == nullptr) return;  // sample_period <= 0: sampler disabled
 
   sampler->add_probe("net.flows.live", obs::Cat::kNet, [&net] {
     return static_cast<double>(net.active_flow_count());

@@ -21,6 +21,7 @@ std::string_view FlightRecorder::trigger_name(DumpTrigger trigger) {
     case DumpTrigger::kAuditFailure: return "audit_failure";
     case DumpTrigger::kFaultFired: return "fault_fired";
     case DumpTrigger::kBenchAbort: return "bench_abort";
+    case DumpTrigger::kOverloadOnset: return "overload_onset";
     case DumpTrigger::kManual: return "manual";
   }
   return "?";
@@ -64,6 +65,7 @@ bool FlightRecorder::trigger_enabled(DumpTrigger trigger) const {
     case DumpTrigger::kAuditFailure: return config_.dump_on_audit_failure;
     case DumpTrigger::kFaultFired: return config_.dump_on_fault_fired;
     case DumpTrigger::kBenchAbort: return config_.dump_on_bench_abort;
+    case DumpTrigger::kOverloadOnset: return config_.dump_on_overload;
     case DumpTrigger::kManual: return true;
   }
   return false;

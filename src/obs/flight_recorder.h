@@ -61,6 +61,7 @@ class FlightRecorder {
     kAuditFailure = 0,
     kFaultFired,
     kBenchAbort,
+    kOverloadOnset,  // serve telemetry latched an overload (p99/saturation)
     kManual,
   };
   static std::string_view trigger_name(DumpTrigger trigger);

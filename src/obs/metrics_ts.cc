@@ -1,0 +1,278 @@
+#include "obs/metrics_ts.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace odr::obs {
+
+std::string_view admission_verdict_name(AdmissionVerdict v) {
+  switch (v) {
+    case AdmissionVerdict::kAdmitted: return "admitted";
+    case AdmissionVerdict::kShed: return "shed";
+    case AdmissionVerdict::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+std::string_view MetricsTsRow::dominant_stage() const {
+  if (spans_folded == 0) return {};
+  std::size_t best = 0;
+  for (std::size_t s = 1; s < kStageCount; ++s) {
+    if (dominant[s] > dominant[best]) best = s;
+  }
+  return stage_name(static_cast<Stage>(best));
+}
+
+void MetricsTsRow::write_json(JsonWriter& j) const {
+  j.begin_object()
+      .field("window", window)
+      .field("start_us", static_cast<std::int64_t>(start))
+      .field("end_us", static_cast<std::int64_t>(end))
+      .field("offered", offered)
+      .field("admitted", admitted)
+      .field("shed_unpopular", shed_unpopular)
+      .field("dropped_full", dropped_full)
+      .field("completed", completed)
+      .field("succeeded", succeeded)
+      .field("failed", failed)
+      .field("p50_seconds", p50_seconds)
+      .field("p99_seconds", p99_seconds)
+      .field("p99_violation", p99_violation)
+      .field("queue_depth", queue_depth)
+      .field("inflight", inflight)
+      .field("peak_queue_depth", peak_queue_depth)
+      .field("peak_inflight", peak_inflight);
+  for (std::size_t i = 0; i < kWindowCounterNames.size(); ++i) {
+    j.field(std::string(kWindowCounterNames[i]), counter_deltas[i]);
+  }
+  j.field("spans_folded", spans_folded)
+      .field("dominant_stage", std::string(dominant_stage()));
+  j.key("dominant").begin_object();
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (dominant[s] > 0) {
+      j.field(std::string(stage_name(static_cast<Stage>(s))), dominant[s]);
+    }
+  }
+  j.end_object();
+  // (verdict, cause, popularity) rows — the taxonomy's generic "stage"
+  // slot carries the admission verdict here, so name it accordingly.
+  j.key("failures").begin_array();
+  for (const auto& r : verdicts.rows()) {
+    j.begin_object()
+        .field("verdict", r.stage)
+        .field("cause", r.cause)
+        .field("popularity", r.popularity)
+        .field("count", r.count)
+        .end_object();
+  }
+  j.end_array();
+  j.end_object();
+}
+
+MetricsTimeSeries::MetricsTimeSeries(const Registry* registry, SimTime window)
+    : registry_(registry), window_size_(window > 0 ? window : kHour) {
+  cur_.start = 0;
+  cur_.end = window_size_;
+}
+
+void MetricsTimeSeries::begin_run() {
+  rows_.clear();
+  cur_ = MetricsTsRow{};
+  cur_.end = window_size_;
+  cur_hist_.clear();
+  violation_windows_ = 0;
+  first_violation_window_ = -1;
+  p99_latched_ = false;
+  saturation_latched_ = false;
+  // Re-baseline the counter snapshots: a resumed run's registry may carry
+  // pre-kill totals, and the first window must not inherit them as one
+  // giant delta.
+  for (std::size_t i = 0; i < counter_base_.size(); ++i) {
+    counter_base_[i] = counter_value(i);
+  }
+}
+
+void MetricsTimeSeries::begin_serve(SimTime window, SimTime p99_target) {
+  if (window > 0) window_size_ = window;
+  p99_target_ = p99_target;
+  begin_run();
+}
+
+std::uint64_t MetricsTimeSeries::counter_value(std::size_t i) const {
+  if (registry_ == nullptr) return 0;
+  const Counter* c = registry_->find_counter(kWindowCounterNames[i]);
+  return c != nullptr ? c->value() : 0;
+}
+
+void MetricsTimeSeries::close_window() {
+  cur_.p50_seconds = to_seconds(cur_hist_.quantile(0.50));
+  cur_.p99_seconds = to_seconds(cur_hist_.quantile(0.99));
+  cur_.p99_violation = p99_target_ > 0 && !cur_hist_.empty() &&
+                       cur_hist_.quantile(0.99) > p99_target_;
+  for (std::size_t i = 0; i < counter_base_.size(); ++i) {
+    const std::uint64_t v = counter_value(i);
+    cur_.counter_deltas[i] = v - counter_base_[i];
+    counter_base_[i] = v;
+  }
+  if (cur_.p99_violation) {
+    ++violation_windows_;
+    if (first_violation_window_ < 0) {
+      first_violation_window_ = static_cast<std::int64_t>(cur_.window);
+    }
+    if (!p99_latched_) {
+      p99_latched_ = true;
+      if (flight_ != nullptr) {
+        flight_->note(cur_.end, Cat::kTask, Severity::kWarn,
+                      "serve.overload.p99_window",
+                      static_cast<double>(cur_.window), cur_.p99_seconds);
+        flight_->auto_dump(FlightRecorder::DumpTrigger::kOverloadOnset,
+                           "first p99-violating serve window");
+      }
+    }
+  }
+  rows_.push_back(cur_);
+  // Open the next window; last-event gauges carry forward (queue depth
+  // does not reset at a window boundary), peaks restart.
+  MetricsTsRow next;
+  next.window = cur_.window + 1;
+  next.start = cur_.end;
+  next.end = cur_.end + window_size_;
+  next.queue_depth = cur_.queue_depth;
+  next.inflight = cur_.inflight;
+  next.peak_queue_depth = cur_.queue_depth;
+  next.peak_inflight = cur_.inflight;
+  cur_ = std::move(next);
+  cur_hist_.clear();
+}
+
+void MetricsTimeSeries::roll_to(SimTime now) {
+  while (now >= cur_.end) close_window();
+}
+
+void MetricsTimeSeries::touch_gauges(std::size_t queue_depth,
+                                     std::size_t inflight) {
+  cur_.queue_depth = static_cast<std::uint64_t>(queue_depth);
+  cur_.inflight = static_cast<std::uint64_t>(inflight);
+  cur_.peak_queue_depth = std::max(cur_.peak_queue_depth, cur_.queue_depth);
+  cur_.peak_inflight = std::max(cur_.peak_inflight, cur_.inflight);
+}
+
+void MetricsTimeSeries::on_verdict(SimTime now, AdmissionVerdict v,
+                                   std::size_t queue_depth,
+                                   std::size_t inflight) {
+  roll_to(now);
+  ++cur_.offered;
+  switch (v) {
+    case AdmissionVerdict::kAdmitted: ++cur_.admitted; break;
+    case AdmissionVerdict::kShed: ++cur_.shed_unpopular; break;
+    case AdmissionVerdict::kDropped: ++cur_.dropped_full; break;
+  }
+  touch_gauges(queue_depth, inflight);
+  if (v == AdmissionVerdict::kDropped && !saturation_latched_) {
+    saturation_latched_ = true;
+    if (flight_ != nullptr) {
+      flight_->note(now, Cat::kTask, Severity::kWarn,
+                    "serve.overload.queue_saturated",
+                    static_cast<double>(queue_depth),
+                    static_cast<double>(cur_.window));
+      flight_->auto_dump(FlightRecorder::DumpTrigger::kOverloadOnset,
+                         "serve queue saturated (first backpressure drop)");
+    }
+  }
+}
+
+void MetricsTimeSeries::on_complete(SimTime now, SimTime latency, bool success,
+                                    std::size_t queue_depth,
+                                    std::size_t inflight) {
+  roll_to(now);
+  ++cur_.completed;
+  if (success) {
+    ++cur_.succeeded;
+  } else {
+    ++cur_.failed;
+  }
+  cur_hist_.add(latency);
+  touch_gauges(queue_depth, inflight);
+}
+
+void MetricsTimeSeries::fold(const TaskSpan& span) {
+  roll_to(span.finished_at);
+  ++cur_.spans_folded;
+  cur_.dominant[static_cast<std::size_t>(span.dominant_stage())] += 1;
+  switch (span.outcome) {
+    case SpanOutcome::kFailed:
+      cur_.verdicts.add("failed", span.cause, span.popularity);
+      break;
+    case SpanOutcome::kRejected:
+      // Serve-side rejections carry the admission verdict as the cause
+      // ("shed_unpopular" / "queue_full"); engine-level rejections keep
+      // the generic bucket.
+      if (span.cause == "shed_unpopular") {
+        cur_.verdicts.add("shed", span.cause, span.popularity);
+      } else if (span.cause == "queue_full") {
+        cur_.verdicts.add("dropped", span.cause, span.popularity);
+      } else {
+        cur_.verdicts.add("rejected", span.cause, span.popularity);
+      }
+      break;
+    case SpanOutcome::kOpen:
+    case SpanOutcome::kSuccess:
+      break;
+  }
+}
+
+void MetricsTimeSeries::finish(SimTime now) {
+  // Close through the window containing `now`, so the trailing partial
+  // window (drain) is emitted too. `cur_` afterwards is the empty window
+  // following `now`; a repeated finish(now) closes nothing further.
+  while (cur_.start <= now) close_window();
+}
+
+void MetricsTimeSeries::write_jsonl(std::string& out) const {
+  {
+    JsonWriter j;
+    j.begin_object()
+        .field("schema", "odr.metricsts.v1")
+        .field("window_us", static_cast<std::int64_t>(window_size_))
+        .field("p99_target_us", static_cast<std::int64_t>(p99_target_))
+        .field("windows", static_cast<std::uint64_t>(rows_.size()))
+        .field("violation_windows", violation_windows_)
+        .field("first_violation_window",
+               static_cast<std::int64_t>(first_violation_window_))
+        .field("queue_saturated", saturation_latched_)
+        .end_object();
+    out += j.str();
+    out += '\n';
+  }
+  for (const MetricsTsRow& row : rows_) {
+    JsonWriter j;
+    row.write_json(j);
+    out += j.str();
+    out += '\n';
+  }
+}
+
+bool MetricsTimeSeries::write_file(const std::string& path) const {
+  std::string out;
+  write_jsonl(out);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  return n == out.size() && std::fclose(f) == 0;
+}
+
+void MetricsTimeSeries::write_summary_fields(JsonWriter& j) const {
+  j.field("window_us", static_cast<std::int64_t>(window_size_))
+      .field("windows", static_cast<std::uint64_t>(rows_.size()))
+      .field("violation_windows", violation_windows_)
+      .field("first_violation_window",
+             static_cast<std::int64_t>(first_violation_window_))
+      .field("queue_saturated", saturation_latched_)
+      .field("p99_latched", p99_latched_);
+}
+
+}  // namespace odr::obs

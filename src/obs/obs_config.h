@@ -45,6 +45,10 @@ struct ObsConfig {
   bool dump_on_audit_failure = true;
   bool dump_on_fault_fired = true;
   bool dump_on_bench_abort = true;
+  // Serve overload onset (first p99-violating telemetry window, first
+  // backpressure drop) — latched by the MetricsTimeSeries, so at most two
+  // dumps per run regardless of how long the melt lasts.
+  bool dump_on_overload = true;
   // Ceiling on automatic dumps, so a chaos week with hundreds of fault
   // activations does not bury the console. Manual dumps are not capped.
   std::size_t max_auto_dumps = 4;
@@ -76,8 +80,21 @@ struct ObsConfig {
   // targets.
   SimTime calibration_check_period = kHour;
 
+  // --- windowed metrics time-series (live-service telemetry) ---------------
+  // Master switch for the MetricsTimeSeries exporter: fixed sim-time
+  // windows of admission verdicts, completions, window-local p50/p99,
+  // serve gauges, registry counter deltas, and per-window span
+  // attribution, exported as `odr.metricsts.v1` JSONL. Off by default —
+  // replay drivers have no admission stream to window.
+  bool metrics_ts = false;
+  // Fallback window size; the ServiceLoop overrides it with the SLO
+  // evaluation window at run start so telemetry and SLO windows align.
+  SimTime metrics_ts_window = kHour;
+
   // --- periodic gauge sampler ----------------------------------------------
   // Bin width of the sampled TimeSeries (the paper's Fig 11 cadence).
+  // <= 0 disables the sampler entirely (no probes, no per-event check) —
+  // the configuration the obs_overhead allocation gates run under.
   SimTime sample_period = 5 * kMinute;
 };
 

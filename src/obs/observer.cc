@@ -24,6 +24,11 @@ Observer::Observer(ObsConfig config)
     tracer_.set_sample_every(Cat::kNet, config_.trace_sample_every_flows);
     tracer_.set_sample_every(Cat::kProto, config_.trace_sample_every_flows);
   }
+  if (config_.metrics_ts) {
+    metrics_ts_ =
+        std::make_unique<MetricsTimeSeries>(&metrics_, config_.metrics_ts_window);
+    metrics_ts_->set_flight(&flight_);
+  }
   if (config_.spans || config_.calibration) {
     journal_ = std::make_unique<TaskJournal>(config_);
     attribution_ = std::make_unique<Attribution>();
@@ -33,6 +38,7 @@ Observer::Observer(ObsConfig config)
       monitor_->set_flight(&flight_);
     }
     journal_->set_sinks(attribution_.get(), monitor_.get(), &tracer_);
+    journal_->set_metrics_ts(metrics_ts_.get());
   }
 }
 
@@ -40,9 +46,14 @@ void Observer::begin_run() {
   if (journal_) journal_->begin_run();
   if (attribution_) attribution_->begin_run();
   if (monitor_) monitor_->begin_run();
+  if (metrics_ts_) metrics_ts_->begin_run();
 }
 
 void Observer::enable_sampler(SimTime start, SimTime end) {
+  if (config_.sample_period <= 0) {
+    sampler_.reset();  // disabled: no probes, no per-event sampling
+    return;
+  }
   sampler_ = std::make_unique<GaugeSampler>(start, end, config_.sample_period);
   if (tracer_.enabled()) sampler_->set_tracer(&tracer_);
 }
@@ -64,6 +75,11 @@ void Observer::write_metrics_json(JsonWriter& j) {
   if (monitor_) {
     j.key("calibration");
     monitor_->write_json(j);
+  }
+  if (metrics_ts_) {
+    j.key("metrics_ts").begin_object();
+    metrics_ts_->write_summary_fields(j);
+    j.end_object();
   }
   if (sampler_) {
     j.key("sampler").begin_object();
@@ -95,6 +111,11 @@ bool Observer::write_trace_file(const std::string& path) const {
 bool Observer::write_spans_file(const std::string& path) const {
   if (!journal_) return false;
   return journal_->write_file(path);
+}
+
+bool Observer::write_metrics_ts_file(const std::string& path) const {
+  if (!metrics_ts_) return false;
+  return metrics_ts_->write_file(path);
 }
 
 ScopedObserver::ScopedObserver(ObsConfig config)

@@ -21,6 +21,7 @@
 #include "obs/calibration_monitor.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/metrics_ts.h"
 #include "obs/obs_config.h"
 #include "obs/sampler.h"
 #include "obs/task_span.h"
@@ -54,6 +55,9 @@ class Observer {
   // Null unless config().calibration.
   CalibrationMonitor* calibration() { return monitor_.get(); }
   const CalibrationMonitor* calibration() const { return monitor_.get(); }
+  // Null unless config().metrics_ts.
+  MetricsTimeSeries* metrics_ts() { return metrics_ts_.get(); }
+  const MetricsTimeSeries* metrics_ts() const { return metrics_ts_.get(); }
 
   // The observer's view of simulated time, fed by the simulator's
   // after-event hook (and settable directly for harness-level events).
@@ -77,7 +81,8 @@ class Observer {
 
   // (Re)creates the sampler over [start, end) at config().sample_period.
   // Recreating on every wiring call drops probes captured against a
-  // previous replay's world, so nothing dangles across runs.
+  // previous replay's world, so nothing dangles across runs. A
+  // non-positive sample_period leaves the sampler null (disabled).
   void enable_sampler(SimTime start, SimTime end);
 
   // Full metrics document: config echo, registry, sampler series, span /
@@ -88,6 +93,8 @@ class Observer {
   bool write_trace_file(const std::string& path) const;
   // {"schema": "odr.spans.v1", ...}; false when spans are off.
   bool write_spans_file(const std::string& path) const;
+  // `odr.metricsts.v1` JSONL; false when metrics_ts is off.
+  bool write_metrics_ts_file(const std::string& path) const;
 
  private:
   ObsConfig config_;
@@ -98,6 +105,7 @@ class Observer {
   std::unique_ptr<Attribution> attribution_;
   std::unique_ptr<CalibrationMonitor> monitor_;
   std::unique_ptr<TaskJournal> journal_;
+  std::unique_ptr<MetricsTimeSeries> metrics_ts_;
   Counter* sim_events_;  // pre-resolved: on_sim_event runs after every event
   SimTime now_ = 0;
 };
@@ -224,6 +232,16 @@ class ScopedSpan {
         odr_journal_->expr;                                    \
   } while (0)
 
+// Windowed-telemetry call: ODR_METRICS_TS(on_verdict(now, v, depth, n)).
+// `expr` is a MetricsTimeSeries member call; it runs only when an
+// observer with metrics_ts enabled is installed.
+#define ODR_METRICS_TS(expr)                                   \
+  do {                                                         \
+    if (auto* odr_obs_ = ::odr::obs::current())                \
+      if (auto* odr_mts_ = odr_obs_->metrics_ts())             \
+        odr_mts_->expr;                                        \
+  } while (0)
+
 // Extra args are (a) or (a, b) numeric payloads.
 #define ODR_FLIGHT(cat, sev, what, ...)                        \
   do {                                                         \
@@ -245,6 +263,7 @@ class ScopedSpan {
 #define ODR_TRACE_COMPLETE(cat, name, begin, end) do {} while (0)
 #define ODR_TRACE_SPAN(cat, name) do {} while (0)
 #define ODR_SPAN(expr) do {} while (0)
+#define ODR_METRICS_TS(expr) do {} while (0)
 #define ODR_FLIGHT(cat, sev, what, ...) do {} while (0)
 
 #endif  // ODR_OBS_ENABLED

@@ -4,6 +4,7 @@
 
 #include "obs/attribution.h"
 #include "obs/calibration_monitor.h"
+#include "obs/metrics_ts.h"
 #include "obs/trace.h"
 #include "util/json.h"
 
@@ -123,6 +124,10 @@ void TaskJournal::set_sinks(Attribution* attribution,
   tracer_ = tracer;
 }
 
+void TaskJournal::set_metrics_ts(MetricsTimeSeries* metrics_ts) {
+  metrics_ts_ = metrics_ts;
+}
+
 void TaskJournal::begin_run() {
   open_.clear();
   file_retries_.clear();
@@ -214,6 +219,7 @@ void TaskJournal::on_finish(std::uint64_t task_id, SimTime t,
 
   if (attribution_ != nullptr) attribution_->fold(span);
   if (monitor_ != nullptr) monitor_->on_span(span);
+  if (metrics_ts_ != nullptr) metrics_ts_->fold(span);
   emit_trace(span);
   keep(span);
 }

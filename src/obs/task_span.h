@@ -47,6 +47,7 @@ namespace odr::obs {
 
 class Attribution;
 class CalibrationMonitor;
+class MetricsTimeSeries;
 class Tracer;
 
 // Pipeline stages a task can pass through. A task visits a subset in
@@ -135,6 +136,9 @@ class TaskJournal {
   // Downstream consumers of finished spans; any may be null.
   void set_sinks(Attribution* attribution, CalibrationMonitor* monitor,
                  Tracer* tracer);
+  // Windowed-telemetry sink: every finished span is folded into the
+  // window containing its finish time (null = no windowed attribution).
+  void set_metrics_ts(MetricsTimeSeries* metrics_ts);
 
   // Resets ALL journal state (open spans, kept samples, retry notes,
   // counters) for a fresh run or a checkpoint restore. Attribution and
@@ -198,6 +202,7 @@ class TaskJournal {
   Attribution* attribution_ = nullptr;
   CalibrationMonitor* monitor_ = nullptr;
   Tracer* tracer_ = nullptr;
+  MetricsTimeSeries* metrics_ts_ = nullptr;
 
   std::unordered_map<std::uint64_t, TaskSpan> open_;
   std::unordered_map<std::uint64_t, std::uint32_t> file_retries_;

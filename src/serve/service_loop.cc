@@ -9,6 +9,32 @@
 
 namespace odr::serve {
 
+namespace {
+
+#if ODR_OBS_ENABLED
+// Closes the span of a shed/dropped arrival on the spot: a zero-duration
+// kAdmission marker and a kRejected terminal whose cause names the
+// verdict. The cause literals are static-duration, as SpanTerminal
+// requires, and flow into the attribution taxonomy and the per-window
+// telemetry as ("shed"|"dropped", cause, popularity) rows.
+void finish_refused_span(std::uint64_t task_id, SimTime t,
+                         std::string_view cause,
+                         workload::PopularityClass cls) {
+  obs::Observer* o = obs::current();
+  if (o == nullptr || o->journal() == nullptr) return;
+  obs::TaskJournal* journal = o->journal();
+  journal->on_submit(task_id, t, obs::SpanOrigin::kCloud);
+  journal->on_stage(task_id, obs::Stage::kAdmission, t, t);
+  obs::SpanTerminal term;
+  term.outcome = obs::SpanOutcome::kRejected;
+  term.cause = cause;
+  term.popularity = workload::popularity_class_name(cls);
+  journal->on_finish(task_id, t, term);
+}
+#endif  // ODR_OBS_ENABLED
+
+}  // namespace
+
 ServiceLoop::ServiceLoop(const ServeConfig& config)
     : config_(config),
       net_(sim_),
@@ -108,12 +134,15 @@ void ServiceLoop::on_arrival() {
       catalog_->file(r.file).expected_weekly_requests);
 
   // Admission control in front of the bounded queue. Verdict codes feed
-  // the fingerprint: 0 admit, 1 shed (degraded mode), 2 drop (full).
+  // the fingerprint: 0 admit, 1 shed (degraded mode), 2 drop (full) —
+  // the same ordering obs::AdmissionVerdict uses, so the cast below maps
+  // codes to telemetry verdicts directly.
   std::uint64_t verdict;
   if (queue_.size() >= config_.queue_capacity) {
     verdict = 2;
     ++result_.dropped_full;
     ODR_COUNT("serve.backpressure.drops");
+    ODR_OBS(finish_refused_span(r.task_id, r.request_time, "queue_full", cls);)
   } else if (static_cast<double>(queue_.size()) >=
                  config_.shed_watermark *
                      static_cast<double>(config_.queue_capacity) &&
@@ -121,10 +150,16 @@ void ServiceLoop::on_arrival() {
     verdict = 1;
     ++result_.shed_unpopular;
     ODR_COUNT("serve.admission.shed_unpopular");
+    ODR_OBS(
+        finish_refused_span(r.task_id, r.request_time, "shed_unpopular", cls);)
   } else {
     verdict = 0;
     ++result_.admitted;
     ODR_COUNT("serve.admission.admitted");
+    // Open the span at arrival, not dispatch: the first opener wins in
+    // the journal, so the executor's later on_submit is a no-op and the
+    // span's wall time includes queue wait.
+    ODR_SPAN(on_submit(r.task_id, r.request_time, obs::SpanOrigin::kCloud));
     queue_.push_back(std::move(task));
     result_.peak_queue_depth =
         std::max(result_.peak_queue_depth, queue_.size());
@@ -132,6 +167,9 @@ void ServiceLoop::on_arrival() {
   mix(r.task_id);
   mix(verdict);
   ODR_GAUGE("serve.queue.depth", queue_.size());
+  ODR_METRICS_TS(on_verdict(r.request_time,
+                            static_cast<obs::AdmissionVerdict>(verdict),
+                            queue_.size(), inflight_));
   pump();
 }
 
@@ -163,6 +201,11 @@ void ServiceLoop::dispatch(Queued task) {
       core::decide_with(config_.strategy, *redirector_, input);
 
   const SimTime arrival = record.request_time;
+  // Queue wait charged to the admission stage: overloaded windows show
+  // "admission" as the dominant stage when the queue, not the fetch
+  // pipeline, is where the latency went.
+  ODR_SPAN(on_stage(record.task_id, obs::Stage::kAdmission, arrival,
+                    sim_.now()));
   executor_->execute(
       decision, record, user, ap,
       [this, arrival](const core::ExecOutcome& o) {
@@ -181,6 +224,8 @@ void ServiceLoop::dispatch(Queued task) {
           }
         }
         slo_.on_complete(latency, o.success, now);
+        ODR_METRICS_TS(
+            on_complete(now, latency, o.success, queue_.size(), inflight_));
         mix(o.task_id);
         mix(0x100u + static_cast<std::uint64_t>(o.success));
         mix(static_cast<std::uint64_t>(o.cause));
@@ -202,9 +247,18 @@ ServeResult ServiceLoop::run() {
   if (ap_breaker_) {
     analysis::wire_breaker_probe("core.breaker.ap", *ap_breaker_);
   }
+  // Telemetry windows adopt the SLO evaluation window and p99 target so
+  // every exported row lines up with a SloTracker window. Must follow the
+  // wiring above: wire_cloud_observability's begin_run() resets the
+  // exporter, and begin_serve re-baselines it with the serve shape.
+  ODR_METRICS_TS(
+      begin_serve(config_.slo.window, config_.slo.p99_latency_target));
 
   schedule_next_arrival();
   sim_.run();
+  // Close every telemetry window through the drain point so the trailing
+  // partial window is exported too.
+  ODR_METRICS_TS(finish(sim_.now()));
 
   result_.plan_duration = plan_end;
   result_.drained_at = sim_.now();

@@ -1,56 +1,18 @@
 #include "serve/slo_tracker.h"
 
-#include <algorithm>
-#include <bit>
-
 namespace odr::serve {
-
-std::size_t SloTracker::bucket_of(SimTime latency) {
-  const std::uint64_t v = latency <= 0 ? 1u : static_cast<std::uint64_t>(latency);
-  const unsigned octave = 63u - static_cast<unsigned>(std::countl_zero(v));
-  // Quarter within the octave: the two bits below the leading bit (the
-  // first two octaves have fewer than two such bits and use quarter 0).
-  const unsigned quarter =
-      octave >= 2 ? static_cast<unsigned>((v >> (octave - 2)) & 0x3u) : 0u;
-  const std::size_t idx = static_cast<std::size_t>(octave) * 4u + quarter;
-  return std::min(idx, kBuckets - 1);
-}
-
-SimTime SloTracker::bucket_upper(std::size_t bucket) {
-  const std::uint64_t octave = bucket / 4;
-  const std::uint64_t quarter = bucket % 4;
-  // Upper edge of [2^o * (1 + q/4), 2^o * (1 + (q+1)/4)).
-  if (octave >= 62) return kTimeNever;
-  const std::uint64_t base = 1ull << octave;
-  if (octave < 2) return static_cast<SimTime>(base << 1);  // whole octave
-  return static_cast<SimTime>(base + (base * (quarter + 1)) / 4);
-}
-
-SimTime SloTracker::quantile_of(const std::array<std::uint64_t, kBuckets>& h,
-                                std::uint64_t n, double p) {
-  if (n == 0) return 0;
-  const double clamped = std::min(std::max(p, 0.0), 1.0);
-  std::uint64_t rank = static_cast<std::uint64_t>(clamped * static_cast<double>(n));
-  if (rank >= n) rank = n - 1;
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += h[i];
-    if (seen > rank) return bucket_upper(i);
-  }
-  return bucket_upper(kBuckets - 1);
-}
 
 void SloTracker::roll_window_to(std::int64_t window_index) {
   if (window_index <= window_index_) return;
   // Close the current window (if it saw any completions), then skip the
   // empty gap windows — an idle window has no latency samples and does
   // not count as a violation or as a measured window.
-  if (window_completed_ > 0) {
+  if (!window_hist_.empty()) {
     ++windows_;
-    const SimTime p99 = quantile_of(window_hist_, window_completed_, 0.99);
-    if (p99 > config_.p99_latency_target) ++violation_windows_;
-    window_hist_.fill(0);
-    window_completed_ = 0;
+    if (window_hist_.quantile(0.99) > config_.p99_latency_target) {
+      ++violation_windows_;
+    }
+    window_hist_.clear();
   }
   window_index_ = window_index;
 }
@@ -59,35 +21,31 @@ void SloTracker::on_complete(SimTime latency, bool success, SimTime now) {
   const std::int64_t idx =
       config_.window > 0 ? static_cast<std::int64_t>(now / config_.window) : 0;
   roll_window_to(idx);
-  const std::size_t b = bucket_of(latency);
-  hist_[b] += 1;
-  window_hist_[b] += 1;
-  ++completed_;
-  ++window_completed_;
+  hist_.add(latency);
+  window_hist_.add(latency);
   if (success) ++succeeded_;
-}
-
-SimTime SloTracker::latency_quantile(double p) const {
-  return quantile_of(hist_, completed_, p);
 }
 
 SloReport SloTracker::report(SimTime elapsed, std::uint64_t offered) {
   roll_window_to(window_index_ + 1);  // close the open window
   SloReport r;
-  r.completed = completed_;
+  r.completed = hist_.count();
   r.succeeded = succeeded_;
-  r.p50_seconds = to_seconds(latency_quantile(0.50));
-  r.p99_seconds = to_seconds(latency_quantile(0.99));
+  // Quantiles of an empty histogram are 0 by LogHist contract; the
+  // remaining ratios guard their denominators so a run that completed
+  // nothing (or ran for zero time) reports exact zeros, never NaN.
+  r.p50_seconds = to_seconds(hist_.quantile(0.50));
+  r.p99_seconds = to_seconds(hist_.quantile(0.99));
   r.goodput_tasks_per_sec =
       elapsed > 0 ? static_cast<double>(succeeded_) / to_seconds(elapsed) : 0.0;
-  const std::uint64_t denom = offered > 0 ? offered : completed_;
+  const std::uint64_t denom = offered > 0 ? offered : hist_.count();
   r.success_ratio =
       denom > 0
           ? static_cast<double>(succeeded_) / static_cast<double>(denom)
           : 0.0;
   r.windows = windows_;
   r.violation_windows = violation_windows_;
-  r.p99_ok = latency_quantile(0.99) <= config_.p99_latency_target;
+  r.p99_ok = hist_.quantile(0.99) <= config_.p99_latency_target;
   r.success_ok = r.success_ratio >= config_.min_success_ratio;
   return r;
 }

@@ -2,18 +2,23 @@
 //
 // Tracks end-to-end task latency (completion sim-time minus arrival
 // sim-time, queue wait included) in a quarter-octave log-bucketed
-// histogram — integer bucket math only, so quantile estimates are
-// bit-deterministic and merge-free — plus goodput (succeeded tasks per
-// second of offered-load window) against configurable targets. Latency is
-// also folded per fixed window so the report can say how MANY windows
-// violated the p99 target, not just whether the aggregate did: a service
-// that melts for ten minutes during a flash crowd and then recovers looks
-// healthy in aggregate but fails the windowed check.
+// histogram (util::LogHist — integer bucket math only, so quantile
+// estimates are bit-deterministic and merge-free) plus goodput (succeeded
+// tasks per second of offered-load window) against configurable targets.
+// Latency is also folded per fixed window so the report can say how MANY
+// windows violated the p99 target, not just whether the aggregate did: a
+// service that melts for ten minutes during a flash crowd and then
+// recovers looks healthy in aggregate but fails the windowed check.
+//
+// Zero-sample safety: every derived statistic (quantiles of an empty
+// histogram, goodput over elapsed == 0, success ratio over an empty
+// denominator) is defined to be exactly 0 — report() never produces NaN
+// or infinity, so telemetry JSON built from it is always well-formed.
 #pragma once
 
-#include <array>
 #include <cstdint>
 
+#include "util/log_hist.h"
 #include "util/units.h"
 
 namespace odr::serve {
@@ -61,37 +66,27 @@ class SloTracker {
 
   // p-quantile of completed-task latency (upper bound of the bucket that
   // crosses rank p*N; 0 on no samples).
-  SimTime latency_quantile(double p) const;
+  SimTime latency_quantile(double p) const { return hist_.quantile(p); }
 
-  std::uint64_t completed() const { return completed_; }
+  std::uint64_t completed() const { return hist_.count(); }
   std::uint64_t succeeded() const { return succeeded_; }
   std::uint64_t violation_windows() const { return violation_windows_; }
 
   // Final report over `elapsed` sim-time of service (offered-load wall).
   // When `offered` is nonzero it is the success-ratio denominator (tasks
   // the generator offered, admitted or not); zero falls back to completed.
-  // Closes the open window first, so call once at end of run.
+  // Closes the open window first, so call once at end of run. Safe on a
+  // tracker that saw no completions and on elapsed == 0: all-zero report.
   SloReport report(SimTime elapsed, std::uint64_t offered = 0);
 
  private:
-  // Quarter-octave buckets over latency microseconds: bucket index =
-  // 4*floor(log2 v) + sub-quarter, which bounds quantile error at ~19%
-  // while spanning 1 us .. weeks in 256 buckets.
-  static constexpr std::size_t kBuckets = 256;
-  static std::size_t bucket_of(SimTime latency);
-  static SimTime bucket_upper(std::size_t bucket);
-  static SimTime quantile_of(const std::array<std::uint64_t, kBuckets>& h,
-                             std::uint64_t n, double p);
-
   void roll_window_to(std::int64_t window_index);
 
   SloConfig config_;
-  std::array<std::uint64_t, kBuckets> hist_{};
-  std::uint64_t completed_ = 0;
+  LogHist hist_;
   std::uint64_t succeeded_ = 0;
 
-  std::array<std::uint64_t, kBuckets> window_hist_{};
-  std::uint64_t window_completed_ = 0;
+  LogHist window_hist_;
   std::int64_t window_index_ = 0;
   std::uint64_t windows_ = 0;
   std::uint64_t violation_windows_ = 0;

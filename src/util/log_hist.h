@@ -1,0 +1,89 @@
+// Quarter-octave log-bucketed histogram over SimTime values.
+//
+// Bucket index = 4*floor(log2 v) + quarter, where the quarter is the two
+// bits below the leading bit — integer math only, so quantile estimates
+// are bit-deterministic across platforms and merges, with relative error
+// bounded at one quarter-octave (~19%) while 256 buckets span
+// 1 us .. weeks. Extracted from serve::SloTracker so the obs-side
+// windowed exporter shares the exact same bucket edges (the serve layer
+// depends on obs, not the other way round, so the math lives in util).
+//
+// Zero-sample safety: quantile() returns 0 when the histogram is empty,
+// so downstream JSON never carries NaN or garbage for idle windows.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace odr {
+
+class LogHist {
+ public:
+  static constexpr std::size_t kBuckets = 256;
+
+  static std::size_t bucket_of(SimTime v) {
+    const std::uint64_t u = v <= 0 ? 1u : static_cast<std::uint64_t>(v);
+    const unsigned octave = 63u - static_cast<unsigned>(std::countl_zero(u));
+    // Quarter within the octave: the two bits below the leading bit (the
+    // first two octaves have fewer than two such bits and use quarter 0).
+    const unsigned quarter =
+        octave >= 2 ? static_cast<unsigned>((u >> (octave - 2)) & 0x3u) : 0u;
+    const std::size_t idx = static_cast<std::size_t>(octave) * 4u + quarter;
+    return std::min(idx, kBuckets - 1);
+  }
+
+  static SimTime bucket_upper(std::size_t bucket) {
+    const std::uint64_t octave = bucket / 4;
+    const std::uint64_t quarter = bucket % 4;
+    // Upper edge of [2^o * (1 + q/4), 2^o * (1 + (q+1)/4)).
+    if (octave >= 62) return kTimeNever;
+    const std::uint64_t base = 1ull << octave;
+    if (octave < 2) return static_cast<SimTime>(base << 1);  // whole octave
+    return static_cast<SimTime>(base + (base * (quarter + 1)) / 4);
+  }
+
+  void add(SimTime v) {
+    counts_[bucket_of(v)] += 1;
+    ++n_;
+  }
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  // p-quantile as the upper bound of the bucket that crosses rank p*N.
+  // 0 on an empty histogram — never NaN, never a stale bucket edge.
+  SimTime quantile(double p) const {
+    if (n_ == 0) return 0;
+    const double clamped = std::min(std::max(p, 0.0), 1.0);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(clamped * static_cast<double>(n_));
+    if (rank >= n_) rank = n_ - 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank) return bucket_upper(i);
+    }
+    return bucket_upper(kBuckets - 1);
+  }
+
+  void clear() {
+    counts_.fill(0);
+    n_ = 0;
+  }
+
+  // Bin-wise merge (parallel-worker aggregation).
+  void merge_from(const LogHist& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    n_ += other.n_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace odr

@@ -17,6 +17,7 @@
 #include "analysis/metrics.h"
 #include "analysis/replay.h"
 #include "fault/fault_plan.h"
+#include "obs/observer.h"
 #include "serve/service_loop.h"
 #include "snapshot/world.h"
 
@@ -99,11 +100,10 @@ TEST(DeterminismTest, SeverePlanKillAndResumeMatchesGoldenFingerprint) {
             kSevereFingerprint);
 }
 
-TEST(DeterminismTest, ServeFlashCrowdMatchesGoldenFingerprint) {
+serve::ServeConfig serve_flash_config() {
   // Mirrors bench/serve_load's flash run at default flags (divisor 4000,
   // 12 h at 0.01 tasks/s, diurnal on, 6x flash on the hot file mid-plan,
-  // full hedged stack). Same seed + same rate plan must reproduce the
-  // admission/drop/latency fingerprint bit for bit.
+  // full hedged stack).
   serve::ServeConfig cfg;
   cfg.experiment = analysis::make_scaled_config(kDivisor, kSeed);
   cfg.experiment.cloud.degraded_admission = true;
@@ -122,14 +122,54 @@ TEST(DeterminismTest, ServeFlashCrowdMatchesGoldenFingerprint) {
   cfg.traffic.flash.rate_multiplier = 6.0;
   cfg.traffic.flash.hot_file_fraction = 0.5;
   cfg.traffic.flash.hot_file = 0;
+  return cfg;
+}
 
-  serve::ServiceLoop loop(cfg);
+TEST(DeterminismTest, ServeFlashCrowdMatchesGoldenFingerprint) {
+  // Same seed + same rate plan must reproduce the admission/drop/latency
+  // fingerprint bit for bit.
+  serve::ServiceLoop loop(serve_flash_config());
   const serve::ServeResult result = loop.run();
   EXPECT_GT(result.offered, 0u);
   EXPECT_EQ(result.offered,
             result.admitted + result.shed_unpopular + result.dropped_full);
   EXPECT_EQ(result.fingerprint, kServeFlashFingerprint);
 }
+
+#if ODR_OBS_ENABLED
+TEST(DeterminismTest, ServeFlashCrowdWithTelemetryMatchesGoldenFingerprint) {
+  // The live telemetry plane (admission-verdict spans + the windowed
+  // metrics time-series) is pure derived state: arming it must not move a
+  // single rng draw or event, so the telemetry-ON run reproduces the same
+  // pinned golden as the bare run above. Also pins the window/SLO
+  // agreement: the exporter's per-window p99 verdicts are computed from
+  // the same completion stream as the SLO tracker's.
+  obs::ObsConfig ocfg;
+  ocfg.tracing = false;
+  ocfg.spans = true;
+  ocfg.metrics_ts = true;
+  ocfg.dump_on_fault_fired = false;
+  ocfg.dump_on_overload = false;
+  obs::ScopedObserver obs(ocfg);
+
+  serve::ServiceLoop loop(serve_flash_config());
+  const serve::ServeResult result = loop.run();
+  EXPECT_EQ(result.fingerprint, kServeFlashFingerprint);
+
+  const obs::MetricsTimeSeries* mts = obs->metrics_ts();
+  ASSERT_NE(mts, nullptr);
+  EXPECT_FALSE(mts->rows().empty());
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  for (const obs::MetricsTsRow& row : mts->rows()) {
+    offered += row.offered;
+    completed += row.completed;
+  }
+  EXPECT_EQ(offered, result.offered);
+  EXPECT_EQ(completed, result.completed);
+  EXPECT_EQ(mts->violation_windows(), result.slo.violation_windows);
+}
+#endif  // ODR_OBS_ENABLED
 
 TEST(DeterminismTest, HedgedWeekMatchesGoldenFingerprint) {
   // Hedging races two clones per task and cancels the loser with a

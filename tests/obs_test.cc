@@ -13,6 +13,7 @@
 #include "obs/calibration_monitor.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/metrics_ts.h"
 #include "obs/observer.h"
 #include "obs/sampler.h"
 #include "obs/task_span.h"
@@ -803,6 +804,201 @@ std::uint64_t fingerprint(const std::vector<cloud::TaskOutcome>& outcomes) {
     mix(static_cast<std::uint64_t>(o.fetch.finish_time));
   }
   return h;
+}
+
+// --- windowed metrics time-series -------------------------------------------
+
+TaskSpan make_finished_span(std::uint64_t id, SimTime finished, Stage heavy,
+                            SpanOutcome outcome, std::string_view cause,
+                            std::string_view popularity) {
+  TaskSpan s;
+  s.task_id = id;
+  s.submitted_at = 0;
+  s.finished_at = finished;
+  s.outcome = outcome;
+  s.cause = cause;
+  s.popularity = popularity;
+  s.stages.push_back({heavy, 0, finished, 0});
+  return s;
+}
+
+TEST(MetricsTimeSeriesTest, WindowsRollAndEmptyWindowsAreEmitted) {
+  MetricsTimeSeries mts(nullptr, kMinute);
+  mts.begin_serve(kMinute, /*p99_target=*/0);
+  mts.on_verdict(10 * kSec, AdmissionVerdict::kAdmitted, 1, 0);
+  mts.on_complete(30 * kSec, 5 * kSec, true, 0, 1);
+  // Next arrival lands in window 3: windows 1 and 2 are idle but must
+  // still be emitted — the trajectory needs every window, not just busy
+  // ones (unlike the SLO tracker, which skips idle gaps).
+  mts.on_verdict(3 * kMinute + 10 * kSec, AdmissionVerdict::kShed, 0, 0);
+  mts.finish(3 * kMinute + 30 * kSec);
+  ASSERT_EQ(mts.rows().size(), 4u);
+  const auto& rows = mts.rows();
+  EXPECT_EQ(rows[0].offered, 1u);
+  EXPECT_EQ(rows[0].admitted, 1u);
+  EXPECT_EQ(rows[0].completed, 1u);
+  EXPECT_EQ(rows[0].succeeded, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].p50_seconds, rows[0].p99_seconds);
+  EXPECT_EQ(rows[1].offered, 0u);
+  EXPECT_EQ(rows[2].offered, 0u);
+  EXPECT_EQ(rows[3].shed_unpopular, 1u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].window, i);
+    EXPECT_EQ(rows[i].start, static_cast<SimTime>(i) * kMinute);
+    EXPECT_EQ(rows[i].end, static_cast<SimTime>(i + 1) * kMinute);
+  }
+  // finish() is idempotent: a second call closes nothing further.
+  mts.finish(3 * kMinute + 30 * kSec);
+  EXPECT_EQ(mts.rows().size(), 4u);
+}
+
+TEST(MetricsTimeSeriesTest, GaugesCarryForwardAcrossWindowBoundaries) {
+  MetricsTimeSeries mts(nullptr, kMinute);
+  mts.begin_serve(kMinute, 0);
+  mts.on_verdict(10 * kSec, AdmissionVerdict::kAdmitted, /*queue=*/7,
+                 /*inflight=*/3);
+  mts.on_verdict(2 * kMinute + 10 * kSec, AdmissionVerdict::kAdmitted, 2, 1);
+  mts.finish(2 * kMinute + 10 * kSec);
+  const auto& rows = mts.rows();
+  ASSERT_EQ(rows.size(), 3u);
+  // Queue depth does not reset at a window boundary: the idle window 1
+  // carries the last observed values, peaks and all.
+  EXPECT_EQ(rows[0].queue_depth, 7u);
+  EXPECT_EQ(rows[0].peak_queue_depth, 7u);
+  EXPECT_EQ(rows[1].queue_depth, 7u);
+  EXPECT_EQ(rows[1].peak_inflight, 3u);
+  // Window 2 saw a lower value; the peak restarts from the carried level.
+  EXPECT_EQ(rows[2].queue_depth, 2u);
+  EXPECT_EQ(rows[2].peak_queue_depth, 7u);
+}
+
+TEST(MetricsTimeSeriesTest, CounterDeltasSnapshotAndRebaselinePerWindow) {
+  Registry reg;
+  Counter& granted = reg.counter("core.budget.granted");
+  granted.inc(11);  // pre-run total: must not appear in any window delta
+  MetricsTimeSeries mts(&reg, kMinute);
+  mts.begin_serve(kMinute, 0);
+  granted.inc(2);
+  mts.on_verdict(kMinute + kSec, AdmissionVerdict::kAdmitted, 0, 0);
+  granted.inc(5);
+  mts.finish(kMinute + 2 * kSec);
+  const auto& rows = mts.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].budget_granted(), 2u);
+  EXPECT_EQ(rows[1].budget_granted(), 5u);
+  EXPECT_EQ(rows[0].budget_denied(), 0u);  // absent counters read as zero
+}
+
+TEST(MetricsTimeSeriesTest, FoldBucketsSpansByWindowVerdictAndStage) {
+  MetricsTimeSeries mts(nullptr, kMinute);
+  mts.begin_serve(kMinute, 0);
+  mts.fold(make_finished_span(1, 10 * kSec, Stage::kApFetch,
+                              SpanOutcome::kSuccess, "none", "popular"));
+  mts.fold(make_finished_span(2, 20 * kSec, Stage::kApFetch,
+                              SpanOutcome::kFailed, "slow-seeds",
+                              "unpopular"));
+  mts.fold(make_finished_span(3, kMinute + kSec, Stage::kAdmission,
+                              SpanOutcome::kRejected, "queue_full",
+                              "popular"));
+  mts.fold(make_finished_span(4, kMinute + 2 * kSec, Stage::kAdmission,
+                              SpanOutcome::kRejected, "shed_unpopular",
+                              "unpopular"));
+  mts.finish(kMinute + 3 * kSec);
+  const auto& rows = mts.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].spans_folded, 2u);
+  EXPECT_EQ(rows[0].dominant_stage(), "ap_fetch");
+  ASSERT_EQ(rows[0].verdicts.rows().size(), 1u);
+  EXPECT_EQ(rows[0].verdicts.rows()[0].stage, "failed");
+  EXPECT_EQ(rows[0].verdicts.rows()[0].cause, "slow-seeds");
+  // Serve-side rejections split by cause into shed vs dropped verdicts.
+  EXPECT_EQ(rows[1].dominant_stage(), "admission");
+  ASSERT_EQ(rows[1].verdicts.rows().size(), 2u);
+  bool saw_shed = false;
+  bool saw_dropped = false;
+  for (const auto& r : rows[1].verdicts.rows()) {
+    saw_shed = saw_shed || r.stage == "shed";
+    saw_dropped = saw_dropped || r.stage == "dropped";
+  }
+  EXPECT_TRUE(saw_shed);
+  EXPECT_TRUE(saw_dropped);
+  // No spans folded into a window leaves the dominant stage unnamed.
+  EXPECT_EQ(MetricsTsRow{}.dominant_stage(), "");
+}
+
+TEST(MetricsTimeSeriesTest, OverloadLatchesFireOneFlightDumpEach) {
+  ObsConfig c;
+  c.flight_capacity = 16;
+  c.dump_path = testing::TempDir() + "mts_overload";
+  FlightRecorder fr(c);
+  MetricsTimeSeries mts(nullptr, kMinute);
+  mts.set_flight(&fr);
+  mts.begin_serve(kMinute, /*p99_target=*/10 * kSec);
+  // Two violating windows; only the FIRST fires the note + auto-dump.
+  mts.on_complete(10 * kSec, 100 * kSec, true, 0, 1);
+  mts.on_complete(kMinute + 10 * kSec, 100 * kSec, true, 0, 1);
+  // First backpressure drop latches saturation; the second is silent.
+  mts.on_verdict(kMinute + 20 * kSec, AdmissionVerdict::kDropped, 9, 9);
+  mts.on_verdict(kMinute + 30 * kSec, AdmissionVerdict::kDropped, 9, 9);
+  mts.finish(2 * kMinute);
+  EXPECT_EQ(mts.violation_windows(), 2u);
+  EXPECT_EQ(mts.first_violation_window(), 0);
+  EXPECT_TRUE(mts.overload_latched());
+  EXPECT_TRUE(mts.saturation_latched());
+  EXPECT_EQ(fr.dumps_written(), 2u);  // one per latch, not one per window
+  bool p99_note = false;
+  bool sat_note = false;
+  for (const FlightEntry& e : fr.entries()) {
+    p99_note = p99_note || e.what == "serve.overload.p99_window";
+    sat_note = sat_note || e.what == "serve.overload.queue_saturated";
+  }
+  EXPECT_TRUE(p99_note);
+  EXPECT_TRUE(sat_note);
+  // Clean up the two dump files the latches wrote.
+  std::remove((c.dump_path + ".0.overload_onset.json").c_str());
+  std::remove((c.dump_path + ".1.overload_onset.json").c_str());
+}
+
+TEST(MetricsTimeSeriesTest, BeginRunResetsRowsLatchesAndBaselines) {
+  Registry reg;
+  Counter& granted = reg.counter("core.budget.granted");
+  MetricsTimeSeries mts(&reg, kMinute);
+  mts.begin_serve(kMinute, 10 * kSec);
+  granted.inc(3);
+  mts.on_complete(10 * kSec, 100 * kSec, true, 0, 1);  // violation + latch
+  mts.finish(10 * kSec);
+  EXPECT_FALSE(mts.rows().empty());
+  EXPECT_TRUE(mts.overload_latched());
+
+  // A checkpoint restore calls begin_run(): the trajectory restarts empty
+  // and the counter baseline re-snapshots, so the pre-kill total of 3 must
+  // not surface as window 0's delta after the reset.
+  mts.begin_run();
+  EXPECT_TRUE(mts.rows().empty());
+  EXPECT_EQ(mts.violation_windows(), 0u);
+  EXPECT_EQ(mts.first_violation_window(), -1);
+  EXPECT_FALSE(mts.overload_latched());
+  EXPECT_FALSE(mts.saturation_latched());
+  granted.inc(4);
+  mts.finish(0);
+  ASSERT_EQ(mts.rows().size(), 1u);
+  EXPECT_EQ(mts.rows()[0].budget_granted(), 4u);
+}
+
+TEST(MetricsTimeSeriesTest, JsonlHasSchemaHeaderAndOneRowPerWindow) {
+  MetricsTimeSeries mts(nullptr, kMinute);
+  mts.begin_serve(kMinute, 0);
+  mts.on_verdict(10 * kSec, AdmissionVerdict::kAdmitted, 1, 1);
+  mts.finish(kMinute + kSec);
+  std::string out;
+  mts.write_jsonl(out);
+  // One header line + one line per window, newline-terminated.
+  std::size_t lines = 0;
+  for (char ch : out) lines += ch == '\n';
+  EXPECT_EQ(lines, 1 + mts.rows().size());
+  EXPECT_NE(out.find("\"schema\":\"odr.metricsts.v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"offered\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"core.budget.granted\":0"), std::string::npos);
 }
 
 TEST(ObsIntegrationTest, ObserverDoesNotPerturbTheReplay) {

@@ -287,6 +287,43 @@ TEST(SloTrackerTest, OfferedDenominatorFoldsAdmissionLossIntoSlo) {
   EXPECT_FALSE(offered.success_ok);
 }
 
+TEST(SloTrackerTest, ZeroSampleReportIsAllZerosNeverNaN) {
+  // A tracker that saw no completions, reported over zero elapsed time:
+  // every denominator in report() is zero, and every derived statistic
+  // must come back exactly 0 — not NaN, not infinity — so telemetry JSON
+  // built from the report is always well-formed.
+  serve::SloConfig cfg;
+  serve::SloTracker t(cfg);
+  const serve::SloReport r = t.report(/*elapsed=*/0);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.succeeded, 0u);
+  EXPECT_EQ(r.windows, 0u);
+  EXPECT_EQ(r.violation_windows, 0u);
+  EXPECT_DOUBLE_EQ(r.p50_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.p99_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.goodput_tasks_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(r.success_ratio, 0.0);
+  // Empty-histogram quantile is 0, which trivially meets the target;
+  // the success ratio of nothing does not.
+  EXPECT_TRUE(r.p99_ok);
+  EXPECT_FALSE(r.success_ok);
+}
+
+TEST(SloTrackerTest, IdleGapWindowsAreNeitherMeasuredNorViolations) {
+  // One slow completion in window 0, then silence until window 5: the
+  // idle gap must not inflate `windows` and must never count as
+  // violations — a zero-sample window has no p99 to violate.
+  serve::SloConfig cfg;
+  cfg.p99_latency_target = 10 * kSec;
+  cfg.window = kMinute;
+  serve::SloTracker t(cfg);
+  t.on_complete(100 * kSec, true, 10 * kSec);
+  t.on_complete(kSec, true, 5 * kMinute + 10 * kSec);
+  const serve::SloReport r = t.report(6 * kMinute);
+  EXPECT_EQ(r.windows, 2u);
+  EXPECT_EQ(r.violation_windows, 1u);
+}
+
 // --- ServiceLoop -------------------------------------------------------------
 
 serve::ServeConfig small_service(std::uint64_t seed, double rate,

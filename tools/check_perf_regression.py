@@ -16,6 +16,22 @@ numbers exist, without loosening per-key strictness inside families that
 do have a baseline — within a known family, a baseline divisor with no
 measured run is still a hard failure.
 
+Besides wall seconds, a family spec may gate arbitrary result keys (dotted
+paths into the results JSON):
+
+  "values":  {"knee_tasks_per_sec": {"ref": 0.008,
+                                     "min_ratio": 0.75, "max_ratio": 1.25}}
+  "require": {"knee_found": true, "acceptance.saturation_reached": true}
+
+"values" keys must land within [ref*min_ratio, ref*max_ratio]; "require"
+keys must compare equal. Both are per-key strict: a baseline key with no
+value in the results is a hard failure, exactly like a missing divisor —
+a bench output rename must never silently disarm the gate. serve_load uses
+these to pin the saturation-knee offered rate and the acceptance verdicts
+(conservation, saturation, deterministic rerun, telemetry conservation) of
+the live-service ladder, which are simulated — hence deterministic —
+quantities, so their windows can be far tighter than wall-clock ratios.
+
 Usage:
   tools/check_perf_regression.py --baseline bench/baselines/perf_smoke.json \
       --results BENCH_perf_scale.json
@@ -37,13 +53,30 @@ def load_families(baseline):
         families["perf_scale"] = {
             "max_ratio": baseline.get("max_ratio", 2.0),
             "exact_wall_seconds": baseline["exact_wall_seconds"],
+            "values": {},
+            "require": {},
         }
     for name, spec in baseline.get("families", {}).items():
         families[name] = {
             "max_ratio": spec.get("max_ratio", baseline.get("max_ratio", 2.0)),
             "exact_wall_seconds": spec.get("exact_wall_seconds", {}),
+            "values": spec.get("values", {}),
+            "require": spec.get("require", {}),
         }
     return families
+
+
+_MISSING = object()
+
+
+def lookup(results, path):
+    """Resolves a dotted path ("acceptance.telemetry") into the results."""
+    cur = results
+    for part in path.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return _MISSING
+        cur = cur[part]
+    return cur
 
 
 def main() -> int:
@@ -98,18 +131,63 @@ def main() -> int:
         print(f"error: baseline divisor {key} has no exact-mode run in "
               f"{args.results} — measured run missing or renamed",
               file=sys.stderr)
-    if missing:
+
+    # Value windows: deterministic result keys held to [ref*min, ref*max].
+    value_checks = 0
+    value_failures = []
+    for path, vspec in sorted(spec["values"].items()):
+        measured = lookup(results, path)
+        if not isinstance(measured, (int, float)) or isinstance(measured, bool):
+            print(f"error: baseline value key '{path}' has no numeric value "
+                  f"in {args.results} — output key missing or renamed",
+                  file=sys.stderr)
+            value_failures.append(path)
+            continue
+        value_checks += 1
+        ref = float(vspec["ref"])
+        lo = ref * float(vspec.get("min_ratio", 1.0 / max_ratio))
+        hi = ref * float(vspec.get("max_ratio", max_ratio))
+        ok = lo <= float(measured) <= hi
+        print(f"{path}: {measured:g} vs baseline {ref:g} "
+              f"(window [{lo:g}, {hi:g}]) {'OK' if ok else 'REGRESSED'}")
+        if not ok:
+            value_failures.append(path)
+
+    # Required keys: acceptance verdicts that must compare equal.
+    require_checks = 0
+    require_failures = []
+    for path, expected in sorted(spec["require"].items()):
+        measured = lookup(results, path)
+        if measured is _MISSING:
+            print(f"error: required key '{path}' is absent from "
+                  f"{args.results} — output key missing or renamed",
+                  file=sys.stderr)
+            require_failures.append(path)
+            continue
+        require_checks += 1
+        ok = measured == expected
+        print(f"{path}: {measured!r} (required {expected!r}) "
+              f"{'OK' if ok else 'FAILED'}")
+        if not ok:
+            require_failures.append(path)
+
+    if missing or value_failures or require_failures:
+        bad = failures + value_failures + require_failures
+        if bad:
+            print(f"perf regression at key(s): {', '.join(bad)}",
+                  file=sys.stderr)
         return 1
-    if not checked:
-        print("error: no exact-mode runs matched the baseline divisors",
+    if not checked and value_checks == 0 and require_checks == 0:
+        print("error: no runs or result keys matched the baseline",
               file=sys.stderr)
         return 1
     if failures:
         print(f"perf regression at divisor(s): {', '.join(failures)}",
               file=sys.stderr)
         return 1
-    print(f"perf smoke [{family}]: {len(checked)} divisor(s) within "
-          f"{max_ratio:.1f}x of baseline")
+    total = len(checked) + value_checks + require_checks
+    print(f"perf smoke [{family}]: {total} check(s) within baseline "
+          f"(limit {max_ratio:.1f}x on wall seconds)")
     return 0
 
 

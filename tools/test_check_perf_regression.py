@@ -52,7 +52,7 @@ class CheckPerfRegressionTest(unittest.TestCase):
         proc = run_gate(baseline({"400": 10.0, "100": 40.0}),
                         results([("exact", 400, 12.0), ("exact", 100, 50.0)]))
         self.assertEqual(proc.returncode, 0, proc.stderr)
-        self.assertIn("2 divisor(s) within", proc.stdout)
+        self.assertIn("2 check(s) within", proc.stdout)
 
     def test_regression_fails_naming_divisor(self):
         proc = run_gate(baseline({"400": 10.0}),
@@ -128,6 +128,66 @@ class CheckPerfRegressionTest(unittest.TestCase):
                         results([("exact", 400, 12.0)]))
         self.assertEqual(proc.returncode, 0, proc.stderr)
         self.assertIn("perf smoke [perf_scale]", proc.stdout)
+
+    # --- value windows and required keys (the serve_load family) -----------
+
+    @staticmethod
+    def serve_baseline():
+        return {
+            "max_ratio": 2.0,
+            "exact_wall_seconds": {"400": 10.0},
+            "families": {"serve_load": {
+                "values": {"knee_tasks_per_sec":
+                           {"ref": 0.008, "min_ratio": 0.75,
+                            "max_ratio": 1.25}},
+                "require": {"knee_found": True,
+                            "acceptance.saturation_reached": True},
+            }},
+        }
+
+    @staticmethod
+    def serve_results(knee=0.008, knee_found=True, saturated=True):
+        return {"bench": "serve_load", "knee_tasks_per_sec": knee,
+                "knee_found": knee_found,
+                "acceptance": {"saturation_reached": saturated}}
+
+    def test_serve_family_within_windows_passes(self):
+        # No exact-mode runs at all: the family gates on result keys alone,
+        # and the "no runs matched" error must not fire.
+        proc = run_gate(self.serve_baseline(), self.serve_results())
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("perf smoke [serve_load]: 3 check(s)", proc.stdout)
+
+    def test_value_outside_window_fails_naming_key(self):
+        # One rung shift in the ladder doubles the knee rate; the 1.25x
+        # window must catch it.
+        proc = run_gate(self.serve_baseline(), self.serve_results(knee=0.016))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("REGRESSED", proc.stdout)
+        self.assertIn("knee_tasks_per_sec", proc.stderr)
+
+    def test_missing_value_key_fails(self):
+        res = self.serve_results()
+        del res["knee_tasks_per_sec"]
+        proc = run_gate(self.serve_baseline(), res)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no numeric value", proc.stderr)
+
+    def test_required_key_mismatch_fails(self):
+        proc = run_gate(self.serve_baseline(),
+                        self.serve_results(saturated=False))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("acceptance.saturation_reached", proc.stderr)
+
+    def test_missing_required_key_fails(self):
+        # A nested acceptance verdict disappearing from the bench output
+        # must disarm loudly, not silently.
+        res = self.serve_results()
+        del res["acceptance"]
+        proc = run_gate(self.serve_baseline(), res)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("required key 'acceptance.saturation_reached' is "
+                      "absent", proc.stderr)
 
 
 if __name__ == "__main__":
