@@ -26,7 +26,7 @@ struct Result {
   double p90_finish_sec = 0.0;
 };
 
-Result run(net::AllocationModel model, int flows, std::uint64_t seed) {
+Result run_case(net::AllocationModel model, int flows, std::uint64_t seed) {
   sim::Simulator sim;
   net::Network netw(sim, model);
   const Rate capacity = mbps_to_rate(100.0);
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   for (int flows : {32, 128, 512}) {
     for (auto model : {net::AllocationModel::kMaxMinFair,
                        net::AllocationModel::kEqualSplit}) {
-      const Result r = run(model, flows, seed);
+      const Result r = run_case(model, flows, seed);
       table.add_row({std::to_string(flows),
                      model == net::AllocationModel::kMaxMinFair
                          ? "max-min fair"

@@ -31,7 +31,7 @@ struct RunResult {
   std::uint64_t rejections = 0;
 };
 
-RunResult run(double divisor, std::uint64_t seed, bool multi) {
+RunResult run_case(double divisor, std::uint64_t seed, bool multi) {
   sim::Simulator sim;
   net::Network net(sim);
   Rng rng(seed);
@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
   TextTable table({"mode", "cache hits", "pre-dl failures", "impeded",
                    "rejections"});
   for (const bool multi : {false, true}) {
-    const RunResult r = run(divisor, seed, multi);
+    const RunResult r = run_case(divisor, seed, multi);
     std::size_t hits = 0, failures = 0, impeded = 0, fetched = 0;
     for (const auto& o : r.outcomes) {
       if (o.pre.cache_hit) ++hits;

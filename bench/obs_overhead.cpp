@@ -31,6 +31,7 @@
 #include <new>
 
 #include "analysis/replay.h"
+#include "net/network.h"
 #include "obs/observer.h"
 #include "serve/service_loop.h"
 #include "sim/simulator.h"
@@ -112,6 +113,58 @@ std::uint64_t disabled_dispatch_allocations() {
   pass();
   const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
   if (acc == 0) std::fputs("impossible\n", stderr);  // keep `acc` observable
+  return after - before;
+}
+
+// The flow plane's warm steady state must be allocation-free too
+// (DESIGN.md §16): flows live in a slab pool, link membership in pooled
+// intrusive adjacency nodes, flow-id lookup in a flat table, and the
+// max-min solver in per-solve SoA scratch that keeps its capacity — so a
+// measured churn pass (start, solve, complete, retire, slot reuse) over a
+// warmed network must perform ZERO heap allocations. The FlowSpecs for
+// the measured pass are pre-built outside the measured window: building a
+// path vector is the caller's cost, and the engine moves the buffer in
+// rather than copying.
+std::uint64_t flow_plane_steady_allocations() {
+  sim::Simulator sim;
+  net::Network net(sim);
+  const net::LinkId trunk = net.add_link("trunk", 1e6);
+  net::LinkId legs[4];
+  for (int i = 0; i < 4; ++i) {
+    legs[i] = net.add_link("leg" + std::to_string(i), 2e5 + 1e4 * i);
+  }
+  std::uint64_t completed = 0;
+  const int n = 2048;
+  auto make_specs = [&] {
+    std::vector<net::Network::FlowSpec> specs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto& s = specs[static_cast<std::size_t>(i)];
+      s.path = {trunk, legs[i % 4]};
+      s.bytes = static_cast<Bytes>(1000 + (i * 7919) % 9000);
+      s.rate_cap = (i % 3 == 0) ? 150.0 : net::kUnlimitedRate;
+      s.on_complete = [&completed](net::FlowId) { ++completed; };
+    }
+    return specs;
+  };
+  // Two waves per pass: wave 2 reuses the slots, adjacency nodes, and
+  // completion events wave 1 released, which is the recycling under test.
+  auto churn = [&](std::vector<net::Network::FlowSpec> specs) {
+    const std::size_t half = specs.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      net.start_flow(std::move(specs[i]));
+    }
+    sim.run();
+    for (std::size_t i = half; i < specs.size(); ++i) {
+      net.start_flow(std::move(specs[i]));
+    }
+    sim.run();
+  };
+  churn(make_specs());  // warm-up: grows pools and solver scratch
+  std::vector<net::Network::FlowSpec> specs = make_specs();
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  churn(std::move(specs));
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  if (completed == 0) std::fputs("no completions\n", stderr);
   return after - before;
 }
 
@@ -249,6 +302,11 @@ int main(int argc, char** argv) {
   const std::uint64_t dispatch_allocs = disabled_dispatch_allocations();
   const bool alloc_pass = dispatch_allocs == 0;
 
+  // Exact gate: warm flow churn (start/solve/complete/retire with slot
+  // reuse) allocates nothing inside the network engine.
+  const std::uint64_t flow_allocs = flow_plane_steady_allocations();
+  const bool flow_pass = flow_allocs == 0;
+
   // Exact gate: the hashing-off CloudWorld::run wrapper adds zero
   // allocations per invocation over the direct engine drain.
   const std::uint64_t hash_off_allocs = hashing_off_added_allocations(config);
@@ -261,7 +319,8 @@ int main(int argc, char** argv) {
       args.get_double("divisor"),
       static_cast<std::uint64_t>(args.get_int("seed")));
   const bool serve_off_pass = serve_off_allocs == 0;
-  const bool pass = time_pass && alloc_pass && hash_off_pass && serve_off_pass;
+  const bool pass =
+      time_pass && alloc_pass && flow_pass && hash_off_pass && serve_off_pass;
 
   std::printf("obs overhead, min of %d reps at 1/%s scale:\n", reps,
               args.get("divisor").c_str());
@@ -277,6 +336,10 @@ int main(int argc, char** argv) {
       "acceptance: warm disabled dispatch allocates nothing: %s (%llu)\n",
       alloc_pass ? "PASS" : "FAIL",
       static_cast<unsigned long long>(dispatch_allocs));
+  std::printf(
+      "acceptance: warm flow-plane churn allocates nothing: %s (%llu)\n",
+      flow_pass ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(flow_allocs));
   std::printf(
       "acceptance: hashing-off CloudWorld::run adds zero allocations: %s "
       "(%llu)\n",
@@ -300,6 +363,7 @@ int main(int argc, char** argv) {
         .field("spans_unsampled_s", t_spans)
         .field("spans_unsampled_overhead", overhead_spans)
         .field("disabled_dispatch_allocations", dispatch_allocs)
+        .field("flow_plane_steady_allocations", flow_allocs)
         .field("hashing_off_added_allocations", hash_off_allocs)
         .field("serve_off_state_added_allocations", serve_off_allocs)
         .field("pass", pass)

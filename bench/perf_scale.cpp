@@ -7,17 +7,27 @@
 // reschedules whose rate moved less than epsilon relatively. The bench
 // reports tasks/second for both, the exact run's outcome fingerprint (so a
 // scale sweep doubles as a determinism check against the pinned goldens),
-// and the process peak RSS after each rung of the ladder.
+// and the process peak RSS sampled after every rung of the ladder — the
+// per-rung deltas are what tools/check_perf_regression.py budgets.
 //
 // Timing fidelity vs wall clock: with --workers=1 (the default) runs are
 // timed back to back on an otherwise idle process, so the per-run seconds
 // are honest. Higher worker counts fan the independent runs out over the
 // parallel runner — total wall time drops but per-run timings include
 // memory-bandwidth and scheduler contention, so the JSON flags the mode.
+//
+// Low divisors (the --full ladder extends to 10, and --divisors accepts 1
+// explicitly for the divisor-1 week) instead parallelize INSIDE the one
+// replicate: --shards partitions the event queue per user and
+// --solver-workers fans the flow solver's sweeps over a WorkPool. Both
+// are exact (see DESIGN.md §16 and bench/shard_determinism), so the
+// fingerprint column must not move with either knob.
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,12 +49,14 @@ struct ScaleRun {
   double wall_seconds = 0.0;
   std::size_t tasks = 0;
   std::uint64_t fingerprint = 0;
+  std::uint64_t peak_rss_bytes = 0;  // sampled right after the run
   double tasks_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(tasks) / wall_seconds : 0.0;
   }
 };
 
-ScaleRun run_week(double divisor, std::uint64_t seed, double epsilon) {
+ScaleRun run_week(double divisor, std::uint64_t seed, double epsilon,
+                  std::size_t shards, std::size_t solver_workers) {
   obs::ObsConfig run_obs;
   run_obs.tracing = false;
   run_obs.dump_on_fault_fired = false;
@@ -52,6 +64,8 @@ ScaleRun run_week(double divisor, std::uint64_t seed, double epsilon) {
 
   analysis::ExperimentConfig config = analysis::make_scaled_config(divisor, seed);
   config.net_rate_epsilon = epsilon;
+  config.engine_shards = shards;
+  config.solver_workers = solver_workers;
 
   const auto t0 = std::chrono::steady_clock::now();
   const analysis::CloudReplayResult result = analysis::run_cloud_replay(config);
@@ -63,9 +77,17 @@ ScaleRun run_week(double divisor, std::uint64_t seed, double epsilon) {
   r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   r.tasks = result.outcomes.size();
   r.fingerprint = analysis::outcome_fingerprint(result.outcomes);
+  // Peak RSS is a process high-water mark: monotone over the ladder, so
+  // the delta each rung adds on top of the cheaper rungs is attributable
+  // to that rung (ladders run largest divisor first).
+  r.peak_rss_bytes = run::peak_rss_bytes();
   return r;
 }
 
+// Strict: every token must be a full, finite number >= 1 (the replay
+// scales the measured system DOWN; divisor 1 is full scale and anything
+// below — or empty, negative, zero, or trailing garbage like "40x" —
+// is a flag typo that previously produced a silent nonsense ladder).
 std::vector<double> parse_divisors(const std::string& csv) {
   std::vector<double> out;
   std::size_t start = 0;
@@ -73,7 +95,24 @@ std::vector<double> parse_divisors(const std::string& csv) {
     const std::size_t comma = csv.find(',', start);
     const std::string tok =
         csv.substr(start, comma == std::string::npos ? comma : comma - start);
-    if (!tok.empty()) out.push_back(std::stod(tok));
+    if (!tok.empty()) {
+      double v = 0.0;
+      std::size_t used = 0;
+      try {
+        v = std::stod(tok, &used);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("divisor '" + tok + "' is not a number");
+      }
+      if (used != tok.size()) {
+        throw std::invalid_argument("divisor '" + tok +
+                                    "' has trailing characters");
+      }
+      if (!(v >= 1.0) || !std::isfinite(v)) {
+        throw std::invalid_argument("divisor '" + tok +
+                                    "' out of range (need a finite value >= 1)");
+      }
+      out.push_back(v);
+    }
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
@@ -86,22 +125,47 @@ int main(int argc, char** argv) {
   ArgParser args("Throughput ladder toward full-scale (divisor 1) replay.");
   args.flag("divisors", "4000,1000,400,100",
             "comma-separated scale divisors, largest (cheapest) first");
+  args.flag("full", "0",
+            "1 = extend the ladder with the expensive rungs 40 and 10 "
+            "(the nightly configuration; divisor 1 stays explicit opt-in "
+            "via --divisors=...,1)");
   args.flag("seed", "20151028", "workload seed");
   args.flag("epsilon", "1e-4",
             "relative rate-change cutoff for the approximate runs");
   args.flag("workers", "1",
-            "worker threads (1 = sequential, honest per-run timings; "
+            "worker threads ACROSS runs (1 = sequential, honest per-run "
+            "timings; 0 = hardware concurrency)");
+  args.flag("shards", "1",
+            "event-engine shards INSIDE each run (exact at any value)");
+  args.flag("solver-workers", "1",
+            "flow-solver lanes INSIDE each run (exact at any value; "
             "0 = hardware concurrency)");
   args.flag("json", "BENCH_perf_scale.json", "output JSON (empty to skip)");
   if (!args.parse(argc, argv)) return 1;
 
-  const std::vector<double> divisors = parse_divisors(args.get("divisors"));
+  std::vector<double> divisors;
+  try {
+    divisors = parse_divisors(args.get("divisors"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "bad --divisors: %s\n", e.what());
+    return 1;
+  }
   if (divisors.empty()) {
     std::fprintf(stderr, "no divisors given\n");
     return 1;
   }
+  if (args.get_int("full") != 0) {
+    for (const double d : {40.0, 10.0}) {
+      bool present = false;
+      for (const double have : divisors) present = present || have == d;
+      if (!present) divisors.push_back(d);
+    }
+  }
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const double epsilon = args.get_double("epsilon");
+  const auto shards = static_cast<std::size_t>(args.get_int("shards"));
+  const auto solver_workers =
+      static_cast<std::size_t>(args.get_int("solver-workers"));
   run::ParallelOptions popts;
   popts.workers = static_cast<std::size_t>(args.get_int("workers"));
   const bool sequential = popts.workers == 1;
@@ -110,8 +174,9 @@ int main(int argc, char** argv) {
   // clock so the measurement excludes runner scheduling overhead.
   std::vector<std::function<ScaleRun()>> jobs;
   for (const double d : divisors) {
-    jobs.push_back([d, seed] { return run_week(d, seed, 0.0); });
-    jobs.push_back([d, seed, epsilon] { return run_week(d, seed, epsilon); });
+    jobs.push_back([=] { return run_week(d, seed, 0.0, shards, solver_workers); });
+    jobs.push_back(
+        [=] { return run_week(d, seed, epsilon, shards, solver_workers); });
   }
   const auto batch0 = std::chrono::steady_clock::now();
   const std::vector<ScaleRun> runs = run::run_parallel(std::move(jobs), popts);
@@ -121,7 +186,7 @@ int main(int argc, char** argv) {
   const std::uint64_t rss = run::peak_rss_bytes();
 
   TextTable table({"divisor", "mode", "tasks", "wall s", "tasks/s",
-                   "fingerprint"});
+                   "peak RSS MiB", "fingerprint"});
   for (const ScaleRun& r : runs) {
     char fp[24];
     std::snprintf(fp, sizeof(fp), "%016llx",
@@ -129,10 +194,16 @@ int main(int argc, char** argv) {
     table.add_row({TextTable::num(r.divisor, 0),
                    r.epsilon == 0.0 ? "exact" : "epsilon",
                    std::to_string(r.tasks), TextTable::num(r.wall_seconds, 2),
-                   TextTable::num(r.tasks_per_second(), 0), fp});
+                   TextTable::num(r.tasks_per_second(), 0),
+                   TextTable::num(static_cast<double>(r.peak_rss_bytes) /
+                                      (1024.0 * 1024.0),
+                                  1),
+                   fp});
   }
   std::fputs(banner("Cloud-week throughput ladder (seed " + args.get("seed") +
-                    ", epsilon " + args.get("epsilon") + ")")
+                    ", epsilon " + args.get("epsilon") + ", shards " +
+                    args.get("shards") + ", solver lanes " +
+                    args.get("solver-workers") + ")")
                  .c_str(),
              stdout);
   std::fputs(table.render().c_str(), stdout);
@@ -148,6 +219,8 @@ int main(int argc, char** argv) {
         .field("bench", "perf_scale")
         .field("seed", seed)
         .field("epsilon", epsilon)
+        .field("engine_shards", static_cast<std::uint64_t>(shards))
+        .field("solver_workers", static_cast<std::uint64_t>(solver_workers))
         .field("sequential_timings", sequential)
         .field("batch_wall_seconds", batch_seconds)
         .field("peak_rss_bytes", rss);
@@ -162,6 +235,7 @@ int main(int argc, char** argv) {
           .field("tasks", static_cast<std::uint64_t>(r.tasks))
           .field("wall_seconds", r.wall_seconds)
           .field("tasks_per_second", r.tasks_per_second())
+          .field("peak_rss_bytes", r.peak_rss_bytes)
           .field("fingerprint", std::string(fp))
           .end_object();
     }

@@ -11,11 +11,19 @@
 #include "fault/injector.h"
 #include "net/network.h"
 #include "obs/observer.h"
+#include "run/parallel_runner.h"
+#include "run/work_pool.h"
 #include "sim/simulator.h"
 #include "util/md5.h"
 
 namespace odr::analysis {
 namespace {
+
+// 0 = hardware concurrency, mirroring run::ParallelOptions.
+std::size_t resolve_solver_workers(const ExperimentConfig& config) {
+  return config.solver_workers == 0 ? run::default_worker_count()
+                                    : config.solver_workers;
+}
 
 // Rough per-attempt pre-download success probability by popularity, used
 // only to warm the storage pool (the measurement week itself uses the real
@@ -80,8 +88,15 @@ ExperimentConfig make_scaled_config(double divisor, std::uint64_t seed) {
 
 CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
   sim::Simulator sim;
+  sim.set_shard_count(config.engine_shards);
+  // Declared before the network so the solver pool outlives every solve.
+  std::optional<run::WorkPool> solver_pool;
   net::Network net(sim);
   net.set_rate_epsilon(config.net_rate_epsilon);
+  if (const std::size_t lanes = resolve_solver_workers(config); lanes > 1) {
+    solver_pool.emplace(lanes);
+    net.set_parallel_solver(&*solver_pool, config.solver_parallel_min_flows);
+  }
   Rng rng(config.seed);
 
   auto catalog = std::make_shared<workload::Catalog>(config.catalog, rng);
@@ -116,7 +131,11 @@ CloudReplayResult run_cloud_replay(const ExperimentConfig& config) {
   // Arrivals capture an index into the (already final) request vector, not
   // the ~120-byte record itself: the callback then fits the event engine's
   // inline slot and scheduling the full week allocates nothing per event.
+  // The ShardGuard pins each arrival — and, by inheritance, the user's
+  // whole causal chain — to the user's shard (a no-op at 1 shard).
   for (std::size_t i = 0; i < result.requests.size(); ++i) {
+    sim::Simulator::ShardGuard shard(
+        sim, static_cast<std::size_t>(result.requests[i].user_id));
     sim.schedule_at(result.requests[i].request_time, [&result, &cloud, &users,
                                                       i] {
       const workload::WorkloadRecord& request = result.requests[i];
@@ -174,8 +193,14 @@ CloudReplayResult run_cloud_replay_from_trace(
     std::vector<workload::WorkloadRecord> requests,
     const ExperimentConfig& config) {
   sim::Simulator sim;
+  sim.set_shard_count(config.engine_shards);
+  std::optional<run::WorkPool> solver_pool;
   net::Network net(sim);
   net.set_rate_epsilon(config.net_rate_epsilon);
+  if (const std::size_t lanes = resolve_solver_workers(config); lanes > 1) {
+    solver_pool.emplace(lanes);
+    net.set_parallel_solver(&*solver_pool, config.solver_parallel_min_flows);
+  }
   Rng rng(config.seed);
 
   // --- Reconstruct the file catalog from the trace. -------------------------
@@ -243,6 +268,8 @@ CloudReplayResult run_cloud_replay_from_trace(
   SimTime horizon = 0;
   for (const auto& request : result.requests) {
     horizon = std::max(horizon, request.request_time);
+    sim::Simulator::ShardGuard shard(
+        sim, static_cast<std::size_t>(request.user_id));
     sim.schedule_at(request.request_time, [&, request] {
       cloud.submit(request, users->user(request.user_id),
                    [&result](const cloud::TaskOutcome& outcome) {

@@ -79,7 +79,7 @@ void PreDownloaderPool::start_task(Pending pending) {
   cfg.hard_timeout = config_.predownload_hard_timeout;
   cfg.corruption_prob = corruption_prob_;
   cfg.obs_file_index = pending.file.index;
-  auto task = std::make_unique<proto::DownloadTask>(
+  TaskPtr task = tasks_.make(
       sim_, net_, std::move(source), pending.file.size, cfg,
       [this, slot](const proto::DownloadResult& result) {
         on_task_done(slot, result);
@@ -126,7 +126,7 @@ void PreDownloaderPool::start_next_queued() {
   }
 }
 
-void PreDownloaderPool::bury(std::unique_ptr<proto::DownloadTask> corpse) {
+void PreDownloaderPool::bury(TaskPtr corpse) {
   graveyard_.push_back(std::move(corpse));
   if (gc_event_ == sim::kInvalidEvent) {
     gc_event_ = sim_.schedule_after(0, [this] { collect_garbage(); });
@@ -292,12 +292,14 @@ void PreDownloaderPool::load(snapshot::SnapshotReader& r,
     const std::uint64_t slot = r.u64(kTagSlot);
     const std::uint32_t attempt = r.u32(kTagAttempt);
     workload::FileInfo file = workload::load_file_info(r);
-    auto task = proto::DownloadTask::restore(
-        sim_, net_, r, sources_,
-        [this, slot](const proto::DownloadResult& result) {
+    proto::DownloadTask::RestoreHeader h =
+        proto::DownloadTask::read_restore_header(r, sources_);
+    TaskPtr task = tasks_.make(
+        sim_, net_, std::move(h.source), h.file_size, std::move(h.config),
+        DoneFn([this, slot](const proto::DownloadResult& result) {
           on_task_done(slot, result);
-        },
-        rng_);
+        }));
+    task->finish_restore(r, rng_);
     active_.emplace(slot,
                     Active{std::move(task), file, rebind(file), attempt});
   }

@@ -33,6 +33,7 @@
 #include "proto/download.h"
 #include "proto/source.h"
 #include "sim/simulator.h"
+#include "util/pool.h"
 #include "util/rng.h"
 #include "workload/file.h"
 
@@ -111,11 +112,18 @@ class PreDownloaderPool {
     sim::EventId event = sim::kInvalidEvent;
   };
 
+  // DownloadTask engines churn once per fetch attempt but plateau at the
+  // VM-pool width; the arena recycles their storage (DESIGN.md §16) while
+  // preserving the full construct/destroy lifecycle and stable addresses
+  // (the simulator tick and flow callbacks capture `this`).
+  using TaskArena = util::ObjectArena<proto::DownloadTask>;
+  using TaskPtr = TaskArena::Ptr;
+
   void start_task(Pending pending);
   void on_task_done(std::uint64_t slot, const proto::DownloadResult& result);
   void start_next_queued();
   void resume_retry(std::uint64_t key);
-  void bury(std::unique_ptr<proto::DownloadTask> corpse);
+  void bury(TaskPtr corpse);
   void collect_garbage();
 
   sim::Simulator& sim_;
@@ -125,11 +133,13 @@ class PreDownloaderPool {
   Rng rng_;
 
   struct Active {
-    std::unique_ptr<proto::DownloadTask> task;
+    TaskPtr task;
     workload::FileInfo file;
     DoneFn done;
     std::uint32_t attempt = 0;
   };
+  // Before active_/graveyard_: the arena must outlive every TaskPtr.
+  TaskArena tasks_;
   std::unordered_map<std::uint64_t, Active> active_;
   std::deque<Pending> queue_;
   // Backoff-pending retries keyed by a monotone counter; the key (not a
@@ -138,7 +148,7 @@ class PreDownloaderPool {
   std::uint64_t next_retry_ = 1;
   // Tasks finished inside their own callback wait here for a zero-delay
   // tick to delete them (a task cannot delete itself mid-callback).
-  std::vector<std::unique_ptr<proto::DownloadTask>> graveyard_;
+  std::vector<TaskPtr> graveyard_;
   sim::EventId gc_event_ = sim::kInvalidEvent;
   std::uint64_t next_slot_ = 1;
   std::uint64_t started_ = 0;

@@ -1,10 +1,12 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 
 #include "obs/observer.h"
+#include "run/work_pool.h"
 #include "snapshot/format.h"
 
 namespace odr::net {
@@ -44,10 +46,9 @@ NodeId Network::add_node(std::string name, Isp isp) {
 
 LinkId Network::add_link(std::string name, Rate capacity) {
   assert(capacity >= 0.0);
-  links_.push_back(LinkState{std::move(name), capacity, {}});
+  links_.push_back(LinkState{std::move(name), capacity});
   link_epoch_.push_back(0);
-  link_remaining_.push_back(0.0);
-  link_unfrozen_.push_back(0);
+  link_dense_.push_back(0);
   const auto l = static_cast<std::uint32_t>(links_.size() - 1);
   dsu_parent_.push_back(l);
   dsu_size_.push_back(1);
@@ -70,15 +71,17 @@ Rate Network::link_capacity(LinkId link) const {
 Rate Network::link_utilization(LinkId link) const {
   assert(link < links_.size());
   Rate total = 0.0;
-  // Membership lists are ordered by ascending flow id, which fixes this
+  // Adjacency chains are ordered by ascending flow id, which fixes this
   // summation order.
-  for (std::uint32_t slot : links_[link].flows) total += slab_[slot].rate;
+  for (std::uint32_t a = links_[link].head; a != kNoAdj; a = adj_[a].next) {
+    total += flows_[adj_[a].flow_slot].rate;
+  }
   return total;
 }
 
 std::size_t Network::link_flow_count(LinkId link) const {
   assert(link < links_.size());
-  return links_[link].flows.size();
+  return links_[link].flow_count;
 }
 
 Isp Network::node_isp(NodeId node) const {
@@ -96,35 +99,72 @@ const std::string& Network::link_name(LinkId link) const {
   return links_[link].name;
 }
 
-std::uint32_t Network::acquire_slot() {
-  std::uint32_t slot;
-  if (free_head_ != kNoSlot) {
-    slot = free_head_;
-    free_head_ = slab_[slot].next_free;
-  } else {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
-  }
-  slab_[slot].next_free = kNoSlot;
-  return slot;
-}
+std::uint32_t Network::acquire_slot() { return flows_.acquire(); }
 
 void Network::release_slot(std::uint32_t slot) {
-  FlowState& f = slab_[slot];
+  FlowState& f = flows_[slot];
   f.path.clear();  // keeps capacity: the buffer is reused by the next flow
+  f.adj.clear();
   f.on_complete = nullptr;
   f.completion_event = sim::kInvalidEvent;
   f.id = kInvalidFlow;
   f.epoch = 0;
-  f.next_free = free_head_;
-  free_head_ = slot;
+  flows_.release(slot);
+}
+
+void Network::attach_to_links(std::uint32_t slot, FlowState& f) {
+  f.adj.clear();
+  f.adj.reserve(f.path.size());
+  for (LinkId l : f.path) {
+    assert(l < links_.size());
+    const std::uint32_t a = adj_.acquire();
+    LinkState& link = links_[l];
+    AdjNode& node = adj_[a];
+    node.flow_slot = slot;
+    node.prev = link.tail;
+    node.next = kNoAdj;
+    // New ids are monotone and flows never re-attach, so appending at the
+    // tail keeps the chain ascending by flow id.
+    if (link.tail != kNoAdj) {
+      adj_[link.tail].next = a;
+    } else {
+      link.head = a;
+    }
+    link.tail = a;
+    ++link.flow_count;
+    f.adj.push_back(a);
+  }
+}
+
+void Network::detach_from_links(std::uint32_t slot, FlowState& f) {
+  (void)slot;
+  assert(f.adj.size() == f.path.size());
+  for (std::size_t i = 0; i < f.path.size(); ++i) {
+    LinkState& link = links_[f.path[i]];
+    const std::uint32_t a = f.adj[i];
+    const AdjNode node = adj_[a];
+    assert(node.flow_slot == slot);
+    if (node.prev != kNoAdj) {
+      adj_[node.prev].next = node.next;
+    } else {
+      link.head = node.next;
+    }
+    if (node.next != kNoAdj) {
+      adj_[node.next].prev = node.prev;
+    } else {
+      link.tail = node.prev;
+    }
+    --link.flow_count;
+    adj_.release(a);
+  }
+  f.adj.clear();
 }
 
 FlowId Network::start_flow(FlowSpec spec) {
   assert(spec.bytes > 0);
   const FlowId id = next_flow_id_++;
   const std::uint32_t slot = acquire_slot();
-  FlowState& f = slab_[slot];
+  FlowState& f = flows_[slot];
   f.path = std::move(spec.path);
   f.bytes_total = spec.bytes;
   f.bytes_done = 0.0;
@@ -136,20 +176,16 @@ FlowId Network::start_flow(FlowSpec spec) {
   f.last_settled = sim_.now();
   f.on_complete = std::move(spec.on_complete);
   f.id = id;
-  for (LinkId l : f.path) {
-    assert(l < links_.size());
-    // New ids are monotone, so appending keeps the list ascending by id.
-    links_[l].flows.push_back(slot);
-  }
+  attach_to_links(slot, f);
   dsu_union_path(f.path);
   id_to_slot_.put(id, slot);
   ++live_flows_;
-  if (slab_[slot].path.empty()) {
+  if (f.path.empty()) {
     component_scratch_.clear();
     component_scratch_.push_back(slot);
     reallocate_flows(component_scratch_);
   } else {
-    reallocate_component(slab_[slot].path);
+    reallocate_component(f.path);
   }
   ODR_COUNT("net.flows.started");
   ODR_TRACE_INSTANT(kNet, "flow.start");
@@ -164,7 +200,7 @@ std::vector<FlowId> Network::start_flows(std::vector<FlowSpec> specs) {
     assert(spec.bytes > 0);
     const FlowId id = next_flow_id_++;
     const std::uint32_t slot = acquire_slot();
-    FlowState& f = slab_[slot];
+    FlowState& f = flows_[slot];
     f.path = std::move(spec.path);
     f.bytes_total = spec.bytes;
     f.bytes_done = 0.0;
@@ -176,11 +212,8 @@ std::vector<FlowId> Network::start_flows(std::vector<FlowSpec> specs) {
     f.last_settled = sim_.now();
     f.on_complete = std::move(spec.on_complete);
     f.id = id;
-    for (LinkId l : f.path) {
-      assert(l < links_.size());
-      links_[l].flows.push_back(slot);
-      seeds.push_back(l);
-    }
+    attach_to_links(slot, f);
+    for (LinkId l : f.path) seeds.push_back(l);
     dsu_union_path(f.path);
     id_to_slot_.put(id, slot);
     ++live_flows_;
@@ -198,7 +231,7 @@ std::vector<FlowId> Network::start_flows(std::vector<FlowSpec> specs) {
   // exactly equivalent to solving them alone.
   for (std::size_t i = 0; i < ids.size(); ++i) {
     const std::uint32_t* slot = id_to_slot_.find(ids[i]);
-    if (slab_[*slot].path.empty()) component_scratch_.push_back(*slot);
+    if (flows_[*slot].path.empty()) component_scratch_.push_back(*slot);
   }
   if (!component_scratch_.empty()) reallocate_flows(component_scratch_);
   return ids;
@@ -208,7 +241,7 @@ bool Network::cancel_flow(FlowId id) {
   const std::uint32_t* ps = id_to_slot_.find(id);
   if (ps == nullptr) return false;
   const std::uint32_t slot = *ps;
-  FlowState& f = slab_[slot];
+  FlowState& f = flows_[slot];
   if (f.completion_event != sim::kInvalidEvent) {
     sim_.cancel(f.completion_event);
   }
@@ -227,13 +260,13 @@ bool Network::set_flow_cap(FlowId id, Rate cap) {
   const std::uint32_t* ps = id_to_slot_.find(id);
   if (ps == nullptr) return false;
   const std::uint32_t slot = *ps;
-  slab_[slot].rate_cap = cap;
-  if (slab_[slot].path.empty()) {
+  flows_[slot].rate_cap = cap;
+  if (flows_[slot].path.empty()) {
     component_scratch_.clear();
     component_scratch_.push_back(slot);
     reallocate_flows(component_scratch_);
   } else {
-    reallocate_component(slab_[slot].path);
+    reallocate_component(flows_[slot].path);
   }
   return true;
 }
@@ -242,7 +275,7 @@ FlowStats Network::flow_stats(FlowId id) {
   FlowStats s;
   const std::uint32_t* ps = id_to_slot_.find(id);
   if (ps == nullptr) return s;
-  FlowState& f = slab_[*ps];
+  FlowState& f = flows_[*ps];
   settle(f);
   s.bytes_total = f.bytes_total;
   s.bytes_done = static_cast<Bytes>(std::min<double>(
@@ -261,11 +294,19 @@ void Network::settle(FlowState& f) {
   }
 }
 
+void Network::set_parallel_solver(run::WorkPool* pool, std::size_t min_flows) {
+  solver_pool_ = pool;
+  solver_min_flows_ = std::max<std::size_t>(1, min_flows);
+  if (pool != nullptr) {
+    lane_min_.assign(pool->lanes(), 0.0);
+    lane_newly_.assign(pool->lanes(), 0);
+  }
+}
+
 void Network::reallocate() {
   component_scratch_.clear();
-  for (std::uint32_t s = 0; s < slab_.size(); ++s) {
-    if (slab_[s].id != kInvalidFlow) component_scratch_.push_back(s);
-  }
+  flows_.for_each_slot(
+      [&](std::uint32_t s, FlowState&) { component_scratch_.push_back(s); });
   reallocate_flows(component_scratch_);
 }
 
@@ -290,11 +331,11 @@ void Network::collect_component(const std::vector<LinkId>& seed_links) {
       std::uint32_t cur = l;
       do {
         link_epoch_[cur] = ep;
-        for (std::uint32_t slot : links_[cur].flows) {
-          FlowState& f = slab_[slot];
+        for (std::uint32_t a = links_[cur].head; a != kNoAdj; a = adj_[a].next) {
+          FlowState& f = flows_[adj_[a].flow_slot];
           if (f.epoch != ep) {
             f.epoch = ep;
-            component_scratch_.push_back(slot);
+            component_scratch_.push_back(adj_[a].flow_slot);
           }
         }
         cur = dsu_next_[cur];
@@ -313,8 +354,9 @@ void Network::collect_component(const std::vector<LinkId>& seed_links) {
   }
   for (std::size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
     const LinkId l = bfs_queue_[qi];
-    for (std::uint32_t slot : links_[l].flows) {
-      FlowState& f = slab_[slot];
+    for (std::uint32_t a = links_[l].head; a != kNoAdj; a = adj_[a].next) {
+      const std::uint32_t slot = adj_[a].flow_slot;
+      FlowState& f = flows_[slot];
       if (f.epoch == ep) continue;
       f.epoch = ep;
       component_scratch_.push_back(slot);
@@ -335,39 +377,47 @@ void Network::reallocate_flows(std::vector<std::uint32_t>& component) {
   // allocations: ascending flow id, as always.
   std::sort(component.begin(), component.end(),
             [this](std::uint32_t a, std::uint32_t b) {
-              return slab_[a].id < slab_[b].id;
+              return flows_[a].id < flows_[b].id;
             });
 
+  // Dense link discovery: every link touched by the component gets a
+  // component-local index; link-side solver state lives in dense arrays.
   const std::uint32_t ep = next_epoch();
-  for (std::uint32_t slot : component) slab_[slot].epoch = ep;
-  component_links_scratch_.clear();
+  for (std::uint32_t slot : component) flows_[slot].epoch = ep;
+  sol_link_ids_.clear();
+  link_remaining_.clear();
+  link_unfrozen_.clear();
   for (std::uint32_t slot : component) {
-    for (LinkId l : slab_[slot].path) {
+    for (LinkId l : flows_[slot].path) {
       if (link_epoch_[l] == ep) continue;
       link_epoch_[l] = ep;
       // Components are link-closed — every flow on a member's link is a
       // member — so the full capacity is up for (re)distribution; there are
       // no out-of-component rates to subtract.
-      assert(std::all_of(links_[l].flows.begin(), links_[l].flows.end(),
-                         [&](std::uint32_t s2) { return slab_[s2].epoch == ep; }) &&
-             "reallocate_flows requires a link-closed flow set");
-      link_remaining_[l] = std::max(0.0, links_[l].capacity);
-      link_unfrozen_[l] = 0;
-      component_links_scratch_.push_back(l);
+#ifndef NDEBUG
+      for (std::uint32_t a = links_[l].head; a != kNoAdj; a = adj_[a].next) {
+        assert(flows_[adj_[a].flow_slot].epoch == ep &&
+               "reallocate_flows requires a link-closed flow set");
+      }
+#endif
+      link_dense_[l] = static_cast<std::uint32_t>(sol_link_ids_.size());
+      sol_link_ids_.push_back(l);
+      link_remaining_.push_back(std::max(0.0, links_[l].capacity));
+      link_unfrozen_.push_back(0);
     }
   }
 
   // Settle progress at the old rates before assigning new ones.
-  for (std::uint32_t slot : component) settle(slab_[slot]);
+  for (std::uint32_t slot : component) settle(flows_[slot]);
 
   if (model_ == AllocationModel::kEqualSplit) {
     // Naive split: each flow gets min over its links of capacity/n, then
     // its cap. No redistribution of unclaimed share (the ablation point).
     for (std::uint32_t slot : component) {
-      FlowState& f = slab_[slot];
+      FlowState& f = flows_[slot];
       double r = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
       for (LinkId l : f.path) {
-        const double n = static_cast<double>(links_[l].flows.size());
+        const double n = static_cast<double>(links_[l].flow_count);
         r = std::min(r, links_[l].capacity / std::max(1.0, n));
       }
       f.rate = std::max(0.0, r);
@@ -377,68 +427,189 @@ void Network::reallocate_flows(std::vector<std::uint32_t>& component) {
     return;
   }
 
-  unfrozen_scratch_.clear();
-  for (std::uint32_t slot : component) {
-    FlowState& f = slab_[slot];
-    f.solve_rate = 0.0;
-    f.solve_frozen = false;
+  // SoA solver state (DESIGN.md §16): flow-side arrays indexed by position
+  // in the id-sorted component, CSR paths holding dense link indices. The
+  // progressive-filling rounds touch only these contiguous arrays — never
+  // the flow slab — so each sweep is cache-linear.
+  const std::size_t n_flows = component.size();
+  sol_cap_.clear();
+  sol_rate_.clear();
+  sol_frozen_.clear();
+  sol_path_off_.clear();
+  sol_path_.clear();
+  sol_unfrozen_.clear();
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    const FlowState& f = flows_[component[i]];
+    sol_cap_.push_back(f.rate_cap);
+    sol_rate_.push_back(0.0);
+    sol_frozen_.push_back(0);
+    sol_path_off_.push_back(static_cast<std::uint32_t>(sol_path_.size()));
     if (f.rate_cap <= kMinRate) continue;  // fully throttled
     if (f.path.empty()) {
       // No shared constraint: the cap alone determines the rate.
-      f.solve_rate = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
+      sol_rate_[i] = std::isfinite(f.rate_cap) ? f.rate_cap : 1e15;
       continue;
     }
-    unfrozen_scratch_.push_back(slot);
-    for (LinkId l : f.path) ++link_unfrozen_[l];
+    sol_unfrozen_.push_back(static_cast<std::uint32_t>(i));
+    for (LinkId l : f.path) {
+      const std::uint32_t d = link_dense_[l];
+      sol_path_.push_back(d);
+      ++link_unfrozen_[d];
+    }
+  }
+  sol_path_off_.push_back(static_cast<std::uint32_t>(sol_path_.size()));
+
+  const std::size_t n_links = sol_link_ids_.size();
+  // Parallel sweeps engage only on components big enough to amortize the
+  // barrier; every phase is exact (see file header), so this decision
+  // cannot change the allocation.
+  run::WorkPool* pool =
+      (solver_pool_ != nullptr && solver_pool_->lanes() > 1 &&
+       sol_unfrozen_.size() >= solver_min_flows_)
+          ? solver_pool_
+          : nullptr;
+  double inc = 0.0;
+
+  // Phase lambdas are hoisted out of the round loop so the std::function
+  // conversion happens once per solve, not once per round.
+  run::WorkPool::RangeFn min_phase, update_phase, freeze_phase;
+  if (pool != nullptr) {
+    // Min-reduction over dense links then unfrozen flows. Each lane folds
+    // its chunk into a partial min; min is exact in any grouping, so the
+    // merged value equals the sequential fold bit-for-bit.
+    min_phase = [&](std::size_t lane, std::size_t b, std::size_t e) {
+      double m = std::numeric_limits<double>::infinity();
+      for (std::size_t t = b; t < e; ++t) {
+        if (t < n_links) {
+          const std::int32_t n = link_unfrozen_[t];
+          if (n > 0) m = std::min(m, link_remaining_[t] / static_cast<double>(n));
+        } else {
+          const std::uint32_t i = sol_unfrozen_[t - n_links];
+          if (sol_frozen_[i]) continue;
+          if (std::isfinite(sol_cap_[i])) m = std::min(m, sol_cap_[i] - sol_rate_[i]);
+        }
+      }
+      lane_min_[lane] = m;
+    };
+    // Rate/headroom update. Link-centric: a link crossed by k unfrozen
+    // flows absorbs k subtractions of the SAME inc, so performing them
+    // locally is bit-identical to the flow-major order regardless of which
+    // lane owns which flow. All writes are disjoint (own links, own flows).
+    update_phase = [&](std::size_t lane, std::size_t b, std::size_t e) {
+      (void)lane;
+      for (std::size_t t = b; t < e; ++t) {
+        if (t < n_links) {
+          const std::int32_t k = link_unfrozen_[t];
+          if (k <= 0) continue;
+          double r = link_remaining_[t];
+          for (std::int32_t j = 0; j < k; ++j) r -= inc;
+          link_remaining_[t] = r;
+        } else {
+          const std::uint32_t i = sol_unfrozen_[t - n_links];
+          if (!sol_frozen_[i]) sol_rate_[i] += inc;
+        }
+      }
+    };
+    // Freeze scan. Each flow is owned by exactly one lane (disjoint
+    // sol_frozen_ writes); the per-link unfrozen counters take concurrent
+    // relaxed decrements, which commute exactly (integers).
+    freeze_phase = [&](std::size_t lane, std::size_t b, std::size_t e) {
+      std::uint32_t newly = 0;
+      for (std::size_t u = b; u < e; ++u) {
+        const std::uint32_t i = sol_unfrozen_[u];
+        if (sol_frozen_[i]) continue;
+        bool freeze =
+            std::isfinite(sol_cap_[i]) && sol_rate_[i] >= sol_cap_[i] - kMinRate;
+        if (!freeze) {
+          for (std::uint32_t p = sol_path_off_[i]; p < sol_path_off_[i + 1]; ++p) {
+            if (link_remaining_[sol_path_[p]] <= kMinRate) {
+              freeze = true;
+              break;
+            }
+          }
+        }
+        if (freeze) {
+          sol_frozen_[i] = 1;
+          ++newly;
+          for (std::uint32_t p = sol_path_off_[i]; p < sol_path_off_[i + 1]; ++p) {
+            std::atomic_ref<std::int32_t>(link_unfrozen_[sol_path_[p]])
+                .fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      lane_newly_[lane] = newly;
+    };
   }
 
-  std::size_t active = unfrozen_scratch_.size();
-  std::size_t guard =
-      2 * (unfrozen_scratch_.size() + component_links_scratch_.size()) + 8;
+  std::size_t active = sol_unfrozen_.size();
+  std::size_t guard = 2 * (sol_unfrozen_.size() + n_links) + 8;
   [[maybe_unused]] std::uint64_t iterations = 0;
   while (active > 0 && guard-- > 0) {
     ODR_OBS(++iterations;)
-    double inc = std::numeric_limits<double>::infinity();
-    for (LinkId l : component_links_scratch_) {
-      const std::uint32_t n = link_unfrozen_[l];
-      if (n == 0) continue;
-      inc = std::min(inc, link_remaining_[l] / static_cast<double>(n));
-    }
-    for (std::uint32_t slot : unfrozen_scratch_) {
-      const FlowState& f = slab_[slot];
-      if (f.solve_frozen) continue;
-      if (std::isfinite(f.rate_cap)) {
-        inc = std::min(inc, f.rate_cap - f.solve_rate);
+    inc = std::numeric_limits<double>::infinity();
+    if (pool != nullptr) {
+      std::fill(lane_min_.begin(), lane_min_.end(),
+                std::numeric_limits<double>::infinity());
+      pool->parallel_for(n_links + sol_unfrozen_.size(), min_phase);
+      for (double m : lane_min_) inc = std::min(inc, m);
+    } else {
+      for (std::size_t d = 0; d < n_links; ++d) {
+        const std::int32_t n = link_unfrozen_[d];
+        if (n == 0) continue;
+        inc = std::min(inc, link_remaining_[d] / static_cast<double>(n));
+      }
+      for (std::uint32_t i : sol_unfrozen_) {
+        if (sol_frozen_[i]) continue;
+        if (std::isfinite(sol_cap_[i])) {
+          inc = std::min(inc, sol_cap_[i] - sol_rate_[i]);
+        }
       }
     }
     if (!std::isfinite(inc)) inc = 1e15;  // unconstrained flows: clamp
     inc = std::max(inc, 0.0);
 
-    for (std::uint32_t slot : unfrozen_scratch_) {
-      FlowState& f = slab_[slot];
-      if (f.solve_frozen) continue;
-      f.solve_rate += inc;
-      for (LinkId l : f.path) link_remaining_[l] -= inc;
+    if (pool != nullptr) {
+      pool->parallel_for(n_links + sol_unfrozen_.size(), update_phase);
+    } else {
+      for (std::size_t d = 0; d < n_links; ++d) {
+        const std::int32_t k = link_unfrozen_[d];
+        if (k <= 0) continue;
+        // k subtractions of one value: bit-identical to the historical
+        // flow-major update, whichever flow they were attributed to.
+        double r = link_remaining_[d];
+        for (std::int32_t j = 0; j < k; ++j) r -= inc;
+        link_remaining_[d] = r;
+      }
+      for (std::uint32_t i : sol_unfrozen_) {
+        if (!sol_frozen_[i]) sol_rate_[i] += inc;
+      }
     }
 
     std::size_t newly_frozen = 0;
-    for (std::uint32_t slot : unfrozen_scratch_) {
-      FlowState& f = slab_[slot];
-      if (f.solve_frozen) continue;
-      bool freeze =
-          std::isfinite(f.rate_cap) && f.solve_rate >= f.rate_cap - kMinRate;
-      if (!freeze) {
-        for (LinkId l : f.path) {
-          if (link_remaining_[l] <= kMinRate) {
-            freeze = true;
-            break;
+    if (pool != nullptr) {
+      std::fill(lane_newly_.begin(), lane_newly_.end(), 0u);
+      pool->parallel_for(sol_unfrozen_.size(), freeze_phase);
+      for (std::uint32_t c : lane_newly_) newly_frozen += c;
+    } else {
+      for (std::uint32_t i : sol_unfrozen_) {
+        if (sol_frozen_[i]) continue;
+        bool freeze =
+            std::isfinite(sol_cap_[i]) && sol_rate_[i] >= sol_cap_[i] - kMinRate;
+        if (!freeze) {
+          for (std::uint32_t p = sol_path_off_[i]; p < sol_path_off_[i + 1]; ++p) {
+            if (link_remaining_[sol_path_[p]] <= kMinRate) {
+              freeze = true;
+              break;
+            }
           }
         }
-      }
-      if (freeze) {
-        f.solve_frozen = true;
-        ++newly_frozen;
-        for (LinkId l : f.path) --link_unfrozen_[l];
+        if (freeze) {
+          sol_frozen_[i] = 1;
+          ++newly_frozen;
+          for (std::uint32_t p = sol_path_off_[i]; p < sol_path_off_[i + 1]; ++p) {
+            --link_unfrozen_[sol_path_[p]];
+          }
+        }
       }
     }
     active -= newly_frozen;
@@ -446,17 +617,17 @@ void Network::reallocate_flows(std::vector<std::uint32_t>& component) {
     // Frozen flows contribute nothing to later rounds; drop them (stable,
     // so the ascending-id iteration order is preserved) to keep long
     // freeze chains O(still-active) per round.
-    if (newly_frozen * 2 > unfrozen_scratch_.size()) {
-      unfrozen_scratch_.erase(
-          std::remove_if(unfrozen_scratch_.begin(), unfrozen_scratch_.end(),
-                         [this](std::uint32_t s) { return slab_[s].solve_frozen; }),
-          unfrozen_scratch_.end());
+    if (newly_frozen * 2 > sol_unfrozen_.size()) {
+      sol_unfrozen_.erase(
+          std::remove_if(sol_unfrozen_.begin(), sol_unfrozen_.end(),
+                         [this](std::uint32_t i) { return sol_frozen_[i] != 0; }),
+          sol_unfrozen_.end());
     }
   }
 
-  for (std::uint32_t slot : component) {
-    FlowState& f = slab_[slot];
-    f.rate = f.solve_rate;
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    FlowState& f = flows_[component[i]];
+    f.rate = sol_rate_[i];
     f.peak_rate = std::max(f.peak_rate, f.rate);
     schedule_completion(f.id, f);
   }
@@ -495,7 +666,7 @@ void Network::complete_flow(FlowId id) {
   const std::uint32_t* ps = id_to_slot_.find(id);
   if (ps == nullptr) return;
   const std::uint32_t slot = *ps;
-  FlowState& f = slab_[slot];
+  FlowState& f = flows_[slot];
   settle(f);
   f.completion_event = sim::kInvalidEvent;
   f.bytes_done = static_cast<double>(f.bytes_total);
@@ -513,13 +684,6 @@ void Network::complete_flow(FlowId id) {
   --live_flows_;
   reallocate_component(path_scratch_);
   if (cb) cb(id);
-}
-
-void Network::detach_from_links(std::uint32_t slot, const FlowState& f) {
-  for (LinkId l : f.path) {
-    auto& v = links_[l].flows;
-    v.erase(std::remove(v.begin(), v.end(), slot), v.end());
-  }
 }
 
 void Network::note_removed(const FlowState& f) {
@@ -560,9 +724,8 @@ void Network::dsu_rebuild() {
     dsu_size_[l] = 1;
     dsu_next_[l] = l;
   }
-  for (const FlowState& f : slab_) {
-    if (f.id != kInvalidFlow) dsu_union_path(f.path);
-  }
+  flows_.for_each_slot(
+      [this](std::uint32_t, FlowState& f) { dsu_union_path(f.path); });
   dsu_pending_splits_ = 0;
   dsu_dirty_solves_ = 0;
 }
@@ -581,7 +744,7 @@ void Network::save(snapshot::SnapshotWriter& w) const {
   std::sort(ordered.begin(), ordered.end());
   w.u64(kTagFlowCount, ordered.size());
   for (const auto& [id, slot] : ordered) {
-    const FlowState& f = slab_[slot];
+    const FlowState& f = flows_[slot];
     w.u64(kTagFlowId, id);
     w.u64(kTagFlowPathLen, f.path.size());
     for (LinkId l : f.path) w.u32(kTagFlowPathLink, l);
@@ -612,12 +775,14 @@ void Network::load(snapshot::SnapshotReader& r) {
   }
   for (LinkState& l : links_) {
     l.capacity = r.f64(kTagLinkCapacity);
-    l.flows.clear();
+    l.head = kNoAdj;
+    l.tail = kNoAdj;
+    l.flow_count = 0;
   }
   next_flow_id_ = r.u64(kTagNextFlowId);
 
-  slab_.clear();
-  free_head_ = kNoSlot;
+  flows_.clear();
+  adj_.clear();
   id_to_slot_.clear();
   live_flows_ = 0;
   awaiting_callback_.clear();
@@ -626,11 +791,12 @@ void Network::load(snapshot::SnapshotReader& r) {
   const std::uint64_t flow_count = r.u64(kTagFlowCount);
   for (std::uint64_t i = 0; i < flow_count; ++i) {
     const FlowId id = r.u64(kTagFlowId);
-    // Flows were saved in ascending id order and the slab is empty, so
-    // slots come out sequential and link membership lists (slots appended
-    // below) reproduce the original ascending-by-id order exactly.
+    // Flows were saved in ascending id order and the pool is empty, so
+    // slots come out sequential and adjacency chains (appended by
+    // attach_to_links below) reproduce the original ascending-by-id order
+    // exactly.
     const std::uint32_t slot = acquire_slot();
-    FlowState& f = slab_[slot];
+    FlowState& f = flows_[slot];
     const std::uint64_t path_len = r.u64(kTagFlowPathLen);
     f.path.reserve(path_len);
     for (std::uint64_t p = 0; p < path_len; ++p) {
@@ -652,7 +818,7 @@ void Network::load(snapshot::SnapshotReader& r) {
     const sim::EventId completion = r.u64(kTagFlowCompletionEvent);
     const bool has_callback = r.b(kTagFlowHasCallback);
     f.id = id;
-    for (LinkId l : f.path) links_[l].flows.push_back(slot);
+    attach_to_links(slot, f);
     if (completion != sim::kInvalidEvent) {
       sim_.rearm(completion, [this, id] { complete_flow(id); });
       f.completion_event = completion;
@@ -670,7 +836,7 @@ void Network::reattach_on_complete(FlowId id, FlowCallback cb) {
     throw snapshot::SnapshotError(
         "network: reattach_on_complete for unknown flow " + std::to_string(id));
   }
-  slab_[*ps].on_complete = std::move(cb);
+  flows_[*ps].on_complete = std::move(cb);
   awaiting_callback_.erase(id);
 }
 
@@ -684,7 +850,7 @@ std::vector<Network::FlowView> Network::flow_views() const {
   std::vector<FlowView> views;
   views.reserve(ordered.size());
   for (const auto& [id, slot] : ordered) {
-    const FlowState& f = slab_[slot];
+    const FlowState& f = flows_[slot];
     views.push_back(FlowView{id, &f.path, f.bytes_total, f.bytes_done, f.rate,
                              f.last_settled,
                              f.completion_event != sim::kInvalidEvent,
@@ -695,9 +861,9 @@ std::vector<Network::FlowView> Network::flow_views() const {
 
 std::size_t Network::pending_completion_count() const {
   std::size_t n = 0;
-  for (const FlowState& f : slab_) {
-    if (f.id != kInvalidFlow && f.completion_event != sim::kInvalidEvent) ++n;
-  }
+  flows_.for_each_slot([&](std::uint32_t, const FlowState& f) {
+    if (f.completion_event != sim::kInvalidEvent) ++n;
+  });
   return n;
 }
 

@@ -14,17 +14,24 @@
 // saturation, admission pressure) at a cost that lets us replay
 // hundreds of thousands of tasks per second of wall time.
 //
-// Hot-path layout (see DESIGN.md §11): flows live in a slot slab indexed
-// by dense 32-bit handles (link membership lists hold slots, not ids, so
-// the solver never hashes), solver scratch is epoch-stamped per-slot and
-// per-link arrays reused across solves, and link connectivity is tracked
-// by an incremental union-find with member lists so start-heavy and
-// cap-churn phases resolve their component in O(component) without a BFS.
-// Flow removals can split components, which a union-find cannot track;
-// removals invalidate it and the exact epoch-stamped BFS takes over until
-// the structure is rebuilt (amortized — see kDsuRebuildAfter). Every path
-// yields the exact same component set, so allocations are bit-identical
-// to the original implementation's.
+// Hot-path layout (see DESIGN.md §11 and §16): flows live in a
+// util::SlabPool indexed by dense 32-bit slots; link membership is an
+// intrusive doubly-linked adjacency list of pooled nodes (append keeps
+// ascending flow id, detach is O(path) instead of O(flows-on-link)), so
+// completion-heavy steady state never scans a cluster link's whole
+// membership. The solver inner loop runs over per-solve SoA arrays —
+// rates, caps, frozen flags, CSR paths with component-local dense link
+// indices — so every progressive-filling round is a cache-linear sweep
+// with no pointer chasing into the flow slab. The sweeps can optionally
+// fan out over a run::WorkPool (set_parallel_solver); every parallel
+// phase is exact (min-reductions, disjoint writes, identical-value
+// subtraction counts, integer decrements), so allocations are
+// bit-identical to the sequential solver at any lane count. Link
+// connectivity is tracked by an incremental union-find with member rings;
+// removals can split components, which invalidates it and the exact
+// epoch-stamped BFS takes over until the amortized rebuild (see
+// kDsuRebuildAfter). Every path yields the exact same component set, so
+// allocations are bit-identical to the original implementation's.
 #pragma once
 
 #include <cstdint>
@@ -37,12 +44,17 @@
 #include "net/isp.h"
 #include "sim/simulator.h"
 #include "util/flat_map.h"
+#include "util/pool.h"
 #include "util/units.h"
 
 namespace odr::snapshot {
 class SnapshotWriter;
 class SnapshotReader;
 }  // namespace odr::snapshot
+
+namespace odr::run {
+class WorkPool;
+}  // namespace odr::run
 
 namespace odr::net {
 
@@ -139,6 +151,14 @@ class Network {
   void set_rate_epsilon(double eps) { rate_epsilon_ = eps; }
   double rate_epsilon() const { return rate_epsilon_; }
 
+  // Fans the solver's per-round sweeps (min-reduction, rate/headroom
+  // update, freeze scan) across `pool` once a component has at least
+  // `min_flows` unfrozen members. Every phase is exact — allocations are
+  // bit-identical to the sequential solver at any lane count (see the
+  // file header and DESIGN.md §16) — so this changes wall-clock only.
+  // Pass nullptr to restore the sequential solver (the default).
+  void set_parallel_solver(run::WorkPool* pool, std::size_t min_flows = 4096);
+
   // Recomputes the max-min fair allocation immediately. Normally invoked
   // internally; exposed for tests.
   void reallocate();
@@ -187,22 +207,37 @@ class Network {
   // Union-find health, exposed for the benchmarks and property tests.
   bool component_index_clean() const { return dsu_pending_splits_ == 0; }
 
+  // Pool high-water marks (RSS accounting and the pool property tests).
+  std::size_t flow_slab_capacity() const { return flows_.capacity(); }
+  std::size_t adjacency_pool_capacity() const { return adj_.capacity(); }
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::uint32_t kNoAdj = 0xffffffffu;
   // Rebuild the union-find after this many BFS-fallback solves. Rebuilding
   // costs one pass over every live flow's path; spreading it over 16
   // fallback solves keeps the amortized overhead a few percent while
   // start/cap-churn bursts (which never dirty the structure) stay O(1).
   static constexpr std::uint32_t kDsuRebuildAfter = 16;
 
+  // One hop of the link→flow adjacency: flow `flow_slot` crosses the
+  // owning link. Nodes are pooled (util::SlabPool) and chained per link in
+  // insertion order; flow ids are monotone, so the chain is always ordered
+  // by ascending flow id, which fixes the floating-point summation order
+  // everywhere a link's flows are folded.
+  struct AdjNode {
+    std::uint32_t flow_slot = kNoSlot;
+    std::uint32_t prev = kNoAdj;
+    std::uint32_t next = kNoAdj;
+  };
+
   struct LinkState {
     std::string name;
     Rate capacity;
-    // Active flows traversing this link, as slab slots. Always ordered by
-    // ascending flow id (appends are monotone in id, removals keep order),
-    // which fixes the floating-point summation order everywhere a link's
-    // flows are folded.
-    std::vector<std::uint32_t> flows;
+    // Intrusive adjacency list endpoints (SlabPool<AdjNode> slots).
+    std::uint32_t head = kNoAdj;
+    std::uint32_t tail = kNoAdj;
+    std::uint32_t flow_count = 0;
   };
 
   struct NodeState {
@@ -212,6 +247,8 @@ class Network {
 
   struct FlowState {
     std::vector<LinkId> path;
+    // Adjacency node per path hop (parallel to `path`), for O(1) detach.
+    std::vector<std::uint32_t> adj;
     Bytes bytes_total = 0;
     double bytes_done = 0.0;  // double: avoids rounding drift on resettles
     Rate rate = 0.0;
@@ -225,15 +262,12 @@ class Network {
     FlowCallback on_complete;
     sim::EventId completion_event = sim::kInvalidEvent;
     FlowId id = kInvalidFlow;  // owning id; kInvalidFlow when the slot is free
-    std::uint32_t next_free = kNoSlot;
-    // Solver scratch (valid only inside one reallocate_flows call).
-    double solve_rate = 0.0;
-    std::uint32_t epoch = 0;     // component-membership stamp
-    bool solve_frozen = false;
+    std::uint32_t epoch = 0;   // component-membership stamp
   };
 
   std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);
+  void attach_to_links(std::uint32_t slot, FlowState& f);
 
   void settle(FlowState& f);
   // Progressive filling over `component` (slab slots, any order; sorted by
@@ -246,7 +280,7 @@ class Network {
   void collect_component(const std::vector<LinkId>& seed_links);
   void schedule_completion(FlowId id, FlowState& f);
   void complete_flow(FlowId id);
-  void detach_from_links(std::uint32_t slot, const FlowState& f);
+  void detach_from_links(std::uint32_t slot, FlowState& f);
   void note_removed(const FlowState& f);
 
   // --- link union-find (incremental unions; removals invalidate) ----------
@@ -257,7 +291,7 @@ class Network {
 
   std::uint32_t next_epoch() {
     if (++epoch_ == 0) {  // wrapped: invalidate every stale stamp
-      for (FlowState& f : slab_) f.epoch = 0;
+      flows_.for_each_slot([](std::uint32_t, FlowState& f) { f.epoch = 0; });
       link_epoch_.assign(link_epoch_.size(), 0);
       epoch_ = 1;
     }
@@ -268,24 +302,36 @@ class Network {
   std::vector<NodeState> nodes_;
   std::vector<LinkState> links_;
 
-  // Flow storage: slab + free list + id lookup (see file header).
-  std::vector<FlowState> slab_;
-  std::uint32_t free_head_ = kNoSlot;
+  // Flow storage: slab pool + id lookup (see file header).
+  util::SlabPool<FlowState> flows_;
+  util::SlabPool<AdjNode> adj_;
   util::FlatMap64<std::uint32_t> id_to_slot_;
   std::size_t live_flows_ = 0;
 
-  // Reusable solver scratch (epoch-stamped; no per-solve allocation).
+  // Reusable per-link scratch (epoch-stamped; no per-solve allocation).
   std::uint32_t epoch_ = 0;
-  std::vector<std::uint32_t> link_epoch_;      // per link: touched this solve
-  std::vector<double> link_remaining_;         // per link: capacity left
-  std::vector<std::uint32_t> link_unfrozen_;   // per link: unfrozen flow count
-  std::vector<std::uint32_t> component_scratch_;       // slots
-  std::vector<LinkId> component_links_scratch_;
-  std::vector<std::uint32_t> unfrozen_scratch_;
+  std::vector<std::uint32_t> link_epoch_;  // per link: touched this solve
+  std::vector<std::uint32_t> link_dense_;  // per link: dense index this solve
+  std::vector<std::uint32_t> component_scratch_;  // slots
   std::vector<LinkId> bfs_queue_;
   std::vector<LinkId> path_scratch_;  // detached flow's path during removal
 
-  // Link union-find with circular member lists.
+  // Per-solve SoA scratch, reused across solves (DESIGN.md §16). Flow-side
+  // arrays are indexed by the flow's position in the id-sorted component;
+  // link-side arrays by the component-local dense link index.
+  std::vector<double> sol_cap_;            // rate_cap per component flow
+  std::vector<double> sol_rate_;           // progressive-filling rate
+  std::vector<std::uint8_t> sol_frozen_;
+  std::vector<std::uint32_t> sol_path_off_;  // CSR offsets (n + 1)
+  std::vector<std::uint32_t> sol_path_;      // dense link indices
+  std::vector<std::uint32_t> sol_unfrozen_;  // component flow indices
+  std::vector<LinkId> sol_link_ids_;         // dense link -> global LinkId
+  std::vector<double> link_remaining_;       // dense link: capacity left
+  std::vector<std::int32_t> link_unfrozen_;  // dense link: unfrozen flows
+  std::vector<double> lane_min_;             // parallel min-reduction scratch
+  std::vector<std::uint32_t> lane_newly_;    // parallel freeze counts
+
+  // Link union-find with circular member rings.
   std::vector<std::uint32_t> dsu_parent_;
   std::vector<std::uint32_t> dsu_size_;
   std::vector<std::uint32_t> dsu_next_;        // circular list per component
@@ -297,6 +343,8 @@ class Network {
   FlowId next_flow_id_ = 1;
   AllocationModel model_ = AllocationModel::kMaxMinFair;
   double rate_epsilon_ = 0.0;
+  run::WorkPool* solver_pool_ = nullptr;
+  std::size_t solver_min_flows_ = 4096;
 };
 
 }  // namespace odr::net

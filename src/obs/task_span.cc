@@ -129,7 +129,8 @@ void TaskJournal::set_metrics_ts(MetricsTimeSeries* metrics_ts) {
 }
 
 void TaskJournal::begin_run() {
-  open_.clear();
+  open_pool_.clear();
+  open_index_.clear();
   file_retries_.clear();
   reservoir_.clear();
   slowest_.clear();
@@ -139,19 +140,47 @@ void TaskJournal::begin_run() {
   trace_seen_ = 0;
 }
 
+std::uint32_t TaskJournal::find_open(std::uint64_t task_id) const {
+  const std::uint32_t* slot = open_index_.find(task_id + 1);
+  return slot != nullptr ? *slot : util::SlabPool<TaskSpan>::kNoSlot;
+}
+
+std::uint32_t TaskJournal::open_slot(std::uint64_t task_id, bool* inserted) {
+  const std::uint32_t existing = find_open(task_id);
+  if (existing != util::SlabPool<TaskSpan>::kNoSlot) {
+    *inserted = false;
+    return existing;
+  }
+  // Recycled slots hand back the previous occupant's span; reset every
+  // field but keep the stages vector's capacity (the whole point of
+  // pooling spans — steady state appends into already-owned storage).
+  const std::uint32_t slot = open_pool_.acquire();
+  TaskSpan& span = open_pool_[slot];
+  auto stages = std::move(span.stages);
+  stages.clear();
+  span = TaskSpan{};
+  span.stages = std::move(stages);
+  open_index_.put(task_id + 1, slot);
+  *inserted = true;
+  return slot;
+}
+
 void TaskJournal::on_submit(std::uint64_t task_id, SimTime t,
                             SpanOrigin origin) {
-  auto [it, inserted] = open_.try_emplace(task_id);
+  bool inserted = false;
+  const std::uint32_t slot = open_slot(task_id, &inserted);
   if (!inserted) return;  // the first opener wins (executor before cloud)
-  it->second.task_id = task_id;
-  it->second.origin = origin;
-  it->second.submitted_at = t;
+  TaskSpan& span = open_pool_[slot];
+  span.task_id = task_id;
+  span.origin = origin;
+  span.submitted_at = t;
 }
 
 void TaskJournal::on_stage(std::uint64_t task_id, Stage s, SimTime begin,
                            SimTime end) {
-  auto [it, inserted] = open_.try_emplace(task_id);
-  TaskSpan& span = it->second;
+  bool inserted = false;
+  const std::uint32_t slot = open_slot(task_id, &inserted);
+  TaskSpan& span = open_pool_[slot];
   if (inserted) {
     // Mid-flight task revived from a checkpoint: open a span covering the
     // resumed portion only.
@@ -169,44 +198,49 @@ void TaskJournal::on_stage(std::uint64_t task_id, Stage s, SimTime begin,
 }
 
 void TaskJournal::on_retry(std::uint64_t task_id, std::uint32_t n) {
-  auto it = open_.find(task_id);
-  if (it != open_.end()) it->second.retries += n;
+  const std::uint32_t slot = find_open(task_id);
+  if (slot != util::SlabPool<TaskSpan>::kNoSlot) open_pool_[slot].retries += n;
 }
 
 void TaskJournal::on_reroute(std::uint64_t task_id) {
-  auto it = open_.find(task_id);
-  if (it != open_.end()) ++it->second.reroutes;
+  const std::uint32_t slot = find_open(task_id);
+  if (slot != util::SlabPool<TaskSpan>::kNoSlot) ++open_pool_[slot].reroutes;
 }
 
 void TaskJournal::on_cache_hit(std::uint64_t task_id) {
-  auto it = open_.find(task_id);
-  if (it != open_.end()) it->second.cache_hit = true;
+  const std::uint32_t slot = find_open(task_id);
+  if (slot != util::SlabPool<TaskSpan>::kNoSlot) {
+    open_pool_[slot].cache_hit = true;
+  }
 }
 
 void TaskJournal::note_file_retry(std::uint64_t file_index, std::uint32_t n) {
-  file_retries_[file_index] += n;
+  if (std::uint32_t* count = file_retries_.find(file_index + 1)) {
+    *count += n;
+  } else {
+    file_retries_.put(file_index + 1, n);
+  }
 }
 
 std::uint32_t TaskJournal::take_file_retries(std::uint64_t file_index) {
-  auto it = file_retries_.find(file_index);
-  if (it == file_retries_.end()) return 0;
-  const std::uint32_t n = it->second;
-  file_retries_.erase(it);
+  const std::uint32_t* count = file_retries_.find(file_index + 1);
+  if (count == nullptr) return 0;
+  const std::uint32_t n = *count;
+  file_retries_.erase(file_index + 1);
   return n;
 }
 
 void TaskJournal::on_finish(std::uint64_t task_id, SimTime t,
                             const SpanTerminal& term) {
-  auto it = open_.find(task_id);
-  if (it == open_.end()) {
+  const std::uint32_t slot = find_open(task_id);
+  if (slot == util::SlabPool<TaskSpan>::kNoSlot) {
     // Already finished (executor wrapper + replay sink both fire) — or a
     // post-restore completion of a task whose stages all pre-dated the
     // kill. The former must be a no-op; the latter is indistinguishable,
     // and skipping it errs on the side of never double-counting.
     return;
   }
-  TaskSpan span = std::move(it->second);
-  open_.erase(it);
+  TaskSpan& span = open_pool_[slot];
   span.finished_at = std::max(t, span.submitted_at);
   span.outcome = term.outcome;
   span.cause = term.cause;
@@ -222,6 +256,10 @@ void TaskJournal::on_finish(std::uint64_t task_id, SimTime t,
   if (metrics_ts_ != nullptr) metrics_ts_->fold(span);
   emit_trace(span);
   keep(span);
+  // The retention sets COPY the span; the pooled original (and its stages
+  // capacity) goes back on the freelist for the next open.
+  open_index_.erase(task_id + 1);
+  open_pool_.release(slot);
 }
 
 void TaskJournal::keep(const TaskSpan& span) {
@@ -298,7 +336,7 @@ std::vector<TaskSpan> TaskJournal::sampled() const {
 
 void TaskJournal::write_summary_fields(JsonWriter& j) const {
   j.field("finished", finished_)
-      .field("open", static_cast<std::uint64_t>(open_.size()))
+      .field("open", static_cast<std::uint64_t>(open_index_.size()))
       .field("sampled", static_cast<std::uint64_t>(sampled().size()))
       .field("kept_failed", static_cast<std::uint64_t>(kept_failed_.size()))
       .field("kept_dropped", kept_dropped_);

@@ -33,10 +33,11 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/obs_config.h"
+#include "util/flat_map.h"
+#include "util/pool.h"
 #include "util/units.h"
 
 namespace odr {
@@ -172,7 +173,11 @@ class TaskJournal {
   void on_finish(std::uint64_t task_id, SimTime t, const SpanTerminal& term);
 
   // --- introspection -----------------------------------------------------
-  std::size_t open_spans() const { return open_.size(); }
+  std::size_t open_spans() const { return open_index_.size(); }
+  // Pool high-water mark: open-span slots ever in use at once (slab
+  // capacity; the steady-state allocation gate in bench/obs_overhead
+  // checks this plateaus instead of growing with task count).
+  std::size_t open_span_capacity() const { return open_pool_.capacity(); }
   std::uint64_t finished() const { return finished_; }
   std::uint64_t kept_dropped() const { return kept_dropped_; }
   // All retained spans (reservoir + always-keep sets), deduplicated,
@@ -193,6 +198,10 @@ class TaskJournal {
 
   void keep(const TaskSpan& span);
   void emit_trace(const TaskSpan& span);
+  // Slot of task_id's open span, or SlabPool::kNoSlot. `opening` acquires
+  // (and field-resets) a pooled span for an unknown id instead.
+  std::uint32_t find_open(std::uint64_t task_id) const;
+  std::uint32_t open_slot(std::uint64_t task_id, bool* inserted);
 
   std::size_t reservoir_size_;
   std::size_t keep_slowest_;
@@ -204,8 +213,16 @@ class TaskJournal {
   Tracer* tracer_ = nullptr;
   MetricsTimeSeries* metrics_ts_ = nullptr;
 
-  std::unordered_map<std::uint64_t, TaskSpan> open_;
-  std::unordered_map<std::uint64_t, std::uint32_t> file_retries_;
+  // Open spans live in a slab pool (DESIGN.md §16): the population churns
+  // once per task but plateaus at the concurrent-task high-water mark, and
+  // recycled spans keep their stages vector capacity, so the steady state
+  // appends intervals into already-owned storage. The flat index maps
+  // task_id+1 -> slot (+1 because FlatMap64 reserves key 0 and a default
+  // TaskSpan's id is 0).
+  util::SlabPool<TaskSpan> open_pool_;
+  util::FlatMap64<std::uint32_t> open_index_;
+  // file_index+1 -> pending per-file retry notes (same +1 convention).
+  util::FlatMap64<std::uint32_t> file_retries_;
   std::vector<Keyed> reservoir_;  // max-heap by hash: evict largest
   std::vector<Keyed> slowest_;    // min-heap by duration: evict smallest
   std::vector<TaskSpan> kept_failed_;

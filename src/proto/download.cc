@@ -278,51 +278,59 @@ void DownloadTask::save(snapshot::SnapshotWriter& w) const {
   w.u32(kTagChecksumRetries, checksum_retries_);
 }
 
+DownloadTask::RestoreHeader DownloadTask::read_restore_header(
+    snapshot::SnapshotReader& r, const SourceParams& sources) {
+  RestoreHeader h;
+  h.source = restore_source(r, sources);
+  h.file_size = r.u64(kTagFileSize);
+  h.config.line_rate = r.f64(kTagLineRate);
+  h.config.sink_rate = r.f64(kTagSinkRate);
+  const std::uint64_t shared = r.u64(kTagSharedLinkCount);
+  h.config.shared_links.reserve(shared);
+  for (std::uint64_t i = 0; i < shared; ++i) {
+    h.config.shared_links.push_back(r.u32(kTagSharedLink));
+  }
+  h.config.stagnation_timeout = r.i64(kTagStagnationTimeout);
+  h.config.tick_period = r.i64(kTagTickPeriod);
+  h.config.hard_timeout = r.i64(kTagHardTimeout);
+  h.config.corruption_prob = r.f64(kTagCorruptionProb);
+  h.config.max_checksum_retries = r.u32(kTagMaxChecksumRetries);
+  return h;
+}
+
+void DownloadTask::finish_restore(snapshot::SnapshotReader& r, Rng& rng) {
+  rng_ = &rng;
+  flow_ = r.u64(kTagFlow);
+  tick_event_ = r.u64(kTagTickEvent);
+  started_at_ = r.i64(kTagStartedAt);
+  last_tick_ = r.i64(kTagLastTick);
+  last_progress_bytes_ = r.f64(kTagLastProgressBytes);
+  last_progress_at_ = r.i64(kTagLastProgressAt);
+  peak_rate_ = r.f64(kTagPeakRate);
+  running_ = r.b(kTagRunning);
+  done_ = r.b(kTagDone);
+  round_bytes_ = r.u64(kTagRoundBytes);
+  verified_bytes_ = r.u64(kTagVerifiedBytes);
+  discarded_bytes_ = r.u64(kTagDiscardedBytes);
+  checksum_retries_ = r.u32(kTagChecksumRetries);
+
+  if (tick_event_ != sim::kInvalidEvent) {
+    sim_.rearm(tick_event_, [this] { on_tick(); });
+  }
+  if (flow_ != net::kInvalidFlow) {
+    net_.reattach_on_complete(flow_,
+                              [this](net::FlowId) { on_flow_complete(); });
+  }
+}
+
 std::unique_ptr<DownloadTask> DownloadTask::restore(
     sim::Simulator& sim, net::Network& net, snapshot::SnapshotReader& r,
     const SourceParams& sources, DoneFn on_done, Rng& rng) {
-  std::unique_ptr<Source> source = restore_source(r, sources);
-  const Bytes file_size = r.u64(kTagFileSize);
-  Config config;
-  config.line_rate = r.f64(kTagLineRate);
-  config.sink_rate = r.f64(kTagSinkRate);
-  const std::uint64_t shared = r.u64(kTagSharedLinkCount);
-  config.shared_links.reserve(shared);
-  for (std::uint64_t i = 0; i < shared; ++i) {
-    config.shared_links.push_back(r.u32(kTagSharedLink));
-  }
-  config.stagnation_timeout = r.i64(kTagStagnationTimeout);
-  config.tick_period = r.i64(kTagTickPeriod);
-  config.hard_timeout = r.i64(kTagHardTimeout);
-  config.corruption_prob = r.f64(kTagCorruptionProb);
-  config.max_checksum_retries = r.u32(kTagMaxChecksumRetries);
-
-  auto task = std::make_unique<DownloadTask>(sim, net, std::move(source),
-                                             file_size, std::move(config),
+  RestoreHeader h = read_restore_header(r, sources);
+  auto task = std::make_unique<DownloadTask>(sim, net, std::move(h.source),
+                                             h.file_size, std::move(h.config),
                                              std::move(on_done));
-  DownloadTask* t = task.get();
-  t->rng_ = &rng;
-  t->flow_ = r.u64(kTagFlow);
-  t->tick_event_ = r.u64(kTagTickEvent);
-  t->started_at_ = r.i64(kTagStartedAt);
-  t->last_tick_ = r.i64(kTagLastTick);
-  t->last_progress_bytes_ = r.f64(kTagLastProgressBytes);
-  t->last_progress_at_ = r.i64(kTagLastProgressAt);
-  t->peak_rate_ = r.f64(kTagPeakRate);
-  t->running_ = r.b(kTagRunning);
-  t->done_ = r.b(kTagDone);
-  t->round_bytes_ = r.u64(kTagRoundBytes);
-  t->verified_bytes_ = r.u64(kTagVerifiedBytes);
-  t->discarded_bytes_ = r.u64(kTagDiscardedBytes);
-  t->checksum_retries_ = r.u32(kTagChecksumRetries);
-
-  if (t->tick_event_ != sim::kInvalidEvent) {
-    sim.rearm(t->tick_event_, [t] { t->on_tick(); });
-  }
-  if (t->flow_ != net::kInvalidFlow) {
-    net.reattach_on_complete(t->flow_,
-                             [t](net::FlowId) { t->on_flow_complete(); });
-  }
+  task->finish_restore(r, rng);
   return task;
 }
 

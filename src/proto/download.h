@@ -112,6 +112,20 @@ class DownloadTask {
                                                const SourceParams& sources,
                                                DoneFn on_done, Rng& rng);
 
+  // Two-phase restore for owners that place tasks in a recycling arena
+  // (cloud::PreDownloaderPool): read_restore_header yields the constructor
+  // arguments, the owner constructs wherever it likes, finish_restore
+  // fills the mid-flight mutable state and re-claims events/flows.
+  // restore() above is exactly the make_unique composition of the two.
+  struct RestoreHeader {
+    std::unique_ptr<Source> source;
+    Bytes file_size = 0;
+    Config config;
+  };
+  static RestoreHeader read_restore_header(snapshot::SnapshotReader& r,
+                                           const SourceParams& sources);
+  void finish_restore(snapshot::SnapshotReader& r, Rng& rng);
+
  private:
   void on_tick();
   void on_flow_complete();

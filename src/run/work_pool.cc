@@ -1,0 +1,86 @@
+#include "run/work_pool.h"
+
+#include <algorithm>
+
+namespace odr::run {
+
+WorkPool::WorkPool(std::size_t lanes) : lanes_(std::max<std::size_t>(1, lanes)) {
+  errors_.resize(lanes_);
+  threads_.reserve(lanes_ - 1);
+  for (std::size_t lane = 1; lane < lanes_; ++lane) {
+    threads_.emplace_back([this, lane] { worker_main(lane); });
+  }
+}
+
+WorkPool::~WorkPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkPool::run_lane(std::size_t lane) {
+  const std::size_t chunk = (job_n_ + lanes_ - 1) / lanes_;
+  const std::size_t begin = std::min(job_n_, lane * chunk);
+  const std::size_t end = std::min(job_n_, begin + chunk);
+  if (begin >= end) return;
+  (*job_)(lane, begin, end);
+}
+
+void WorkPool::worker_main(std::size_t lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    try {
+      run_lane(lane);
+    } catch (...) {
+      errors_[lane] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void WorkPool::parallel_for(std::size_t n, const RangeFn& fn) {
+  if (n == 0) return;
+  if (lanes_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    outstanding_ = lanes_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  try {
+    run_lane(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    job_ = nullptr;
+  }
+  for (std::exception_ptr& e : errors_) {
+    if (e) {
+      std::exception_ptr first = e;
+      for (std::exception_ptr& e2 : errors_) e2 = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace odr::run

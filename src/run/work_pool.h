@@ -1,0 +1,74 @@
+// WorkPool: a persistent barrier-synchronized worker pool for intra-run
+// parallelism.
+//
+// run_parallel (parallel_runner.h) fans independent *replicates* across
+// threads; WorkPool is the complementary primitive for parallelism INSIDE
+// one replicate: short data-parallel sweeps (the sharded flow solver's
+// per-round phases, DESIGN.md §16) that fire thousands of times per
+// simulated week and therefore cannot afford thread creation per call.
+//
+// The pool owns `lanes() - 1` sleeping threads; the caller is lane 0 and
+// participates in every sweep, so a pool of 1 lane degenerates to a plain
+// sequential loop with zero synchronization. parallel_for(n, fn) splits
+// [0, n) into `lanes()` fixed contiguous chunks — the SAME partition for
+// the same (n, lanes), never work-stealing — and returns only when every
+// lane has finished (a full barrier). Determinism note: callers must make
+// each lane's work independent or commutatively mergeable (integer
+// adds/min-reductions, disjoint writes); under that contract the result
+// is bit-identical to the sequential loop regardless of lane count or
+// scheduling, which is what lets the sharded solver reproduce the
+// single-threaded goldens exactly.
+//
+// The pool is NOT reentrant (no parallel_for inside parallel_for) and not
+// thread-safe across concurrent callers; one simulation world owns one
+// pool. Exceptions thrown by fn on any lane are rethrown on the caller
+// after the barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace odr::run {
+
+class WorkPool {
+ public:
+  // fn(lane, begin, end): process the half-open index range [begin, end).
+  using RangeFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  // `lanes` counts the caller: lanes <= 1 starts no threads.
+  explicit WorkPool(std::size_t lanes);
+  ~WorkPool();
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  std::size_t lanes() const { return lanes_; }
+
+  // Runs fn over [0, n) split into `lanes()` contiguous chunks; blocks
+  // until every lane is done. Empty chunks (n < lanes) are skipped.
+  void parallel_for(std::size_t n, const RangeFn& fn);
+
+ private:
+  void worker_main(std::size_t lane);
+  void run_lane(std::size_t lane);
+
+  std::size_t lanes_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const RangeFn* job_ = nullptr;  // valid while a sweep is in flight
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;  // bumped per sweep; workers wait on it
+  std::size_t outstanding_ = 0;   // worker lanes still running the sweep
+  bool shutdown_ = false;
+  std::vector<std::exception_ptr> errors_;  // per lane
+};
+
+}  // namespace odr::run

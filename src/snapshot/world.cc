@@ -7,6 +7,7 @@
 
 #include "analysis/obs_wiring.h"
 #include "obs/observer.h"
+#include "run/parallel_runner.h"
 #include "snapshot/audit.h"
 #include "snapshot/format.h"
 #include "workload/file.h"
@@ -93,7 +94,18 @@ CloudWorld::CloudWorld(const analysis::ExperimentConfig& config,
 // CloudWorld produces run_cloud_replay's results and a restored CloudWorld
 // regenerates the same immutable tables the checkpoint was taken over.
 void CloudWorld::build() {
+  sim_.set_shard_count(config_.engine_shards);
   net_.set_rate_epsilon(config_.net_rate_epsilon);
+  if (config_.solver_workers != 1 && !solver_pool_) {
+    const std::size_t lanes = config_.solver_workers == 0
+                                  ? run::default_worker_count()
+                                  : config_.solver_workers;
+    if (lanes > 1) solver_pool_.emplace(lanes);
+  }
+  if (solver_pool_) {
+    net_.set_parallel_solver(&*solver_pool_,
+                             config_.solver_parallel_min_flows);
+  }
   Rng rng(config_.seed);
   catalog_ = std::make_shared<workload::Catalog>(config_.catalog, rng);
   users_ = std::make_shared<workload::UserPopulation>(config_.users, rng);
@@ -117,6 +129,10 @@ void CloudWorld::build() {
 
   arrival_events_.assign(requests_.size(), sim::kInvalidEvent);
   for (std::size_t i = 0; i < requests_.size(); ++i) {
+    // Pin each user's arrival (and causal chain) to its shard, exactly as
+    // analysis::run_cloud_replay does; a no-op at 1 shard.
+    sim::Simulator::ShardGuard shard(
+        sim_, static_cast<std::size_t>(requests_[i].user_id));
     arrival_events_[i] =
         sim_.schedule_at(requests_[i].request_time, [this, i] { on_arrival(i); });
   }

@@ -260,6 +260,109 @@ TEST(SnapshotNetTest, MidFlowRoundTripPreservesCompletionTimes) {
   EXPECT_EQ(sim_c.now(), sim_a.now());
 }
 
+TEST(SnapshotNetTest, ChurnedPoolRoundTripAfterSlotReuse) {
+  // The flow population lives in a SlabPool: completions free slots and
+  // later starts recycle them. A checkpoint taken after heavy churn must
+  // restore the surviving flows exactly — ids, progress, completion
+  // times — even though their slot assignments were recycled several
+  // times over, and the restored slab must compact to the live
+  // population rather than reproduce the churn high-water mark.
+  auto build = [](sim::Simulator& sim) {
+    auto net = std::make_unique<net::Network>(sim);
+    net->add_link("trunk", 500.0);
+    net->add_link("leg", 200.0);
+    return net;
+  };
+  auto churn = [](sim::Simulator& sim, net::Network& net,
+                  std::vector<std::pair<net::FlowId, SimTime>>* done) {
+    std::vector<net::FlowId> started;
+    // Three waves of short flows; each wave completes before the next
+    // starts, so wave N+1 reuses the slots wave N freed.
+    for (int wave = 0; wave < 3; ++wave) {
+      for (int i = 0; i < 4; ++i) {
+        net::Network::FlowSpec spec;
+        spec.path = {0, 1};
+        spec.bytes = 1000 + 700 * i + 130 * wave;
+        spec.on_complete = [&sim, done](net::FlowId id) {
+          done->push_back({id, sim.now()});
+        };
+        started.push_back(net.start_flow(spec));
+      }
+      sim.run();
+    }
+    // Survivors: long flows that will straddle the checkpoint, started
+    // into recycled slots.
+    for (int i = 0; i < 3; ++i) {
+      net::Network::FlowSpec spec;
+      spec.path = {0, 1};
+      spec.bytes = 400000 + 50000 * i;
+      spec.on_complete = [&sim, done](net::FlowId id) {
+        done->push_back({id, sim.now()});
+      };
+      started.push_back(net.start_flow(spec));
+    }
+    return started;
+  };
+
+  // Control: uninterrupted to completion.
+  sim::Simulator sim_a;
+  auto net_a = build(sim_a);
+  std::vector<std::pair<net::FlowId, SimTime>> done_a;
+  churn(sim_a, *net_a, &done_a);
+  sim_a.run();
+
+  // Interrupted copy: identical history, checkpoint mid-survivors.
+  sim::Simulator sim_b;
+  auto net_b = build(sim_b);
+  std::vector<std::pair<net::FlowId, SimTime>> done_b;
+  const std::vector<net::FlowId> started = churn(sim_b, *net_b, &done_b);
+  const std::size_t slab_high_water = net_b->flow_slab_capacity();
+  EXPECT_EQ(slab_high_water, 4u);  // waves recycled; survivors refilled
+  sim_b.run_until(sim_b.now() + 2 * kSec);
+  ASSERT_EQ(net_b->active_flow_count(), 3u);
+
+  SnapshotWriter w;
+  w.begin_section(1, 1);
+  sim_b.save(w);
+  net_b->save(w);
+  w.end_section();
+
+  sim::Simulator sim_c;
+  auto net_c = build(sim_c);
+  SnapshotReader r(w.take());
+  r.require_section(1, 1);
+  sim_c.load(r);
+  net_c->load(r);
+  r.end_section();
+
+  // Restore compacts: only the three survivors occupy the slab.
+  EXPECT_EQ(net_c->active_flow_count(), 3u);
+  EXPECT_EQ(net_c->flow_slab_capacity(), 3u);
+  std::vector<std::pair<net::FlowId, SimTime>> done_c;
+  for (std::size_t i = started.size() - 3; i < started.size(); ++i) {
+    net_c->reattach_on_complete(started[i], [&](net::FlowId id) {
+      done_c.push_back({id, sim_c.now()});
+    });
+  }
+  EXPECT_EQ(net_c->flows_awaiting_callback(), 0u);
+  sim_c.run();
+
+  // The resumed run finishes the survivors at the control's exact times.
+  ASSERT_EQ(done_a.size(), done_b.size() + done_c.size());
+  for (std::size_t i = 0; i < done_c.size(); ++i) {
+    EXPECT_EQ(done_c[i], done_a[done_b.size() + i]) << i;
+  }
+  EXPECT_EQ(sim_c.now(), sim_a.now());
+
+  // New flows started after restore recycle the compacted slots rather
+  // than growing the slab past the live population.
+  net::Network::FlowSpec tail;
+  tail.path = {0};
+  tail.bytes = 100;
+  net_c->start_flow(tail);
+  EXPECT_LE(net_c->flow_slab_capacity(), 3u);
+}
+
 // --- ledbat ----------------------------------------------------------------
 
 TEST(SnapshotLedbatTest, ControllerResumesItsControlLoop) {

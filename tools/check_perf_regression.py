@@ -32,6 +32,16 @@ these to pin the saturation-knee offered rate and the acceptance verdicts
 the live-service ladder, which are simulated — hence deterministic —
 quantities, so their windows can be far tighter than wall-clock ratios.
 
+A family may also budget memory with "rss_ceiling_bytes": a per-divisor
+ABSOLUTE ceiling on the exact-mode run's peak_rss_bytes. Ceilings, not
+ratios: peak RSS of a deterministic replay is stable run to run (the
+recorded ceilings carry ~1.5x headroom over measured), and the failure
+mode being guarded — the flow plane or event queue regressing from pooled
+slabs back to per-object heap churn — shows up as a multiplicative jump
+that no jitter allowance should absorb. Per-key strict like everything
+else: a baseline divisor with no measured run, or a measured run missing
+peak_rss_bytes, is a hard failure.
+
 Usage:
   tools/check_perf_regression.py --baseline bench/baselines/perf_smoke.json \
       --results BENCH_perf_scale.json
@@ -53,6 +63,7 @@ def load_families(baseline):
         families["perf_scale"] = {
             "max_ratio": baseline.get("max_ratio", 2.0),
             "exact_wall_seconds": baseline["exact_wall_seconds"],
+            "rss_ceiling_bytes": baseline.get("rss_ceiling_bytes", {}),
             "values": {},
             "require": {},
         }
@@ -60,6 +71,7 @@ def load_families(baseline):
         families[name] = {
             "max_ratio": spec.get("max_ratio", baseline.get("max_ratio", 2.0)),
             "exact_wall_seconds": spec.get("exact_wall_seconds", {}),
+            "rss_ceiling_bytes": spec.get("rss_ceiling_bytes", {}),
             "values": spec.get("values", {}),
             "require": spec.get("require", {}),
         }
@@ -132,6 +144,40 @@ def main() -> int:
               f"{args.results} — measured run missing or renamed",
               file=sys.stderr)
 
+    # Memory budget: absolute per-divisor ceilings on exact-mode peak RSS.
+    rss_reference = {str(k): float(v)
+                     for k, v in spec["rss_ceiling_bytes"].items()}
+    rss_checked = set()
+    rss_failures = []
+    rss_missing_field = []
+    for run in results.get("runs", []):
+        if run.get("mode") != "exact":
+            continue
+        key = "%g" % run["divisor"]
+        if key not in rss_reference:
+            continue
+        if not isinstance(run.get("peak_rss_bytes"), (int, float)) or \
+                isinstance(run.get("peak_rss_bytes"), bool):
+            print(f"error: exact-mode run at divisor {key} has no "
+                  f"peak_rss_bytes in {args.results} — field missing or "
+                  f"renamed", file=sys.stderr)
+            rss_missing_field.append(key)
+            continue
+        rss_checked.add(key)
+        rss = float(run["peak_rss_bytes"])
+        ceiling = rss_reference[key]
+        ok = rss <= ceiling
+        print(f"divisor {key:>6}: peak RSS {rss / 2**20:8.1f} MiB vs ceiling "
+              f"{ceiling / 2**20:8.1f} MiB {'OK' if ok else 'OVER BUDGET'}")
+        if not ok:
+            rss_failures.append(f"rss@{key}")
+    rss_missing = sorted(set(rss_reference) - rss_checked -
+                         set(rss_missing_field), key=float)
+    for key in rss_missing:
+        print(f"error: RSS-ceiling divisor {key} has no exact-mode run in "
+              f"{args.results} — measured run missing or renamed",
+              file=sys.stderr)
+
     # Value windows: deterministic result keys held to [ref*min, ref*max].
     value_checks = 0
     value_failures = []
@@ -171,21 +217,23 @@ def main() -> int:
         if not ok:
             require_failures.append(path)
 
-    if missing or value_failures or require_failures:
-        bad = failures + value_failures + require_failures
+    if (missing or value_failures or require_failures or rss_missing or
+            rss_missing_field):
+        bad = (failures + value_failures + require_failures + rss_failures)
         if bad:
             print(f"perf regression at key(s): {', '.join(bad)}",
                   file=sys.stderr)
         return 1
-    if not checked and value_checks == 0 and require_checks == 0:
+    if (not checked and value_checks == 0 and require_checks == 0 and
+            not rss_checked):
         print("error: no runs or result keys matched the baseline",
               file=sys.stderr)
         return 1
-    if failures:
-        print(f"perf regression at divisor(s): {', '.join(failures)}",
-              file=sys.stderr)
+    if failures or rss_failures:
+        print("perf regression at key(s): "
+              f"{', '.join(failures + rss_failures)}", file=sys.stderr)
         return 1
-    total = len(checked) + value_checks + require_checks
+    total = len(checked) + value_checks + require_checks + len(rss_checked)
     print(f"perf smoke [{family}]: {total} check(s) within baseline "
           f"(limit {max_ratio:.1f}x on wall seconds)")
     return 0

@@ -39,9 +39,14 @@ def baseline(divisors, max_ratio=2.0):
             "exact_wall_seconds": {k: v for k, v in divisors.items()}}
 
 
-def results(runs, bench=None):
-    out = {"runs": [{"mode": mode, "divisor": d, "wall_seconds": w}
-                    for mode, d, w in runs]}
+def results(runs, bench=None, rss=None):
+    """rss maps divisor -> peak_rss_bytes for the exact-mode runs."""
+    out = {"runs": []}
+    for mode, d, w in runs:
+        run = {"mode": mode, "divisor": d, "wall_seconds": w}
+        if rss is not None and mode == "exact" and d in rss:
+            run["peak_rss_bytes"] = rss[d]
+        out["runs"].append(run)
     if bench is not None:
         out["bench"] = bench
     return out
@@ -86,6 +91,65 @@ class CheckPerfRegressionTest(unittest.TestCase):
         proc = run_gate(baseline({"400": 10.0}),
                         results([("exact", 400, 10.0), ("exact", 800, 1.0)]))
         self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    # --- peak-RSS ceilings -------------------------------------------------
+
+    @staticmethod
+    def rss_baseline():
+        b = baseline({"400": 10.0})
+        b["rss_ceiling_bytes"] = {"400": 200 * 2**20}
+        return b
+
+    def test_rss_within_ceiling_passes(self):
+        proc = run_gate(self.rss_baseline(),
+                        results([("exact", 400, 10.0)],
+                                rss={400: 150 * 2**20}))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("peak RSS", proc.stdout)
+        self.assertIn("2 check(s) within", proc.stdout)
+
+    def test_rss_over_ceiling_fails_naming_divisor(self):
+        proc = run_gate(self.rss_baseline(),
+                        results([("exact", 400, 10.0)],
+                                rss={400: 300 * 2**20}))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("OVER BUDGET", proc.stdout)
+        self.assertIn("rss@400", proc.stderr)
+
+    def test_rss_is_absolute_not_ratio(self):
+        # 1 byte over the ceiling fails: no jitter ratio is applied, the
+        # headroom lives in the recorded ceiling itself.
+        proc = run_gate(self.rss_baseline(),
+                        results([("exact", 400, 10.0)],
+                                rss={400: 200 * 2**20 + 1}))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("rss@400", proc.stderr)
+
+    def test_rss_missing_field_fails(self):
+        # The bench dropping/renaming peak_rss_bytes must disarm loudly.
+        proc = run_gate(self.rss_baseline(),
+                        results([("exact", 400, 10.0)]))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no peak_rss_bytes", proc.stderr)
+
+    def test_rss_missing_divisor_fails(self):
+        b = self.rss_baseline()
+        b["rss_ceiling_bytes"]["100"] = 400 * 2**20
+        proc = run_gate(b, results([("exact", 400, 10.0)],
+                                   rss={400: 100 * 2**20}))
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("RSS-ceiling divisor 100 has no exact-mode run",
+                      proc.stderr)
+
+    def test_rss_only_family_passes(self):
+        # A family may budget memory alone (no wall-seconds reference);
+        # the "no runs matched" error must not fire.
+        b = {"max_ratio": 2.0, "exact_wall_seconds": {},
+             "rss_ceiling_bytes": {"400": 200 * 2**20}}
+        proc = run_gate(b, results([("exact", 400, 10.0)],
+                                   rss={400: 100 * 2**20}))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("1 check(s) within", proc.stdout)
 
     # --- benchmark families ------------------------------------------------
 
